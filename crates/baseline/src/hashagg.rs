@@ -1,0 +1,138 @@
+//! Standalone hash-based grouping/aggregation — the conventional operator
+//! the paper's §4.3 and §6.1.3 compare array-based aggregation against.
+//!
+//! "Traditional OLAP engines usually perform hash based grouping and
+//! aggregation. Basically, a hash table is used for storing aggregation
+//! results. The grouping attributes are used as the hash key."
+
+use std::collections::HashMap;
+
+/// Hash-aggregates `count(*), sum(measure)` grouped by a pair of `i32`
+/// columns (the shape of the paper's §6.1.3 micro-benchmark:
+/// `select count(*), lo_discount, lo_tax from lineorder group by
+/// lo_discount, lo_tax`).
+///
+/// Returns `(group_a, group_b, count, sum)` rows in unspecified order.
+pub fn hash_group_pair_i32(
+    col_a: &[i32],
+    col_b: &[i32],
+    measure: &[i64],
+) -> Vec<(i32, i32, u64, i64)> {
+    assert_eq!(col_a.len(), col_b.len());
+    assert_eq!(col_a.len(), measure.len());
+    let mut map: HashMap<(i32, i32), (u64, i64)> = HashMap::new();
+    for i in 0..col_a.len() {
+        let e = map.entry((col_a[i], col_b[i])).or_insert((0, 0));
+        e.0 += 1;
+        e.1 = e.1.wrapping_add(measure[i]);
+    }
+    map.into_iter().map(|((a, b), (c, s))| (a, b, c, s)).collect()
+}
+
+/// Array-based counterpart over the same shape, for the §6.1.3 comparison:
+/// pre-sizes a dense 2-D array from the column value ranges and aggregates
+/// by direct addressing. Only valid when both ranges are small (the caller
+/// — A-Store's optimizer — guarantees this).
+///
+/// Returns the same row shape as [`hash_group_pair_i32`].
+pub fn array_group_pair_i32(
+    col_a: &[i32],
+    col_b: &[i32],
+    measure: &[i64],
+) -> Vec<(i32, i32, u64, i64)> {
+    assert_eq!(col_a.len(), col_b.len());
+    assert_eq!(col_a.len(), measure.len());
+    if col_a.is_empty() {
+        return Vec::new();
+    }
+    let (min_a, max_a) = min_max(col_a);
+    let (min_b, max_b) = min_max(col_b);
+    let ra = (max_a - min_a + 1) as usize;
+    let rb = (max_b - min_b + 1) as usize;
+    let cells = ra.checked_mul(rb).expect("group space overflow");
+    assert!(cells <= 1 << 26, "array aggregation needs a small group space");
+    let mut counts = vec![0u64; cells];
+    let mut sums = vec![0i64; cells];
+    for i in 0..col_a.len() {
+        let cell = (col_a[i] - min_a) as usize * rb + (col_b[i] - min_b) as usize;
+        counts[cell] += 1;
+        sums[cell] = sums[cell].wrapping_add(measure[i]);
+    }
+    let mut out = Vec::new();
+    for (cell, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let a = (cell / rb) as i32 + min_a;
+        let b = (cell % rb) as i32 + min_b;
+        out.push((a, b, c, sums[cell]));
+    }
+    out
+}
+
+fn min_max(v: &[i32]) -> (i32, i32) {
+    let mut lo = v[0];
+    let mut hi = v[0];
+    for &x in v {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted(mut v: Vec<(i32, i32, u64, i64)>) -> Vec<(i32, i32, u64, i64)> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn hash_groups_correctly() {
+        let a = [1, 1, 2, 2, 1];
+        let b = [0, 0, 0, 1, 0];
+        let m = [10i64, 20, 30, 40, 50];
+        let got = sorted(hash_group_pair_i32(&a, &b, &m));
+        assert_eq!(got, vec![(1, 0, 3, 80), (2, 0, 1, 30), (2, 1, 1, 40)]);
+    }
+
+    #[test]
+    fn array_matches_hash() {
+        let n = 10_000;
+        let a: Vec<i32> = (0..n).map(|i| i % 11).collect();
+        let b: Vec<i32> = (0..n).map(|i| i % 9).collect();
+        let m: Vec<i64> = (0..n).map(|i| i as i64).collect();
+        assert_eq!(
+            sorted(array_group_pair_i32(&a, &b, &m)),
+            sorted(hash_group_pair_i32(&a, &b, &m))
+        );
+    }
+
+    #[test]
+    fn array_handles_negative_and_offset_ranges() {
+        let a = [-5, -5, -3];
+        let b = [100, 101, 100];
+        let m = [1i64, 2, 3];
+        assert_eq!(
+            sorted(array_group_pair_i32(&a, &b, &m)),
+            vec![(-5, 100, 1, 1), (-5, 101, 1, 2), (-3, 100, 1, 3)]
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(hash_group_pair_i32(&[], &[], &[]).is_empty());
+        assert!(array_group_pair_i32(&[], &[], &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "small group space")]
+    fn array_rejects_huge_group_space() {
+        let a = [0, 100_000_000];
+        let b = [0, 100_000_000];
+        let m = [0i64, 0];
+        array_group_pair_i32(&a, &b, &m);
+    }
+}

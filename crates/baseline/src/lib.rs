@@ -1,0 +1,43 @@
+//! # astore-baseline
+//!
+//! The comparator algorithms and engines the A-Store paper evaluates
+//! against (§6), re-implemented from their original descriptions:
+//!
+//! - [`npo`] — the no-partitioning hash join of Balkesen et al. (ICDE
+//!   2013), the paper's reference \[7\];
+//! - [`pro`] — the (parallel) radix-partitioned hash join from the same
+//!   work;
+//! - [`sortmerge`] — sort-merge join (Balkesen et al., VLDB 2013, \[13\]);
+//! - [`hashagg`] — conventional hash-based grouping/aggregation plus its
+//!   dense-array counterpart (the §6.1.3 micro-benchmark pair);
+//! - [`denorm`] — fully materialized denormalization (the hand-coded wide
+//!   table of Fig. 1 / Table 5, cf. Blink \[31\] and WideTable \[33\]);
+//! - [`engine`] — a pipelined hash-join SPJGA engine standing in for the
+//!   hash-join-based execution of Hyper / Vectorwise.
+//!
+//! The original MonetDB / Vectorwise / Hyper binaries are proprietary or
+//! impractical to embed; these re-implementations expose the same
+//! *algorithmic* trade-offs (hash probe vs positional lookup, pipelined vs
+//! staged aggregation, materialized vs virtual denormalization), which is
+//! what the paper's comparisons measure. See DESIGN.md for the
+//! substitution rationale.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod denorm;
+pub mod engine;
+pub mod hashagg;
+pub mod npo;
+pub mod pro;
+pub mod sortmerge;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::denorm::{denormalize, Denormalized};
+    pub use crate::engine::{execute_hash_pipeline, HashPipelineOutput};
+    pub use crate::hashagg::{array_group_pair_i32, hash_group_pair_i32};
+    pub use crate::npo::{npo_join_sum, NpoHashTable};
+    pub use crate::pro::{pro_join_sum, radix_partition, RadixConfig};
+    pub use crate::sortmerge::sortmerge_join_sum;
+}

@@ -1,0 +1,65 @@
+//! Criterion benches for the Table 2 / Fig. 8 join kernels:
+//! AIR positional join vs NPO / PRO hash joins vs sort-merge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use astore_baseline::npo::npo_join_sum;
+use astore_baseline::pro::{pro_join_sum, RadixConfig};
+use astore_baseline::sortmerge::sortmerge_join_sum;
+use astore_core::air_join::{air_join_count, air_join_sum};
+use astore_datagen::workload::JoinWorkload;
+
+fn bench_join_kernels(c: &mut Criterion) {
+    // Dimension sizes sweeping cache residency, fixed probe side.
+    let n_probe = 1 << 20;
+    let mut g = c.benchmark_group("pk_fk_join");
+    g.throughput(Throughput::Elements(n_probe as u64));
+    for dim_size in [1 << 10, 1 << 14, 1 << 18] {
+        let w = JoinWorkload::new(dim_size, n_probe, 7);
+        let air_probe = w.air_probe_keys();
+
+        g.bench_with_input(BenchmarkId::new("air", dim_size), &dim_size, |b, _| {
+            b.iter(|| air_join_sum(black_box(&air_probe), black_box(&w.build_payloads)))
+        });
+        g.bench_with_input(BenchmarkId::new("npo", dim_size), &dim_size, |b, _| {
+            b.iter(|| {
+                npo_join_sum(
+                    black_box(&w.build_keys),
+                    black_box(&w.build_payloads),
+                    black_box(&w.probe_keys),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("pro", dim_size), &dim_size, |b, _| {
+            b.iter(|| {
+                pro_join_sum(
+                    black_box(&w.build_keys),
+                    black_box(&w.build_payloads),
+                    black_box(&w.probe_keys),
+                    RadixConfig::default(),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("sortmerge", dim_size), &dim_size, |b, _| {
+            b.iter(|| {
+                sortmerge_join_sum(
+                    black_box(&w.build_keys),
+                    black_box(&w.build_payloads),
+                    black_box(&w.probe_keys),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("air_count_only", dim_size), &dim_size, |b, _| {
+            b.iter(|| air_join_count(black_box(&air_probe), dim_size))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_join_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benches for the Table 3 scan operators: vectorized column scan
+//! vs row-wise scan, with and without predicate vectors.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use astore_core::prelude::*;
+use astore_datagen::ssb;
+
+fn bench_scans(c: &mut Criterion) {
+    let db = ssb::generate(0.01, 42);
+    let n = db.table("lineorder").unwrap().num_slots();
+
+    // The Table 3 predicate sweep at selectivity (1/4)^4.
+    let q = Query::new()
+        .root("lineorder")
+        .filter("lineorder", Pred::cmp("lo_quantity", CmpOp::Le, 12))
+        .filter("lineorder", Pred::cmp("lo_discount", CmpOp::Le, 2))
+        .filter("lineorder", Pred::cmp("lo_tax", CmpOp::Le, 1))
+        .agg(Aggregate::count("n"));
+
+    let mut g = c.benchmark_group("predicate_scan");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("column_wise", |b| {
+        let opts = ExecOptions::with_variant(ScanVariant::ColumnWisePredVec);
+        b.iter(|| execute(&db, &q, &opts).unwrap())
+    });
+    g.bench_function("row_wise", |b| {
+        let opts = ExecOptions::with_variant(ScanVariant::RowWise);
+        b.iter(|| execute(&db, &q, &opts).unwrap())
+    });
+    g.finish();
+
+    // Star-join scan: dimension predicates through predicate vectors vs
+    // direct AIR chasing (the §4.2 comparison).
+    let sq = &ssb::starjoin_queries()[6].query; // Q3.1 count-only
+    let mut g = c.benchmark_group("star_join_scan");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("predicate_vectors", |b| {
+        let opts = ExecOptions::with_variant(ScanVariant::ColumnWisePredVec);
+        b.iter(|| execute(&db, sq, &opts).unwrap())
+    });
+    g.bench_function("direct_probing", |b| {
+        let opts = ExecOptions::with_variant(ScanVariant::ColumnWise);
+        b.iter(|| execute(&db, sq, &opts).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scans
+}
+criterion_main!(benches);

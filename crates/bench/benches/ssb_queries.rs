@@ -1,0 +1,35 @@
+//! Criterion benches for the full SSB flight (Table 5): A-Store vs the
+//! hash-join pipeline engine, one representative query per SSB family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use astore_baseline::engine::execute_hash_pipeline;
+use astore_core::prelude::*;
+use astore_datagen::ssb;
+
+fn bench_ssb(c: &mut Criterion) {
+    let db = ssb::generate(0.01, 42);
+    let n = db.table("lineorder").unwrap().num_slots();
+    let queries = ssb::queries();
+    let representative = ["Q1.1", "Q2.1", "Q3.1", "Q4.1"];
+
+    let mut g = c.benchmark_group("ssb");
+    g.throughput(Throughput::Elements(n as u64));
+    for sq in queries.iter().filter(|q| representative.contains(&q.id)) {
+        g.bench_with_input(BenchmarkId::new("a_store", sq.id), &sq.query, |b, q| {
+            let opts = ExecOptions::default();
+            b.iter(|| execute(&db, q, &opts).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("hash_pipeline", sq.id), &sq.query, |b, q| {
+            b.iter(|| execute_hash_pipeline(&db, q).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ssb
+}
+criterion_main!(benches);

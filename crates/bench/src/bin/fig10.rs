@@ -1,0 +1,65 @@
+//! **Fig. 10**: breakdown of query processing time over the three
+//! execution stages, for the column-wise AIRScan variants (paper §6.4):
+//!
+//! 1. leaf-table processing (predicate vectors + group vectors);
+//! 2. foreign-key scan + Measure Index generation;
+//! 3. measure-column scan + aggregation.
+//!
+//! Paper finding: leaf processing is nearly free (dimensions are small),
+//! and array aggregation (stage 3 of C_P_G) runs almost an order of
+//! magnitude faster than the hash aggregation of C / C_P.
+
+use astore_bench::{banner, ms, time_best_of, TablePrinter};
+use astore_core::prelude::*;
+use astore_datagen::{env_scale_factor, env_threads, ssb};
+
+fn main() {
+    let sf = env_scale_factor(0.02);
+    banner("Fig 10", "phase breakdown of the column-wise variants (paper §6.4)", sf, env_threads());
+    let db = ssb::generate(sf, 42);
+
+    let variants =
+        [ScanVariant::ColumnWise, ScanVariant::ColumnWisePredVec, ScanVariant::Full];
+
+    for v in variants {
+        println!("--- {} ---", v.paper_name());
+        let opts = ExecOptions::with_variant(v);
+        let mut t = TablePrinter::new(&["query", "leaf", "fk scan + MI", "aggregation", "total"]);
+        let mut sums = [0.0f64; 4];
+        for sq in ssb::queries() {
+            let (_, out) = time_best_of(3, || execute(&db, &sq.query, &opts).unwrap());
+            let parts = [
+                ms(out.timings.leaf),
+                ms(out.timings.scan),
+                ms(out.timings.agg),
+                ms(out.timings.total),
+            ];
+            for (s, p) in sums.iter_mut().zip(parts) {
+                *s += p;
+            }
+            t.row(vec![
+                sq.id.into(),
+                format!("{:.2}ms", parts[0]),
+                format!("{:.2}ms", parts[1]),
+                format!("{:.2}ms", parts[2]),
+                format!("{:.2}ms", parts[3]),
+            ]);
+        }
+        t.row(vec![
+            "AVG".into(),
+            format!("{:.2}ms", sums[0] / 13.0),
+            format!("{:.2}ms", sums[1] / 13.0),
+            format!("{:.2}ms", sums[2] / 13.0),
+            format!("{:.2}ms", sums[3] / 13.0),
+        ]);
+        t.print();
+        println!();
+    }
+
+    println!(
+        "paper: stage 1 (leaf processing) is negligible; AIRScan_C spends the\n\
+         bulk in stage 2 (it re-evaluates dimension predicates per fact row);\n\
+         C_P shifts cost to aggregation; C_P_G's array aggregation cuts stage 3\n\
+         by ~an order of magnitude versus hash aggregation."
+    );
+}

@@ -1,0 +1,132 @@
+//! **Table 1**: update mechanism comparison (paper §4.4).
+//!
+//! The paper's Table 1 is qualitative — append insertion, deletion-vector
+//! deletes with slot reuse, in-place updates, reference-rewriting
+//! consolidation. This harness demonstrates each mechanism and measures
+//! its cost on a live SSB database, including the §4.4 claim that
+//! consolidation is the only expensive operation.
+
+use std::time::Instant;
+
+use astore_bench::{banner, ms, TablePrinter};
+use astore_datagen::{env_scale_factor, env_threads, ssb};
+use astore_storage::prelude::*;
+
+fn main() {
+    let sf = env_scale_factor(0.02);
+    banner("Table 1", "update mechanism comparison (paper §4.4)", sf, env_threads());
+    let db = ssb::generate(sf, 42);
+    let shared = SharedDatabase::new(db);
+
+    let n_ops = 10_000usize;
+
+    // --- Insertion: append path ---
+    let snap = shared.snapshot();
+    let supplier = snap.table("supplier").unwrap();
+    let template: Vec<Value> = supplier.row(0);
+    drop(snap);
+    let t = Instant::now();
+    for _ in 0..n_ops {
+        shared.insert("supplier", &template);
+    }
+    let d_insert = t.elapsed();
+
+    // --- Deletion: lazy, one bit per op ---
+    let t = Instant::now();
+    for i in 0..n_ops as u32 {
+        shared.delete("supplier", i);
+    }
+    let d_delete = t.elapsed();
+
+    // --- Insertion again: slot reuse, no array growth ---
+    let before_slots = shared.snapshot().table("supplier").unwrap().num_slots();
+    let t = Instant::now();
+    for _ in 0..n_ops {
+        shared.insert("supplier", &template);
+    }
+    let d_reuse = t.elapsed();
+    let after_slots = shared.snapshot().table("supplier").unwrap().num_slots();
+    assert_eq!(before_slots, after_slots, "slot reuse must not grow the arrays");
+
+    // --- In-place update (fixed width and varchar) ---
+    let t = Instant::now();
+    for i in 0..n_ops as u32 {
+        shared.update("supplier", i % 1_000, "s_name", &Value::Str(format!("Supplier#{i}")));
+    }
+    let d_update = t.elapsed();
+
+    // --- Snapshot isolation cost ---
+    let t = Instant::now();
+    for _ in 0..n_ops {
+        let _snap = shared.snapshot();
+    }
+    let d_snapshot = t.elapsed();
+
+    // --- Consolidation: delete 10% of customers, compact, rewrite AIR ---
+    let n_cust = shared.snapshot().table("customer").unwrap().num_slots();
+    for i in 0..(n_cust / 10) as u32 {
+        shared.delete("customer", i * 10);
+    }
+    // Fact rows referencing the deleted customers are dangling until the
+    // fact table is cleaned; consolidation rewrites them to NULL.
+    let dangling = shared.snapshot().validate_references().len();
+    let t = Instant::now();
+    shared.consolidate("customer");
+    let d_consolidate = t.elapsed();
+    assert!(shared.snapshot().validate_references().is_empty());
+
+    let mut t = TablePrinter::new(&["operation", "mechanism (paper Table 1)", "ops", "total", "per-op"]);
+    let per = |d: std::time::Duration, n: usize| format!("{:.0}ns", d.as_secs_f64() * 1e9 / n as f64);
+    t.row(vec![
+        "insert (append)".into(),
+        "append to array family".into(),
+        n_ops.to_string(),
+        format!("{:.2}ms", ms(d_insert)),
+        per(d_insert, n_ops),
+    ]);
+    t.row(vec![
+        "delete".into(),
+        "deletion vector (lazy)".into(),
+        n_ops.to_string(),
+        format!("{:.2}ms", ms(d_delete)),
+        per(d_delete, n_ops),
+    ]);
+    t.row(vec![
+        "insert (reuse)".into(),
+        "dead-slot reuse".into(),
+        n_ops.to_string(),
+        format!("{:.2}ms", ms(d_reuse)),
+        per(d_reuse, n_ops),
+    ]);
+    t.row(vec![
+        "update".into(),
+        "in-place (varchar via heap)".into(),
+        n_ops.to_string(),
+        format!("{:.2}ms", ms(d_update)),
+        per(d_update, n_ops),
+    ]);
+    t.row(vec![
+        "snapshot".into(),
+        "copy-on-write (Arc clone)".into(),
+        n_ops.to_string(),
+        format!("{:.2}ms", ms(d_snapshot)),
+        per(d_snapshot, n_ops),
+    ]);
+    t.row(vec![
+        "consolidate".into(),
+        "compact + rewrite inbound AIR".into(),
+        "1".into(),
+        format!("{:.2}ms", ms(d_consolidate)),
+        format!("({dangling} refs fixed)"),
+    ]);
+    t.print();
+
+    println!(
+        "\npaper Table 1: A-Store = append insertion + deletion vector with slot\n\
+         reuse + in-place updates; MonetDB/Vectorwise/Hyper use out-of-place or\n\
+         copy-on-write updates and no slot reuse. Consolidation is the one\n\
+         expensive operation (it rewrites every inbound reference) and is\n\
+         reserved for idle periods — note its per-call cost above against the\n\
+         nanosecond-scale per-op costs of everything else."
+    );
+}

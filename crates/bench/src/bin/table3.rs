@@ -1,0 +1,127 @@
+//! **Table 3**: key OLAP operator micro-benchmarks on SSB (paper §6.1.3):
+//!
+//! 1. *Predicate processing* — four fact-column predicates with combined
+//!    selectivity swept from (1/2)⁴ to (1/16)⁴;
+//! 2. *Grouping & aggregation* — `select count(*), lo_discount, lo_tax
+//!    from lineorder group by lo_discount, lo_tax` (99 groups), array vs
+//!    hash aggregation;
+//! 3. *Star-join* — the 13 SSB queries reduced to `count(*)` with no
+//!    GROUP BY.
+//!
+//! A-Store's column-wise scan plays against its own row-wise variant and
+//! the pipelined hash-join engine (the Hyper/Vectorwise stand-in).
+
+use astore_baseline::engine::execute_hash_pipeline;
+use astore_baseline::hashagg::{array_group_pair_i32, hash_group_pair_i32};
+use astore_bench::{banner, ms, time_best_of, TablePrinter};
+use astore_core::optimizer::AggStrategy;
+use astore_core::prelude::*;
+use astore_datagen::{env_scale_factor, env_threads, ssb};
+use astore_storage::catalog::Database;
+
+fn predicate_query(db: &Database, level: u32) -> (Query, f64) {
+    // Per-predicate target selectivity 1/2^level on four fact columns.
+    let lo = db.table("lineorder").unwrap();
+    let max_order = lo.column("lo_orderkey").unwrap().as_i64().unwrap().iter().max().copied().unwrap_or(1);
+    let (q_thr, d_thr, t_thr, o_thr, approx) = match level {
+        1 => (25, 4, 3, max_order / 2, 0.5 * 0.4545 * 0.4444 * 0.5),
+        2 => (12, 2, 1, max_order / 4, 0.24 * 0.2727 * 0.2222 * 0.25),
+        3 => (6, 1, 0, max_order / 8, 0.12 * 0.1818 * 0.1111 * 0.125),
+        _ => (3, 0, 0, max_order / 16, 0.06 * 0.0909 * 0.1111 * 0.0625),
+    };
+    let q = Query::new()
+        .root("lineorder")
+        .filter("lineorder", Pred::cmp("lo_quantity", CmpOp::Le, q_thr))
+        .filter("lineorder", Pred::cmp("lo_discount", CmpOp::Le, d_thr))
+        .filter("lineorder", Pred::cmp("lo_tax", CmpOp::Le, t_thr))
+        .filter("lineorder", Pred::cmp("lo_orderkey", CmpOp::Le, o_thr))
+        .agg(Aggregate::count("n"));
+    (q, approx)
+}
+
+fn main() {
+    let sf = env_scale_factor(0.05);
+    banner("Table 3", "key OLAP operators in SSB (paper §6.1.3)", sf, env_threads());
+    let db = ssb::generate(sf, 42);
+    let n_fact = db.table("lineorder").unwrap().num_slots();
+
+    // --- 1. Predicate processing ---
+    println!("1. predicate processing (four fact predicates)");
+    let mut t = TablePrinter::new(&[
+        "target sel",
+        "measured",
+        "A-Store col-wise",
+        "A-Store row-wise",
+        "hash pipeline",
+    ]);
+    for level in 1..=4u32 {
+        let (q, approx) = predicate_query(&db, level);
+        let col_opts = ExecOptions::default();
+        let row_opts = ExecOptions::with_variant(ScanVariant::RowWise);
+        let (d_col, out) = time_best_of(3, || execute(&db, &q, &col_opts).unwrap());
+        let (d_row, _) = time_best_of(3, || execute(&db, &q, &row_opts).unwrap());
+        let (d_hash, hout) = time_best_of(3, || execute_hash_pipeline(&db, &q).unwrap());
+        assert!(out.result.same_contents(&hout.result, 1e-9));
+        t.row(vec![
+            format!("(1/{})^4", 1 << level),
+            format!("{:.4}% (~{:.4}%)", 100.0 * out.plan.selected_rows as f64 / n_fact as f64, 100.0 * approx),
+            format!("{:.2}ms", ms(d_col)),
+            format!("{:.2}ms", ms(d_row)),
+            format!("{:.2}ms", ms(d_hash)),
+        ]);
+    }
+    t.print();
+
+    // --- 2. Grouping & aggregation ---
+    println!("\n2. grouping & aggregation: group by (lo_discount, lo_tax), 99 groups");
+    let gq = Query::new()
+        .root("lineorder")
+        .group("lineorder", "lo_discount")
+        .group("lineorder", "lo_tax")
+        .agg(Aggregate::count("n"))
+        .agg(Aggregate::sum(MeasureExpr::col("lo_revenue"), "rev"));
+    let dense = ExecOptions { force_agg: Some(AggStrategy::DenseArray), ..Default::default() };
+    let hashed = ExecOptions { force_agg: Some(AggStrategy::HashTable), ..Default::default() };
+    let (d_dense, out_d) = time_best_of(3, || execute(&db, &gq, &dense).unwrap());
+    let (d_hash, out_h) = time_best_of(3, || execute(&db, &gq, &hashed).unwrap());
+    assert!(out_d.result.same_contents(&out_h.result, 1e-9));
+    println!(
+        "  A-Store array aggregation : {:>8.2}ms  ({} groups)",
+        ms(d_dense),
+        out_d.plan.groups
+    );
+    println!("  A-Store hash aggregation  : {:>8.2}ms", ms(d_hash));
+
+    // Raw-kernel comparison on the same columns.
+    let lo = db.table("lineorder").unwrap();
+    let disc = lo.column("lo_discount").unwrap().as_i32().unwrap();
+    let tax = lo.column("lo_tax").unwrap().as_i32().unwrap();
+    let rev = lo.column("lo_revenue").unwrap().as_i64().unwrap();
+    let (d_ka, ra) = time_best_of(3, || array_group_pair_i32(disc, tax, rev));
+    let (d_kh, rh) = time_best_of(3, || hash_group_pair_i32(disc, tax, rev));
+    assert_eq!(ra.len(), rh.len());
+    println!("  raw array kernel          : {:>8.2}ms", ms(d_ka));
+    println!("  raw hash kernel           : {:>8.2}ms", ms(d_kh));
+
+    // --- 3. Star-join ---
+    println!("\n3. star-join (SSB queries as count(*), no GROUP BY)");
+    let mut t = TablePrinter::new(&["query", "selectivity", "A-Store AIR scan", "hash pipeline"]);
+    let opts = ExecOptions::default();
+    for sq in ssb::starjoin_queries() {
+        let (d_air, out) = time_best_of(3, || execute(&db, &sq.query, &opts).unwrap());
+        let (d_hash, hout) = time_best_of(3, || execute_hash_pipeline(&db, &sq.query).unwrap());
+        assert!(out.result.same_contents(&hout.result, 1e-9), "{} mismatch", sq.id);
+        t.row(vec![
+            sq.id.into(),
+            format!("{:.2}%", 100.0 * out.plan.selected_rows as f64 / n_fact as f64),
+            format!("{:.2}ms", ms(d_air)),
+            format!("{:.2}ms", ms(d_hash)),
+        ]);
+    }
+    t.print();
+    println!(
+        "\npaper: A-Store ≈ Hyper on predicate processing (both beat Vectorwise 2–3×\n\
+         and MonetDB by 10×+); array aggregation beats hash; pipelining star-join\n\
+         wins only on the most selective queries (Q1.1/Q2.1/Q3.1/Q4.1)."
+    );
+}

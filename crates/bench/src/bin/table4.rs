@@ -1,0 +1,84 @@
+//! **Table 4**: predicate processing and grouping+aggregation on the
+//! *fully denormalized* SSB table (paper §6.2.1).
+//!
+//! The SSB schema is materialized into one wide table; each query is then
+//! split into its two phases, timed separately:
+//!
+//! - *predicate processing*: the query's selections with a bare `count(*)`
+//!   (no grouping);
+//! - *grouping & aggregation*: the query's grouping/aggregates with the
+//!   selections removed.
+//!
+//! Engines: A-Store's columnar scan on the wide table vs the row-wise
+//! pipelined engine (the MonetDB/Vectorwise/Hyper stand-in).
+
+use astore_baseline::denorm::denormalize;
+use astore_baseline::engine::execute_hash_pipeline;
+use astore_bench::{banner, ms, time_best_of, TablePrinter};
+use astore_core::prelude::*;
+use astore_datagen::{env_scale_factor, env_threads, ssb};
+
+fn main() {
+    let sf = env_scale_factor(0.02);
+    banner(
+        "Table 4",
+        "predicate / grouping+aggregation phases on the denormalized table (paper §6.2.1)",
+        sf,
+        env_threads(),
+    );
+    let db = ssb::generate(sf, 42);
+    println!("materializing the wide table …");
+    let wide = denormalize(&db, Some("lineorder")).expect("denormalization succeeds");
+    println!(
+        "wide table: {} rows, {:.1} MB (normalized: {:.1} MB → {:.1}x)\n",
+        wide.table().num_slots(),
+        wide.approx_bytes() as f64 / 1e6,
+        db.approx_bytes() as f64 / 1e6,
+        wide.approx_bytes() as f64 / db.approx_bytes() as f64,
+    );
+
+    let mut t = TablePrinter::new(&[
+        "query",
+        "pred A-Store",
+        "pred pipeline",
+        "grp+agg A-Store",
+        "grp+agg pipeline",
+    ]);
+    let opts = ExecOptions::default();
+    for sq in ssb::queries() {
+        let wq = wide.rewrite(&sq.query, "lineorder");
+
+        // Phase split: predicates-only and grouping-only variants.
+        let mut pred_only = wq.clone();
+        pred_only.group_by.clear();
+        pred_only.aggregates = vec![Aggregate::count("n")];
+        pred_only.order_by.clear();
+
+        let mut group_only = wq.clone();
+        group_only.selections.clear();
+
+        let (d_pa, ra) = time_best_of(3, || execute(&wide.db, &pred_only, &opts).unwrap());
+        let (d_pp, rp) = time_best_of(3, || execute_hash_pipeline(&wide.db, &pred_only).unwrap());
+        assert!(ra.result.same_contents(&rp.result, 1e-9));
+
+        let (d_ga, ga) = time_best_of(3, || execute(&wide.db, &group_only, &opts).unwrap());
+        let (d_gp, gp) = time_best_of(3, || execute_hash_pipeline(&wide.db, &group_only).unwrap());
+        assert!(ga.result.same_contents(&gp.result, 1e-6), "{} grouping mismatch", sq.id);
+
+        t.row(vec![
+            sq.id.into(),
+            format!("{:.2}ms", ms(d_pa)),
+            format!("{:.2}ms", ms(d_pp)),
+            format!("{:.2}ms", ms(d_ga)),
+            format!("{:.2}ms", ms(d_gp)),
+        ]);
+    }
+    t.print();
+    println!(
+        "\npaper (denormalized, SF=100): Hyper 2–3x faster than Vectorwise on\n\
+         predicates, MonetDB far behind on both phases; grouping dominates for\n\
+         the Q3/Q4 families. Here the columnar scan (A-Store) should beat the\n\
+         row-wise pipeline on predicates, and array aggregation should win\n\
+         whenever the group space is dense."
+    );
+}

@@ -1,0 +1,107 @@
+//! **Table 5** (and the data behind **Fig. 1**): full Star Schema
+//! Benchmark across engines (paper §6.2.2).
+//!
+//! Columns reproduce the paper's engine families:
+//!
+//! | paper | here |
+//! |---|---|
+//! | MonetDB / Vectorwise / Hyper | pipelined hash-join engine on the normalized schema |
+//! | *_D (denormalized) variants | pipelined engine on the materialized wide table |
+//! | Denormalization (hand-coded) | A-Store's columnar engine on the wide table |
+//! | A-Store | virtual denormalization (AIR scan, predicate vectors, array aggregation) |
+//!
+//! Also reports the wide table's space overhead (paper: 262 GB vs 46 GB).
+
+use astore_baseline::denorm::denormalize;
+use astore_baseline::engine::execute_hash_pipeline;
+use astore_bench::{banner, ms, time_best_of, TablePrinter};
+use astore_core::prelude::*;
+use astore_datagen::{env_scale_factor, env_threads, ssb};
+
+fn main() {
+    let sf = env_scale_factor(0.02);
+    let threads = env_threads();
+    banner("Table 5", "Star Schema Benchmark, all engines (paper §6.2.2)", sf, threads);
+
+    let db = ssb::generate(sf, 42);
+    println!("materializing the wide table for the denormalized engines …");
+    let wide = denormalize(&db, Some("lineorder")).expect("denormalization succeeds");
+    println!(
+        "space: normalized {:.1} MB, denormalized {:.1} MB ({:.2}x — paper: 45.8 GB vs 262.1 GB = 5.7x)\n",
+        db.approx_bytes() as f64 / 1e6,
+        wide.approx_bytes() as f64 / 1e6,
+        wide.approx_bytes() as f64 / db.approx_bytes() as f64,
+    );
+
+    let serial = ExecOptions::default();
+    let parallel = ExecOptions::default().threads(threads);
+
+    let mut t = TablePrinter::new(&[
+        "query",
+        "hash-join",
+        "hash-join_D",
+        "denorm (hand)",
+        "A-Store",
+        &format!("A-Store x{threads}"),
+    ]);
+    let mut sums = [0.0f64; 5];
+    for sq in ssb::queries() {
+        let wq = wide.rewrite(&sq.query, "lineorder");
+
+        let (d_hash, r_hash) = time_best_of(3, || execute_hash_pipeline(&db, &sq.query).unwrap());
+        let (d_hash_d, r_hash_d) =
+            time_best_of(3, || execute_hash_pipeline(&wide.db, &wq).unwrap());
+        let (d_den, r_den) = time_best_of(3, || execute(&wide.db, &wq, &serial).unwrap());
+        let (d_air, r_air) = time_best_of(3, || execute(&db, &sq.query, &serial).unwrap());
+        let (d_par, r_par) = time_best_of(3, || execute(&db, &sq.query, &parallel).unwrap());
+
+        for (r, name) in [
+            (&r_hash.result, "hash"),
+            (&r_hash_d.result, "hash_D"),
+            (&r_den.result, "denorm"),
+            (&r_par.result, "parallel"),
+        ] {
+            assert!(
+                r_air.result.same_contents(r, 1e-6),
+                "{}: {name} engine disagrees with A-Store",
+                sq.id
+            );
+        }
+
+        let times = [ms(d_hash), ms(d_hash_d), ms(d_den), ms(d_air), ms(d_par)];
+        for (s, v) in sums.iter_mut().zip(times) {
+            *s += v;
+        }
+        t.row(vec![
+            sq.id.into(),
+            format!("{:.2}ms", times[0]),
+            format!("{:.2}ms", times[1]),
+            format!("{:.2}ms", times[2]),
+            format!("{:.2}ms", times[3]),
+            format!("{:.2}ms", times[4]),
+        ]);
+    }
+    t.row(vec![
+        "AVG".into(),
+        format!("{:.2}ms", sums[0] / 13.0),
+        format!("{:.2}ms", sums[1] / 13.0),
+        format!("{:.2}ms", sums[2] / 13.0),
+        format!("{:.2}ms", sums[3] / 13.0),
+        format!("{:.2}ms", sums[4] / 13.0),
+    ]);
+    t.print();
+
+    println!("\n--- Fig. 1 summary (average SSB time per engine) ---");
+    let labels = ["hash-join engine", "hash-join on wide", "hand denorm", "A-Store", "A-Store parallel"];
+    let max = sums.iter().cloned().fold(0.0f64, f64::max);
+    for (label, s) in labels.iter().zip(sums) {
+        let avg = s / 13.0;
+        let bar = "#".repeat(((s / max) * 40.0) as usize);
+        println!("{label:>20}: {avg:>8.2}ms {bar}");
+    }
+    println!(
+        "\npaper (SF=100 averages): Vectorwise 1.62s > Vectorwise_D 1.20s > Hyper 0.48s\n\
+         > Hyper_D 0.41s > A-Store 0.32s > hand denormalization 0.21s; A-Store beats\n\
+         every system while using 5.7x less RAM than materialized denormalization."
+    );
+}

@@ -1,0 +1,150 @@
+//! Shared harness utilities for the paper-reproduction benchmarks.
+//!
+//! Every table/figure of the paper's §6 has a binary in `src/bin/` that
+//! regenerates it (`fig1`, `table2`, `fig8`, `table3`, `table4`, `table5`,
+//! `fig9`, `fig10`, `table1_updates`). All binaries honour `ASTORE_SF`
+//! (scale factor) and `ASTORE_THREADS`. Following the paper's methodology,
+//! "we execute each query 3 times and use the shortest execution time".
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Runs `f` `runs` times and returns the *shortest* wall time plus the last
+/// result (the paper's timing methodology, §6).
+pub fn time_best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    assert!(runs > 0);
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..runs {
+        let t = Instant::now();
+        let r = black_box(f());
+        let d = t.elapsed();
+        if d < best {
+            best = d;
+        }
+        out = Some(r);
+    }
+    (best, out.expect("runs > 0"))
+}
+
+/// Milliseconds, as f64.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Nanoseconds per tuple — the scale-free unit of Table 2 (the paper
+/// reports cycles/tuple; on a fixed machine the two are proportional).
+pub fn ns_per_tuple(d: Duration, tuples: usize) -> f64 {
+    if tuples == 0 {
+        return 0.0;
+    }
+    d.as_secs_f64() * 1e9 / tuples as f64
+}
+
+/// A minimal fixed-width table printer for harness output.
+pub struct TablePrinter {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TablePrinter {
+    /// Creates a printer with column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        TablePrinter { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Adds a row (cells pre-rendered).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    out.push_str(&format!("{:<w$}", c, w = widths[i]));
+                } else {
+                    out.push_str(&format!("  {:>w$}", c, w = widths[i]));
+                }
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            line(&mut out, r);
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Prints the standard harness banner (experiment id, scale, threads).
+pub fn banner(experiment: &str, paper_ref: &str, sf: f64, threads: usize) {
+    println!("=== {experiment} — {paper_ref} ===");
+    println!("scale factor (ASTORE_SF) = {sf}, threads (ASTORE_THREADS) = {threads}");
+    println!(
+        "note: absolute times differ from the paper's HP Z820 testbed; the\n\
+         comparison *shape* (who wins, by what factor) is the reproduction target.\n"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_best_of_returns_min_and_result() {
+        let mut calls = 0;
+        let (d, r) = time_best_of(3, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 3);
+        assert_eq!(r, 3);
+        assert!(d < Duration::from_secs(60));
+    }
+
+    #[test]
+    fn ns_per_tuple_math() {
+        let d = Duration::from_nanos(1_000);
+        assert!((ns_per_tuple(d, 100) - 10.0).abs() < 1e-9);
+        assert_eq!(ns_per_tuple(d, 0), 0.0);
+    }
+
+    #[test]
+    fn table_printer_renders_aligned() {
+        let mut t = TablePrinter::new(&["name", "value"]);
+        t.row(vec!["a-long-name".into(), "1".into()]);
+        t.row(vec!["b".into(), "12345".into()]);
+        let s = t.render();
+        assert!(s.contains("a-long-name"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn table_printer_rejects_bad_rows() {
+        let mut t = TablePrinter::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

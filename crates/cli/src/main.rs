@@ -1,0 +1,60 @@
+//! `astore` — an interactive SQL shell over the A-Store engine.
+//!
+//! ```text
+//! cargo run --release -p astore-cli
+//! astore> \load ssb 0.05
+//! astore> SELECT d_year, sum(lo_revenue) AS rev FROM lineorder, date
+//!         WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year;
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod session;
+
+use std::io::{BufRead, Write};
+
+use session::{Outcome, Session};
+
+fn main() {
+    let mut session = Session::new();
+    println!(
+        "A-Store SQL shell — virtual denormalization via array index reference.\n\
+         \\help for commands, \\load ssb 0.01 to get data, \\q to quit."
+    );
+    // Non-interactive use: each CLI argument is executed as one command.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if !args.is_empty() {
+        for a in args {
+            match session.feed(&a) {
+                Outcome::Text(s) => {
+                    if !s.is_empty() {
+                        println!("{s}");
+                    }
+                }
+                Outcome::Quit => return,
+            }
+        }
+        return;
+    }
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("astore[{}]> ", session.dataset());
+        let _ = out.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        match session.feed(&line) {
+            Outcome::Text(s) => {
+                if !s.is_empty() {
+                    println!("{s}");
+                }
+            }
+            Outcome::Quit => break,
+        }
+    }
+}

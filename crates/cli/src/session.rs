@@ -1,0 +1,365 @@
+//! The interactive session: command parsing and execution, decoupled from
+//! stdin/stdout so it is unit-testable.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use astore_baseline::engine::execute_hash_pipeline;
+use astore_core::prelude::*;
+use astore_datagen::{ssb, tpch};
+use astore_sql::sql_to_query;
+use astore_storage::prelude::*;
+
+/// A REPL session holding the loaded database and settings.
+pub struct Session {
+    db: Database,
+    dataset: String,
+    opts: ExecOptions,
+    /// Print wall time after each query.
+    pub timing: bool,
+    /// Print plan diagnostics after each query.
+    pub show_plan: bool,
+}
+
+/// Outcome of feeding one line to the session.
+pub enum Outcome {
+    /// Text to display.
+    Text(String),
+    /// The session should end.
+    Quit,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// Creates a session with an empty database.
+    pub fn new() -> Self {
+        Session {
+            db: Database::new(),
+            dataset: "(empty)".into(),
+            opts: ExecOptions::default(),
+            timing: true,
+            show_plan: false,
+        }
+    }
+
+    /// The currently loaded dataset label.
+    pub fn dataset(&self) -> &str {
+        &self.dataset
+    }
+
+    /// Direct access to the loaded database (used by embedding callers).
+    #[allow(dead_code)]
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Processes one input line (a meta command starting with `\` or a SQL
+    /// statement).
+    pub fn feed(&mut self, line: &str) -> Outcome {
+        let line = line.trim();
+        if line.is_empty() {
+            return Outcome::Text(String::new());
+        }
+        if let Some(rest) = line.strip_prefix('\\') {
+            return self.meta(rest);
+        }
+        Outcome::Text(self.run_sql(line))
+    }
+
+    fn meta(&mut self, cmd: &str) -> Outcome {
+        let mut parts = cmd.split_whitespace();
+        let head = parts.next().unwrap_or("");
+        let arg = parts.next().unwrap_or("");
+        match head {
+            "q" | "quit" | "exit" => Outcome::Quit,
+            "help" | "?" => Outcome::Text(HELP.to_owned()),
+            "load" => {
+                let sf: f64 = parts
+                    .next()
+                    .or(if arg.parse::<f64>().is_ok() { None } else { Some("0.01") })
+                    .unwrap_or("0.01")
+                    .parse()
+                    .unwrap_or(0.01);
+                match arg {
+                    "ssb" => {
+                        let t = Instant::now();
+                        self.db = ssb::generate(sf, 42);
+                        self.dataset = format!("ssb sf={sf}");
+                        Outcome::Text(format!(
+                            "loaded SSB at SF={sf} ({} lineorder rows) in {:.1?}",
+                            self.db.table("lineorder").unwrap().num_slots(),
+                            t.elapsed()
+                        ))
+                    }
+                    "tpch" => {
+                        let t = Instant::now();
+                        self.db = tpch::generate(sf, 42);
+                        self.dataset = format!("tpch sf={sf}");
+                        Outcome::Text(format!(
+                            "loaded TPC-H subset at SF={sf} ({} lineitem rows) in {:.1?}",
+                            self.db.table("lineitem").unwrap().num_slots(),
+                            t.elapsed()
+                        ))
+                    }
+                    other => Outcome::Text(format!(
+                        "unknown dataset {other:?}; try \\load ssb 0.01 or \\load tpch 0.01"
+                    )),
+                }
+            }
+            "tables" => {
+                let mut out = String::new();
+                for name in self.db.table_names() {
+                    let t = self.db.table(name).unwrap();
+                    let _ = writeln!(
+                        out,
+                        "{name:<12} {:>10} rows  {:>2} columns",
+                        t.num_live(),
+                        t.schema().arity()
+                    );
+                }
+                if out.is_empty() {
+                    out = "no tables loaded; try \\load ssb 0.01".into();
+                }
+                Outcome::Text(out)
+            }
+            "schema" => match self.db.table(arg) {
+                None => Outcome::Text(format!("no table {arg:?}")),
+                Some(t) => {
+                    let mut out = String::new();
+                    for d in t.schema().defs() {
+                        let _ = writeln!(out, "  {:<22} {}", d.name, d.dtype);
+                    }
+                    Outcome::Text(out)
+                }
+            },
+            "graph" => {
+                let g = JoinGraph::build(&self.db);
+                let mut out = String::new();
+                for root in g.roots() {
+                    let _ = writeln!(out, "root: {root}");
+                    for leaf in g.leaves_of(root) {
+                        let path = g.path(root, leaf).unwrap();
+                        let hops: Vec<&str> =
+                            path.steps.iter().map(|s| s.key_column.as_str()).collect();
+                        let _ = writeln!(out, "  -> {leaf} via {hops:?}");
+                    }
+                }
+                Outcome::Text(out)
+            }
+            "timing" => {
+                self.timing = arg != "off";
+                Outcome::Text(format!("timing {}", if self.timing { "on" } else { "off" }))
+            }
+            "plan" => {
+                self.show_plan = arg != "off";
+                Outcome::Text(format!("plan {}", if self.show_plan { "on" } else { "off" }))
+            }
+            "threads" => {
+                let n: usize = arg.parse().unwrap_or(1);
+                self.opts.threads = n.max(1);
+                Outcome::Text(format!("threads = {}", self.opts.threads))
+            }
+            "variant" => {
+                let v = match arg {
+                    "r" => Some(ScanVariant::RowWise),
+                    "rp" => Some(ScanVariant::RowWisePredVec),
+                    "c" => Some(ScanVariant::ColumnWise),
+                    "cp" => Some(ScanVariant::ColumnWisePredVec),
+                    "cpg" | "full" => Some(ScanVariant::Full),
+                    _ => None,
+                };
+                match v {
+                    Some(v) => {
+                        self.opts.variant = v;
+                        Outcome::Text(format!("variant = {}", v.paper_name()))
+                    }
+                    None => Outcome::Text(
+                        "usage: \\variant r|rp|c|cp|cpg (the paper's AIRScan variants)".into(),
+                    ),
+                }
+            }
+            "compare" => Outcome::Text(self.compare(parts.collect::<Vec<_>>().join(" "), arg)),
+            other => Outcome::Text(format!("unknown command \\{other}; \\help lists commands")),
+        }
+    }
+
+    fn run_sql(&mut self, sql: &str) -> String {
+        let q = match sql_to_query(sql, &self.db) {
+            Ok(q) => q,
+            Err(e) => return format!("error: {e}"),
+        };
+        let t = Instant::now();
+        match execute(&self.db, &q, &self.opts) {
+            Err(e) => format!("error: {e}"),
+            Ok(out) => {
+                let mut s = out.result.to_table_string();
+                let _ = writeln!(s, "({} rows)", out.result.len());
+                if self.timing {
+                    let _ = writeln!(s, "time: {:.2} ms", t.elapsed().as_secs_f64() * 1e3);
+                }
+                if self.show_plan {
+                    let _ = writeln!(
+                        s,
+                        "plan: root={} variant={} predvec_chains={} agg={:?} selected={} groups={}",
+                        out.plan.root,
+                        self.opts.variant.paper_name(),
+                        out.plan.predvec_chains,
+                        out.plan.agg_strategy,
+                        out.plan.selected_rows,
+                        out.plan.groups
+                    );
+                }
+                s
+            }
+        }
+    }
+
+    /// `\compare <sql>`: run on A-Store and the hash-join pipeline, check
+    /// agreement, report both times.
+    fn compare(&mut self, tail: String, first: &str) -> String {
+        let sql = format!("{first} {tail}");
+        let q = match sql_to_query(&sql, &self.db) {
+            Ok(q) => q,
+            Err(e) => return format!("error: {e}"),
+        };
+        let t = Instant::now();
+        let air = match execute(&self.db, &q, &self.opts) {
+            Ok(o) => o,
+            Err(e) => return format!("error: {e}"),
+        };
+        let air_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        let hash = match execute_hash_pipeline(&self.db, &q) {
+            Ok(o) => o,
+            Err(e) => return format!("error: {e}"),
+        };
+        let hash_ms = t.elapsed().as_secs_f64() * 1e3;
+        let agree = air.result.same_contents(&hash.result, 1e-6);
+        format!(
+            "A-Store: {air_ms:.2} ms, hash-join pipeline: {hash_ms:.2} ms, results {}",
+            if agree { "agree ✓" } else { "DISAGREE ✗" }
+        )
+    }
+}
+
+const HELP: &str = "\
+commands:
+  \\load ssb <sf>     generate and load the Star Schema Benchmark
+  \\load tpch <sf>    generate and load the TPC-H snowflake subset
+  \\tables            list tables
+  \\schema <table>    show a table's columns
+  \\graph             show the join graph (roots, AIR chains)
+  \\variant <v>       r | rp | c | cp | cpg   (AIRScan variants)
+  \\threads <n>       parallel workers
+  \\timing on|off     per-query wall time
+  \\plan on|off       plan diagnostics
+  \\compare <sql>     run on A-Store and the hash-join baseline, verify agreement
+  \\help              this text
+  \\q                 quit
+anything else is executed as SQL (SPJGA subset).";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn text(o: Outcome) -> String {
+        match o {
+            Outcome::Text(s) => s,
+            Outcome::Quit => panic!("unexpected quit"),
+        }
+    }
+
+    #[test]
+    fn load_and_query_ssb() {
+        let mut s = Session::new();
+        let msg = text(s.feed("\\load ssb 0.001"));
+        assert!(msg.contains("loaded SSB"), "{msg}");
+        assert_eq!(s.dataset(), "ssb sf=0.001");
+        let out = text(s.feed(
+            "SELECT d_year, sum(lo_revenue) AS rev FROM lineorder, date \
+             WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year",
+        ));
+        assert!(out.contains("d_year"), "{out}");
+        assert!(out.contains("(7 rows)"), "{out}");
+    }
+
+    #[test]
+    fn meta_commands() {
+        let mut s = Session::new();
+        text(s.feed("\\load ssb 0.001"));
+        let tables = text(s.feed("\\tables"));
+        assert!(tables.contains("lineorder"));
+        let schema = text(s.feed("\\schema date"));
+        assert!(schema.contains("d_year"));
+        let graph = text(s.feed("\\graph"));
+        assert!(graph.contains("root: lineorder"));
+        assert!(text(s.feed("\\variant cp")).contains("AIRScan_C_P"));
+        assert!(text(s.feed("\\threads 2")).contains("threads = 2"));
+        assert!(text(s.feed("\\timing off")).contains("timing off"));
+        assert!(text(s.feed("\\plan on")).contains("plan on"));
+        assert!(text(s.feed("\\help")).contains("\\load"));
+        assert!(matches!(s.feed("\\q"), Outcome::Quit));
+    }
+
+    #[test]
+    fn sql_errors_are_reported_not_fatal() {
+        let mut s = Session::new();
+        text(s.feed("\\load ssb 0.001"));
+        let out = text(s.feed("SELECT nope FROM lineorder"));
+        assert!(out.contains("error"), "{out}");
+        // The session still works.
+        let out = text(s.feed("SELECT count(*) FROM lineorder"));
+        assert!(out.contains("(1 rows)"), "{out}");
+    }
+
+    #[test]
+    fn compare_reports_agreement() {
+        let mut s = Session::new();
+        text(s.feed("\\load ssb 0.001"));
+        let out = text(s.feed(
+            "\\compare SELECT c_region, count(*) AS n FROM lineorder, customer \
+             WHERE lo_custkey = c_custkey GROUP BY c_region",
+        ));
+        assert!(out.contains("agree ✓"), "{out}");
+    }
+
+    #[test]
+    fn plan_output_shows_variant() {
+        let mut s = Session::new();
+        text(s.feed("\\load ssb 0.001"));
+        text(s.feed("\\plan on"));
+        text(s.feed("\\variant cpg"));
+        let out = text(s.feed(
+            "SELECT count(*) FROM lineorder, date WHERE lo_orderdate = d_datekey \
+             AND d_year = 1994",
+        ));
+        assert!(out.contains("AIRScan_C_P_G"), "{out}");
+        assert!(out.contains("predvec_chains=1"), "{out}");
+    }
+
+    #[test]
+    fn tpch_dataset_loads() {
+        let mut s = Session::new();
+        let msg = text(s.feed("\\load tpch 0.001"));
+        assert!(msg.contains("TPC-H"), "{msg}");
+        let out = text(s.feed(
+            "SELECT n_name, count(*) AS n FROM lineitem, orders, customer, nation \
+             WHERE l_orderkey = o_orderkey AND o_custkey = c_custkey \
+             AND c_nationkey = n_nationkey GROUP BY n_name ORDER BY n DESC LIMIT 3",
+        ));
+        assert!(out.contains("(3 rows)"), "{out}");
+    }
+
+    #[test]
+    fn unknown_commands_and_empty_lines() {
+        let mut s = Session::new();
+        assert!(text(s.feed("\\wat")).contains("unknown command"));
+        assert!(text(s.feed("   ")).is_empty());
+        assert!(text(s.feed("\\load nope")).contains("unknown dataset"));
+    }
+}

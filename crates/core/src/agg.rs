@@ -1,0 +1,491 @@
+//! Array-based column-wise aggregation (paper §4.3).
+//!
+//! "A-Store … chooses to use a multidimensional array instead of a hash
+//! table to collect aggregation results. … Each element of the
+//! multidimensional array corresponds to a group. … the array index of each
+//! tuple's group will be identified and stored in a Measure Index. … As the
+//! addressing mechanism of arrays is faster than that of hash tables, our
+//! array based aggregation can outperform hash based aggregation
+//! remarkably."
+//!
+//! When "the resulting aggregation array can be too sparse", the same
+//! Measure-Index machinery runs against a hash table instead
+//! ([`Grouper::Hash`]); the optimizer makes that call (§4.3, last
+//! paragraph).
+
+use std::collections::HashMap;
+
+use astore_storage::types::Key;
+
+use crate::query::AggFunc;
+
+/// Sentinel cell id for tuples that failed grouping (the paper's −1 in the
+/// Measure Index).
+pub const NO_CELL: i64 = -1;
+
+/// Maps per-dimension group codes to a flat cell id.
+#[derive(Debug)]
+pub enum Grouper {
+    /// No GROUP BY: a single cell.
+    Scalar,
+    /// The dense multidimensional aggregation array: cell = mixed-radix
+    /// flattening of the group coordinates, one radix per grouping column
+    /// (= its group dictionary size).
+    Dense {
+        /// Per-dimension radices.
+        radices: Vec<u32>,
+        /// Product of radices.
+        n_cells: usize,
+    },
+    /// Sparse fallback: group coordinates (≤ 4 dimensions, 32 bits each)
+    /// packed into a `u128` hash key.
+    Hash {
+        /// Packed-coordinates -> cell id.
+        map: HashMap<u128, u32>,
+        /// Reverse map: cell id -> packed coordinates.
+        keys: Vec<u128>,
+        /// Number of grouping dimensions.
+        dims: usize,
+    },
+    /// Sparse fallback for more than 4 grouping dimensions.
+    HashWide {
+        /// Coordinates -> cell id.
+        map: HashMap<Vec<Key>, u32>,
+        /// Reverse map.
+        keys: Vec<Vec<Key>>,
+    },
+}
+
+impl Grouper {
+    /// Builds the dense array grouper.
+    ///
+    /// # Panics
+    /// Panics if the radix product overflows `usize` (the optimizer must
+    /// prevent this by falling back to hashing).
+    pub fn dense(radices: Vec<u32>) -> Self {
+        let n_cells = radices
+            .iter()
+            .try_fold(1usize, |acc, &r| acc.checked_mul(r as usize))
+            .expect("aggregation array too large; use hash fallback");
+        Grouper::Dense { radices, n_cells }
+    }
+
+    /// Builds the hash fallback for `dims` grouping columns.
+    pub fn hash(dims: usize) -> Self {
+        if dims <= 4 {
+            Grouper::Hash { map: HashMap::new(), keys: Vec::new(), dims }
+        } else {
+            Grouper::HashWide { map: HashMap::new(), keys: Vec::new() }
+        }
+    }
+
+    /// Resolves the cell id for group coordinates, allocating it if the
+    /// grouper is sparse. Coordinates must already be valid (no
+    /// [`astore_storage::types::NULL_KEY`]).
+    #[inline]
+    pub fn cell(&mut self, coords: &[Key]) -> u32 {
+        match self {
+            Grouper::Scalar => 0,
+            Grouper::Dense { radices, .. } => {
+                debug_assert_eq!(coords.len(), radices.len());
+                let mut cell = 0usize;
+                for (&c, &r) in coords.iter().zip(radices.iter()) {
+                    debug_assert!(c < r, "group code {c} out of radix {r}");
+                    cell = cell * r as usize + c as usize;
+                }
+                cell as u32
+            }
+            Grouper::Hash { map, keys, dims } => {
+                debug_assert_eq!(coords.len(), *dims);
+                let mut packed = 0u128;
+                for &c in coords {
+                    packed = (packed << 32) | u128::from(c);
+                }
+                *map.entry(packed).or_insert_with(|| {
+                    keys.push(packed);
+                    (keys.len() - 1) as u32
+                })
+            }
+            Grouper::HashWide { map, keys } => {
+                if let Some(&c) = map.get(coords) {
+                    return c;
+                }
+                let id = keys.len() as u32;
+                keys.push(coords.to_vec());
+                map.insert(coords.to_vec(), id);
+                id
+            }
+        }
+    }
+
+    /// Current number of addressable cells.
+    pub fn num_cells(&self) -> usize {
+        match self {
+            Grouper::Scalar => 1,
+            Grouper::Dense { n_cells, .. } => *n_cells,
+            Grouper::Hash { keys, .. } => keys.len(),
+            Grouper::HashWide { keys, .. } => keys.len(),
+        }
+    }
+
+    /// Recovers the group coordinates of a cell (for result emission).
+    pub fn coords_of(&self, cell: u32) -> Vec<Key> {
+        match self {
+            Grouper::Scalar => Vec::new(),
+            Grouper::Dense { radices, .. } => {
+                let mut cell = cell as usize;
+                let mut coords = vec![0 as Key; radices.len()];
+                for (i, &r) in radices.iter().enumerate().rev() {
+                    coords[i] = (cell % r as usize) as Key;
+                    cell /= r as usize;
+                }
+                coords
+            }
+            Grouper::Hash { keys, dims, .. } => {
+                let mut packed = keys[cell as usize];
+                let mut coords = vec![0 as Key; *dims];
+                for i in (0..*dims).rev() {
+                    coords[i] = (packed & 0xFFFF_FFFF) as Key;
+                    packed >>= 32;
+                }
+                coords
+            }
+            Grouper::HashWide { keys, .. } => keys[cell as usize].clone(),
+        }
+    }
+
+    /// Returns `true` for the dense-array strategy.
+    pub fn is_dense(&self) -> bool {
+        matches!(self, Grouper::Dense { .. } | Grouper::Scalar)
+    }
+}
+
+/// The accumulator state of one aggregate across all cells.
+#[derive(Debug, Clone)]
+pub struct AggState {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Sum / min / max storage.
+    sum: Vec<f64>,
+    /// Count storage (COUNT and AVG).
+    count: Vec<u64>,
+}
+
+impl AggState {
+    /// Creates the state, pre-sized to `cells` (for dense groupers; hash
+    /// groupers grow on demand).
+    pub fn new(func: AggFunc, cells: usize) -> Self {
+        let init = Self::init_value(func);
+        AggState { func, sum: vec![init; cells], count: vec![0; cells] }
+    }
+
+    fn init_value(func: AggFunc) -> f64 {
+        match func {
+            AggFunc::Min => f64::INFINITY,
+            AggFunc::Max => f64::NEG_INFINITY,
+            _ => 0.0,
+        }
+    }
+
+    /// Grows to cover `cells` cells.
+    pub fn ensure(&mut self, cells: usize) {
+        if self.sum.len() < cells {
+            self.sum.resize(cells, Self::init_value(self.func));
+            self.count.resize(cells, 0);
+        }
+    }
+
+    /// Folds one measure value into a cell.
+    #[inline]
+    pub fn update(&mut self, cell: u32, v: f64) {
+        let c = cell as usize;
+        match self.func {
+            AggFunc::Sum => self.sum[c] += v,
+            AggFunc::Count => self.count[c] += 1,
+            AggFunc::Min => {
+                if v < self.sum[c] {
+                    self.sum[c] = v;
+                }
+            }
+            AggFunc::Max => {
+                if v > self.sum[c] {
+                    self.sum[c] = v;
+                }
+            }
+            AggFunc::Avg => {
+                self.sum[c] += v;
+                self.count[c] += 1;
+            }
+        }
+    }
+
+    /// The raw accumulator pair of a cell.
+    pub fn acc(&self, cell: u32) -> (f64, u64) {
+        (self.sum[cell as usize], self.count[cell as usize])
+    }
+
+    /// Merges another accumulator pair into a cell (parallel merge path).
+    pub fn merge_acc(&mut self, cell: u32, acc: (f64, u64)) {
+        let c = cell as usize;
+        match self.func {
+            AggFunc::Sum => self.sum[c] += acc.0,
+            AggFunc::Count => self.count[c] += acc.1,
+            AggFunc::Min => {
+                if acc.0 < self.sum[c] {
+                    self.sum[c] = acc.0;
+                }
+            }
+            AggFunc::Max => {
+                if acc.0 > self.sum[c] {
+                    self.sum[c] = acc.0;
+                }
+            }
+            AggFunc::Avg => {
+                self.sum[c] += acc.0;
+                self.count[c] += acc.1;
+            }
+        }
+    }
+
+    /// The final output value of a cell.
+    pub fn value(&self, cell: u32) -> f64 {
+        let c = cell as usize;
+        match self.func {
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => self.sum[c],
+            AggFunc::Count => self.count[c] as f64,
+            AggFunc::Avg => {
+                if self.count[c] == 0 {
+                    f64::NAN
+                } else {
+                    self.sum[c] / self.count[c] as f64
+                }
+            }
+        }
+    }
+}
+
+/// The aggregation table: a grouper plus one [`AggState`] per output
+/// aggregate plus per-cell hit counts (to emit only non-empty cells of a
+/// dense array).
+#[derive(Debug)]
+pub struct AggTable {
+    /// Cell addressing.
+    pub grouper: Grouper,
+    /// One state per aggregate.
+    pub states: Vec<AggState>,
+    hits: Vec<u64>,
+}
+
+/// One emitted group: its coordinates and per-aggregate accumulators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupCell {
+    /// Group coordinates (one per grouping column).
+    pub coords: Vec<Key>,
+    /// Raw `(sum, count)` accumulators, one per aggregate.
+    pub accs: Vec<(f64, u64)>,
+    /// Number of contributing tuples.
+    pub hits: u64,
+}
+
+impl AggTable {
+    /// Creates an aggregation table.
+    pub fn new(grouper: Grouper, funcs: &[AggFunc]) -> Self {
+        let cells = if grouper.is_dense() { grouper.num_cells() } else { 0 };
+        let states = funcs.iter().map(|&f| AggState::new(f, cells)).collect();
+        AggTable { grouper, states, hits: vec![0; cells] }
+    }
+
+    /// Registers a tuple's group, returning its cell id. Called once per
+    /// selected tuple in the grouping phase; the returned id goes into the
+    /// Measure Index.
+    #[inline]
+    pub fn register(&mut self, coords: &[Key]) -> u32 {
+        let cell = self.grouper.cell(coords);
+        let needed = cell as usize + 1;
+        if self.hits.len() < needed {
+            self.hits.resize(needed, 0);
+            for s in &mut self.states {
+                s.ensure(needed);
+            }
+        }
+        self.hits[cell as usize] += 1;
+        cell
+    }
+
+    /// Folds a measure value into aggregate `agg` at `cell` (aggregation
+    /// phase, driven column-wise by the Measure Index).
+    #[inline]
+    pub fn update(&mut self, agg: usize, cell: u32, v: f64) {
+        self.states[agg].update(cell, v);
+    }
+
+    /// Direct state access for tight per-aggregate loops.
+    pub fn state_mut(&mut self, agg: usize) -> &mut AggState {
+        &mut self.states[agg]
+    }
+
+    /// Emits all non-empty cells.
+    pub fn emit(&self) -> Vec<GroupCell> {
+        let mut out = Vec::new();
+        for (cell, &h) in self.hits.iter().enumerate() {
+            if h == 0 {
+                continue;
+            }
+            let cell = cell as u32;
+            out.push(GroupCell {
+                coords: self.grouper.coords_of(cell),
+                accs: self.states.iter().map(|s| s.acc(cell)).collect(),
+                hits: h,
+            });
+        }
+        out
+    }
+
+    /// Number of non-empty groups.
+    pub fn occupied(&self) -> usize {
+        self.hits.iter().filter(|&&h| h > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_grouper_mixed_radix_roundtrip() {
+        let mut g = Grouper::dense(vec![3, 4, 5]);
+        assert_eq!(g.num_cells(), 60);
+        for a in 0..3u32 {
+            for b in 0..4u32 {
+                for c in 0..5u32 {
+                    let cell = g.cell(&[a, b, c]);
+                    assert_eq!(g.coords_of(cell), vec![a, b, c]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_cells_are_unique() {
+        let mut g = Grouper::dense(vec![4, 7]);
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..4u32 {
+            for b in 0..7u32 {
+                assert!(seen.insert(g.cell(&[a, b])));
+            }
+        }
+        assert_eq!(seen.len(), 28);
+    }
+
+    #[test]
+    fn hash_grouper_interning_and_roundtrip() {
+        let mut g = Grouper::hash(2);
+        let c1 = g.cell(&[100, 2_000_000]);
+        let c2 = g.cell(&[101, 2_000_000]);
+        assert_ne!(c1, c2);
+        assert_eq!(g.cell(&[100, 2_000_000]), c1);
+        assert_eq!(g.num_cells(), 2);
+        assert_eq!(g.coords_of(c1), vec![100, 2_000_000]);
+        assert!(!g.is_dense());
+    }
+
+    #[test]
+    fn hash_wide_grouper_for_many_dims() {
+        let mut g = Grouper::hash(6);
+        assert!(matches!(g, Grouper::HashWide { .. }));
+        let coords = [1u32, 2, 3, 4, 5, 6];
+        let c = g.cell(&coords);
+        assert_eq!(g.cell(&coords), c);
+        assert_eq!(g.coords_of(c), coords.to_vec());
+    }
+
+    #[test]
+    fn scalar_grouper_single_cell() {
+        let mut g = Grouper::Scalar;
+        assert_eq!(g.cell(&[]), 0);
+        assert_eq!(g.num_cells(), 1);
+        assert!(g.coords_of(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn dense_overflow_panics() {
+        Grouper::dense(vec![u32::MAX, u32::MAX, u32::MAX]);
+    }
+
+    #[test]
+    fn agg_state_functions() {
+        let mut sum = AggState::new(AggFunc::Sum, 2);
+        sum.update(0, 1.5);
+        sum.update(0, 2.5);
+        assert_eq!(sum.value(0), 4.0);
+        assert_eq!(sum.value(1), 0.0);
+
+        let mut count = AggState::new(AggFunc::Count, 1);
+        count.update(0, 99.0);
+        count.update(0, -1.0);
+        assert_eq!(count.value(0), 2.0);
+
+        let mut min = AggState::new(AggFunc::Min, 1);
+        min.update(0, 5.0);
+        min.update(0, 3.0);
+        min.update(0, 4.0);
+        assert_eq!(min.value(0), 3.0);
+
+        let mut max = AggState::new(AggFunc::Max, 1);
+        max.update(0, 5.0);
+        max.update(0, 8.0);
+        assert_eq!(max.value(0), 8.0);
+
+        let mut avg = AggState::new(AggFunc::Avg, 1);
+        avg.update(0, 2.0);
+        avg.update(0, 4.0);
+        assert_eq!(avg.value(0), 3.0);
+    }
+
+    #[test]
+    fn merge_acc_per_function() {
+        let mut s = AggState::new(AggFunc::Min, 1);
+        s.update(0, 7.0);
+        s.merge_acc(0, (3.0, 1));
+        assert_eq!(s.value(0), 3.0);
+
+        let mut s = AggState::new(AggFunc::Avg, 1);
+        s.update(0, 2.0);
+        s.merge_acc(0, (10.0, 3));
+        assert_eq!(s.value(0), 3.0); // (2+10)/(1+3)
+    }
+
+    #[test]
+    fn agg_table_dense_emit_skips_empty_cells() {
+        let mut t = AggTable::new(Grouper::dense(vec![2, 3]), &[AggFunc::Sum, AggFunc::Count]);
+        let c1 = t.register(&[0, 1]);
+        t.update(0, c1, 10.0);
+        t.update(1, c1, 0.0);
+        let c2 = t.register(&[1, 2]);
+        t.update(0, c2, 5.0);
+        t.update(1, c2, 0.0);
+        let c1b = t.register(&[0, 1]);
+        assert_eq!(c1, c1b);
+        t.update(0, c1b, 2.0);
+        t.update(1, c1b, 0.0);
+
+        let cells = t.emit();
+        assert_eq!(cells.len(), 2, "4 empty cells of 6 are skipped");
+        assert_eq!(t.occupied(), 2);
+        let first = cells.iter().find(|c| c.coords == vec![0, 1]).unwrap();
+        assert_eq!(first.accs[0].0, 12.0);
+        assert_eq!(first.hits, 2);
+        assert_eq!(first.accs[1].1, 2);
+    }
+
+    #[test]
+    fn agg_table_hash_grows_on_demand() {
+        let mut t = AggTable::new(Grouper::hash(1), &[AggFunc::Sum]);
+        for i in 0..100u32 {
+            let cell = t.register(&[i * 7]);
+            t.update(0, cell, f64::from(i));
+        }
+        assert_eq!(t.emit().len(), 100);
+    }
+}

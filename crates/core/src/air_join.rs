@@ -1,0 +1,159 @@
+//! Raw AIR join kernels (paper §6.1, Table 2 / Fig. 8).
+//!
+//! With array indexes as primary keys, a PK-FK equi-join is a gather: for
+//! each fact tuple, the foreign key *is* the position of its dimension
+//! match. These kernels are the unit the paper benchmarks against the NPO
+//! and PRO hash joins and sort-merge join (implemented in
+//! `astore-baseline`). Following the microbenchmark convention of Balkesen
+//! et al. [7], a join "materializes" by summing the matched payloads, so
+//! the kernel cost includes one dimension-side memory access per tuple.
+
+use astore_storage::bitmap::Bitmap;
+use astore_storage::types::{Key, NULL_KEY};
+
+/// Inner-join cardinality: counts fact tuples whose key addresses a valid
+/// dimension slot.
+pub fn air_join_count(keys: &[Key], dim_rows: usize) -> u64 {
+    let n = dim_rows as u64;
+    let mut matches = 0u64;
+    for &k in keys {
+        // NULL_KEY is u32::MAX and compares >= any realistic dimension size.
+        matches += u64::from((k as u64) < n);
+    }
+    matches
+}
+
+/// Join with payload materialization: sums the `i64` dimension payload of
+/// every matched tuple. Returns `(matches, payload_sum)`.
+pub fn air_join_sum(keys: &[Key], payload: &[i64]) -> (u64, i64) {
+    let n = payload.len();
+    let mut matches = 0u64;
+    let mut sum = 0i64;
+    for &k in keys {
+        let idx = k as usize;
+        if idx < n {
+            matches += 1;
+            sum = sum.wrapping_add(payload[idx]);
+        }
+    }
+    (matches, sum)
+}
+
+/// Join with `i32` payload (dimension attributes are commonly 32-bit).
+pub fn air_join_sum_i32(keys: &[Key], payload: &[i32]) -> (u64, i64) {
+    let n = payload.len();
+    let mut matches = 0u64;
+    let mut sum = 0i64;
+    for &k in keys {
+        let idx = k as usize;
+        if idx < n {
+            matches += 1;
+            sum = sum.wrapping_add(i64::from(payload[idx]));
+        }
+    }
+    (matches, sum)
+}
+
+/// Gathers the matched payloads into an output vector (fully materializing
+/// join, for result-size-sensitive comparisons).
+pub fn air_gather_i32(keys: &[Key], payload: &[i32]) -> Vec<i32> {
+    let n = payload.len();
+    let mut out = Vec::with_capacity(keys.len());
+    for &k in keys {
+        let idx = k as usize;
+        if idx < n {
+            out.push(payload[idx]);
+        }
+    }
+    out
+}
+
+/// Semi-join through a predicate vector: counts fact tuples whose dimension
+/// match passes the filter (the star-join primitive of §4.2).
+pub fn air_semijoin_count(keys: &[Key], filter: &Bitmap) -> u64 {
+    let mut matches = 0u64;
+    for &k in keys {
+        matches += u64::from(k != NULL_KEY && filter.get_or_false(k as usize));
+    }
+    matches
+}
+
+/// Multi-way star-join count: a tuple survives iff every foreign key passes
+/// its predicate vector — the kernel behind the paper's §6.1.3 star-join
+/// microbenchmark.
+pub fn air_starjoin_count(fks: &[(&[Key], &Bitmap)], fact_rows: usize) -> u64 {
+    let mut matches = 0u64;
+    'rows: for r in 0..fact_rows {
+        for (keys, filter) in fks {
+            let k = keys[r];
+            if k == NULL_KEY || !filter.get_or_false(k as usize) {
+                continue 'rows;
+            }
+        }
+        matches += 1;
+    }
+    matches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_join_skips_null_and_out_of_range() {
+        let keys = [0, 1, 2, NULL_KEY, 99];
+        assert_eq!(air_join_count(&keys, 3), 3);
+        assert_eq!(air_join_count(&keys, 100), 4);
+        assert_eq!(air_join_count(&[], 10), 0);
+    }
+
+    #[test]
+    fn sum_join_gathers_payloads() {
+        let keys = [2, 0, 2, NULL_KEY];
+        let payload = [10i64, 20, 30];
+        let (m, s) = air_join_sum(&keys, &payload);
+        assert_eq!(m, 3);
+        assert_eq!(s, 30 + 10 + 30);
+    }
+
+    #[test]
+    fn sum_join_i32() {
+        let keys = [1, 1, 0];
+        let payload = [5i32, -7];
+        let (m, s) = air_join_sum_i32(&keys, &payload);
+        assert_eq!(m, 3);
+        assert_eq!(s, -7 - 7 + 5);
+    }
+
+    #[test]
+    fn gather_preserves_order() {
+        let keys = [1, 0, NULL_KEY, 1];
+        let payload = [100i32, 200];
+        assert_eq!(air_gather_i32(&keys, &payload), vec![200, 100, 200]);
+    }
+
+    #[test]
+    fn semijoin_counts_filtered_matches() {
+        let keys = [0, 1, 2, 3, NULL_KEY];
+        let filter = Bitmap::from_fn(4, |i| i % 2 == 0);
+        assert_eq!(air_semijoin_count(&keys, &filter), 2);
+    }
+
+    #[test]
+    fn starjoin_requires_all_dimensions() {
+        let k1: Vec<Key> = vec![0, 1, 0, 1];
+        let k2: Vec<Key> = vec![0, 0, 1, 1];
+        let f1 = Bitmap::from_fn(2, |i| i == 0); // only dim1 row 0 passes
+        let f2 = Bitmap::from_fn(2, |_| true); // all dim2 rows pass
+        let fks: Vec<(&[Key], &Bitmap)> = vec![(&k1, &f1), (&k2, &f2)];
+        assert_eq!(air_starjoin_count(&fks, 4), 2); // rows 0 and 2
+    }
+
+    #[test]
+    fn join_sum_matches_count() {
+        let keys: Vec<Key> = (0..1000).map(|i| i % 64).collect();
+        let payload: Vec<i64> = (0..64).collect();
+        let (m, _) = air_join_sum(&keys, &payload);
+        assert_eq!(m, air_join_count(&keys, 64));
+    }
+}

@@ -1,0 +1,883 @@
+//! The query execution engine (paper §3–§4): the three-phase universal-table
+//! scan with the paper's five ablation variants.
+//!
+//! | Variant | scan | predicate vectors | array aggregation |
+//! |---|---|---|---|
+//! | `AIRScan_R`     | row-wise    | no  | no (hash) |
+//! | `AIRScan_R_P`   | row-wise    | yes | no (hash) |
+//! | `AIRScan_C`     | column-wise | no  | no (hash) |
+//! | `AIRScan_C_P`   | column-wise | yes | no (hash) |
+//! | `AIRScan_C_P_G` | column-wise | yes | yes       |
+//!
+//! Every execution runs the same three phases and reports per-phase wall
+//! time (the Fig. 10 breakdown):
+//!
+//! 1. **Leaf processing** — evaluate dimension predicates into predicate
+//!    vectors, compose snowflake chains, build group vectors;
+//! 2. **Fact scan** — evaluate fact-local predicates and probe the chains
+//!    to produce the selection vector, then identify each surviving tuple's
+//!    aggregation cell (the Measure Index);
+//! 3. **Aggregation** — scan the measure columns through the Measure Index
+//!    into the multidimensional aggregation array (or hash table).
+
+use std::time::{Duration, Instant};
+
+use astore_storage::bitmap::Bitmap;
+use astore_storage::catalog::Database;
+use astore_storage::types::{Key, Value, NULL_KEY};
+
+use crate::agg::{AggTable, Grouper};
+use crate::expr::CompiledPred;
+use crate::filter::{build_chain_filter, participating_chains, ChainSpec};
+use crate::graph::JoinGraph;
+use crate::groupvec::{build_group_vector, label_at, FactGrouper, GroupDict, GroupVector};
+use crate::optimizer::{AggStrategy, OptimizerConfig};
+use crate::query::{AggFunc, Query};
+use crate::result::QueryResult;
+use crate::scan::{select_bitmap_and, select_columnwise, select_rowwise, ChainCheck, DirectCheck};
+use crate::universal::{bind_root, BindError, Universal};
+
+/// The five scan variants of the paper's §6.3 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanVariant {
+    /// `AIRScan_R`: row-wise scan, no predicate vectors, hash aggregation.
+    RowWise,
+    /// `AIRScan_R_P`: row-wise scan with predicate vectors.
+    RowWisePredVec,
+    /// `AIRScan_C`: column-wise vector scan, no predicate vectors.
+    ColumnWise,
+    /// `AIRScan_C_P`: column-wise scan with predicate vectors.
+    ColumnWisePredVec,
+    /// `AIRScan_C_P_G`: the full system — column-wise scan, predicate
+    /// vectors, and array-based column-wise aggregation.
+    Full,
+}
+
+impl ScanVariant {
+    /// All variants, in the paper's Table 6 order.
+    pub const ALL: [ScanVariant; 5] = [
+        ScanVariant::RowWise,
+        ScanVariant::RowWisePredVec,
+        ScanVariant::ColumnWise,
+        ScanVariant::ColumnWisePredVec,
+        ScanVariant::Full,
+    ];
+
+    /// The paper's name for the variant.
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            ScanVariant::RowWise => "AIRScan_R",
+            ScanVariant::RowWisePredVec => "AIRScan_R_P",
+            ScanVariant::ColumnWise => "AIRScan_C",
+            ScanVariant::ColumnWisePredVec => "AIRScan_C_P",
+            ScanVariant::Full => "AIRScan_C_P_G",
+        }
+    }
+
+    /// Column-wise selection-vector scan?
+    pub fn column_wise(&self) -> bool {
+        !matches!(self, ScanVariant::RowWise | ScanVariant::RowWisePredVec)
+    }
+
+    /// Pre-built predicate vectors?
+    pub fn use_predvec(&self) -> bool {
+        matches!(
+            self,
+            ScanVariant::RowWisePredVec | ScanVariant::ColumnWisePredVec | ScanVariant::Full
+        )
+    }
+
+    /// Group vectors + dense aggregation array?
+    pub fn array_agg(&self) -> bool {
+        matches!(self, ScanVariant::Full)
+    }
+}
+
+/// How the column-wise variants materialize the selection (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionStrategy {
+    /// A-Store's selection vector, refined predicate by predicate so later
+    /// predicates skip already-failed tuples (the default).
+    #[default]
+    VectorRefine,
+    /// The conventional alternative the paper argues against: each
+    /// predicate scans its whole column into a bitmap, bitmaps are ANDed.
+    /// Kept as an ablation comparator.
+    BitmapAnd,
+}
+
+/// Execution options.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Scan variant (default: the full system).
+    pub variant: ScanVariant,
+    /// Worker threads (1 = serial; >1 partitions the fact table, §5).
+    pub threads: usize,
+    /// Optimizer tunables.
+    pub optimizer: OptimizerConfig,
+    /// Overrides the optimizer's aggregation-strategy decision.
+    pub force_agg: Option<AggStrategy>,
+    /// Selection materialization for column-wise variants.
+    pub selection: SelectionStrategy,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            variant: ScanVariant::Full,
+            threads: 1,
+            optimizer: OptimizerConfig::default(),
+            force_agg: None,
+            selection: SelectionStrategy::default(),
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Options for a specific variant, defaults otherwise.
+    pub fn with_variant(variant: ScanVariant) -> Self {
+        ExecOptions { variant, ..Default::default() }
+    }
+
+    /// Sets the worker-thread count.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+}
+
+/// Wall-clock time per execution phase (the Fig. 10 breakdown).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Phase 1: leaf-table processing (predicate vectors + group vectors).
+    pub leaf: Duration,
+    /// Phase 2: fact scan — selection and Measure Index generation.
+    pub scan: Duration,
+    /// Phase 3: measure-column aggregation.
+    pub agg: Duration,
+    /// End-to-end, including binding and result assembly.
+    pub total: Duration,
+}
+
+/// What the optimizer decided and what the scan saw — for tests, harnesses
+/// and EXPERIMENTS.md.
+#[derive(Debug, Clone)]
+pub struct PlanInfo {
+    /// The bound root (fact) table.
+    pub root: String,
+    /// Chains probed via predicate vectors.
+    pub predvec_chains: usize,
+    /// Chains evaluated by direct AIR chasing.
+    pub direct_chains: usize,
+    /// The aggregation strategy used.
+    pub agg_strategy: AggStrategy,
+    /// Tuples surviving selection.
+    pub selected_rows: usize,
+    /// Non-empty groups produced.
+    pub groups: usize,
+}
+
+/// A completed execution.
+#[derive(Debug, Clone)]
+pub struct ExecOutput {
+    /// The result rows.
+    pub result: QueryResult,
+    /// Phase timings.
+    pub timings: PhaseTimings,
+    /// Plan diagnostics.
+    pub plan: PlanInfo,
+}
+
+/// Executes a SPJGA query against a database.
+///
+/// This is the primary entry point of A-Store. With `opts.threads > 1` the
+/// fact table is partitioned across workers (§5); otherwise execution is
+/// serial.
+pub fn execute(db: &Database, query: &Query, opts: &ExecOptions) -> Result<ExecOutput, BindError> {
+    if opts.threads > 1 {
+        crate::parallel::execute_parallel(db, query, opts)
+    } else {
+        execute_serial(db, query, opts)
+    }
+}
+
+fn execute_serial(db: &Database, query: &Query, opts: &ExecOptions) -> Result<ExecOutput, BindError> {
+    let t_start = Instant::now();
+    let graph = JoinGraph::build(db);
+    let root = bind_root(&graph, query.root.as_deref(), &query.referenced_tables())?;
+    let u = Universal::new(db, &graph, &root)?;
+
+    let t_leaf = Instant::now();
+    let leaf = prepare_leaf(&u, query, opts)?;
+    let leaf_time = t_leaf.elapsed();
+
+    let t_scan = Instant::now();
+    let n = u.root_table().num_slots();
+    let mut sa = scan_phase(&u, query, opts, &leaf, 0..n)?;
+    let scan_time = t_scan.elapsed();
+
+    let t_agg = Instant::now();
+    aggregate_phase(&u, query, &mut sa);
+    let agg_time = t_agg.elapsed();
+
+    let mut result = build_result(query, &sa.agg, &sa.dicts);
+    result.order_and_limit(&query.order_by, query.limit);
+
+    let plan = PlanInfo {
+        root,
+        predvec_chains: leaf.filters.iter().filter(|f| f.is_some()).count(),
+        direct_chains: leaf.filters.iter().filter(|f| f.is_none()).count(),
+        agg_strategy: sa.strategy,
+        selected_rows: sa.selected,
+        groups: sa.agg.occupied(),
+    };
+    Ok(ExecOutput {
+        result,
+        timings: PhaseTimings {
+            leaf: leaf_time,
+            scan: scan_time,
+            agg: agg_time,
+            total: t_start.elapsed(),
+        },
+        plan,
+    })
+}
+
+/// Artifacts of the leaf-processing phase, shared read-only by all workers
+/// (§5: "we centralize the evaluation of the leaf tables").
+pub(crate) struct LeafArtifacts {
+    /// The dimension chains the query touches.
+    pub chains: Vec<ChainSpec>,
+    /// Composed predicate vector per chain (`None` = direct probing).
+    pub filters: Vec<Option<Bitmap>>,
+    /// Group vector per grouping column (`None` for root-table grouping
+    /// columns and for non-`_G` variants).
+    pub group_vectors: Vec<Option<GroupVector>>,
+}
+
+/// Phase 1: leaf-table processing.
+pub(crate) fn prepare_leaf(
+    u: &Universal<'_>,
+    query: &Query,
+    opts: &ExecOptions,
+) -> Result<LeafArtifacts, BindError> {
+    let chains = participating_chains(u.graph(), u.root(), query)?;
+
+    let mut filters: Vec<Option<Bitmap>> = Vec::with_capacity(chains.len());
+    for chain in &chains {
+        let dim_rows = u
+            .db()
+            .table(&chain.dim_table)
+            .map(|t| t.num_slots())
+            .unwrap_or(0);
+        let use_vec = opts.variant.use_predvec()
+            && chain.has_predicates
+            && opts.optimizer.use_predicate_vector(dim_rows);
+        if use_vec {
+            filters.push(Some(build_chain_filter(u.db(), u.graph(), query, chain)));
+        } else {
+            filters.push(None);
+        }
+    }
+
+    let mut group_vectors: Vec<Option<GroupVector>> = Vec::with_capacity(query.group_by.len());
+    for g in &query.group_by {
+        if !opts.variant.array_agg() || g.table == u.root() {
+            group_vectors.push(None);
+            continue;
+        }
+        // Find the chain this grouping column hangs off, to reuse its
+        // composed filter for null-ing out filtered dimension rows.
+        let path = u
+            .graph()
+            .path(u.root(), &g.table)
+            .ok_or_else(|| BindError::Unreachable { root: u.root().into(), table: g.table.clone() })?;
+        let key_col = &path.steps[0].key_column;
+        let filter = chains
+            .iter()
+            .position(|c| &c.fact_key_col == key_col)
+            .and_then(|i| filters[i].as_ref());
+        group_vectors.push(Some(build_group_vector(u.db(), u.graph(), u.root(), g, filter)?));
+    }
+
+    Ok(LeafArtifacts { chains, filters, group_vectors })
+}
+
+/// Builds the per-chain selection checks for the fact scan.
+pub(crate) fn build_chain_checks<'a>(
+    u: &Universal<'a>,
+    query: &Query,
+    leaf: &'a LeafArtifacts,
+) -> Result<Vec<ChainCheck<'a>>, BindError> {
+    let fact = u.root_table();
+    let mut out = Vec::new();
+    for (chain, filter) in leaf.chains.iter().zip(&leaf.filters) {
+        let (_, keys) = fact
+            .column(&chain.fact_key_col)
+            .expect("chain key column exists")
+            .as_key()
+            .expect("chain key column is a key");
+        if let Some(bitmap) = filter {
+            out.push(ChainCheck::PredVec { keys, bitmap });
+            continue;
+        }
+        // Direct probing: one check per table that carries a predicate or
+        // has deleted tuples. Order nearest-first so cheap hops run first.
+        let mut checks: Vec<DirectCheck<'a>> = Vec::new();
+        let mut tables: Vec<&String> = chain.tables.iter().collect();
+        tables.sort_by_key(|t| u.graph().path(u.root(), t).map(|p| p.len()).unwrap_or(usize::MAX));
+        for t in tables {
+            let table = u
+                .db()
+                .table(t)
+                .ok_or_else(|| BindError::NoTable(t.clone()))?;
+            let pred = query.selection_on(t).map(|p| p.compile(table));
+            let live = table.has_deletes().then(|| table.live_bitmap());
+            if pred.is_none() && live.is_none() {
+                continue;
+            }
+            checks.push(DirectCheck { hops: u.hops_to(t)?, live, pred });
+        }
+        if !checks.is_empty() {
+            out.push(ChainCheck::Direct { checks });
+        }
+    }
+    Ok(out)
+}
+
+/// What a grouping column reads from during the fact scan.
+enum GroupSource<'a> {
+    /// Probe a pre-built group vector through a fact FK column (`_G`).
+    DimVec {
+        keys: &'a [Key],
+        gv: &'a GroupVector,
+    },
+    /// Intern values of a root-table column on the fly.
+    Fact(FactGrouper<'a>),
+    /// Chase the AIR chain and intern the label per row (non-`_G`).
+    Resolved {
+        rc: crate::universal::ResolvedCol<'a>,
+        live: Option<&'a Bitmap>,
+        dict: GroupDict,
+    },
+}
+
+/// Artifacts of the fact-scan phase: the Measure Index plus the aggregation
+/// table it addresses.
+pub(crate) struct ScanArtifacts {
+    /// Row ids of tuples that survived selection *and* grouping.
+    pub mi_rows: Vec<u32>,
+    /// Their aggregation cells (the Measure Index).
+    pub mi_cells: Vec<u32>,
+    /// The aggregation table (cells registered, accumulators empty).
+    pub agg: AggTable,
+    /// Group dictionaries, one per grouping column.
+    pub dicts: Vec<GroupDict>,
+    /// Tuples surviving selection (before group-null drops).
+    pub selected: usize,
+    /// The aggregation strategy in effect.
+    pub strategy: AggStrategy,
+}
+
+/// Phase 2: the fact scan over `range` — selection, then grouping into the
+/// Measure Index.
+pub(crate) fn scan_phase(
+    u: &Universal<'_>,
+    query: &Query,
+    opts: &ExecOptions,
+    leaf: &LeafArtifacts,
+    range: std::ops::Range<usize>,
+) -> Result<ScanArtifacts, BindError> {
+    let fact = u.root_table();
+
+    // Fact-local predicates: compile conjuncts, order most-selective-first
+    // from a prefix sample (§4.1).
+    let mut fact_preds: Vec<CompiledPred<'_>> = query
+        .selection_on(u.root())
+        .map(|p| p.conjuncts().iter().map(|c| c.compile(fact)).collect())
+        .unwrap_or_default();
+    if fact_preds.len() > 1 {
+        let n = fact.num_slots();
+        let mut keyed: Vec<(f64, CompiledPred<'_>)> = fact_preds
+            .drain(..)
+            .map(|p| (p.sampled_selectivity(n, 1024), p))
+            .collect();
+        keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        fact_preds = keyed.into_iter().map(|(_, p)| p).collect();
+    }
+
+    let mut chain_checks = build_chain_checks(u, query, leaf)?;
+
+    let sv = if !opts.variant.column_wise() {
+        select_rowwise(fact, range, &fact_preds, &chain_checks)
+    } else {
+        match opts.selection {
+            SelectionStrategy::VectorRefine => {
+                select_columnwise(fact, range, &fact_preds, &mut chain_checks)
+            }
+            SelectionStrategy::BitmapAnd => {
+                select_bitmap_and(fact, range, &fact_preds, &chain_checks)
+            }
+        }
+    };
+    let selected = sv.len();
+
+    // Grouping sources.
+    let mut sources: Vec<GroupSource<'_>> = Vec::with_capacity(query.group_by.len());
+    for (gi, g) in query.group_by.iter().enumerate() {
+        if g.table == u.root() {
+            let col = fact
+                .column(&g.column)
+                .ok_or_else(|| BindError::NoColumn(g.table.clone(), g.column.clone()))?;
+            sources.push(GroupSource::Fact(FactGrouper::new(col)));
+        } else if let Some(gv) = leaf.group_vectors[gi].as_ref() {
+            let (_, keys) = fact
+                .column(&gv.fact_key_col)
+                .expect("group vector key column exists")
+                .as_key()
+                .expect("group vector key column is a key");
+            sources.push(GroupSource::DimVec { keys, gv });
+        } else {
+            let rc = u.resolve(g)?;
+            let live = rc.table.has_deletes().then(|| rc.table.live_bitmap());
+            sources.push(GroupSource::Resolved { rc, live, dict: GroupDict::new() });
+        }
+    }
+
+    // Column-wise code pass: one pass per grouping column (§4.3).
+    let rows = sv.rows();
+    let mut dim_codes: Vec<Vec<Key>> = Vec::with_capacity(sources.len());
+    for src in &mut sources {
+        let mut codes = vec![NULL_KEY; rows.len()];
+        match src {
+            GroupSource::DimVec { keys, gv } => {
+                for (i, &r) in rows.iter().enumerate() {
+                    codes[i] = gv.probe(keys[r as usize]);
+                }
+            }
+            GroupSource::Fact(fg) => {
+                for (i, &r) in rows.iter().enumerate() {
+                    codes[i] = fg.code_for(r as usize);
+                }
+            }
+            GroupSource::Resolved { rc, live, dict } => {
+                for (i, &r) in rows.iter().enumerate() {
+                    if let Some(row) = rc.locate(r as usize) {
+                        if live.is_none_or(|bm| bm.get_or_false(row)) {
+                            codes[i] = dict.intern(label_at(rc.column, row));
+                        }
+                    }
+                }
+            }
+        }
+        dim_codes.push(codes);
+    }
+
+    // Radices are final once the code pass is done.
+    let radices: Vec<u32> = sources
+        .iter()
+        .map(|s| match s {
+            GroupSource::DimVec { gv, .. } => gv.dict.len() as u32,
+            GroupSource::Fact(fg) => fg.dict.len() as u32,
+            GroupSource::Resolved { dict, .. } => dict.len() as u32,
+        })
+        .collect();
+
+    let strategy = opts.force_agg.unwrap_or_else(|| {
+        if opts.variant.array_agg() {
+            opts.optimizer.agg_strategy(&radices)
+        } else {
+            AggStrategy::HashTable
+        }
+    });
+    let grouper = if query.group_by.is_empty() {
+        Grouper::Scalar
+    } else {
+        match strategy {
+            AggStrategy::DenseArray => Grouper::dense(radices),
+            AggStrategy::HashTable => Grouper::hash(query.group_by.len()),
+        }
+    };
+    let funcs: Vec<AggFunc> = query.aggregates.iter().map(|a| a.func).collect();
+    let mut agg = AggTable::new(grouper, &funcs);
+
+    // Measure Index: cell per surviving tuple; tuples with a NULL group
+    // coordinate are dropped (the paper's −1 entries).
+    let mut mi_rows = Vec::with_capacity(rows.len());
+    let mut mi_cells = Vec::with_capacity(rows.len());
+    let dims = dim_codes.len();
+    let mut coords = vec![0 as Key; dims];
+    'rows: for (i, &r) in rows.iter().enumerate() {
+        for d in 0..dims {
+            let c = dim_codes[d][i];
+            if c == NULL_KEY {
+                continue 'rows;
+            }
+            coords[d] = c;
+        }
+        let cell = agg.register(&coords);
+        mi_rows.push(r);
+        mi_cells.push(cell);
+    }
+
+    // Collect the group dictionaries for result decoding.
+    let dicts: Vec<GroupDict> = sources
+        .into_iter()
+        .map(|s| match s {
+            GroupSource::DimVec { gv, .. } => gv.dict.clone(),
+            GroupSource::Fact(fg) => fg.dict,
+            GroupSource::Resolved { dict, .. } => dict,
+        })
+        .collect();
+
+    Ok(ScanArtifacts { mi_rows, mi_cells, agg, dicts, selected, strategy })
+}
+
+/// Phase 3: measure-column aggregation, driven column-wise by the Measure
+/// Index — "only the parts of the measure columns referred by the Measure
+/// Index need to be accessed" (§4.3).
+pub(crate) fn aggregate_phase(u: &Universal<'_>, query: &Query, sa: &mut ScanArtifacts) {
+    let fact = u.root_table();
+    for (j, aggdef) in query.aggregates.iter().enumerate() {
+        match (&aggdef.expr, aggdef.func) {
+            (None, AggFunc::Count) | (None, _) => {
+                let st = sa.agg.state_mut(j);
+                for &cell in &sa.mi_cells {
+                    st.update(cell, 0.0);
+                }
+            }
+            (Some(expr), _) => {
+                let cm = expr.compile(fact);
+                let st = sa.agg.state_mut(j);
+                for (&r, &cell) in sa.mi_rows.iter().zip(&sa.mi_cells) {
+                    st.update(cell, cm.eval(r as usize));
+                }
+            }
+        }
+    }
+}
+
+/// Assembles the result rows from the aggregation table.
+pub(crate) fn build_result(query: &Query, agg: &AggTable, dicts: &[GroupDict]) -> QueryResult {
+    let columns = query.output_names();
+    let cells = agg.emit();
+    let mut rows = Vec::with_capacity(cells.len());
+    for cell in cells {
+        let mut row: Vec<Value> = Vec::with_capacity(columns.len());
+        for (d, &coord) in cell.coords.iter().enumerate() {
+            row.push(dicts[d].label(coord).to_value());
+        }
+        for (a, &(sum, count)) in cell.accs.iter().enumerate() {
+            row.push(agg_output(query.aggregates[a].func, sum, count));
+        }
+        rows.push(row);
+    }
+    QueryResult { columns, rows }
+}
+
+/// Converts a raw accumulator into the output value of an aggregate.
+pub fn agg_output(func: AggFunc, sum: f64, count: u64) -> Value {
+    match func {
+        AggFunc::Sum | AggFunc::Min | AggFunc::Max => Value::Float(sum),
+        AggFunc::Count => Value::Int(count as i64),
+        AggFunc::Avg => {
+            if count == 0 {
+                Value::Null
+            } else {
+                Value::Float(sum / count as f64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, MeasureExpr, Pred};
+    use crate::query::{Aggregate, OrderKey};
+    use astore_storage::prelude::*;
+
+    /// A small star: lineorder(custkey, datekey, revenue, discount),
+    /// customer(c_nation dict, c_region dict), date(d_year i32).
+    fn star_db() -> Database {
+        let mut db = Database::new();
+
+        let mut customer = Table::new(
+            "customer",
+            Schema::new(vec![
+                ColumnDef::new("c_nation", DataType::Dict),
+                ColumnDef::new("c_region", DataType::Dict),
+            ]),
+        );
+        let custs = [
+            ("CHINA", "ASIA"),
+            ("JAPAN", "ASIA"),
+            ("BRAZIL", "AMERICA"),
+            ("CANADA", "AMERICA"),
+        ];
+        for (n, r) in custs {
+            customer.append_row(&[Value::Str(n.into()), Value::Str(r.into())]);
+        }
+
+        let mut date = Table::new(
+            "date",
+            Schema::new(vec![ColumnDef::new("d_year", DataType::I32)]),
+        );
+        for y in [1992, 1993, 1994] {
+            date.append_row(&[Value::Int(y)]);
+        }
+
+        let mut fact = Table::new(
+            "lineorder",
+            Schema::new(vec![
+                ColumnDef::new("lo_custkey", DataType::Key { target: "customer".into() }),
+                ColumnDef::new("lo_datekey", DataType::Key { target: "date".into() }),
+                ColumnDef::new("lo_revenue", DataType::I64),
+                ColumnDef::new("lo_discount", DataType::I32),
+            ]),
+        );
+        // (cust, date, revenue, discount)
+        let rows: [(u32, u32, i64, i32); 8] = [
+            (0, 0, 100, 1),
+            (1, 0, 200, 2),
+            (2, 1, 300, 3),
+            (3, 1, 400, 1),
+            (0, 2, 500, 2),
+            (1, 2, 600, 3),
+            (2, 0, 700, 1),
+            (0, 1, 800, 2),
+        ];
+        for (c, d, r, disc) in rows {
+            fact.append_row(&[
+                Value::Key(c),
+                Value::Key(d),
+                Value::Int(r),
+                Value::Int(i64::from(disc)),
+            ]);
+        }
+
+        db.add_table(customer);
+        db.add_table(date);
+        db.add_table(fact);
+        db
+    }
+
+    fn asia_by_year() -> Query {
+        Query::new()
+            .filter("customer", Pred::eq("c_region", "ASIA"))
+            .group("date", "d_year")
+            .agg(Aggregate::sum(MeasureExpr::col("lo_revenue"), "revenue"))
+            .order(OrderKey::asc("d_year"))
+    }
+
+    /// Expected: ASIA customers are 0 and 1.
+    /// year 1992: rows 0 (100) + 1 (200) = 300
+    /// year 1993: row 7 (800) = 800
+    /// year 1994: rows 4 (500) + 5 (600) = 1100
+    fn expected_asia_by_year() -> Vec<Vec<Value>> {
+        vec![
+            vec![Value::Int(1992), Value::Float(300.0)],
+            vec![Value::Int(1993), Value::Float(800.0)],
+            vec![Value::Int(1994), Value::Float(1100.0)],
+        ]
+    }
+
+    #[test]
+    fn full_variant_executes_star_query() {
+        let db = star_db();
+        let out = execute(&db, &asia_by_year(), &ExecOptions::default()).unwrap();
+        assert_eq!(out.result.rows, expected_asia_by_year());
+        assert_eq!(out.plan.root, "lineorder");
+        assert_eq!(out.plan.selected_rows, 5);
+        assert_eq!(out.plan.groups, 3);
+        assert_eq!(out.plan.agg_strategy, AggStrategy::DenseArray);
+        assert_eq!(out.plan.predvec_chains, 1);
+    }
+
+    #[test]
+    fn all_variants_agree() {
+        let db = star_db();
+        let q = asia_by_year();
+        let reference = execute(&db, &q, &ExecOptions::default()).unwrap();
+        for v in ScanVariant::ALL {
+            let out = execute(&db, &q, &ExecOptions::with_variant(v)).unwrap();
+            assert!(
+                out.result.same_contents(&reference.result, 1e-9),
+                "variant {} diverged:\n{:?}\nvs\n{:?}",
+                v.paper_name(),
+                out.result.rows,
+                reference.result.rows
+            );
+        }
+    }
+
+    #[test]
+    fn non_full_variants_use_hash_aggregation() {
+        let db = star_db();
+        let out =
+            execute(&db, &asia_by_year(), &ExecOptions::with_variant(ScanVariant::ColumnWisePredVec))
+                .unwrap();
+        assert_eq!(out.plan.agg_strategy, AggStrategy::HashTable);
+    }
+
+    #[test]
+    fn fact_local_predicates_and_fact_grouping() {
+        let db = star_db();
+        // select lo_discount, count(*), sum(lo_revenue) group by lo_discount
+        // where lo_revenue >= 300
+        let q = Query::new()
+            .filter("lineorder", Pred::cmp("lo_revenue", CmpOp::Ge, 300))
+            .group("lineorder", "lo_discount")
+            .agg(Aggregate::count("n"))
+            .agg(Aggregate::sum(MeasureExpr::col("lo_revenue"), "rev"))
+            .order(OrderKey::asc("lo_discount"));
+        let out = execute(&db, &q, &ExecOptions::default()).unwrap();
+        assert_eq!(
+            out.result.rows,
+            vec![
+                vec![Value::Int(1), Value::Int(2), Value::Float(1100.0)], // rows 3,6
+                vec![Value::Int(2), Value::Int(2), Value::Float(1300.0)], // rows 4,7
+                vec![Value::Int(3), Value::Int(2), Value::Float(900.0)],  // rows 2,5
+            ]
+        );
+    }
+
+    #[test]
+    fn count_star_without_group_by() {
+        let db = star_db();
+        let q = Query::new()
+            .root("lineorder")
+            .filter("date", Pred::eq("d_year", 1992))
+            .agg(Aggregate::count("n"));
+        let out = execute(&db, &q, &ExecOptions::default()).unwrap();
+        assert_eq!(out.result.rows, vec![vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn empty_selection_yields_no_rows() {
+        let db = star_db();
+        let q = Query::new()
+            .root("lineorder")
+            .filter("date", Pred::eq("d_year", 2099))
+            .group("customer", "c_nation")
+            .agg(Aggregate::count("n"));
+        let out = execute(&db, &q, &ExecOptions::default()).unwrap();
+        assert!(out.result.is_empty());
+        assert_eq!(out.plan.selected_rows, 0);
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let db = star_db();
+        let q = Query::new()
+            .root("lineorder")
+            .group("customer", "c_region")
+            .agg(Aggregate::min(MeasureExpr::col("lo_revenue"), "lo"))
+            .agg(Aggregate::max(MeasureExpr::col("lo_revenue"), "hi"))
+            .agg(Aggregate::avg(MeasureExpr::col("lo_revenue"), "avg"))
+            .order(OrderKey::asc("c_region"));
+        let out = execute(&db, &q, &ExecOptions::default()).unwrap();
+        // AMERICA: rows 2,3,6 -> min 300 max 700 avg 466.67
+        // ASIA: rows 0,1,4,5,7 -> min 100 max 800 avg 440
+        assert_eq!(out.result.rows.len(), 2);
+        assert_eq!(out.result.rows[0][0], Value::Str("AMERICA".into()));
+        assert_eq!(out.result.rows[0][1], Value::Float(300.0));
+        assert_eq!(out.result.rows[0][2], Value::Float(700.0));
+        let Value::Float(avg) = out.result.rows[0][3] else { panic!() };
+        assert!((avg - 1400.0 / 3.0).abs() < 1e-9);
+        assert_eq!(out.result.rows[1][1], Value::Float(100.0));
+        assert_eq!(out.result.rows[1][2], Value::Float(800.0));
+        assert_eq!(out.result.rows[1][3], Value::Float(440.0));
+    }
+
+    #[test]
+    fn measure_expression_sum() {
+        let db = star_db();
+        // sum(lo_revenue * (1 - lo_discount/10)) over ASIA
+        let expr = MeasureExpr::Mul(
+            Box::new(MeasureExpr::col("lo_revenue")),
+            Box::new(MeasureExpr::Sub(
+                Box::new(MeasureExpr::Const(1.0)),
+                Box::new(MeasureExpr::Mul(
+                    Box::new(MeasureExpr::col("lo_discount")),
+                    Box::new(MeasureExpr::Const(0.1)),
+                )),
+            )),
+        );
+        let q = Query::new()
+            .filter("customer", Pred::eq("c_region", "ASIA"))
+            .agg(Aggregate::sum(expr, "disc_rev"));
+        let out = execute(&db, &q, &ExecOptions::default()).unwrap();
+        // rows 0,1,4,5,7: 100*.9 + 200*.8 + 500*.8 + 600*.7 + 800*.8 = 1710
+        assert_eq!(out.result.rows, vec![vec![Value::Float(1710.0)]]);
+    }
+
+    #[test]
+    fn forced_hash_agg_matches_dense() {
+        let db = star_db();
+        let q = asia_by_year();
+        let dense = execute(&db, &q, &ExecOptions::default()).unwrap();
+        let hashed = execute(
+            &db,
+            &q,
+            &ExecOptions { force_agg: Some(AggStrategy::HashTable), ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(hashed.plan.agg_strategy, AggStrategy::HashTable);
+        assert!(dense.result.same_contents(&hashed.result, 1e-9));
+    }
+
+    #[test]
+    fn deletes_respected_in_all_variants() {
+        let mut db = star_db();
+        db.table_mut("lineorder").unwrap().delete(0);
+        db.table_mut("customer").unwrap().delete(1); // JAPAN gone
+        let q = asia_by_year();
+        let reference = execute(&db, &q, &ExecOptions::default()).unwrap();
+        // Remaining ASIA rows: 4 (500, y1994), 7 (800, y1993).
+        assert_eq!(
+            reference.result.rows,
+            vec![
+                vec![Value::Int(1993), Value::Float(800.0)],
+                vec![Value::Int(1994), Value::Float(500.0)],
+            ]
+        );
+        for v in ScanVariant::ALL {
+            let out = execute(&db, &q, &ExecOptions::with_variant(v)).unwrap();
+            assert!(
+                out.result.same_contents(&reference.result, 1e-9),
+                "variant {} diverged on deletes",
+                v.paper_name()
+            );
+        }
+    }
+
+    #[test]
+    fn bitmap_and_selection_matches_vector_refine() {
+        let db = star_db();
+        let q = asia_by_year();
+        let vector = execute(&db, &q, &ExecOptions::default()).unwrap();
+        let bitmap = execute(
+            &db,
+            &q,
+            &ExecOptions { selection: SelectionStrategy::BitmapAnd, ..Default::default() },
+        )
+        .unwrap();
+        assert!(bitmap.result.same_contents(&vector.result, 1e-9));
+        assert_eq!(bitmap.plan.selected_rows, vector.plan.selected_rows);
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let db = star_db();
+        let out = execute(&db, &asia_by_year(), &ExecOptions::default()).unwrap();
+        assert!(out.timings.total >= out.timings.agg);
+    }
+
+    #[test]
+    fn bind_error_for_unknown_table() {
+        let db = star_db();
+        let q = Query::new().filter("ghost", Pred::eq("x", 1)).agg(Aggregate::count("n"));
+        assert!(execute(&db, &q, &ExecOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,882 @@
+//! Predicates and measure expressions.
+//!
+//! Predicates come in a small logical algebra ([`Pred`]) that is *compiled*
+//! against a concrete table into [`CompiledPred`]: typed closures over
+//! column slices. Compilation performs the paper's dictionary pushdown —
+//! string predicates on dictionary-compressed columns are evaluated once per
+//! *distinct value* and turn into code comparisons or code-bitmap probes, so
+//! no `strcmp` runs inside a scan loop (§4.2).
+
+use astore_storage::bitmap::Bitmap;
+use astore_storage::column::Column;
+use astore_storage::strings::StrColumn;
+use astore_storage::table::Table;
+use astore_storage::types::Key;
+
+/// A literal value in a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+}
+
+impl From<i64> for Lit {
+    fn from(v: i64) -> Self {
+        Lit::Int(v)
+    }
+}
+impl From<i32> for Lit {
+    fn from(v: i32) -> Self {
+        Lit::Int(i64::from(v))
+    }
+}
+impl From<f64> for Lit {
+    fn from(v: f64) -> Self {
+        Lit::Float(v)
+    }
+}
+impl From<&str> for Lit {
+    fn from(v: &str) -> Self {
+        Lit::Str(v.to_owned())
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the operator to an [`Ord`] pair.
+    #[inline]
+    pub fn apply<T: PartialOrd>(self, a: T, b: T) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+/// A logical predicate over the columns of one table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// `column <op> literal`.
+    Cmp {
+        /// Column name.
+        col: String,
+        /// Operator.
+        op: CmpOp,
+        /// Literal operand.
+        lit: Lit,
+    },
+    /// `column BETWEEN lo AND hi` (inclusive).
+    Between {
+        /// Column name.
+        col: String,
+        /// Lower bound (inclusive).
+        lo: Lit,
+        /// Upper bound (inclusive).
+        hi: Lit,
+    },
+    /// `column IN (l1, l2, …)`.
+    InList {
+        /// Column name.
+        col: String,
+        /// Accepted literals.
+        lits: Vec<Lit>,
+    },
+    /// Conjunction.
+    And(Vec<Pred>),
+    /// Disjunction.
+    Or(Vec<Pred>),
+    /// Negation.
+    Not(Box<Pred>),
+    /// Constant truth (useful as a neutral element).
+    Const(bool),
+}
+
+impl Pred {
+    /// Convenience: `col = lit`.
+    pub fn eq(col: impl Into<String>, lit: impl Into<Lit>) -> Pred {
+        Pred::Cmp { col: col.into(), op: CmpOp::Eq, lit: lit.into() }
+    }
+
+    /// Convenience: `col BETWEEN lo AND hi`.
+    pub fn between(col: impl Into<String>, lo: impl Into<Lit>, hi: impl Into<Lit>) -> Pred {
+        Pred::Between { col: col.into(), lo: lo.into(), hi: hi.into() }
+    }
+
+    /// Convenience: comparison.
+    pub fn cmp(col: impl Into<String>, op: CmpOp, lit: impl Into<Lit>) -> Pred {
+        Pred::Cmp { col: col.into(), op, lit: lit.into() }
+    }
+
+    /// Convenience: membership.
+    pub fn in_list<L: Into<Lit>>(col: impl Into<String>, lits: Vec<L>) -> Pred {
+        Pred::InList { col: col.into(), lits: lits.into_iter().map(Into::into).collect() }
+    }
+
+    /// Splits a top-level conjunction into its conjuncts (a non-`And`
+    /// predicate is its own single conjunct). The vectorized scan refines
+    /// the selection vector one conjunct at a time (§4.1).
+    pub fn conjuncts(&self) -> Vec<&Pred> {
+        match self {
+            Pred::And(ps) => ps.iter().flat_map(|p| p.conjuncts()).collect(),
+            other => vec![other],
+        }
+    }
+
+    /// Conjoins two predicates, flattening `And`s.
+    pub fn and(self, other: Pred) -> Pred {
+        match (self, other) {
+            (Pred::Const(true), b) => b,
+            (a, Pred::Const(true)) => a,
+            (Pred::And(mut a), Pred::And(b)) => {
+                a.extend(b);
+                Pred::And(a)
+            }
+            (Pred::And(mut a), b) => {
+                a.push(b);
+                Pred::And(a)
+            }
+            (a, Pred::And(mut b)) => {
+                b.insert(0, a);
+                Pred::And(b)
+            }
+            (a, b) => Pred::And(vec![a, b]),
+        }
+    }
+
+    /// Column names referenced by this predicate.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Pred::Cmp { col, .. } | Pred::Between { col, .. } | Pred::InList { col, .. } => {
+                out.push(col)
+            }
+            Pred::And(ps) | Pred::Or(ps) => ps.iter().for_each(|p| p.collect_columns(out)),
+            Pred::Not(p) => p.collect_columns(out),
+            Pred::Const(_) => {}
+        }
+    }
+
+    /// Rewrites every column reference through `f` (used when rebinding a
+    /// query to a denormalized table).
+    pub fn map_columns(self, f: &impl Fn(&str) -> String) -> Pred {
+        match self {
+            Pred::Cmp { col, op, lit } => Pred::Cmp { col: f(&col), op, lit },
+            Pred::Between { col, lo, hi } => Pred::Between { col: f(&col), lo, hi },
+            Pred::InList { col, lits } => Pred::InList { col: f(&col), lits },
+            Pred::And(ps) => Pred::And(ps.into_iter().map(|p| p.map_columns(f)).collect()),
+            Pred::Or(ps) => Pred::Or(ps.into_iter().map(|p| p.map_columns(f)).collect()),
+            Pred::Not(p) => Pred::Not(Box::new(p.map_columns(f))),
+            Pred::Const(b) => Pred::Const(b),
+        }
+    }
+
+    /// Compiles the predicate against a table into an evaluable form.
+    ///
+    /// # Panics
+    /// Panics if a referenced column is missing or a literal's type does not
+    /// match its column.
+    pub fn compile<'a>(&self, table: &'a Table) -> CompiledPred<'a> {
+        match self {
+            Pred::Const(b) => CompiledPred::Const(*b),
+            Pred::And(ps) => CompiledPred::And(ps.iter().map(|p| p.compile(table)).collect()),
+            Pred::Or(ps) => CompiledPred::Or(ps.iter().map(|p| p.compile(table)).collect()),
+            Pred::Not(p) => CompiledPred::Not(Box::new(p.compile(table))),
+            Pred::Cmp { col, op, lit } => compile_cmp(table, col, *op, lit),
+            Pred::Between { col, lo, hi } => compile_between(table, col, lo, hi),
+            Pred::InList { col, lits } => compile_in(table, col, lits),
+        }
+    }
+
+    /// Evaluates over all live rows of a table into a bitmap (the predicate
+    /// vector path, §4.2). Dead slots evaluate to `false`.
+    pub fn eval_bitmap(&self, table: &Table) -> Bitmap {
+        let compiled = self.compile(table);
+        let n = table.num_slots();
+        if table.has_deletes() {
+            let live = table.live_bitmap();
+            Bitmap::from_fn(n, |row| live.get(row) && compiled.eval(row))
+        } else {
+            Bitmap::from_fn(n, |row| compiled.eval(row))
+        }
+    }
+}
+
+fn col_of<'a>(table: &'a Table, name: &str) -> &'a Column {
+    table
+        .column(name)
+        .unwrap_or_else(|| panic!("no column {name:?} in table {:?}", table.name()))
+}
+
+fn int_lit(lit: &Lit, col: &str) -> i64 {
+    match lit {
+        Lit::Int(v) => *v,
+        Lit::Float(v) => *v as i64,
+        Lit::Str(_) => panic!("string literal used with numeric column {col:?}"),
+    }
+}
+
+fn float_lit(lit: &Lit, col: &str) -> f64 {
+    match lit {
+        Lit::Int(v) => *v as f64,
+        Lit::Float(v) => *v,
+        Lit::Str(_) => panic!("string literal used with float column {col:?}"),
+    }
+}
+
+fn str_lit<'l>(lit: &'l Lit, col: &str) -> &'l str {
+    match lit {
+        Lit::Str(s) => s,
+        other => panic!("non-string literal {other:?} used with string column {col:?}"),
+    }
+}
+
+fn compile_cmp<'a>(table: &'a Table, col: &str, op: CmpOp, lit: &Lit) -> CompiledPred<'a> {
+    match col_of(table, col) {
+        Column::I32(data) => {
+            let v = int_lit(lit, col);
+            match i32::try_from(v) {
+                Ok(v) => CompiledPred::I32Cmp { data, op, v },
+                // Out-of-range literal: constant-fold.
+                Err(_) => CompiledPred::Const(fold_oob_cmp(op, v > 0)),
+            }
+        }
+        Column::I64(data) => CompiledPred::I64Cmp { data, op, v: int_lit(lit, col) },
+        Column::F64(data) => CompiledPred::F64Cmp { data, op, v: float_lit(lit, col) },
+        Column::Key { keys, .. } => {
+            let v = int_lit(lit, col);
+            match Key::try_from(v) {
+                Ok(v) => CompiledPred::KeyCmp { keys, op, v },
+                Err(_) => CompiledPred::Const(fold_oob_cmp(op, v > 0)),
+            }
+        }
+        Column::Dict(dict_col) => {
+            let s = str_lit(lit, col);
+            let dict = dict_col.dict();
+            match op {
+                CmpOp::Eq => CompiledPred::DictEq { codes: dict_col.codes(), code: dict.code_of(s) },
+                // Non-equality string ops: evaluate once per distinct value.
+                _ => CompiledPred::DictSet {
+                    codes: dict_col.codes(),
+                    matches: dict.codes_matching(|v| op.apply(v, s)),
+                },
+            }
+        }
+        Column::Str(sc) => CompiledPred::StrCmp { col: sc, op, v: str_lit(lit, col).to_owned() },
+    }
+}
+
+/// Constant folding for comparisons against out-of-range integer literals:
+/// `x < HUGE` is true, `x > HUGE` is false, etc.
+fn fold_oob_cmp(op: CmpOp, lit_above_range: bool) -> bool {
+    match (op, lit_above_range) {
+        (CmpOp::Lt | CmpOp::Le | CmpOp::Ne, true) => true,
+        (CmpOp::Gt | CmpOp::Ge | CmpOp::Eq, true) => false,
+        (CmpOp::Gt | CmpOp::Ge | CmpOp::Ne, false) => true,
+        (CmpOp::Lt | CmpOp::Le | CmpOp::Eq, false) => false,
+    }
+}
+
+fn compile_between<'a>(table: &'a Table, col: &str, lo: &Lit, hi: &Lit) -> CompiledPred<'a> {
+    match col_of(table, col) {
+        Column::I32(data) => {
+            let lo = int_lit(lo, col).clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32;
+            let hi = int_lit(hi, col).clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32;
+            CompiledPred::I32Between { data, lo, hi }
+        }
+        Column::I64(data) => {
+            CompiledPred::I64Between { data, lo: int_lit(lo, col), hi: int_lit(hi, col) }
+        }
+        Column::F64(data) => {
+            CompiledPred::F64Between { data, lo: float_lit(lo, col), hi: float_lit(hi, col) }
+        }
+        Column::Dict(dc) => {
+            let (lo, hi) = (str_lit(lo, col), str_lit(hi, col));
+            CompiledPred::DictSet {
+                codes: dc.codes(),
+                matches: dc.dict().codes_matching(|v| v >= lo && v <= hi),
+            }
+        }
+        Column::Str(sc) => CompiledPred::StrBetween {
+            col: sc,
+            lo: str_lit(lo, col).to_owned(),
+            hi: str_lit(hi, col).to_owned(),
+        },
+        Column::Key { keys, .. } => {
+            let lo = int_lit(lo, col).clamp(0, i64::from(u32::MAX)) as Key;
+            let hi = int_lit(hi, col).clamp(0, i64::from(u32::MAX)) as Key;
+            CompiledPred::KeyBetween { keys, lo, hi }
+        }
+    }
+}
+
+fn compile_in<'a>(table: &'a Table, col: &str, lits: &[Lit]) -> CompiledPred<'a> {
+    match col_of(table, col) {
+        Column::I32(data) => CompiledPred::I32In {
+            data,
+            set: lits
+                .iter()
+                .filter_map(|l| i32::try_from(int_lit(l, col)).ok())
+                .collect(),
+        },
+        Column::I64(data) => {
+            CompiledPred::I64In { data, set: lits.iter().map(|l| int_lit(l, col)).collect() }
+        }
+        Column::Dict(dc) => {
+            let wanted: Vec<&str> = lits.iter().map(|l| str_lit(l, col)).collect();
+            CompiledPred::DictSet {
+                codes: dc.codes(),
+                matches: dc.dict().codes_matching(|v| wanted.contains(&v)),
+            }
+        }
+        Column::Str(sc) => CompiledPred::StrIn {
+            col: sc,
+            set: lits.iter().map(|l| str_lit(l, col).to_owned()).collect(),
+        },
+        other => panic!("IN list unsupported for column type {}", other.dtype()),
+    }
+}
+
+/// A predicate compiled against one table's columns. `eval(row)` is the
+/// per-row test used inside scan loops.
+#[derive(Debug)]
+pub enum CompiledPred<'a> {
+    /// Constant truth value.
+    Const(bool),
+    /// `i32` comparison.
+    I32Cmp {
+        /// Column data.
+        data: &'a [i32],
+        /// Operator.
+        op: CmpOp,
+        /// Literal.
+        v: i32,
+    },
+    /// `i32` inclusive range.
+    I32Between {
+        /// Column data.
+        data: &'a [i32],
+        /// Lower bound.
+        lo: i32,
+        /// Upper bound.
+        hi: i32,
+    },
+    /// `i32` membership (small lists: linear scan beats hashing).
+    I32In {
+        /// Column data.
+        data: &'a [i32],
+        /// Accepted values.
+        set: Vec<i32>,
+    },
+    /// `i64` comparison.
+    I64Cmp {
+        /// Column data.
+        data: &'a [i64],
+        /// Operator.
+        op: CmpOp,
+        /// Literal.
+        v: i64,
+    },
+    /// `i64` inclusive range.
+    I64Between {
+        /// Column data.
+        data: &'a [i64],
+        /// Lower bound.
+        lo: i64,
+        /// Upper bound.
+        hi: i64,
+    },
+    /// `i64` membership.
+    I64In {
+        /// Column data.
+        data: &'a [i64],
+        /// Accepted values.
+        set: Vec<i64>,
+    },
+    /// `f64` comparison.
+    F64Cmp {
+        /// Column data.
+        data: &'a [f64],
+        /// Operator.
+        op: CmpOp,
+        /// Literal.
+        v: f64,
+    },
+    /// `f64` inclusive range.
+    F64Between {
+        /// Column data.
+        data: &'a [f64],
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Key comparison (rare; keys are opaque positions).
+    KeyCmp {
+        /// Column data.
+        keys: &'a [Key],
+        /// Operator.
+        op: CmpOp,
+        /// Literal.
+        v: Key,
+    },
+    /// Key inclusive range.
+    KeyBetween {
+        /// Column data.
+        keys: &'a [Key],
+        /// Lower bound.
+        lo: Key,
+        /// Upper bound.
+        hi: Key,
+    },
+    /// Dictionary equality: one code comparison per row.
+    DictEq {
+        /// Code array.
+        codes: &'a [Key],
+        /// The matching code ([`astore_storage::types::NULL_KEY`] if the
+        /// value is absent, which matches nothing).
+        code: Key,
+    },
+    /// Dictionary set membership: the string predicate was pre-evaluated per
+    /// distinct value into a bitmap over codes.
+    DictSet {
+        /// Code array.
+        codes: &'a [Key],
+        /// Bitmap over codes.
+        matches: Bitmap,
+    },
+    /// Raw string comparison (no dictionary available).
+    StrCmp {
+        /// String column.
+        col: &'a StrColumn,
+        /// Operator.
+        op: CmpOp,
+        /// Literal.
+        v: String,
+    },
+    /// Raw string inclusive range.
+    StrBetween {
+        /// String column.
+        col: &'a StrColumn,
+        /// Lower bound.
+        lo: String,
+        /// Upper bound.
+        hi: String,
+    },
+    /// Raw string membership.
+    StrIn {
+        /// String column.
+        col: &'a StrColumn,
+        /// Accepted values.
+        set: Vec<String>,
+    },
+    /// Conjunction.
+    And(Vec<CompiledPred<'a>>),
+    /// Disjunction.
+    Or(Vec<CompiledPred<'a>>),
+    /// Negation.
+    Not(Box<CompiledPred<'a>>),
+}
+
+impl CompiledPred<'_> {
+    /// Evaluates the predicate on one row.
+    #[inline]
+    pub fn eval(&self, row: usize) -> bool {
+        match self {
+            CompiledPred::Const(b) => *b,
+            CompiledPred::I32Cmp { data, op, v } => op.apply(data[row], *v),
+            CompiledPred::I32Between { data, lo, hi } => {
+                let x = data[row];
+                x >= *lo && x <= *hi
+            }
+            CompiledPred::I32In { data, set } => set.contains(&data[row]),
+            CompiledPred::I64Cmp { data, op, v } => op.apply(data[row], *v),
+            CompiledPred::I64Between { data, lo, hi } => {
+                let x = data[row];
+                x >= *lo && x <= *hi
+            }
+            CompiledPred::I64In { data, set } => set.contains(&data[row]),
+            CompiledPred::F64Cmp { data, op, v } => op.apply(data[row], *v),
+            CompiledPred::F64Between { data, lo, hi } => {
+                let x = data[row];
+                x >= *lo && x <= *hi
+            }
+            CompiledPred::KeyCmp { keys, op, v } => op.apply(keys[row], *v),
+            CompiledPred::KeyBetween { keys, lo, hi } => {
+                let k = keys[row];
+                k >= *lo && k <= *hi
+            }
+            CompiledPred::DictEq { codes, code } => codes[row] == *code,
+            CompiledPred::DictSet { codes, matches } => {
+                matches.get_or_false(codes[row] as usize)
+            }
+            CompiledPred::StrCmp { col, op, v } => op.apply(col.get(row), v.as_str()),
+            CompiledPred::StrBetween { col, lo, hi } => {
+                let s = col.get(row);
+                s >= lo.as_str() && s <= hi.as_str()
+            }
+            CompiledPred::StrIn { col, set } => {
+                let s = col.get(row);
+                set.iter().any(|w| w == s)
+            }
+            CompiledPred::And(ps) => ps.iter().all(|p| p.eval(row)),
+            CompiledPred::Or(ps) => ps.iter().any(|p| p.eval(row)),
+            CompiledPred::Not(p) => !p.eval(row),
+        }
+    }
+
+    /// Estimated selectivity from a prefix sample of `sample` rows out of
+    /// `n`. Used to order conjuncts most-selective-first (§4.1).
+    pub fn sampled_selectivity(&self, n: usize, sample: usize) -> f64 {
+        let take = sample.min(n);
+        if take == 0 {
+            return 1.0;
+        }
+        let hits = (0..take).filter(|&r| self.eval(r)).count();
+        hits as f64 / take as f64
+    }
+}
+
+/// A measure expression evaluated per selected fact tuple during the
+/// aggregation phase — e.g. TPC-H Q3's `l_extendedprice * (1 - l_discount)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeasureExpr {
+    /// A column of the (root) table the measure is bound against.
+    Col(String),
+    /// A constant.
+    Const(f64),
+    /// Addition.
+    Add(Box<MeasureExpr>, Box<MeasureExpr>),
+    /// Subtraction.
+    Sub(Box<MeasureExpr>, Box<MeasureExpr>),
+    /// Multiplication.
+    Mul(Box<MeasureExpr>, Box<MeasureExpr>),
+}
+
+impl MeasureExpr {
+    /// Convenience: a column reference.
+    pub fn col(name: impl Into<String>) -> Self {
+        MeasureExpr::Col(name.into())
+    }
+
+    /// Column names referenced by the expression.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            MeasureExpr::Col(c) => out.push(c),
+            MeasureExpr::Const(_) => {}
+            MeasureExpr::Add(a, b) | MeasureExpr::Sub(a, b) | MeasureExpr::Mul(a, b) => {
+                a.collect(out);
+                b.collect(out);
+            }
+        }
+    }
+
+    /// Rewrites every column reference through `f` (denormalized rebinding).
+    pub fn map_columns(self, f: &impl Fn(&str) -> String) -> MeasureExpr {
+        match self {
+            MeasureExpr::Col(c) => MeasureExpr::Col(f(&c)),
+            MeasureExpr::Const(v) => MeasureExpr::Const(v),
+            MeasureExpr::Add(a, b) => {
+                MeasureExpr::Add(Box::new(a.map_columns(f)), Box::new(b.map_columns(f)))
+            }
+            MeasureExpr::Sub(a, b) => {
+                MeasureExpr::Sub(Box::new(a.map_columns(f)), Box::new(b.map_columns(f)))
+            }
+            MeasureExpr::Mul(a, b) => {
+                MeasureExpr::Mul(Box::new(a.map_columns(f)), Box::new(b.map_columns(f)))
+            }
+        }
+    }
+
+    /// Compiles against a table into a per-row evaluator.
+    pub fn compile<'a>(&self, table: &'a Table) -> CompiledMeasure<'a> {
+        match self {
+            MeasureExpr::Col(c) => {
+                let col = col_of(table, c);
+                match col {
+                    Column::I32(d) => CompiledMeasure::I32(d),
+                    Column::I64(d) => CompiledMeasure::I64(d),
+                    Column::F64(d) => CompiledMeasure::F64(d),
+                    other => panic!("measure column {c:?} must be numeric, got {}", other.dtype()),
+                }
+            }
+            MeasureExpr::Const(v) => CompiledMeasure::Const(*v),
+            MeasureExpr::Add(a, b) => {
+                CompiledMeasure::Add(Box::new(a.compile(table)), Box::new(b.compile(table)))
+            }
+            MeasureExpr::Sub(a, b) => {
+                CompiledMeasure::Sub(Box::new(a.compile(table)), Box::new(b.compile(table)))
+            }
+            MeasureExpr::Mul(a, b) => {
+                CompiledMeasure::Mul(Box::new(a.compile(table)), Box::new(b.compile(table)))
+            }
+        }
+    }
+}
+
+/// A compiled measure expression.
+#[derive(Debug)]
+pub enum CompiledMeasure<'a> {
+    /// i32 column.
+    I32(&'a [i32]),
+    /// i64 column.
+    I64(&'a [i64]),
+    /// f64 column.
+    F64(&'a [f64]),
+    /// Constant.
+    Const(f64),
+    /// Addition.
+    Add(Box<CompiledMeasure<'a>>, Box<CompiledMeasure<'a>>),
+    /// Subtraction.
+    Sub(Box<CompiledMeasure<'a>>, Box<CompiledMeasure<'a>>),
+    /// Multiplication.
+    Mul(Box<CompiledMeasure<'a>>, Box<CompiledMeasure<'a>>),
+}
+
+impl CompiledMeasure<'_> {
+    /// Evaluates the measure on one row.
+    #[inline]
+    pub fn eval(&self, row: usize) -> f64 {
+        match self {
+            CompiledMeasure::I32(d) => f64::from(d[row]),
+            CompiledMeasure::I64(d) => d[row] as f64,
+            CompiledMeasure::F64(d) => d[row],
+            CompiledMeasure::Const(v) => *v,
+            CompiledMeasure::Add(a, b) => a.eval(row) + b.eval(row),
+            CompiledMeasure::Sub(a, b) => a.eval(row) - b.eval(row),
+            CompiledMeasure::Mul(a, b) => a.eval(row) * b.eval(row),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astore_storage::prelude::*;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::new("qty", DataType::I32),
+            ColumnDef::new("price", DataType::I64),
+            ColumnDef::new("disc", DataType::F64),
+            ColumnDef::new("region", DataType::Dict),
+            ColumnDef::new("note", DataType::Str),
+        ]);
+        let mut t = Table::new("t", schema);
+        let regions = ["ASIA", "EUROPE", "ASIA", "AMERICA", "AFRICA"];
+        for i in 0..5i64 {
+            t.append_row(&[
+                Value::Int(i * 10),
+                Value::Int(1000 + i),
+                Value::Float(i as f64 / 10.0),
+                Value::Str(regions[i as usize].into()),
+                Value::Str(format!("note{i}")),
+            ]);
+        }
+        t
+    }
+
+    #[test]
+    fn int_comparisons() {
+        let t = table();
+        let p = Pred::cmp("qty", CmpOp::Ge, 20).compile(&t);
+        let hits: Vec<usize> = (0..5).filter(|&r| p.eval(r)).collect();
+        assert_eq!(hits, vec![2, 3, 4]);
+
+        let p = Pred::between("price", 1001i64, 1003i64).compile(&t);
+        let hits: Vec<usize> = (0..5).filter(|&r| p.eval(r)).collect();
+        assert_eq!(hits, vec![1, 2, 3]);
+
+        let p = Pred::in_list("qty", vec![0, 40]).compile(&t);
+        let hits: Vec<usize> = (0..5).filter(|&r| p.eval(r)).collect();
+        assert_eq!(hits, vec![0, 4]);
+    }
+
+    #[test]
+    fn float_comparisons() {
+        let t = table();
+        let p = Pred::between("disc", 0.1, 0.3).compile(&t);
+        let hits: Vec<usize> = (0..5).filter(|&r| p.eval(r)).collect();
+        assert_eq!(hits, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn dict_eq_compiles_to_code_compare() {
+        let t = table();
+        let p = Pred::eq("region", "ASIA").compile(&t);
+        assert!(matches!(p, CompiledPred::DictEq { .. }));
+        let hits: Vec<usize> = (0..5).filter(|&r| p.eval(r)).collect();
+        assert_eq!(hits, vec![0, 2]);
+    }
+
+    #[test]
+    fn dict_eq_missing_value_matches_nothing() {
+        let t = table();
+        let p = Pred::eq("region", "ATLANTIS").compile(&t);
+        assert_eq!((0..5).filter(|&r| p.eval(r)).count(), 0);
+    }
+
+    #[test]
+    fn dict_in_and_range_use_code_bitmaps() {
+        let t = table();
+        let p = Pred::in_list("region", vec!["ASIA", "AFRICA"]).compile(&t);
+        assert!(matches!(p, CompiledPred::DictSet { .. }));
+        let hits: Vec<usize> = (0..5).filter(|&r| p.eval(r)).collect();
+        assert_eq!(hits, vec![0, 2, 4]);
+
+        let p = Pred::between("region", "AFRICA", "ASIA").compile(&t);
+        let hits: Vec<usize> = (0..5).filter(|&r| p.eval(r)).collect();
+        assert_eq!(hits, vec![0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn raw_string_predicates() {
+        let t = table();
+        let p = Pred::eq("note", "note3").compile(&t);
+        let hits: Vec<usize> = (0..5).filter(|&r| p.eval(r)).collect();
+        assert_eq!(hits, vec![3]);
+        let p = Pred::in_list("note", vec!["note0", "note4"]).compile(&t);
+        assert_eq!((0..5).filter(|&r| p.eval(r)).count(), 2);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let t = table();
+        let p = Pred::eq("region", "ASIA")
+            .and(Pred::cmp("qty", CmpOp::Gt, 0))
+            .compile(&t);
+        let hits: Vec<usize> = (0..5).filter(|&r| p.eval(r)).collect();
+        assert_eq!(hits, vec![2]);
+
+        let p = Pred::Or(vec![Pred::eq("qty", 0), Pred::eq("qty", 40)]).compile(&t);
+        assert_eq!((0..5).filter(|&r| p.eval(r)).count(), 2);
+
+        let p = Pred::Not(Box::new(Pred::eq("region", "ASIA"))).compile(&t);
+        assert_eq!((0..5).filter(|&r| p.eval(r)).count(), 3);
+    }
+
+    #[test]
+    fn conjunct_flattening() {
+        let p = Pred::eq("a", 1)
+            .and(Pred::eq("b", 2))
+            .and(Pred::eq("c", 3));
+        assert_eq!(p.conjuncts().len(), 3);
+        assert_eq!(Pred::Const(true).and(Pred::eq("x", 1)), Pred::eq("x", 1));
+    }
+
+    #[test]
+    fn columns_listed() {
+        let p = Pred::eq("a", 1).and(Pred::Or(vec![Pred::eq("b", 2), Pred::eq("a", 3)]));
+        assert_eq!(p.columns(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn eval_bitmap_skips_dead_rows() {
+        let mut t = table();
+        t.delete(2);
+        let bm = Pred::eq("region", "ASIA").eval_bitmap(&t);
+        let hits: Vec<usize> = bm.iter_ones().collect();
+        assert_eq!(hits, vec![0]);
+    }
+
+    #[test]
+    fn out_of_range_literal_constant_folds() {
+        let t = table();
+        let p = Pred::cmp("qty", CmpOp::Lt, 1i64 << 40).compile(&t);
+        assert!(matches!(p, CompiledPred::Const(true)));
+        let p = Pred::cmp("qty", CmpOp::Gt, 1i64 << 40).compile(&t);
+        assert!(matches!(p, CompiledPred::Const(false)));
+    }
+
+    #[test]
+    fn sampled_selectivity_estimates() {
+        let t = table();
+        let p = Pred::cmp("qty", CmpOp::Ge, 20).compile(&t);
+        let sel = p.sampled_selectivity(5, 5);
+        assert!((sel - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measure_expression_arithmetic() {
+        let t = table();
+        // price * (1 - disc)
+        let m = MeasureExpr::Mul(
+            Box::new(MeasureExpr::col("price")),
+            Box::new(MeasureExpr::Sub(
+                Box::new(MeasureExpr::Const(1.0)),
+                Box::new(MeasureExpr::col("disc")),
+            )),
+        );
+        assert_eq!(m.columns(), vec!["disc", "price"]);
+        let c = m.compile(&t);
+        assert!((c.eval(0) - 1000.0).abs() < 1e-9);
+        assert!((c.eval(2) - 1002.0 * 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn map_columns_rewrites_references() {
+        let p = Pred::eq("a", 1).and(Pred::Or(vec![
+            Pred::between("b", 1, 2),
+            Pred::Not(Box::new(Pred::in_list("c", vec![3]))),
+        ]));
+        let renamed = p.map_columns(&|c| format!("t_{c}"));
+        assert_eq!(renamed.columns(), vec!["t_a", "t_b", "t_c"]);
+
+        let m = MeasureExpr::Mul(
+            Box::new(MeasureExpr::col("x")),
+            Box::new(MeasureExpr::Add(
+                Box::new(MeasureExpr::Const(1.0)),
+                Box::new(MeasureExpr::Sub(
+                    Box::new(MeasureExpr::col("y")),
+                    Box::new(MeasureExpr::Const(2.0)),
+                )),
+            )),
+        );
+        assert_eq!(m.map_columns(&|c| format!("w_{c}")).columns(), vec!["w_x", "w_y"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be numeric")]
+    fn measure_on_string_column_panics() {
+        let t = table();
+        MeasureExpr::col("note").compile(&t);
+    }
+}

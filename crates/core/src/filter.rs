@@ -1,0 +1,313 @@
+//! Predicate filters (paper §4.2).
+//!
+//! "A-Store applies predicate filter to eliminate repeated evaluation of
+//! leaf tables. It first conducts predicate evaluation directly on the leaf
+//! tables and generates a bit vector for each leaf table. … When scanning
+//! the universal table, we do not lookup the leaf tables, but probe the
+//! predicate vectors. … For a snowflake schema, predicate filters can be
+//! generated recursively for the leaf tables on the chain. In the end, a
+//! single predicate filter can be generated for the entire chain — the
+//! length of a predicate filter is determined by the number of rows of the
+//! first level dimension."
+//!
+//! [`ChainSpec`] identifies, per fact foreign-key column, the set of
+//! dimension tables the query touches through it; [`build_chain_filter`]
+//! folds their predicate vectors down to one bitmap over the first-level
+//! dimension.
+
+use std::collections::{HashMap, HashSet};
+
+use astore_storage::bitmap::Bitmap;
+use astore_storage::catalog::Database;
+use astore_storage::types::NULL_KEY;
+
+use crate::graph::JoinGraph;
+use crate::query::Query;
+use crate::universal::BindError;
+
+/// The dimension chain a query touches through one fact FK column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainSpec {
+    /// The fact table's AIR column this chain hangs off.
+    pub fact_key_col: String,
+    /// The first-level dimension (the table the AIR column points at).
+    pub dim_table: String,
+    /// All tables of this chain the query references (directly or as
+    /// intermediate hops), excluding the root. Sorted for determinism.
+    pub tables: Vec<String>,
+    /// Whether any table of the chain carries a selection predicate.
+    pub has_predicates: bool,
+}
+
+/// Groups the query's participating dimension tables by the fact FK column
+/// through which they are reached, producing one [`ChainSpec`] per FK
+/// column. Chains are returned in fact-schema column order.
+pub fn participating_chains(
+    graph: &JoinGraph,
+    root: &str,
+    query: &Query,
+) -> Result<Vec<ChainSpec>, BindError> {
+    // Tables the query references besides the root.
+    let mut participating: HashSet<&str> = HashSet::new();
+    for (t, _) in &query.selections {
+        if t != root {
+            participating.insert(t);
+        }
+    }
+    for g in &query.group_by {
+        if g.table != root {
+            participating.insert(&g.table);
+        }
+    }
+
+    // Group by first hop; collect every intermediate table along each path.
+    let mut by_key_col: HashMap<String, (String, HashSet<String>)> = HashMap::new();
+    for t in participating {
+        let path = graph
+            .path(root, t)
+            .ok_or_else(|| BindError::Unreachable { root: root.into(), table: t.into() })?;
+        let first = &path.steps[0];
+        let entry = by_key_col
+            .entry(first.key_column.clone())
+            .or_insert_with(|| (first.to_table.clone(), HashSet::new()));
+        for step in &path.steps {
+            entry.1.insert(step.to_table.clone());
+        }
+    }
+
+    // Deterministic order: fact schema column order.
+    let mut chains = Vec::new();
+    for (key_col, _) in graph.out_edges(root) {
+        if let Some((dim_table, tables)) = by_key_col.remove(key_col) {
+            let mut tables: Vec<String> = tables.into_iter().collect();
+            tables.sort_unstable();
+            let has_predicates =
+                tables.iter().any(|t| query.selection_on(t).is_some());
+            chains.push(ChainSpec {
+                fact_key_col: key_col.clone(),
+                dim_table,
+                tables,
+                has_predicates,
+            });
+        }
+    }
+    Ok(chains)
+}
+
+/// Builds the composed predicate filter of a chain: a bitmap over the
+/// first-level dimension's slots where bit `i` = 1 iff dimension row `i`
+/// is live, passes its own predicates, and transitively references rows
+/// passing theirs (recursive fold, paper §4.2).
+pub fn build_chain_filter(db: &Database, graph: &JoinGraph, query: &Query, chain: &ChainSpec) -> Bitmap {
+    compose_table_filter(db, graph, query, &chain.dim_table, &chain.tables)
+}
+
+/// Computes the composed bitmap for `table`, folding in the composed bitmaps
+/// of any relevant child tables it references.
+fn compose_table_filter(
+    db: &Database,
+    graph: &JoinGraph,
+    query: &Query,
+    table: &str,
+    relevant: &[String],
+) -> Bitmap {
+    let t = db.table(table).unwrap_or_else(|| panic!("no table {table:?}"));
+
+    // Local predicate (or pure liveness when the table has none).
+    let mut bm = match query.selection_on(table) {
+        Some(pred) => pred.eval_bitmap(t),
+        None => t.live_bitmap().clone(),
+    };
+
+    // Fold children: for each outgoing AIR edge into a relevant table,
+    // recursively compose the child's filter and probe it per local row.
+    for (key_col, child) in graph.out_edges(table) {
+        if !relevant.contains(child) {
+            continue;
+        }
+        let child_bm = compose_table_filter(db, graph, query, child, relevant);
+        let (_, keys) = t
+            .column(key_col)
+            .expect("edge column exists")
+            .as_key()
+            .expect("edge column is a key");
+        // Only rows still passing need the child probe.
+        let passing: Vec<usize> = bm.iter_ones().collect();
+        for i in passing {
+            let k = keys[i];
+            if k == NULL_KEY || !child_bm.get_or_false(k as usize) {
+                bm.set(i, false);
+            }
+        }
+    }
+    bm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Pred;
+    use crate::query::Query;
+    use astore_storage::prelude::*;
+
+    /// Star: lineorder -> {date, customer}; snowflake tail:
+    /// customer -> nation -> region.
+    fn db() -> Database {
+        let mut db = Database::new();
+
+        let mut region = Table::new(
+            "region",
+            Schema::new(vec![ColumnDef::new("r_name", DataType::Dict)]),
+        );
+        for r in ["AMERICA", "ASIA"] {
+            region.append_row(&[Value::Str(r.into())]);
+        }
+
+        let mut nation = Table::new(
+            "nation",
+            Schema::new(vec![
+                ColumnDef::new("n_name", DataType::Dict),
+                ColumnDef::new("n_region", DataType::Key { target: "region".into() }),
+            ]),
+        );
+        nation.append_row(&[Value::Str("BRAZIL".into()), Value::Key(0)]);
+        nation.append_row(&[Value::Str("CHINA".into()), Value::Key(1)]);
+        nation.append_row(&[Value::Str("JAPAN".into()), Value::Key(1)]);
+
+        let mut customer = Table::new(
+            "customer",
+            Schema::new(vec![
+                ColumnDef::new("c_nation", DataType::Key { target: "nation".into() }),
+                ColumnDef::new("c_mkt", DataType::Dict),
+            ]),
+        );
+        customer.append_row(&[Value::Key(0), Value::Str("AUTO".into())]); // BRAZIL/AMERICA
+        customer.append_row(&[Value::Key(1), Value::Str("AUTO".into())]); // CHINA/ASIA
+        customer.append_row(&[Value::Key(2), Value::Str("BIKE".into())]); // JAPAN/ASIA
+        customer.append_row(&[Value::Key(NULL_KEY), Value::Str("AUTO".into())]);
+
+        let mut date = Table::new(
+            "date",
+            Schema::new(vec![ColumnDef::new("d_year", DataType::I32)]),
+        );
+        for y in [1996, 1997, 1998] {
+            date.append_row(&[Value::Int(y)]);
+        }
+
+        let mut fact = Table::new(
+            "lineorder",
+            Schema::new(vec![
+                ColumnDef::new("lo_custkey", DataType::Key { target: "customer".into() }),
+                ColumnDef::new("lo_datekey", DataType::Key { target: "date".into() }),
+                ColumnDef::new("lo_revenue", DataType::I64),
+            ]),
+        );
+        for (c, d, r) in [(0u32, 0u32, 10i64), (1, 1, 20), (2, 2, 30), (3, 0, 40)] {
+            fact.append_row(&[Value::Key(c), Value::Key(d), Value::Int(r)]);
+        }
+
+        db.add_table(region);
+        db.add_table(nation);
+        db.add_table(customer);
+        db.add_table(date);
+        db.add_table(fact);
+        db
+    }
+
+    #[test]
+    fn chains_grouped_by_fact_key_column() {
+        let db = db();
+        let g = JoinGraph::build(&db);
+        let q = Query::new()
+            .filter("region", Pred::eq("r_name", "ASIA"))
+            .filter("date", Pred::eq("d_year", 1997))
+            .group("nation", "n_name");
+        let chains = participating_chains(&g, "lineorder", &q).unwrap();
+        assert_eq!(chains.len(), 2);
+        // Fact schema order: lo_custkey before lo_datekey.
+        assert_eq!(chains[0].fact_key_col, "lo_custkey");
+        assert_eq!(chains[0].dim_table, "customer");
+        assert_eq!(chains[0].tables, vec!["customer", "nation", "region"]);
+        assert!(chains[0].has_predicates);
+        assert_eq!(chains[1].fact_key_col, "lo_datekey");
+        assert_eq!(chains[1].tables, vec!["date"]);
+        assert!(chains[1].has_predicates);
+    }
+
+    #[test]
+    fn chain_without_predicates_flagged() {
+        let db = db();
+        let g = JoinGraph::build(&db);
+        let q = Query::new().group("date", "d_year");
+        let chains = participating_chains(&g, "lineorder", &q).unwrap();
+        assert_eq!(chains.len(), 1);
+        assert!(!chains[0].has_predicates);
+    }
+
+    #[test]
+    fn single_table_filter() {
+        let db = db();
+        let g = JoinGraph::build(&db);
+        let q = Query::new().filter("date", Pred::eq("d_year", 1997));
+        let chains = participating_chains(&g, "lineorder", &q).unwrap();
+        let bm = build_chain_filter(&db, &g, &q, &chains[0]);
+        assert_eq!(bm.len(), 3);
+        let hits: Vec<usize> = bm.iter_ones().collect();
+        assert_eq!(hits, vec![1]);
+    }
+
+    #[test]
+    fn snowflake_filter_composes_down_the_chain() {
+        let db = db();
+        let g = JoinGraph::build(&db);
+        // region = ASIA folds region -> nation -> customer.
+        let q = Query::new().filter("region", Pred::eq("r_name", "ASIA"));
+        let chains = participating_chains(&g, "lineorder", &q).unwrap();
+        assert_eq!(chains[0].dim_table, "customer");
+        let bm = build_chain_filter(&db, &g, &q, &chains[0]);
+        // customers 1 (CHINA) and 2 (JAPAN) are in ASIA; 0 is AMERICA;
+        // 3 has a NULL nation reference and must drop out.
+        let hits: Vec<usize> = bm.iter_ones().collect();
+        assert_eq!(hits, vec![1, 2]);
+    }
+
+    #[test]
+    fn local_and_folded_predicates_combine() {
+        let db = db();
+        let g = JoinGraph::build(&db);
+        let q = Query::new()
+            .filter("region", Pred::eq("r_name", "ASIA"))
+            .filter("customer", Pred::eq("c_mkt", "AUTO"));
+        let chains = participating_chains(&g, "lineorder", &q).unwrap();
+        let bm = build_chain_filter(&db, &g, &q, &chains[0]);
+        // Only customer 1 is both AUTO and in ASIA.
+        let hits: Vec<usize> = bm.iter_ones().collect();
+        assert_eq!(hits, vec![1]);
+    }
+
+    #[test]
+    fn dead_dimension_rows_are_filtered() {
+        let mut db = db();
+        db.table_mut("customer").unwrap().delete(1);
+        let g = JoinGraph::build(&db);
+        let q = Query::new().filter("region", Pred::eq("r_name", "ASIA"));
+        let chains = participating_chains(&g, "lineorder", &q).unwrap();
+        let bm = build_chain_filter(&db, &g, &q, &chains[0]);
+        let hits: Vec<usize> = bm.iter_ones().collect();
+        assert_eq!(hits, vec![2]);
+    }
+
+    #[test]
+    fn intermediate_table_without_predicate_still_folds() {
+        let db = db();
+        let g = JoinGraph::build(&db);
+        // Group by region name, no predicates anywhere: bitmap over customer
+        // is just "has a complete live chain".
+        let q = Query::new().group("region", "r_name");
+        let chains = participating_chains(&g, "lineorder", &q).unwrap();
+        assert!(!chains[0].has_predicates);
+        let bm = build_chain_filter(&db, &g, &q, &chains[0]);
+        let hits: Vec<usize> = bm.iter_ones().collect();
+        assert_eq!(hits, vec![0, 1, 2], "customer 3 has a NULL chain");
+    }
+}

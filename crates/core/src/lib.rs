@@ -1,0 +1,88 @@
+//! # astore-core
+//!
+//! **A-Store**: a main-memory OLAP engine built on *virtual denormalization
+//! via array index reference (AIR)*, reproducing Zhang et al. (ICDE/TKDE
+//! 2016).
+//!
+//! The engine executes SPJGA (Select-Project-Join-Group-Aggregate) queries
+//! over star and snowflake schemas without running a single join operator:
+//! foreign keys are array indexes into dimension tables (see
+//! `astore-storage`), so the whole schema forms a *virtual universal table*
+//! that is simply scanned. Execution is three phases (paper §3):
+//!
+//! 1. **Scan & filter** — a vectorized column scan of the fact table,
+//!    probing per-dimension *predicate vectors* (§4.2) through the foreign
+//!    keys;
+//! 2. **Grouping** — *group vectors* map dimension rows to group ids; the
+//!    per-tuple aggregation cell goes into the *Measure Index* (§4.3);
+//! 3. **Aggregation** — measure columns are scanned through the Measure
+//!    Index into a dense multidimensional aggregation array (or a hash
+//!    table when the array would be too sparse).
+//!
+//! Multicore execution (§5) partitions the fact table horizontally and
+//! shares the phase-1 artifacts across workers.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use astore_storage::prelude::*;
+//! use astore_core::prelude::*;
+//!
+//! // Schema: lineorder -> date (AIR foreign key).
+//! let mut date = Table::new("date", Schema::new(vec![
+//!     ColumnDef::new("d_year", DataType::I32),
+//! ]));
+//! for y in [1992, 1993] { date.append_row(&[Value::Int(y)]); }
+//!
+//! let mut lineorder = Table::new("lineorder", Schema::new(vec![
+//!     ColumnDef::new("lo_dk", DataType::Key { target: "date".into() }),
+//!     ColumnDef::new("lo_revenue", DataType::I64),
+//! ]));
+//! for (d, r) in [(0u32, 10i64), (1, 20), (0, 30)] {
+//!     lineorder.append_row(&[Value::Key(d), Value::Int(r)]);
+//! }
+//!
+//! let mut db = Database::new();
+//! db.add_table(date);
+//! db.add_table(lineorder);
+//!
+//! // SELECT d_year, SUM(lo_revenue) FROM lineorder, date
+//! // WHERE lo_dk = d_datekey GROUP BY d_year ORDER BY d_year;
+//! let q = Query::new()
+//!     .group("date", "d_year")
+//!     .agg(Aggregate::sum(MeasureExpr::col("lo_revenue"), "revenue"))
+//!     .order(OrderKey::asc("d_year"));
+//! let out = execute(&db, &q, &ExecOptions::default()).unwrap();
+//! assert_eq!(out.result.rows.len(), 2);
+//! assert_eq!(out.result.rows[0], vec![Value::Int(1992), Value::Float(40.0)]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod agg;
+pub mod air_join;
+pub mod exec;
+pub mod expr;
+pub mod filter;
+pub mod graph;
+pub mod groupvec;
+pub mod optimizer;
+mod parallel;
+pub mod query;
+pub mod result;
+pub mod scan;
+pub mod universal;
+
+/// Convenient glob import of the engine's public surface.
+pub mod prelude {
+    pub use crate::exec::{
+        execute, ExecOptions, ExecOutput, PhaseTimings, PlanInfo, ScanVariant, SelectionStrategy,
+    };
+    pub use crate::expr::{CmpOp, Lit, MeasureExpr, Pred};
+    pub use crate::graph::JoinGraph;
+    pub use crate::optimizer::{AggStrategy, OptimizerConfig};
+    pub use crate::query::{AggFunc, Aggregate, ColRef, OrderKey, Query, SortOrder};
+    pub use crate::result::QueryResult;
+    pub use crate::universal::{BindError, Universal};
+}

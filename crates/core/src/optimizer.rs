@@ -1,0 +1,126 @@
+//! The (small) optimizer: the two decisions the paper gives it (§4.2, §4.3).
+//!
+//! 1. *Predicate vectors*: "An optimizer is used to decide whether to use
+//!    predicate vectors, according to the row number of each table" — use a
+//!    chain's composed filter only if it fits the configured cache budget.
+//! 2. *Aggregation strategy*: "The optimizer of A-Store is responsible for
+//!    estimating the sparsity of aggregation arrays and deciding whether to
+//!    use array based or hash based aggregation."
+
+use astore_storage::catalog::Database;
+
+/// How grouped aggregates are stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggStrategy {
+    /// The dense multidimensional aggregation array (§4.3).
+    DenseArray,
+    /// Hash-table fallback for sparse/huge group spaces.
+    HashTable,
+}
+
+/// Tunables for the optimizer.
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Maximum predicate-vector size, in bytes, for a chain filter to be
+    /// considered cache-resident (paper §4.2 discusses LLC-sized vectors;
+    /// default 16 MiB ≈ a conservative slice of a server LLC).
+    pub cache_budget_bytes: usize,
+    /// Maximum number of cells the dense aggregation array may have.
+    pub agg_array_max_cells: usize,
+    /// Minimum fill ratio (estimated groups / cells) below which the dense
+    /// array is considered too sparse. 0 disables the sparsity test — the
+    /// cell cap alone decides.
+    pub agg_min_fill: f64,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            cache_budget_bytes: 16 << 20,
+            agg_array_max_cells: 1 << 22,
+            agg_min_fill: 0.0,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// Decides whether a chain filter over a first-level dimension of
+    /// `dim_rows` rows should be materialized as a predicate vector.
+    pub fn use_predicate_vector(&self, dim_rows: usize) -> bool {
+        // One bit per dimension slot.
+        dim_rows.div_ceil(8) <= self.cache_budget_bytes
+    }
+
+    /// Decides the aggregation strategy given the per-dimension group
+    /// dictionary sizes (radices).
+    pub fn agg_strategy(&self, radices: &[u32]) -> AggStrategy {
+        let Some(cells) = radices
+            .iter()
+            .try_fold(1usize, |acc, &r| acc.checked_mul(r as usize))
+        else {
+            return AggStrategy::HashTable;
+        };
+        if cells > self.agg_array_max_cells {
+            return AggStrategy::HashTable;
+        }
+        if self.agg_min_fill > 0.0 && !radices.is_empty() {
+            // Crude independence estimate: expected fill if every
+            // combination were equally likely is bounded by the largest
+            // single dimension.
+            let max_dim = radices.iter().copied().max().unwrap_or(1) as f64;
+            if max_dim / cells as f64 > 0.0 && (max_dim / cells as f64) < self.agg_min_fill {
+                return AggStrategy::HashTable;
+            }
+        }
+        AggStrategy::DenseArray
+    }
+
+    /// Estimated bytes of all predicate vectors a query would allocate —
+    /// exposed for planning diagnostics.
+    pub fn filter_bytes(&self, db: &Database, dims: &[&str]) -> usize {
+        dims.iter()
+            .filter_map(|d| db.table(d))
+            .map(|t| t.num_slots().div_ceil(8))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_vector_budget() {
+        let cfg = OptimizerConfig { cache_budget_bytes: 1024, ..Default::default() };
+        assert!(cfg.use_predicate_vector(8 * 1024)); // exactly 1 KiB of bits
+        assert!(!cfg.use_predicate_vector(8 * 1024 + 1));
+        assert!(cfg.use_predicate_vector(0));
+    }
+
+    #[test]
+    fn agg_strategy_cell_cap() {
+        let cfg = OptimizerConfig { agg_array_max_cells: 1000, ..Default::default() };
+        assert_eq!(cfg.agg_strategy(&[10, 10]), AggStrategy::DenseArray);
+        assert_eq!(cfg.agg_strategy(&[10, 10, 10]), AggStrategy::DenseArray);
+        assert_eq!(cfg.agg_strategy(&[10, 101]), AggStrategy::HashTable);
+        assert_eq!(cfg.agg_strategy(&[]), AggStrategy::DenseArray);
+    }
+
+    #[test]
+    fn agg_strategy_overflow_is_hash() {
+        let cfg = OptimizerConfig::default();
+        assert_eq!(
+            cfg.agg_strategy(&[u32::MAX, u32::MAX, u32::MAX]),
+            AggStrategy::HashTable
+        );
+    }
+
+    #[test]
+    fn default_budget_accommodates_common_dimensions() {
+        let cfg = OptimizerConfig::default();
+        // SSB SF100 customer: 3M rows -> 375 KB of bits, well within 16 MiB.
+        assert!(cfg.use_predicate_vector(3_000_000));
+        // A 600M-row "dimension" (a fact-sized table) would not fit 16 MiB.
+        assert!(!cfg.use_predicate_vector(600_000_000));
+    }
+}

@@ -1,0 +1,263 @@
+//! Query results: ordered rows of group labels and aggregate values.
+
+use astore_storage::types::Value;
+
+use crate::query::{OrderKey, SortOrder};
+
+/// A materialized query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Output column names (group columns, then aggregate aliases).
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl QueryResult {
+    /// An empty result with the given columns.
+    pub fn empty(columns: Vec<String>) -> Self {
+        QueryResult { columns, rows: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Sorts rows by the given keys (applied in order, stable), then applies
+    /// an optional limit. Unknown key names are ignored.
+    pub fn order_and_limit(&mut self, keys: &[OrderKey], limit: Option<usize>) {
+        let indexed: Vec<(usize, SortOrder)> = keys
+            .iter()
+            .filter_map(|k| {
+                self.columns.iter().position(|c| *c == k.output).map(|i| (i, k.order))
+            })
+            .collect();
+        if !indexed.is_empty() {
+            self.rows.sort_by(|a, b| {
+                for &(i, ord) in &indexed {
+                    let c = cmp_values(&a[i], &b[i]);
+                    let c = match ord {
+                        SortOrder::Asc => c,
+                        SortOrder::Desc => c.reverse(),
+                    };
+                    if c != std::cmp::Ordering::Equal {
+                        return c;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        if let Some(n) = limit {
+            self.rows.truncate(n);
+        }
+    }
+
+    /// A canonical form for cross-engine comparison in tests: rows sorted by
+    /// every column, ascending.
+    pub fn normalized(&self) -> QueryResult {
+        let mut rows = self.rows.clone();
+        rows.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let c = cmp_values(x, y);
+                if c != std::cmp::Ordering::Equal {
+                    return c;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        QueryResult { columns: self.columns.clone(), rows }
+    }
+
+    /// Structural equality up to row order and float rounding — the
+    /// correctness oracle used by the integration tests.
+    pub fn same_contents(&self, other: &QueryResult, eps: f64) -> bool {
+        if self.columns != other.columns || self.rows.len() != other.rows.len() {
+            return false;
+        }
+        let a = self.normalized();
+        let b = other.normalized();
+        a.rows
+            .iter()
+            .zip(b.rows.iter())
+            .all(|(ra, rb)| ra.iter().zip(rb.iter()).all(|(x, y)| values_close(x, y, eps)))
+    }
+
+    /// Renders as an aligned text table (harness output).
+    pub fn to_table_string(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(render_value).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::Float(f) if f.fract() == 0.0 && f.abs() < 9e15 => format!("{}", *f as i64),
+        other => other.to_string(),
+    }
+}
+
+/// Total order over heterogeneous values: Null < numeric < string < key.
+pub fn cmp_values(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering::*;
+    use Value::*;
+    match (a, b) {
+        (Null, Null) => Equal,
+        (Null, _) => Less,
+        (_, Null) => Greater,
+        (Int(x), Int(y)) => x.cmp(y),
+        (Float(x), Float(y)) => x.partial_cmp(y).unwrap_or(Equal),
+        (Int(x), Float(y)) => (*x as f64).partial_cmp(y).unwrap_or(Equal),
+        (Float(x), Int(y)) => x.partial_cmp(&(*y as f64)).unwrap_or(Equal),
+        (Int(_) | Float(_), _) => Less,
+        (_, Int(_) | Float(_)) => Greater,
+        (Str(x), Str(y)) => x.cmp(y),
+        (Str(_), Key(_)) => Less,
+        (Key(_), Str(_)) => Greater,
+        (Key(x), Key(y)) => x.cmp(y),
+    }
+}
+
+fn values_close(a: &Value, b: &Value, eps: f64) -> bool {
+    use Value::*;
+    match (a, b) {
+        (Float(x), Float(y)) => {
+            (x - y).abs() <= eps * (1.0 + x.abs().max(y.abs()))
+        }
+        (Int(x), Float(y)) | (Float(y), Int(x)) => {
+            (*x as f64 - y).abs() <= eps * (1.0 + y.abs())
+        }
+        _ => a == b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> QueryResult {
+        QueryResult {
+            columns: vec!["year".into(), "revenue".into()],
+            rows: vec![
+                vec![Value::Int(1993), Value::Float(50.0)],
+                vec![Value::Int(1992), Value::Float(100.0)],
+                vec![Value::Int(1992), Value::Float(75.0)],
+            ],
+        }
+    }
+
+    #[test]
+    fn order_asc_then_desc() {
+        let mut r = result();
+        r.order_and_limit(&[OrderKey::asc("year"), OrderKey::desc("revenue")], None);
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Int(1992), Value::Float(100.0)],
+                vec![Value::Int(1992), Value::Float(75.0)],
+                vec![Value::Int(1993), Value::Float(50.0)],
+            ]
+        );
+    }
+
+    #[test]
+    fn limit_truncates_after_sort() {
+        let mut r = result();
+        r.order_and_limit(&[OrderKey::desc("revenue")], Some(1));
+        assert_eq!(r.rows, vec![vec![Value::Int(1992), Value::Float(100.0)]]);
+    }
+
+    #[test]
+    fn unknown_order_key_ignored() {
+        let mut r = result();
+        let before = r.rows.clone();
+        r.order_and_limit(&[OrderKey::asc("nope")], None);
+        assert_eq!(r.rows, before);
+    }
+
+    #[test]
+    fn same_contents_up_to_row_order() {
+        let a = result();
+        let mut b = result();
+        b.rows.reverse();
+        assert!(a.same_contents(&b, 1e-9));
+    }
+
+    #[test]
+    fn same_contents_detects_differences() {
+        let a = result();
+        let mut b = result();
+        b.rows[0][1] = Value::Float(51.0);
+        assert!(!a.same_contents(&b, 1e-9));
+        let mut c = result();
+        c.rows.pop();
+        assert!(!a.same_contents(&c, 1e-9));
+    }
+
+    #[test]
+    fn same_contents_tolerates_float_noise() {
+        let a = QueryResult {
+            columns: vec!["x".into()],
+            rows: vec![vec![Value::Float(1.0)]],
+        };
+        let b = QueryResult {
+            columns: vec!["x".into()],
+            rows: vec![vec![Value::Float(1.0 + 1e-13)]],
+        };
+        assert!(a.same_contents(&b, 1e-9));
+    }
+
+    #[test]
+    fn int_float_cross_comparison() {
+        assert_eq!(
+            cmp_values(&Value::Int(2), &Value::Float(2.0)),
+            std::cmp::Ordering::Equal
+        );
+        assert_eq!(
+            cmp_values(&Value::Int(1), &Value::Str("a".into())),
+            std::cmp::Ordering::Less
+        );
+        assert_eq!(
+            cmp_values(&Value::Null, &Value::Int(0)),
+            std::cmp::Ordering::Less
+        );
+    }
+
+    #[test]
+    fn table_rendering_aligns_and_integers_floats() {
+        let r = QueryResult {
+            columns: vec!["name".into(), "v".into()],
+            rows: vec![vec![Value::Str("long-name".into()), Value::Float(12.0)]],
+        };
+        let s = r.to_table_string();
+        assert!(s.contains("long-name"));
+        assert!(s.contains("12"), "{s}");
+        assert!(!s.contains("12.0"), "whole floats render as integers: {s}");
+    }
+}

@@ -1,0 +1,338 @@
+//! Scan-and-filter machinery (paper §3 phase 1, §4.1, §4.2).
+//!
+//! Two scan disciplines are provided, matching the paper's ablation (§6.3):
+//!
+//! * **row-wise** ([`select_rowwise`]): every tuple is evaluated against all
+//!   predicates in one pass over the fact table;
+//! * **column-wise** ([`select_columnwise`]): a [`SelVec`] is refined one
+//!   predicate at a time, most selective first, so later predicates touch
+//!   only surviving tuples.
+//!
+//! Dimension predicates appear as [`ChainCheck`]s: either a probe of a
+//! pre-built predicate vector (§4.2) or a direct AIR chase that evaluates
+//! the dimension predicates per fact row (the fallback when the filter
+//! would not fit the cache budget, and the mode of the `_P`-less variants).
+
+use astore_storage::bitmap::Bitmap;
+use astore_storage::selvec::SelVec;
+use astore_storage::table::Table;
+use astore_storage::types::{Key, RowId, NULL_KEY};
+
+use crate::expr::CompiledPred;
+
+/// A per-fact-row liveness + predicate check against one table of a
+/// dimension chain, evaluated by chasing the AIR hops.
+pub struct DirectCheck<'a> {
+    /// AIR hop arrays from the fact table to the checked table.
+    pub hops: Vec<&'a [Key]>,
+    /// Live bitmap of the checked table, present only when it has deletes.
+    pub live: Option<&'a Bitmap>,
+    /// Compiled predicate on the checked table, if the query has one.
+    pub pred: Option<CompiledPred<'a>>,
+}
+
+impl DirectCheck<'_> {
+    /// Evaluates the check for one fact row.
+    #[inline]
+    pub fn eval(&self, fact_row: usize) -> bool {
+        let mut row = fact_row;
+        for keys in &self.hops {
+            let k = keys[row];
+            if k == NULL_KEY {
+                return false;
+            }
+            row = k as usize;
+        }
+        if let Some(live) = self.live {
+            if !live.get_or_false(row) {
+                return false;
+            }
+        }
+        match &self.pred {
+            Some(p) => p.eval(row),
+            None => true,
+        }
+    }
+}
+
+/// The selection test for one dimension chain.
+pub enum ChainCheck<'a> {
+    /// Probe the chain's composed predicate vector through the fact FK
+    /// column (paper §4.2).
+    PredVec {
+        /// The fact FK column's key array.
+        keys: &'a [Key],
+        /// Composed predicate vector over the first-level dimension.
+        bitmap: &'a Bitmap,
+    },
+    /// Chase the chain and evaluate predicates per fact row.
+    Direct {
+        /// One check per predicate-bearing (or delete-bearing) table.
+        checks: Vec<DirectCheck<'a>>,
+    },
+}
+
+impl ChainCheck<'_> {
+    /// Evaluates the chain check for one fact row.
+    #[inline]
+    pub fn eval(&self, row: usize) -> bool {
+        match self {
+            ChainCheck::PredVec { keys, bitmap } => {
+                // NULL_KEY maps far out of range and reads as false.
+                bitmap.get_or_false(keys[row] as usize)
+            }
+            ChainCheck::Direct { checks } => checks.iter().all(|c| c.eval(row)),
+        }
+    }
+
+    /// Rough selectivity estimate for check ordering (predicate vectors
+    /// expose their density; direct probes are pessimistically 1.0 so they
+    /// run last, on the fewest rows).
+    pub fn estimated_selectivity(&self) -> f64 {
+        match self {
+            ChainCheck::PredVec { bitmap, .. } => {
+                if bitmap.is_empty() {
+                    0.0
+                } else {
+                    bitmap.count_ones() as f64 / bitmap.len() as f64
+                }
+            }
+            ChainCheck::Direct { .. } => 1.0,
+        }
+    }
+}
+
+/// The initial selection vector over a row range, honouring deletes.
+pub fn initial_selvec(fact: &Table, range: std::ops::Range<usize>) -> SelVec {
+    if fact.has_deletes() {
+        let live = fact.live_bitmap();
+        SelVec::from_rows(
+            range.filter(|&r| live.get_or_false(r)).map(|r| r as RowId).collect(),
+        )
+    } else {
+        SelVec::from_rows(range.map(|r| r as RowId).collect())
+    }
+}
+
+/// Column-wise vector-based scan (§4.1): refine per fact-local predicate
+/// (already ordered most-selective-first by the caller), then per chain
+/// check (predicate vectors before direct probes).
+pub fn select_columnwise(
+    fact: &Table,
+    range: std::ops::Range<usize>,
+    fact_preds: &[CompiledPred<'_>],
+    chains: &mut [ChainCheck<'_>],
+) -> SelVec {
+    let mut sv = initial_selvec(fact, range);
+    for p in fact_preds {
+        if sv.is_empty() {
+            break;
+        }
+        sv.refine(|r| p.eval(r as usize));
+    }
+    // Predicate vectors first (cheap, cache-resident), ordered densest-last.
+    chains.sort_by(|a, b| {
+        a.estimated_selectivity()
+            .partial_cmp(&b.estimated_selectivity())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for c in chains.iter() {
+        if sv.is_empty() {
+            break;
+        }
+        sv.refine(|r| c.eval(r as usize));
+    }
+    sv
+}
+
+/// The full-materialization alternative of §4.1: "Some systems choose to
+/// scan and evaluate each column independently. The result of each scan is
+/// a bitmap … then the scan results of all the columns are combined through
+/// bitwise AND." Every predicate touches the *whole* column — no skipping —
+/// which is exactly the memory-bandwidth cost the selection-vector scan
+/// avoids. Kept as an ablation comparator.
+pub fn select_bitmap_and(
+    fact: &Table,
+    range: std::ops::Range<usize>,
+    fact_preds: &[CompiledPred<'_>],
+    chains: &[ChainCheck<'_>],
+) -> SelVec {
+    let (lo, hi) = (range.start, range.end);
+    let n = hi - lo;
+    let mut acc = if fact.has_deletes() {
+        let live = fact.live_bitmap();
+        Bitmap::from_fn(n, |i| live.get_or_false(lo + i))
+    } else {
+        Bitmap::new(n, true)
+    };
+    for p in fact_preds {
+        // Full column scan into an intermediate bitmap, then AND.
+        let bm = Bitmap::from_fn(n, |i| p.eval(lo + i));
+        acc.and_assign(&bm);
+    }
+    for c in chains {
+        let bm = Bitmap::from_fn(n, |i| c.eval(lo + i));
+        acc.and_assign(&bm);
+    }
+    SelVec::from_rows(acc.iter_ones().map(|i| (lo + i) as RowId).collect())
+}
+
+/// Row-wise scan (the `AIRScan_R*` variants): all predicates evaluated per
+/// tuple in a single pass.
+pub fn select_rowwise(
+    fact: &Table,
+    range: std::ops::Range<usize>,
+    fact_preds: &[CompiledPred<'_>],
+    chains: &[ChainCheck<'_>],
+) -> SelVec {
+    let has_deletes = fact.has_deletes();
+    let live = fact.live_bitmap();
+    let mut rows = Vec::new();
+    for r in range {
+        if has_deletes && !live.get_or_false(r) {
+            continue;
+        }
+        if fact_preds.iter().all(|p| p.eval(r)) && chains.iter().all(|c| c.eval(r)) {
+            rows.push(r as RowId);
+        }
+    }
+    SelVec::from_rows(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, Pred};
+    use astore_storage::prelude::*;
+
+    /// fact(f_dim key -> dim, f_v i32), dim(d_flag i32).
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut dim = Table::new(
+            "dim",
+            Schema::new(vec![ColumnDef::new("d_flag", DataType::I32)]),
+        );
+        for f in [0, 1, 0, 1] {
+            dim.append_row(&[Value::Int(f)]);
+        }
+        let mut fact = Table::new(
+            "fact",
+            Schema::new(vec![
+                ColumnDef::new("f_dim", DataType::Key { target: "dim".into() }),
+                ColumnDef::new("f_v", DataType::I32),
+            ]),
+        );
+        for (d, v) in [(0u32, 10), (1, 20), (2, 30), (3, 40), (NULL_KEY, 50), (1, 60)] {
+            fact.append_row(&[Value::Key(d), Value::Int(v)]);
+        }
+        db.add_table(dim);
+        db.add_table(fact);
+        db
+    }
+
+    #[test]
+    fn initial_selvec_full_range() {
+        let db = db();
+        let fact = db.table("fact").unwrap();
+        assert_eq!(initial_selvec(fact, 0..6).len(), 6);
+        assert_eq!(initial_selvec(fact, 2..4).rows(), &[2, 3]);
+    }
+
+    #[test]
+    fn initial_selvec_skips_deleted() {
+        let mut db = db();
+        db.table_mut("fact").unwrap().delete(1);
+        let fact = db.table("fact").unwrap();
+        assert_eq!(initial_selvec(fact, 0..6).rows(), &[0, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn predvec_chain_check() {
+        let db = db();
+        let fact = db.table("fact").unwrap();
+        let dim = db.table("dim").unwrap();
+        let bm = Pred::eq("d_flag", 1).eval_bitmap(dim);
+        let (_, keys) = fact.column("f_dim").unwrap().as_key().unwrap();
+        let check = ChainCheck::PredVec { keys, bitmap: &bm };
+        // fact rows pointing at dims 1 or 3 pass; NULL_KEY fails.
+        let hits: Vec<usize> = (0..6).filter(|&r| check.eval(r)).collect();
+        assert_eq!(hits, vec![1, 3, 5]);
+        assert!((check.estimated_selectivity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direct_chain_check_equivalent_to_predvec() {
+        let db = db();
+        let fact = db.table("fact").unwrap();
+        let dim = db.table("dim").unwrap();
+        let (_, keys) = fact.column("f_dim").unwrap().as_key().unwrap();
+        let direct = ChainCheck::Direct {
+            checks: vec![DirectCheck {
+                hops: vec![keys],
+                live: None,
+                pred: Some(Pred::eq("d_flag", 1).compile(dim)),
+            }],
+        };
+        let bm = Pred::eq("d_flag", 1).eval_bitmap(dim);
+        let pv = ChainCheck::PredVec { keys, bitmap: &bm };
+        for r in 0..6 {
+            assert_eq!(direct.eval(r), pv.eval(r), "row {r}");
+        }
+        assert_eq!(direct.estimated_selectivity(), 1.0);
+    }
+
+    #[test]
+    fn direct_check_respects_dimension_deletes() {
+        let mut db = db();
+        db.table_mut("dim").unwrap().delete(1);
+        let fact = db.table("fact").unwrap();
+        let dim = db.table("dim").unwrap();
+        let (_, keys) = fact.column("f_dim").unwrap().as_key().unwrap();
+        let check = ChainCheck::Direct {
+            checks: vec![DirectCheck {
+                hops: vec![keys],
+                live: Some(dim.live_bitmap()),
+                pred: Some(Pred::eq("d_flag", 1).compile(dim)),
+            }],
+        };
+        let hits: Vec<usize> = (0..6).filter(|&r| check.eval(r)).collect();
+        assert_eq!(hits, vec![3], "rows pointing at deleted dim 1 drop out");
+    }
+
+    #[test]
+    fn all_three_scan_disciplines_agree() {
+        let db = db();
+        let fact = db.table("fact").unwrap();
+        let dim = db.table("dim").unwrap();
+        let bm = Pred::eq("d_flag", 1).eval_bitmap(dim);
+        let (_, keys) = fact.column("f_dim").unwrap().as_key().unwrap();
+        let fact_pred = Pred::cmp("f_v", CmpOp::Lt, 60).compile(fact);
+
+        let mut chains = vec![ChainCheck::PredVec { keys, bitmap: &bm }];
+        let col = select_columnwise(fact, 0..6, std::slice::from_ref(&fact_pred), &mut chains);
+        let row = select_rowwise(fact, 0..6, std::slice::from_ref(&fact_pred), &chains);
+        let bma = select_bitmap_and(fact, 0..6, std::slice::from_ref(&fact_pred), &chains);
+        assert_eq!(col, row);
+        assert_eq!(col, bma);
+        assert_eq!(col.rows(), &[1, 3]);
+    }
+
+    #[test]
+    fn bitmap_and_respects_subranges_and_deletes() {
+        let mut db = db();
+        db.table_mut("fact").unwrap().delete(3);
+        let fact = db.table("fact").unwrap();
+        let p = Pred::cmp("f_v", CmpOp::Ge, 20).compile(fact);
+        let sv = select_bitmap_and(fact, 1..5, std::slice::from_ref(&p), &[]);
+        assert_eq!(sv.rows(), &[1, 2, 4]);
+    }
+
+    #[test]
+    fn empty_short_circuit() {
+        let db = db();
+        let fact = db.table("fact").unwrap();
+        let p = Pred::cmp("f_v", CmpOp::Gt, 1000).compile(fact);
+        let sv = select_columnwise(fact, 0..6, std::slice::from_ref(&p), &mut []);
+        assert!(sv.is_empty());
+    }
+}

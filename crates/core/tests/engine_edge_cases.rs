@@ -1,0 +1,241 @@
+//! Edge-case integration tests for the execution engine: empty inputs,
+//! fully deleted tables, deep snowflake chains, degenerate group spaces.
+
+use astore_core::prelude::*;
+use astore_storage::prelude::*;
+
+fn star(n_fact: usize, n_dim: usize) -> Database {
+    let mut dim = Table::new(
+        "dim",
+        Schema::new(vec![
+            ColumnDef::new("d_cat", DataType::Dict),
+            ColumnDef::new("d_flag", DataType::I32),
+        ]),
+    );
+    for i in 0..n_dim {
+        dim.append_row(&[Value::Str(format!("c{}", i % 3)), Value::Int((i % 2) as i64)]);
+    }
+    let mut fact = Table::new(
+        "fact",
+        Schema::new(vec![
+            ColumnDef::new("f_dim", DataType::Key { target: "dim".into() }),
+            ColumnDef::new("f_v", DataType::I64),
+        ]),
+    );
+    for i in 0..n_fact {
+        fact.append_row(&[Value::Key((i % n_dim.max(1)) as u32), Value::Int(i as i64)]);
+    }
+    let mut db = Database::new();
+    db.add_table(dim);
+    db.add_table(fact);
+    db
+}
+
+fn sum_by_cat() -> Query {
+    Query::new()
+        .root("fact")
+        .group("dim", "d_cat")
+        .agg(Aggregate::sum(MeasureExpr::col("f_v"), "total"))
+        .order(OrderKey::asc("d_cat"))
+}
+
+#[test]
+fn empty_fact_table() {
+    let db = star(0, 4);
+    for v in ScanVariant::ALL {
+        let out = execute(&db, &sum_by_cat(), &ExecOptions::with_variant(v)).unwrap();
+        assert!(out.result.is_empty(), "{}", v.paper_name());
+    }
+    let par = execute(&db, &sum_by_cat(), &ExecOptions::default().threads(4)).unwrap();
+    assert!(par.result.is_empty());
+}
+
+#[test]
+fn single_row_everything() {
+    let db = star(1, 1);
+    let out = execute(&db, &sum_by_cat(), &ExecOptions::default()).unwrap();
+    assert_eq!(out.result.rows, vec![vec![Value::Str("c0".into()), Value::Float(0.0)]]);
+}
+
+#[test]
+fn fully_deleted_fact() {
+    let mut db = star(10, 3);
+    for r in 0..10 {
+        db.table_mut("fact").unwrap().delete(r);
+    }
+    for v in ScanVariant::ALL {
+        let out = execute(&db, &sum_by_cat(), &ExecOptions::with_variant(v)).unwrap();
+        assert!(out.result.is_empty(), "{}", v.paper_name());
+    }
+}
+
+#[test]
+fn fully_deleted_dimension() {
+    let mut db = star(10, 3);
+    for r in 0..3 {
+        db.table_mut("dim").unwrap().delete(r);
+    }
+    let out = execute(&db, &sum_by_cat(), &ExecOptions::default()).unwrap();
+    assert!(out.result.is_empty(), "no dimension rows -> inner join empty");
+    // A query that does not touch the dimension still sees the fact rows.
+    let q = Query::new().root("fact").agg(Aggregate::count("n"));
+    let out = execute(&db, &q, &ExecOptions::default()).unwrap();
+    assert_eq!(out.result.rows, vec![vec![Value::Int(10)]]);
+}
+
+#[test]
+fn deep_snowflake_chain_five_levels() {
+    // t5 <- t4 <- t3 <- t2 <- t1 <- fact, grouping on t5's label.
+    let mut db = Database::new();
+    let mut t5 = Table::new(
+        "t5",
+        Schema::new(vec![ColumnDef::new("label", DataType::Dict)]),
+    );
+    t5.append_row(&[Value::Str("deep0".into())]);
+    t5.append_row(&[Value::Str("deep1".into())]);
+    db.add_table(t5);
+    for level in (1..5).rev() {
+        let name = format!("t{level}");
+        let target = format!("t{}", level + 1);
+        let mut t = Table::new(
+            &name,
+            Schema::new(vec![ColumnDef::new("next", DataType::Key { target })]),
+        );
+        for i in 0..4u32 {
+            t.append_row(&[Value::Key(i % 2)]);
+        }
+        db.add_table(t);
+    }
+    let mut fact = Table::new(
+        "fact",
+        Schema::new(vec![
+            ColumnDef::new("f_t1", DataType::Key { target: "t1".into() }),
+            ColumnDef::new("f_v", DataType::I64),
+        ]),
+    );
+    for i in 0..100u32 {
+        fact.append_row(&[Value::Key(i % 4), Value::Int(1)]);
+    }
+    db.add_table(fact);
+    assert!(db.validate_references().is_empty());
+
+    let q = Query::new()
+        .root("fact")
+        .filter("t5", Pred::eq("label", "deep1"))
+        .group("t5", "label")
+        .agg(Aggregate::count("n"));
+    let reference = execute(&db, &q, &ExecOptions::default()).unwrap();
+    assert_eq!(reference.result.rows.len(), 1);
+    for v in ScanVariant::ALL {
+        let out = execute(&db, &q, &ExecOptions::with_variant(v)).unwrap();
+        assert!(
+            out.result.same_contents(&reference.result, 1e-9),
+            "{} diverged on the 5-level chain",
+            v.paper_name()
+        );
+    }
+    let par = execute(&db, &q, &ExecOptions::default().threads(3)).unwrap();
+    assert!(par.result.same_contents(&reference.result, 1e-9));
+}
+
+#[test]
+fn group_space_of_one() {
+    let mut db = star(50, 5);
+    // All dimension rows in the same category.
+    for r in 0..5u32 {
+        db.table_mut("dim").unwrap().update(r, "d_cat", &Value::Str("only".into()));
+    }
+    let out = execute(&db, &sum_by_cat(), &ExecOptions::default()).unwrap();
+    assert_eq!(out.result.rows.len(), 1);
+    assert_eq!(out.result.rows[0][0], Value::Str("only".into()));
+    assert_eq!(out.result.rows[0][1], Value::Float((0..50).sum::<i64>() as f64));
+}
+
+#[test]
+fn order_by_ties_and_limit_zero() {
+    let db = star(30, 3);
+    let mut q = sum_by_cat().limit(0);
+    let out = execute(&db, &q, &ExecOptions::default()).unwrap();
+    assert!(out.result.is_empty(), "limit 0 yields nothing");
+    q.limit = Some(2);
+    let out = execute(&db, &q, &ExecOptions::default()).unwrap();
+    assert_eq!(out.result.rows.len(), 2);
+}
+
+#[test]
+fn multiple_fk_columns_to_the_same_dimension() {
+    // fact references `dim` twice (order date and commit date pattern).
+    let mut db = Database::new();
+    let mut dim = Table::new(
+        "dim",
+        Schema::new(vec![ColumnDef::new("d_v", DataType::I32)]),
+    );
+    for i in 0..4 {
+        dim.append_row(&[Value::Int(i)]);
+    }
+    let mut fact = Table::new(
+        "fact",
+        Schema::new(vec![
+            ColumnDef::new("f_a", DataType::Key { target: "dim".into() }),
+            ColumnDef::new("f_b", DataType::Key { target: "dim".into() }),
+            ColumnDef::new("f_v", DataType::I64),
+        ]),
+    );
+    for i in 0..20u32 {
+        fact.append_row(&[Value::Key(i % 4), Value::Key((i + 1) % 4), Value::Int(1)]);
+    }
+    db.add_table(dim);
+    db.add_table(fact);
+
+    // The reference path uses the first (schema-order) edge; the query is
+    // still answerable and consistent across variants.
+    let q = Query::new()
+        .root("fact")
+        .filter("dim", Pred::eq("d_v", 2))
+        .agg(Aggregate::count("n"));
+    let reference = execute(&db, &q, &ExecOptions::default()).unwrap();
+    assert_eq!(reference.result.rows, vec![vec![Value::Int(5)]]);
+    for v in ScanVariant::ALL {
+        let out = execute(&db, &q, &ExecOptions::with_variant(v)).unwrap();
+        assert!(out.result.same_contents(&reference.result, 1e-9), "{}", v.paper_name());
+    }
+}
+
+#[test]
+fn bitmap_and_strategy_on_snowflake_with_deletes() {
+    let mut db = star(100, 10);
+    db.table_mut("fact").unwrap().delete(7);
+    db.table_mut("dim").unwrap().delete(2);
+    let q = sum_by_cat();
+    let vector = execute(&db, &q, &ExecOptions::default()).unwrap();
+    let bitmap = execute(
+        &db,
+        &q,
+        &ExecOptions { selection: SelectionStrategy::BitmapAnd, ..Default::default() },
+    )
+    .unwrap();
+    assert!(bitmap.result.same_contents(&vector.result, 1e-9));
+}
+
+#[test]
+fn sum_of_negative_measures() {
+    let mut db = Database::new();
+    let mut fact = Table::new(
+        "fact",
+        Schema::new(vec![ColumnDef::new("v", DataType::I64)]),
+    );
+    for v in [-5i64, 3, -7, 9] {
+        fact.append_row(&[Value::Int(v)]);
+    }
+    db.add_table(fact);
+    let q = Query::new()
+        .root("fact")
+        .agg(Aggregate::sum(MeasureExpr::col("v"), "s"))
+        .agg(Aggregate::min(MeasureExpr::col("v"), "lo"))
+        .agg(Aggregate::max(MeasureExpr::col("v"), "hi"));
+    let out = execute(&db, &q, &ExecOptions::default()).unwrap();
+    assert_eq!(
+        out.result.rows,
+        vec![vec![Value::Float(0.0), Value::Float(-7.0), Value::Float(9.0)]]
+    );
+}

@@ -1,0 +1,125 @@
+//! The synthetic join workloads of Balkesen et al. (ICDE 2013) — the last
+//! two rows of the paper's Table 2.
+//!
+//! *Workload A*: a 16:1 probe-to-build ratio (the paper runs
+//! 268,435,456 : 16,777,216). *Workload B*: equal-sized sides
+//! (128,000,000 : 128,000,000). Build keys are a permutation of
+//! `0..n_build` (dense primary keys), probe keys are uniform foreign keys —
+//! every probe matches exactly once.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A PK-FK join workload: a build side of `(key, payload)` pairs and a
+/// probe (foreign key) column.
+#[derive(Debug, Clone)]
+pub struct JoinWorkload {
+    /// Build-side keys (a permutation of `0..len`).
+    pub build_keys: Vec<u32>,
+    /// Build-side payloads (`payload[i] = key[i]`, the microbenchmark
+    /// convention, so result sums are verifiable).
+    pub build_payloads: Vec<i64>,
+    /// Probe-side foreign keys.
+    pub probe_keys: Vec<u32>,
+}
+
+impl JoinWorkload {
+    /// Generates a workload with `n_build` build rows and `n_probe` probe
+    /// rows.
+    pub fn new(n_build: usize, n_probe: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut build_keys: Vec<u32> = (0..n_build as u32).collect();
+        build_keys.shuffle(&mut rng);
+        let build_payloads: Vec<i64> = build_keys.iter().map(|&k| i64::from(k)).collect();
+        let probe_keys: Vec<u32> =
+            (0..n_probe).map(|_| rng.gen_range(0..n_build as u32)).collect();
+        JoinWorkload { build_keys, build_payloads, probe_keys }
+    }
+
+    /// Workload A of [7]: probe:build = 16:1 (full size 256M:16M, scaled by
+    /// `scale`).
+    pub fn workload_a(scale: f64, seed: u64) -> Self {
+        let n_build = ((16_777_216.0 * scale) as usize).max(16);
+        JoinWorkload::new(n_build, n_build * 16, seed)
+    }
+
+    /// Workload B of [7]: equal sides (full size 128M:128M, scaled).
+    pub fn workload_b(scale: f64, seed: u64) -> Self {
+        let n = ((128_000_000.0 * scale) as usize).max(16);
+        JoinWorkload::new(n, n, seed)
+    }
+
+    /// The AIR view of the probe side: because build payload `p` lives at
+    /// build *position* `pos(key)`, the equivalent AIR column maps each
+    /// probe key to the position of its build match. (In an A-Store schema
+    /// the foreign keys would be stored this way from the start.)
+    pub fn air_probe_keys(&self) -> Vec<u32> {
+        let mut pos = vec![0u32; self.build_keys.len()];
+        for (i, &k) in self.build_keys.iter().enumerate() {
+            pos[k as usize] = i as u32;
+        }
+        self.probe_keys.iter().map(|&k| pos[k as usize]).collect()
+    }
+
+    /// The expected `(matches, payload_sum)` of the PK-FK join.
+    pub fn expected(&self) -> (u64, i64) {
+        let sum = self.probe_keys.iter().map(|&k| i64::from(k)).sum();
+        (self.probe_keys.len() as u64, sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_a_permutation() {
+        let w = JoinWorkload::new(1000, 100, 1);
+        let mut sorted = w.build_keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn probes_always_match() {
+        let w = JoinWorkload::new(64, 1000, 2);
+        assert!(w.probe_keys.iter().all(|&k| k < 64));
+        let (m, _) = w.expected();
+        assert_eq!(m, 1000);
+    }
+
+    #[test]
+    fn air_keys_point_at_build_positions() {
+        let w = JoinWorkload::new(128, 500, 3);
+        let air = w.air_probe_keys();
+        for (i, &pos) in air.iter().enumerate() {
+            assert_eq!(w.build_keys[pos as usize], w.probe_keys[i]);
+        }
+    }
+
+    #[test]
+    fn workload_ratios() {
+        let a = JoinWorkload::workload_a(0.001, 4);
+        assert_eq!(a.probe_keys.len(), a.build_keys.len() * 16);
+        let b = JoinWorkload::workload_b(0.0001, 4);
+        assert_eq!(b.probe_keys.len(), b.build_keys.len());
+    }
+
+    #[test]
+    fn expected_sum_matches_manual_join() {
+        let w = JoinWorkload::new(50, 200, 5);
+        // Manual nested-loop check on this tiny input.
+        let mut matches = 0u64;
+        let mut sum = 0i64;
+        for &pk in &w.probe_keys {
+            for (i, &bk) in w.build_keys.iter().enumerate() {
+                if bk == pk {
+                    matches += 1;
+                    sum += w.build_payloads[i];
+                }
+            }
+        }
+        assert_eq!((matches, sum), w.expected());
+    }
+}

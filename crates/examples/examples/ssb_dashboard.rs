@@ -1,0 +1,73 @@
+//! SSB flight: generate the Star Schema Benchmark, run all 13 queries on
+//! A-Store and on the hash-join baseline engine, and compare results and
+//! timings — a miniature of the paper's Table 5.
+//!
+//! Run with: `cargo run -p astore-examples --example ssb_dashboard --release`
+//! Scale with `ASTORE_SF` (default 0.01 ≈ 60k fact rows),
+//! threads with `ASTORE_THREADS`.
+
+use std::time::Instant;
+
+use astore_baseline::engine::execute_hash_pipeline;
+use astore_core::prelude::*;
+use astore_datagen::{env_scale_factor, env_threads, ssb};
+
+fn main() {
+    let sf = env_scale_factor(0.01);
+    let threads = env_threads();
+    println!("generating SSB at SF={sf} …");
+    let t0 = Instant::now();
+    let db = ssb::generate(sf, 42);
+    println!(
+        "generated {} lineorder rows in {:.1?} ({:.1} MB resident)",
+        db.table("lineorder").unwrap().num_slots(),
+        t0.elapsed(),
+        db.approx_bytes() as f64 / 1e6
+    );
+
+    let serial = ExecOptions::default();
+    let parallel = ExecOptions::default().threads(threads);
+
+    println!(
+        "\n{:<6} {:>10} {:>12} {:>12} {:>12}  agree",
+        "query", "rows", "a-store", "a-store(x" .to_owned() + &threads.to_string() + ")", "hash-join"
+    );
+    for sq in ssb::queries() {
+        let t = Instant::now();
+        let air = execute(&db, &sq.query, &serial).expect("query runs");
+        let air_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let par = execute(&db, &sq.query, &parallel).expect("query runs");
+        let par_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let hash = execute_hash_pipeline(&db, &sq.query).expect("query runs");
+        let hash_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let agree = air.result.same_contents(&hash.result, 1e-6)
+            && air.result.same_contents(&par.result, 1e-6);
+        println!(
+            "{:<6} {:>10} {:>10.2}ms {:>12.2}ms {:>10.2}ms  {}",
+            sq.id,
+            air.result.len(),
+            air_ms,
+            par_ms,
+            hash_ms,
+            if agree { "✓" } else { "✗ MISMATCH" }
+        );
+        assert!(agree, "engines disagree on {}", sq.id);
+    }
+
+    // Show one full result, like a dashboard drill-down.
+    let q31 = &ssb::queries()[6];
+    let out = execute(&db, &q31.query, &parallel).unwrap();
+    println!("\n{} — revenue by customer/supplier nation and year:", q31.id);
+    let table = out.result.to_table_string();
+    for line in table.lines().take(12) {
+        println!("  {line}");
+    }
+    if out.result.len() > 11 {
+        println!("  … {} more rows", out.result.len() - 11);
+    }
+}

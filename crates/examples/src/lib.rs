@@ -1,0 +1,3 @@
+//! Runnable examples for the A-Store reproduction. See the `examples/`
+//! directory: `quickstart`, `ssb_dashboard`, `snowflake_tpch`,
+//! `realtime_updates`.

@@ -1,0 +1,171 @@
+//! Cross-engine equivalence on the Star Schema Benchmark: every SSB query
+//! must produce identical results across all five AIRScan variants, the
+//! parallel executor, the hash-join pipeline engine, the materialized
+//! denormalization engine, and the forced-hash aggregation path.
+
+use astore_baseline::denorm::denormalize;
+use astore_baseline::engine::execute_hash_pipeline;
+use astore_core::optimizer::{AggStrategy, OptimizerConfig};
+use astore_core::prelude::*;
+use astore_datagen::ssb;
+use astore_storage::catalog::Database;
+
+fn db() -> Database {
+    ssb::generate(0.004, 42)
+}
+
+#[test]
+fn all_variants_agree_on_all_ssb_queries() {
+    let db = db();
+    for sq in ssb::queries() {
+        let reference = execute(&db, &sq.query, &ExecOptions::default()).unwrap();
+        for v in ScanVariant::ALL {
+            let out = execute(&db, &sq.query, &ExecOptions::with_variant(v)).unwrap();
+            assert!(
+                out.result.same_contents(&reference.result, 1e-6),
+                "{}: variant {} diverged",
+                sq.id,
+                v.paper_name()
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_agrees_on_all_ssb_queries() {
+    let db = db();
+    for sq in ssb::queries() {
+        let serial = execute(&db, &sq.query, &ExecOptions::default()).unwrap();
+        let parallel = execute(&db, &sq.query, &ExecOptions::default().threads(4)).unwrap();
+        assert!(
+            parallel.result.same_contents(&serial.result, 1e-6),
+            "{}: parallel diverged",
+            sq.id
+        );
+        assert_eq!(parallel.plan.selected_rows, serial.plan.selected_rows, "{}", sq.id);
+    }
+}
+
+#[test]
+fn hash_pipeline_agrees_on_all_ssb_queries() {
+    let db = db();
+    for sq in ssb::queries() {
+        let air = execute(&db, &sq.query, &ExecOptions::default()).unwrap();
+        let hash = execute_hash_pipeline(&db, &sq.query).unwrap();
+        assert!(
+            hash.result.same_contents(&air.result, 1e-6),
+            "{}: hash pipeline diverged\nair: {:?}\nhash: {:?}",
+            sq.id,
+            air.result.rows.len(),
+            hash.result.rows.len()
+        );
+        assert_eq!(hash.selected_rows, air.plan.selected_rows, "{}", sq.id);
+    }
+}
+
+#[test]
+fn denormalized_engine_agrees_on_all_ssb_queries() {
+    let db = db();
+    let wide = denormalize(&db, Some("lineorder")).unwrap();
+    for sq in ssb::queries() {
+        let air = execute(&db, &sq.query, &ExecOptions::default()).unwrap();
+        let wq = wide.rewrite(&sq.query, "lineorder");
+        let den = execute(&wide.db, &wq, &ExecOptions::default()).unwrap();
+        assert!(
+            den.result.same_contents(&air.result, 1e-6),
+            "{}: denormalized engine diverged",
+            sq.id
+        );
+    }
+}
+
+#[test]
+fn agg_strategies_agree_on_all_ssb_queries() {
+    let db = db();
+    for sq in ssb::queries() {
+        let dense = execute(
+            &db,
+            &sq.query,
+            &ExecOptions { force_agg: Some(AggStrategy::DenseArray), ..Default::default() },
+        )
+        .unwrap();
+        let hashed = execute(
+            &db,
+            &sq.query,
+            &ExecOptions { force_agg: Some(AggStrategy::HashTable), ..Default::default() },
+        )
+        .unwrap();
+        assert!(
+            dense.result.same_contents(&hashed.result, 1e-6),
+            "{}: dense vs hash aggregation diverged",
+            sq.id
+        );
+    }
+}
+
+#[test]
+fn starved_cache_budget_agrees() {
+    // With a 0-byte budget every chain is probed directly; results must not
+    // change (only the plan does).
+    let db = db();
+    let starved = ExecOptions {
+        optimizer: OptimizerConfig { cache_budget_bytes: 0, ..Default::default() },
+        ..Default::default()
+    };
+    for sq in ssb::queries() {
+        let normal = execute(&db, &sq.query, &ExecOptions::default()).unwrap();
+        let direct = execute(&db, &sq.query, &starved).unwrap();
+        assert_eq!(direct.plan.predvec_chains, 0, "{}: budget 0 must disable filters", sq.id);
+        assert!(
+            direct.result.same_contents(&normal.result, 1e-6),
+            "{}: direct probing diverged",
+            sq.id
+        );
+    }
+}
+
+#[test]
+fn starjoin_counts_match_full_query_selectivity() {
+    let db = db();
+    for (full, star) in ssb::queries().iter().zip(ssb::starjoin_queries()) {
+        let f = execute(&db, &full.query, &ExecOptions::default()).unwrap();
+        let s = execute(&db, &star.query, &ExecOptions::default()).unwrap();
+        // The count-only reduction selects the same tuples.
+        assert_eq!(
+            s.plan.selected_rows, f.plan.selected_rows,
+            "{}: star-join reduction changed selectivity",
+            full.id
+        );
+    }
+}
+
+#[test]
+fn group_sums_equal_global_sum() {
+    // Aggregation invariant: the per-group revenue sums of Q3.1 must add up
+    // to the revenue sum of its count-only/no-group variant.
+    let db = db();
+    let q31 = &ssb::queries()[6].query;
+    let grouped = execute(&db, q31, &ExecOptions::default()).unwrap();
+    let mut global = q31.clone();
+    global.group_by.clear();
+    global.order_by.clear();
+    let global_out = execute(&db, &global, &ExecOptions::default()).unwrap();
+
+    let group_total: f64 = grouped
+        .result
+        .rows
+        .iter()
+        .map(|r| match r.last().unwrap() {
+            astore_storage::types::Value::Float(f) => *f,
+            other => panic!("unexpected {other:?}"),
+        })
+        .sum();
+    let global_total = match &global_out.result.rows[0][0] {
+        astore_storage::types::Value::Float(f) => *f,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert!(
+        (group_total - global_total).abs() < 1e-6 * (1.0 + global_total.abs()),
+        "group sums {group_total} != global {global_total}"
+    );
+}

@@ -1,0 +1,169 @@
+//! The abstract syntax tree of the SPJGA SQL subset.
+
+use astore_core::expr::CmpOp;
+
+/// A possibly table-qualified column name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColName {
+    /// Qualifier, if written (`lineorder.lo_revenue`).
+    pub table: Option<String>,
+    /// The column.
+    pub column: String,
+}
+
+impl std::fmt::Display for ColName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// A scalar literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+}
+
+/// An arithmetic expression (measure expressions inside aggregates).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arith {
+    /// Column reference.
+    Col(ColName),
+    /// Numeric literal.
+    Num(f64),
+    /// `a + b`
+    Add(Box<Arith>, Box<Arith>),
+    /// `a - b`
+    Sub(Box<Arith>, Box<Arith>),
+    /// `a * b`
+    Mul(Box<Arith>, Box<Arith>),
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A plain (grouping) column, with an optional alias.
+    Col {
+        /// The column.
+        col: ColName,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+    /// An aggregate call.
+    Agg {
+        /// Function name, lower-cased (`sum`, `count`, `min`, `max`, `avg`).
+        func: String,
+        /// Argument; `None` for `count(*)`.
+        arg: Option<Arith>,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// A WHERE-clause condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// `col <op> literal`.
+    Cmp {
+        /// Column.
+        col: ColName,
+        /// Operator.
+        op: CmpOp,
+        /// Right-hand literal.
+        rhs: Scalar,
+    },
+    /// `colA = colB` — an equi-join condition. A-Store drops these after
+    /// validating they follow an AIR edge (joins are implicit, paper §3).
+    JoinEq(ColName, ColName),
+    /// `col BETWEEN lo AND hi`.
+    Between {
+        /// Column.
+        col: ColName,
+        /// Lower bound.
+        lo: Scalar,
+        /// Upper bound.
+        hi: Scalar,
+    },
+    /// `col IN (a, b, …)`.
+    InList {
+        /// Column.
+        col: ColName,
+        /// Accepted values.
+        list: Vec<Scalar>,
+    },
+    /// Conjunction.
+    And(Vec<Cond>),
+    /// Disjunction.
+    Or(Vec<Cond>),
+    /// Negation.
+    Not(Box<Cond>),
+}
+
+impl Cond {
+    /// Flattens a top-level conjunction.
+    pub fn conjuncts(self) -> Vec<Cond> {
+        match self {
+            Cond::And(cs) => cs.into_iter().flat_map(Cond::conjuncts).collect(),
+            other => vec![other],
+        }
+    }
+}
+
+/// An ORDER BY key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderItem {
+    /// Output-column name (a select-list column or alias).
+    pub name: String,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// SELECT list.
+    pub items: Vec<SelectItem>,
+    /// FROM tables.
+    pub tables: Vec<String>,
+    /// WHERE clause.
+    pub where_clause: Option<Cond>,
+    /// GROUP BY columns.
+    pub group_by: Vec<ColName>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderItem>,
+    /// LIMIT.
+    pub limit: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colname_display() {
+        let q = ColName { table: Some("t".into()), column: "c".into() };
+        assert_eq!(q.to_string(), "t.c");
+        let u = ColName { table: None, column: "c".into() };
+        assert_eq!(u.to_string(), "c");
+    }
+
+    #[test]
+    fn conjunct_flattening() {
+        let c = Cond::And(vec![
+            Cond::Cmp {
+                col: ColName { table: None, column: "a".into() },
+                op: CmpOp::Eq,
+                rhs: Scalar::Int(1),
+            },
+            Cond::And(vec![Cond::Not(Box::new(Cond::Or(vec![])))]),
+        ]);
+        assert_eq!(c.conjuncts().len(), 2);
+    }
+}

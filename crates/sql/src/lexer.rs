@@ -1,0 +1,315 @@
+//! A hand-written lexer for the SPJGA SQL subset.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are matched case-insensitively by
+    /// the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semi,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Semi => write!(f, ";"),
+        }
+    }
+}
+
+/// A lexing error with byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset in the input.
+    pub pos: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a SQL string.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(LexError { pos: i, message: "expected '=' after '!'".into() });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    out.push(Token::Le);
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    out.push(Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '-' => {
+                // `--` starts a comment to end of line.
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    out.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LexError {
+                                pos: i,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(&b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    out.push(Token::Float(text.parse().map_err(|_| LexError {
+                        pos: start,
+                        message: format!("bad float literal {text:?}"),
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| LexError {
+                        pos: start,
+                        message: format!("bad integer literal {text:?}"),
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(input[start..i].to_owned()));
+            }
+            other => {
+                return Err(LexError { pos: i, message: format!("unexpected character {other:?}") })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_full_query() {
+        let toks = lex("SELECT sum(lo_revenue) FROM lineorder WHERE d_year >= 1992;").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Int(1992)));
+        assert_eq!(*toks.last().unwrap(), Token::Semi);
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("= <> != < <= > >= + - * / ( ) , .").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::LParen,
+                Token::RParen,
+                Token::Comma,
+                Token::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_and_escapes() {
+        let toks = lex("'ASIA' 'O''NEIL'").unwrap();
+        assert_eq!(toks, vec![Token::Str("ASIA".into()), Token::Str("O'NEIL".into())]);
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = lex("42 3.25 199401").unwrap();
+        assert_eq!(toks, vec![Token::Int(42), Token::Float(3.25), Token::Int(199401)]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("SELECT -- the works\n 1").unwrap();
+        assert_eq!(toks, vec![Token::Ident("SELECT".into()), Token::Int(1)]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("a ! b").is_err());
+        assert!(lex("#").is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the SQL front-end: lexer round-trips and
+//! parser robustness (no panics on arbitrary input, structural round-trips
+//! on generated well-formed queries).
+
+use proptest::prelude::*;
+
+use astore_sql::lexer::{lex, Token};
+use astore_sql::parser::parse;
+
+proptest! {
+    /// Rendering a token stream and re-lexing it yields the same stream
+    /// (tokens are context-free).
+    #[test]
+    fn lexer_roundtrip(tokens in prop::collection::vec(token_strategy(), 0..40)) {
+        let text: String =
+            tokens.iter().map(|t| format!("{t} ")).collect();
+        let relexed = lex(&text).expect("rendered tokens must lex");
+        prop_assert_eq!(relexed, tokens);
+    }
+
+    /// The lexer never panics on arbitrary ASCII input.
+    #[test]
+    fn lexer_never_panics(input in "[ -~]{0,200}") {
+        let _ = lex(&input);
+    }
+
+    /// The parser never panics on arbitrary token-ish input.
+    #[test]
+    fn parser_never_panics(input in "[a-zA-Z0-9_'(),.*<>=! ]{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// Generated well-formed SPJGA queries always parse, and the parse
+    /// captures the right clause counts.
+    #[test]
+    fn wellformed_queries_parse(
+        n_aggs in 1..4usize,
+        n_tables in 1..4usize,
+        n_preds in 0..4usize,
+        n_groups in 0..3usize,
+        limit in prop::option::of(0..1000usize),
+    ) {
+        let aggs: Vec<String> = (0..n_aggs)
+            .map(|i| format!("sum(m{i}) AS a{i}"))
+            .collect();
+        let tables: Vec<String> = (0..n_tables).map(|i| format!("t{i}")).collect();
+        let preds: Vec<String> = (0..n_preds)
+            .map(|i| format!("c{i} >= {i}"))
+            .collect();
+        let groups: Vec<String> = (0..n_groups).map(|i| format!("g{i}")).collect();
+
+        let mut sql = format!(
+            "SELECT {}{}{} FROM {}",
+            groups.join(", "),
+            if groups.is_empty() { "" } else { ", " },
+            aggs.join(", "),
+            tables.join(", "),
+        );
+        if !preds.is_empty() {
+            sql.push_str(&format!(" WHERE {}", preds.join(" AND ")));
+        }
+        if !groups.is_empty() {
+            sql.push_str(&format!(" GROUP BY {}", groups.join(", ")));
+        }
+        if let Some(n) = limit {
+            sql.push_str(&format!(" LIMIT {n}"));
+        }
+
+        let stmt = parse(&sql).expect("well-formed query must parse");
+        prop_assert_eq!(stmt.items.len(), n_aggs + n_groups);
+        prop_assert_eq!(stmt.tables.len(), n_tables);
+        prop_assert_eq!(stmt.group_by.len(), n_groups);
+        prop_assert_eq!(stmt.limit, limit);
+        if n_preds == 0 {
+            prop_assert!(stmt.where_clause.is_none());
+        } else {
+            prop_assert_eq!(stmt.where_clause.unwrap().conjuncts().len(), n_preds);
+        }
+    }
+
+    /// String literals survive the lexer including escaped quotes.
+    #[test]
+    fn string_literal_roundtrip(content in "[a-zA-Z '.#-]{0,30}") {
+        let escaped = content.replace('\'', "''");
+        let toks = lex(&format!("'{escaped}'")).expect("quoted literal lexes");
+        prop_assert_eq!(toks, vec![Token::Str(content)]);
+    }
+}
+
+/// Tokens whose display form re-lexes unambiguously when space-separated.
+fn token_strategy() -> impl Strategy<Value = Token> {
+    prop_oneof![
+        "[a-zA-Z_][a-zA-Z0-9_]{0,10}".prop_map(Token::Ident),
+        (0..1_000_000i64).prop_map(Token::Int),
+        "[a-z ]{0,10}".prop_map(Token::Str),
+        Just(Token::LParen),
+        Just(Token::RParen),
+        Just(Token::Comma),
+        Just(Token::Star),
+        Just(Token::Plus),
+        Just(Token::Eq),
+        Just(Token::Ne),
+        Just(Token::Le),
+        Just(Token::Ge),
+        Just(Token::Semi),
+    ]
+}

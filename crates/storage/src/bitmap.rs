@@ -1,0 +1,303 @@
+//! Word-packed bitmaps.
+//!
+//! Bitmaps back two structures of the paper: *predicate vectors* (§4.2 — one
+//! bit per dimension tuple, `1` = tuple satisfies the dimension predicates)
+//! and *delete vectors* (§4.4 — one bit per slot, `1` = slot holds a live
+//! tuple). The probe path (`get`) is branch-free and is the inner loop of
+//! the AIR scan, so it must stay cheap.
+
+/// A fixed-length bitmap packed into 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+const WORD_BITS: usize = 64;
+
+impl Bitmap {
+    /// Creates a bitmap of `len` bits, all set to `value`.
+    pub fn new(len: usize, value: bool) -> Self {
+        let nwords = len.div_ceil(WORD_BITS);
+        let fill = if value { u64::MAX } else { 0 };
+        let mut bm = Bitmap { words: vec![fill; nwords], len };
+        if value {
+            bm.clear_tail();
+        }
+        bm
+    }
+
+    /// Builds a bitmap of `len` bits where bit `i` is `pred(i)`.
+    pub fn from_fn(len: usize, mut pred: impl FnMut(usize) -> bool) -> Self {
+        let mut bm = Bitmap::new(len, false);
+        for i in 0..len {
+            if pred(i) {
+                bm.set(i, true);
+            }
+        }
+        bm
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the bitmap has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Reads bit `i` without the range assertion; out-of-range reads return
+    /// `false`. Useful when probing predicate vectors with possibly-null
+    /// (`NULL_KEY`) references.
+    #[inline]
+    pub fn get_or_false(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Grows the bitmap to `new_len` bits; new bits are `value`.
+    pub fn resize(&mut self, new_len: usize, value: bool) {
+        if new_len <= self.len {
+            self.len = new_len;
+            self.words.truncate(new_len.div_ceil(WORD_BITS));
+            self.clear_tail();
+            return;
+        }
+        let old_len = self.len;
+        self.words.resize(new_len.div_ceil(WORD_BITS), 0);
+        self.len = new_len;
+        if value {
+            for i in old_len..new_len {
+                self.set(i, true);
+            }
+        }
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, value: bool) {
+        self.resize(self.len + 1, value);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place intersection. Both bitmaps must be the same length.
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place union. Both bitmaps must be the same length.
+    pub fn or_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place complement.
+    pub fn not_assign(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.clear_tail();
+    }
+
+    /// Iterates over the indexes of set bits, in ascending order.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes { bm: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// Approximate heap footprint in bytes (used by the optimizer's cache
+    /// budget test, paper §4.2).
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Zeroes the bits beyond `len` in the last word so `count_ones` and
+    /// `not_assign` stay correct.
+    fn clear_tail(&mut self) {
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+/// Iterator over set-bit positions, produced by [`Bitmap::iter_ones`].
+pub struct IterOnes<'a> {
+    bm: &'a Bitmap,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * WORD_BITS + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.bm.words.len() {
+                return None;
+            }
+            self.current = self.bm.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_all_false_and_true() {
+        let f = Bitmap::new(70, false);
+        assert_eq!(f.len(), 70);
+        assert_eq!(f.count_ones(), 0);
+        let t = Bitmap::new(70, true);
+        assert_eq!(t.count_ones(), 70);
+        assert!(t.get(69));
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut bm = Bitmap::new(130, false);
+        bm.set(0, true);
+        bm.set(64, true);
+        bm.set(129, true);
+        assert!(bm.get(0) && bm.get(64) && bm.get(129));
+        assert!(!bm.get(1) && !bm.get(63) && !bm.get(128));
+        bm.set(64, false);
+        assert!(!bm.get(64));
+        assert_eq!(bm.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        Bitmap::new(10, false).get(10);
+    }
+
+    #[test]
+    fn get_or_false_tolerates_overflow() {
+        let bm = Bitmap::new(3, true);
+        assert!(bm.get_or_false(2));
+        assert!(!bm.get_or_false(3));
+        assert!(!bm.get_or_false(usize::MAX));
+    }
+
+    #[test]
+    fn from_fn_matches_predicate() {
+        let bm = Bitmap::from_fn(100, |i| i % 3 == 0);
+        for i in 0..100 {
+            assert_eq!(bm.get(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(bm.count_ones(), 34);
+    }
+
+    #[test]
+    fn and_or_not() {
+        let a = Bitmap::from_fn(67, |i| i % 2 == 0);
+        let b = Bitmap::from_fn(67, |i| i % 3 == 0);
+        let mut and = a.clone();
+        and.and_assign(&b);
+        for i in 0..67 {
+            assert_eq!(and.get(i), i % 6 == 0);
+        }
+        let mut or = a.clone();
+        or.or_assign(&b);
+        for i in 0..67 {
+            assert_eq!(or.get(i), i % 2 == 0 || i % 3 == 0);
+        }
+        let mut not = a.clone();
+        not.not_assign();
+        for i in 0..67 {
+            assert_eq!(not.get(i), i % 2 != 0);
+        }
+        // Complement must not corrupt the tail padding.
+        assert_eq!(not.count_ones(), 33);
+    }
+
+    #[test]
+    fn resize_grow_and_shrink() {
+        let mut bm = Bitmap::new(5, true);
+        bm.resize(70, false);
+        assert_eq!(bm.len(), 70);
+        assert_eq!(bm.count_ones(), 5);
+        bm.resize(70, true); // no-op length
+        bm.resize(3, false);
+        assert_eq!(bm.len(), 3);
+        assert_eq!(bm.count_ones(), 3);
+        bm.resize(100, true);
+        assert_eq!(bm.count_ones(), 3 + 97);
+    }
+
+    #[test]
+    fn push_appends() {
+        let mut bm = Bitmap::new(0, false);
+        for i in 0..100 {
+            bm.push(i % 5 == 0);
+        }
+        assert_eq!(bm.len(), 100);
+        assert_eq!(bm.count_ones(), 20);
+    }
+
+    #[test]
+    fn iter_ones_yields_ascending_positions() {
+        let bm = Bitmap::from_fn(200, |i| i == 0 || i == 63 || i == 64 || i == 199);
+        let ones: Vec<usize> = bm.iter_ones().collect();
+        assert_eq!(ones, vec![0, 63, 64, 199]);
+    }
+
+    #[test]
+    fn iter_ones_empty() {
+        assert_eq!(Bitmap::new(0, false).iter_ones().count(), 0);
+        assert_eq!(Bitmap::new(100, false).iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn size_bytes_tracks_words() {
+        assert_eq!(Bitmap::new(64, false).size_bytes(), 8);
+        assert_eq!(Bitmap::new(65, false).size_bytes(), 16);
+    }
+}

@@ -1,0 +1,305 @@
+//! The database catalog: a set of named tables connected by AIR columns.
+//!
+//! The AIR edges (`fact.fk -> dimension`) recorded here are what the query
+//! layer turns into a *join graph* (paper §3). The catalog also implements
+//! the consolidation protocol (paper §4.4): compacting a table requires
+//! rewriting every inbound reference column.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::column::Column;
+use crate::table::Table;
+use crate::types::{Key, NULL_KEY};
+
+/// A foreign-key edge: `from_table.column` references `to_table`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AirEdge {
+    /// Referencing table.
+    pub from_table: String,
+    /// The AIR column in the referencing table.
+    pub column: String,
+    /// Referenced table.
+    pub to_table: String,
+}
+
+/// A set of named tables. Tables are held behind [`Arc`] so snapshots
+/// (see [`crate::snapshot`]) are cheap copy-on-write clones.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: HashMap<String, Arc<Table>>,
+    /// Table names in insertion order, for deterministic iteration.
+    order: Vec<String>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Adds (or replaces) a table.
+    pub fn add_table(&mut self, table: Table) {
+        let name = table.name().to_owned();
+        if self.tables.insert(name.clone(), Arc::new(table)).is_none() {
+            self.order.push(name);
+        }
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name).map(Arc::as_ref)
+    }
+
+    /// Looks up a table's [`Arc`] (for sharing with worker threads).
+    pub fn table_arc(&self, name: &str) -> Option<Arc<Table>> {
+        self.tables.get(name).cloned()
+    }
+
+    /// Mutable access to a table; clones it first if snapshots still hold it
+    /// (copy-on-write).
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(name).map(Arc::make_mut)
+    }
+
+    /// Table names in insertion order.
+    pub fn table_names(&self) -> &[String] {
+        &self.order
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Returns `true` if the catalog holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// All AIR edges, discovered from `Key` column metadata, in
+    /// deterministic order.
+    pub fn edges(&self) -> Vec<AirEdge> {
+        let mut out = Vec::new();
+        for name in &self.order {
+            let t = &self.tables[name];
+            for (col_name, col) in t.columns() {
+                if let Some((target, _)) = col.as_key() {
+                    out.push(AirEdge {
+                        from_table: name.clone(),
+                        column: col_name.to_owned(),
+                        to_table: target.to_owned(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks referential integrity of every AIR column: each key must be
+    /// [`NULL_KEY`] or address a *live* slot of an existing target table.
+    /// Returns the list of violations as human-readable strings.
+    pub fn validate_references(&self) -> Vec<String> {
+        let mut errors = Vec::new();
+        for edge in self.edges() {
+            let Some(target) = self.table(&edge.to_table) else {
+                errors.push(format!(
+                    "{}.{} references missing table {}",
+                    edge.from_table, edge.column, edge.to_table
+                ));
+                continue;
+            };
+            let src = &self.tables[&edge.from_table];
+            let (_, keys) = src.column(&edge.column).unwrap().as_key().unwrap();
+            for (row, &k) in keys.iter().enumerate() {
+                if !src.is_live(row as u32) || k == NULL_KEY {
+                    continue;
+                }
+                if k as usize >= target.num_slots() {
+                    errors.push(format!(
+                        "{}.{}[{}] = {} out of range for {} ({} slots)",
+                        edge.from_table,
+                        edge.column,
+                        row,
+                        k,
+                        edge.to_table,
+                        target.num_slots()
+                    ));
+                } else if !target.is_live(k) {
+                    errors.push(format!(
+                        "{}.{}[{}] = {} references dead tuple in {}",
+                        edge.from_table, edge.column, row, k, edge.to_table
+                    ));
+                }
+            }
+        }
+        errors
+    }
+
+    /// Consolidates (compacts) a table and rewrites every inbound AIR column
+    /// with the resulting slot remap — the paper's expensive, idle-time
+    /// operation (§4.4). References to dropped tuples become [`NULL_KEY`].
+    ///
+    /// # Panics
+    /// Panics if the table does not exist.
+    pub fn consolidate(&mut self, name: &str) {
+        let remap = {
+            let t = self.table_mut(name).unwrap_or_else(|| panic!("no table {name:?}"));
+            t.compact()
+        };
+        let inbound: Vec<AirEdge> =
+            self.edges().into_iter().filter(|e| e.to_table == name).collect();
+        for edge in inbound {
+            let src = self.table_mut(&edge.from_table).unwrap();
+            if let Some(Column::Key { keys, .. }) = src_column_mut(src, &edge.column) {
+                for k in keys.iter_mut() {
+                    if *k != NULL_KEY {
+                        *k = remap
+                            .get(*k as usize)
+                            .copied()
+                            .flatten()
+                            .unwrap_or(NULL_KEY);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total live bytes across all numeric arrays and key columns —
+    /// a rough footprint indicator used by EXPERIMENTS.md to contrast
+    /// virtual vs materialized denormalization space usage.
+    pub fn approx_bytes(&self) -> usize {
+        let mut total = 0usize;
+        for name in &self.order {
+            let t = &self.tables[name];
+            for (_, col) in t.columns() {
+                total += match col {
+                    Column::I32(v) => v.len() * 4,
+                    Column::I64(v) => v.len() * 8,
+                    Column::F64(v) => v.len() * 8,
+                    Column::Str(c) => c.heap_bytes() + c.len() * 8,
+                    Column::Dict(c) => {
+                        c.len() * 4 + c.dict().values().iter().map(String::len).sum::<usize>()
+                    }
+                    Column::Key { keys, .. } => keys.len() * 4,
+                };
+            }
+        }
+        total
+    }
+}
+
+/// Helper: mutable column access by name without borrowing all of `Database`.
+fn src_column_mut<'a>(table: &'a mut Table, column: &str) -> Option<&'a mut Column> {
+    table.column_mut(column)
+}
+
+/// Validates and returns a key for indexing into a table of `n` slots,
+/// treating [`NULL_KEY`] as absent.
+#[inline]
+pub fn checked_key(k: Key, n: usize) -> Option<usize> {
+    if k == NULL_KEY || k as usize >= n {
+        None
+    } else {
+        Some(k as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{ColumnDef, Schema};
+    use crate::types::{DataType, Value};
+
+    fn tiny_star() -> Database {
+        let mut db = Database::new();
+        let mut date = Table::new(
+            "date",
+            Schema::new(vec![ColumnDef::new("d_year", DataType::I32)]),
+        );
+        for y in [1992, 1993, 1994] {
+            date.append_row(&[Value::Int(y)]);
+        }
+        let mut fact = Table::new(
+            "lineorder",
+            Schema::new(vec![
+                ColumnDef::new("lo_dk", DataType::Key { target: "date".into() }),
+                ColumnDef::new("lo_rev", DataType::I64),
+            ]),
+        );
+        fact.append_row(&[Value::Key(0), Value::Int(10)]);
+        fact.append_row(&[Value::Key(2), Value::Int(20)]);
+        fact.append_row(&[Value::Key(1), Value::Int(30)]);
+        db.add_table(date);
+        db.add_table(fact);
+        db
+    }
+
+    #[test]
+    fn edges_discovered_from_key_columns() {
+        let db = tiny_star();
+        let edges = db.edges();
+        assert_eq!(edges.len(), 1);
+        assert_eq!(
+            edges[0],
+            AirEdge {
+                from_table: "lineorder".into(),
+                column: "lo_dk".into(),
+                to_table: "date".into()
+            }
+        );
+    }
+
+    #[test]
+    fn validate_clean_database() {
+        assert!(tiny_star().validate_references().is_empty());
+    }
+
+    #[test]
+    fn validate_detects_dangling_and_dead_references() {
+        let mut db = tiny_star();
+        db.table_mut("lineorder").unwrap().update(0, "lo_dk", &Value::Key(99));
+        db.table_mut("date").unwrap().delete(1);
+        let errors = db.validate_references();
+        assert_eq!(errors.len(), 2, "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("out of range")));
+        assert!(errors.iter().any(|e| e.contains("dead tuple")));
+    }
+
+    #[test]
+    fn consolidate_rewrites_inbound_references() {
+        let mut db = tiny_star();
+        // Kill date[0]; lineorder[0] references it and must become NULL.
+        db.table_mut("date").unwrap().delete(0);
+        db.consolidate("date");
+        let fact = db.table("lineorder").unwrap();
+        let (_, keys) = fact.column("lo_dk").unwrap().as_key().unwrap();
+        // date[2] -> new slot 1, date[1] -> new slot 0.
+        assert_eq!(keys, &[NULL_KEY, 1, 0]);
+        assert!(db.validate_references().is_empty());
+        assert_eq!(db.table("date").unwrap().num_slots(), 2);
+    }
+
+    #[test]
+    fn checked_key_rules() {
+        assert_eq!(checked_key(0, 3), Some(0));
+        assert_eq!(checked_key(2, 3), Some(2));
+        assert_eq!(checked_key(3, 3), None);
+        assert_eq!(checked_key(NULL_KEY, 3), None);
+    }
+
+    #[test]
+    fn approx_bytes_counts_arrays() {
+        let db = tiny_star();
+        // date: 3 * 4; lineorder: 3 * 4 (keys) + 3 * 8 (i64).
+        assert_eq!(db.approx_bytes(), 12 + 12 + 24);
+    }
+
+    #[test]
+    fn table_names_in_insertion_order() {
+        let db = tiny_star();
+        assert_eq!(db.table_names(), &["date".to_string(), "lineorder".into()]);
+        assert_eq!(db.len(), 2);
+        assert!(!db.is_empty());
+    }
+}

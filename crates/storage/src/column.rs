@@ -1,0 +1,331 @@
+//! The unified column representation.
+//!
+//! A table is an *array family*: a set of equal-length arrays, one per
+//! column (paper §2). [`Column`] is the sum of the physical array kinds;
+//! hot paths downcast to typed slices ([`Column::as_i32`] etc.) so scans
+//! compile to tight loops over contiguous memory, while generic code uses
+//! [`Column::get`].
+
+use crate::dictionary::DictColumn;
+use crate::strings::StrColumn;
+use crate::types::{DataType, Key, Value};
+
+/// One column of an array family.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// 32-bit integers.
+    I32(Vec<i32>),
+    /// 64-bit integers.
+    I64(Vec<i64>),
+    /// 64-bit floats.
+    F64(Vec<f64>),
+    /// Variable-length strings (slot array + heap).
+    Str(StrColumn),
+    /// Dictionary-compressed strings.
+    Dict(DictColumn),
+    /// Array index references into `target` (a foreign key, AIR).
+    Key {
+        /// Referenced table name.
+        target: String,
+        /// The reference array.
+        keys: Vec<Key>,
+    },
+}
+
+impl Column {
+    /// Creates an empty column of the given type.
+    pub fn new(dtype: &DataType) -> Self {
+        match dtype {
+            DataType::I32 => Column::I32(Vec::new()),
+            DataType::I64 => Column::I64(Vec::new()),
+            DataType::F64 => Column::F64(Vec::new()),
+            DataType::Str => Column::Str(StrColumn::new()),
+            DataType::Dict => Column::Dict(DictColumn::new()),
+            DataType::Key { target } => Column::Key { target: target.clone(), keys: Vec::new() },
+        }
+    }
+
+    /// The column's data type.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Column::I32(_) => DataType::I32,
+            Column::I64(_) => DataType::I64,
+            Column::F64(_) => DataType::F64,
+            Column::Str(_) => DataType::Str,
+            Column::Dict(_) => DataType::Dict,
+            Column::Key { target, .. } => DataType::Key { target: target.clone() },
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::I32(v) => v.len(),
+            Column::I64(v) => v.len(),
+            Column::F64(v) => v.len(),
+            Column::Str(c) => c.len(),
+            Column::Dict(c) => c.len(),
+            Column::Key { keys, .. } => keys.len(),
+        }
+    }
+
+    /// Returns `true` if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Generic scalar access. Not for hot loops.
+    pub fn get(&self, row: usize) -> Value {
+        match self {
+            Column::I32(v) => Value::Int(i64::from(v[row])),
+            Column::I64(v) => Value::Int(v[row]),
+            Column::F64(v) => Value::Float(v[row]),
+            Column::Str(c) => Value::Str(c.get(row).to_owned()),
+            Column::Dict(c) => Value::Str(c.get(row).to_owned()),
+            Column::Key { keys, .. } => Value::Key(keys[row]),
+        }
+    }
+
+    /// Generic append. The value must match the column type (integers widen
+    /// and narrow implicitly).
+    ///
+    /// # Panics
+    /// Panics on a type mismatch — schema enforcement happens in
+    /// [`crate::table::Table::append_row`].
+    pub fn push(&mut self, value: &Value) {
+        match (self, value) {
+            (Column::I32(v), Value::Int(x)) => {
+                v.push(i32::try_from(*x).expect("i32 column overflow"))
+            }
+            (Column::I64(v), Value::Int(x)) => v.push(*x),
+            (Column::F64(v), Value::Float(x)) => v.push(*x),
+            (Column::F64(v), Value::Int(x)) => v.push(*x as f64),
+            (Column::Str(c), Value::Str(s)) => {
+                c.push(s);
+            }
+            (Column::Dict(c), Value::Str(s)) => c.push(s),
+            (Column::Key { keys, .. }, Value::Key(k)) => keys.push(*k),
+            (Column::Key { keys, .. }, Value::Int(k)) => {
+                keys.push(Key::try_from(*k).expect("key out of range"))
+            }
+            (col, v) => panic!("type mismatch: cannot push {v:?} into {} column", col.dtype()),
+        }
+    }
+
+    /// Generic in-place overwrite of one row.
+    pub fn set(&mut self, row: usize, value: &Value) {
+        match (self, value) {
+            (Column::I32(v), Value::Int(x)) => {
+                v[row] = i32::try_from(*x).expect("i32 column overflow")
+            }
+            (Column::I64(v), Value::Int(x)) => v[row] = *x,
+            (Column::F64(v), Value::Float(x)) => v[row] = *x,
+            (Column::F64(v), Value::Int(x)) => v[row] = *x as f64,
+            (Column::Str(c), Value::Str(s)) => c.update(row, s),
+            (Column::Dict(c), Value::Str(s)) => c.update(row, s),
+            (Column::Key { keys, .. }, Value::Key(k)) => keys[row] = *k,
+            (Column::Key { keys, .. }, Value::Int(k)) => {
+                keys[row] = Key::try_from(*k).expect("key out of range")
+            }
+            (col, v) => panic!("type mismatch: cannot set {v:?} in {} column", col.dtype()),
+        }
+    }
+
+    /// Typed view: `i32` slice.
+    pub fn as_i32(&self) -> Option<&[i32]> {
+        match self {
+            Column::I32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Typed view: `i64` slice.
+    pub fn as_i64(&self) -> Option<&[i64]> {
+        match self {
+            Column::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Typed view: `f64` slice.
+    pub fn as_f64(&self) -> Option<&[f64]> {
+        match self {
+            Column::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Typed view: string column.
+    pub fn as_str_col(&self) -> Option<&StrColumn> {
+        match self {
+            Column::Str(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Typed view: dictionary column.
+    pub fn as_dict(&self) -> Option<&DictColumn> {
+        match self {
+            Column::Dict(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Typed view: AIR (foreign key) array and its target table.
+    pub fn as_key(&self) -> Option<(&str, &[Key])> {
+        match self {
+            Column::Key { target, keys } => Some((target, keys)),
+            _ => None,
+        }
+    }
+
+    /// Numeric read as `f64` (measures in aggregation accept any numeric
+    /// column). Returns `None` for non-numeric columns.
+    #[inline]
+    pub fn numeric_at(&self, row: usize) -> Option<f64> {
+        match self {
+            Column::I32(v) => Some(f64::from(v[row])),
+            Column::I64(v) => Some(v[row] as f64),
+            Column::F64(v) => Some(v[row]),
+            _ => None,
+        }
+    }
+
+    /// Integer read as `i64`. Returns `None` for non-integer columns.
+    #[inline]
+    pub fn int_at(&self, row: usize) -> Option<i64> {
+        match self {
+            Column::I32(v) => Some(i64::from(v[row])),
+            Column::I64(v) => Some(v[row]),
+            Column::Key { keys, .. } => Some(i64::from(keys[row])),
+            _ => None,
+        }
+    }
+
+    /// String read (decodes dictionary columns). Returns `None` for
+    /// non-string columns.
+    #[inline]
+    pub fn str_at(&self, row: usize) -> Option<&str> {
+        match self {
+            Column::Str(c) => Some(c.get(row)),
+            Column::Dict(c) => Some(c.get(row)),
+            _ => None,
+        }
+    }
+
+    /// Reserves capacity for `additional` more rows (cheap for the append
+    /// path the paper describes in §4.4).
+    pub fn reserve(&mut self, additional: usize) {
+        match self {
+            Column::I32(v) => v.reserve(additional),
+            Column::I64(v) => v.reserve(additional),
+            Column::F64(v) => v.reserve(additional),
+            Column::Str(_) | Column::Dict(_) => {}
+            Column::Key { keys, .. } => keys.reserve(additional),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::NULL_KEY;
+
+    #[test]
+    fn new_matches_dtype() {
+        for dt in [
+            DataType::I32,
+            DataType::I64,
+            DataType::F64,
+            DataType::Str,
+            DataType::Dict,
+            DataType::Key { target: "t".into() },
+        ] {
+            let col = Column::new(&dt);
+            assert_eq!(col.dtype(), dt);
+            assert_eq!(col.len(), 0);
+            assert!(col.is_empty());
+        }
+    }
+
+    #[test]
+    fn push_get_each_kind() {
+        let mut c = Column::new(&DataType::I32);
+        c.push(&Value::Int(42));
+        assert_eq!(c.get(0), Value::Int(42));
+
+        let mut c = Column::new(&DataType::F64);
+        c.push(&Value::Float(1.5));
+        c.push(&Value::Int(2)); // int coerces into float column
+        assert_eq!(c.get(1), Value::Float(2.0));
+
+        let mut c = Column::new(&DataType::Str);
+        c.push(&Value::Str("hi".into()));
+        assert_eq!(c.get(0), Value::Str("hi".into()));
+
+        let mut c = Column::new(&DataType::Dict);
+        c.push(&Value::Str("lo".into()));
+        assert_eq!(c.get(0), Value::Str("lo".into()));
+
+        let mut c = Column::new(&DataType::Key { target: "d".into() });
+        c.push(&Value::Key(9));
+        c.push(&Value::Int(3));
+        assert_eq!(c.get(0), Value::Key(9));
+        assert_eq!(c.get(1), Value::Key(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn push_type_mismatch_panics() {
+        let mut c = Column::new(&DataType::I32);
+        c.push(&Value::Str("no".into()));
+    }
+
+    #[test]
+    fn set_overwrites_in_place() {
+        let mut c = Column::new(&DataType::I64);
+        c.push(&Value::Int(1));
+        c.set(0, &Value::Int(99));
+        assert_eq!(c.get(0), Value::Int(99));
+
+        let mut s = Column::new(&DataType::Str);
+        s.push(&Value::Str("a".into()));
+        s.set(0, &Value::Str("bb".into()));
+        assert_eq!(s.str_at(0), Some("bb"));
+    }
+
+    #[test]
+    fn typed_views() {
+        let mut c = Column::new(&DataType::I32);
+        c.push(&Value::Int(1));
+        c.push(&Value::Int(2));
+        assert_eq!(c.as_i32(), Some(&[1, 2][..]));
+        assert!(c.as_i64().is_none());
+        assert!(c.as_f64().is_none());
+        assert!(c.as_key().is_none());
+
+        let mut k = Column::new(&DataType::Key { target: "date".into() });
+        k.push(&Value::Key(NULL_KEY));
+        let (target, keys) = k.as_key().unwrap();
+        assert_eq!(target, "date");
+        assert_eq!(keys, &[NULL_KEY]);
+    }
+
+    #[test]
+    fn numeric_and_int_accessors() {
+        let mut f = Column::new(&DataType::F64);
+        f.push(&Value::Float(2.5));
+        assert_eq!(f.numeric_at(0), Some(2.5));
+        assert_eq!(f.int_at(0), None);
+
+        let mut i = Column::new(&DataType::I32);
+        i.push(&Value::Int(-3));
+        assert_eq!(i.numeric_at(0), Some(-3.0));
+        assert_eq!(i.int_at(0), Some(-3));
+
+        let mut s = Column::new(&DataType::Str);
+        s.push(&Value::Str("x".into()));
+        assert_eq!(s.numeric_at(0), None);
+        assert_eq!(s.str_at(0), Some("x"));
+    }
+}

@@ -1,0 +1,288 @@
+//! Dictionary compression (paper §2).
+//!
+//! "For columns with low cardinality … A-Store uses dictionary compression
+//! to reduce their space consumption. A-Store uses arrays to store
+//! dictionaries and uses array indexes as compression codes. … a dictionary
+//! can be regarded as a reference table in A-Store. The compressed column
+//! can be regarded as a foreign key to the reference table."
+//!
+//! Dictionaries here are *order-preserving* (codes sorted by value), so
+//! range predicates on strings compile to code-range comparisons and
+//! equality predicates compile to a single code comparison — no `strcmp` in
+//! the scan loop (cf. §4.2's complaint about repeated `strcmp`).
+
+use std::collections::HashMap;
+
+use crate::bitmap::Bitmap;
+use crate::types::{Key, NULL_KEY};
+
+/// An order-preserving string dictionary.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    /// Distinct values, sorted ascending; the code of a value is its index.
+    values: Vec<String>,
+    /// Reverse map from value to code.
+    codes: HashMap<String, Key>,
+}
+
+impl Dictionary {
+    /// Builds an order-preserving dictionary over the distinct values of
+    /// `input`, returning the dictionary and the encoded column.
+    pub fn encode<S: AsRef<str>>(input: impl IntoIterator<Item = S>) -> (Self, Vec<Key>) {
+        let raw: Vec<String> = input.into_iter().map(|s| s.as_ref().to_owned()).collect();
+        let mut distinct: Vec<String> = raw.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let codes: HashMap<String, Key> =
+            distinct.iter().enumerate().map(|(i, v)| (v.clone(), i as Key)).collect();
+        let encoded = raw.iter().map(|v| codes[v]).collect();
+        (Dictionary { values: distinct, codes }, encoded)
+    }
+
+    /// Creates an empty dictionary (values are interned on demand via
+    /// [`Dictionary::intern`]; this variant is *not* order-preserving).
+    pub fn new_dynamic() -> Self {
+        Dictionary::default()
+    }
+
+    /// Number of distinct values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the dictionary holds no values.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Decodes a compression code back to its value: a plain array lookup,
+    /// exactly the paper's "decompression can be performed by simple array
+    /// lookup".
+    #[inline]
+    pub fn decode(&self, code: Key) -> &str {
+        &self.values[code as usize]
+    }
+
+    /// The code of `value`, or [`NULL_KEY`] if the value does not occur.
+    /// Predicates on dictionary columns call this once, then compare codes.
+    pub fn code_of(&self, value: &str) -> Key {
+        self.codes.get(value).copied().unwrap_or(NULL_KEY)
+    }
+
+    /// Interns a value into a dynamic dictionary, returning its (possibly
+    /// new) code. Appending keeps existing codes stable, at the cost of the
+    /// order-preserving property.
+    pub fn intern(&mut self, value: &str) -> Key {
+        if let Some(&c) = self.codes.get(value) {
+            return c;
+        }
+        let c = self.values.len() as Key;
+        self.values.push(value.to_owned());
+        self.codes.insert(value.to_owned(), c);
+        c
+    }
+
+    /// All distinct values in code order.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+
+    /// Evaluates an arbitrary string predicate once per *distinct* value,
+    /// producing a bitmap over codes. The scan then tests codes against the
+    /// bitmap instead of re-evaluating the predicate per row (paper §4.2).
+    pub fn codes_matching(&self, mut pred: impl FnMut(&str) -> bool) -> Bitmap {
+        Bitmap::from_fn(self.values.len(), |c| pred(&self.values[c]))
+    }
+
+    /// For an order-preserving dictionary: the half-open code range whose
+    /// values fall in `[lo, hi]` (inclusive string bounds). Range predicates
+    /// become two integer comparisons.
+    pub fn code_range(&self, lo: &str, hi: &str) -> std::ops::Range<Key> {
+        let start = self.values.partition_point(|v| v.as_str() < lo) as Key;
+        let end = self.values.partition_point(|v| v.as_str() <= hi) as Key;
+        start..end
+    }
+}
+
+/// A dictionary-compressed string column: the code array plus its dictionary.
+#[derive(Debug, Clone)]
+pub struct DictColumn {
+    codes: Vec<Key>,
+    dict: Dictionary,
+}
+
+impl DictColumn {
+    /// Encodes `input` into a new dictionary column.
+    pub fn from_values<S: AsRef<str>>(input: impl IntoIterator<Item = S>) -> Self {
+        let (dict, codes) = Dictionary::encode(input);
+        DictColumn { codes, dict }
+    }
+
+    /// Creates an empty column with a dynamic dictionary.
+    pub fn new() -> Self {
+        DictColumn { codes: Vec::new(), dict: Dictionary::new_dynamic() }
+    }
+
+    /// Assembles a column from an existing code array and dictionary (used
+    /// when materializing a denormalized table: the gathered codes reuse the
+    /// source dictionary instead of re-encoding every string).
+    ///
+    /// # Panics
+    /// Panics if any code is out of the dictionary's range.
+    pub fn from_parts(codes: Vec<Key>, dict: Dictionary) -> Self {
+        let n = dict.len() as Key;
+        assert!(codes.iter().all(|&c| c < n), "code out of dictionary range");
+        DictColumn { codes, dict }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Returns `true` if the column has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The raw code array (the "foreign key to the dictionary").
+    #[inline]
+    pub fn codes(&self) -> &[Key] {
+        &self.codes
+    }
+
+    /// The dictionary (the "reference table").
+    #[inline]
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Decoded value at `row`.
+    #[inline]
+    pub fn get(&self, row: usize) -> &str {
+        self.dict.decode(self.codes[row])
+    }
+
+    /// Code at `row`.
+    #[inline]
+    pub fn code(&self, row: usize) -> Key {
+        self.codes[row]
+    }
+
+    /// Appends a value, interning it if new.
+    pub fn push(&mut self, value: &str) {
+        let c = self.dict.intern(value);
+        self.codes.push(c);
+    }
+
+    /// In-place update of one row's value.
+    pub fn update(&mut self, row: usize, value: &str) {
+        let c = self.dict.intern(value);
+        self.codes[row] = c;
+    }
+
+    /// Iterates decoded values in row order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> + '_ {
+        self.codes.iter().map(move |&c| self.dict.decode(c))
+    }
+}
+
+impl Default for DictColumn {
+    fn default() -> Self {
+        DictColumn::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let input = ["ASIA", "EUROPE", "ASIA", "AMERICA", "ASIA"];
+        let (dict, codes) = Dictionary::encode(input);
+        assert_eq!(dict.len(), 3);
+        for (i, s) in input.iter().enumerate() {
+            assert_eq!(dict.decode(codes[i]), *s);
+        }
+    }
+
+    #[test]
+    fn codes_are_order_preserving() {
+        let (dict, _) = Dictionary::encode(["b", "a", "c", "a"]);
+        assert_eq!(dict.values(), &["a".to_string(), "b".into(), "c".into()]);
+        assert!(dict.code_of("a") < dict.code_of("b"));
+        assert!(dict.code_of("b") < dict.code_of("c"));
+    }
+
+    #[test]
+    fn code_of_missing_is_null_key() {
+        let (dict, _) = Dictionary::encode(["x"]);
+        assert_eq!(dict.code_of("nope"), NULL_KEY);
+    }
+
+    #[test]
+    fn code_range_for_string_bounds() {
+        let (dict, _) = Dictionary::encode(["MFGR#12", "MFGR#13", "MFGR#21", "MFGR#22", "MFGR#23"]);
+        let r = dict.code_range("MFGR#21", "MFGR#22");
+        let hits: Vec<&str> = (r.start..r.end).map(|c| dict.decode(c)).collect();
+        assert_eq!(hits, vec!["MFGR#21", "MFGR#22"]);
+        // Bounds that match nothing produce an empty range.
+        let empty = dict.code_range("ZZZ", "ZZZZ");
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn codes_matching_builds_bitmap_over_codes() {
+        let (dict, _) = Dictionary::encode(["apple", "banana", "avocado", "cherry"]);
+        let bm = dict.codes_matching(|v| v.starts_with('a'));
+        let matched: Vec<&str> = bm.iter_ones().map(|c| dict.decode(c as Key)).collect();
+        assert_eq!(matched, vec!["apple", "avocado"]);
+    }
+
+    #[test]
+    fn dynamic_intern_is_stable() {
+        let mut dict = Dictionary::new_dynamic();
+        let a = dict.intern("first");
+        let b = dict.intern("second");
+        assert_eq!(dict.intern("first"), a);
+        assert_eq!(dict.decode(a), "first");
+        assert_eq!(dict.decode(b), "second");
+        assert_eq!(dict.len(), 2);
+    }
+
+    #[test]
+    fn from_parts_reuses_dictionary() {
+        let (dict, codes) = Dictionary::encode(["a", "b", "a"]);
+        let col = DictColumn::from_parts(codes, dict);
+        assert_eq!(col.get(0), "a");
+        assert_eq!(col.get(1), "b");
+        assert_eq!(col.get(2), "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of dictionary range")]
+    fn from_parts_rejects_bad_codes() {
+        let (dict, _) = Dictionary::encode(["a"]);
+        DictColumn::from_parts(vec![5], dict);
+    }
+
+    #[test]
+    fn dict_column_roundtrip_and_update() {
+        let mut col = DictColumn::from_values(["red", "green", "red"]);
+        assert_eq!(col.get(0), "red");
+        assert_eq!(col.get(1), "green");
+        assert_eq!(col.code(0), col.code(2));
+        col.update(1, "blue");
+        assert_eq!(col.get(1), "blue");
+        col.push("red");
+        assert_eq!(col.len(), 4);
+        assert_eq!(col.get(3), "red");
+        let vals: Vec<&str> = col.iter().collect();
+        assert_eq!(vals, vec!["red", "blue", "red", "red"]);
+    }
+}

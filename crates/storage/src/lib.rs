@@ -1,0 +1,90 @@
+//! # astore-storage
+//!
+//! The storage layer of **A-Store**, a main-memory OLAP engine built on
+//! *virtual denormalization via array index reference* (Zhang et al.,
+//! ICDE/TKDE 2016).
+//!
+//! A table is an **array family**: a set of equal-length arrays, one per
+//! column, completely aligned so the `i`-th elements of all arrays form the
+//! `i`-th tuple (paper §2). The array index *is* the primary key — no key
+//! column is stored — and every foreign key column is an **array index
+//! reference (AIR)**: an array of `u32` positions into the referenced
+//! table. PK-FK joins thus reduce to positional array lookups.
+//!
+//! Provided building blocks:
+//!
+//! - [`column::Column`] — typed arrays (`i32`/`i64`/`f64`), heap-backed
+//!   varchars ([`strings::StrColumn`]), dictionary-compressed strings
+//!   ([`dictionary::DictColumn`]), and AIR key arrays;
+//! - [`bitmap::Bitmap`] — predicate vectors (§4.2) and delete vectors (§4.4);
+//! - [`selvec::SelVec`] — selection vectors for the vectorized column scan
+//!   (§4.1);
+//! - [`table::Table`] — the array family plus lazy deletion, slot reuse,
+//!   in-place update and compaction (§4.4);
+//! - [`catalog::Database`] — named tables, AIR edge discovery, referential
+//!   validation, and consolidation;
+//! - [`snapshot::SharedDatabase`] — copy-on-write snapshots isolating OLAP
+//!   readers from concurrent updates (§4.4).
+//!
+//! ## Example
+//!
+//! ```
+//! use astore_storage::prelude::*;
+//!
+//! // A dimension table: the array index is the primary key.
+//! let mut date = Table::new(
+//!     "date",
+//!     Schema::new(vec![
+//!         ColumnDef::new("d_year", DataType::I32),
+//!         ColumnDef::new("d_month", DataType::Dict),
+//!     ]),
+//! );
+//! date.append_row(&[Value::Int(1997), Value::Str("May".into())]);
+//! date.append_row(&[Value::Int(1998), Value::Str("June".into())]);
+//!
+//! // A fact table whose foreign key is an array index reference (AIR).
+//! let mut lineorder = Table::new(
+//!     "lineorder",
+//!     Schema::new(vec![
+//!         ColumnDef::new("lo_dk", DataType::Key { target: "date".into() }),
+//!         ColumnDef::new("lo_revenue", DataType::I64),
+//!     ]),
+//! );
+//! lineorder.append_row(&[Value::Key(1), Value::Int(420)]);
+//!
+//! let mut db = Database::new();
+//! db.add_table(date);
+//! db.add_table(lineorder);
+//! assert!(db.validate_references().is_empty());
+//!
+//! // Following the AIR resolves the join positionally.
+//! let (_, keys) = db.table("lineorder").unwrap().column("lo_dk").unwrap().as_key().unwrap();
+//! let year = db.table("date").unwrap().column("d_year").unwrap().get(keys[0] as usize);
+//! assert_eq!(year, Value::Int(1998));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bitmap;
+pub mod catalog;
+pub mod column;
+pub mod dictionary;
+pub mod selvec;
+pub mod snapshot;
+pub mod strings;
+pub mod table;
+pub mod types;
+
+/// Convenient glob import of the commonly used names.
+pub mod prelude {
+    pub use crate::bitmap::Bitmap;
+    pub use crate::catalog::{checked_key, AirEdge, Database};
+    pub use crate::column::Column;
+    pub use crate::dictionary::{DictColumn, Dictionary};
+    pub use crate::selvec::SelVec;
+    pub use crate::snapshot::SharedDatabase;
+    pub use crate::strings::{StrColumn, StrHeap, StrRef};
+    pub use crate::table::{ColumnDef, Schema, Table};
+    pub use crate::types::{DataType, Key, RowId, Value, NULL_KEY};
+}

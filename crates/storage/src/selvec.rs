@@ -1,0 +1,157 @@
+//! Selection vectors (paper §4.1, "vector based column scan").
+//!
+//! A selection vector records the row ids of the tuples that are still alive
+//! after the predicates evaluated so far. Each further predicate *refines*
+//! the vector in place: a tuple that fails any predicate "is immediately
+//! removed from the selection vector, and will not be evaluated again",
+//! which is what lets A-Store skip most of a universal table under
+//! selective predicates.
+
+use crate::bitmap::Bitmap;
+use crate::types::RowId;
+
+/// A list of surviving row ids, kept in ascending order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SelVec {
+    rows: Vec<RowId>,
+}
+
+impl SelVec {
+    /// An empty selection vector.
+    pub fn new() -> Self {
+        SelVec { rows: Vec::new() }
+    }
+
+    /// Selects every row in `0..n`.
+    pub fn all(n: usize) -> Self {
+        SelVec { rows: (0..n as RowId).collect() }
+    }
+
+    /// Selects the set bits of a bitmap (e.g. the live bits of a delete
+    /// vector).
+    pub fn from_bitmap(bm: &Bitmap) -> Self {
+        SelVec { rows: bm.iter_ones().map(|i| i as RowId).collect() }
+    }
+
+    /// Builds from an explicit row id list. Callers must supply ascending,
+    /// duplicate-free ids (checked in debug builds only).
+    pub fn from_rows(rows: Vec<RowId>) -> Self {
+        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "row ids must be strictly ascending");
+        SelVec { rows }
+    }
+
+    /// Number of selected rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if no rows survive.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The surviving row ids.
+    #[inline]
+    pub fn rows(&self) -> &[RowId] {
+        &self.rows
+    }
+
+    /// Consumes the vector, returning its row ids.
+    pub fn into_rows(self) -> Vec<RowId> {
+        self.rows
+    }
+
+    /// Retains only the rows for which `keep` returns `true`. This is the
+    /// per-predicate refinement step of the vectorized column scan; it is
+    /// done in place with a single compaction pass.
+    pub fn refine(&mut self, mut keep: impl FnMut(RowId) -> bool) {
+        self.rows.retain(|&r| keep(r));
+    }
+
+    /// Converts to a bitmap of length `n`.
+    pub fn to_bitmap(&self, n: usize) -> Bitmap {
+        let mut bm = Bitmap::new(n, false);
+        for &r in &self.rows {
+            bm.set(r as usize, true);
+        }
+        bm
+    }
+
+    /// Selectivity relative to a base table of `n` rows.
+    pub fn selectivity(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.rows.len() as f64 / n as f64
+        }
+    }
+}
+
+impl FromIterator<RowId> for SelVec {
+    fn from_iter<T: IntoIterator<Item = RowId>>(iter: T) -> Self {
+        SelVec::from_rows(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a SelVec {
+    type Item = RowId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, RowId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_selects_everything() {
+        let sv = SelVec::all(5);
+        assert_eq!(sv.rows(), &[0, 1, 2, 3, 4]);
+        assert_eq!(sv.len(), 5);
+        assert!(!sv.is_empty());
+    }
+
+    #[test]
+    fn refine_narrows_progressively() {
+        let mut sv = SelVec::all(100);
+        sv.refine(|r| r % 2 == 0);
+        assert_eq!(sv.len(), 50);
+        sv.refine(|r| r % 10 == 0);
+        assert_eq!(sv.rows(), &[0, 10, 20, 30, 40, 50, 60, 70, 80, 90]);
+        sv.refine(|_| false);
+        assert!(sv.is_empty());
+    }
+
+    #[test]
+    fn bitmap_roundtrip() {
+        let bm = Bitmap::from_fn(130, |i| i % 7 == 0);
+        let sv = SelVec::from_bitmap(&bm);
+        assert_eq!(sv.to_bitmap(130), bm);
+    }
+
+    #[test]
+    fn selectivity_fraction() {
+        let mut sv = SelVec::all(200);
+        sv.refine(|r| r < 50);
+        assert!((sv.selectivity(200) - 0.25).abs() < 1e-12);
+        assert_eq!(SelVec::new().selectivity(0), 0.0);
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let sv = SelVec::from_rows(vec![2, 5, 9]);
+        let collected: Vec<RowId> = (&sv).into_iter().collect();
+        assert_eq!(collected, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let sv: SelVec = (0..4u32).collect();
+        assert_eq!(sv.rows(), &[0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Copy-on-write snapshots for concurrent OLTP + OLAP (paper §4.4).
+//!
+//! The paper sketches a Hyper-style MVCC where "a copy-on-write mechanism
+//! … isolate[s] OLTP and OLAP workloads". We realise the same property at
+//! table granularity: a [`SharedDatabase`] hands out immutable [`Database`]
+//! snapshots whose tables are `Arc`-shared; writers mutate through
+//! `Arc::make_mut`, which clones a table only while a reader still holds it.
+//! Readers therefore observe a stable, consistent image for the whole
+//! duration of a query, while writers proceed without blocking on them.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::catalog::Database;
+use crate::table::Table;
+use crate::types::{RowId, Value};
+
+/// A concurrently usable database handle.
+///
+/// Cloning the handle is cheap; all clones share the same underlying state.
+#[derive(Debug, Clone, Default)]
+pub struct SharedDatabase {
+    inner: Arc<RwLock<Database>>,
+}
+
+impl SharedDatabase {
+    /// Wraps a database for shared use.
+    pub fn new(db: Database) -> Self {
+        SharedDatabase { inner: Arc::new(RwLock::new(db)) }
+    }
+
+    /// Takes a consistent snapshot. The snapshot is an owned [`Database`]
+    /// whose tables are `Arc`-shared with the live state — O(#tables), no
+    /// data copied. Subsequent writes copy-on-write and never disturb it.
+    pub fn snapshot(&self) -> Database {
+        self.inner.read().clone()
+    }
+
+    /// Runs a closure with mutable access to the live database. The write
+    /// latch only serialises *writers* and snapshot acquisition; readers
+    /// holding earlier snapshots are unaffected.
+    pub fn write<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+
+    /// Convenience: insert a row into a table. Returns the new row id.
+    pub fn insert(&self, table: &str, values: &[Value]) -> RowId {
+        self.write(|db| {
+            db.table_mut(table)
+                .unwrap_or_else(|| panic!("no table {table:?}"))
+                .insert(values)
+        })
+    }
+
+    /// Convenience: lazily delete a row.
+    pub fn delete(&self, table: &str, row: RowId) -> bool {
+        self.write(|db| {
+            db.table_mut(table)
+                .unwrap_or_else(|| panic!("no table {table:?}"))
+                .delete(row)
+        })
+    }
+
+    /// Convenience: in-place update of one field.
+    pub fn update(&self, table: &str, row: RowId, column: &str, value: &Value) {
+        self.write(|db| {
+            db.table_mut(table)
+                .unwrap_or_else(|| panic!("no table {table:?}"))
+                .update(row, column, value)
+        })
+    }
+
+    /// Convenience: register a table.
+    pub fn add_table(&self, table: Table) {
+        self.write(|db| db.add_table(table));
+    }
+
+    /// Consolidates a table (paper §4.4), rewriting inbound references.
+    /// Intended for idle periods; holds the write latch for the duration.
+    pub fn consolidate(&self, table: &str) {
+        self.write(|db| db.consolidate(table));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{ColumnDef, Schema};
+    use crate::types::DataType;
+
+    fn shared_dim() -> SharedDatabase {
+        let mut db = Database::new();
+        let mut t = Table::new(
+            "dim",
+            Schema::new(vec![ColumnDef::new("v", DataType::I64)]),
+        );
+        for i in 0..4 {
+            t.append_row(&[Value::Int(i)]);
+        }
+        db.add_table(t);
+        SharedDatabase::new(db)
+    }
+
+    #[test]
+    fn snapshot_isolated_from_later_writes() {
+        let shared = shared_dim();
+        let snap = shared.snapshot();
+        assert_eq!(snap.table("dim").unwrap().num_live(), 4);
+
+        shared.insert("dim", &[Value::Int(99)]);
+        shared.delete("dim", 0);
+        shared.update("dim", 1, "v", &Value::Int(-1));
+
+        // The old snapshot still sees the original image.
+        let dim = snap.table("dim").unwrap();
+        assert_eq!(dim.num_live(), 4);
+        assert_eq!(dim.row(0), vec![Value::Int(0)]);
+        assert_eq!(dim.row(1), vec![Value::Int(1)]);
+
+        // A fresh snapshot sees the new state.
+        let now = shared.snapshot();
+        let dim = now.table("dim").unwrap();
+        assert_eq!(dim.num_live(), 4); // 4 + 1 insert − 1 delete
+        assert_eq!(dim.num_slots(), 5);
+        assert!(!dim.is_live(0));
+        assert_eq!(dim.row(1), vec![Value::Int(-1)]);
+    }
+
+    #[test]
+    fn writes_without_snapshot_do_not_copy() {
+        let shared = shared_dim();
+        // No snapshot outstanding: make_mut mutates in place. (Behavioural
+        // check: values observable after write.)
+        shared.insert("dim", &[Value::Int(123)]);
+        let snap = shared.snapshot();
+        assert_eq!(snap.table("dim").unwrap().num_live(), 5);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let shared = shared_dim();
+        let reader = shared.clone();
+        let writer = shared.clone();
+        let handle = std::thread::spawn(move || {
+            for i in 0..100 {
+                writer.insert("dim", &[Value::Int(i)]);
+            }
+        });
+        for _ in 0..50 {
+            let snap = reader.snapshot();
+            let n = snap.table("dim").unwrap().num_live();
+            assert!((4..=104).contains(&n));
+        }
+        handle.join().unwrap();
+        assert_eq!(shared.snapshot().table("dim").unwrap().num_live(), 104);
+    }
+
+    #[test]
+    fn consolidate_through_shared_handle() {
+        let shared = shared_dim();
+        shared.delete("dim", 2);
+        shared.consolidate("dim");
+        let snap = shared.snapshot();
+        assert_eq!(snap.table("dim").unwrap().num_slots(), 3);
+        assert_eq!(snap.table("dim").unwrap().num_live(), 3);
+    }
+}

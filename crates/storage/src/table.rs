@@ -1,0 +1,416 @@
+//! Tables as *array families* (paper §2).
+//!
+//! "We store a relational table in an array family, which is composed of a
+//! set of arrays of equal length, each representing a column of the table.
+//! … As array indexes can be used to directly locate the tuples in a table,
+//! A-Store treats the array index as the primary key of a table."
+//!
+//! No primary-key column is ever materialized. A [`Table`] additionally
+//! carries a *live bitmap* (the inverse of the paper's §4.4 delete vector)
+//! and a free-slot list enabling slot reuse for dimension tables.
+
+use std::collections::HashMap;
+
+use crate::bitmap::Bitmap;
+use crate::column::Column;
+use crate::selvec::SelVec;
+use crate::types::{DataType, RowId, Value};
+
+/// A named, typed column declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name (unique within its table).
+    pub name: String,
+    /// Physical type.
+    pub dtype: DataType,
+}
+
+impl ColumnDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        ColumnDef { name: name.into(), dtype }
+    }
+}
+
+/// An ordered set of column definitions.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    defs: Vec<ColumnDef>,
+    index: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Builds a schema from column definitions.
+    ///
+    /// # Panics
+    /// Panics on duplicate column names.
+    pub fn new(defs: Vec<ColumnDef>) -> Self {
+        let mut index = HashMap::with_capacity(defs.len());
+        for (i, d) in defs.iter().enumerate() {
+            let prev = index.insert(d.name.clone(), i);
+            assert!(prev.is_none(), "duplicate column name {:?}", d.name);
+        }
+        Schema { defs, index }
+    }
+
+    /// The column definitions, in declaration order.
+    pub fn defs(&self) -> &[ColumnDef] {
+        &self.defs
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Position of the named column.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Definition of the named column.
+    pub fn def(&self, name: &str) -> Option<&ColumnDef> {
+        self.position(name).map(|i| &self.defs[i])
+    }
+}
+
+/// A relational table stored as an array family.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    /// Bit `i` = slot `i` holds a live tuple. The complement is the paper's
+    /// delete vector.
+    live: Bitmap,
+    /// Dead slots available for reuse by inserts (paper §4.4: "The position
+    /// of a deleted tuple will later be reused by a newly inserted tuple").
+    free: Vec<RowId>,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let columns = schema.defs().iter().map(|d| Column::new(&d.dtype)).collect();
+        Table { name: name.into(), schema, columns, live: Bitmap::new(0, false), free: Vec::new() }
+    }
+
+    /// Bulk-constructs a table from pre-built columns (the data generators'
+    /// fast path). All columns must have equal length, matching the
+    /// array-family invariant.
+    ///
+    /// # Panics
+    /// Panics if column count or lengths disagree with the schema.
+    pub fn from_columns(name: impl Into<String>, schema: Schema, columns: Vec<Column>) -> Self {
+        assert_eq!(columns.len(), schema.arity(), "column count mismatch");
+        let n = columns.first().map_or(0, Column::len);
+        for (c, d) in columns.iter().zip(schema.defs()) {
+            assert_eq!(c.len(), n, "array family misaligned at column {:?}", d.name);
+            assert_eq!(c.dtype(), d.dtype, "type mismatch at column {:?}", d.name);
+        }
+        Table { name: name.into(), schema, columns, live: Bitmap::new(n, true), free: Vec::new() }
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total number of slots, live or dead. Array indexes range over
+    /// `0..num_slots()`.
+    pub fn num_slots(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of live tuples.
+    pub fn num_live(&self) -> usize {
+        self.live.count_ones()
+    }
+
+    /// Returns `true` if slot `row` holds a live tuple.
+    #[inline]
+    pub fn is_live(&self, row: RowId) -> bool {
+        self.live.get_or_false(row as usize)
+    }
+
+    /// Returns `true` if any slot is dead (scans must then consult
+    /// [`Table::live_bitmap`]).
+    pub fn has_deletes(&self) -> bool {
+        self.free.len() + (self.num_slots() - self.live.count_ones()) > 0
+    }
+
+    /// The live bitmap (inverse delete vector).
+    pub fn live_bitmap(&self) -> &Bitmap {
+        &self.live
+    }
+
+    /// A selection vector over all live slots.
+    pub fn live_selvec(&self) -> SelVec {
+        SelVec::from_bitmap(&self.live)
+    }
+
+    /// Column by position.
+    pub fn column_at(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.schema.position(name).map(|i| &self.columns[i])
+    }
+
+    /// Mutable column by name (update path).
+    pub fn column_mut(&mut self, name: &str) -> Option<&mut Column> {
+        self.schema.position(name).map(move |i| &mut self.columns[i])
+    }
+
+    /// Appends a tuple at the end of every array, growing the family.
+    /// Returns the new tuple's array index (= its primary key).
+    ///
+    /// # Panics
+    /// Panics if `values` does not match the schema arity/types.
+    pub fn append_row(&mut self, values: &[Value]) -> RowId {
+        assert_eq!(values.len(), self.schema.arity(), "arity mismatch");
+        for (col, v) in self.columns.iter_mut().zip(values) {
+            col.push(v);
+        }
+        let row = self.live.len() as RowId;
+        self.live.push(true);
+        row
+    }
+
+    /// Inserts a tuple, preferring a reusable dead slot over growing the
+    /// arrays (paper §4.4). Returns the tuple's array index.
+    pub fn insert(&mut self, values: &[Value]) -> RowId {
+        if let Some(slot) = self.free.pop() {
+            assert_eq!(values.len(), self.schema.arity(), "arity mismatch");
+            for (col, v) in self.columns.iter_mut().zip(values) {
+                col.set(slot as usize, v);
+            }
+            self.live.set(slot as usize, true);
+            slot
+        } else {
+            self.append_row(values)
+        }
+    }
+
+    /// Lazy deletion (paper §4.4): marks the slot dead in the delete vector
+    /// and queues it for reuse. No data moves; inbound references to other
+    /// slots stay valid.
+    ///
+    /// Returns `false` if the slot was already dead.
+    pub fn delete(&mut self, row: RowId) -> bool {
+        if !self.is_live(row) {
+            return false;
+        }
+        self.live.set(row as usize, false);
+        self.free.push(row);
+        true
+    }
+
+    /// In-place update of one field (paper §4.4: "A-Store applies in-place
+    /// updating, so it can avoid modifying foreign keys").
+    ///
+    /// # Panics
+    /// Panics if the column does not exist or the slot is dead.
+    pub fn update(&mut self, row: RowId, column: &str, value: &Value) {
+        assert!(self.is_live(row), "cannot update dead slot {row}");
+        let col = self
+            .column_mut(column)
+            .unwrap_or_else(|| panic!("no column {column:?}"));
+        col.set(row as usize, value);
+    }
+
+    /// Reads a full tuple generically (test/debug path).
+    pub fn row(&self, row: RowId) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(row as usize)).collect()
+    }
+
+    /// Reserves append capacity across the family (paper §4.4: "A-Store
+    /// preserves a certain proportion of free space at the end of each
+    /// array").
+    pub fn reserve(&mut self, additional: usize) {
+        for c in &mut self.columns {
+            c.reserve(additional);
+        }
+    }
+
+    /// Iterates `(name, column)` pairs.
+    pub fn columns(&self) -> impl Iterator<Item = (&str, &Column)> {
+        self.schema.defs().iter().map(|d| d.name.as_str()).zip(self.columns.iter())
+    }
+
+    /// Compacts the table: drops dead slots, renumbers the survivors, and
+    /// returns the remap table `old slot -> new slot` (`None` for dead
+    /// slots). The caller (see [`crate::catalog::Database::consolidate`])
+    /// must rewrite inbound AIR columns with the remap — this is exactly the
+    /// paper's "consolidation is an expensive operation, as it has to update
+    /// all the references to the table".
+    pub fn compact(&mut self) -> Vec<Option<RowId>> {
+        let n = self.num_slots();
+        let mut remap: Vec<Option<RowId>> = vec![None; n];
+        let mut next: RowId = 0;
+        for (old, slot) in remap.iter_mut().enumerate() {
+            if self.live.get(old) {
+                *slot = Some(next);
+                next += 1;
+            }
+        }
+        let live_rows: Vec<usize> = self.live.iter_ones().collect();
+        let defs = self.schema.defs().to_vec();
+        let mut new_cols = Vec::with_capacity(self.columns.len());
+        for (col, def) in self.columns.iter().zip(&defs) {
+            let mut fresh = Column::new(&def.dtype);
+            fresh.reserve(live_rows.len());
+            for &r in &live_rows {
+                fresh.push(&col.get(r));
+            }
+            new_cols.push(fresh);
+        }
+        self.columns = new_cols;
+        self.live = Bitmap::new(live_rows.len(), true);
+        self.free.clear();
+        remap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::NULL_KEY;
+
+    fn dim_schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("d_year", DataType::I32),
+            ColumnDef::new("d_month", DataType::Str),
+        ])
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = dim_schema();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.position("d_month"), Some(1));
+        assert_eq!(s.position("nope"), None);
+        assert_eq!(s.def("d_year").unwrap().dtype, DataType::I32);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn schema_rejects_duplicates() {
+        Schema::new(vec![
+            ColumnDef::new("x", DataType::I32),
+            ColumnDef::new("x", DataType::I64),
+        ]);
+    }
+
+    #[test]
+    fn append_assigns_sequential_array_indexes() {
+        let mut t = Table::new("date", dim_schema());
+        let r0 = t.append_row(&[Value::Int(1997), Value::Str("May".into())]);
+        let r1 = t.append_row(&[Value::Int(1998), Value::Str("June".into())]);
+        assert_eq!((r0, r1), (0, 1));
+        assert_eq!(t.num_slots(), 2);
+        assert_eq!(t.num_live(), 2);
+        assert_eq!(t.row(1), vec![Value::Int(1998), Value::Str("June".into())]);
+    }
+
+    #[test]
+    fn delete_is_lazy_and_slot_is_reused() {
+        let mut t = Table::new("date", dim_schema());
+        for y in 1992..1999 {
+            t.append_row(&[Value::Int(y), Value::Str("Jan".into())]);
+        }
+        assert!(t.delete(3));
+        assert!(!t.delete(3), "double delete reports false");
+        assert!(!t.is_live(3));
+        assert_eq!(t.num_slots(), 7, "lazy delete keeps the slot");
+        assert_eq!(t.num_live(), 6);
+        assert!(t.has_deletes());
+
+        // The next insert reuses slot 3 instead of growing the arrays.
+        let r = t.insert(&[Value::Int(2001), Value::Str("Feb".into())]);
+        assert_eq!(r, 3);
+        assert_eq!(t.num_slots(), 7);
+        assert_eq!(t.num_live(), 7);
+        assert_eq!(t.row(3), vec![Value::Int(2001), Value::Str("Feb".into())]);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut t = Table::new("date", dim_schema());
+        t.append_row(&[Value::Int(1992), Value::Str("Jan".into())]);
+        t.update(0, "d_month", &Value::Str("December".into()));
+        assert_eq!(t.row(0), vec![Value::Int(1992), Value::Str("December".into())]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead slot")]
+    fn update_dead_slot_panics() {
+        let mut t = Table::new("date", dim_schema());
+        t.append_row(&[Value::Int(1992), Value::Str("Jan".into())]);
+        t.delete(0);
+        t.update(0, "d_year", &Value::Int(2000));
+    }
+
+    #[test]
+    fn from_columns_bulk_load() {
+        let schema = Schema::new(vec![
+            ColumnDef::new("k", DataType::Key { target: "dim".into() }),
+            ColumnDef::new("v", DataType::I64),
+        ]);
+        let cols = vec![
+            Column::Key { target: "dim".into(), keys: vec![0, 1, NULL_KEY] },
+            Column::I64(vec![10, 20, 30]),
+        ];
+        let t = Table::from_columns("fact", schema, cols);
+        assert_eq!(t.num_slots(), 3);
+        assert_eq!(t.num_live(), 3);
+        let (target, keys) = t.column("k").unwrap().as_key().unwrap();
+        assert_eq!(target, "dim");
+        assert_eq!(keys.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn from_columns_rejects_misaligned_family() {
+        let schema = Schema::new(vec![
+            ColumnDef::new("a", DataType::I32),
+            ColumnDef::new("b", DataType::I32),
+        ]);
+        Table::from_columns("t", schema, vec![Column::I32(vec![1]), Column::I32(vec![1, 2])]);
+    }
+
+    #[test]
+    fn compact_renumbers_survivors() {
+        let mut t = Table::new("dim", dim_schema());
+        for y in 0..6 {
+            t.append_row(&[Value::Int(y), Value::Str(format!("m{y}"))]);
+        }
+        t.delete(1);
+        t.delete(4);
+        let remap = t.compact();
+        assert_eq!(remap, vec![Some(0), None, Some(1), Some(2), None, Some(3)]);
+        assert_eq!(t.num_slots(), 4);
+        assert_eq!(t.num_live(), 4);
+        assert!(!t.has_deletes());
+        assert_eq!(t.row(1), vec![Value::Int(2), Value::Str("m2".into())]);
+        assert_eq!(t.row(3), vec![Value::Int(5), Value::Str("m5".into())]);
+    }
+
+    #[test]
+    fn live_selvec_skips_dead() {
+        let mut t = Table::new("dim", dim_schema());
+        for y in 0..5 {
+            t.append_row(&[Value::Int(y), Value::Str("m".into())]);
+        }
+        t.delete(0);
+        t.delete(4);
+        assert_eq!(t.live_selvec().rows(), &[1, 2, 3]);
+    }
+}

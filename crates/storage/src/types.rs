@@ -1,0 +1,213 @@
+//! Fundamental scalar types of the A-Store storage model.
+//!
+//! A-Store treats the *array index* of a tuple as its primary key, so a row
+//! identifier is simply a position ([`RowId`]). Foreign keys are stored as
+//! array index references ("AIR"): plain `u32` positions into the referenced
+//! table. The sentinel [`NULL_KEY`] marks an absent reference (and, in group
+//! vectors, a tuple that failed predicate evaluation — the paper's `-1`).
+
+use std::fmt;
+
+/// A row identifier: the position of the tuple inside its array family.
+///
+/// A-Store never materializes a primary-key column; the index *is* the key.
+pub type RowId = u32;
+
+/// An array index reference (AIR): a foreign key stored as the array index of
+/// the referenced tuple.
+pub type Key = u32;
+
+/// Sentinel for "no reference" / "filtered out" (the paper encodes it as −1).
+pub const NULL_KEY: Key = u32::MAX;
+
+/// The physical data types a column array can hold.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// 64-bit IEEE float.
+    F64,
+    /// Variable-length string stored in a dynamically allocated heap; the
+    /// array holds fixed-width references (paper §2).
+    Str,
+    /// Dictionary-compressed string: the array holds codes that are array
+    /// indexes into the dictionary (paper §2: "a dictionary can be regarded
+    /// as a reference table").
+    Dict,
+    /// Array index reference into the named table (a foreign key).
+    Key {
+        /// Name of the referenced table.
+        target: String,
+    },
+}
+
+impl DataType {
+    /// Returns `true` if the type is a reference (AIR) into another table.
+    pub fn is_key(&self) -> bool {
+        matches!(self, DataType::Key { .. })
+    }
+
+    /// Returns `true` if values of this type order and compare numerically.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::I32 | DataType::I64 | DataType::F64)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::I32 => write!(f, "i32"),
+            DataType::I64 => write!(f, "i64"),
+            DataType::F64 => write!(f, "f64"),
+            DataType::Str => write!(f, "str"),
+            DataType::Dict => write!(f, "dict"),
+            DataType::Key { target } => write!(f, "key -> {target}"),
+        }
+    }
+}
+
+/// A dynamically typed scalar value, used at API boundaries (inserts, result
+/// sets, predicate literals). Hot paths never touch [`Value`]; they work on
+/// typed column slices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Any integer (widened to 64 bits).
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// An owned string.
+    Str(String),
+    /// An array index reference.
+    Key(Key),
+    /// SQL NULL / absent.
+    Null,
+}
+
+impl Value {
+    /// The integer content, if this value is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Key(k) => Some(i64::from(*k)),
+            _ => None,
+        }
+    }
+
+    /// The float content, coercing integers.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(i64::from(v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+            Value::Key(k) => write!(f, "#{k}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datatype_key_detection() {
+        assert!(DataType::Key { target: "date".into() }.is_key());
+        assert!(!DataType::I32.is_key());
+        assert!(!DataType::Str.is_key());
+    }
+
+    #[test]
+    fn datatype_numeric_detection() {
+        assert!(DataType::I32.is_numeric());
+        assert!(DataType::I64.is_numeric());
+        assert!(DataType::F64.is_numeric());
+        assert!(!DataType::Str.is_numeric());
+        assert!(!DataType::Dict.is_numeric());
+    }
+
+    #[test]
+    fn value_coercions() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Key(3).as_int(), Some(3));
+        assert_eq!(Value::Int(7).as_float(), Some(7.0));
+        assert_eq!(Value::Float(1.5).as_float(), Some(1.5));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Str("x".into()).as_int(), None);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn value_from_impls() {
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(2.5f64), Value::Float(2.5));
+        assert_eq!(Value::from("abc"), Value::Str("abc".into()));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(DataType::Key { target: "t".into() }.to_string(), "key -> t");
+        assert_eq!(Value::Key(4).to_string(), "#4");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn null_key_is_max() {
+        assert_eq!(NULL_KEY, u32::MAX);
+    }
+}

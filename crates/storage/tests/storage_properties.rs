@@ -1,0 +1,220 @@
+//! Property-based tests for the storage primitives: bitmap algebra,
+//! dictionary round-trips, the string heap, and the table update/compact
+//! life cycle.
+
+use proptest::prelude::*;
+
+use astore_storage::bitmap::Bitmap;
+use astore_storage::dictionary::{DictColumn, Dictionary};
+use astore_storage::prelude::*;
+use astore_storage::selvec::SelVec;
+use astore_storage::strings::StrColumn;
+
+proptest! {
+    #[test]
+    fn bitmap_set_get_roundtrip(bits in prop::collection::vec(any::<bool>(), 0..300)) {
+        let bm = Bitmap::from_fn(bits.len(), |i| bits[i]);
+        prop_assert_eq!(bm.len(), bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(bm.get(i), b);
+        }
+        prop_assert_eq!(bm.count_ones(), bits.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn bitmap_demorgan(a in prop::collection::vec(any::<bool>(), 1..256),
+                       b in prop::collection::vec(any::<bool>(), 1..256)) {
+        let n = a.len().min(b.len());
+        let bma = Bitmap::from_fn(n, |i| a[i]);
+        let bmb = Bitmap::from_fn(n, |i| b[i]);
+        // !(a & b) == !a | !b
+        let mut lhs = bma.clone();
+        lhs.and_assign(&bmb);
+        lhs.not_assign();
+        let mut na = bma.clone();
+        na.not_assign();
+        let mut nb = bmb.clone();
+        nb.not_assign();
+        let mut rhs = na;
+        rhs.or_assign(&nb);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn bitmap_iter_ones_matches_get(bits in prop::collection::vec(any::<bool>(), 0..300)) {
+        let bm = Bitmap::from_fn(bits.len(), |i| bits[i]);
+        let ones: Vec<usize> = bm.iter_ones().collect();
+        let expected: Vec<usize> =
+            (0..bits.len()).filter(|&i| bits[i]).collect();
+        prop_assert_eq!(ones, expected);
+    }
+
+    #[test]
+    fn selvec_bitmap_duality(bits in prop::collection::vec(any::<bool>(), 0..300)) {
+        let bm = Bitmap::from_fn(bits.len(), |i| bits[i]);
+        let sv = SelVec::from_bitmap(&bm);
+        prop_assert_eq!(sv.to_bitmap(bits.len()), bm);
+        prop_assert_eq!(sv.len(), bits.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn dictionary_roundtrip(values in prop::collection::vec("[a-z]{0,12}", 0..120)) {
+        let (dict, codes) = Dictionary::encode(values.clone());
+        prop_assert_eq!(codes.len(), values.len());
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(dict.decode(codes[i]), v.as_str());
+            prop_assert_eq!(dict.code_of(v), codes[i]);
+        }
+        // Order preservation: codes sort like values.
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                prop_assert_eq!(values[i] < values[j], codes[i] < codes[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn dictionary_code_range_equals_scan(values in prop::collection::vec("[a-f]{1,4}", 1..60),
+                                         lo in "[a-f]{1,4}", hi in "[a-f]{1,4}") {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let (dict, _) = Dictionary::encode(values);
+        let range = dict.code_range(&lo, &hi);
+        for c in 0..dict.len() as u32 {
+            let v = dict.decode(c);
+            let in_range = v >= lo.as_str() && v <= hi.as_str();
+            prop_assert_eq!(range.contains(&c), in_range, "value {}", v);
+        }
+    }
+
+    #[test]
+    fn dict_column_updates(ops in prop::collection::vec(("[a-z]{0,6}", any::<bool>()), 1..80)) {
+        let mut col = DictColumn::new();
+        let mut model: Vec<String> = Vec::new();
+        for (s, update) in ops {
+            if update && !model.is_empty() {
+                let idx = s.len() % model.len();
+                col.update(idx, &s);
+                model[idx] = s;
+            } else {
+                col.push(&s);
+                model.push(s);
+            }
+        }
+        prop_assert_eq!(col.len(), model.len());
+        for (i, v) in model.iter().enumerate() {
+            prop_assert_eq!(col.get(i), v.as_str());
+        }
+    }
+
+    #[test]
+    fn str_column_push_update(ops in prop::collection::vec(("[ -~]{0,40}", any::<bool>()), 1..80)) {
+        let mut col = StrColumn::new();
+        let mut model: Vec<String> = Vec::new();
+        for (s, update) in ops {
+            if update && !model.is_empty() {
+                let idx = s.len() % model.len();
+                col.update(idx, &s);
+                model[idx] = s;
+            } else {
+                col.push(&s);
+                model.push(s);
+            }
+        }
+        for (i, v) in model.iter().enumerate() {
+            prop_assert_eq!(col.get(i), v.as_str());
+        }
+    }
+
+    #[test]
+    fn table_insert_delete_compact_lifecycle(
+        ops in prop::collection::vec((0..3u8, 0..64u32, -100..100i64), 0..120),
+    ) {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![ColumnDef::new("v", DataType::I64)]),
+        );
+        // Model: map slot -> value for live slots.
+        let mut model: Vec<Option<i64>> = Vec::new();
+        for (op, row, v) in ops {
+            match op {
+                0 => {
+                    let slot = t.insert(&[Value::Int(v)]) as usize;
+                    if slot == model.len() {
+                        model.push(Some(v));
+                    } else {
+                        prop_assert!(model[slot].is_none(), "reused slot must be dead");
+                        model[slot] = Some(v);
+                    }
+                }
+                1 => {
+                    if !model.is_empty() {
+                        let slot = (row as usize) % model.len();
+                        let was_live = model[slot].is_some();
+                        prop_assert_eq!(t.delete(slot as u32), was_live);
+                        model[slot] = None;
+                    }
+                }
+                _ => {
+                    if !model.is_empty() {
+                        let slot = (row as usize) % model.len();
+                        if model[slot].is_some() {
+                            t.update(slot as u32, "v", &Value::Int(v));
+                            model[slot] = Some(v);
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(t.num_slots(), model.len());
+            prop_assert_eq!(t.num_live(), model.iter().flatten().count());
+        }
+        // Compaction preserves the live multiset and renumbers densely.
+        let live_before: Vec<i64> = model.iter().flatten().copied().collect();
+        let remap = t.compact();
+        prop_assert_eq!(t.num_slots(), live_before.len());
+        prop_assert_eq!(t.num_live(), live_before.len());
+        let mut live_after: Vec<i64> = (0..t.num_slots())
+            .map(|r| t.column("v").unwrap().int_at(r).unwrap())
+            .collect();
+        let mut expected = live_before;
+        live_after.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(live_after, expected);
+        // Remap hits every new slot exactly once.
+        let mut seen: Vec<u32> = remap.into_iter().flatten().collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..t.num_slots() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn consolidation_preserves_referential_integrity(
+        dim_size in 1..30usize,
+        fact_keys in prop::collection::vec(0..30u32, 0..80),
+        deletes in prop::collection::vec(0..30u32, 0..10),
+    ) {
+        let mut dim = Table::new(
+            "dim",
+            Schema::new(vec![ColumnDef::new("d", DataType::I32)]),
+        );
+        for i in 0..dim_size {
+            dim.append_row(&[Value::Int(i as i64)]);
+        }
+        let mut fact = Table::new(
+            "fact",
+            Schema::new(vec![ColumnDef::new("k", DataType::Key { target: "dim".into() })]),
+        );
+        for k in &fact_keys {
+            fact.append_row(&[Value::Key(k % dim_size as u32)]);
+        }
+        let mut db = Database::new();
+        db.add_table(dim);
+        db.add_table(fact);
+        prop_assert!(db.validate_references().is_empty());
+
+        for d in deletes {
+            db.table_mut("dim").unwrap().delete(d % dim_size as u32);
+        }
+        db.consolidate("dim");
+        prop_assert!(db.validate_references().is_empty(),
+            "consolidation must restore referential integrity");
+    }
+}
