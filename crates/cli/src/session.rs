@@ -7,6 +7,8 @@ use std::time::Instant;
 use astore_baseline::engine::execute_hash_pipeline;
 use astore_core::prelude::*;
 use astore_datagen::{ssb, tpch};
+use astore_server::json::Json;
+use astore_server::Client;
 use astore_sql::sql_to_query;
 use astore_storage::prelude::*;
 
@@ -15,10 +17,19 @@ pub struct Session {
     db: Database,
     dataset: String,
     opts: ExecOptions,
+    /// When set, SQL is sent to a remote astore-server instead of the
+    /// local database (`\connect host:port`).
+    remote: Option<Remote>,
     /// Print wall time after each query.
     pub timing: bool,
     /// Print plan diagnostics after each query.
     pub show_plan: bool,
+}
+
+/// An open remote-mode connection.
+struct Remote {
+    addr: String,
+    client: Client,
 }
 
 /// Outcome of feeding one line to the session.
@@ -42,14 +53,18 @@ impl Session {
             db: Database::new(),
             dataset: "(empty)".into(),
             opts: ExecOptions::default(),
+            remote: None,
             timing: true,
             show_plan: false,
         }
     }
 
-    /// The currently loaded dataset label.
+    /// The currently loaded dataset label (or the remote address).
     pub fn dataset(&self) -> &str {
-        &self.dataset
+        match &self.remote {
+            Some(r) => &r.addr,
+            None => &self.dataset,
+        }
     }
 
     /// Direct access to the loaded database (used by embedding callers).
@@ -67,6 +82,9 @@ impl Session {
         }
         if let Some(rest) = line.strip_prefix('\\') {
             return self.meta(rest);
+        }
+        if self.remote.is_some() {
+            return Outcome::Text(self.run_remote_sql(line));
         }
         Outcome::Text(self.run_sql(line))
     }
@@ -184,7 +202,51 @@ impl Session {
                 }
             }
             "compare" => Outcome::Text(self.compare(parts.collect::<Vec<_>>().join(" "), arg)),
+            "connect" => Outcome::Text(self.connect(arg)),
+            "disconnect" => Outcome::Text(match self.remote.take() {
+                Some(r) => format!("disconnected from {}", r.addr),
+                None => "not connected".into(),
+            }),
+            "stats" => Outcome::Text(match &mut self.remote {
+                None => "not connected; \\connect host:port first".into(),
+                Some(r) => match r.client.stats() {
+                    Ok(stats) => render_stats(&stats),
+                    Err(e) => {
+                        self.remote = None;
+                        format!("connection lost ({e}); back to local mode")
+                    }
+                },
+            }),
             other => Outcome::Text(format!("unknown command \\{other}; \\help lists commands")),
+        }
+    }
+
+    /// `\connect host:port`: switch to remote mode over the wire protocol.
+    fn connect(&mut self, addr: &str) -> String {
+        if addr.is_empty() {
+            return "usage: \\connect host:port (e.g. \\connect 127.0.0.1:3939)".into();
+        }
+        match Client::connect(addr) {
+            Ok(client) => {
+                self.remote = Some(Remote { addr: addr.to_owned(), client });
+                format!(
+                    "connected to {addr}; SQL now runs remotely (\\disconnect to go local, \
+                     \\stats for server counters)"
+                )
+            }
+            Err(e) => format!("could not connect to {addr}: {e}"),
+        }
+    }
+
+    /// Executes SQL on the connected server and renders the response frame.
+    fn run_remote_sql(&mut self, sql: &str) -> String {
+        let remote = self.remote.as_mut().expect("checked by caller");
+        match remote.client.sql(sql) {
+            Ok(frame) => render_frame(&frame, self.timing),
+            Err(e) => {
+                self.remote = None;
+                format!("connection lost ({e}); back to local mode")
+            }
         }
     }
 
@@ -247,6 +309,82 @@ impl Session {
     }
 }
 
+/// Renders a wire-protocol response frame for the terminal.
+fn render_frame(frame: &Json, timing: bool) -> String {
+    if frame.get("ok").and_then(Json::as_bool) != Some(true) {
+        let code = frame.get("code").and_then(Json::as_str).unwrap_or("unknown");
+        let msg = frame.get("error").and_then(Json::as_str).unwrap_or("(no message)");
+        return format!("error [{code}]: {msg}");
+    }
+    let mut out = String::new();
+    if let Some(n) = frame.get("rows_affected").and_then(Json::as_i64) {
+        let _ = write!(out, "{n} rows affected");
+    } else {
+        // Rebuild a QueryResult so local and remote mode share one table
+        // renderer (and render identically).
+        let result = QueryResult {
+            columns: frame
+                .get("columns")
+                .and_then(Json::as_array)
+                .map(|cs| cs.iter().filter_map(|c| c.as_str().map(str::to_owned)).collect())
+                .unwrap_or_default(),
+            rows: frame
+                .get("rows")
+                .and_then(Json::as_array)
+                .map(|rs| {
+                    rs.iter()
+                        .filter_map(Json::as_array)
+                        .map(|r| r.iter().map(json_to_value).collect())
+                        .collect()
+                })
+                .unwrap_or_default(),
+        };
+        out.push_str(&result.to_table_string());
+        let _ = write!(out, "({} rows)", result.len());
+        if frame.get("cached_plan").and_then(Json::as_bool) == Some(true) {
+            let _ = write!(out, " [cached plan]");
+        }
+    }
+    if timing {
+        if let Some(us) = frame.get("elapsed_us").and_then(Json::as_i64) {
+            let _ = write!(out, "\nserver time: {:.2} ms", us as f64 / 1e3);
+        }
+    }
+    out
+}
+
+fn json_to_value(v: &Json) -> Value {
+    match v {
+        Json::Int(x) => Value::Int(*x),
+        Json::Float(f) => Value::Float(*f),
+        Json::Str(s) => Value::Str(s.clone()),
+        Json::Bool(b) => Value::Str(b.to_string()),
+        Json::Null => Value::Null,
+        other => Value::Str(other.to_string()),
+    }
+}
+
+fn render_cell(v: &Json) -> String {
+    match v {
+        Json::Str(s) => s.clone(),
+        Json::Null => "NULL".into(),
+        other => other.to_string(),
+    }
+}
+
+/// Renders the `stats` payload as aligned `key value` lines.
+fn render_stats(stats: &Json) -> String {
+    let Json::Object(map) = stats else {
+        return stats.to_string();
+    };
+    let w = map.keys().map(String::len).max().unwrap_or(0);
+    let mut out = String::new();
+    for (k, v) in map {
+        let _ = writeln!(out, "{k:<w$}  {}", render_cell(v));
+    }
+    out
+}
+
 const HELP: &str = "\
 commands:
   \\load ssb <sf>     generate and load the Star Schema Benchmark
@@ -259,6 +397,9 @@ commands:
   \\timing on|off     per-query wall time
   \\plan on|off       plan diagnostics
   \\compare <sql>     run on A-Store and the hash-join baseline, verify agreement
+  \\connect h:p       remote mode: send SQL to an astore-server
+  \\disconnect        leave remote mode
+  \\stats             remote server counters (remote mode only)
   \\help              this text
   \\q                 quit
 anything else is executed as SQL (SPJGA subset).";
@@ -353,6 +494,54 @@ mod tests {
              AND c_nationkey = n_nationkey GROUP BY n_name ORDER BY n DESC LIMIT 3",
         ));
         assert!(out.contains("(3 rows)"), "{out}");
+    }
+
+    #[test]
+    fn remote_mode_roundtrip() {
+        use astore_server::{start, Engine, ServerConfig};
+        use std::sync::Arc;
+
+        let engine = Arc::new(Engine::new(SharedDatabase::new(ssb::generate(0.001, 42))));
+        let h = start(
+            engine,
+            ServerConfig { addr: "127.0.0.1:0".into(), queue_depth: 64, ..Default::default() },
+        )
+        .unwrap();
+
+        let mut s = Session::new();
+        let msg = text(s.feed(&format!("\\connect {}", h.addr())));
+        assert!(msg.contains("connected"), "{msg}");
+        assert_eq!(s.dataset(), h.addr().to_string());
+
+        let out = text(s.feed(
+            "SELECT d_year, sum(lo_revenue) AS rev FROM lineorder, date \
+             WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year",
+        ));
+        assert!(out.contains("d_year"), "{out}");
+        assert!(out.contains("(7 rows)"), "{out}");
+        assert!(out.contains("server time"), "{out}");
+
+        let out = text(s.feed("SELECT nope FROM lineorder"));
+        assert!(out.contains("error [plan_error]"), "{out}");
+
+        let out = text(s.feed("\\stats"));
+        assert!(out.contains("queries"), "{out}");
+        assert!(out.contains("latency_p99_us"), "{out}");
+
+        let out = text(s.feed("\\disconnect"));
+        assert!(out.contains("disconnected"), "{out}");
+        assert_eq!(s.dataset(), "(empty)");
+        h.shutdown();
+    }
+
+    #[test]
+    fn connect_failure_stays_local() {
+        let mut s = Session::new();
+        let msg = text(s.feed("\\connect 127.0.0.1:1")); // nothing listens there
+        assert!(msg.contains("could not connect"), "{msg}");
+        assert!(text(s.feed("\\connect")).contains("usage"));
+        assert!(text(s.feed("\\disconnect")).contains("not connected"));
+        assert!(text(s.feed("\\stats")).contains("not connected"));
     }
 
     #[test]

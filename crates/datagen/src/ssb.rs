@@ -418,7 +418,7 @@ fn gen_lineorder(sizes: SsbSizes, rng: &mut SmallRng) -> Table {
     let mut order = 0i64;
     while i < n {
         order += 1;
-        let lines = rng.gen_range(1..=7).min(n - i);
+        let lines = rng.gen_range(1..=7usize).min(n - i);
         let odate = rng.gen_range(0..sizes.date as u32);
         let ck = rng.gen_range(0..sizes.customer as u32);
         let prio = PRIORITIES[rng.gen_range(0..PRIORITIES.len())];
@@ -446,7 +446,7 @@ fn gen_lineorder(sizes: SsbSizes, rng: &mut SmallRng) -> Table {
             supplycost.push(price_base * 6 / 10);
             tax.push(rng.gen_range(0..=8i32));
             commitdate.push(
-                (odate + rng.gen_range(30..=90)).min(sizes.date as u32 - 1),
+                (odate + rng.gen_range(30..=90u32)).min(sizes.date as u32 - 1),
             );
             shipmode.push(SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())].to_owned());
             i += 1;

@@ -1,0 +1,62 @@
+//! Serve SSB over TCP and query it through the wire protocol — the
+//! end-to-end tour of the `astore-server` subsystem.
+//!
+//! ```text
+//! cargo run --release -p astore-examples --example server_quickstart
+//! ```
+
+use std::sync::Arc;
+
+use astore_server::json::Json;
+use astore_server::{start, Client, Engine, ServerConfig};
+use astore_storage::snapshot::SharedDatabase;
+
+fn main() {
+    // 1. Generate a small Star Schema Benchmark instance and wrap it in a
+    //    SharedDatabase: readers get O(1) copy-on-write snapshots, writers
+    //    go through a write latch that never blocks running queries.
+    println!("generating SSB SF 0.01 …");
+    let db = astore_datagen::ssb::generate(0.01, 42);
+    let shared = SharedDatabase::new(db);
+
+    // 2. Start the server on a free port.
+    let engine = Arc::new(Engine::new(shared));
+    let config = ServerConfig { addr: "127.0.0.1:0".into(), ..Default::default() };
+    let handle = start(engine, config).expect("bind failed");
+    println!("serving on {}", handle.addr());
+
+    // 3. Connect like any client would: newline-delimited JSON over TCP.
+    let mut client = Client::connect(handle.addr()).expect("connect failed");
+
+    // A read: SSB Q1.1, executed join-free against a snapshot.
+    let q11 = "SELECT sum(lo_extendedprice * lo_discount) AS revenue \
+               FROM lineorder, date \
+               WHERE lo_orderdate = d_datekey AND d_year = 1993 \
+                 AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25";
+    let resp = client.sql(q11).expect("request failed");
+    println!("\nQ1.1 → {resp}");
+
+    // Run it again: the normalized SQL text hits the shared plan cache.
+    let resp = client.sql(q11).expect("request failed");
+    assert_eq!(resp.get("cached_plan").and_then(Json::as_bool), Some(true));
+    println!("second run used a cached plan ({} µs)",
+        resp.get("elapsed_us").and_then(Json::as_i64).unwrap_or(0));
+
+    // A write: rowid-addressed update routed through SharedDatabase::write.
+    let resp = client
+        .sql("UPDATE customer SET c_mktsegment = 'MACHINERY' WHERE rowid = 0")
+        .expect("request failed");
+    println!("update → {resp}");
+
+    // An error: typed frames, the connection survives.
+    let resp = client.sql("SELECT nope FROM lineorder").expect("request failed");
+    assert_eq!(resp.get("code").and_then(Json::as_str), Some("plan_error"));
+    println!("bad query → {resp}");
+
+    // 4. Server-side counters: queries, cache hit rate, p50/p99 latency.
+    let stats = client.stats().expect("stats failed");
+    println!("\nstats → {stats}");
+
+    handle.shutdown();
+    println!("\nserver stopped.");
+}

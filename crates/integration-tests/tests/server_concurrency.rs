@@ -1,0 +1,180 @@
+//! Concurrent snapshot semantics, end to end.
+//!
+//! Two levels: (1) raw `SharedDatabase` — readers taking snapshots while a
+//! writer churns rows must never observe a torn row (a multi-field
+//! invariant violated mid-write); (2) the TCP server — SSB Q1.1 answers
+//! during an update burst must always correspond to a whole number of
+//! atomically applied insert batches, never a partial one.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use astore_server::json::Json;
+use astore_server::{start, Client, Engine, ServerConfig};
+use astore_storage::prelude::*;
+
+/// Level 1: writers maintain the invariant `b == 2 * a` in every row,
+/// restoring it only within a single `write` call. A reader that ever sees
+/// the invariant broken has observed a torn write.
+#[test]
+fn readers_never_observe_torn_rows() {
+    let mut t = Table::new(
+        "pair",
+        Schema::new(vec![ColumnDef::new("a", DataType::I64), ColumnDef::new("b", DataType::I64)]),
+    );
+    for i in 0..8i64 {
+        t.append_row(&[Value::Int(i), Value::Int(2 * i)]);
+    }
+    let mut db = Database::new();
+    db.add_table(t);
+    let shared = SharedDatabase::new(db);
+
+    let done = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        {
+            let shared = shared.clone();
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                for i in 8..400i64 {
+                    // One write call: insert a fresh pair AND rewrite an
+                    // existing row. Both sides keep b == 2a; a snapshot
+                    // taken between the two `update` calls would not.
+                    shared.write(|db| {
+                        let t = db.table_mut("pair").unwrap();
+                        t.insert(&[Value::Int(i), Value::Int(2 * i)]);
+                        let victim = (i % 8) as RowId;
+                        t.update(victim, "a", &Value::Int(i * 10));
+                        t.update(victim, "b", &Value::Int(i * 20));
+                    });
+                }
+                done.store(true, Ordering::SeqCst);
+            });
+        }
+        for _ in 0..3 {
+            let shared = shared.clone();
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                let mut checked = 0usize;
+                loop {
+                    let finished = done.load(Ordering::SeqCst);
+                    let snap = shared.snapshot();
+                    let t = snap.table("pair").unwrap();
+                    for row in 0..t.num_slots() as RowId {
+                        if !t.is_live(row) {
+                            continue;
+                        }
+                        let vals = t.row(row);
+                        let (Value::Int(a), Value::Int(b)) = (&vals[0], &vals[1]) else {
+                            panic!("unexpected types in row {row}: {vals:?}");
+                        };
+                        assert_eq!(*b, 2 * a, "torn row {row}: a={a} b={b}");
+                        checked += 1;
+                    }
+                    if finished {
+                        break;
+                    }
+                }
+                assert!(checked > 0);
+            });
+        }
+    });
+    assert_eq!(shared.snapshot().table("pair").unwrap().num_live(), 400);
+}
+
+/// Level 2: the served Q1.1 answer mid-burst is always `base + k * DELTA`
+/// for a whole `k` — each burst is one multi-row INSERT, and the engine
+/// promises readers see all of a write call or none of it.
+#[test]
+fn server_q11_consistent_mid_update_burst() {
+    const BURSTS: usize = 25;
+    const ROWS_PER_BURST: usize = 4;
+    // Every inserted row matches the Q1.1 predicate and contributes
+    // lo_extendedprice * lo_discount = 1000 * 2 to the aggregate.
+    const ROW_DELTA: i64 = 2000;
+    const BURST_DELTA: i64 = ROW_DELTA * ROWS_PER_BURST as i64;
+
+    let db = astore_datagen::ssb::generate(0.002, 42);
+    // A date key with d_year = 1993, found by scanning the dimension.
+    let date = db.table("date").unwrap();
+    let year_col = date.schema().defs().iter().position(|d| d.name == "d_year").unwrap();
+    let d1993 = (0..date.num_slots() as RowId)
+        .find(|&r| date.row(r)[year_col] == Value::Int(1993))
+        .expect("SSB date table covers 1993");
+
+    let engine = Arc::new(Engine::new(SharedDatabase::new(db)));
+    let h = start(
+        engine,
+        ServerConfig { addr: "127.0.0.1:0".into(), queue_depth: 64, ..Default::default() },
+    )
+    .unwrap();
+    let addr = h.addr();
+
+    const Q11: &str = "SELECT sum(lo_extendedprice * lo_discount) AS revenue \
+                       FROM lineorder, date \
+                       WHERE lo_orderdate = d_datekey AND d_year = 1993 \
+                         AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25";
+    let revenue = |c: &mut Client| -> i64 {
+        let r = c.sql(Q11).expect("q1.1 failed");
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r:?}");
+        r.get("rows").unwrap().as_array().unwrap()[0].as_array().unwrap()[0]
+            .as_i64()
+            .expect("integral revenue")
+    };
+
+    let mut probe = Client::connect(addr).unwrap();
+    let base = revenue(&mut probe);
+
+    let burst_row = format!(
+        "(999999, 1, 0, 0, 0, {d1993}, '1-URGENT', 0, 10, 1000, 1000, 2, 980, 500, 0, {d1993}, 'AIR')"
+    );
+    let burst_sql =
+        format!("INSERT INTO lineorder VALUES {}", vec![burst_row; ROWS_PER_BURST].join(", "));
+
+    let done = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        {
+            let done = Arc::clone(&done);
+            let burst_sql = burst_sql.clone();
+            s.spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for _ in 0..BURSTS {
+                    let r = c.sql(&burst_sql).expect("burst failed");
+                    assert_eq!(
+                        r.get("rows_affected").and_then(Json::as_i64),
+                        Some(ROWS_PER_BURST as i64),
+                        "{r:?}"
+                    );
+                }
+                done.store(true, Ordering::SeqCst);
+            });
+        }
+        for _ in 0..3 {
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let mut observed = 0usize;
+                loop {
+                    let finished = done.load(Ordering::SeqCst);
+                    let rev = revenue(&mut c);
+                    let delta = rev - base;
+                    assert!(
+                        delta >= 0 && delta % BURST_DELTA == 0,
+                        "reader saw a partial burst: base={base} rev={rev} delta={delta}"
+                    );
+                    assert!(delta <= BURSTS as i64 * BURST_DELTA, "overshoot: {delta}");
+                    observed += 1;
+                    if finished {
+                        break;
+                    }
+                }
+                assert!(observed > 0);
+            });
+        }
+    });
+
+    assert_eq!(revenue(&mut probe), base + BURSTS as i64 * BURST_DELTA);
+    let stats = probe.stats().unwrap();
+    assert_eq!(stats.get("errors").and_then(Json::as_i64), Some(0), "{stats:?}");
+    assert!(stats.get("cache_hits").and_then(Json::as_i64).unwrap() > 0, "plan cache exercised");
+    h.shutdown();
+}

@@ -1,0 +1,234 @@
+//! `loadgen` — hammer an astore-server with N connections × M mixed SSB
+//! queries and print a JSON throughput/latency summary (BENCH_server.json
+//! format).
+//!
+//! ```text
+//! loadgen --self-host --sf 0.01 --connections 8 --queries 150
+//! loadgen --addr 127.0.0.1:3939 --connections 16 --queries 500 --write-every 50
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::process::exit;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use astore_server::hist::LatencyHistogram;
+use astore_server::json::Json;
+use astore_server::{start, Client, Engine, ServerConfig};
+use astore_storage::snapshot::SharedDatabase;
+
+/// The repeated-query mix: a rotation of SSB flights 1–4. Six distinct
+/// statements, so a run of hundreds of queries per connection exercises the
+/// plan cache hard (steady-state hit rate → 100%).
+const MIX: &[&str] = &[
+    "SELECT sum(lo_extendedprice * lo_discount) AS revenue FROM lineorder, date \
+     WHERE lo_orderdate = d_datekey AND d_year = 1993 \
+       AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25",
+    "SELECT sum(lo_extendedprice * lo_discount) AS revenue FROM lineorder, date \
+     WHERE lo_orderdate = d_datekey AND d_yearmonthnum = 199401 \
+       AND lo_discount BETWEEN 4 AND 6 AND lo_quantity BETWEEN 26 AND 35",
+    "SELECT d_year, p_brand1, sum(lo_revenue) AS revenue \
+     FROM lineorder, date, part, supplier \
+     WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey \
+       AND lo_suppkey = s_suppkey AND p_category = 'MFGR#12' AND s_region = 'AMERICA' \
+     GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1",
+    "SELECT c_nation, s_nation, d_year, sum(lo_revenue) AS revenue \
+     FROM customer, lineorder, supplier, date \
+     WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey \
+       AND lo_orderdate = d_datekey AND c_region = 'ASIA' AND s_region = 'ASIA' \
+       AND d_year >= 1992 AND d_year <= 1997 \
+     GROUP BY c_nation, s_nation, d_year ORDER BY d_year ASC, revenue DESC",
+    "SELECT d_year, c_nation, sum(lo_revenue - lo_supplycost) AS profit \
+     FROM date, customer, supplier, part, lineorder \
+     WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey \
+       AND lo_partkey = p_partkey AND lo_orderdate = d_datekey \
+       AND c_region = 'AMERICA' AND s_region = 'AMERICA' \
+       AND (p_mfgr = 'MFGR#1' OR p_mfgr = 'MFGR#2') \
+     GROUP BY d_year, c_nation ORDER BY d_year, c_nation",
+    "SELECT d_year, sum(lo_revenue) AS rev FROM lineorder, date \
+     WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year",
+];
+
+struct Args {
+    addr: Option<String>,
+    sf: f64,
+    connections: usize,
+    queries: usize,
+    write_every: usize,
+    workers: usize,
+}
+
+fn main() {
+    let mut a = Args {
+        addr: None,
+        sf: 0.01,
+        connections: 8,
+        queries: 150,
+        write_every: 0,
+        workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--addr" => a.addr = Some(value("--addr")),
+            "--self-host" => a.addr = None,
+            "--sf" => a.sf = parse_or_die(&value("--sf"), "--sf"),
+            "--connections" => a.connections = parse_or_die(&value("--connections"), "--connections"),
+            "--queries" => a.queries = parse_or_die(&value("--queries"), "--queries"),
+            "--write-every" => a.write_every = parse_or_die(&value("--write-every"), "--write-every"),
+            "--workers" => a.workers = parse_or_die(&value("--workers"), "--workers"),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                exit(2);
+            }
+        }
+    }
+
+    // Self-host mode: spin up an in-process server on a free port.
+    let handle = match &a.addr {
+        Some(_) => None,
+        None => {
+            eprintln!("self-hosting: loading SSB sf={} …", a.sf);
+            let db = astore_datagen::ssb::generate(a.sf, 42);
+            let engine = Arc::new(Engine::new(SharedDatabase::new(db)));
+            let config = ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: a.workers,
+                queue_depth: a.workers * 4 + a.connections,
+                max_connections: a.connections + 8,
+            };
+            let h = start(engine, config).unwrap_or_else(|e| {
+                eprintln!("failed to start in-process server: {e}");
+                exit(1);
+            });
+            eprintln!("in-process server on {}", h.addr());
+            Some(h)
+        }
+    };
+    let addr: String = match (&a.addr, &handle) {
+        (Some(addr), _) => addr.clone(),
+        (None, Some(h)) => h.addr().to_string(),
+        _ => unreachable!(),
+    };
+
+    let hist = Arc::new(LatencyHistogram::new());
+    let errors = Arc::new(AtomicU64::new(0));
+    let busy = Arc::new(AtomicU64::new(0));
+    let t_run = Instant::now();
+    std::thread::scope(|s| {
+        for conn_id in 0..a.connections {
+            let addr = addr.clone();
+            let hist = Arc::clone(&hist);
+            let errors = Arc::clone(&errors);
+            let busy = Arc::clone(&busy);
+            let a = &a;
+            s.spawn(move || {
+                let mut client = match Client::connect(addr.as_str()) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("conn {conn_id}: connect failed: {e}");
+                        errors.fetch_add(a.queries as u64, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                for i in 0..a.queries {
+                    let is_write = a.write_every > 0 && i % a.write_every == a.write_every - 1;
+                    let sql = if is_write {
+                        // Harmless single-row dimension churn: flip a known
+                        // customer field back and forth.
+                        "UPDATE customer SET c_mktsegment = 'MACHINERY' WHERE rowid = 0".to_owned()
+                    } else {
+                        MIX[(conn_id + i) % MIX.len()].to_owned()
+                    };
+                    let t = Instant::now();
+                    match client.sql(&sql) {
+                        Ok(resp) if resp.get("ok").and_then(Json::as_bool) == Some(true) => {
+                            hist.record(t.elapsed().as_micros() as u64);
+                        }
+                        Ok(resp) => {
+                            if resp.get("code").and_then(Json::as_str) == Some("server_busy") {
+                                busy.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                eprintln!("conn {conn_id}: error frame: {resp}");
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("conn {conn_id}: transport error: {e}");
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = t_run.elapsed();
+
+    let server_stats = Client::connect(addr.as_str()).ok().and_then(|mut c| c.stats().ok());
+    let ok_queries = hist.count();
+    let summary = Json::obj([
+        ("bench", Json::Str("astore-server loadgen".into())),
+        ("addr", Json::Str(addr)),
+        (
+            "dataset",
+            Json::Str(if a.addr.is_some() {
+                "(remote)".into()
+            } else {
+                format!("ssb sf={}", a.sf)
+            }),
+        ),
+        ("connections", Json::Int(a.connections as i64)),
+        ("queries_per_connection", Json::Int(a.queries as i64)),
+        ("queries_ok", Json::Int(ok_queries as i64)),
+        ("rejected_busy", Json::Int(busy.load(Ordering::Relaxed) as i64)),
+        ("errors", Json::Int(errors.load(Ordering::Relaxed) as i64)),
+        ("elapsed_s", Json::Float(elapsed.as_secs_f64())),
+        ("qps", Json::Float(ok_queries as f64 / elapsed.as_secs_f64())),
+        ("latency_mean_us", Json::Float(hist.mean_us())),
+        ("latency_p50_us", Json::Int(hist.quantile_us(0.50) as i64)),
+        ("latency_p99_us", Json::Int(hist.quantile_us(0.99) as i64)),
+        ("latency_max_us", Json::Int(hist.max_us() as i64)),
+        ("server", server_stats.unwrap_or(Json::Null)),
+    ]);
+    println!("{summary}");
+
+    if let Some(h) = handle {
+        h.shutdown();
+    }
+    if errors.load(Ordering::Relaxed) > 0 {
+        exit(1);
+    }
+}
+
+fn parse_or_die<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad value {s:?} for {flag}");
+        exit(2);
+    })
+}
+
+const USAGE: &str = "\
+loadgen — astore-server load generator (prints a JSON summary to stdout)
+
+flags:
+  --addr <host:port>   target server (default: self-host in-process)
+  --self-host          spawn an in-process server (the default)
+  --sf <f>             SSB scale factor for self-host   (default 0.01)
+  --connections <n>    concurrent client connections    (default 8)
+  --queries <n>        statements per connection        (default 150)
+  --write-every <n>    make every n-th statement a write (default 0 = reads only)
+  --workers <n>        self-host worker threads         (default: cores)";

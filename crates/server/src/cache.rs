@@ -1,0 +1,148 @@
+//! A shared prepared-plan cache.
+//!
+//! SELECT statements are planned once and the resulting
+//! [`Query`](astore_core::query::Query) is reused by every session: plans
+//! bind table/column *names*, which are resolved against the snapshot at
+//! execution time, so a cached plan stays valid across row-level updates.
+//! The key is the [normalized](astore_sql::statement::normalize) SQL text,
+//! making the cache insensitive to whitespace/case variations.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use astore_core::query::Query;
+
+/// Default maximum number of cached plans.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// A bounded, thread-safe map from normalized SQL to prepared plans, with
+/// hit/miss counters. Eviction is FIFO — plans are tiny and reparsing is
+/// cheap, so recency tracking isn't worth a hot-path write.
+#[derive(Debug)]
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<String, Arc<Query>>,
+    fifo: VecDeque<String>,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks up a plan by normalized SQL, counting the hit or miss.
+    pub fn get(&self, key: &str) -> Option<Arc<Query>> {
+        let found = self.inner.lock().expect("plan cache poisoned").map.get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts a freshly planned query, evicting the oldest entry if full.
+    pub fn insert(&self, key: String, plan: Arc<Query>) {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        if inner.map.insert(key.clone(), plan).is_none() {
+            inner.fifo.push_back(key);
+            if inner.fifo.len() > self.capacity {
+                if let Some(old) = inner.fifo.pop_front() {
+                    inner.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Number of cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hit rate in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache poisoned").map.len()
+    }
+
+    /// Returns `true` if the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let c = PlanCache::with_capacity(8);
+        assert!(c.get("select 1").is_none());
+        c.insert("select 1".into(), Arc::new(Query::new()));
+        assert!(c.get("select 1").is_some());
+        assert!(c.get("select 1").is_some());
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+        assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let c = PlanCache::with_capacity(2);
+        c.insert("a".into(), Arc::new(Query::new()));
+        c.insert("b".into(), Arc::new(Query::new()));
+        c.insert("c".into(), Arc::new(Query::new()));
+        assert_eq!(c.len(), 2);
+        assert!(c.get("a").is_none(), "oldest entry evicted");
+        assert!(c.get("b").is_some());
+        assert!(c.get("c").is_some());
+    }
+
+    #[test]
+    fn reinsert_does_not_duplicate_fifo_entries() {
+        let c = PlanCache::with_capacity(2);
+        for _ in 0..10 {
+            c.insert("same".into(), Arc::new(Query::new()));
+        }
+        c.insert("other".into(), Arc::new(Query::new()));
+        assert_eq!(c.len(), 2);
+        assert!(c.get("same").is_some());
+        assert!(c.get("other").is_some());
+    }
+}

@@ -1,0 +1,86 @@
+//! A small blocking client for the wire protocol, shared by the load
+//! generator, the CLI's remote mode, the examples and the tests.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::json::{parse, Json};
+
+/// A client-side protocol error.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server sent something that is not a JSON frame.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection speaking newline-delimited JSON.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let write_half = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer: BufWriter::new(write_half) })
+    }
+
+    /// Sends one frame and reads one response frame.
+    pub fn request(&mut self, req: &Json) -> Result<Json, ClientError> {
+        self.raw_line(&req.to_string())
+    }
+
+    /// Sends one raw line and reads one response frame (test/debug path).
+    pub fn raw_line(&mut self, line: &str) -> Result<Json, ClientError> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        self.read_frame()
+    }
+
+    /// Reads one response frame without sending anything (used when the
+    /// server speaks first, e.g. a connection-limit rejection).
+    pub fn read_frame(&mut self) -> Result<Json, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        parse(line.trim()).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Executes one SQL statement.
+    pub fn sql(&mut self, sql: &str) -> Result<Json, ClientError> {
+        self.request(&Json::obj([("sql", Json::Str(sql.to_owned()))]))
+    }
+
+    /// Fetches the server's `stats` payload.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        let r = self.request(&Json::obj([("cmd", Json::Str("stats".into()))]))?;
+        r.get("stats")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("stats frame missing payload".into()))
+    }
+}

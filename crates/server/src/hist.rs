@@ -1,0 +1,152 @@
+//! A lock-free streaming latency histogram.
+//!
+//! Power-of-two buckets over microseconds: bucket `i` holds samples in
+//! `[2^(i-1), 2^i)` µs (bucket 0 holds `0` and `1` µs lands in bucket 1).
+//! 40 buckets cover up to ~2^39 µs ≈ 6 days, far beyond any query. Each
+//! record is two relaxed atomic increments and one atomic add; quantile
+//! estimation walks the bucket array and interpolates inside the winning
+//! bucket, giving ≤ ~50% relative error — plenty for p50/p99 monitoring.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 40;
+
+/// A streaming histogram of microsecond latencies.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+    total: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    fn bucket(us: u64) -> usize {
+        ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&self, us: u64) {
+        self.counts[Self::bucket(us)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`), linearly interpolated inside
+    /// the winning bucket. Returns 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (n as f64 - 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            let c = c.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            if seen + c > rank {
+                let lo = if i == 0 { 0u64 } else { 1u64 << (i - 1) };
+                let hi = 1u64 << i;
+                // Position of the rank within this bucket; clamped so an
+                // interpolated upper quantile never exceeds the true max.
+                let frac = (rank - seen) as f64 / c as f64;
+                return ((lo as f64 + frac * (hi - lo) as f64) as u64).min(self.max_us());
+            }
+            seen += c;
+        }
+        self.max_us()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let h = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile_us(0.5);
+        // True median is 500; log buckets allow generous but bounded error.
+        assert!((256..=1024).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!((512..=1024).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p99);
+        assert_eq!(h.max_us(), 1000);
+        assert!((h.mean_us() - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn concurrent_records_all_land() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for us in 0..1000 {
+                        h.record(us);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 8000);
+    }
+
+    #[test]
+    fn extreme_values_clamp_into_last_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile_us(0.5) > 0);
+    }
+}

@@ -1,0 +1,468 @@
+//! A minimal JSON codec for the wire protocol.
+//!
+//! The build environment is offline, so instead of `serde_json` the server
+//! carries this ~300-line codec. It distinguishes integers from floats
+//! (result sets carry `i64` sums that would lose precision beyond 2^53)
+//! and covers the full JSON grammar the protocol needs: objects, arrays,
+//! strings with escapes, numbers, booleans, null.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer (serialized without exponent or fraction).
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object. `BTreeMap` keeps serialization deterministic.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Member lookup (`None` for absent keys or non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer content (floats with zero fraction coerce).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            Json::Float(f) if f.fract() == 0.0 && f.abs() < 9e15 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// The float content (integers coerce).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Float(v) => Some(*v),
+            Json::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The boolean content.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array content.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) => {
+                if v.is_finite() {
+                    // Guarantee a round-trippable float token.
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        let _ = write!(out, "{v:.1}");
+                    } else {
+                        let _ = write!(out, "{v}");
+                    }
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Inf.
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Serializes to a compact single-line string (via `to_string`).
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON parse error with a byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Description.
+    pub message: String,
+    /// Byte offset of the error.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = P { b: input.as_bytes(), pos: 0 };
+    p.ws();
+    let v = p.value()?;
+    p.ws();
+    if p.pos != p.b.len() {
+        return Err(p.fail("trailing characters"));
+    }
+    Ok(v)
+}
+
+struct P<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl P<'_> {
+    fn fail(&self, message: &str) -> JsonError {
+        JsonError { message: message.to_owned(), offset: self.pos }
+    }
+
+    fn ws(&mut self) {
+        while let Some(&c) = self.b.get(self.pos) {
+            if c == b' ' || c == b'\t' || c == b'\n' || c == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), JsonError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.fail(&format!("expected {:?}", c as char)))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
+        if self.b[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.fail(&format!("expected {word}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.fail(&format!("unexpected {:?}", c as char))),
+            None => Err(self.fail("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.eat(b']') {
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.value()?);
+            self.ws();
+            if self.eat(b']') {
+                return Ok(Json::Array(items));
+            }
+            self.expect(b',')?;
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.ws();
+        if self.eat(b'}') {
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            map.insert(key, self.value()?);
+            self.ws();
+            if self.eat(b'}') {
+                return Ok(Json::Object(map));
+            }
+            self.expect(b',')?;
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.fail("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let cp = self.hex4(self.pos + 1)?;
+                            if (0xD800..=0xDBFF).contains(&cp) {
+                                // High surrogate: a conforming client encodes
+                                // non-BMP characters as a \uXXXX\uYYYY pair.
+                                let tail = self.b.get(self.pos + 5..self.pos + 7);
+                                if tail == Some(b"\\u") {
+                                    let lo = self.hex4(self.pos + 7)?;
+                                    if (0xDC00..=0xDFFF).contains(&lo) {
+                                        let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                        out.push(char::from_u32(c).unwrap_or('\u{fffd}'));
+                                        self.pos += 10;
+                                        self.pos += 1;
+                                        continue;
+                                    }
+                                }
+                                // Lone high surrogate: replace.
+                                out.push('\u{fffd}');
+                            } else {
+                                out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            }
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.fail("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so valid).
+                    let rest = &self.b[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.fail("invalid utf-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Reads 4 hex digits starting at byte offset `at`.
+    fn hex4(&self, at: usize) -> Result<u32, JsonError> {
+        let hex =
+            self.b.get(at..at + 4).ok_or_else(|| self.fail("truncated \\u escape"))?;
+        let hex = std::str::from_utf8(hex).map_err(|_| self.fail("bad \\u escape"))?;
+        u32::from_str_radix(hex, 16).map_err(|_| self.fail("bad \\u escape"))
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.pos]).unwrap();
+        if float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| self.fail("bad number"))
+        } else {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .or_else(|_| text.parse::<f64>().map(Json::Float))
+                .map_err(|_| self.fail("bad number"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_object() {
+        let src = r#"{"sql":"SELECT 1","n":42,"f":1.5,"b":true,"x":null,"a":[1,2,"three"]}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(v.get("sql").unwrap().as_str(), Some("SELECT 1"));
+        assert_eq!(v.get("n").unwrap().as_i64(), Some(42));
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("x"), Some(&Json::Null));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        let re = parse(&v.to_string()).unwrap();
+        assert_eq!(re, v);
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let v = Json::Str("a\"b\\c\nd\te\u{1}".into());
+        let s = v.to_string();
+        assert_eq!(parse(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn big_integers_survive() {
+        let v = parse("9007199254740993").unwrap(); // 2^53 + 1
+        assert_eq!(v, Json::Int(9007199254740993));
+        assert_eq!(parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn negative_and_exponent_numbers() {
+        assert_eq!(parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(parse("2.5e3").unwrap(), Json::Float(2500.0));
+        assert_eq!(parse("-0.25").unwrap(), Json::Float(-0.25));
+    }
+
+    #[test]
+    fn whole_floats_keep_a_fraction_marker() {
+        // So clients can't confuse Float(2.0) with Int(2) after a roundtrip.
+        assert_eq!(Json::Float(2.0).to_string(), "2.0");
+        assert_eq!(parse("2.0").unwrap(), Json::Float(2.0));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_one_character() {
+        // Python's json.dumps escapes non-BMP characters this way.
+        assert_eq!(parse(r#""\ud83d\ude00""#).unwrap(), Json::Str("\u{1f600}".into()));
+        assert_eq!(parse(r#""a\ud83d\ude00b""#).unwrap(), Json::Str("a\u{1f600}b".into()));
+        // Lone halves are replaced, not fatal.
+        assert_eq!(parse(r#""\ud83dx""#).unwrap(), Json::Str("\u{fffd}x".into()));
+        assert_eq!(parse(r#""\ude00""#).unwrap(), Json::Str("\u{fffd}".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse(r#"{"a":1}extra"#).is_err());
+        assert!(parse("'single'").is_err());
+    }
+
+    #[test]
+    fn nonfinite_floats_serialize_as_null() {
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn nested_structures() {
+        let src = r#"{"rows":[[1,"a"],[2,"b"]],"meta":{"depth":{"x":[{}]}}}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(parse(&v.to_string()).unwrap(), v);
+    }
+}

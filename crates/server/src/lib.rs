@@ -1,0 +1,63 @@
+//! # astore-server
+//!
+//! A concurrent TCP query-serving subsystem over the A-Store engine
+//! (conf_icde_ZhangZZZSW16): SPJGA queries over star/snowflake schemas,
+//! executed join-free against copy-on-write snapshots while writers
+//! proceed through [`SharedDatabase::write`](astore_storage::snapshot::SharedDatabase::write).
+//!
+//! ## Wire protocol
+//!
+//! Newline-delimited JSON over TCP. One request frame per line, one
+//! response frame per line, strictly in order per connection:
+//!
+//! ```text
+//! → {"sql":"SELECT d_year, sum(lo_revenue) AS rev FROM lineorder, date WHERE lo_orderdate = d_datekey GROUP BY d_year"}
+//! ← {"ok":true,"columns":["d_year","rev"],"rows":[[1992,…],…],"row_count":7,"cached_plan":false,"elapsed_us":184}
+//! → {"sql":"INSERT INTO lineorder VALUES (…)"}
+//! ← {"ok":true,"rows_affected":1,"elapsed_us":12}
+//! → {"cmd":"stats"}
+//! ← {"ok":true,"stats":{"queries":…,"cache_hit_rate":…,"latency_p99_us":…,…}}
+//! → {"sql":"SELEKT"}
+//! ← {"ok":false,"code":"parse_error","error":"parse error: …"}
+//! ```
+//!
+//! Error codes: `bad_request`, `parse_error`, `plan_error`, `exec_error`,
+//! `write_error`, `server_busy` (admission control shed the request),
+//! `too_many_connections`, `internal_error`.
+//!
+//! ## Architecture
+//!
+//! ```text
+//! TcpListener ── accept loop ── per-connection I/O threads
+//!                                     │ one statement at a time
+//!                                     ▼
+//!                     bounded WorkerPool (admission control)
+//!                                     │
+//!                                     ▼
+//!        Engine: parse → PlanCache (normalized SQL → Arc<Query>)
+//!                  │ SELECT: execute against SharedDatabase::snapshot()
+//!                  │ INSERT/UPDATE/DELETE: SharedDatabase::write (atomic)
+//!                  ▼
+//!        ServerStats: counters + streaming latency histogram (p50/p99)
+//! ```
+//!
+//! Binaries: `astore-serve` (the server) and `loadgen` (a load-generator
+//! client that prints a JSON throughput/latency summary).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod hist;
+pub mod json;
+pub mod pool;
+pub mod server;
+pub mod stats;
+
+pub use cache::PlanCache;
+pub use client::{Client, ClientError};
+pub use engine::{Engine, ErrorCode};
+pub use server::{start, ServerConfig, ServerHandle};
+pub use stats::ServerStats;

@@ -1,0 +1,106 @@
+//! `astore-serve` — serve an SSB / TPC-H dataset over the wire protocol.
+//!
+//! ```text
+//! astore-serve --addr 127.0.0.1:3939 --dataset ssb --sf 0.01 --workers 8
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Instant;
+
+use astore_server::{start, Engine, ServerConfig};
+use astore_storage::snapshot::SharedDatabase;
+
+fn main() {
+    let mut config = ServerConfig::default();
+    let mut dataset = "ssb".to_owned();
+    let mut sf = 0.01f64;
+    let mut queue_explicit = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => config.workers = parse_or_die(&value("--workers"), "--workers"),
+            "--queue" => {
+                config.queue_depth = parse_or_die(&value("--queue"), "--queue");
+                queue_explicit = true;
+            }
+            "--max-conn" => {
+                config.max_connections = parse_or_die(&value("--max-conn"), "--max-conn")
+            }
+            "--dataset" => dataset = value("--dataset"),
+            "--sf" => sf = parse_or_die(&value("--sf"), "--sf"),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                exit(2);
+            }
+        }
+    }
+
+    if !queue_explicit {
+        // Keep the documented "4x workers" default when --workers overrides
+        // the core-count default.
+        config.queue_depth = config.workers * 4;
+    }
+
+    let t = Instant::now();
+    let db = match dataset.as_str() {
+        "ssb" => astore_datagen::ssb::generate(sf, 42),
+        "tpch" => astore_datagen::tpch::generate(sf, 42),
+        other => {
+            eprintln!("unknown dataset {other:?} (try ssb or tpch)");
+            exit(2);
+        }
+    };
+    let rows: usize = db.table_names().iter().map(|n| db.table(n).unwrap().num_live()).sum();
+    eprintln!("loaded {dataset} sf={sf} ({rows} rows) in {:.1?}", t.elapsed());
+
+    let engine = Arc::new(Engine::new(SharedDatabase::new(db)));
+    let workers = config.workers;
+    let queue = config.queue_depth;
+    match start(engine, config) {
+        Ok(handle) => {
+            eprintln!(
+                "astore-serve listening on {} ({workers} workers, queue depth {queue})",
+                handle.addr(),
+            );
+            handle.join();
+        }
+        Err(e) => {
+            eprintln!("failed to bind: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn parse_or_die<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad value {s:?} for {flag}");
+        exit(2);
+    })
+}
+
+const USAGE: &str = "\
+astore-serve — A-Store query server (newline-delimited JSON over TCP)
+
+flags:
+  --addr <host:port>   listen address           (default 127.0.0.1:3939)
+  --dataset <name>     ssb | tpch               (default ssb)
+  --sf <f>             dataset scale factor     (default 0.01)
+  --workers <n>        statement worker threads (default: cores)
+  --queue <n>          admission queue depth    (default: 4x workers)
+  --max-conn <n>       connection limit         (default 256)";

@@ -1,0 +1,190 @@
+//! A bounded worker-thread pool with admission control.
+//!
+//! Jobs enter through a fixed-capacity queue ([`std::sync::mpsc::sync_channel`]);
+//! when the queue is full, [`WorkerPool::try_execute`] fails *immediately*
+//! and hands the job back, letting the caller reject the request with a
+//! typed error instead of building an unbounded backlog — the server's
+//! overload behaviour is "shed, don't stall". Worker panics are contained:
+//! the job is abandoned but the worker survives to serve the next one.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads fed by a bounded queue.
+#[derive(Debug)]
+pub struct WorkerPool {
+    tx: Option<SyncSender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads behind a queue of `queue_depth` slots.
+    pub fn new(workers: usize, queue_depth: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = sync_channel::<Job>(queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("astore-worker-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        WorkerPool { tx: Some(tx), handles }
+    }
+
+    /// Submits a job. Fails fast with the job returned when the queue is
+    /// full (admission control) or the pool is shutting down.
+    pub fn try_execute(&self, job: Job) -> Result<(), RejectedJob> {
+        let tx = self.tx.as_ref().expect("pool already shut down");
+        match tx.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(job)) => Err(RejectedJob { job, reason: RejectReason::QueueFull }),
+            Err(TrySendError::Disconnected(job)) => {
+                Err(RejectedJob { job, reason: RejectReason::ShuttingDown })
+            }
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Close the channel; workers drain the queue and exit.
+        self.tx.take();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only while dequeuing, never while running the job.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match job {
+            Ok(job) => {
+                // A panicking query must not take the worker down with it.
+                let _ = std::panic::catch_unwind(AssertUnwindSafe(job));
+            }
+            Err(_) => return, // channel closed: shutdown
+        }
+    }
+}
+
+/// A job the pool refused to accept.
+pub struct RejectedJob {
+    /// The job, returned unexecuted.
+    pub job: Job,
+    /// Why it was rejected.
+    pub reason: RejectReason,
+}
+
+/// Why a job was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The admission queue is at capacity.
+    QueueFull,
+    /// The pool is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Debug for RejectedJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RejectedJob").field("reason", &self.reason).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn executes_jobs_on_workers() {
+        let pool = WorkerPool::new(4, 16);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (done_tx, done_rx) = channel();
+        for _ in 0..16 {
+            let counter = counter.clone();
+            let done = done_tx.clone();
+            pool.try_execute(Box::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                let _ = done.send(());
+            }))
+            .unwrap();
+        }
+        for _ in 0..16 {
+            done_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn admission_control_rejects_when_full() {
+        let pool = WorkerPool::new(1, 1);
+        let (block_tx, block_rx) = channel::<()>();
+        // Occupy the single worker…
+        pool.try_execute(Box::new(move || {
+            let _ = block_rx.recv();
+        }))
+        .unwrap();
+        // …then fill the single queue slot. One of the next submissions
+        // must be rejected with QueueFull.
+        std::thread::sleep(Duration::from_millis(50));
+        let r1 = pool.try_execute(Box::new(|| {}));
+        let r2 = pool.try_execute(Box::new(|| {}));
+        assert!(
+            matches!(&r1, Err(r) if r.reason == RejectReason::QueueFull)
+                || matches!(&r2, Err(r) if r.reason == RejectReason::QueueFull),
+            "expected a QueueFull rejection"
+        );
+        block_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_worker() {
+        let pool = WorkerPool::new(1, 4);
+        pool.try_execute(Box::new(|| panic!("query exploded"))).unwrap();
+        let (done_tx, done_rx) = channel();
+        pool.try_execute(Box::new(move || {
+            let _ = done_tx.send(());
+        }))
+        .unwrap();
+        done_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("worker survived the panic and ran the next job");
+    }
+
+    #[test]
+    fn drop_drains_pending_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2, 32);
+            for _ in 0..20 {
+                let counter = counter.clone();
+                pool.try_execute(Box::new(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }))
+                .unwrap();
+            }
+        } // Drop joins workers after the queue drains.
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+    }
+}

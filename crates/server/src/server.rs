@@ -1,0 +1,336 @@
+//! The TCP serving layer: accept loop, per-connection framing, and
+//! dispatch of each statement to the bounded worker pool.
+//!
+//! Threading model: the accept loop and one lightweight thread per
+//! connection handle *I/O only*; every statement is executed on the shared
+//! [`WorkerPool`](crate::pool::WorkerPool), whose bounded queue is the
+//! admission-control point. When the queue is full the connection thread
+//! answers immediately with a `server_busy` error frame instead of
+//! stalling — the server sheds load, it never builds an unbounded backlog.
+
+use std::io::{BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::engine::{error_frame, Engine, ErrorCode};
+use crate::json::Json;
+use crate::pool::{RejectReason, WorkerPool};
+
+/// Maximum accepted request-line length (1 MiB); longer lines are answered
+/// with `bad_request` and the connection is closed.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:3939` (`…:0` picks a free port).
+    pub addr: String,
+    /// Worker threads executing statements.
+    pub workers: usize,
+    /// Bounded admission-queue depth in statements.
+    pub queue_depth: usize,
+    /// Maximum concurrently open connections.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        ServerConfig {
+            addr: "127.0.0.1:3939".into(),
+            workers,
+            queue_depth: workers * 4,
+            max_connections: 256,
+        }
+    }
+}
+
+/// A handle to a running server. Dropping it (or calling
+/// [`ServerHandle::shutdown`]) stops the accept loop and drains the pool.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    engine: Arc<Engine>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine serving this listener.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Blocks until the accept loop exits (i.e. until another thread calls
+    /// [`ServerHandle::shutdown`] via a clone-free path — typically never,
+    /// for a foreground server process).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stops accepting, unblocks the accept loop, and joins it. Connection
+    /// threads notice the flag at their next read timeout and exit.
+    pub fn shutdown(mut self) {
+        self.stop_accept();
+    }
+
+    fn stop_accept(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_accept();
+        }
+    }
+}
+
+/// Binds the listener and starts serving `engine` in background threads.
+pub fn start(engine: Arc<Engine>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let pool = Arc::new(WorkerPool::new(config.workers, config.queue_depth));
+    let accept = {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("astore-accept".into())
+            .spawn(move || accept_loop(&listener, &engine, &pool, &stop, config.max_connections))
+            .expect("failed to spawn accept thread")
+    };
+    Ok(ServerHandle { addr, stop, accept: Some(accept), engine })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    engine: &Arc<Engine>,
+    pool: &Arc<WorkerPool>,
+    stop: &Arc<AtomicBool>,
+    max_connections: usize,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else {
+            // Transient accept errors (EMFILE, ECONNABORTED) would otherwise
+            // busy-spin the loop at 100% CPU; back off briefly.
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        let stats = engine.stats();
+        if stats.active_connections.load(Ordering::Relaxed) >= max_connections {
+            stats.conn_rejected.fetch_add(1, Ordering::Relaxed);
+            let mut w = BufWriter::new(&stream);
+            let frame = error_frame(
+                ErrorCode::TooManyConnections,
+                format!("connection limit ({max_connections}) reached"),
+            );
+            let _ = writeln!(w, "{frame}");
+            let _ = w.flush();
+            continue; // stream drops → closed
+        }
+        stats.active_connections.fetch_add(1, Ordering::Relaxed);
+        let conn_engine = Arc::clone(engine);
+        let pool = Arc::clone(pool);
+        let stop = Arc::clone(stop);
+        let spawned = std::thread::Builder::new().name("astore-conn".into()).spawn(move || {
+            serve_connection(stream, &conn_engine, &pool, &stop);
+            conn_engine.stats().active_connections.fetch_sub(1, Ordering::Relaxed);
+        });
+        if spawned.is_err() {
+            // Thread exhaustion: give the slot back or the counter leaks
+            // and the server eventually rejects everything while idle.
+            stats.active_connections.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Reads newline-delimited request frames and answers each on the same
+/// stream. Statement execution happens on the worker pool; this thread only
+/// parses frames and shuttles bytes.
+///
+/// Framing is done on raw bytes: UTF-8 is only decoded once a full frame
+/// (up to `\n`) is buffered, so a read stall in the middle of a multi-byte
+/// character cannot corrupt the frame, and the buffer is bounds-checked
+/// *before* every read, so a client streaming a newline-free line cannot
+/// grow memory past [`MAX_LINE_BYTES`].
+fn serve_connection(
+    mut stream: TcpStream,
+    engine: &Arc<Engine>,
+    pool: &WorkerPool,
+    stop: &AtomicBool,
+) {
+    // A short read timeout doubles as the shutdown poll interval.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut writer = BufWriter::new(write_half);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 8192];
+    loop {
+        // Answer every complete frame currently buffered.
+        while let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+            let frame: Vec<u8> = buf.drain(..=nl).collect();
+            let line = String::from_utf8_lossy(&frame);
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let response = execute_on_pool(engine, pool, trimmed);
+            if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
+                return;
+            }
+        }
+        if buf.len() > MAX_LINE_BYTES {
+            let frame = error_frame(ErrorCode::BadRequest, "request exceeds 1 MiB");
+            let _ = writeln!(writer, "{frame}");
+            let _ = writer.flush();
+            return; // close: the rest of the oversized line is unreadable
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Runs one request on the worker pool, translating admission-control
+/// rejections and worker panics into typed error frames.
+fn execute_on_pool(engine: &Arc<Engine>, pool: &WorkerPool, request: &str) -> Json {
+    let (tx, rx) = channel();
+    let job_engine = Arc::clone(engine);
+    let job_line = request.to_owned();
+    let submitted = pool.try_execute(Box::new(move || {
+        let _ = tx.send(job_engine.handle_line(&job_line));
+    }));
+    match submitted {
+        Ok(()) => rx.recv().unwrap_or_else(|_| {
+            // The worker panicked before sending (contained by the pool).
+            error_frame(ErrorCode::InternalError, "statement execution panicked")
+        }),
+        Err(rejected) => {
+            engine.stats().rejected.fetch_add(1, Ordering::Relaxed);
+            let message = match rejected.reason {
+                RejectReason::QueueFull => {
+                    format!("admission queue full ({} workers busy)", pool.workers())
+                }
+                RejectReason::ShuttingDown => "server is shutting down".to_owned(),
+            };
+            error_frame(ErrorCode::ServerBusy, message)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use astore_storage::catalog::Database;
+    use astore_storage::snapshot::SharedDatabase;
+    use astore_storage::table::{ColumnDef, Schema, Table};
+    use astore_storage::types::{DataType, Value};
+
+    fn tiny_engine() -> Arc<Engine> {
+        let mut t = Table::new("t", Schema::new(vec![ColumnDef::new("v", DataType::I64)]));
+        for i in 0..10 {
+            t.append_row(&[Value::Int(i)]);
+        }
+        let mut db = Database::new();
+        db.add_table(t);
+        Arc::new(Engine::new(SharedDatabase::new(db)))
+    }
+
+    fn start_tiny(config: ServerConfig) -> ServerHandle {
+        start(tiny_engine(), ServerConfig { addr: "127.0.0.1:0".into(), ..config }).unwrap()
+    }
+
+    #[test]
+    fn serves_queries_over_tcp() {
+        let h = start_tiny(ServerConfig::default());
+        let mut c = Client::connect(h.addr()).unwrap();
+        let r = c.sql("SELECT sum(v) AS s FROM t").unwrap();
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+        let rows = r.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows[0].as_array().unwrap()[0].as_i64(), Some(45));
+        let r = c.request(&Json::obj([("cmd", Json::Str("ping".into()))])).unwrap();
+        assert_eq!(r.get("pong").unwrap().as_bool(), Some(true));
+        h.shutdown();
+    }
+
+    #[test]
+    fn many_concurrent_connections() {
+        // Queue must hold all 8 in-flight statements even on a 1-core box,
+        // where the default (4 × workers) would trigger admission control.
+        let h = start_tiny(ServerConfig { queue_depth: 64, ..ServerConfig::default() });
+        let addr = h.addr();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    for _ in 0..20 {
+                        let r = c.sql("SELECT count(*) AS n FROM t").unwrap();
+                        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+                    }
+                });
+            }
+        });
+        let stats = h.engine().stats();
+        assert!(stats.queries.load(Ordering::Relaxed) >= 160);
+        h.shutdown();
+    }
+
+    #[test]
+    fn connection_limit_rejects_with_typed_frame() {
+        let h = start_tiny(ServerConfig { max_connections: 1, ..ServerConfig::default() });
+        let mut keep = Client::connect(h.addr()).unwrap();
+        // Make sure the first connection is registered before the second.
+        keep.sql("SELECT count(*) AS n FROM t").unwrap();
+        let mut second = Client::connect(h.addr()).unwrap();
+        let r = second.read_frame().unwrap();
+        assert_eq!(r.get("code").unwrap().as_str(), Some("too_many_connections"), "{r:?}");
+        drop(second);
+        keep.sql("SELECT count(*) AS n FROM t").unwrap();
+        h.shutdown();
+    }
+
+    #[test]
+    fn bad_requests_get_error_frames_and_connection_survives() {
+        let h = start_tiny(ServerConfig::default());
+        let mut c = Client::connect(h.addr()).unwrap();
+        let r = c.raw_line("not json").unwrap();
+        assert_eq!(r.get("code").unwrap().as_str(), Some("bad_request"));
+        let r = c.sql("SELECT count(*) AS n FROM t").unwrap();
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+        h.shutdown();
+    }
+}

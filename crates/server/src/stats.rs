@@ -1,0 +1,98 @@
+//! Server-wide counters and the `{"cmd":"stats"}` report.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crate::cache::PlanCache;
+use crate::hist::LatencyHistogram;
+use crate::json::Json;
+
+/// Atomic counters shared by every connection and worker.
+#[derive(Debug)]
+pub struct ServerStats {
+    /// Successfully served read queries.
+    pub queries: AtomicU64,
+    /// Successfully applied write statements.
+    pub writes: AtomicU64,
+    /// Requests that returned an error frame (parse/plan/execution).
+    pub errors: AtomicU64,
+    /// Requests shed by admission control (`server_busy`).
+    pub rejected: AtomicU64,
+    /// Connections refused because the connection limit was reached.
+    pub conn_rejected: AtomicU64,
+    /// Currently open connections.
+    pub active_connections: AtomicUsize,
+    /// End-to-end statement latency (parse → response built).
+    pub latency: LatencyHistogram,
+    started: Instant,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats {
+            queries: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            conn_rejected: AtomicU64::new(0),
+            active_connections: AtomicUsize::new(0),
+            latency: LatencyHistogram::new(),
+            started: Instant::now(),
+        }
+    }
+}
+
+impl ServerStats {
+    /// Fresh counters with the uptime clock started now.
+    pub fn new() -> Self {
+        ServerStats::default()
+    }
+
+    /// Builds the `stats` payload of the wire protocol.
+    pub fn to_json(&self, cache: &PlanCache) -> Json {
+        Json::obj([
+            ("uptime_s", Json::Float(self.started.elapsed().as_secs_f64())),
+            ("queries", Json::Int(self.queries.load(Ordering::Relaxed) as i64)),
+            ("writes", Json::Int(self.writes.load(Ordering::Relaxed) as i64)),
+            ("errors", Json::Int(self.errors.load(Ordering::Relaxed) as i64)),
+            ("rejected", Json::Int(self.rejected.load(Ordering::Relaxed) as i64)),
+            (
+                "connections_rejected",
+                Json::Int(self.conn_rejected.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "active_connections",
+                Json::Int(self.active_connections.load(Ordering::Relaxed) as i64),
+            ),
+            ("cache_hits", Json::Int(cache.hits() as i64)),
+            ("cache_misses", Json::Int(cache.misses() as i64)),
+            ("cache_hit_rate", Json::Float(cache.hit_rate())),
+            ("cached_plans", Json::Int(cache.len() as i64)),
+            ("latency_count", Json::Int(self.latency.count() as i64)),
+            ("latency_mean_us", Json::Float(self.latency.mean_us())),
+            ("latency_p50_us", Json::Int(self.latency.quantile_us(0.50) as i64)),
+            ("latency_p99_us", Json::Int(self.latency.quantile_us(0.99) as i64)),
+            ("latency_max_us", Json::Int(self.latency.max_us() as i64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_report_contains_all_fields() {
+        let stats = ServerStats::new();
+        let cache = PlanCache::default();
+        stats.queries.fetch_add(3, Ordering::Relaxed);
+        stats.latency.record(100);
+        let j = stats.to_json(&cache);
+        assert_eq!(j.get("queries").unwrap().as_i64(), Some(3));
+        assert_eq!(j.get("latency_count").unwrap().as_i64(), Some(1));
+        assert!(j.get("uptime_s").unwrap().as_f64().unwrap() >= 0.0);
+        for key in ["writes", "errors", "rejected", "cache_hit_rate", "latency_p99_us"] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Keeps the workspace's bench targets compiling and *useful* without the
+//! real crate: each benchmark runs `sample_size` timed samples (after a
+//! short warm-up) and prints median / min wall time per iteration, plus
+//! derived throughput when one was declared. No statistics engine, no
+//! HTML reports — a plain-text table on stdout.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared throughput of a benchmark, used to derive rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Creates an id from a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, collecting one duration per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until ~50ms has elapsed or 3 iterations, whichever
+        // comes first, and size the per-sample batch so one sample takes a
+        // measurable amount of time.
+        let warm = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm.elapsed() < Duration::from_millis(50) && warm_iters < 1_000 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        // Target ~5ms per sample, 1..=10_000 iterations.
+        let batch = (5_000_000 / per_iter.max(1)).clamp(1, 10_000) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / batch as u32);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the amount of work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Overrides the group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut samples = Vec::new();
+        let mut b = Bencher { samples: &mut samples, sample_size: self.criterion.sample_size };
+        f(&mut b);
+        report(&self.name, &id.id, &samples, self.throughput);
+    }
+
+    /// Runs one benchmark parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let id = id.into();
+        let mut samples = Vec::new();
+        let mut b = Bencher { samples: &mut samples, sample_size: self.criterion.sample_size };
+        f(&mut b, input);
+        report(&self.name, &id.id, &samples, self.throughput);
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            format!(" ({:.1} Melem/s)", n as f64 / median.as_secs_f64() / 1e6)
+        }
+        Throughput::Bytes(n) => {
+            format!(" ({:.1} MiB/s)", n as f64 / median.as_secs_f64() / (1 << 20) as f64)
+        }
+    });
+    println!(
+        "{group}/{id}: median {:?}, min {:?}{}",
+        median,
+        min,
+        rate.unwrap_or_default()
+    );
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Ignored (API compatibility).
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Ignored (API compatibility).
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name}");
+        BenchmarkGroup { criterion: self, name, throughput: None }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut samples = Vec::new();
+        let mut b = Bencher { samples: &mut samples, sample_size: self.sample_size };
+        f(&mut b);
+        report("bench", id, &samples, None);
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = spin
+    }
+
+    #[test]
+    fn group_macro_expands_and_runs() {
+        benches();
+    }
+}

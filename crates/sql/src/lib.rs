@@ -43,12 +43,14 @@ pub mod ast;
 pub mod lexer;
 pub mod parser;
 pub mod planner;
+pub mod statement;
 
 use astore_core::exec::{execute, ExecOptions, ExecOutput};
 use astore_storage::catalog::Database;
 
 pub use parser::{parse, ParseError};
 pub use planner::{plan, sql_to_query, PlanError};
+pub use statement::{normalize, parse_statement, Statement};
 
 /// An error from any stage of SQL execution.
 #[derive(Debug)]

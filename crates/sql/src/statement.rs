@@ -1,0 +1,352 @@
+//! Top-level statement parsing: SELECT plus the write statements the
+//! serving layer routes through `SharedDatabase::write`.
+//!
+//! A-Store's storage model makes the array index the primary key, so the
+//! write grammar addresses rows by `rowid` directly (paper §2: "the array
+//! index is the primary key"):
+//!
+//! ```text
+//! INSERT INTO t VALUES (lit, …) [, (lit, …)]* [;]
+//! UPDATE t SET col = lit [, col = lit]* WHERE rowid = n [;]
+//! DELETE FROM t WHERE rowid = n [;]
+//! ```
+//!
+//! Literals are integers, floats, single-quoted strings, or `NULL`. Key
+//! (AIR) columns take integer literals; the executor coerces them using
+//! the table schema.
+
+use astore_storage::types::{RowId, Value};
+
+use crate::ast::SelectStmt;
+use crate::lexer::{lex, Token};
+use crate::parser::{parse, ParseError};
+
+/// One parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A read-only SPJGA query.
+    Select(SelectStmt),
+    /// `INSERT INTO table VALUES (…), (…)` — one or more rows.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Row literals, one `Vec<Value>` per row.
+        rows: Vec<Vec<Value>>,
+    },
+    /// `UPDATE table SET col = lit, … WHERE rowid = n`.
+    Update {
+        /// Target table.
+        table: String,
+        /// `(column, new value)` pairs.
+        assignments: Vec<(String, Value)>,
+        /// The row to update (the array index is the primary key).
+        row: RowId,
+    },
+    /// `DELETE FROM table WHERE rowid = n`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// The row to delete.
+        row: RowId,
+    },
+}
+
+impl Statement {
+    /// Returns `true` for statements that mutate the database.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, Statement::Select(_))
+    }
+}
+
+/// Parses one statement of any kind.
+pub fn parse_statement(input: &str) -> Result<Statement, ParseError> {
+    let head = first_keyword(input).unwrap_or_default();
+    match head.as_str() {
+        "insert" | "update" | "delete" => {
+            let toks = lex(input)?;
+            let mut c = Cursor { toks, pos: 0 };
+            let stmt = match head.as_str() {
+                "insert" => c.insert_stmt()?,
+                "update" => c.update_stmt()?,
+                _ => c.delete_stmt()?,
+            };
+            c.eat(&Token::Semi);
+            if !c.at_end() {
+                return Err(c.err(format!("trailing input at token {}", c.peek_str())));
+            }
+            Ok(stmt)
+        }
+        _ => Ok(Statement::Select(parse(input)?)),
+    }
+}
+
+/// The first word of the statement, lower-cased.
+fn first_keyword(input: &str) -> Option<String> {
+    input
+        .split_whitespace()
+        .next()
+        .map(|w| w.trim_end_matches(|c: char| !c.is_ascii_alphanumeric()).to_ascii_lowercase())
+}
+
+/// Canonical cache key for SQL text: whitespace collapsed to single spaces,
+/// everything outside single-quoted literals lower-cased, trailing `;`
+/// stripped. Two spellings of the same statement normalize identically, so
+/// the serving layer's plan cache hits on formatting variations.
+pub fn normalize(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    let mut chars = sql.chars().peekable();
+    let mut pending_space = false;
+    while let Some(c) = chars.next() {
+        if c == '\'' {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            out.push('\'');
+            // Copy the quoted literal verbatim, honouring '' escapes.
+            while let Some(q) = chars.next() {
+                out.push(q);
+                if q == '\'' {
+                    if chars.peek() == Some(&'\'') {
+                        out.push(chars.next().unwrap());
+                    } else {
+                        break;
+                    }
+                }
+            }
+        } else if c.is_whitespace() {
+            pending_space = true;
+        } else {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            out.push(c.to_ascii_lowercase());
+        }
+    }
+    while out.ends_with(';') || out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+struct Cursor {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_str(&self) -> String {
+        self.peek().map(|t| t.to_string()).unwrap_or_else(|| "<eof>".into())
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError { message }
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t:?}, found {}", self.peek_str())))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(self.err(format!("expected keyword {kw}, found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// A literal: number, string, or `NULL`.
+    fn literal(&mut self) -> Result<Value, ParseError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Value::Int(v)),
+            Some(Token::Float(v)) => Ok(Value::Float(v)),
+            Some(Token::Str(s)) => Ok(Value::Str(s)),
+            Some(Token::Minus) => match self.next() {
+                Some(Token::Int(v)) => Ok(Value::Int(-v)),
+                Some(Token::Float(v)) => Ok(Value::Float(-v)),
+                other => Err(self.err(format!("expected number after '-', found {other:?}"))),
+            },
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("null") => Ok(Value::Null),
+            other => Err(self.err(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    /// `WHERE rowid = n`
+    fn where_rowid(&mut self) -> Result<RowId, ParseError> {
+        self.expect_kw("where")?;
+        let col = self.ident()?;
+        if !col.eq_ignore_ascii_case("rowid") {
+            return Err(self.err(format!(
+                "write statements address rows by primary key: expected `rowid`, found `{col}` \
+                 (in A-Store the array index is the primary key)"
+            )));
+        }
+        self.expect(&Token::Eq)?;
+        match self.next() {
+            Some(Token::Int(n)) if n >= 0 && n <= i64::from(u32::MAX) => Ok(n as RowId),
+            other => Err(self.err(format!("expected row id, found {other:?}"))),
+        }
+    }
+
+    fn insert_stmt(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("insert")?;
+        self.expect_kw("into")?;
+        let table = self.ident()?;
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&Token::LParen)?;
+            let mut row = vec![self.literal()?];
+            while self.eat(&Token::Comma) {
+                row.push(self.literal()?);
+            }
+            self.expect(&Token::RParen)?;
+            rows.push(row);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn update_stmt(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("update")?;
+        let table = self.ident()?;
+        self.expect_kw("set")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(&Token::Eq)?;
+            assignments.push((col, self.literal()?));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let row = self.where_rowid()?;
+        Ok(Statement::Update { table, assignments, row })
+    }
+
+    fn delete_stmt(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("delete")?;
+        self.expect_kw("from")?;
+        let table = self.ident()?;
+        let row = self.where_rowid()?;
+        Ok(Statement::Delete { table, row })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_routes_to_select_parser() {
+        let s = parse_statement("SELECT count(*) FROM t").unwrap();
+        assert!(matches!(s, Statement::Select(_)));
+        assert!(!s.is_write());
+    }
+
+    #[test]
+    fn insert_single_and_multi_row() {
+        let s = parse_statement("INSERT INTO dim VALUES (1, 2.5, 'x', NULL)").unwrap();
+        assert_eq!(
+            s,
+            Statement::Insert {
+                table: "dim".into(),
+                rows: vec![vec![
+                    Value::Int(1),
+                    Value::Float(2.5),
+                    Value::Str("x".into()),
+                    Value::Null
+                ]],
+            }
+        );
+        let s = parse_statement("insert into t values (1), (-2), (3);").unwrap();
+        let Statement::Insert { rows, .. } = s else { panic!() };
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1], vec![Value::Int(-2)]);
+    }
+
+    #[test]
+    fn update_by_rowid() {
+        let s = parse_statement("UPDATE t SET a = 5, b = 'y' WHERE rowid = 7").unwrap();
+        assert_eq!(
+            s,
+            Statement::Update {
+                table: "t".into(),
+                assignments: vec![
+                    ("a".into(), Value::Int(5)),
+                    ("b".into(), Value::Str("y".into()))
+                ],
+                row: 7,
+            }
+        );
+    }
+
+    #[test]
+    fn delete_by_rowid() {
+        let s = parse_statement("DELETE FROM t WHERE rowid = 3;").unwrap();
+        assert_eq!(s, Statement::Delete { table: "t".into(), row: 3 });
+        assert!(s.is_write());
+    }
+
+    #[test]
+    fn write_errors() {
+        assert!(parse_statement("INSERT INTO t").is_err());
+        assert!(parse_statement("INSERT INTO t VALUES 1, 2").is_err());
+        assert!(parse_statement("DELETE FROM t WHERE other = 3").is_err());
+        assert!(parse_statement("UPDATE t SET a = 1").is_err());
+        assert!(parse_statement("DELETE FROM t WHERE rowid = -1").is_err());
+        assert!(parse_statement("INSERT INTO t VALUES (1) garbage").is_err());
+    }
+
+    #[test]
+    fn normalize_collapses_and_lowercases() {
+        assert_eq!(
+            normalize("  SELECT   a,B FROM\tt  WHERE x = 'MiXeD Case'  ; "),
+            "select a,b from t where x = 'MiXeD Case'"
+        );
+        assert_eq!(normalize("select 'it''s'"), "select 'it''s'");
+        assert_eq!(
+            normalize("SELECT 1"),
+            normalize("select    1;"),
+            "formatting variants share one cache key"
+        );
+    }
+}

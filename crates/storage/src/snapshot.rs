@@ -2,15 +2,22 @@
 //!
 //! The paper sketches a Hyper-style MVCC where "a copy-on-write mechanism
 //! … isolate[s] OLTP and OLAP workloads". We realise the same property at
-//! table granularity: a [`SharedDatabase`] hands out immutable [`Database`]
-//! snapshots whose tables are `Arc`-shared; writers mutate through
-//! `Arc::make_mut`, which clones a table only while a reader still holds it.
+//! two levels of granularity:
+//!
+//! - the catalog itself lives behind an `Arc<Database>`, so taking a
+//!   snapshot is a single reference-count bump — **no allocation, no table
+//!   map copy** on the read path;
+//! - inside a [`Database`], tables are `Arc`-shared, so a writer that runs
+//!   while snapshots are outstanding clones only the catalog map
+//!   (`Arc::make_mut` on the database) and the tables it actually touches
+//!   (`Arc::make_mut` per table).
+//!
 //! Readers therefore observe a stable, consistent image for the whole
 //! duration of a query, while writers proceed without blocking on them.
+//! The write latch serialises writers and snapshot acquisition only; it is
+//! never held while a query runs.
 
-use std::sync::Arc;
-
-use parking_lot::RwLock;
+use std::sync::{Arc, RwLock};
 
 use crate::catalog::Database;
 use crate::table::Table;
@@ -21,27 +28,39 @@ use crate::types::{RowId, Value};
 /// Cloning the handle is cheap; all clones share the same underlying state.
 #[derive(Debug, Clone, Default)]
 pub struct SharedDatabase {
-    inner: Arc<RwLock<Database>>,
+    inner: Arc<RwLock<Arc<Database>>>,
 }
 
 impl SharedDatabase {
     /// Wraps a database for shared use.
     pub fn new(db: Database) -> Self {
-        SharedDatabase { inner: Arc::new(RwLock::new(db)) }
+        SharedDatabase { inner: Arc::new(RwLock::new(Arc::new(db))) }
     }
 
-    /// Takes a consistent snapshot. The snapshot is an owned [`Database`]
-    /// whose tables are `Arc`-shared with the live state — O(#tables), no
-    /// data copied. Subsequent writes copy-on-write and never disturb it.
-    pub fn snapshot(&self) -> Database {
-        self.inner.read().clone()
+    /// Takes a consistent snapshot: an `Arc` share of the live catalog.
+    /// O(1) — one atomic increment, no data copied, no allocation.
+    /// Subsequent writes copy-on-write and never disturb it.
+    pub fn snapshot(&self) -> Arc<Database> {
+        // Recover from poisoning (parking_lot-style): a panicking writer
+        // must not wedge every future reader.
+        let guard = self.inner.read().unwrap_or_else(|p| p.into_inner());
+        Arc::clone(&guard)
     }
 
     /// Runs a closure with mutable access to the live database. The write
     /// latch only serialises *writers* and snapshot acquisition; readers
-    /// holding earlier snapshots are unaffected.
+    /// holding earlier snapshots are unaffected. All mutations inside one
+    /// `write` call become visible atomically to later snapshots.
+    ///
+    /// Poisoning is recovered from (availability over strictness), so a
+    /// closure that *panics* mid-mutation can leave a partially applied
+    /// write visible when no snapshot was outstanding (in-place
+    /// `Arc::make_mut` path). Callers that cannot tolerate this must
+    /// validate before mutating — the serving layer
+    /// (`astore-server`) does exactly that.
     pub fn write<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
-        f(&mut self.inner.write())
+        let mut guard = self.inner.write().unwrap_or_else(|p| p.into_inner());
+        f(Arc::make_mut(&mut guard))
     }
 
     /// Convenience: insert a row into a table. Returns the new row id.
@@ -125,6 +144,26 @@ mod tests {
         assert_eq!(dim.num_slots(), 5);
         assert!(!dim.is_live(0));
         assert_eq!(dim.row(1), vec![Value::Int(-1)]);
+    }
+
+    #[test]
+    fn snapshots_share_storage_until_written() {
+        let shared = shared_dim();
+        let a = shared.snapshot();
+        let b = shared.snapshot();
+        // Snapshots of an unchanged database are the same catalog object.
+        assert!(Arc::ptr_eq(&a, &b));
+        // …and share table storage with the live state.
+        let live = shared.snapshot();
+        assert!(Arc::ptr_eq(
+            &a.table_arc("dim").unwrap(),
+            &live.table_arc("dim").unwrap()
+        ));
+        // A write severs the catalog share but leaves old snapshots intact.
+        shared.insert("dim", &[Value::Int(5)]);
+        let after = shared.snapshot();
+        assert!(!Arc::ptr_eq(&a, &after));
+        assert_eq!(a.table("dim").unwrap().num_live(), 4);
     }
 
     #[test]
