@@ -221,10 +221,8 @@ mod tests {
 
     fn star_db() -> Database {
         let mut db = Database::new();
-        let mut nation = Table::new(
-            "nation",
-            Schema::new(vec![ColumnDef::new("n_name", DataType::Dict)]),
-        );
+        let mut nation =
+            Table::new("nation", Schema::new(vec![ColumnDef::new("n_name", DataType::Dict)]));
         for n in ["BRAZIL", "CHINA"] {
             nation.append_row(&[Value::Str(n.into())]);
         }
@@ -321,10 +319,7 @@ mod tests {
     #[test]
     fn column_name_collisions_are_prefixed() {
         let mut db = Database::new();
-        let mut dim = Table::new(
-            "dim",
-            Schema::new(vec![ColumnDef::new("v", DataType::I32)]),
-        );
+        let mut dim = Table::new("dim", Schema::new(vec![ColumnDef::new("v", DataType::I32)]));
         dim.append_row(&[Value::Int(1)]);
         let mut fact = Table::new(
             "fact",

@@ -156,11 +156,8 @@ pub fn execute_hash_pipeline(
     let funcs: Vec<AggFunc> = query.aggregates.iter().map(|a| a.func).collect();
     let grouper = if dims == 0 { Grouper::Scalar } else { Grouper::hash(dims) };
     let mut agg = AggTable::new(grouper, &funcs);
-    let measures: Vec<Option<CompiledMeasure<'_>>> = query
-        .aggregates
-        .iter()
-        .map(|a| a.expr.as_ref().map(|e| e.compile(fact)))
-        .collect();
+    let measures: Vec<Option<CompiledMeasure<'_>>> =
+        query.aggregates.iter().map(|a| a.expr.as_ref().map(|e| e.compile(fact))).collect();
 
     let n = fact.num_slots();
     let has_deletes = fact.has_deletes();
@@ -211,10 +208,8 @@ pub fn execute_hash_pipeline(
     for (gi, fg) in fact_groupers {
         dicts[gi] = Some(fg.dict);
     }
-    let dicts: Vec<GroupDict> = dicts
-        .into_iter()
-        .map(|d| d.expect("every group column has a dictionary"))
-        .collect();
+    let dicts: Vec<GroupDict> =
+        dicts.into_iter().map(|d| d.expect("every group column has a dictionary")).collect();
 
     let columns = query.output_names();
     let mut rows = Vec::new();
@@ -245,10 +240,8 @@ mod tests {
 
     fn snowflake_db() -> Database {
         let mut db = Database::new();
-        let mut region = Table::new(
-            "region",
-            Schema::new(vec![ColumnDef::new("r_name", DataType::Dict)]),
-        );
+        let mut region =
+            Table::new("region", Schema::new(vec![ColumnDef::new("r_name", DataType::Dict)]));
         for r in ["AMERICA", "ASIA"] {
             region.append_row(&[Value::Str(r.into())]);
         }
@@ -264,17 +257,16 @@ mod tests {
         }
         let mut customer = Table::new(
             "customer",
-            Schema::new(vec![
-                ColumnDef::new("c_nation", DataType::Key { target: "nation".into() }),
-            ]),
+            Schema::new(vec![ColumnDef::new(
+                "c_nation",
+                DataType::Key { target: "nation".into() },
+            )]),
         );
         for nk in [0u32, 1, 2, 1] {
             customer.append_row(&[Value::Key(nk)]);
         }
-        let mut date = Table::new(
-            "date",
-            Schema::new(vec![ColumnDef::new("d_year", DataType::I32)]),
-        );
+        let mut date =
+            Table::new("date", Schema::new(vec![ColumnDef::new("d_year", DataType::I32)]));
         for y in [1996, 1997] {
             date.append_row(&[Value::Int(y)]);
         }
@@ -286,14 +278,9 @@ mod tests {
                 ColumnDef::new("s_rev", DataType::I64),
             ]),
         );
-        for (c, d, v) in [
-            (0u32, 0u32, 10i64),
-            (1, 0, 20),
-            (2, 1, 30),
-            (3, 1, 40),
-            (1, 1, 50),
-            (0, 1, 60),
-        ] {
+        for (c, d, v) in
+            [(0u32, 0u32, 10i64), (1, 0, 20), (2, 1, 30), (3, 1, 40), (1, 1, 50), (0, 1, 60)]
+        {
             fact.append_row(&[Value::Key(c), Value::Key(d), Value::Int(v)]);
         }
         db.add_table(region);

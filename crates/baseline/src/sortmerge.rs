@@ -17,11 +17,7 @@ pub fn sort_pairs(keys: &[u32], payloads: &[i64]) -> (Vec<u32>, Vec<i64>) {
 
 /// Merges two key-sorted inputs, counting matches and summing matched build
 /// payloads (cross product on duplicate keys).
-pub fn merge_sum(
-    build_keys: &[u32],
-    build_payloads: &[i64],
-    probe_keys: &[u32],
-) -> (u64, i64) {
+pub fn merge_sum(build_keys: &[u32], build_payloads: &[i64], probe_keys: &[u32]) -> (u64, i64) {
     let mut matches = 0u64;
     let mut sum = 0i64;
     let (mut i, mut j) = (0usize, 0usize);

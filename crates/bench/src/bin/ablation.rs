@@ -25,8 +25,7 @@ fn main() {
     let mut t = TablePrinter::new(&["query", "selectivity", "selection vector", "bitmap AND"]);
     for sq in ssb::queries() {
         let vec_opts = ExecOptions::default();
-        let bm_opts =
-            ExecOptions { selection: SelectionStrategy::BitmapAnd, ..Default::default() };
+        let bm_opts = ExecOptions { selection: SelectionStrategy::BitmapAnd, ..Default::default() };
         let (d_vec, out) = time_best_of(3, || execute(&db, &sq.query, &vec_opts).unwrap());
         let (d_bm, bout) = time_best_of(3, || execute(&db, &sq.query, &bm_opts).unwrap());
         assert!(out.result.same_contents(&bout.result, 1e-6));
@@ -68,10 +67,7 @@ fn main() {
         ("7 (years)", vec![("date", "d_year")]),
         ("~175 (nation x year)", vec![("customer", "c_nation"), ("date", "d_year")]),
         ("~1750 (city x year)", vec![("customer", "c_city"), ("date", "d_year")]),
-        (
-            "~62k (city x city)",
-            vec![("customer", "c_city"), ("supplier", "s_city")],
-        ),
+        ("~62k (city x city)", vec![("customer", "c_city"), ("supplier", "s_city")]),
         (
             "~438k (city x city x year)",
             vec![("customer", "c_city"), ("supplier", "s_city"), ("date", "d_year")],
@@ -84,8 +80,7 @@ fn main() {
         for (tbl, col) in &groups {
             q = q.group(*tbl, *col);
         }
-        let dense =
-            ExecOptions { force_agg: Some(AggStrategy::DenseArray), ..Default::default() };
+        let dense = ExecOptions { force_agg: Some(AggStrategy::DenseArray), ..Default::default() };
         let hash = ExecOptions { force_agg: Some(AggStrategy::HashTable), ..Default::default() };
         let (d_dense, out_d) = time_best_of(3, || execute(&db, &q, &dense).unwrap());
         let (d_hash, out_h) = time_best_of(3, || execute(&db, &q, &hash).unwrap());
@@ -112,11 +107,7 @@ fn main() {
     for n in [1usize, 2, 4, 8] {
         let opts = ExecOptions::default().threads(n);
         let (d, _) = time_best_of(3, || execute(&db, q31, &opts).unwrap());
-        t.row(vec![
-            n.to_string(),
-            format!("{:.2}ms", ms(d)),
-            format!("{:.2}x", ms(base) / ms(d)),
-        ]);
+        t.row(vec![n.to_string(), format!("{:.2}ms", ms(d)), format!("{:.2}x", ms(base) / ms(d))]);
     }
     t.print();
     println!(

@@ -18,8 +18,7 @@ fn main() {
     banner("Fig 10", "phase breakdown of the column-wise variants (paper §6.4)", sf, env_threads());
     let db = ssb::generate(sf, 42);
 
-    let variants =
-        [ScanVariant::ColumnWise, ScanVariant::ColumnWisePredVec, ScanVariant::Full];
+    let variants = [ScanVariant::ColumnWise, ScanVariant::ColumnWisePredVec, ScanVariant::Full];
 
     for v in variants {
         println!("--- {} ---", v.paper_name());

@@ -43,18 +43,30 @@ fn main() {
         ("TPCH lineitem \u{22C8} orders".into(), &db_h, "lineitem", "l_orderkey", "orders"),
     ];
 
-    let mut t = TablePrinter::new(&["join (count query)", "rows", "sort-merge", "NPO", "PRO", "AIR"]);
+    let mut t =
+        TablePrinter::new(&["join (count query)", "rows", "sort-merge", "NPO", "PRO", "AIR"]);
     for (label, dbx, fact, col, dim) in cases {
         let probe = key_col(dbx, fact, col);
         let dim_rows = dbx.table(dim).unwrap().num_slots();
         let payload: Vec<i64> = (0..dim_rows as i64).collect();
         let build_keys: Vec<u32> = (0..dim_rows as u32).collect();
 
-        let (d_sm, r_sm) = time_best_of(3, || sortmerge_join_sum(black_box(&build_keys), black_box(&payload), black_box(probe)));
-        let (d_npo, r_npo) = time_best_of(3, || npo_join_sum(black_box(&build_keys), black_box(&payload), black_box(probe)));
-        let (d_pro, r_pro) =
-            time_best_of(3, || pro_join_sum(black_box(&build_keys), black_box(&payload), black_box(probe), RadixConfig::default()));
-        let (d_air, r_air) = time_best_of(3, || air_join_sum(black_box(probe), black_box(&payload)));
+        let (d_sm, r_sm) = time_best_of(3, || {
+            sortmerge_join_sum(black_box(&build_keys), black_box(&payload), black_box(probe))
+        });
+        let (d_npo, r_npo) = time_best_of(3, || {
+            npo_join_sum(black_box(&build_keys), black_box(&payload), black_box(probe))
+        });
+        let (d_pro, r_pro) = time_best_of(3, || {
+            pro_join_sum(
+                black_box(&build_keys),
+                black_box(&payload),
+                black_box(probe),
+                RadixConfig::default(),
+            )
+        });
+        let (d_air, r_air) =
+            time_best_of(3, || air_join_sum(black_box(probe), black_box(&payload)));
         assert_eq!(r_sm, r_air);
         assert_eq!(r_npo, r_air);
         assert_eq!(r_pro, r_air);

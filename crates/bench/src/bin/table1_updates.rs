@@ -75,8 +75,10 @@ fn main() {
     let d_consolidate = t.elapsed();
     assert!(shared.snapshot().validate_references().is_empty());
 
-    let mut t = TablePrinter::new(&["operation", "mechanism (paper Table 1)", "ops", "total", "per-op"]);
-    let per = |d: std::time::Duration, n: usize| format!("{:.0}ns", d.as_secs_f64() * 1e9 / n as f64);
+    let mut t =
+        TablePrinter::new(&["operation", "mechanism (paper Table 1)", "ops", "total", "per-op"]);
+    let per =
+        |d: std::time::Duration, n: usize| format!("{:.0}ns", d.as_secs_f64() * 1e9 / n as f64);
     t.row(vec![
         "insert (append)".into(),
         "append to array family".into(),

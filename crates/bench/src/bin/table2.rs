@@ -40,9 +40,17 @@ fn run_case(t: &mut TablePrinter, label: &str, probe: &[Key], dim_rows: usize) {
     let build_keys: Vec<u32> = (0..dim_rows as u32).collect();
 
     let n = probe.len();
-    let (d_npo, r_npo) = time_best_of(3, || npo_join_sum(black_box(&build_keys), black_box(&payload), black_box(probe)));
-    let (d_pro, r_pro) =
-        time_best_of(3, || pro_join_sum(black_box(&build_keys), black_box(&payload), black_box(probe), RadixConfig::default()));
+    let (d_npo, r_npo) = time_best_of(3, || {
+        npo_join_sum(black_box(&build_keys), black_box(&payload), black_box(probe))
+    });
+    let (d_pro, r_pro) = time_best_of(3, || {
+        pro_join_sum(
+            black_box(&build_keys),
+            black_box(&payload),
+            black_box(probe),
+            RadixConfig::default(),
+        )
+    });
     let (d_air, r_air) = time_best_of(3, || air_join_sum(black_box(probe), black_box(&payload)));
     assert_eq!(r_npo, r_air, "NPO and AIR disagree on {label}");
     assert_eq!(r_pro, r_air, "PRO and AIR disagree on {label}");
@@ -130,12 +138,23 @@ fn main() {
         // schema would store these FKs in the first place).
         let air_probe = w.air_probe_keys();
         let n = w.probe_keys.len();
-        let (d_npo, r_npo) =
-            time_best_of(3, || npo_join_sum(black_box(&w.build_keys), black_box(&w.build_payloads), black_box(&w.probe_keys)));
-        let (d_pro, r_pro) = time_best_of(3, || {
-            pro_join_sum(black_box(&w.build_keys), black_box(&w.build_payloads), black_box(&w.probe_keys), RadixConfig::default())
+        let (d_npo, r_npo) = time_best_of(3, || {
+            npo_join_sum(
+                black_box(&w.build_keys),
+                black_box(&w.build_payloads),
+                black_box(&w.probe_keys),
+            )
         });
-        let (d_air, r_air) = time_best_of(3, || air_join_sum(black_box(&air_probe), black_box(&w.build_payloads)));
+        let (d_pro, r_pro) = time_best_of(3, || {
+            pro_join_sum(
+                black_box(&w.build_keys),
+                black_box(&w.build_payloads),
+                black_box(&w.probe_keys),
+                RadixConfig::default(),
+            )
+        });
+        let (d_air, r_air) =
+            time_best_of(3, || air_join_sum(black_box(&air_probe), black_box(&w.build_payloads)));
         assert_eq!(r_npo, w.expected());
         assert_eq!(r_pro, w.expected());
         assert_eq!(r_air, w.expected());

@@ -92,7 +92,8 @@ fn main() {
     t.print();
 
     println!("\n--- Fig. 1 summary (average SSB time per engine) ---");
-    let labels = ["hash-join engine", "hash-join on wide", "hand denorm", "A-Store", "A-Store parallel"];
+    let labels =
+        ["hash-join engine", "hash-join on wide", "hand denorm", "A-Store", "A-Store parallel"];
     let max = sums.iter().cloned().fold(0.0f64, f64::max);
     for (label, s) in labels.iter().zip(sums) {
         let avg = s / 13.0;

@@ -201,6 +201,8 @@ impl Session {
                     ),
                 }
             }
+            "save" => Outcome::Text(self.save(arg)),
+            "open" => Outcome::Text(self.open(arg)),
             "compare" => Outcome::Text(self.compare(parts.collect::<Vec<_>>().join(" "), arg)),
             "connect" => Outcome::Text(self.connect(arg)),
             "disconnect" => Outcome::Text(match self.remote.take() {
@@ -218,6 +220,54 @@ impl Session {
                 },
             }),
             other => Outcome::Text(format!("unknown command \\{other}; \\help lists commands")),
+        }
+    }
+
+    /// `\save <path>`: snapshot the loaded database to disk.
+    fn save(&mut self, path: &str) -> String {
+        if path.is_empty() {
+            return "usage: \\save <file> (e.g. \\save ssb.snapshot)".into();
+        }
+        if self.remote.is_some() {
+            return "\\save works on the local database; \\disconnect first".into();
+        }
+        if self.db.is_empty() {
+            return "nothing to save; \\load a dataset first".into();
+        }
+        let t = Instant::now();
+        match astore_persist::save_snapshot(&self.db, path) {
+            Ok(bytes) => format!(
+                "saved {} table(s), {:.1} MiB to {path} in {:.1?}",
+                self.db.len(),
+                bytes as f64 / (1 << 20) as f64,
+                t.elapsed()
+            ),
+            Err(e) => format!("could not save {path}: {e}"),
+        }
+    }
+
+    /// `\open <path>`: load a snapshot from disk, replacing the session DB.
+    fn open(&mut self, path: &str) -> String {
+        if path.is_empty() {
+            return "usage: \\open <file> (a snapshot written by \\save or astore-serve)".into();
+        }
+        if self.remote.is_some() {
+            return "\\open works on the local database; \\disconnect first".into();
+        }
+        let t = Instant::now();
+        match astore_persist::load_snapshot(path) {
+            Ok(db) => {
+                let rows: usize =
+                    db.table_names().iter().map(|n| db.table(n).unwrap().num_live()).sum();
+                self.db = db;
+                self.dataset = path.to_owned();
+                format!(
+                    "opened {path}: {} table(s), {rows} live rows in {:.1?}",
+                    self.db.len(),
+                    t.elapsed()
+                )
+            }
+            Err(e) => format!("could not open {path}: {e}"),
         }
     }
 
@@ -396,6 +446,8 @@ commands:
   \\threads <n>       parallel workers
   \\timing on|off     per-query wall time
   \\plan on|off       plan diagnostics
+  \\save <file>       snapshot the loaded database to disk
+  \\open <file>       load a snapshot written by \\save (or astore-serve)
   \\compare <sql>     run on A-Store and the hash-join baseline, verify agreement
   \\connect h:p       remote mode: send SQL to an astore-server
   \\disconnect        leave remote mode
@@ -456,6 +508,38 @@ mod tests {
         // The session still works.
         let out = text(s.feed("SELECT count(*) FROM lineorder"));
         assert!(out.contains("(1 rows)"), "{out}");
+    }
+
+    #[test]
+    fn save_and_open_roundtrip_query_results() {
+        let path = std::env::temp_dir().join(format!("astore-cli-{}.snapshot", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let path_s = path.to_str().unwrap().to_owned();
+
+        let mut s = Session::new();
+        assert!(text(s.feed("\\save x")).contains("nothing to save"));
+        text(s.feed("\\load ssb 0.001"));
+        let q = "SELECT d_year, sum(lo_revenue) AS rev FROM lineorder, date \
+                 WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year";
+        let before = text(s.feed(q));
+        let msg = text(s.feed(&format!("\\save {path_s}")));
+        assert!(msg.contains("saved"), "{msg}");
+
+        let mut fresh = Session::new();
+        let msg = text(fresh.feed(&format!("\\open {path_s}")));
+        assert!(msg.contains("opened"), "{msg}");
+        assert_eq!(fresh.dataset(), path_s);
+        let after = text(fresh.feed(q));
+        // Identical rendering implies identical rows (timing lines differ).
+        let table = |out: &str| {
+            out.lines().take_while(|l| !l.starts_with("time:")).collect::<Vec<_>>().join("\n")
+        };
+        assert_eq!(table(&before), table(&after));
+
+        assert!(text(fresh.feed("\\open /nonexistent/nope.snap")).contains("could not open"));
+        assert!(text(fresh.feed("\\save")).contains("usage"));
+        assert!(text(fresh.feed("\\open")).contains("usage"));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -201,7 +201,11 @@ pub fn execute(db: &Database, query: &Query, opts: &ExecOptions) -> Result<ExecO
     }
 }
 
-fn execute_serial(db: &Database, query: &Query, opts: &ExecOptions) -> Result<ExecOutput, BindError> {
+fn execute_serial(
+    db: &Database,
+    query: &Query,
+    opts: &ExecOptions,
+) -> Result<ExecOutput, BindError> {
     let t_start = Instant::now();
     let graph = JoinGraph::build(db);
     let root = bind_root(&graph, query.root.as_deref(), &query.referenced_tables())?;
@@ -265,11 +269,7 @@ pub(crate) fn prepare_leaf(
 
     let mut filters: Vec<Option<Bitmap>> = Vec::with_capacity(chains.len());
     for chain in &chains {
-        let dim_rows = u
-            .db()
-            .table(&chain.dim_table)
-            .map(|t| t.num_slots())
-            .unwrap_or(0);
+        let dim_rows = u.db().table(&chain.dim_table).map(|t| t.num_slots()).unwrap_or(0);
         let use_vec = opts.variant.use_predvec()
             && chain.has_predicates
             && opts.optimizer.use_predicate_vector(dim_rows);
@@ -288,10 +288,10 @@ pub(crate) fn prepare_leaf(
         }
         // Find the chain this grouping column hangs off, to reuse its
         // composed filter for null-ing out filtered dimension rows.
-        let path = u
-            .graph()
-            .path(u.root(), &g.table)
-            .ok_or_else(|| BindError::Unreachable { root: u.root().into(), table: g.table.clone() })?;
+        let path = u.graph().path(u.root(), &g.table).ok_or_else(|| BindError::Unreachable {
+            root: u.root().into(),
+            table: g.table.clone(),
+        })?;
         let key_col = &path.steps[0].key_column;
         let filter = chains
             .iter()
@@ -327,10 +327,7 @@ pub(crate) fn build_chain_checks<'a>(
         let mut tables: Vec<&String> = chain.tables.iter().collect();
         tables.sort_by_key(|t| u.graph().path(u.root(), t).map(|p| p.len()).unwrap_or(usize::MAX));
         for t in tables {
-            let table = u
-                .db()
-                .table(t)
-                .ok_or_else(|| BindError::NoTable(t.clone()))?;
+            let table = u.db().table(t).ok_or_else(|| BindError::NoTable(t.clone()))?;
             let pred = query.selection_on(t).map(|p| p.compile(table));
             let live = table.has_deletes().then(|| table.live_bitmap());
             if pred.is_none() && live.is_none() {
@@ -348,18 +345,11 @@ pub(crate) fn build_chain_checks<'a>(
 /// What a grouping column reads from during the fact scan.
 enum GroupSource<'a> {
     /// Probe a pre-built group vector through a fact FK column (`_G`).
-    DimVec {
-        keys: &'a [Key],
-        gv: &'a GroupVector,
-    },
+    DimVec { keys: &'a [Key], gv: &'a GroupVector },
     /// Intern values of a root-table column on the fly.
     Fact(FactGrouper<'a>),
     /// Chase the AIR chain and intern the label per row (non-`_G`).
-    Resolved {
-        rc: crate::universal::ResolvedCol<'a>,
-        live: Option<&'a Bitmap>,
-        dict: GroupDict,
-    },
+    Resolved { rc: crate::universal::ResolvedCol<'a>, live: Option<&'a Bitmap>, dict: GroupDict },
 }
 
 /// Artifacts of the fact-scan phase: the Measure Index plus the aggregation
@@ -398,10 +388,8 @@ pub(crate) fn scan_phase(
         .unwrap_or_default();
     if fact_preds.len() > 1 {
         let n = fact.num_slots();
-        let mut keyed: Vec<(f64, CompiledPred<'_>)> = fact_preds
-            .drain(..)
-            .map(|p| (p.sampled_selectivity(n, 1024), p))
-            .collect();
+        let mut keyed: Vec<(f64, CompiledPred<'_>)> =
+            fact_preds.drain(..).map(|p| (p.sampled_selectivity(n, 1024), p)).collect();
         keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         fact_preds = keyed.into_iter().map(|(_, p)| p).collect();
     }
@@ -609,20 +597,14 @@ mod tests {
                 ColumnDef::new("c_region", DataType::Dict),
             ]),
         );
-        let custs = [
-            ("CHINA", "ASIA"),
-            ("JAPAN", "ASIA"),
-            ("BRAZIL", "AMERICA"),
-            ("CANADA", "AMERICA"),
-        ];
+        let custs =
+            [("CHINA", "ASIA"), ("JAPAN", "ASIA"), ("BRAZIL", "AMERICA"), ("CANADA", "AMERICA")];
         for (n, r) in custs {
             customer.append_row(&[Value::Str(n.into()), Value::Str(r.into())]);
         }
 
-        let mut date = Table::new(
-            "date",
-            Schema::new(vec![ColumnDef::new("d_year", DataType::I32)]),
-        );
+        let mut date =
+            Table::new("date", Schema::new(vec![ColumnDef::new("d_year", DataType::I32)]));
         for y in [1992, 1993, 1994] {
             date.append_row(&[Value::Int(y)]);
         }
@@ -714,9 +696,12 @@ mod tests {
     #[test]
     fn non_full_variants_use_hash_aggregation() {
         let db = star_db();
-        let out =
-            execute(&db, &asia_by_year(), &ExecOptions::with_variant(ScanVariant::ColumnWisePredVec))
-                .unwrap();
+        let out = execute(
+            &db,
+            &asia_by_year(),
+            &ExecOptions::with_variant(ScanVariant::ColumnWisePredVec),
+        )
+        .unwrap();
         assert_eq!(out.plan.agg_strategy, AggStrategy::HashTable);
     }
 

@@ -233,9 +233,7 @@ impl Pred {
 }
 
 fn col_of<'a>(table: &'a Table, name: &str) -> &'a Column {
-    table
-        .column(name)
-        .unwrap_or_else(|| panic!("no column {name:?} in table {:?}", table.name()))
+    table.column(name).unwrap_or_else(|| panic!("no column {name:?} in table {:?}", table.name()))
 }
 
 fn int_lit(lit: &Lit, col: &str) -> i64 {
@@ -284,7 +282,9 @@ fn compile_cmp<'a>(table: &'a Table, col: &str, op: CmpOp, lit: &Lit) -> Compile
             let s = str_lit(lit, col);
             let dict = dict_col.dict();
             match op {
-                CmpOp::Eq => CompiledPred::DictEq { codes: dict_col.codes(), code: dict.code_of(s) },
+                CmpOp::Eq => {
+                    CompiledPred::DictEq { codes: dict_col.codes(), code: dict.code_of(s) }
+                }
                 // Non-equality string ops: evaluate once per distinct value.
                 _ => CompiledPred::DictSet {
                     codes: dict_col.codes(),
@@ -344,10 +344,7 @@ fn compile_in<'a>(table: &'a Table, col: &str, lits: &[Lit]) -> CompiledPred<'a>
     match col_of(table, col) {
         Column::I32(data) => CompiledPred::I32In {
             data,
-            set: lits
-                .iter()
-                .filter_map(|l| i32::try_from(int_lit(l, col)).ok())
-                .collect(),
+            set: lits.iter().filter_map(|l| i32::try_from(int_lit(l, col)).ok()).collect(),
         },
         Column::I64(data) => {
             CompiledPred::I64In { data, set: lits.iter().map(|l| int_lit(l, col)).collect() }
@@ -537,9 +534,7 @@ impl CompiledPred<'_> {
                 k >= *lo && k <= *hi
             }
             CompiledPred::DictEq { codes, code } => codes[row] == *code,
-            CompiledPred::DictSet { codes, matches } => {
-                matches.get_or_false(codes[row] as usize)
-            }
+            CompiledPred::DictSet { codes, matches } => matches.get_or_false(codes[row] as usize),
             CompiledPred::StrCmp { col, op, v } => op.apply(col.get(row), v.as_str()),
             CompiledPred::StrBetween { col, lo, hi } => {
                 let s = col.get(row);
@@ -780,9 +775,7 @@ mod tests {
     #[test]
     fn boolean_algebra() {
         let t = table();
-        let p = Pred::eq("region", "ASIA")
-            .and(Pred::cmp("qty", CmpOp::Gt, 0))
-            .compile(&t);
+        let p = Pred::eq("region", "ASIA").and(Pred::cmp("qty", CmpOp::Gt, 0)).compile(&t);
         let hits: Vec<usize> = (0..5).filter(|&r| p.eval(r)).collect();
         assert_eq!(hits, vec![2]);
 
@@ -795,9 +788,7 @@ mod tests {
 
     #[test]
     fn conjunct_flattening() {
-        let p = Pred::eq("a", 1)
-            .and(Pred::eq("b", 2))
-            .and(Pred::eq("c", 3));
+        let p = Pred::eq("a", 1).and(Pred::eq("b", 2)).and(Pred::eq("c", 3));
         assert_eq!(p.conjuncts().len(), 3);
         assert_eq!(Pred::Const(true).and(Pred::eq("x", 1)), Pred::eq("x", 1));
     }

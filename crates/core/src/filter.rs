@@ -81,8 +81,7 @@ pub fn participating_chains(
         if let Some((dim_table, tables)) = by_key_col.remove(key_col) {
             let mut tables: Vec<String> = tables.into_iter().collect();
             tables.sort_unstable();
-            let has_predicates =
-                tables.iter().any(|t| query.selection_on(t).is_some());
+            let has_predicates = tables.iter().any(|t| query.selection_on(t).is_some());
             chains.push(ChainSpec {
                 fact_key_col: key_col.clone(),
                 dim_table,
@@ -98,7 +97,12 @@ pub fn participating_chains(
 /// first-level dimension's slots where bit `i` = 1 iff dimension row `i`
 /// is live, passes its own predicates, and transitively references rows
 /// passing theirs (recursive fold, paper §4.2).
-pub fn build_chain_filter(db: &Database, graph: &JoinGraph, query: &Query, chain: &ChainSpec) -> Bitmap {
+pub fn build_chain_filter(
+    db: &Database,
+    graph: &JoinGraph,
+    query: &Query,
+    chain: &ChainSpec,
+) -> Bitmap {
     compose_table_filter(db, graph, query, &chain.dim_table, &chain.tables)
 }
 
@@ -126,11 +130,8 @@ fn compose_table_filter(
             continue;
         }
         let child_bm = compose_table_filter(db, graph, query, child, relevant);
-        let (_, keys) = t
-            .column(key_col)
-            .expect("edge column exists")
-            .as_key()
-            .expect("edge column is a key");
+        let (_, keys) =
+            t.column(key_col).expect("edge column exists").as_key().expect("edge column is a key");
         // Only rows still passing need the child probe.
         let passing: Vec<usize> = bm.iter_ones().collect();
         for i in passing {
@@ -155,10 +156,8 @@ mod tests {
     fn db() -> Database {
         let mut db = Database::new();
 
-        let mut region = Table::new(
-            "region",
-            Schema::new(vec![ColumnDef::new("r_name", DataType::Dict)]),
-        );
+        let mut region =
+            Table::new("region", Schema::new(vec![ColumnDef::new("r_name", DataType::Dict)]));
         for r in ["AMERICA", "ASIA"] {
             region.append_row(&[Value::Str(r.into())]);
         }
@@ -186,10 +185,8 @@ mod tests {
         customer.append_row(&[Value::Key(2), Value::Str("BIKE".into())]); // JAPAN/ASIA
         customer.append_row(&[Value::Key(NULL_KEY), Value::Str("AUTO".into())]);
 
-        let mut date = Table::new(
-            "date",
-            Schema::new(vec![ColumnDef::new("d_year", DataType::I32)]),
-        );
+        let mut date =
+            Table::new("date", Schema::new(vec![ColumnDef::new("d_year", DataType::I32)]));
         for y in [1996, 1997, 1998] {
             date.append_row(&[Value::Int(y)]);
         }

@@ -72,8 +72,7 @@ impl JoinGraph {
     pub fn build(db: &Database) -> Self {
         let tables: Vec<String> = db.table_names().to_vec();
         let mut out_edges: HashMap<String, Vec<(String, String)>> = HashMap::new();
-        let mut in_degree: HashMap<String, usize> =
-            tables.iter().map(|t| (t.clone(), 0)).collect();
+        let mut in_degree: HashMap<String, usize> = tables.iter().map(|t| (t.clone(), 0)).collect();
         for t in &tables {
             out_edges.entry(t.clone()).or_default();
         }
@@ -227,10 +226,7 @@ mod tests {
     #[test]
     fn leaves_are_all_dimensions() {
         let g = JoinGraph::build(&snowflake());
-        assert_eq!(
-            g.leaves_of("lineitem"),
-            vec!["customer", "nation", "orders", "part", "region"]
-        );
+        assert_eq!(g.leaves_of("lineitem"), vec!["customer", "nation", "orders", "part", "region"]);
     }
 
     #[test]
@@ -256,10 +252,7 @@ mod tests {
     #[test]
     fn unreachable_table_has_no_path() {
         let mut db = snowflake();
-        db.add_table(Table::new(
-            "island",
-            Schema::new(vec![ColumnDef::new("x", DataType::I32)]),
-        ));
+        db.add_table(Table::new("island", Schema::new(vec![ColumnDef::new("x", DataType::I32)])));
         let g = JoinGraph::build(&db);
         assert!(g.path("lineitem", "island").is_none());
         // The island is itself a root (no incoming edges).
@@ -281,10 +274,7 @@ mod tests {
         assert_eq!(g.root_covering(&["region", "part"]), Some("lineitem"));
         assert_eq!(g.root_covering(&["lineitem"]), Some("lineitem"));
         let mut db = snowflake();
-        db.add_table(Table::new(
-            "island",
-            Schema::new(vec![ColumnDef::new("x", DataType::I32)]),
-        ));
+        db.add_table(Table::new("island", Schema::new(vec![ColumnDef::new("x", DataType::I32)])));
         let g = JoinGraph::build(&db);
         assert_eq!(g.root_covering(&["island"]), Some("island"));
         assert_eq!(g.root_covering(&["island", "region"]), None);
@@ -294,10 +284,7 @@ mod tests {
     fn shortest_path_is_preferred_on_diamonds() {
         // fact -> a -> dim, fact -> dim: the direct edge must win.
         let mut db = Database::new();
-        db.add_table(Table::new(
-            "dim",
-            Schema::new(vec![ColumnDef::new("v", DataType::I32)]),
-        ));
+        db.add_table(Table::new("dim", Schema::new(vec![ColumnDef::new("v", DataType::I32)])));
         db.add_table(Table::new(
             "a",
             Schema::new(vec![ColumnDef::new("a_dim", DataType::Key { target: "dim".into() })]),

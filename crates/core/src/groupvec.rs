@@ -14,8 +14,8 @@
 
 use std::collections::HashMap;
 
-use astore_storage::catalog::Database;
 use astore_storage::bitmap::Bitmap;
+use astore_storage::catalog::Database;
 use astore_storage::column::Column;
 use astore_storage::types::{Key, Value, NULL_KEY};
 
@@ -147,9 +147,8 @@ pub fn build_group_vector(
     assert!(!path.steps.is_empty(), "group column on the root table needs FactGrouper");
     let fact_key_col = path.steps[0].key_column.clone();
     let first_dim_name = &path.steps[0].to_table;
-    let first_dim = db
-        .table(first_dim_name)
-        .ok_or_else(|| BindError::NoTable(first_dim_name.clone()))?;
+    let first_dim =
+        db.table(first_dim_name).ok_or_else(|| BindError::NoTable(first_dim_name.clone()))?;
 
     // Hop arrays *within* the dimension chain (first-level dim -> target).
     let mut hops: Vec<&[Key]> = Vec::with_capacity(path.steps.len() - 1);
@@ -162,9 +161,8 @@ pub fn build_group_vector(
             .ok_or_else(|| BindError::NoColumn(step.from_table.clone(), step.key_column.clone()))?;
         hops.push(col.as_key().expect("path step is a key column").1);
     }
-    let target_table = db
-        .table(&colref.table)
-        .ok_or_else(|| BindError::NoTable(colref.table.clone()))?;
+    let target_table =
+        db.table(&colref.table).ok_or_else(|| BindError::NoTable(colref.table.clone()))?;
     let column = target_table
         .column(&colref.column)
         .ok_or_else(|| BindError::NoColumn(colref.table.clone(), colref.column.clone()))?;
@@ -249,10 +247,8 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        let mut nation = Table::new(
-            "nation",
-            Schema::new(vec![ColumnDef::new("n_name", DataType::Dict)]),
-        );
+        let mut nation =
+            Table::new("nation", Schema::new(vec![ColumnDef::new("n_name", DataType::Dict)]));
         for n in ["BRAZIL", "CANADA", "CHINA"] {
             nation.append_row(&[Value::Str(n.into())]);
         }
@@ -298,8 +294,8 @@ mod tests {
     fn direct_dimension_group_vector() {
         let db = db();
         let g = JoinGraph::build(&db);
-        let gv = build_group_vector(&db, &g, "fact", &ColRef::new("customer", "c_seg"), None)
-            .unwrap();
+        let gv =
+            build_group_vector(&db, &g, "fact", &ColRef::new("customer", "c_seg"), None).unwrap();
         assert_eq!(gv.fact_key_col, "f_cust");
         assert_eq!(gv.codes.len(), 4);
         // Codes are dictionary-compressed: A=0 (first seen), B=1.
@@ -311,12 +307,11 @@ mod tests {
     fn snowflake_group_vector_chases_chain() {
         let db = db();
         let g = JoinGraph::build(&db);
-        let gv = build_group_vector(&db, &g, "fact", &ColRef::new("nation", "n_name"), None)
-            .unwrap();
+        let gv =
+            build_group_vector(&db, &g, "fact", &ColRef::new("nation", "n_name"), None).unwrap();
         // Vector lives on customer (first-level dim), labels come from nation.
         assert_eq!(gv.codes.len(), 4);
-        let labels: Vec<&GroupLabel> =
-            gv.codes.iter().take(3).map(|&c| gv.dict.label(c)).collect();
+        let labels: Vec<&GroupLabel> = gv.codes.iter().take(3).map(|&c| gv.dict.label(c)).collect();
         assert_eq!(
             labels,
             vec![
@@ -335,14 +330,8 @@ mod tests {
         let g = JoinGraph::build(&db);
         let q = Query::new().filter("customer", Pred::eq("c_seg", "A"));
         let bm = q.selection_on("customer").unwrap().eval_bitmap(db.table("customer").unwrap());
-        let gv = build_group_vector(
-            &db,
-            &g,
-            "fact",
-            &ColRef::new("nation", "n_name"),
-            Some(&bm),
-        )
-        .unwrap();
+        let gv = build_group_vector(&db, &g, "fact", &ColRef::new("nation", "n_name"), Some(&bm))
+            .unwrap();
         assert_eq!(gv.codes[1], NULL_KEY, "customer 1 is segment B");
         assert_ne!(gv.codes[0], NULL_KEY);
         assert_ne!(gv.codes[2], NULL_KEY);
@@ -355,8 +344,8 @@ mod tests {
     fn probe_handles_null_and_out_of_range() {
         let db = db();
         let g = JoinGraph::build(&db);
-        let gv = build_group_vector(&db, &g, "fact", &ColRef::new("customer", "c_seg"), None)
-            .unwrap();
+        let gv =
+            build_group_vector(&db, &g, "fact", &ColRef::new("customer", "c_seg"), None).unwrap();
         assert_eq!(gv.probe(NULL_KEY), NULL_KEY);
         assert_eq!(gv.probe(1000), NULL_KEY);
         assert_eq!(gv.probe(1), 1);
@@ -375,10 +364,7 @@ mod tests {
 
     #[test]
     fn fact_grouper_dict_column_fast_path() {
-        let mut t = Table::new(
-            "t",
-            Schema::new(vec![ColumnDef::new("c", DataType::Dict)]),
-        );
+        let mut t = Table::new("t", Schema::new(vec![ColumnDef::new("c", DataType::Dict)]));
         for v in ["x", "y", "x", "z", "y"] {
             t.append_row(&[Value::Str(v.into())]);
         }

@@ -54,9 +54,7 @@ impl OptimizerConfig {
     /// Decides the aggregation strategy given the per-dimension group
     /// dictionary sizes (radices).
     pub fn agg_strategy(&self, radices: &[u32]) -> AggStrategy {
-        let Some(cells) = radices
-            .iter()
-            .try_fold(1usize, |acc, &r| acc.checked_mul(r as usize))
+        let Some(cells) = radices.iter().try_fold(1usize, |acc, &r| acc.checked_mul(r as usize))
         else {
             return AggStrategy::HashTable;
         };
@@ -78,10 +76,7 @@ impl OptimizerConfig {
     /// Estimated bytes of all predicate vectors a query would allocate —
     /// exposed for planning diagnostics.
     pub fn filter_bytes(&self, db: &Database, dims: &[&str]) -> usize {
-        dims.iter()
-            .filter_map(|d| db.table(d))
-            .map(|t| t.num_slots().div_ceil(8))
-            .sum()
+        dims.iter().filter_map(|d| db.table(d)).map(|t| t.num_slots().div_ceil(8)).sum()
     }
 }
 
@@ -109,10 +104,7 @@ mod tests {
     #[test]
     fn agg_strategy_overflow_is_hash() {
         let cfg = OptimizerConfig::default();
-        assert_eq!(
-            cfg.agg_strategy(&[u32::MAX, u32::MAX, u32::MAX]),
-            AggStrategy::HashTable
-        );
+        assert_eq!(cfg.agg_strategy(&[u32::MAX, u32::MAX, u32::MAX]), AggStrategy::HashTable);
     }
 
     #[test]

@@ -34,9 +34,7 @@ impl QueryResult {
     pub fn order_and_limit(&mut self, keys: &[OrderKey], limit: Option<usize>) {
         let indexed: Vec<(usize, SortOrder)> = keys
             .iter()
-            .filter_map(|k| {
-                self.columns.iter().position(|c| *c == k.output).map(|i| (i, k.order))
-            })
+            .filter_map(|k| self.columns.iter().position(|c| *c == k.output).map(|i| (i, k.order)))
             .collect();
         if !indexed.is_empty() {
             self.rows.sort_by(|a, b| {
@@ -91,11 +89,8 @@ impl QueryResult {
     /// Renders as an aligned text table (harness output).
     pub fn to_table_string(&self) -> String {
         let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
-        let rendered: Vec<Vec<String>> = self
-            .rows
-            .iter()
-            .map(|r| r.iter().map(render_value).collect())
-            .collect();
+        let rendered: Vec<Vec<String>> =
+            self.rows.iter().map(|r| r.iter().map(render_value).collect()).collect();
         for row in &rendered {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());
@@ -147,12 +142,8 @@ pub fn cmp_values(a: &Value, b: &Value) -> std::cmp::Ordering {
 fn values_close(a: &Value, b: &Value, eps: f64) -> bool {
     use Value::*;
     match (a, b) {
-        (Float(x), Float(y)) => {
-            (x - y).abs() <= eps * (1.0 + x.abs().max(y.abs()))
-        }
-        (Int(x), Float(y)) | (Float(y), Int(x)) => {
-            (*x as f64 - y).abs() <= eps * (1.0 + y.abs())
-        }
+        (Float(x), Float(y)) => (x - y).abs() <= eps * (1.0 + x.abs().max(y.abs())),
+        (Int(x), Float(y)) | (Float(y), Int(x)) => (*x as f64 - y).abs() <= eps * (1.0 + y.abs()),
         _ => a == b,
     }
 }
@@ -222,31 +213,17 @@ mod tests {
 
     #[test]
     fn same_contents_tolerates_float_noise() {
-        let a = QueryResult {
-            columns: vec!["x".into()],
-            rows: vec![vec![Value::Float(1.0)]],
-        };
-        let b = QueryResult {
-            columns: vec!["x".into()],
-            rows: vec![vec![Value::Float(1.0 + 1e-13)]],
-        };
+        let a = QueryResult { columns: vec!["x".into()], rows: vec![vec![Value::Float(1.0)]] };
+        let b =
+            QueryResult { columns: vec!["x".into()], rows: vec![vec![Value::Float(1.0 + 1e-13)]] };
         assert!(a.same_contents(&b, 1e-9));
     }
 
     #[test]
     fn int_float_cross_comparison() {
-        assert_eq!(
-            cmp_values(&Value::Int(2), &Value::Float(2.0)),
-            std::cmp::Ordering::Equal
-        );
-        assert_eq!(
-            cmp_values(&Value::Int(1), &Value::Str("a".into())),
-            std::cmp::Ordering::Less
-        );
-        assert_eq!(
-            cmp_values(&Value::Null, &Value::Int(0)),
-            std::cmp::Ordering::Less
-        );
+        assert_eq!(cmp_values(&Value::Int(2), &Value::Float(2.0)), std::cmp::Ordering::Equal);
+        assert_eq!(cmp_values(&Value::Int(1), &Value::Str("a".into())), std::cmp::Ordering::Less);
+        assert_eq!(cmp_values(&Value::Null, &Value::Int(0)), std::cmp::Ordering::Less);
     }
 
     #[test]

@@ -106,9 +106,7 @@ impl ChainCheck<'_> {
 pub fn initial_selvec(fact: &Table, range: std::ops::Range<usize>) -> SelVec {
     if fact.has_deletes() {
         let live = fact.live_bitmap();
-        SelVec::from_rows(
-            range.filter(|&r| live.get_or_false(r)).map(|r| r as RowId).collect(),
-        )
+        SelVec::from_rows(range.filter(|&r| live.get_or_false(r)).map(|r| r as RowId).collect())
     } else {
         SelVec::from_rows(range.map(|r| r as RowId).collect())
     }
@@ -208,10 +206,7 @@ mod tests {
     /// fact(f_dim key -> dim, f_v i32), dim(d_flag i32).
     fn db() -> Database {
         let mut db = Database::new();
-        let mut dim = Table::new(
-            "dim",
-            Schema::new(vec![ColumnDef::new("d_flag", DataType::I32)]),
-        );
+        let mut dim = Table::new("dim", Schema::new(vec![ColumnDef::new("d_flag", DataType::I32)]));
         for f in [0, 1, 0, 1] {
             dim.append_row(&[Value::Int(f)]);
         }

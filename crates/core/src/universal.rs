@@ -94,22 +94,22 @@ impl<'a> Universal<'a> {
     /// The AIR hop arrays along the path `root -> table`, in traversal
     /// order. Empty for the root itself.
     pub fn hops_to(&self, table: &str) -> Result<Vec<&'a [Key]>, BindError> {
-        let path = self
-            .graph
-            .path(&self.root, table)
-            .ok_or_else(|| BindError::Unreachable { root: self.root.clone(), table: table.into() })?;
+        let path = self.graph.path(&self.root, table).ok_or_else(|| BindError::Unreachable {
+            root: self.root.clone(),
+            table: table.into(),
+        })?;
         let mut hops = Vec::with_capacity(path.steps.len());
         for step in &path.steps {
             let t = self
                 .db
                 .table(&step.from_table)
                 .ok_or_else(|| BindError::NoTable(step.from_table.clone()))?;
-            let col = t
-                .column(&step.key_column)
-                .ok_or_else(|| BindError::NoColumn(step.from_table.clone(), step.key_column.clone()))?;
-            let (_, keys) = col
-                .as_key()
-                .unwrap_or_else(|| panic!("{}.{} is not a key column", step.from_table, step.key_column));
+            let col = t.column(&step.key_column).ok_or_else(|| {
+                BindError::NoColumn(step.from_table.clone(), step.key_column.clone())
+            })?;
+            let (_, keys) = col.as_key().unwrap_or_else(|| {
+                panic!("{}.{} is not a key column", step.from_table, step.key_column)
+            });
             hops.push(keys);
         }
         Ok(hops)
@@ -117,10 +117,8 @@ impl<'a> Universal<'a> {
 
     /// Resolves a column reference into its AIR chain + target column.
     pub fn resolve(&self, col: &ColRef) -> Result<ResolvedCol<'a>, BindError> {
-        let table = self
-            .db
-            .table(&col.table)
-            .ok_or_else(|| BindError::NoTable(col.table.clone()))?;
+        let table =
+            self.db.table(&col.table).ok_or_else(|| BindError::NoTable(col.table.clone()))?;
         let column = table
             .column(&col.column)
             .ok_or_else(|| BindError::NoColumn(col.table.clone(), col.column.clone()))?;
@@ -194,10 +192,7 @@ mod tests {
     /// fact -> mid -> dim, with concrete data so chasing can be verified.
     fn chain_db() -> Database {
         let mut db = Database::new();
-        let mut dim = Table::new(
-            "dim",
-            Schema::new(vec![ColumnDef::new("d_name", DataType::Str)]),
-        );
+        let mut dim = Table::new("dim", Schema::new(vec![ColumnDef::new("d_name", DataType::Str)]));
         dim.append_row(&[Value::Str("alpha".into())]);
         dim.append_row(&[Value::Str("beta".into())]);
 
@@ -268,15 +263,9 @@ mod tests {
     fn bind_errors() {
         let db = chain_db();
         let g = JoinGraph::build(&db);
-        assert!(matches!(
-            Universal::new(&db, &g, "ghost"),
-            Err(BindError::NoTable(_))
-        ));
+        assert!(matches!(Universal::new(&db, &g, "ghost"), Err(BindError::NoTable(_))));
         let u = Universal::new(&db, &g, "fact").unwrap();
-        assert!(matches!(
-            u.resolve(&ColRef::new("dim", "ghost")),
-            Err(BindError::NoColumn(..))
-        ));
+        assert!(matches!(u.resolve(&ColRef::new("dim", "ghost")), Err(BindError::NoColumn(..))));
         // "dim" cannot reach "fact".
         let udim = Universal::new(&db, &g, "dim").unwrap();
         assert!(matches!(
@@ -291,10 +280,7 @@ mod tests {
         let g = JoinGraph::build(&db);
         assert_eq!(bind_root(&g, Some("fact"), &[]).unwrap(), "fact");
         assert_eq!(bind_root(&g, None, &["dim", "mid"]).unwrap(), "fact");
-        assert!(matches!(
-            bind_root(&g, None, &["nonexistent"]),
-            Err(BindError::NoRoot(_))
-        ));
+        assert!(matches!(bind_root(&g, None, &["nonexistent"]), Err(BindError::NoRoot(_))));
     }
 
     #[test]

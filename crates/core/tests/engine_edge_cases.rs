@@ -87,20 +87,15 @@ fn fully_deleted_dimension() {
 fn deep_snowflake_chain_five_levels() {
     // t5 <- t4 <- t3 <- t2 <- t1 <- fact, grouping on t5's label.
     let mut db = Database::new();
-    let mut t5 = Table::new(
-        "t5",
-        Schema::new(vec![ColumnDef::new("label", DataType::Dict)]),
-    );
+    let mut t5 = Table::new("t5", Schema::new(vec![ColumnDef::new("label", DataType::Dict)]));
     t5.append_row(&[Value::Str("deep0".into())]);
     t5.append_row(&[Value::Str("deep1".into())]);
     db.add_table(t5);
     for level in (1..5).rev() {
         let name = format!("t{level}");
         let target = format!("t{}", level + 1);
-        let mut t = Table::new(
-            &name,
-            Schema::new(vec![ColumnDef::new("next", DataType::Key { target })]),
-        );
+        let mut t =
+            Table::new(&name, Schema::new(vec![ColumnDef::new("next", DataType::Key { target })]));
         for i in 0..4u32 {
             t.append_row(&[Value::Key(i % 2)]);
         }
@@ -166,10 +161,7 @@ fn order_by_ties_and_limit_zero() {
 fn multiple_fk_columns_to_the_same_dimension() {
     // fact references `dim` twice (order date and commit date pattern).
     let mut db = Database::new();
-    let mut dim = Table::new(
-        "dim",
-        Schema::new(vec![ColumnDef::new("d_v", DataType::I32)]),
-    );
+    let mut dim = Table::new("dim", Schema::new(vec![ColumnDef::new("d_v", DataType::I32)]));
     for i in 0..4 {
         dim.append_row(&[Value::Int(i)]);
     }
@@ -189,10 +181,7 @@ fn multiple_fk_columns_to_the_same_dimension() {
 
     // The reference path uses the first (schema-order) edge; the query is
     // still answerable and consistent across variants.
-    let q = Query::new()
-        .root("fact")
-        .filter("dim", Pred::eq("d_v", 2))
-        .agg(Aggregate::count("n"));
+    let q = Query::new().root("fact").filter("dim", Pred::eq("d_v", 2)).agg(Aggregate::count("n"));
     let reference = execute(&db, &q, &ExecOptions::default()).unwrap();
     assert_eq!(reference.result.rows, vec![vec![Value::Int(5)]]);
     for v in ScanVariant::ALL {
@@ -220,10 +209,7 @@ fn bitmap_and_strategy_on_snowflake_with_deletes() {
 #[test]
 fn sum_of_negative_measures() {
     let mut db = Database::new();
-    let mut fact = Table::new(
-        "fact",
-        Schema::new(vec![ColumnDef::new("v", DataType::I64)]),
-    );
+    let mut fact = Table::new("fact", Schema::new(vec![ColumnDef::new("v", DataType::I64)]));
     for v in [-5i64, 3, -7, 9] {
         fact.append_row(&[Value::Int(v)]);
     }

@@ -1,0 +1,131 @@
+//! Generate-once, persist, reload: snapshot-backed dataset caching.
+//!
+//! Synthetic data generation dominates cold-start time for every benchmark
+//! harness and server boot (SSB SF 1 is millions of rows). This module
+//! memoizes a generated [`Database`] as an `astore-persist` snapshot keyed
+//! by `(dataset, scale factor, seed)`, so the second and every later run
+//! loads columnar bytes from disk instead of regenerating — the same
+//! treatment the FusionLab-style pipelines give their generated SSB data.
+//!
+//! A corrupt, truncated or version-stale cache file is never trusted: it is
+//! detected by the snapshot checksum/version checks, regenerated, and
+//! overwritten.
+
+use std::path::{Path, PathBuf};
+
+use astore_storage::catalog::Database;
+
+/// The cache file for a `(dataset, sf, seed)` triple inside `dir`.
+///
+/// The scale factor is embedded with its `.` replaced by `_` so the name
+/// stays portable (`ssb-sf0_01-seed42.snapshot`).
+pub fn cache_path(dir: impl AsRef<Path>, dataset: &str, sf: f64, seed: u64) -> PathBuf {
+    let sf_tag = format!("{sf}").replace('.', "_");
+    dir.as_ref().join(format!("{dataset}-sf{sf_tag}-seed{seed}.snapshot"))
+}
+
+/// Loads the cached snapshot for `(dataset, sf, seed)` from `dir`, or
+/// generates the dataset with `generate`, persists it, and returns it.
+/// Returns the database and `true` if it was served from the cache.
+pub fn generate_cached(
+    dir: impl AsRef<Path>,
+    dataset: &str,
+    sf: f64,
+    seed: u64,
+    generate: impl FnOnce(f64, u64) -> Database,
+) -> std::io::Result<(Database, bool)> {
+    let path = cache_path(&dir, dataset, sf, seed);
+    if path.is_file() {
+        match astore_persist::load_snapshot(&path) {
+            Ok(db) => return Ok((db, true)),
+            Err(e) => {
+                // Stale or damaged cache: fall through to regeneration.
+                eprintln!("dataset cache {} unusable ({e}); regenerating", path.display());
+            }
+        }
+    }
+    std::fs::create_dir_all(dir.as_ref())?;
+    let db = generate(sf, seed);
+    astore_persist::save_snapshot(&db, &path)
+        .map_err(|e| std::io::Error::other(format!("could not persist dataset cache: {e}")))?;
+    Ok((db, false))
+}
+
+/// [`generate_cached`] specialised to the named built-in generators
+/// (`"ssb"` or `"tpch"`).
+pub fn generate_named_cached(
+    dir: impl AsRef<Path>,
+    dataset: &str,
+    sf: f64,
+    seed: u64,
+) -> std::io::Result<(Database, bool)> {
+    match dataset {
+        "ssb" => generate_cached(dir, dataset, sf, seed, crate::ssb::generate),
+        "tpch" => generate_cached(dir, dataset, sf, seed, crate::tpch::generate),
+        other => Err(std::io::Error::other(format!("unknown dataset {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astore_storage::types::RowId;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("astore-cached-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn assert_same(a: &Database, b: &Database) {
+        assert_eq!(a.table_names(), b.table_names());
+        for name in a.table_names() {
+            let (ta, tb) = (a.table(name).unwrap(), b.table(name).unwrap());
+            assert_eq!(ta.num_slots(), tb.num_slots(), "{name}");
+            for row in 0..ta.num_slots() as RowId {
+                assert_eq!(ta.row(row), tb.row(row), "{name}[{row}]");
+            }
+        }
+    }
+
+    #[test]
+    fn second_call_hits_the_cache_with_identical_data() {
+        let dir = tmpdir("hit");
+        let (first, cached) = generate_named_cached(&dir, "ssb", 0.001, 42).unwrap();
+        assert!(!cached, "first call generates");
+        let (second, cached) = generate_named_cached(&dir, "ssb", 0.001, 42).unwrap();
+        assert!(cached, "second call loads the snapshot");
+        assert_same(&first, &second);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn different_parameters_get_different_cache_entries() {
+        let dir = tmpdir("keys");
+        assert_ne!(cache_path(&dir, "ssb", 0.01, 42), cache_path(&dir, "ssb", 0.02, 42));
+        assert_ne!(cache_path(&dir, "ssb", 0.01, 42), cache_path(&dir, "ssb", 0.01, 7));
+        assert_ne!(cache_path(&dir, "ssb", 0.01, 42), cache_path(&dir, "tpch", 0.01, 42));
+    }
+
+    #[test]
+    fn corrupt_cache_is_regenerated() {
+        let dir = tmpdir("corrupt");
+        let (first, _) = generate_named_cached(&dir, "ssb", 0.001, 42).unwrap();
+        let path = cache_path(&dir, "ssb", 0.001, 42);
+        // Truncate the cache file mid-byte-stream.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let (again, cached) = generate_named_cached(&dir, "ssb", 0.001, 42).unwrap();
+        assert!(!cached, "corrupt cache must regenerate");
+        assert_same(&first, &again);
+        // And the rewritten cache now loads.
+        let (_, cached) = generate_named_cached(&dir, "ssb", 0.001, 42).unwrap();
+        assert!(cached);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_dataset_is_an_error() {
+        assert!(generate_named_cached(tmpdir("bad"), "nope", 0.001, 42).is_err());
+    }
+}

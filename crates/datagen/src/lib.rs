@@ -14,11 +14,14 @@
 //!
 //! All generators take `(scale_factor, seed)` and are reproducible; foreign
 //! keys are emitted directly as array index references, which is how an
-//! A-Store deployment would load them (§2).
+//! A-Store deployment would load them (§2). The [`cached`] module memoizes
+//! generated databases as on-disk snapshots (generate once, persist,
+//! reload).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cached;
 pub mod ssb;
 pub mod tpcds;
 pub mod tpch;
@@ -42,7 +45,5 @@ pub fn env_threads() -> usize {
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|v| *v > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-        })
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
 }

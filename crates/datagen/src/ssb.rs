@@ -61,24 +61,50 @@ pub fn city_name(nation: &str, digit: u32) -> String {
     format!("{base}{digit}")
 }
 
-const MKT_SEGMENTS: [&str; 5] =
-    ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const MKT_SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"];
 const SHIP_MODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
 const COLORS: [&str; 16] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
 ];
-const CONTAINERS: [&str; 8] = [
-    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PACK", "WRAP JAR",
-];
+const CONTAINERS: [&str; 8] =
+    ["SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PACK", "WRAP JAR"];
 const TYPES: [&str; 6] = [
-    "STANDARD ANODIZED", "SMALL PLATED", "MEDIUM POLISHED", "LARGE BRUSHED", "ECONOMY BURNISHED",
+    "STANDARD ANODIZED",
+    "SMALL PLATED",
+    "MEDIUM POLISHED",
+    "LARGE BRUSHED",
+    "ECONOMY BURNISHED",
     "PROMO ANODIZED",
 ];
 const MONTH_NAMES: [&str; 12] = [
-    "January", "February", "March", "April", "May", "June", "July", "August", "September",
-    "October", "November", "December",
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
 ];
 const MONTH_ABBR: [&str; 12] =
     ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"];
@@ -445,9 +471,7 @@ fn gen_lineorder(sizes: SsbSizes, rng: &mut SmallRng) -> Table {
             revenue.push(rev);
             supplycost.push(price_base * 6 / 10);
             tax.push(rng.gen_range(0..=8i32));
-            commitdate.push(
-                (odate + rng.gen_range(30..=90u32)).min(sizes.date as u32 - 1),
-            );
+            commitdate.push((odate + rng.gen_range(30..=90u32)).min(sizes.date as u32 - 1));
             shipmode.push(SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())].to_owned());
             i += 1;
         }
@@ -548,10 +572,7 @@ pub fn queries() -> Vec<SsbQuery> {
             id: "Q1.3",
             query: Query::new()
                 .root("lineorder")
-                .filter(
-                    "date",
-                    Pred::eq("d_weeknuminyear", 6).and(Pred::eq("d_year", 1994)),
-                )
+                .filter("date", Pred::eq("d_weeknuminyear", 6).and(Pred::eq("d_year", 1994)))
                 .filter("lineorder", Pred::between("lo_discount", 5, 7))
                 .filter("lineorder", Pred::between("lo_quantity", 26, 35))
                 .agg(Aggregate::sum(rev_disc(), "revenue")),
@@ -624,14 +645,8 @@ pub fn queries() -> Vec<SsbQuery> {
             id: "Q3.3",
             query: Query::new()
                 .root("lineorder")
-                .filter(
-                    "customer",
-                    Pred::in_list("c_city", vec!["UNITED KI1", "UNITED KI5"]),
-                )
-                .filter(
-                    "supplier",
-                    Pred::in_list("s_city", vec!["UNITED KI1", "UNITED KI5"]),
-                )
+                .filter("customer", Pred::in_list("c_city", vec!["UNITED KI1", "UNITED KI5"]))
+                .filter("supplier", Pred::in_list("s_city", vec!["UNITED KI1", "UNITED KI5"]))
                 .filter("date", Pred::between("d_year", 1992, 1997))
                 .group("customer", "c_city")
                 .group("supplier", "s_city")
@@ -644,14 +659,8 @@ pub fn queries() -> Vec<SsbQuery> {
             id: "Q3.4",
             query: Query::new()
                 .root("lineorder")
-                .filter(
-                    "customer",
-                    Pred::in_list("c_city", vec!["UNITED KI1", "UNITED KI5"]),
-                )
-                .filter(
-                    "supplier",
-                    Pred::in_list("s_city", vec!["UNITED KI1", "UNITED KI5"]),
-                )
+                .filter("customer", Pred::in_list("c_city", vec!["UNITED KI1", "UNITED KI5"]))
+                .filter("supplier", Pred::in_list("s_city", vec!["UNITED KI1", "UNITED KI5"]))
                 .filter("date", Pred::eq("d_yearmonth", "Dec1997"))
                 .group("customer", "c_city")
                 .group("supplier", "s_city")

@@ -32,8 +32,7 @@ impl JoinWorkload {
         let mut build_keys: Vec<u32> = (0..n_build as u32).collect();
         build_keys.shuffle(&mut rng);
         let build_payloads: Vec<i64> = build_keys.iter().map(|&k| i64::from(k)).collect();
-        let probe_keys: Vec<u32> =
-            (0..n_probe).map(|_| rng.gen_range(0..n_build as u32)).collect();
+        let probe_keys: Vec<u32> = (0..n_probe).map(|_| rng.gen_range(0..n_build as u32)).collect();
         JoinWorkload { build_keys, build_payloads, probe_keys }
     }
 

@@ -26,9 +26,10 @@ fn ssb_part_hierarchy_is_consistent() {
 #[test]
 fn ssb_geography_is_consistent() {
     let db = ssb::generate(0.01, 42);
-    for (table, city_col, nation_col, region_col) in
-        [("customer", "c_city", "c_nation", "c_region"), ("supplier", "s_city", "s_nation", "s_region")]
-    {
+    for (table, city_col, nation_col, region_col) in [
+        ("customer", "c_city", "c_nation", "c_region"),
+        ("supplier", "s_city", "s_nation", "s_region"),
+    ] {
         let t = db.table(table).unwrap();
         let city = t.column(city_col).unwrap().as_dict().unwrap();
         let nation = t.column(nation_col).unwrap().as_dict().unwrap();
@@ -69,10 +70,7 @@ fn ssb_uniform_columns_cover_their_ranges() {
     let disc = lo.column("lo_discount").unwrap().as_i32().unwrap();
     for d in 0..=10 {
         let freq = disc.iter().filter(|&&x| x == d).count() as f64 / n;
-        assert!(
-            (freq - 1.0 / 11.0).abs() < 0.02,
-            "discount {d} frequency {freq} far from uniform"
-        );
+        assert!((freq - 1.0 / 11.0).abs() < 0.02, "discount {d} frequency {freq} far from uniform");
     }
 
     let qty = lo.column("lo_quantity").unwrap().as_i32().unwrap();

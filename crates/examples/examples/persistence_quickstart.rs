@@ -1,0 +1,86 @@
+//! Persistence quickstart: snapshot a database to disk, log writes to a
+//! WAL, crash, and recover — the full durability lifecycle in one file.
+//!
+//! Run with: `cargo run -p astore-examples --example persistence_quickstart`
+
+use astore_core::prelude::*;
+use astore_persist::store;
+use astore_sql::sql_to_query;
+use astore_storage::prelude::*;
+
+fn revenue_by_year(db: &Database) -> String {
+    let q = sql_to_query(
+        "SELECT d_year, sum(lo_revenue) AS rev FROM lineorder, date \
+         WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year",
+        db,
+    )
+    .expect("query plans");
+    let out = execute(db, &q, &ExecOptions::default()).expect("query runs");
+    out.result.to_table_string()
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join("astore-persistence-quickstart");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ── 1. Generate once, bootstrap the data directory ────────────────────
+    println!("generating SSB SF 0.005 …");
+    let db = astore_datagen::ssb::generate(0.005, 42);
+    let mut wal = store::bootstrap(&dir, &db).expect("bootstrap");
+    println!(
+        "bootstrapped {} (snapshot {:.1} KiB)",
+        dir.display(),
+        std::fs::metadata(store::snapshot_path(&dir)).unwrap().len() as f64 / 1024.0
+    );
+    println!("\nbefore the crash:\n{}", revenue_by_year(&db));
+
+    // ── 2. Apply + log some committed writes ──────────────────────────────
+    let shared = SharedDatabase::new(db);
+    let template = shared.snapshot().table("lineorder").unwrap().row(0);
+    let burst: Vec<String> = (0..50)
+        .map(|i| {
+            let vals: Vec<String> = template
+                .iter()
+                .enumerate()
+                .map(|(c, v)| match v {
+                    Value::Key(k) => format!("{k}"),
+                    Value::Int(x) => format!("{}", x + (c as i64 * i) % 7),
+                    Value::Float(f) => format!("{f}"),
+                    Value::Str(s) => format!("'{s}'"),
+                    Value::Null => "NULL".into(),
+                })
+                .collect();
+            format!("INSERT INTO lineorder VALUES ({})", vals.join(", "))
+        })
+        .collect();
+    for sql in &burst {
+        let stmt = astore_sql::statement::parse_statement(sql).expect("parses");
+        shared.write(|db| {
+            astore_persist::apply_statement(db, &stmt).expect("applies");
+        });
+        wal.append(sql).expect("wal append");
+    }
+    println!("applied + logged {} INSERTs (WAL lsn {})", burst.len(), wal.last_lsn());
+
+    // ── 3. "Crash": drop everything without checkpointing ─────────────────
+    drop(wal);
+    let pre_crash = revenue_by_year(&shared.snapshot());
+    drop(shared);
+
+    // ── 4. Recover: snapshot + WAL replay ─────────────────────────────────
+    let rec = store::open(&dir).expect("recovery");
+    println!("\nrecovered: {} WAL records replayed on top of the snapshot", rec.replayed);
+    let post_crash = revenue_by_year(&rec.db);
+    assert_eq!(pre_crash, post_crash, "recovered answers must match pre-crash answers");
+    println!("\nafter recovery (identical to pre-crash):\n{post_crash}");
+
+    // ── 5. Checkpoint: fold the WAL into a fresh snapshot ─────────────────
+    let mut wal = rec.wal;
+    let bytes = store::checkpoint(&dir, &rec.db, &mut wal).expect("checkpoint");
+    println!("checkpoint written ({:.1} KiB); WAL reset to empty", bytes as f64 / 1024.0);
+    let again = store::open(&dir).expect("re-open");
+    assert_eq!(again.replayed, 0, "nothing left to replay after a checkpoint");
+    println!("re-opened with {} records to replay — cold start is now instant", again.replayed);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -79,10 +79,7 @@ fn main() {
                 }
                 // Insert: appends, or reuses a previously deleted slot.
                 _ => {
-                    writer.insert(
-                        "sales",
-                        &[Value::Key(i % 20), Value::Int(i64::from(i % 50))],
-                    );
+                    writer.insert("sales", &[Value::Key(i % 20), Value::Int(i64::from(i % 50))]);
                 }
             }
             if i % 500 == 0 {

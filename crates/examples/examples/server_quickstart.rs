@@ -39,8 +39,10 @@ fn main() {
     // Run it again: the normalized SQL text hits the shared plan cache.
     let resp = client.sql(q11).expect("request failed");
     assert_eq!(resp.get("cached_plan").and_then(Json::as_bool), Some(true));
-    println!("second run used a cached plan ({} µs)",
-        resp.get("elapsed_us").and_then(Json::as_i64).unwrap_or(0));
+    println!(
+        "second run used a cached plan ({} µs)",
+        resp.get("elapsed_us").and_then(Json::as_i64).unwrap_or(0)
+    );
 
     // A write: rowid-addressed update routed through SharedDatabase::write.
     let resp = client

@@ -30,7 +30,11 @@ fn main() {
 
     println!(
         "\n{:<6} {:>10} {:>12} {:>12} {:>12}  agree",
-        "query", "rows", "a-store", "a-store(x" .to_owned() + &threads.to_string() + ")", "hash-join"
+        "query",
+        "rows",
+        "a-store",
+        "a-store(x".to_owned() + &threads.to_string() + ")",
+        "hash-join"
     );
     for sq in ssb::queries() {
         let t = Instant::now();

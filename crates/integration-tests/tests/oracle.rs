@@ -3,9 +3,15 @@
 //! checked against the full engine on the SSB workload and on handcrafted
 //! edge cases. If the optimized engine and this 60-line interpreter ever
 //! disagree, the engine is wrong.
+//!
+//! On top of the fixed workload, a seeded random SPJGA query generator runs
+//! a three-way differential: the AIR engine, the `baseline` hash-join
+//! pipeline, and the AIR engine over a snapshot-reloaded copy of the
+//! database must all agree on every generated query.
 
 use std::collections::HashMap;
 
+use astore_baseline::engine::execute_hash_pipeline;
 use astore_core::expr::{CmpOp, Lit, MeasureExpr, Pred};
 use astore_core::graph::JoinGraph;
 use astore_core::prelude::*;
@@ -13,6 +19,8 @@ use astore_core::query::AggFunc;
 use astore_core::universal::Universal;
 use astore_datagen::ssb;
 use astore_storage::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 /// Naive evaluation of a predicate on one row of one table.
 fn eval_pred(pred: &Pred, t: &Table, row: usize) -> bool {
@@ -222,12 +230,165 @@ fn engine_matches_oracle_with_deletes() {
             sq.id
         );
         // Row-wise variant and parallel executor too.
-        let row = execute(&db, &sq.query, &ExecOptions::with_variant(ScanVariant::RowWise))
-            .unwrap();
+        let row =
+            execute(&db, &sq.query, &ExecOptions::with_variant(ScanVariant::RowWise)).unwrap();
         assert!(row.result.same_contents(&oracle, 1e-6), "{}: row-wise under deletes", sq.id);
         let par = execute(&db, &sq.query, &ExecOptions::default().threads(3)).unwrap();
         assert!(par.result.same_contents(&oracle, 1e-6), "{}: parallel under deletes", sq.id);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential testing: AIR vs hash-join vs reloaded-from-disk.
+// ---------------------------------------------------------------------------
+
+/// One random dimension predicate drawn from a pool of valid SSB shapes.
+fn random_dim_pred(rng: &mut SmallRng) -> (&'static str, Pred) {
+    const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+    const MFGRS: [&str; 5] = ["MFGR#1", "MFGR#2", "MFGR#3", "MFGR#4", "MFGR#5"];
+    const NATIONS: [&str; 6] = ["CHINA", "FRANCE", "BRAZIL", "EGYPT", "KENYA", "UNITED STATES"];
+    match rng.gen_range(0..8u32) {
+        0 => {
+            let y = rng.gen_range(1992..=1998i64);
+            ("date", Pred::eq("d_year", y))
+        }
+        1 => {
+            let lo = rng.gen_range(1992..=1997i64);
+            ("date", Pred::between("d_year", lo, lo + rng.gen_range(0..=2i64)))
+        }
+        2 => {
+            let w = rng.gen_range(1..=53i64);
+            ("date", Pred::cmp("d_weeknuminyear", CmpOp::Le, w))
+        }
+        3 => ("customer", Pred::eq("c_region", REGIONS[rng.gen_range(0..REGIONS.len())])),
+        4 => ("customer", Pred::eq("c_nation", NATIONS[rng.gen_range(0..NATIONS.len())])),
+        5 => ("supplier", Pred::eq("s_region", REGIONS[rng.gen_range(0..REGIONS.len())])),
+        6 => ("part", Pred::eq("p_mfgr", MFGRS[rng.gen_range(0..MFGRS.len())])),
+        _ => {
+            let lo = rng.gen_range(1..=40i64);
+            ("part", Pred::between("p_size", lo, lo + rng.gen_range(0..=10i64)))
+        }
+    }
+}
+
+/// One random fact-local predicate.
+fn random_fact_pred(rng: &mut SmallRng) -> Pred {
+    match rng.gen_range(0..4u32) {
+        0 => {
+            let lo = rng.gen_range(1..=8i64);
+            Pred::between("lo_discount", lo, lo + 2)
+        }
+        1 => Pred::cmp("lo_quantity", CmpOp::Lt, rng.gen_range(5..=50i64)),
+        2 => Pred::cmp("lo_extendedprice", CmpOp::Ge, rng.gen_range(100..=2000i64) * 100),
+        _ => {
+            let lo = rng.gen_range(1..=8i64);
+            Pred::between("lo_discount", lo, lo + 1).and(Pred::cmp(
+                "lo_quantity",
+                CmpOp::Ge,
+                rng.gen_range(1..=30i64),
+            ))
+        }
+    }
+}
+
+/// A random SPJGA query over the SSB schema: 0–2 dimension predicates, an
+/// optional fact predicate, 0–2 group columns, 1–3 aggregates.
+fn random_query(rng: &mut SmallRng) -> Query {
+    const GROUPS: [(&str, &str); 7] = [
+        ("date", "d_year"),
+        ("date", "d_month"),
+        ("customer", "c_region"),
+        ("customer", "c_nation"),
+        ("supplier", "s_region"),
+        ("part", "p_mfgr"),
+        ("lineorder", "lo_shipmode"),
+    ];
+    let mut q = Query::new().root("lineorder");
+    for _ in 0..rng.gen_range(0..=2u32) {
+        let (t, p) = random_dim_pred(rng);
+        q = q.filter(t, p);
+    }
+    if rng.gen_bool(0.6) {
+        q = q.filter("lineorder", random_fact_pred(rng));
+    }
+    let n_groups = rng.gen_range(0..=2u32);
+    let mut used = Vec::new();
+    for _ in 0..n_groups {
+        let (t, c) = GROUPS[rng.gen_range(0..GROUPS.len())];
+        if !used.contains(&c) {
+            used.push(c);
+            q = q.group(t, c);
+        }
+    }
+    let rev_disc = || {
+        MeasureExpr::Mul(
+            Box::new(MeasureExpr::col("lo_extendedprice")),
+            Box::new(MeasureExpr::col("lo_discount")),
+        )
+    };
+    let profit = || {
+        MeasureExpr::Sub(
+            Box::new(MeasureExpr::col("lo_revenue")),
+            Box::new(MeasureExpr::col("lo_supplycost")),
+        )
+    };
+    for i in 0..rng.gen_range(1..=3u32) {
+        let name = format!("agg{i}");
+        q = q.agg(match rng.gen_range(0..6u32) {
+            0 => Aggregate::sum(MeasureExpr::col("lo_revenue"), name),
+            1 => Aggregate::sum(rev_disc(), name),
+            2 => Aggregate::sum(profit(), name),
+            3 => Aggregate::count(name),
+            4 => Aggregate::min(MeasureExpr::col("lo_revenue"), name),
+            _ => Aggregate::max(MeasureExpr::col("lo_extendedprice"), name),
+        });
+    }
+    q
+}
+
+#[test]
+fn randomized_three_way_differential_air_hash_and_reloaded() {
+    const QUERIES: usize = 200;
+    let db = ssb::generate(0.002, 4242);
+
+    // Third engine: the same database after a disk round trip.
+    let dir = std::env::temp_dir().join(format!("astore-oracle-diff-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("diff.snapshot");
+    astore_persist::save_snapshot(&db, &path).unwrap();
+    let reloaded = astore_persist::load_snapshot(&path).unwrap();
+
+    let mut rng = SmallRng::seed_from_u64(0xD1FF);
+    let mut nonempty = 0usize;
+    for i in 0..QUERIES {
+        let q = random_query(&mut rng);
+        let air = execute(&db, &q, &ExecOptions::default())
+            .unwrap_or_else(|e| panic!("query {i} failed on AIR engine: {e:?}\n{q:?}"));
+        let hash = execute_hash_pipeline(&db, &q)
+            .unwrap_or_else(|e| panic!("query {i} failed on hash engine: {e:?}\n{q:?}"));
+        let disk = execute(&reloaded, &q, &ExecOptions::default())
+            .unwrap_or_else(|e| panic!("query {i} failed on reloaded engine: {e:?}\n{q:?}"));
+        assert!(
+            air.result.same_contents(&hash.result, 1e-6),
+            "query {i}: AIR vs hash-join disagree ({} vs {} rows)\n{q:?}",
+            air.result.len(),
+            hash.result.len()
+        );
+        // The reloaded engine runs identical code on identical bytes: exact.
+        assert!(
+            air.result.same_contents(&disk.result, 0.0),
+            "query {i}: AIR vs reloaded-from-disk disagree\n{q:?}",
+        );
+        if !air.result.rows.is_empty() {
+            nonempty += 1;
+        }
+    }
+    assert!(
+        nonempty > QUERIES / 2,
+        "generator degenerated: only {nonempty}/{QUERIES} queries returned rows"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

@@ -14,8 +14,8 @@ use astore_storage::prelude::*;
 /// A generated star schema instance plus a query over it.
 #[derive(Debug, Clone)]
 struct Case {
-    dim_a_rows: Vec<(i32, String)>, // (a_flag, a_cat ∈ {c0..c3})
-    dim_b_rows: Vec<i32>,           // b_val
+    dim_a_rows: Vec<(i32, String)>,  // (a_flag, a_cat ∈ {c0..c3})
+    dim_b_rows: Vec<i32>,            // b_val
     fact: Vec<(u32, u32, i64, i32)>, // (fk_a, fk_b possibly NULL, measure, tag)
     pred_flag_max: i32,
     pred_bval_min: i32,
@@ -31,38 +31,25 @@ fn case_strategy() -> impl Strategy<Value = Case> {
     (dim_a, dim_b).prop_flat_map(|(da, db)| {
         let na = da.len() as u32;
         let nb = db.len() as u32;
-        let fact = prop::collection::vec(
-            (0..na, prop::option::of(0..nb), -100..100i64, 0..3i32),
-            0..200,
-        )
-        .prop_map(move |rows| {
-            rows.into_iter()
-                .map(|(a, b, m, t)| (a, b.unwrap_or(NULL_KEY), m, t))
-                .collect::<Vec<_>>()
-        });
+        let fact =
+            prop::collection::vec((0..na, prop::option::of(0..nb), -100..100i64, 0..3i32), 0..200)
+                .prop_map(move |rows| {
+                    rows.into_iter()
+                        .map(|(a, b, m, t)| (a, b.unwrap_or(NULL_KEY), m, t))
+                        .collect::<Vec<_>>()
+                });
         let deletes = prop::collection::vec((0..3u8, 0..64u32), 0..10);
-        (
-            Just(da),
-            Just(db),
-            fact,
-            0..5i32,
-            -11..11i32,
-            any::<bool>(),
-            any::<bool>(),
-            deletes,
-        )
-            .prop_map(
-                |(da, db, fact, pf, pb, gc, gt, deletes)| Case {
-                    dim_a_rows: da,
-                    dim_b_rows: db,
-                    fact,
-                    pred_flag_max: pf,
-                    pred_bval_min: pb,
-                    group_on_cat: gc,
-                    group_on_tag: gt,
-                    deletes,
-                },
-            )
+        (Just(da), Just(db), fact, 0..5i32, -11..11i32, any::<bool>(), any::<bool>(), deletes)
+            .prop_map(|(da, db, fact, pf, pb, gc, gt, deletes)| Case {
+                dim_a_rows: da,
+                dim_b_rows: db,
+                fact,
+                pred_flag_max: pf,
+                pred_bval_min: pb,
+                group_on_cat: gc,
+                group_on_tag: gt,
+                deletes,
+            })
     })
 }
 
@@ -77,10 +64,7 @@ fn build(case: &Case) -> (Database, Query) {
     for (f, c) in &case.dim_a_rows {
         dim_a.append_row(&[Value::Int(i64::from(*f)), Value::Str(c.clone())]);
     }
-    let mut dim_b = Table::new(
-        "dim_b",
-        Schema::new(vec![ColumnDef::new("b_val", DataType::I32)]),
-    );
+    let mut dim_b = Table::new("dim_b", Schema::new(vec![ColumnDef::new("b_val", DataType::I32)]));
     for v in &case.dim_b_rows {
         dim_b.append_row(&[Value::Int(i64::from(*v))]);
     }

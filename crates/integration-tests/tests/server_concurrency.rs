@@ -9,8 +9,9 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use astore_persist::store;
 use astore_server::json::Json;
-use astore_server::{start, Client, Engine, ServerConfig};
+use astore_server::{start, Client, Durability, Engine, ServerConfig};
 use astore_storage::prelude::*;
 
 /// Level 1: writers maintain the invariant `b == 2 * a` in every row,
@@ -177,4 +178,109 @@ fn server_q11_consistent_mid_update_burst() {
     assert_eq!(stats.get("errors").and_then(Json::as_i64), Some(0), "{stats:?}");
     assert!(stats.get("cache_hits").and_then(Json::as_i64).unwrap() > 0, "plan cache exercised");
     h.shutdown();
+}
+
+/// Level 3: a durable server killed mid-flight and rebooted from its
+/// `--data-dir` must serve a Q1.1 answer reflecting *every acknowledged
+/// write* — without regenerating the dataset. The kill is SIGKILL-equivalent
+/// for the on-disk state: no checkpoint, no graceful flush beyond the
+/// per-statement fsync that already happened before each acknowledgment.
+#[test]
+fn server_restart_from_data_dir_preserves_every_acknowledged_write() {
+    const BURSTS: usize = 20;
+    const ROWS_PER_BURST: usize = 3;
+    const ROW_DELTA: i64 = 2000; // lo_extendedprice(1000) * lo_discount(2)
+    const Q11: &str = "SELECT sum(lo_extendedprice * lo_discount) AS revenue \
+                       FROM lineorder, date \
+                       WHERE lo_orderdate = d_datekey AND d_year = 1993 \
+                         AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25";
+
+    let dir = std::env::temp_dir().join(format!("astore-it-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let db = astore_datagen::ssb::generate(0.002, 42);
+    let seed_fact_rows = db.table("lineorder").unwrap().num_live();
+    let date = db.table("date").unwrap();
+    let year_col = date.schema().defs().iter().position(|d| d.name == "d_year").unwrap();
+    let d1993 = (0..date.num_slots() as RowId)
+        .find(|&r| date.row(r)[year_col] == Value::Int(1993))
+        .expect("SSB date table covers 1993");
+
+    let revenue = |c: &mut Client| -> i64 {
+        let r = c.sql(Q11).expect("q1.1 failed");
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r:?}");
+        r.get("rows").unwrap().as_array().unwrap()[0].as_array().unwrap()[0]
+            .as_i64()
+            .expect("integral revenue")
+    };
+    let burst_row = format!(
+        "(999999, 1, 0, 0, 0, {d1993}, '1-URGENT', 0, 10, 1000, 1000, 2, 980, 500, 0, {d1993}, 'AIR')"
+    );
+    let burst_sql =
+        format!("INSERT INTO lineorder VALUES {}", vec![burst_row; ROWS_PER_BURST].join(", "));
+
+    // ---- First life: durable boot, acknowledged update burst, kill. ----
+    let wal = store::bootstrap(&dir, &db).unwrap();
+    let engine =
+        Arc::new(Engine::new(SharedDatabase::new(db)).durable(Durability::new(&dir, wal, 0)));
+    let h = start(
+        engine,
+        ServerConfig { addr: "127.0.0.1:0".into(), queue_depth: 64, ..Default::default() },
+    )
+    .unwrap();
+    let (base, acked) = {
+        let mut c = Client::connect(h.addr()).unwrap();
+        let base = revenue(&mut c);
+        let mut acked = 0i64;
+        for _ in 0..BURSTS {
+            let r = c.sql(&burst_sql).expect("burst failed");
+            assert_eq!(
+                r.get("rows_affected").and_then(Json::as_i64),
+                Some(ROWS_PER_BURST as i64),
+                "{r:?}"
+            );
+            // Only count writes the server acknowledged (all of them here;
+            // the durability contract is about exactly these).
+            acked += 1;
+        }
+        (base, acked)
+    };
+    // SIGKILL-equivalent: tear the process-level state down with no
+    // checkpoint; the only surviving truth is the data directory.
+    h.shutdown();
+
+    // ---- Second life: recover from disk, serve, verify. ----
+    let rec = store::open(&dir).unwrap();
+    assert_eq!(rec.replayed as i64, acked, "every acknowledged burst is in the WAL");
+    let engine = Arc::new(
+        Engine::new(SharedDatabase::new(rec.db)).durable(Durability::new(&dir, rec.wal, 0)),
+    );
+    let h = start(
+        engine,
+        ServerConfig { addr: "127.0.0.1:0".into(), queue_depth: 64, ..Default::default() },
+    )
+    .unwrap();
+    let mut c = Client::connect(h.addr()).unwrap();
+    assert_eq!(
+        revenue(&mut c),
+        base + acked * ROWS_PER_BURST as i64 * ROW_DELTA,
+        "restarted server must reflect every acknowledged write"
+    );
+    // Writes keep working after recovery, and LSNs keep rising.
+    let r = c.sql(&burst_sql).expect("post-restart write");
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r:?}");
+    let r = c.request(&Json::obj([("cmd", Json::Str("checkpoint".into()))])).unwrap();
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r:?}");
+    assert!(r.get("lsn").and_then(Json::as_i64).unwrap() > acked, "{r:?}");
+    h.shutdown();
+
+    // ---- Third life: checkpointed boot replays nothing. ----
+    let rec = store::open(&dir).unwrap();
+    assert_eq!(rec.replayed, 0, "checkpoint folded the WAL into the snapshot");
+    assert_eq!(
+        rec.db.table("lineorder").unwrap().num_live(),
+        seed_fact_rows + (acked as usize + 1) * ROWS_PER_BURST,
+        "all bursts present in the snapshot"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -101,9 +101,8 @@ fn in_place_update_changes_query_results() {
     let db = ssb::generate(0.001, 42);
     let shared = SharedDatabase::new(db);
 
-    let q = Query::new()
-        .root("lineorder")
-        .agg(Aggregate::sum(MeasureExpr::col("lo_revenue"), "total"));
+    let q =
+        Query::new().root("lineorder").agg(Aggregate::sum(MeasureExpr::col("lo_revenue"), "total"));
     let total = |db: &Database| -> f64 {
         match execute(db, &q, &ExecOptions::default()).unwrap().result.rows[0][0] {
             Value::Float(f) => f,
@@ -159,10 +158,7 @@ fn consolidation_of_dimension_rewrites_fact_references() {
     assert!(db.validate_references().is_empty());
 
     // Queries touching supplier silently drop the NULL-referenced rows.
-    let q = Query::new()
-        .root("lineorder")
-        .group("supplier", "s_region")
-        .agg(Aggregate::count("n"));
+    let q = Query::new().root("lineorder").group("supplier", "s_region").agg(Aggregate::count("n"));
     let out = execute(&db, &q, &ExecOptions::default()).unwrap();
     let total: i64 = out
         .result

@@ -1,0 +1,492 @@
+//! The on-disk columnar snapshot format.
+//!
+//! A snapshot is a faithful, versioned serialization of a whole
+//! [`Database`]: for every table its schema, its typed column arrays (AIR
+//! key columns included), string heaps and dictionaries, the live bitmap
+//! (inverse delete vector) and the free-slot list. Loading a snapshot
+//! reproduces not just the live tuples but the exact slot layout, so array
+//! index references — the primary keys of the A-Store model — survive a
+//! round trip bit-for-bit, and the next insert reuses the same slot it
+//! would have reused in the original process.
+//!
+//! ## Layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! magic    8B  "ASTORESN"
+//! version  u32
+//! wal_lsn  u64   last WAL record folded into this snapshot (0 = none)
+//! ntables  u32
+//! table*:
+//!   name       str            (u32 length + UTF-8 bytes)
+//!   arity      u32
+//!   coldef*:   name str, dtype u8 tag, [target str  if Key]
+//!   nslots     u64
+//!   live       u64-words      (⌈nslots/64⌉ words)
+//!   free       u32 count + u32*  (slot-reuse stack, order preserved)
+//!   column*:   payload by dtype tag:
+//!     I32 raw i32*     I64 raw i64*     F64 raw f64-bits*
+//!     Str  str per slot
+//!     Dict u32 dict size + str per value, u32 code per slot
+//!     Key  u32 per slot
+//! crc32    u32   over every preceding byte
+//! ```
+//!
+//! The trailing CRC makes torn or bit-flipped snapshot files a detected
+//! error instead of silently wrong data. Writes go through a temp file +
+//! atomic rename, so a crash mid-save never clobbers the previous snapshot.
+
+use std::path::Path;
+
+use astore_storage::bitmap::Bitmap;
+use astore_storage::catalog::Database;
+use astore_storage::column::Column;
+use astore_storage::dictionary::{DictColumn, Dictionary};
+use astore_storage::strings::StrColumn;
+use astore_storage::table::{ColumnDef, Schema, Table};
+use astore_storage::types::{DataType, RowId};
+
+use crate::crc::crc32;
+use crate::wire::{put_str, put_u32, put_u64, Cursor};
+use crate::PersistError;
+
+/// File magic of the snapshot format.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"ASTORESN";
+
+/// Current snapshot format version. Bump this when the byte layout changes —
+/// the golden-snapshot test pins the layout for a given version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const TAG_I32: u8 = 0;
+const TAG_I64: u8 = 1;
+const TAG_F64: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_DICT: u8 = 4;
+const TAG_KEY: u8 = 5;
+
+/// Serializes `db` into the version-1 byte layout with `wal_lsn` recorded in
+/// the header. Deterministic: equal databases produce equal bytes.
+pub fn encode_snapshot(db: &Database, wal_lsn: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + db.approx_bytes() * 2);
+    buf.extend_from_slice(SNAPSHOT_MAGIC);
+    put_u32(&mut buf, SNAPSHOT_VERSION);
+    put_u64(&mut buf, wal_lsn);
+    put_u32(&mut buf, db.len() as u32);
+    for name in db.table_names() {
+        let t = db.table(name).expect("listed table exists");
+        encode_table(&mut buf, t);
+    }
+    let crc = crc32(&buf);
+    put_u32(&mut buf, crc);
+    buf
+}
+
+fn encode_table(buf: &mut Vec<u8>, t: &Table) {
+    put_str(buf, t.name());
+    put_u32(buf, t.schema().arity() as u32);
+    for def in t.schema().defs() {
+        put_str(buf, &def.name);
+        match &def.dtype {
+            DataType::I32 => buf.push(TAG_I32),
+            DataType::I64 => buf.push(TAG_I64),
+            DataType::F64 => buf.push(TAG_F64),
+            DataType::Str => buf.push(TAG_STR),
+            DataType::Dict => buf.push(TAG_DICT),
+            DataType::Key { target } => {
+                buf.push(TAG_KEY);
+                put_str(buf, target);
+            }
+        }
+    }
+    put_u64(buf, t.num_slots() as u64);
+    for w in t.live_bitmap().words() {
+        put_u64(buf, *w);
+    }
+    put_u32(buf, t.free_slots().len() as u32);
+    for &slot in t.free_slots() {
+        put_u32(buf, slot);
+    }
+    for i in 0..t.schema().arity() {
+        encode_column(buf, t.column_at(i));
+    }
+}
+
+fn encode_column(buf: &mut Vec<u8>, col: &Column) {
+    match col {
+        Column::I32(v) => {
+            for x in v {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        Column::I64(v) => {
+            for x in v {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        Column::F64(v) => {
+            for x in v {
+                buf.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+        }
+        Column::Str(c) => {
+            for s in c.iter() {
+                put_str(buf, s);
+            }
+        }
+        Column::Dict(c) => {
+            put_u32(buf, c.dict().len() as u32);
+            for v in c.dict().values() {
+                put_str(buf, v);
+            }
+            for &code in c.codes() {
+                put_u32(buf, code);
+            }
+        }
+        Column::Key { keys, .. } => {
+            for &k in keys {
+                put_u32(buf, k);
+            }
+        }
+    }
+}
+
+/// Parses snapshot bytes, verifying magic, version and checksum. Returns the
+/// database and the `wal_lsn` recorded in the header.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<(Database, u64), PersistError> {
+    if bytes.len() < SNAPSHOT_MAGIC.len() + 4 {
+        return Err(PersistError::Corrupt("snapshot shorter than its header".into()));
+    }
+    if &bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(PersistError::Corrupt("bad snapshot magic".into()));
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 4);
+    let stored_crc = u32::from_le_bytes(trailer.try_into().unwrap());
+    let actual_crc = crc32(payload);
+    if stored_crc != actual_crc {
+        return Err(PersistError::Corrupt(format!(
+            "snapshot checksum mismatch (stored {stored_crc:#010x}, computed {actual_crc:#010x})"
+        )));
+    }
+    let mut c = Cursor::new(payload);
+    c.bytes(8, "magic")?;
+    let version = c.u32("version")?;
+    if version != SNAPSHOT_VERSION {
+        return Err(PersistError::Version { found: version, expected: SNAPSHOT_VERSION });
+    }
+    let wal_lsn = c.u64("wal_lsn")?;
+    let ntables = c.u32("table count")?;
+    let mut db = Database::new();
+    for _ in 0..ntables {
+        db.add_table(decode_table(&mut c)?);
+    }
+    if c.remaining() != 0 {
+        return Err(PersistError::Corrupt(format!(
+            "{} trailing bytes after the last table",
+            c.remaining()
+        )));
+    }
+    Ok((db, wal_lsn))
+}
+
+fn decode_table(c: &mut Cursor<'_>) -> Result<Table, PersistError> {
+    let name = c.str("table name")?;
+    let arity = c.u32("arity")? as usize;
+    let mut defs = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let col_name = c.str("column name")?;
+        let tag = c.bytes(1, "dtype tag")?[0];
+        let dtype = match tag {
+            TAG_I32 => DataType::I32,
+            TAG_I64 => DataType::I64,
+            TAG_F64 => DataType::F64,
+            TAG_STR => DataType::Str,
+            TAG_DICT => DataType::Dict,
+            TAG_KEY => DataType::Key { target: c.str("key target")? },
+            other => {
+                return Err(PersistError::Corrupt(format!("unknown dtype tag {other}")));
+            }
+        };
+        defs.push(ColumnDef::new(col_name, dtype));
+    }
+    if defs.iter().enumerate().any(|(i, d)| defs[..i].iter().any(|p| p.name == d.name)) {
+        return Err(PersistError::Corrupt(format!("duplicate column name in table {name:?}")));
+    }
+    let nslots = usize::try_from(c.u64("slot count")?)
+        .map_err(|_| PersistError::Corrupt("slot count overflows usize".into()))?;
+    // Guard against absurd counts decoded from corrupt bytes before any
+    // allocation sized by them.
+    if nslots > c.remaining() * 64 {
+        return Err(PersistError::Corrupt(format!("slot count {nslots} exceeds file size")));
+    }
+    let nwords = nslots.div_ceil(64);
+    let mut words = Vec::with_capacity(nwords);
+    for _ in 0..nwords {
+        words.push(c.u64("live bitmap")?);
+    }
+    let live = Bitmap::from_words(words, nslots);
+    let nfree = c.u32("free count")? as usize;
+    if nfree > nslots {
+        return Err(PersistError::Corrupt(format!("{nfree} free slots in {nslots}-slot table")));
+    }
+    let mut free = Vec::with_capacity(nfree);
+    for _ in 0..nfree {
+        let slot = c.u32("free slot")?;
+        if slot as usize >= nslots || live.get(slot as usize) {
+            return Err(PersistError::Corrupt(format!(
+                "free slot {slot} out of range or live in table {name:?}"
+            )));
+        }
+        free.push(slot as RowId);
+    }
+    let mut columns = Vec::with_capacity(arity);
+    for def in &defs {
+        columns.push(decode_column(c, &def.dtype, nslots)?);
+    }
+    Ok(Table::from_parts(name, Schema::new(defs), columns, live, free))
+}
+
+fn decode_column(c: &mut Cursor<'_>, dtype: &DataType, n: usize) -> Result<Column, PersistError> {
+    Ok(match dtype {
+        DataType::I32 => {
+            let raw = c.bytes(n * 4, "i32 column")?;
+            Column::I32(
+                raw.chunks_exact(4).map(|b| i32::from_le_bytes(b.try_into().unwrap())).collect(),
+            )
+        }
+        DataType::I64 => {
+            let raw = c.bytes(n * 8, "i64 column")?;
+            Column::I64(
+                raw.chunks_exact(8).map(|b| i64::from_le_bytes(b.try_into().unwrap())).collect(),
+            )
+        }
+        DataType::F64 => {
+            let raw = c.bytes(n * 8, "f64 column")?;
+            Column::F64(
+                raw.chunks_exact(8)
+                    .map(|b| f64::from_bits(u64::from_le_bytes(b.try_into().unwrap())))
+                    .collect(),
+            )
+        }
+        DataType::Str => {
+            let mut col = StrColumn::new();
+            for _ in 0..n {
+                col.push(&c.str("string value")?);
+            }
+            Column::Str(col)
+        }
+        DataType::Dict => {
+            let dict_len = c.u32("dictionary size")? as usize;
+            if dict_len > c.remaining() {
+                return Err(PersistError::Corrupt(format!(
+                    "dictionary size {dict_len} exceeds file size"
+                )));
+            }
+            let mut values = Vec::with_capacity(dict_len);
+            for _ in 0..dict_len {
+                values.push(c.str("dictionary value")?);
+            }
+            if values.iter().enumerate().any(|(i, v)| values[..i].contains(v)) {
+                return Err(PersistError::Corrupt("duplicate dictionary value".into()));
+            }
+            let mut codes = Vec::with_capacity(n);
+            for _ in 0..n {
+                let code = c.u32("dictionary code")?;
+                if code as usize >= dict_len {
+                    return Err(PersistError::Corrupt(format!(
+                        "dictionary code {code} out of range {dict_len}"
+                    )));
+                }
+                codes.push(code);
+            }
+            Column::Dict(DictColumn::from_parts(codes, Dictionary::from_values(values)))
+        }
+        DataType::Key { target } => {
+            let raw = c.bytes(n * 4, "key column")?;
+            Column::Key {
+                target: target.clone(),
+                keys: raw
+                    .chunks_exact(4)
+                    .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+                    .collect(),
+            }
+        }
+    })
+}
+
+/// Saves `db` to `path` atomically (temp file in the same directory, fsync,
+/// rename, then fsync of the parent directory so the rename itself is
+/// durable — without it, a power loss could persist a later WAL reset while
+/// the directory entry still points at the old snapshot, silently dropping
+/// checkpointed writes). Records `wal_lsn` as the last WAL record folded
+/// in. Returns the number of bytes written.
+pub fn save_snapshot_with_lsn(
+    db: &Database,
+    path: impl AsRef<Path>,
+    wal_lsn: u64,
+) -> Result<usize, PersistError> {
+    let path = path.as_ref();
+    let bytes = encode_snapshot(db, wal_lsn);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        std::io::Write::write_all(&mut f, &bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        // Windows cannot open directories as files; directory-entry
+        // durability is a POSIX concern, so a failure here is non-fatal
+        // there. On Unix, surface it: the rename is not durable without it.
+        match std::fs::File::open(dir) {
+            Ok(d) => d.sync_all()?,
+            Err(_) if !cfg!(unix) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(bytes.len())
+}
+
+/// Saves a standalone snapshot (no WAL association).
+pub fn save_snapshot(db: &Database, path: impl AsRef<Path>) -> Result<usize, PersistError> {
+    save_snapshot_with_lsn(db, path, 0)
+}
+
+/// Loads a snapshot file, returning the database and the header's WAL LSN.
+pub fn load_snapshot_with_lsn(path: impl AsRef<Path>) -> Result<(Database, u64), PersistError> {
+    let bytes = std::fs::read(path)?;
+    decode_snapshot(&bytes)
+}
+
+/// Loads a snapshot file.
+pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Database, PersistError> {
+    load_snapshot_with_lsn(path).map(|(db, _)| db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astore_storage::types::{Value, NULL_KEY};
+
+    /// A database exercising every column kind, deletes, free slots and a
+    /// dynamic (non-sorted) dictionary.
+    fn kitchen_sink() -> Database {
+        let mut dim = Table::new(
+            "dim",
+            Schema::new(vec![
+                ColumnDef::new("d_tag", DataType::Dict),
+                ColumnDef::new("d_note", DataType::Str),
+            ]),
+        );
+        for (tag, note) in [("zulu", "first"), ("alpha", "secönd"), ("zulu", ""), ("mike", "x")] {
+            dim.append_row(&[Value::Str(tag.into()), Value::Str(note.into())]);
+        }
+        dim.delete(2);
+        let mut fact = Table::new(
+            "fact",
+            Schema::new(vec![
+                ColumnDef::new("f_dim", DataType::Key { target: "dim".into() }),
+                ColumnDef::new("f_i32", DataType::I32),
+                ColumnDef::new("f_i64", DataType::I64),
+                ColumnDef::new("f_f64", DataType::F64),
+            ]),
+        );
+        fact.append_row(&[Value::Key(0), Value::Int(-5), Value::Int(1 << 40), Value::Float(2.5)]);
+        fact.append_row(&[Value::Key(NULL_KEY), Value::Int(7), Value::Int(-1), Value::Float(-0.0)]);
+        fact.append_row(&[Value::Key(3), Value::Int(0), Value::Int(0), Value::Float(f64::MIN)]);
+        fact.delete(1);
+        let mut db = Database::new();
+        db.add_table(dim);
+        db.add_table(fact);
+        db
+    }
+
+    fn assert_same(a: &Database, b: &Database) {
+        assert_eq!(a.table_names(), b.table_names());
+        for name in a.table_names() {
+            let (ta, tb) = (a.table(name).unwrap(), b.table(name).unwrap());
+            assert_eq!(ta.num_slots(), tb.num_slots(), "{name}");
+            assert_eq!(ta.live_bitmap(), tb.live_bitmap(), "{name}");
+            assert_eq!(ta.free_slots(), tb.free_slots(), "{name}");
+            assert_eq!(ta.schema().defs(), tb.schema().defs(), "{name}");
+            for row in 0..ta.num_slots() as RowId {
+                if ta.is_live(row) {
+                    assert_eq!(ta.row(row), tb.row(row), "{name}[{row}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let db = kitchen_sink();
+        let bytes = encode_snapshot(&db, 42);
+        let (back, lsn) = decode_snapshot(&bytes).unwrap();
+        assert_eq!(lsn, 42);
+        assert_same(&db, &back);
+        // Dynamic dictionary code order survives (codes, not just values).
+        let orig = db.table("dim").unwrap().column("d_tag").unwrap().as_dict().unwrap();
+        let load = back.table("dim").unwrap().column("d_tag").unwrap().as_dict().unwrap();
+        assert_eq!(orig.codes(), load.codes());
+        assert_eq!(orig.dict().values(), load.dict().values());
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        assert_eq!(encode_snapshot(&kitchen_sink(), 7), encode_snapshot(&kitchen_sink(), 7));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("astore-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.snapshot");
+        let db = kitchen_sink();
+        let n = save_snapshot_with_lsn(&db, &path, 9).unwrap();
+        assert_eq!(n, std::fs::metadata(&path).unwrap().len() as usize);
+        let (back, lsn) = load_snapshot_with_lsn(&path).unwrap();
+        assert_eq!(lsn, 9);
+        assert_same(&db, &back);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = encode_snapshot(&kitchen_sink(), 0);
+        for cut in 0..bytes.len() {
+            assert!(decode_snapshot(&bytes[..cut]).is_err(), "cut at {cut} must be detected");
+        }
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_detected() {
+        let bytes = encode_snapshot(&kitchen_sink(), 0);
+        // Flip one bit in every byte (covers header, payload and trailer).
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(decode_snapshot(&bad).is_err(), "flip at byte {i} must be detected");
+        }
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = encode_snapshot(&kitchen_sink(), 0);
+        bytes[8..12].copy_from_slice(&(SNAPSHOT_VERSION + 1).to_le_bytes());
+        let len = bytes.len();
+        let crc = crc32(&bytes[..len - 4]);
+        bytes[len - 4..].copy_from_slice(&crc.to_le_bytes());
+        match decode_snapshot(&bytes) {
+            Err(PersistError::Version { found, expected }) => {
+                assert_eq!(found, SNAPSHOT_VERSION + 1);
+                assert_eq!(expected, SNAPSHOT_VERSION);
+            }
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_database_roundtrips() {
+        let db = Database::new();
+        let (back, _) = decode_snapshot(&encode_snapshot(&db, 0)).unwrap();
+        assert!(back.is_empty());
+    }
+}

@@ -1,0 +1,359 @@
+//! The write-ahead log.
+//!
+//! Append-only file of CRC-framed records, one per committed write
+//! statement. Each record carries a monotonically increasing log sequence
+//! number (LSN); the snapshot header records the last LSN folded into it,
+//! so replay after a checkpoint race skips records the snapshot already
+//! contains instead of double-applying them.
+//!
+//! ## Layout (version 1, little-endian)
+//!
+//! ```text
+//! header   "ASTOREWL" + u32 version                 (12 bytes)
+//! record*:
+//!   len    u32    body length in bytes (= 8 + payload)
+//!   crc    u32    CRC-32 of the body
+//!   body   u64 LSN + payload (the statement's SQL text, UTF-8)
+//! ```
+//!
+//! A record *commits* by being fully written and fsynced. Reading stops at
+//! the first frame that is truncated, oversized, checksum-mismatched or not
+//! UTF-8 — everything before it is the committed prefix, everything from it
+//! on is a torn tail that [`Wal::open`] truncates away. Recovery therefore
+//! always yields a prefix of the acknowledged writes, no matter where in a
+//! byte stream the crash landed.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32;
+use crate::wire::{put_u32, put_u64};
+use crate::PersistError;
+
+/// File magic of the WAL format.
+pub const WAL_MAGIC: &[u8; 8] = b"ASTOREWL";
+
+/// Current WAL format version.
+pub const WAL_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 12;
+
+/// Upper bound on one record body; larger length prefixes are treated as
+/// corruption (they would otherwise drive a huge allocation).
+pub const MAX_RECORD_BYTES: usize = 1 << 24;
+
+/// One committed WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// The record's log sequence number.
+    pub lsn: u64,
+    /// The logged statement text.
+    pub sql: String,
+}
+
+/// The committed prefix of a WAL byte stream.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Committed records, in commit order.
+    pub records: Vec<WalRecord>,
+    /// Byte offset one past the last committed record — the length a
+    /// torn-tail truncation should cut the file to.
+    pub committed_len: usize,
+    /// `true` if bytes after `committed_len` were ignored (torn tail or
+    /// corrupt record).
+    pub torn: bool,
+}
+
+/// Decodes a WAL byte stream into its committed prefix. Never panics on any
+/// input; a missing/bad header yields an empty scan at offset
+/// `committed_len == 0` with `torn` set (so opening truncates to a fresh
+/// header).
+pub fn scan_wal(bytes: &[u8]) -> WalScan {
+    if bytes.len() < HEADER_LEN
+        || &bytes[..8] != WAL_MAGIC
+        || u32::from_le_bytes(bytes[8..12].try_into().unwrap()) != WAL_VERSION
+    {
+        return WalScan { records: Vec::new(), committed_len: 0, torn: !bytes.is_empty() };
+    }
+    let mut records = Vec::new();
+    let mut pos = HEADER_LEN;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.is_empty() {
+            return WalScan { records, committed_len: pos, torn: false };
+        }
+        if rest.len() < 8 {
+            return WalScan { records, committed_len: pos, torn: true };
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+        if !(8..=MAX_RECORD_BYTES).contains(&len) || rest.len() < 8 + len {
+            return WalScan { records, committed_len: pos, torn: true };
+        }
+        let body = &rest[8..8 + len];
+        if crc32(body) != crc {
+            return WalScan { records, committed_len: pos, torn: true };
+        }
+        let lsn = u64::from_le_bytes(body[..8].try_into().unwrap());
+        let Ok(sql) = std::str::from_utf8(&body[8..]) else {
+            return WalScan { records, committed_len: pos, torn: true };
+        };
+        records.push(WalRecord { lsn, sql: sql.to_owned() });
+        pos += 8 + len;
+    }
+}
+
+/// An open write-ahead log: appends commit records, fsyncing each one.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    next_lsn: u64,
+    /// Records appended since the log was last reset (checkpoint pressure).
+    appended_since_reset: u64,
+    /// `false` disables the per-record fsync (tests and bulk loads only —
+    /// the durability guarantee needs it on).
+    pub sync_on_commit: bool,
+}
+
+impl Wal {
+    /// Opens (or creates) the log at `path`, scans the committed prefix,
+    /// truncates any torn tail, and positions for appending. `min_next_lsn`
+    /// is the floor for the next LSN (pass `snapshot_lsn + 1` so fresh
+    /// records never collide with ones already folded into the snapshot).
+    ///
+    /// Returns the log and the scan of the committed records found.
+    pub fn open(path: impl AsRef<Path>, min_next_lsn: u64) -> Result<(Wal, WalScan), PersistError> {
+        let path = path.as_ref().to_path_buf();
+        // Never truncate here: the existing committed prefix is the data.
+        #[allow(clippy::suspicious_open_options)]
+        let mut file = OpenOptions::new().read(true).write(true).create(true).open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let scan = scan_wal(&bytes);
+        if scan.committed_len == 0 {
+            // Empty or headerless file: (re)write a fresh header.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            let mut header = Vec::with_capacity(HEADER_LEN);
+            header.extend_from_slice(WAL_MAGIC);
+            put_u32(&mut header, WAL_VERSION);
+            file.write_all(&header)?;
+            file.sync_all()?;
+        } else if scan.torn {
+            file.set_len(scan.committed_len as u64)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        let max_lsn = scan.records.iter().map(|r| r.lsn).max().unwrap_or(0);
+        let wal = Wal {
+            file,
+            path,
+            next_lsn: min_next_lsn.max(max_lsn + 1),
+            appended_since_reset: scan.records.len() as u64,
+            sync_on_commit: true,
+        };
+        Ok((wal, scan))
+    }
+
+    /// The path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The LSN the next appended record will get.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// The LSN of the last appended record (0 if none since the snapshot).
+    pub fn last_lsn(&self) -> u64 {
+        self.next_lsn - 1
+    }
+
+    /// Records appended since the last [`Wal::reset`] (or open) — the
+    /// checkpoint-pressure gauge.
+    pub fn appended_since_reset(&self) -> u64 {
+        self.appended_since_reset
+    }
+
+    /// Appends one committed statement and (by default) fsyncs. Returns the
+    /// record's LSN. The record is durable when this returns `Ok`.
+    pub fn append(&mut self, sql: &str) -> Result<u64, PersistError> {
+        let lsn = self.next_lsn;
+        let mut body = Vec::with_capacity(8 + sql.len());
+        put_u64(&mut body, lsn);
+        body.extend_from_slice(sql.as_bytes());
+        if body.len() > MAX_RECORD_BYTES {
+            return Err(PersistError::Corrupt(format!(
+                "statement of {} bytes exceeds the {} byte record limit",
+                sql.len(),
+                MAX_RECORD_BYTES
+            )));
+        }
+        let mut frame = Vec::with_capacity(8 + body.len());
+        put_u32(&mut frame, body.len() as u32);
+        put_u32(&mut frame, crc32(&body));
+        frame.extend_from_slice(&body);
+        self.file.write_all(&frame)?;
+        if self.sync_on_commit {
+            self.file.sync_data()?;
+        }
+        self.next_lsn += 1;
+        self.appended_since_reset += 1;
+        Ok(lsn)
+    }
+
+    /// Truncates the log back to an empty header after a checkpoint whose
+    /// snapshot folded in everything up to `checkpoint_lsn`. LSNs keep
+    /// counting up from where they were — they never restart, which is what
+    /// makes stale WAL bytes after a crashed checkpoint harmless.
+    pub fn reset(&mut self, checkpoint_lsn: u64) -> Result<(), PersistError> {
+        self.file.set_len(HEADER_LEN as u64)?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.file.sync_all()?;
+        self.next_lsn = self.next_lsn.max(checkpoint_lsn + 1);
+        self.appended_since_reset = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A per-test scratch directory, removed on drop so the suite leaves
+    /// nothing behind in `$TMPDIR` (CI asserts this).
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(name: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("astore-wal-{}-{name}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            Scratch(dir)
+        }
+
+        fn file(&self) -> PathBuf {
+            self.0.join("test.wal")
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn append_scan_roundtrip() {
+        let scratch = Scratch::new("roundtrip");
+        let path = scratch.file();
+        let (mut wal, scan) = Wal::open(&path, 1).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(wal.append("INSERT INTO t VALUES (1)").unwrap(), 1);
+        assert_eq!(wal.append("DELETE FROM t WHERE rowid = 0").unwrap(), 2);
+        drop(wal);
+        let (wal, scan) = Wal::open(&path, 1).unwrap();
+        let records = scan.records;
+        assert!(!scan.torn);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], WalRecord { lsn: 1, sql: "INSERT INTO t VALUES (1)".into() });
+        assert_eq!(records[1].lsn, 2);
+        assert_eq!(wal.next_lsn(), 3, "next LSN continues after the committed tail");
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let scratch = Scratch::new("torn");
+        let path = scratch.file();
+        let (mut wal, _) = Wal::open(&path, 1).unwrap();
+        wal.append("INSERT INTO t VALUES (1)").unwrap();
+        wal.append("INSERT INTO t VALUES (2)").unwrap();
+        drop(wal);
+        let full = std::fs::read(&path).unwrap();
+        // Cut the file anywhere inside the second record.
+        let scan = scan_wal(&full);
+        assert_eq!(scan.records.len(), 2);
+        let first_end = {
+            let one_cut = scan_wal(&full[..full.len() - 1]);
+            assert!(one_cut.torn);
+            one_cut.committed_len
+        };
+        std::fs::write(&path, &full[..first_end + 3]).unwrap();
+        let (wal, scan) = Wal::open(&path, 1).unwrap();
+        assert!(scan.torn);
+        assert_eq!(scan.records.len(), 1, "torn second record dropped");
+        assert_eq!(std::fs::metadata(wal.path()).unwrap().len() as usize, first_end);
+    }
+
+    #[test]
+    fn corrupt_crc_stops_the_scan() {
+        let scratch = Scratch::new("crc");
+        let path = scratch.file();
+        let (mut wal, _) = Wal::open(&path, 1).unwrap();
+        wal.append("INSERT INTO t VALUES (1)").unwrap();
+        wal.append("INSERT INTO t VALUES (2)").unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1; // inside record 2's payload
+        bytes[last] ^= 0xFF;
+        let scan = scan_wal(&bytes);
+        assert!(scan.torn);
+        assert_eq!(scan.records.len(), 1);
+    }
+
+    #[test]
+    fn scan_never_panics_on_arbitrary_prefixes_and_flips() {
+        let scratch = Scratch::new("fuzz");
+        let path = scratch.file();
+        let (mut wal, _) = Wal::open(&path, 1).unwrap();
+        for i in 0..5 {
+            wal.append(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+        }
+        drop(wal);
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in 0..bytes.len() {
+            let scan = scan_wal(&bytes[..cut]);
+            assert!(scan.committed_len <= cut);
+        }
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            let _ = scan_wal(&bad); // must not panic
+        }
+    }
+
+    #[test]
+    fn reset_clears_records_but_not_lsns() {
+        let scratch = Scratch::new("reset");
+        let path = scratch.file();
+        let (mut wal, _) = Wal::open(&path, 1).unwrap();
+        wal.append("INSERT INTO t VALUES (1)").unwrap();
+        let ck = wal.last_lsn();
+        wal.reset(ck).unwrap();
+        assert_eq!(wal.appended_since_reset(), 0);
+        let lsn = wal.append("INSERT INTO t VALUES (2)").unwrap();
+        assert!(lsn > ck, "LSNs never restart");
+        drop(wal);
+        let (_, scan) = Wal::open(&path, 1).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].lsn, lsn);
+    }
+
+    #[test]
+    fn garbage_file_reinitializes() {
+        let scratch = Scratch::new("garbage");
+        let path = scratch.file();
+        std::fs::write(&path, b"not a wal at all").unwrap();
+        let (mut wal, scan) = Wal::open(&path, 5).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(wal.next_lsn(), 5);
+        wal.append("INSERT INTO t VALUES (1)").unwrap();
+        drop(wal);
+        let (_, scan) = Wal::open(&path, 1).unwrap();
+        assert_eq!(scan.records.len(), 1);
+    }
+}

@@ -82,9 +82,13 @@ fn main() {
             "--addr" => a.addr = Some(value("--addr")),
             "--self-host" => a.addr = None,
             "--sf" => a.sf = parse_or_die(&value("--sf"), "--sf"),
-            "--connections" => a.connections = parse_or_die(&value("--connections"), "--connections"),
+            "--connections" => {
+                a.connections = parse_or_die(&value("--connections"), "--connections")
+            }
             "--queries" => a.queries = parse_or_die(&value("--queries"), "--queries"),
-            "--write-every" => a.write_every = parse_or_die(&value("--write-every"), "--write-every"),
+            "--write-every" => {
+                a.write_every = parse_or_die(&value("--write-every"), "--write-every")
+            }
             "--workers" => a.workers = parse_or_die(&value("--workers"), "--workers"),
             "--help" | "-h" => {
                 println!("{USAGE}");

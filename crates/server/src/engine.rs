@@ -7,17 +7,26 @@
 //! become visible atomically (a multi-row `INSERT` is one write call, so a
 //! concurrent reader sees all of its rows or none). SELECT plans are reused
 //! across sessions via the [`PlanCache`], keyed by normalized SQL text.
+//!
+//! With a [`Durability`] attached, every applied write statement is also
+//! appended to the write-ahead log — inside the same write latch, *before*
+//! the response is sent — so an acknowledged write survives a crash, and
+//! recovery replays exactly the acknowledged prefix. The WAL is folded back
+//! into the snapshot by `{"cmd":"checkpoint"}` or automatically once it
+//! accumulates `checkpoint_every` records.
 
-use std::sync::Arc;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use astore_core::exec::{execute, ExecOptions};
+use astore_persist::apply::{apply_statement, validate_statement};
+use astore_persist::store;
+use astore_persist::wal::Wal;
 use astore_sql::statement::{normalize, parse_statement, Statement};
 use astore_sql::{sql_to_query, PlanError};
-use astore_storage::catalog::Database;
 use astore_storage::snapshot::SharedDatabase;
-use astore_storage::table::Table;
-use astore_storage::types::{DataType, RowId, Value};
+use astore_storage::types::Value;
 
 use crate::cache::PlanCache;
 use crate::json::Json;
@@ -70,6 +79,29 @@ pub fn error_frame(code: ErrorCode, message: impl Into<String>) -> Json {
     ])
 }
 
+/// The durability attachment of an [`Engine`]: the data directory and its
+/// open write-ahead log.
+#[derive(Debug)]
+pub struct Durability {
+    dir: PathBuf,
+    wal: Mutex<Wal>,
+    /// Auto-checkpoint once this many records accumulate (0 = only on
+    /// explicit `{"cmd":"checkpoint"}`).
+    checkpoint_every: u64,
+}
+
+impl Durability {
+    /// Wraps an open WAL rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>, wal: Wal, checkpoint_every: u64) -> Self {
+        Durability { dir: dir.into(), wal: Mutex::new(wal), checkpoint_every }
+    }
+
+    /// The data directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
 /// The shared serving engine: database handle, plan cache, counters.
 #[derive(Debug)]
 pub struct Engine {
@@ -77,6 +109,7 @@ pub struct Engine {
     cache: PlanCache,
     stats: ServerStats,
     opts: ExecOptions,
+    durability: Option<Durability>,
 }
 
 impl Engine {
@@ -89,7 +122,63 @@ impl Engine {
 
     /// Wraps a shared database with explicit per-query execution options.
     pub fn with_options(db: SharedDatabase, opts: ExecOptions) -> Self {
-        Engine { db, cache: PlanCache::default(), stats: ServerStats::new(), opts }
+        Engine {
+            db,
+            cache: PlanCache::default(),
+            stats: ServerStats::new(),
+            opts,
+            durability: None,
+        }
+    }
+
+    /// Attaches a durability layer: writes are WAL-logged before they are
+    /// acknowledged, and checkpoints fold the log into the snapshot.
+    pub fn durable(mut self, durability: Durability) -> Self {
+        self.durability = Some(durability);
+        self
+    }
+
+    /// The attached durability layer, if any.
+    pub fn durability(&self) -> Option<&Durability> {
+        self.durability.as_ref()
+    }
+
+    /// Folds the live database into a fresh snapshot and resets the WAL.
+    /// Returns `(checkpoint LSN, snapshot bytes)`. Holds the write latch for
+    /// the duration — readers continue on their snapshots, writers queue.
+    pub fn checkpoint(&self) -> Result<(u64, usize), String> {
+        let d = self.durability.as_ref().ok_or("server is running without --data-dir")?;
+        let result = self.db.write(|db| {
+            let mut wal = d.wal.lock().unwrap_or_else(|p| p.into_inner());
+            let lsn = wal.last_lsn();
+            store::checkpoint(&d.dir, db, &mut wal).map(|bytes| (lsn, bytes))
+        });
+        match result {
+            Ok(ok) => {
+                self.stats.checkpoints.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Ok(ok)
+            }
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    /// Auto-checkpoint when the WAL has accumulated enough records.
+    fn maybe_auto_checkpoint(&self) {
+        let Some(d) = &self.durability else { return };
+        if d.checkpoint_every == 0 {
+            return;
+        }
+        let due = {
+            let wal = d.wal.lock().unwrap_or_else(|p| p.into_inner());
+            wal.appended_since_reset() >= d.checkpoint_every
+        };
+        if due {
+            // Benign race: two writers may both see "due"; the second
+            // checkpoint is a cheap no-op fold of an empty log.
+            if let Err(e) = self.checkpoint() {
+                eprintln!("auto-checkpoint failed: {e}");
+            }
+        }
     }
 
     /// The underlying shared database handle.
@@ -146,6 +235,17 @@ impl Engine {
                     ("stats", self.stats.to_json(&self.cache)),
                 ]),
                 "ping" => Json::obj([("ok", Json::Bool(true)), ("pong", Json::Bool(true))]),
+                "checkpoint" => match self.checkpoint() {
+                    Ok((lsn, bytes)) => Json::obj([
+                        ("ok", Json::Bool(true)),
+                        ("lsn", Json::Int(lsn as i64)),
+                        ("snapshot_bytes", Json::Int(bytes as i64)),
+                    ]),
+                    Err(e) => {
+                        self.stats.errors.fetch_add(1, Relaxed);
+                        error_frame(ErrorCode::BadRequest, e)
+                    }
+                },
                 other => {
                     self.stats.errors.fetch_add(1, Relaxed);
                     error_frame(ErrorCode::BadRequest, format!("unknown cmd {other:?}"))
@@ -159,8 +259,8 @@ impl Engine {
 
     fn run_statement(&self, sql: &str) -> Result<Json, Json> {
         use std::sync::atomic::Ordering::Relaxed;
-        let stmt = parse_statement(sql)
-            .map_err(|e| error_frame(ErrorCode::ParseError, e.to_string()))?;
+        let stmt =
+            parse_statement(sql).map_err(|e| error_frame(ErrorCode::ParseError, e.to_string()))?;
         match stmt {
             Statement::Select(_) => {
                 let snap = self.db.snapshot();
@@ -173,9 +273,9 @@ impl Engine {
                 let (query, cached) = match self.cache.get(&key) {
                     Some(q) => (q, true),
                     None => {
-                        let q = Arc::new(sql_to_query(&key, &snap).map_err(
-                            |e: PlanError| error_frame(ErrorCode::PlanError, e.to_string()),
-                        )?);
+                        let q = Arc::new(sql_to_query(&key, &snap).map_err(|e: PlanError| {
+                            error_frame(ErrorCode::PlanError, e.to_string())
+                        })?);
                         self.cache.insert(key, Arc::clone(&q));
                         (q, false)
                     }
@@ -187,9 +287,7 @@ impl Engine {
                     ("ok", Json::Bool(true)),
                     (
                         "columns",
-                        Json::Array(
-                            out.result.columns.iter().cloned().map(Json::Str).collect(),
-                        ),
+                        Json::Array(out.result.columns.iter().cloned().map(Json::Str).collect()),
                     ),
                     (
                         "rows",
@@ -206,11 +304,33 @@ impl Engine {
                 ]))
             }
             write_stmt => {
-                let affected = self
-                    .db
-                    .write(|db| apply_write(db, &write_stmt))
-                    .map_err(|msg| error_frame(ErrorCode::WriteError, msg))?;
+                // Validate, WAL-log, then mutate — all under one write
+                // latch. The log append sits between validation and
+                // mutation: after `validate_statement` passes, the apply
+                // cannot fail, so a WAL I/O error aborts the statement with
+                // memory, log and client all agreeing it never happened,
+                // and a logged statement is always replayable. Durability
+                // order equals apply order, and the statement is on disk
+                // before the acknowledgment frame can be sent.
+                let affected = self.db.write(|db| -> Result<usize, Json> {
+                    validate_statement(db, &write_stmt)
+                        .map_err(|msg| error_frame(ErrorCode::WriteError, msg))?;
+                    if let Some(d) = &self.durability {
+                        let mut wal = d.wal.lock().unwrap_or_else(|p| p.into_inner());
+                        wal.append(sql).map_err(|e| {
+                            error_frame(
+                                ErrorCode::InternalError,
+                                format!("WAL append failed, write aborted: {e}"),
+                            )
+                        })?;
+                        self.stats.wal_records.fetch_add(1, Relaxed);
+                    }
+                    let n =
+                        apply_statement(db, &write_stmt).expect("validated statement must apply");
+                    Ok(n)
+                })?;
                 self.stats.writes.fetch_add(1, Relaxed);
+                self.maybe_auto_checkpoint();
                 Ok(Json::obj([
                     ("ok", Json::Bool(true)),
                     ("rows_affected", Json::Int(affected as i64)),
@@ -231,124 +351,13 @@ pub fn value_to_json(v: &Value) -> Json {
     }
 }
 
-/// Applies one write statement inside the write latch. Validates before
-/// mutating so a rejected statement leaves the database untouched and no
-/// storage-layer `panic!` can reach the worker.
-fn apply_write(db: &mut Database, stmt: &Statement) -> Result<usize, String> {
-    match stmt {
-        Statement::Insert { table, rows } => {
-            let t = db.table(table).ok_or_else(|| format!("no table {table:?}"))?;
-            for (i, row) in rows.iter().enumerate() {
-                check_row(db, t, row).map_err(|e| format!("row {i}: {e}"))?;
-            }
-            let t = db.table_mut(table).expect("checked above");
-            for row in rows {
-                t.insert(row);
-            }
-            Ok(rows.len())
-        }
-        Statement::Update { table, assignments, row } => {
-            let t = db.table(table).ok_or_else(|| format!("no table {table:?}"))?;
-            check_live(t, *row)?;
-            for (col, v) in assignments {
-                let def = t
-                    .schema()
-                    .defs()
-                    .iter()
-                    .find(|d| d.name == *col)
-                    .ok_or_else(|| format!("no column {col:?} in {table:?}"))?;
-                check_value(db, &def.dtype, v).map_err(|e| format!("column {col:?}: {e}"))?;
-            }
-            let t = db.table_mut(table).expect("checked above");
-            for (col, v) in assignments {
-                t.update(*row, col, v);
-            }
-            Ok(1)
-        }
-        Statement::Delete { table, row } => {
-            db.table(table).ok_or_else(|| format!("no table {table:?}"))?;
-            // A deleted slot goes on the free list and is recycled by the
-            // next INSERT; any AIR column still pointing at it would then
-            // silently rebind to an unrelated row. Refuse deletes from
-            // referenced (dimension) tables — the paper deletes facts and
-            // reclaims dimensions via consolidation.
-            if let Some(referrer) = air_referrer(db, table) {
-                return Err(format!(
-                    "cannot delete from {table:?}: its rows are referenced by AIR column(s) \
-                     of {referrer:?}; delete the referencing rows and consolidate instead"
-                ));
-            }
-            let t = db.table_mut(table).expect("checked above");
-            Ok(usize::from(t.delete(*row)))
-        }
-        Statement::Select(_) => unreachable!("reads never enter the write path"),
-    }
-}
-
-/// The name of some table holding an AIR column that targets `table`
-/// (`None` if nothing references it).
-fn air_referrer(db: &Database, table: &str) -> Option<String> {
-    db.table_names().iter().find_map(|name| {
-        let refers = db.table(name).is_some_and(|t| {
-            t.schema()
-                .defs()
-                .iter()
-                .any(|d| matches!(&d.dtype, DataType::Key { target } if target == table))
-        });
-        refers.then(|| name.clone())
-    })
-}
-
-fn check_live(t: &Table, row: RowId) -> Result<(), String> {
-    if (row as usize) < t.num_slots() && t.is_live(row) {
-        Ok(())
-    } else {
-        Err(format!("row {row} does not exist or is deleted"))
-    }
-}
-
-fn check_row(db: &Database, t: &Table, row: &[Value]) -> Result<(), String> {
-    if row.len() != t.schema().arity() {
-        return Err(format!("arity mismatch: got {}, table has {}", row.len(), t.schema().arity()));
-    }
-    for (def, v) in t.schema().defs().iter().zip(row) {
-        check_value(db, &def.dtype, v).map_err(|e| format!("column {:?}: {e}", def.name))?;
-    }
-    Ok(())
-}
-
-/// Type/bounds check for one literal against a column type. AIR (key)
-/// columns take integer literals and are bounds-checked against the target
-/// table so the store can never hold a dangling reference.
-fn check_value(db: &Database, dtype: &DataType, v: &Value) -> Result<(), String> {
-    match (dtype, v) {
-        (DataType::I32, Value::Int(x)) => i32::try_from(*x)
-            .map(|_| ())
-            .map_err(|_| format!("{x} overflows a 32-bit column")),
-        (DataType::I64 | DataType::F64, Value::Int(_)) => Ok(()),
-        (DataType::F64, Value::Float(_)) => Ok(()),
-        (DataType::Str | DataType::Dict, Value::Str(_)) => Ok(()),
-        (DataType::Key { target }, Value::Int(k)) => {
-            let t = db
-                .table(target)
-                .ok_or_else(|| format!("key target table {target:?} missing"))?;
-            if *k >= 0 && (*k as usize) < t.num_slots() && t.is_live(*k as RowId) {
-                Ok(())
-            } else {
-                Err(format!("key {k} does not reference a live {target:?} row"))
-            }
-        }
-        (DataType::Key { target }, Value::Key(k)) => {
-            check_value(db, &DataType::Key { target: target.clone() }, &Value::Int(i64::from(*k)))
-        }
-        (dt, v) => Err(format!("cannot store {v:?} in a {dt:?} column")),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use astore_storage::table::{ColumnDef, Schema};
+    use astore_storage::catalog::Database;
+    use astore_storage::snapshot::SharedDatabase;
+    use astore_storage::table::{ColumnDef, Schema, Table};
+    use astore_storage::types::DataType;
 
     fn engine() -> Engine {
         let mut dim = Table::new(
@@ -435,9 +444,9 @@ mod tests {
         let e = engine();
         for bad in [
             "INSERT INTO nope VALUES (1)",
-            "INSERT INTO fact VALUES (1)",             // arity
-            "INSERT INTO fact VALUES (1, 'str')",      // type
-            "INSERT INTO fact VALUES (9, 1)",          // dangling key
+            "INSERT INTO fact VALUES (1)",               // arity
+            "INSERT INTO fact VALUES (1, 'str')",        // type
+            "INSERT INTO fact VALUES (9, 1)",            // dangling key
             "INSERT INTO fact VALUES (0, 1), (0, NULL)", // later row invalid → whole stmt rejected
             "UPDATE fact SET nope = 1 WHERE rowid = 0",
             "UPDATE fact SET f_v = 1 WHERE rowid = 99",
@@ -488,6 +497,87 @@ mod tests {
         assert_eq!(s.get("queries").unwrap().as_i64(), Some(1));
         assert_eq!(s.get("writes").unwrap().as_i64(), Some(1));
         assert_eq!(s.get("latency_count").unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn durable_engine_logs_checkpoints_and_recovers() {
+        let dir = std::env::temp_dir().join(format!("astore-engine-dur-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Build the same schema the `engine()` helper uses, durably.
+        let seed = {
+            let e = engine();
+            e.database().snapshot().as_ref().clone()
+        };
+        let wal = astore_persist::store::bootstrap(&dir, &seed).unwrap();
+        let e = Engine::new(SharedDatabase::new(seed)).durable(Durability::new(&dir, wal, 0));
+
+        let r = sql(&e, "INSERT INTO fact VALUES (1, 100), (0, 5)");
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+        let r = sql(&e, "UPDATE fact SET f_v = 11 WHERE rowid = 0");
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+        // Rejected writes must not reach the log.
+        let r = sql(&e, "INSERT INTO fact VALUES (9, 1)");
+        assert_eq!(r.get("code").unwrap().as_str(), Some("write_error"));
+
+        // Crash-equivalent: drop the engine without checkpointing, recover.
+        let live_sum = {
+            let r = sql(&e, "SELECT sum(f_v) AS s FROM fact");
+            r.get("rows").unwrap().as_array().unwrap()[0].as_array().unwrap()[0].as_i64().unwrap()
+        };
+        drop(e);
+        let rec = astore_persist::store::open(&dir).unwrap();
+        assert_eq!(rec.replayed, 2, "two committed writes replay");
+        let e2 =
+            Engine::new(SharedDatabase::new(rec.db)).durable(Durability::new(&dir, rec.wal, 0));
+        let r = sql(&e2, "SELECT sum(f_v) AS s FROM fact");
+        let sum2 =
+            r.get("rows").unwrap().as_array().unwrap()[0].as_array().unwrap()[0].as_i64().unwrap();
+        assert_eq!(sum2, live_sum, "recovered state equals pre-crash state");
+
+        // Checkpoint folds the WAL; a fresh recovery replays nothing.
+        let r = e2.handle_line(r#"{"cmd":"checkpoint"}"#);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+        assert!(r.get("snapshot_bytes").unwrap().as_i64().unwrap() > 0);
+        drop(e2);
+        let rec = astore_persist::store::open(&dir).unwrap();
+        assert_eq!(rec.replayed, 0, "post-checkpoint WAL is empty");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_without_data_dir_is_a_typed_error() {
+        let e = engine();
+        let r = e.handle_line(r#"{"cmd":"checkpoint"}"#);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(r.get("code").unwrap().as_str(), Some("bad_request"));
+        assert!(r.get("error").unwrap().as_str().unwrap().contains("--data-dir"));
+    }
+
+    #[test]
+    fn auto_checkpoint_fires_on_record_threshold() {
+        let dir = std::env::temp_dir().join(format!("astore-engine-auto-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let seed = {
+            let e = engine();
+            e.database().snapshot().as_ref().clone()
+        };
+        let wal = astore_persist::store::bootstrap(&dir, &seed).unwrap();
+        let e = Engine::new(SharedDatabase::new(seed)).durable(Durability::new(&dir, wal, 3));
+        for _ in 0..3 {
+            let r = sql(&e, "INSERT INTO fact VALUES (0, 1)");
+            assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+        }
+        assert_eq!(
+            e.stats().checkpoints.load(std::sync::atomic::Ordering::Relaxed),
+            1,
+            "third write crosses the threshold"
+        );
+        drop(e);
+        let rec = astore_persist::store::open(&dir).unwrap();
+        assert_eq!(rec.replayed, 0, "everything folded into the snapshot");
+        assert_eq!(rec.db.table("fact").unwrap().num_live(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

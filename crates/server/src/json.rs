@@ -353,8 +353,7 @@ impl P<'_> {
 
     /// Reads 4 hex digits starting at byte offset `at`.
     fn hex4(&self, at: usize) -> Result<u32, JsonError> {
-        let hex =
-            self.b.get(at..at + 4).ok_or_else(|| self.fail("truncated \\u escape"))?;
+        let hex = self.b.get(at..at + 4).ok_or_else(|| self.fail("truncated \\u escape"))?;
         let hex = std::str::from_utf8(hex).map_err(|_| self.fail("bad \\u escape"))?;
         u32::from_str_radix(hex, 16).map_err(|_| self.fail("bad \\u escape"))
     }
@@ -377,9 +376,7 @@ impl P<'_> {
         }
         let text = std::str::from_utf8(&self.b[start..self.pos]).unwrap();
         if float {
-            text.parse::<f64>()
-                .map(Json::Float)
-                .map_err(|_| self.fail("bad number"))
+            text.parse::<f64>().map(Json::Float).map_err(|_| self.fail("bad number"))
         } else {
             text.parse::<i64>()
                 .map(Json::Int)

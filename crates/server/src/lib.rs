@@ -58,6 +58,6 @@ pub mod stats;
 
 pub use cache::PlanCache;
 pub use client::{Client, ClientError};
-pub use engine::{Engine, ErrorCode};
+pub use engine::{Durability, Engine, ErrorCode};
 pub use server::{start, ServerConfig, ServerHandle};
 pub use stats::ServerStats;

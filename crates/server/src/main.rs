@@ -2,7 +2,14 @@
 //!
 //! ```text
 //! astore-serve --addr 127.0.0.1:3939 --dataset ssb --sf 0.01 --workers 8
+//! astore-serve --data-dir ./data --dataset ssb --sf 0.01
 //! ```
+//!
+//! With `--data-dir`, the server is durable and restartable: the first boot
+//! generates the dataset, snapshots it into the directory and opens a WAL;
+//! every later boot recovers from snapshot + WAL instead of regenerating.
+//! Writes are logged before they are acknowledged; `{"cmd":"checkpoint"}`
+//! (or `--checkpoint-every N`) folds the log back into the snapshot.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -11,7 +18,7 @@ use std::process::exit;
 use std::sync::Arc;
 use std::time::Instant;
 
-use astore_server::{start, Engine, ServerConfig};
+use astore_server::{start, Durability, Engine, ServerConfig};
 use astore_storage::snapshot::SharedDatabase;
 
 fn main() {
@@ -19,6 +26,9 @@ fn main() {
     let mut dataset = "ssb".to_owned();
     let mut sf = 0.01f64;
     let mut queue_explicit = false;
+    let mut data_dir: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut checkpoint_every: u64 = 4096;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -40,6 +50,11 @@ fn main() {
             }
             "--dataset" => dataset = value("--dataset"),
             "--sf" => sf = parse_or_die(&value("--sf"), "--sf"),
+            "--data-dir" => data_dir = Some(value("--data-dir")),
+            "--cache-dir" => cache_dir = Some(value("--cache-dir")),
+            "--checkpoint-every" => {
+                checkpoint_every = parse_or_die(&value("--checkpoint-every"), "--checkpoint-every")
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -58,18 +73,51 @@ fn main() {
     }
 
     let t = Instant::now();
-    let db = match dataset.as_str() {
-        "ssb" => astore_datagen::ssb::generate(sf, 42),
-        "tpch" => astore_datagen::tpch::generate(sf, 42),
-        other => {
-            eprintln!("unknown dataset {other:?} (try ssb or tpch)");
-            exit(2);
+    let (db, durability) = match &data_dir {
+        Some(dir) if astore_persist::store::is_initialized(dir) => {
+            // Warm boot: recover from snapshot + WAL, no regeneration.
+            // --dataset/--sf are ignored here — the data dir is the truth.
+            let rec = astore_persist::store::open(dir).unwrap_or_else(|e| {
+                eprintln!("failed to recover from {dir}: {e}");
+                exit(1);
+            });
+            eprintln!(
+                "recovered from {dir} ({} WAL records replayed{})",
+                rec.replayed,
+                if rec.truncated_tail { ", torn tail truncated" } else { "" }
+            );
+            let rows: usize =
+                rec.db.table_names().iter().map(|n| rec.db.table(n).unwrap().num_live()).sum();
+            eprintln!("loaded {rows} rows from disk in {:.1?}", t.elapsed());
+            (rec.db, Some(Durability::new(dir.clone(), rec.wal, checkpoint_every)))
+        }
+        _ => {
+            let (db, cached) = generate(&dataset, sf, cache_dir.as_deref());
+            let durability = data_dir.map(|dir| {
+                // Cold boot: seed the data directory from the generated set.
+                let wal = astore_persist::store::bootstrap(&dir, &db).unwrap_or_else(|e| {
+                    eprintln!("failed to initialize {dir}: {e}");
+                    exit(1);
+                });
+                eprintln!("initialized data dir {dir}");
+                Durability::new(dir, wal, checkpoint_every)
+            });
+            let rows: usize =
+                db.table_names().iter().map(|n| db.table(n).unwrap().num_live()).sum();
+            eprintln!(
+                "loaded {dataset} sf={sf} ({rows} rows{}) in {:.1?}",
+                if cached { ", dataset cache hit" } else { "" },
+                t.elapsed()
+            );
+            (db, durability)
         }
     };
-    let rows: usize = db.table_names().iter().map(|n| db.table(n).unwrap().num_live()).sum();
-    eprintln!("loaded {dataset} sf={sf} ({rows} rows) in {:.1?}", t.elapsed());
 
-    let engine = Arc::new(Engine::new(SharedDatabase::new(db)));
+    let mut engine = Engine::new(SharedDatabase::new(db));
+    if let Some(d) = durability {
+        engine = engine.durable(d);
+    }
+    let engine = Arc::new(engine);
     let workers = config.workers;
     let queue = config.queue_depth;
     match start(engine, config) {
@@ -87,6 +135,32 @@ fn main() {
     }
 }
 
+/// Generates (or, with `--cache-dir`, loads a memoized snapshot of) the
+/// named dataset. Returns the database and whether the cache served it.
+fn generate(
+    dataset: &str,
+    sf: f64,
+    cache_dir: Option<&str>,
+) -> (astore_storage::catalog::Database, bool) {
+    const SEED: u64 = 42;
+    if let Some(dir) = cache_dir {
+        return astore_datagen::cached::generate_named_cached(dir, dataset, sf, SEED)
+            .unwrap_or_else(|e| {
+                eprintln!("dataset cache failed: {e}");
+                exit(2);
+            });
+    }
+    let db = match dataset {
+        "ssb" => astore_datagen::ssb::generate(sf, SEED),
+        "tpch" => astore_datagen::tpch::generate(sf, SEED),
+        other => {
+            eprintln!("unknown dataset {other:?} (try ssb or tpch)");
+            exit(2);
+        }
+    };
+    (db, false)
+}
+
 fn parse_or_die<T: std::str::FromStr>(s: &str, flag: &str) -> T {
     s.parse().unwrap_or_else(|_| {
         eprintln!("bad value {s:?} for {flag}");
@@ -98,9 +172,16 @@ const USAGE: &str = "\
 astore-serve — A-Store query server (newline-delimited JSON over TCP)
 
 flags:
-  --addr <host:port>   listen address           (default 127.0.0.1:3939)
-  --dataset <name>     ssb | tpch               (default ssb)
-  --sf <f>             dataset scale factor     (default 0.01)
-  --workers <n>        statement worker threads (default: cores)
-  --queue <n>          admission queue depth    (default: 4x workers)
-  --max-conn <n>       connection limit         (default 256)";
+  --addr <host:port>      listen address              (default 127.0.0.1:3939)
+  --dataset <name>        ssb | tpch                  (default ssb)
+  --sf <f>                dataset scale factor        (default 0.01)
+  --workers <n>           statement worker threads    (default: cores)
+  --queue <n>             admission queue depth       (default: 4x workers)
+  --max-conn <n>          connection limit            (default 256)
+  --data-dir <dir>        durable mode: snapshot + WAL live here; first boot
+                          seeds from --dataset/--sf, later boots recover
+                          (--dataset/--sf are then ignored)
+  --cache-dir <dir>       memoize generated datasets as snapshots keyed by
+                          (dataset, sf, seed): generate once, reload after
+  --checkpoint-every <n>  auto-checkpoint after n WAL records (default 4096,
+                          0 = only on {\"cmd\":\"checkpoint\"})";

@@ -46,7 +46,9 @@ impl WorkerPool {
         let tx = self.tx.as_ref().expect("pool already shut down");
         match tx.try_send(job) {
             Ok(()) => Ok(()),
-            Err(TrySendError::Full(job)) => Err(RejectedJob { job, reason: RejectReason::QueueFull }),
+            Err(TrySendError::Full(job)) => {
+                Err(RejectedJob { job, reason: RejectReason::QueueFull })
+            }
             Err(TrySendError::Disconnected(job)) => {
                 Err(RejectedJob { job, reason: RejectReason::ShuttingDown })
             }

@@ -14,6 +14,10 @@ pub struct ServerStats {
     pub queries: AtomicU64,
     /// Successfully applied write statements.
     pub writes: AtomicU64,
+    /// Write statements appended to the write-ahead log.
+    pub wal_records: AtomicU64,
+    /// Checkpoints taken (explicit or automatic).
+    pub checkpoints: AtomicU64,
     /// Requests that returned an error frame (parse/plan/execution).
     pub errors: AtomicU64,
     /// Requests shed by admission control (`server_busy`).
@@ -32,6 +36,8 @@ impl Default for ServerStats {
         ServerStats {
             queries: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            wal_records: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             conn_rejected: AtomicU64::new(0),
@@ -54,12 +60,11 @@ impl ServerStats {
             ("uptime_s", Json::Float(self.started.elapsed().as_secs_f64())),
             ("queries", Json::Int(self.queries.load(Ordering::Relaxed) as i64)),
             ("writes", Json::Int(self.writes.load(Ordering::Relaxed) as i64)),
+            ("wal_records", Json::Int(self.wal_records.load(Ordering::Relaxed) as i64)),
+            ("checkpoints", Json::Int(self.checkpoints.load(Ordering::Relaxed) as i64)),
             ("errors", Json::Int(self.errors.load(Ordering::Relaxed) as i64)),
             ("rejected", Json::Int(self.rejected.load(Ordering::Relaxed) as i64)),
-            (
-                "connections_rejected",
-                Json::Int(self.conn_rejected.load(Ordering::Relaxed) as i64),
-            ),
+            ("connections_rejected", Json::Int(self.conn_rejected.load(Ordering::Relaxed) as i64)),
             (
                 "active_connections",
                 Json::Int(self.active_connections.load(Ordering::Relaxed) as i64),
@@ -91,7 +96,8 @@ mod tests {
         assert_eq!(j.get("queries").unwrap().as_i64(), Some(3));
         assert_eq!(j.get("latency_count").unwrap().as_i64(), Some(1));
         assert!(j.get("uptime_s").unwrap().as_f64().unwrap() >= 0.0);
-        for key in ["writes", "errors", "rejected", "cache_hit_rate", "latency_p99_us"] {
+        for key in ["writes", "wal_records", "checkpoints", "errors", "rejected", "latency_p99_us"]
+        {
             assert!(j.get(key).is_some(), "missing {key}");
         }
     }

@@ -153,12 +153,7 @@ fn report(group: &str, id: &str, samples: &[Duration], throughput: Option<Throug
             format!(" ({:.1} MiB/s)", n as f64 / median.as_secs_f64() / (1 << 20) as f64)
         }
     });
-    println!(
-        "{group}/{id}: median {:?}, min {:?}{}",
-        median,
-        min,
-        rate.unwrap_or_default()
-    );
+    println!("{group}/{id}: median {:?}, min {:?}{}", median, min, rate.unwrap_or_default());
 }
 
 /// The benchmark harness entry point.

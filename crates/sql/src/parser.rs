@@ -156,8 +156,7 @@ impl Parser {
         while self.eat_token(&Token::Comma) {
             tables.push(self.ident()?);
         }
-        let where_clause =
-            if self.eat_kw("where") { Some(self.or_cond()?) } else { None };
+        let where_clause = if self.eat_kw("where") { Some(self.or_cond()?) } else { None };
         let mut group_by = Vec::new();
         if self.eat_kw("group") {
             self.expect_kw("by")?;
@@ -202,11 +201,7 @@ impl Parser {
                 && self.toks.get(self.pos + 1) == Some(&Token::LParen)
             {
                 self.pos += 2; // func + '('
-                let arg = if self.eat_token(&Token::Star) {
-                    None
-                } else {
-                    Some(self.arith()?)
-                };
+                let arg = if self.eat_token(&Token::Star) { None } else { Some(self.arith()?) };
                 self.expect_token(&Token::RParen)?;
                 let alias = self.alias()?;
                 return Ok(SelectItem::Agg { func: lower, arg, alias });

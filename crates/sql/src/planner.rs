@@ -96,9 +96,7 @@ pub fn plan(stmt: &SelectStmt, db: &Database) -> Result<Query, PlanError> {
             SelectItem::Col { col, alias } => {
                 let (_, column) = binder.resolve(col)?;
                 if !group_out_names.contains(&column) {
-                    return err(format!(
-                        "column {col} appears in SELECT but not in GROUP BY"
-                    ));
+                    return err(format!("column {col} appears in SELECT but not in GROUP BY"));
                 }
                 if alias.is_some() {
                     return err("aliases on grouping columns are not supported".to_string());
@@ -195,18 +193,13 @@ impl Binder<'_> {
             .tables
             .iter()
             .filter(|t| {
-                self.db
-                    .table(t)
-                    .is_some_and(|tb| tb.schema().position(&col.column).is_some())
+                self.db.table(t).is_some_and(|tb| tb.schema().position(&col.column).is_some())
             })
             .collect();
         match owners.as_slice() {
             [t] => Ok(((*t).clone(), col.column.clone())),
             [] => err(format!("column {:?} not found in any FROM table", col.column)),
-            many => err(format!(
-                "column {:?} is ambiguous across tables {many:?}",
-                col.column
-            )),
+            many => err(format!("column {:?} is ambiguous across tables {many:?}", col.column)),
         }
     }
 
@@ -281,12 +274,12 @@ impl Binder<'_> {
                 let c = bind_col(col)?;
                 Pred::InList { col: c, lits: list.iter().map(scalar_to_lit).collect() }
             }
-            Cond::And(cs) => Pred::And(
-                cs.iter().map(|c| self.cond_to_pred(c, table)).collect::<Result<_, _>>()?,
-            ),
-            Cond::Or(cs) => Pred::Or(
-                cs.iter().map(|c| self.cond_to_pred(c, table)).collect::<Result<_, _>>()?,
-            ),
+            Cond::And(cs) => {
+                Pred::And(cs.iter().map(|c| self.cond_to_pred(c, table)).collect::<Result<_, _>>()?)
+            }
+            Cond::Or(cs) => {
+                Pred::Or(cs.iter().map(|c| self.cond_to_pred(c, table)).collect::<Result<_, _>>()?)
+            }
             Cond::Not(c) => Pred::Not(Box::new(self.cond_to_pred(c, table)?)),
             Cond::JoinEq(a, b) => {
                 return err(format!("join condition {a} = {b} nested under OR/NOT is unsupported"))
@@ -350,10 +343,8 @@ mod tests {
         for (n, r) in [("CHINA", "ASIA"), ("JAPAN", "ASIA"), ("BRAZIL", "AMERICA")] {
             customer.append_row(&[Value::Str(n.into()), Value::Str(r.into())]);
         }
-        let mut date = Table::new(
-            "date",
-            Schema::new(vec![ColumnDef::new("d_year", DataType::I32)]),
-        );
+        let mut date =
+            Table::new("date", Schema::new(vec![ColumnDef::new("d_year", DataType::I32)]));
         for y in [1992, 1993] {
             date.append_row(&[Value::Int(y)]);
         }
@@ -367,12 +358,7 @@ mod tests {
             ]),
         );
         for (c, d, r, disc) in [(0u32, 0u32, 100i64, 1i64), (1, 1, 200, 2), (2, 0, 300, 3)] {
-            lineorder.append_row(&[
-                Value::Key(c),
-                Value::Key(d),
-                Value::Int(r),
-                Value::Int(disc),
-            ]);
+            lineorder.append_row(&[Value::Key(c), Value::Key(d), Value::Int(r), Value::Int(disc)]);
         }
         db.add_table(customer);
         db.add_table(date);
@@ -408,10 +394,8 @@ mod tests {
     fn join_conditions_are_validated_and_dropped() {
         let db = star_db();
         // A join that follows no AIR edge is rejected.
-        let bad = sql_to_query(
-            "SELECT count(*) FROM customer, date WHERE c_nation = d_datekey",
-            &db,
-        );
+        let bad =
+            sql_to_query("SELECT count(*) FROM customer, date WHERE c_nation = d_datekey", &db);
         assert!(bad.is_err());
         assert!(bad.unwrap_err().message.contains("PK-FK"));
     }
@@ -419,11 +403,9 @@ mod tests {
     #[test]
     fn count_star_and_default_aliases() {
         let db = star_db();
-        let q = sql_to_query(
-            "SELECT count(*), sum(lo_revenue), sum(lo_discount) FROM lineorder",
-            &db,
-        )
-        .unwrap();
+        let q =
+            sql_to_query("SELECT count(*), sum(lo_revenue), sum(lo_discount) FROM lineorder", &db)
+                .unwrap();
         assert_eq!(q.output_names(), vec!["count", "sum", "sum2"]);
         let out = execute(&db, &q, &ExecOptions::default()).unwrap();
         assert_eq!(out.result.rows[0][0], Value::Int(3));
@@ -433,7 +415,10 @@ mod tests {
     #[test]
     fn select_column_must_be_grouped() {
         let db = star_db();
-        let e = sql_to_query("SELECT c_nation, count(*) FROM customer, lineorder WHERE lo_custkey = c_custkey", &db);
+        let e = sql_to_query(
+            "SELECT c_nation, count(*) FROM customer, lineorder WHERE lo_custkey = c_custkey",
+            &db,
+        );
         assert!(e.unwrap_err().message.contains("GROUP BY"));
     }
 
@@ -466,10 +451,7 @@ mod tests {
     #[test]
     fn order_by_must_name_an_output() {
         let db = star_db();
-        let e = sql_to_query(
-            "SELECT count(*) AS n FROM lineorder ORDER BY revenue",
-            &db,
-        );
+        let e = sql_to_query("SELECT count(*) AS n FROM lineorder ORDER BY revenue", &db);
         assert!(e.unwrap_err().message.contains("not an output column"));
     }
 

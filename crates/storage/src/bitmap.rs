@@ -147,6 +147,24 @@ impl Bitmap {
         self.words.len() * 8
     }
 
+    /// The packed 64-bit words backing the bitmap (serialization hook; the
+    /// tail bits beyond `len` are guaranteed zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a bitmap from its packed words and bit length (the inverse
+    /// of [`Bitmap::words`], used when loading a snapshot from disk).
+    ///
+    /// # Panics
+    /// Panics if the word count does not match `len`.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(words.len(), len.div_ceil(WORD_BITS), "word count mismatch for {len} bits");
+        let mut bm = Bitmap { words, len };
+        bm.clear_tail();
+        bm
+    }
+
     /// Zeroes the bits beyond `len` in the last word so `count_ones` and
     /// `not_assign` stay correct.
     fn clear_tail(&mut self) {
@@ -293,6 +311,22 @@ mod tests {
     fn iter_ones_empty() {
         assert_eq!(Bitmap::new(0, false).iter_ones().count(), 0);
         assert_eq!(Bitmap::new(100, false).iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let bm = Bitmap::from_fn(130, |i| i % 7 == 0);
+        let rebuilt = Bitmap::from_words(bm.words().to_vec(), bm.len());
+        assert_eq!(bm, rebuilt);
+        // Dirty tail bits are cleared on reconstruction.
+        let dirty = Bitmap::from_words(vec![u64::MAX], 3);
+        assert_eq!(dirty.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "word count mismatch")]
+    fn from_words_rejects_wrong_length() {
+        Bitmap::from_words(vec![0, 0], 64);
     }
 
     #[test]

@@ -154,11 +154,7 @@ impl Database {
             if let Some(Column::Key { keys, .. }) = src_column_mut(src, &edge.column) {
                 for k in keys.iter_mut() {
                     if *k != NULL_KEY {
-                        *k = remap
-                            .get(*k as usize)
-                            .copied()
-                            .flatten()
-                            .unwrap_or(NULL_KEY);
+                        *k = remap.get(*k as usize).copied().flatten().unwrap_or(NULL_KEY);
                     }
                 }
             }
@@ -213,10 +209,8 @@ mod tests {
 
     fn tiny_star() -> Database {
         let mut db = Database::new();
-        let mut date = Table::new(
-            "date",
-            Schema::new(vec![ColumnDef::new("d_year", DataType::I32)]),
-        );
+        let mut date =
+            Table::new("date", Schema::new(vec![ColumnDef::new("d_year", DataType::I32)]));
         for y in [1992, 1993, 1994] {
             date.append_row(&[Value::Int(y)]);
         }

@@ -45,6 +45,19 @@ impl Dictionary {
         Dictionary::default()
     }
 
+    /// Rebuilds a dictionary from its value array in code order — the exact
+    /// inverse of [`Dictionary::values`], so codes assigned before
+    /// serialization stay valid after a reload (order-preserving or not).
+    ///
+    /// # Panics
+    /// Panics on duplicate values.
+    pub fn from_values(values: Vec<String>) -> Self {
+        let codes: HashMap<String, Key> =
+            values.iter().enumerate().map(|(i, v)| (v.clone(), i as Key)).collect();
+        assert_eq!(codes.len(), values.len(), "duplicate dictionary value");
+        Dictionary { values, codes }
+    }
+
     /// Number of distinct values.
     #[inline]
     pub fn len(&self) -> usize {
@@ -253,6 +266,23 @@ mod tests {
         assert_eq!(dict.decode(a), "first");
         assert_eq!(dict.decode(b), "second");
         assert_eq!(dict.len(), 2);
+    }
+
+    #[test]
+    fn from_values_preserves_codes() {
+        let mut dyn_dict = Dictionary::new_dynamic();
+        dyn_dict.intern("zeta");
+        dyn_dict.intern("alpha"); // non-sorted code order
+        let rebuilt = Dictionary::from_values(dyn_dict.values().to_vec());
+        assert_eq!(rebuilt.code_of("zeta"), dyn_dict.code_of("zeta"));
+        assert_eq!(rebuilt.code_of("alpha"), dyn_dict.code_of("alpha"));
+        assert_eq!(rebuilt.decode(0), "zeta");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate dictionary value")]
+    fn from_values_rejects_duplicates() {
+        Dictionary::from_values(vec!["a".into(), "a".into()]);
     }
 
     #[test]

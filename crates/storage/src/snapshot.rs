@@ -66,18 +66,14 @@ impl SharedDatabase {
     /// Convenience: insert a row into a table. Returns the new row id.
     pub fn insert(&self, table: &str, values: &[Value]) -> RowId {
         self.write(|db| {
-            db.table_mut(table)
-                .unwrap_or_else(|| panic!("no table {table:?}"))
-                .insert(values)
+            db.table_mut(table).unwrap_or_else(|| panic!("no table {table:?}")).insert(values)
         })
     }
 
     /// Convenience: lazily delete a row.
     pub fn delete(&self, table: &str, row: RowId) -> bool {
         self.write(|db| {
-            db.table_mut(table)
-                .unwrap_or_else(|| panic!("no table {table:?}"))
-                .delete(row)
+            db.table_mut(table).unwrap_or_else(|| panic!("no table {table:?}")).delete(row)
         })
     }
 
@@ -110,10 +106,7 @@ mod tests {
 
     fn shared_dim() -> SharedDatabase {
         let mut db = Database::new();
-        let mut t = Table::new(
-            "dim",
-            Schema::new(vec![ColumnDef::new("v", DataType::I64)]),
-        );
+        let mut t = Table::new("dim", Schema::new(vec![ColumnDef::new("v", DataType::I64)]));
         for i in 0..4 {
             t.append_row(&[Value::Int(i)]);
         }
@@ -155,10 +148,7 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         // …and share table storage with the live state.
         let live = shared.snapshot();
-        assert!(Arc::ptr_eq(
-            &a.table_arc("dim").unwrap(),
-            &live.table_arc("dim").unwrap()
-        ));
+        assert!(Arc::ptr_eq(&a.table_arc("dim").unwrap(), &live.table_arc("dim").unwrap()));
         // A write severs the catalog share but leaves old snapshots intact.
         shared.insert("dim", &[Value::Int(5)]);
         let after = shared.snapshot();

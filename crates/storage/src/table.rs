@@ -111,6 +111,40 @@ impl Table {
         Table { name: name.into(), schema, columns, live: Bitmap::new(n, true), free: Vec::new() }
     }
 
+    /// Rebuilds a table from all of its persistent parts — columns, live
+    /// bitmap, and free-slot list (the snapshot-loading path, which must
+    /// reproduce slot-reuse behaviour exactly, not just the live tuples).
+    ///
+    /// # Panics
+    /// Panics if column lengths or the bitmap length disagree with the
+    /// schema, or if a free slot is out of range or still marked live.
+    pub fn from_parts(
+        name: impl Into<String>,
+        schema: Schema,
+        columns: Vec<Column>,
+        live: Bitmap,
+        free: Vec<RowId>,
+    ) -> Self {
+        assert_eq!(columns.len(), schema.arity(), "column count mismatch");
+        let n = columns.first().map_or(live.len(), Column::len);
+        for (c, d) in columns.iter().zip(schema.defs()) {
+            assert_eq!(c.len(), n, "array family misaligned at column {:?}", d.name);
+            assert_eq!(c.dtype(), d.dtype, "type mismatch at column {:?}", d.name);
+        }
+        assert_eq!(live.len(), n, "live bitmap length mismatch");
+        for &slot in &free {
+            assert!((slot as usize) < n, "free slot {slot} out of range");
+            assert!(!live.get(slot as usize), "free slot {slot} is still live");
+        }
+        Table { name: name.into(), schema, columns, live, free }
+    }
+
+    /// The free-slot list, in reuse order (serialization hook: the next
+    /// insert pops from the back).
+    pub fn free_slots(&self) -> &[RowId] {
+        &self.free
+    }
+
     /// The table name.
     pub fn name(&self) -> &str {
         &self.name
@@ -220,9 +254,7 @@ impl Table {
     /// Panics if the column does not exist or the slot is dead.
     pub fn update(&mut self, row: RowId, column: &str, value: &Value) {
         assert!(self.is_live(row), "cannot update dead slot {row}");
-        let col = self
-            .column_mut(column)
-            .unwrap_or_else(|| panic!("no column {column:?}"));
+        let col = self.column_mut(column).unwrap_or_else(|| panic!("no column {column:?}"));
         col.set(row as usize, value);
     }
 
@@ -303,10 +335,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate column")]
     fn schema_rejects_duplicates() {
-        Schema::new(vec![
-            ColumnDef::new("x", DataType::I32),
-            ColumnDef::new("x", DataType::I64),
-        ]);
+        Schema::new(vec![ColumnDef::new("x", DataType::I32), ColumnDef::new("x", DataType::I64)]);
     }
 
     #[test]
@@ -384,6 +413,45 @@ mod tests {
             ColumnDef::new("b", DataType::I32),
         ]);
         Table::from_columns("t", schema, vec![Column::I32(vec![1]), Column::I32(vec![1, 2])]);
+    }
+
+    #[test]
+    fn from_parts_reproduces_slot_reuse() {
+        let mut t = Table::new("date", dim_schema());
+        for y in 1992..1997 {
+            t.append_row(&[Value::Int(y), Value::Str("Jan".into())]);
+        }
+        t.delete(1);
+        t.delete(3);
+        let rebuilt = Table::from_parts(
+            t.name().to_owned(),
+            t.schema().clone(),
+            (0..t.schema().arity()).map(|i| t.column_at(i).clone()).collect(),
+            t.live_bitmap().clone(),
+            t.free_slots().to_vec(),
+        );
+        assert_eq!(rebuilt.num_live(), t.num_live());
+        assert_eq!(rebuilt.free_slots(), t.free_slots());
+        // Both reuse the same slot next (the free list is order-preserved).
+        let mut a = t;
+        let mut b = rebuilt;
+        let ra = a.insert(&[Value::Int(2000), Value::Str("Feb".into())]);
+        let rb = b.insert(&[Value::Int(2000), Value::Str("Feb".into())]);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    #[should_panic(expected = "still live")]
+    fn from_parts_rejects_live_free_slot() {
+        let mut t = Table::new("date", dim_schema());
+        t.append_row(&[Value::Int(1992), Value::Str("Jan".into())]);
+        Table::from_parts(
+            "bad",
+            t.schema().clone(),
+            (0..t.schema().arity()).map(|i| t.column_at(i).clone()).collect(),
+            t.live_bitmap().clone(),
+            vec![0],
+        );
     }
 
     #[test]
