@@ -180,7 +180,11 @@ impl Session {
             "threads" => {
                 let n: usize = arg.parse().unwrap_or(1);
                 self.opts.threads = n.max(1);
-                Outcome::Text(format!("threads = {}", self.opts.threads))
+                Outcome::Text(format!(
+                    "threads = {} (a fan-out ceiling: small scans stay serial; \
+                     \\plan on shows the executor that actually ran)",
+                    self.opts.threads
+                ))
             }
             "variant" => {
                 let v = match arg {
@@ -317,9 +321,11 @@ impl Session {
                 if self.show_plan {
                     let _ = writeln!(
                         s,
-                        "plan: root={} variant={} predvec_chains={} agg={:?} selected={} groups={}",
+                        "plan: root={} variant={} executor={} predvec_chains={} agg={:?} \
+                         selected={} groups={}",
                         out.plan.root,
                         self.opts.variant.paper_name(),
+                        out.plan.executor,
                         out.plan.predvec_chains,
                         out.plan.agg_strategy,
                         out.plan.selected_rows,
@@ -565,6 +571,19 @@ mod tests {
         ));
         assert!(out.contains("AIRScan_C_P_G"), "{out}");
         assert!(out.contains("predvec_chains=1"), "{out}");
+        assert!(out.contains("executor=serial"), "{out}");
+    }
+
+    #[test]
+    fn plan_output_reports_clamped_executor() {
+        // \threads 4 on a tiny dataset: the planner keeps the scan serial
+        // and the plan line says so instead of silently ignoring the knob.
+        let mut s = Session::new();
+        text(s.feed("\\load ssb 0.001"));
+        text(s.feed("\\plan on"));
+        assert!(text(s.feed("\\threads 4")).contains("threads = 4"));
+        let out = text(s.feed("SELECT count(*) FROM lineorder"));
+        assert!(out.contains("executor=serial (clamped from 4 requested)"), "{out}");
     }
 
     #[test]

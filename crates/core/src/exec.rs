@@ -30,7 +30,7 @@ use crate::agg::{AggTable, Grouper};
 use crate::expr::CompiledPred;
 use crate::filter::{build_chain_filter, participating_chains, ChainSpec};
 use crate::graph::JoinGraph;
-use crate::groupvec::{build_group_vector, label_at, FactGrouper, GroupDict, GroupVector};
+use crate::groupvec::{build_group_vector, label_at, DictRef, FactGrouper, GroupDict, GroupVector};
 use crate::optimizer::{AggStrategy, OptimizerConfig};
 use crate::query::{AggFunc, Query};
 use crate::result::QueryResult;
@@ -111,8 +111,15 @@ pub enum SelectionStrategy {
 pub struct ExecOptions {
     /// Scan variant (default: the full system).
     pub variant: ScanVariant,
-    /// Worker threads (1 = serial; >1 partitions the fact table, §5).
+    /// Requested worker threads (1 = serial). This is a *request*: the
+    /// planner clamps the fan-out so small scans stay serial (see
+    /// [`OptimizerConfig::plan_threads`]); [`PlanInfo::executor`] reports
+    /// what actually ran.
     pub threads: usize,
+    /// Maximum rows per morsel handed to a worker by the morsel dispatcher
+    /// (§5). The dispatcher shrinks morsels below this cap on small tables
+    /// so every worker still sees several morsels.
+    pub morsel_rows: usize,
     /// Optimizer tunables.
     pub optimizer: OptimizerConfig,
     /// Overrides the optimizer's aggregation-strategy decision.
@@ -126,6 +133,7 @@ impl Default for ExecOptions {
         ExecOptions {
             variant: ScanVariant::Full,
             threads: 1,
+            morsel_rows: crate::parallel::DEFAULT_MORSEL_ROWS,
             optimizer: OptimizerConfig::default(),
             force_agg: None,
             selection: SelectionStrategy::default(),
@@ -144,6 +152,12 @@ impl ExecOptions {
         self.threads = n.max(1);
         self
     }
+
+    /// Sets the morsel-size cap (rows per dispatched morsel).
+    pub fn morsel_rows(mut self, n: usize) -> Self {
+        self.morsel_rows = n.max(1);
+        self
+    }
 }
 
 /// Wall-clock time per execution phase (the Fig. 10 breakdown).
@@ -159,12 +173,71 @@ pub struct PhaseTimings {
     pub total: Duration,
 }
 
+/// Which executor actually ran a query.
+///
+/// [`ExecOptions::threads`] is a request, not a promise: the planner keeps
+/// small scans serial and clamps the fan-out to the row count, and a server
+/// core budget may have granted fewer threads than configured. Benches and
+/// tests assert on this instead of trusting the request — a silent serial
+/// fallback is a measurement bug waiting to happen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorInfo {
+    /// Single-threaded three-phase execution.
+    Serial {
+        /// Threads the caller requested (`> 1` means the planner clamped
+        /// the fan-out back to serial).
+        requested_threads: usize,
+    },
+    /// Morsel-driven parallel execution (§5).
+    Parallel {
+        /// Worker threads actually spawned.
+        threads: usize,
+        /// Threads the caller requested.
+        requested_threads: usize,
+        /// Morsels the shared dispatcher handed out.
+        morsels: usize,
+        /// Rows per morsel (the last morsel may be shorter).
+        morsel_rows: usize,
+    },
+}
+
+impl ExecutorInfo {
+    /// Did the morsel-driven parallel executor run?
+    pub fn is_parallel(&self) -> bool {
+        matches!(self, ExecutorInfo::Parallel { .. })
+    }
+
+    /// Worker threads that actually executed the scan.
+    pub fn threads(&self) -> usize {
+        match self {
+            ExecutorInfo::Serial { .. } => 1,
+            ExecutorInfo::Parallel { threads, .. } => *threads,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecutorInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutorInfo::Serial { requested_threads: 1 } => write!(f, "serial"),
+            ExecutorInfo::Serial { requested_threads } => {
+                write!(f, "serial (clamped from {requested_threads} requested)")
+            }
+            ExecutorInfo::Parallel { threads, morsels, morsel_rows, .. } => {
+                write!(f, "parallel ({threads} threads, {morsels} morsels x {morsel_rows} rows)")
+            }
+        }
+    }
+}
+
 /// What the optimizer decided and what the scan saw — for tests, harnesses
 /// and EXPERIMENTS.md.
 #[derive(Debug, Clone)]
 pub struct PlanInfo {
     /// The bound root (fact) table.
     pub root: String,
+    /// The executor that actually ran (serial vs morsel-driven parallel).
+    pub executor: ExecutorInfo,
     /// Chains probed via predicate vectors.
     pub predvec_chains: usize,
     /// Chains evaluated by direct AIR chasing.
@@ -190,45 +263,53 @@ pub struct ExecOutput {
 
 /// Executes a SPJGA query against a database.
 ///
-/// This is the primary entry point of A-Store. With `opts.threads > 1` the
-/// fact table is partitioned across workers (§5); otherwise execution is
-/// serial.
+/// This is the primary entry point of A-Store. The query is bound once;
+/// the planner then decides the fan-out: with `opts.threads > 1` *and* a
+/// fact table large enough to amortize worker spawn
+/// ([`OptimizerConfig::plan_threads`]), the scan is driven by the morsel
+/// dispatcher (§5); otherwise execution is serial. [`PlanInfo::executor`]
+/// reports which path ran.
 pub fn execute(db: &Database, query: &Query, opts: &ExecOptions) -> Result<ExecOutput, BindError> {
-    if opts.threads > 1 {
-        crate::parallel::execute_parallel(db, query, opts)
-    } else {
-        execute_serial(db, query, opts)
-    }
-}
-
-fn execute_serial(
-    db: &Database,
-    query: &Query,
-    opts: &ExecOptions,
-) -> Result<ExecOutput, BindError> {
     let t_start = Instant::now();
     let graph = JoinGraph::build(db);
     let root = bind_root(&graph, query.root.as_deref(), &query.referenced_tables())?;
     let u = Universal::new(db, &graph, &root)?;
+    let n = u.root_table().num_slots();
+    let threads = opts.optimizer.plan_threads(n, opts.threads);
+    if threads > 1 {
+        crate::parallel::execute_parallel(&u, query, opts, threads, t_start)
+    } else {
+        execute_serial(&u, query, opts, t_start)
+    }
+}
 
+fn execute_serial(
+    u: &Universal<'_>,
+    query: &Query,
+    opts: &ExecOptions,
+    t_start: Instant,
+) -> Result<ExecOutput, BindError> {
     let t_leaf = Instant::now();
-    let leaf = prepare_leaf(&u, query, opts)?;
+    let leaf = prepare_leaf(u, query, opts)?;
     let leaf_time = t_leaf.elapsed();
 
     let t_scan = Instant::now();
     let n = u.root_table().num_slots();
-    let mut sa = scan_phase(&u, query, opts, &leaf, 0..n)?;
+    let fact_preds = compile_fact_preds(u, query);
+    let mut chain_checks = build_chain_checks(u, query, &leaf)?;
+    let mut sa = scan_phase(u, query, opts, &leaf, &fact_preds, &mut chain_checks, 0..n)?;
     let scan_time = t_scan.elapsed();
 
     let t_agg = Instant::now();
-    aggregate_phase(&u, query, &mut sa);
+    aggregate_phase(u, query, &mut sa);
     let agg_time = t_agg.elapsed();
 
     let mut result = build_result(query, &sa.agg, &sa.dicts);
     result.order_and_limit(&query.order_by, query.limit);
 
     let plan = PlanInfo {
-        root,
+        root: u.root().to_owned(),
+        executor: ExecutorInfo::Serial { requested_threads: opts.threads },
         predvec_chains: leaf.filters.iter().filter(|f| f.is_some()).count(),
         direct_chains: leaf.filters.iter().filter(|f| f.is_none()).count(),
         agg_strategy: sa.strategy,
@@ -354,57 +435,70 @@ enum GroupSource<'a> {
 
 /// Artifacts of the fact-scan phase: the Measure Index plus the aggregation
 /// table it addresses.
-pub(crate) struct ScanArtifacts {
+pub(crate) struct ScanArtifacts<'a> {
     /// Row ids of tuples that survived selection *and* grouping.
     pub mi_rows: Vec<u32>,
     /// Their aggregation cells (the Measure Index).
     pub mi_cells: Vec<u32>,
     /// The aggregation table (cells registered, accumulators empty).
     pub agg: AggTable,
-    /// Group dictionaries, one per grouping column.
-    pub dicts: Vec<GroupDict>,
+    /// Group dictionaries, one per grouping column. Shared leaf dictionaries
+    /// are borrowed, not cloned — a worker draining many morsels produces
+    /// one `ScanArtifacts` per morsel.
+    pub dicts: Vec<DictRef<'a>>,
     /// Tuples surviving selection (before group-null drops).
     pub selected: usize,
     /// The aggregation strategy in effect.
     pub strategy: AggStrategy,
 }
 
-/// Phase 2: the fact scan over `range` — selection, then grouping into the
-/// Measure Index.
-pub(crate) fn scan_phase(
-    u: &Universal<'_>,
-    query: &Query,
-    opts: &ExecOptions,
-    leaf: &LeafArtifacts,
-    range: std::ops::Range<usize>,
-) -> Result<ScanArtifacts, BindError> {
+/// Compiles the fact-local predicates and orders them most-selective-first
+/// from a prefix sample (§4.1). Hoisted out of [`scan_phase`] so the
+/// (sampling) cost is paid once per execution, not once per morsel; the
+/// compiled predicates are shared read-only by every worker.
+pub(crate) fn compile_fact_preds<'a>(u: &Universal<'a>, query: &Query) -> Vec<CompiledPred<'a>> {
     let fact = u.root_table();
-
-    // Fact-local predicates: compile conjuncts, order most-selective-first
-    // from a prefix sample (§4.1).
-    let mut fact_preds: Vec<CompiledPred<'_>> = query
+    let mut fact_preds: Vec<CompiledPred<'a>> = query
         .selection_on(u.root())
         .map(|p| p.conjuncts().iter().map(|c| c.compile(fact)).collect())
         .unwrap_or_default();
     if fact_preds.len() > 1 {
         let n = fact.num_slots();
-        let mut keyed: Vec<(f64, CompiledPred<'_>)> =
+        let mut keyed: Vec<(f64, CompiledPred<'a>)> =
             fact_preds.drain(..).map(|p| (p.sampled_selectivity(n, 1024), p)).collect();
         keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         fact_preds = keyed.into_iter().map(|(_, p)| p).collect();
     }
+    fact_preds
+}
 
-    let mut chain_checks = build_chain_checks(u, query, leaf)?;
+/// Phase 2: the fact scan over `range` — selection, then grouping into the
+/// Measure Index.
+///
+/// `fact_preds` ([`compile_fact_preds`]) and `chain_checks`
+/// ([`build_chain_checks`]) are built by the caller: once per execution for
+/// the serial path, once per *worker* for the parallel path, so a worker
+/// claiming dozens of morsels pays the setup once.
+pub(crate) fn scan_phase<'a>(
+    u: &Universal<'a>,
+    query: &Query,
+    opts: &ExecOptions,
+    leaf: &'a LeafArtifacts,
+    fact_preds: &[CompiledPred<'a>],
+    chain_checks: &mut [ChainCheck<'a>],
+    range: std::ops::Range<usize>,
+) -> Result<ScanArtifacts<'a>, BindError> {
+    let fact = u.root_table();
 
     let sv = if !opts.variant.column_wise() {
-        select_rowwise(fact, range, &fact_preds, &chain_checks)
+        select_rowwise(fact, range, fact_preds, chain_checks)
     } else {
         match opts.selection {
             SelectionStrategy::VectorRefine => {
-                select_columnwise(fact, range, &fact_preds, &mut chain_checks)
+                select_columnwise(fact, range, fact_preds, chain_checks)
             }
             SelectionStrategy::BitmapAnd => {
-                select_bitmap_and(fact, range, &fact_preds, &chain_checks)
+                select_bitmap_and(fact, range, fact_preds, chain_checks)
             }
         }
     };
@@ -508,13 +602,14 @@ pub(crate) fn scan_phase(
         mi_cells.push(cell);
     }
 
-    // Collect the group dictionaries for result decoding.
-    let dicts: Vec<GroupDict> = sources
+    // Collect the group dictionaries for result decoding. Leaf dictionaries
+    // stay borrowed; only scan-built dictionaries are moved out.
+    let dicts: Vec<DictRef<'a>> = sources
         .into_iter()
         .map(|s| match s {
-            GroupSource::DimVec { gv, .. } => gv.dict.clone(),
-            GroupSource::Fact(fg) => fg.dict,
-            GroupSource::Resolved { dict, .. } => dict,
+            GroupSource::DimVec { gv, .. } => DictRef::Shared(&gv.dict),
+            GroupSource::Fact(fg) => DictRef::Owned(fg.dict),
+            GroupSource::Resolved { dict, .. } => DictRef::Owned(dict),
         })
         .collect();
 
@@ -524,7 +619,7 @@ pub(crate) fn scan_phase(
 /// Phase 3: measure-column aggregation, driven column-wise by the Measure
 /// Index — "only the parts of the measure columns referred by the Measure
 /// Index need to be accessed" (§4.3).
-pub(crate) fn aggregate_phase(u: &Universal<'_>, query: &Query, sa: &mut ScanArtifacts) {
+pub(crate) fn aggregate_phase(u: &Universal<'_>, query: &Query, sa: &mut ScanArtifacts<'_>) {
     let fact = u.root_table();
     for (j, aggdef) in query.aggregates.iter().enumerate() {
         match (&aggdef.expr, aggdef.func) {
@@ -546,7 +641,7 @@ pub(crate) fn aggregate_phase(u: &Universal<'_>, query: &Query, sa: &mut ScanArt
 }
 
 /// Assembles the result rows from the aggregation table.
-pub(crate) fn build_result(query: &Query, agg: &AggTable, dicts: &[GroupDict]) -> QueryResult {
+pub(crate) fn build_result(query: &Query, agg: &AggTable, dicts: &[DictRef<'_>]) -> QueryResult {
     let columns = query.output_names();
     let cells = agg.emit();
     let mut rows = Vec::with_capacity(cells.len());

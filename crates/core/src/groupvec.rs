@@ -88,6 +88,33 @@ impl GroupDict {
     }
 }
 
+/// A group dictionary held by reference or by value.
+///
+/// The fact scan's dictionaries come in two flavours: pre-built leaf
+/// dictionaries (group vectors, probed read-only by every worker and every
+/// morsel) and scan-built dictionaries (fact-local or chain-resolved
+/// grouping columns). Borrowing the former matters under morsel-driven
+/// execution, where cloning a shared dictionary once per claimed morsel
+/// would turn a read-only probe structure into per-morsel allocation work.
+#[derive(Debug)]
+pub enum DictRef<'a> {
+    /// A shared, pre-built dictionary (leaf group vectors).
+    Shared(&'a GroupDict),
+    /// A dictionary built during the scan itself.
+    Owned(GroupDict),
+}
+
+impl std::ops::Deref for DictRef<'_> {
+    type Target = GroupDict;
+
+    fn deref(&self) -> &GroupDict {
+        match self {
+            DictRef::Shared(d) => d,
+            DictRef::Owned(d) => d,
+        }
+    }
+}
+
 /// Reads a grouping value from a column as a [`GroupLabel`].
 ///
 /// # Panics
@@ -349,6 +376,15 @@ mod tests {
         assert_eq!(gv.probe(NULL_KEY), NULL_KEY);
         assert_eq!(gv.probe(1000), NULL_KEY);
         assert_eq!(gv.probe(1), 1);
+    }
+
+    #[test]
+    fn dict_ref_derefs_shared_and_owned() {
+        let mut owned = GroupDict::new();
+        owned.intern(GroupLabel::Int(7));
+        let shared = owned.clone();
+        assert_eq!(DictRef::Shared(&shared).label(0), &GroupLabel::Int(7));
+        assert_eq!(DictRef::Owned(owned).len(), 1);
     }
 
     #[test]

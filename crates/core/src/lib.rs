@@ -19,8 +19,10 @@
 //!    Index into a dense multidimensional aggregation array (or a hash
 //!    table when the array would be too sparse).
 //!
-//! Multicore execution (§5) partitions the fact table horizontally and
-//! shares the phase-1 artifacts across workers.
+//! Multicore execution (§5) is morsel-driven: a shared atomic cursor hands
+//! out fixed-size fact-table row ranges to a pool of workers that share the
+//! phase-1 artifacts read-only and merge partial aggregates at the group
+//! label level (see [`parallel`]).
 //!
 //! ## Quick example
 //!
@@ -68,7 +70,7 @@ pub mod filter;
 pub mod graph;
 pub mod groupvec;
 pub mod optimizer;
-mod parallel;
+pub mod parallel;
 pub mod query;
 pub mod result;
 pub mod scan;
@@ -77,11 +79,13 @@ pub mod universal;
 /// Convenient glob import of the engine's public surface.
 pub mod prelude {
     pub use crate::exec::{
-        execute, ExecOptions, ExecOutput, PhaseTimings, PlanInfo, ScanVariant, SelectionStrategy,
+        execute, ExecOptions, ExecOutput, ExecutorInfo, PhaseTimings, PlanInfo, ScanVariant,
+        SelectionStrategy,
     };
     pub use crate::expr::{CmpOp, Lit, MeasureExpr, Pred};
     pub use crate::graph::JoinGraph;
     pub use crate::optimizer::{AggStrategy, OptimizerConfig};
+    pub use crate::parallel::{MorselDispatcher, DEFAULT_MORSEL_ROWS};
     pub use crate::query::{AggFunc, Aggregate, ColRef, OrderKey, Query, SortOrder};
     pub use crate::result::QueryResult;
     pub use crate::universal::{BindError, Universal};

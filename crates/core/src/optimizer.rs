@@ -1,4 +1,5 @@
-//! The (small) optimizer: the two decisions the paper gives it (§4.2, §4.3).
+//! The (small) optimizer: the two decisions the paper gives it (§4.2, §4.3)
+//! plus the fan-out heuristic the multicore integration (§5) needs.
 //!
 //! 1. *Predicate vectors*: "An optimizer is used to decide whether to use
 //!    predicate vectors, according to the row number of each table" — use a
@@ -6,6 +7,9 @@
 //! 2. *Aggregation strategy*: "The optimizer of A-Store is responsible for
 //!    estimating the sparsity of aggregation arrays and deciding whether to
 //!    use array based or hash based aggregation."
+//! 3. *Fan-out*: whether a scan is big enough to amortize spawning worker
+//!    threads at all, and how many are useful for its row count. Small
+//!    queries stay serial even when the caller requests parallelism.
 
 use astore_storage::catalog::Database;
 
@@ -31,6 +35,13 @@ pub struct OptimizerConfig {
     /// array is considered too sparse. 0 disables the sparsity test — the
     /// cell cap alone decides.
     pub agg_min_fill: f64,
+    /// Minimum fact-table rows per worker thread before a query fans out.
+    /// Below this, thread spawn + merge overhead dominates the scan itself
+    /// and the executor stays serial regardless of the requested thread
+    /// count. The default (8192 rows/worker) keeps point-ish lookups and
+    /// tiny dimension scans serial while letting SSB-sized fact scans use
+    /// every requested core.
+    pub parallel_min_rows_per_thread: usize,
 }
 
 impl Default for OptimizerConfig {
@@ -39,6 +50,7 @@ impl Default for OptimizerConfig {
             cache_budget_bytes: 16 << 20,
             agg_array_max_cells: 1 << 22,
             agg_min_fill: 0.0,
+            parallel_min_rows_per_thread: 8192,
         }
     }
 }
@@ -73,6 +85,19 @@ impl OptimizerConfig {
         AggStrategy::DenseArray
     }
 
+    /// Decides how many worker threads a scan of `n_rows` fact rows should
+    /// actually use, given the caller requested `requested`. Returns 1
+    /// (serial) when the scan is too small to amortize fan-out; otherwise
+    /// the requested count clamped so every worker sees at least
+    /// [`OptimizerConfig::parallel_min_rows_per_thread`] rows.
+    pub fn plan_threads(&self, n_rows: usize, requested: usize) -> usize {
+        if requested <= 1 {
+            return 1;
+        }
+        let per = self.parallel_min_rows_per_thread.max(1);
+        requested.min(n_rows / per).max(1)
+    }
+
     /// Estimated bytes of all predicate vectors a query would allocate —
     /// exposed for planning diagnostics.
     pub fn filter_bytes(&self, db: &Database, dims: &[&str]) -> usize {
@@ -105,6 +130,20 @@ mod tests {
     fn agg_strategy_overflow_is_hash() {
         let cfg = OptimizerConfig::default();
         assert_eq!(cfg.agg_strategy(&[u32::MAX, u32::MAX, u32::MAX]), AggStrategy::HashTable);
+    }
+
+    #[test]
+    fn plan_threads_clamps_small_scans_to_serial() {
+        let cfg = OptimizerConfig::default(); // 8192 rows/worker
+        assert_eq!(cfg.plan_threads(100, 8), 1, "tiny scan stays serial");
+        assert_eq!(cfg.plan_threads(8191, 4), 1, "just under one worker's quota");
+        assert_eq!(cfg.plan_threads(16384, 4), 2, "two workers' worth of rows");
+        assert_eq!(cfg.plan_threads(1 << 20, 4), 4, "big scan gets everything");
+        assert_eq!(cfg.plan_threads(1 << 20, 1), 1, "serial request is serial");
+        assert_eq!(cfg.plan_threads(0, 8), 1, "empty table");
+        let loose =
+            OptimizerConfig { parallel_min_rows_per_thread: 1, ..OptimizerConfig::default() };
+        assert_eq!(loose.plan_threads(3, 8), 3, "threshold 1 still caps at one row per worker");
     }
 
     #[test]

@@ -46,7 +46,12 @@ fn empty_fact_table() {
         let out = execute(&db, &sum_by_cat(), &ExecOptions::with_variant(v)).unwrap();
         assert!(out.result.is_empty(), "{}", v.paper_name());
     }
-    let par = execute(&db, &sum_by_cat(), &ExecOptions::default().threads(4)).unwrap();
+    // Zero rows can never fan out — even with the planner threshold forced
+    // down, the clamp keeps an empty scan serial and says so explicitly.
+    let mut popts = ExecOptions::default().threads(4);
+    popts.optimizer.parallel_min_rows_per_thread = 1;
+    let par = execute(&db, &sum_by_cat(), &popts).unwrap();
+    assert_eq!(par.plan.executor, ExecutorInfo::Serial { requested_threads: 4 });
     assert!(par.result.is_empty());
 }
 
@@ -129,7 +134,12 @@ fn deep_snowflake_chain_five_levels() {
             v.paper_name()
         );
     }
-    let par = execute(&db, &q, &ExecOptions::default().threads(3)).unwrap();
+    // Forced fan-out (tiny fixture): the 5-level AIR chase must survive the
+    // morsel executor, and the executor assertion proves it actually ran.
+    let mut popts = ExecOptions::default().threads(3);
+    popts.optimizer.parallel_min_rows_per_thread = 1;
+    let par = execute(&db, &q, &popts).unwrap();
+    assert!(par.plan.executor.is_parallel());
     assert!(par.result.same_contents(&reference.result, 1e-9));
 }
 

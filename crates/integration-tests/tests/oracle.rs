@@ -229,11 +229,16 @@ fn engine_matches_oracle_with_deletes() {
             "{}: engine disagrees with oracle under deletes",
             sq.id
         );
-        // Row-wise variant and parallel executor too.
+        // Row-wise variant and parallel executor too. Fan-out is forced:
+        // the SF 0.002 fixture is below the default planner threshold, and
+        // a silently-serial run would prove nothing here.
         let row =
             execute(&db, &sq.query, &ExecOptions::with_variant(ScanVariant::RowWise)).unwrap();
         assert!(row.result.same_contents(&oracle, 1e-6), "{}: row-wise under deletes", sq.id);
-        let par = execute(&db, &sq.query, &ExecOptions::default().threads(3)).unwrap();
+        let mut popts = ExecOptions::default().threads(3);
+        popts.optimizer.parallel_min_rows_per_thread = 1;
+        let par = execute(&db, &sq.query, &popts).unwrap();
+        assert!(par.plan.executor.is_parallel(), "{}: fell back to serial", sq.id);
         assert!(par.result.same_contents(&oracle, 1e-6), "{}: parallel under deletes", sq.id);
     }
 }
@@ -389,6 +394,101 @@ fn randomized_three_way_differential_air_hash_and_reloaded() {
         "generator degenerated: only {nonempty}/{QUERIES} queries returned rows"
     );
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-vs-serial differential: the morsel-driven executor (§5) must be
+// observationally identical to the serial executor on every generated query
+// and every thread count — and must *actually run in parallel*, which
+// `PlanInfo::executor` proves (a silent serial fallback would make this
+// suite vacuous).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn randomized_parallel_vs_serial_differential() {
+    const QUERIES: usize = 200;
+    // `ASTORE_TEST_THREADS` (comma-separated, each > 1) overrides the
+    // sweep — CI's thread-matrix leg re-runs the differential at exactly
+    // the matrix's thread count.
+    let threads_sweep: Vec<usize> = std::env::var("ASTORE_TEST_THREADS")
+        .ok()
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).filter(|&t| t > 1).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![2, 4, 8]);
+    let db = ssb::generate(0.002, 0x9A7A11E1);
+
+    // Force fan-out on the test-sized dataset (production's planner keeps
+    // small scans serial; that clamp has its own tests) and use small
+    // morsels so every thread count actually contends on the dispatcher.
+    let par_opts = |threads: usize| {
+        let mut o = ExecOptions::default().threads(threads).morsel_rows(1024);
+        o.optimizer.parallel_min_rows_per_thread = 1;
+        o
+    };
+
+    let mut rng = SmallRng::seed_from_u64(0x5EED_D1FF);
+    let mut nonempty = 0usize;
+    for i in 0..QUERIES {
+        let q = random_query(&mut rng);
+        let serial = execute(&db, &q, &ExecOptions::default())
+            .unwrap_or_else(|e| panic!("query {i} failed serially: {e:?}\n{q:?}"));
+        assert!(!serial.plan.executor.is_parallel());
+        for &threads in &threads_sweep {
+            let par = execute(&db, &q, &par_opts(threads))
+                .unwrap_or_else(|e| panic!("query {i} failed at {threads} threads: {e:?}\n{q:?}"));
+            assert!(
+                matches!(
+                    par.plan.executor,
+                    ExecutorInfo::Parallel { threads: t, .. } if t == threads
+                ),
+                "query {i}: expected {threads}-thread executor, got {}",
+                par.plan.executor
+            );
+            // `same_contents` compares canonically sorted rows (order is
+            // unspecified without ORDER BY); float eps covers the merge's
+            // re-associated additions.
+            assert!(
+                par.result.same_contents(&serial.result, 1e-9),
+                "query {i} at {threads} threads diverged from serial \
+                 ({} vs {} rows)\n{q:?}",
+                par.result.len(),
+                serial.result.len()
+            );
+            assert_eq!(
+                par.plan.selected_rows, serial.plan.selected_rows,
+                "query {i} at {threads} threads selected a different row count\n{q:?}"
+            );
+            assert_eq!(par.plan.groups, serial.plan.groups, "query {i} group count\n{q:?}");
+        }
+        if !serial.result.rows.is_empty() {
+            nonempty += 1;
+        }
+    }
+    assert!(
+        nonempty > QUERIES / 2,
+        "generator degenerated: only {nonempty}/{QUERIES} queries returned rows"
+    );
+}
+
+#[test]
+fn parallel_matches_oracle_on_all_ssb_queries() {
+    // The fixed 13-query SSB workload through the morsel executor, checked
+    // against the naive reference evaluator directly.
+    let db = ssb::generate(0.002, 99);
+    let mut opts = ExecOptions::default().threads(4).morsel_rows(512);
+    opts.optimizer.parallel_min_rows_per_thread = 1;
+    for sq in ssb::queries() {
+        let par = execute(&db, &sq.query, &opts).unwrap();
+        assert!(par.plan.executor.is_parallel(), "{}: fell back to serial", sq.id);
+        let oracle = reference_execute(&db, &sq.query);
+        assert!(
+            par.result.same_contents(&oracle, 1e-6),
+            "{}: parallel engine disagrees with the naive oracle ({} vs {} rows)",
+            sq.id,
+            par.result.len(),
+            oracle.len()
+        );
+    }
 }
 
 #[test]

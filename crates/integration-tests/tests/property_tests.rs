@@ -135,7 +135,12 @@ proptest! {
                 "variant {} diverged", v.paper_name()
             );
         }
-        let par = execute(&db, &q, &ExecOptions::default().threads(3)).unwrap();
+        // Forced fan-out: generated fixtures are tiny, and the default
+        // planner would (correctly, but uselessly here) stay serial.
+        let mut popts = ExecOptions::default().threads(3);
+        popts.optimizer.parallel_min_rows_per_thread = 1;
+        let par = execute(&db, &q, &popts).unwrap();
+        prop_assert!(par.plan.executor.is_parallel(), "parallel executor did not run");
         prop_assert!(par.result.same_contents(&reference.result, 1e-9), "parallel diverged");
 
         let hashed = execute(

@@ -9,6 +9,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use astore_core::exec::ExecOptions;
 use astore_persist::store;
 use astore_server::json::Json;
 use astore_server::{start, Client, Durability, Engine, ServerConfig};
@@ -177,6 +178,118 @@ fn server_q11_consistent_mid_update_burst() {
     let stats = probe.stats().unwrap();
     assert_eq!(stats.get("errors").and_then(Json::as_i64), Some(0), "{stats:?}");
     assert!(stats.get("cache_hits").and_then(Json::as_i64).unwrap() > 0, "plan cache exercised");
+    h.shutdown();
+}
+
+/// Level 2b: the same torn-burst invariant with *intra-query parallelism
+/// on* (`--engine-threads`-equivalent): a mixed read burst where big scans
+/// fan out across the morsel dispatcher while an update burst churns the
+/// fact table. Every Q1.1 answer must still correspond to a whole number of
+/// atomically applied bursts — parallel workers scan one copy-on-write
+/// snapshot, so a torn read here would mean a morsel crossed snapshots.
+#[test]
+fn server_parallel_reads_consistent_mid_update_burst() {
+    const BURSTS: usize = 25;
+    const ROWS_PER_BURST: usize = 4;
+    const ROW_DELTA: i64 = 2000; // lo_extendedprice(1000) * lo_discount(2)
+    const BURST_DELTA: i64 = ROW_DELTA * ROWS_PER_BURST as i64;
+
+    let db = astore_datagen::ssb::generate(0.002, 42);
+    let date = db.table("date").unwrap();
+    let year_col = date.schema().defs().iter().position(|d| d.name == "d_year").unwrap();
+    let d1993 = (0..date.num_slots() as RowId)
+        .find(|&r| date.row(r)[year_col] == Value::Int(1993))
+        .expect("SSB date table covers 1993");
+
+    // Fan-out ceiling 4; thresholds lowered so the SF 0.002 fact table
+    // (12K rows) fans out, with small morsels for real dispatcher traffic.
+    // Core budget 8 covers the statement workers' baseline permits with
+    // room for extra engine threads even on a small CI box.
+    let mut opts = ExecOptions::default().threads(4).morsel_rows(512);
+    opts.optimizer.parallel_min_rows_per_thread = 64;
+    let engine = Arc::new(Engine::with_options(SharedDatabase::new(db), opts).core_budget(8));
+    let h = start(
+        engine,
+        ServerConfig { addr: "127.0.0.1:0".into(), queue_depth: 64, ..Default::default() },
+    )
+    .unwrap();
+    let addr = h.addr();
+
+    const Q11: &str = "SELECT sum(lo_extendedprice * lo_discount) AS revenue \
+                       FROM lineorder, date \
+                       WHERE lo_orderdate = d_datekey AND d_year = 1993 \
+                         AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25";
+    let revenue = |c: &mut Client| -> i64 {
+        let r = c.sql(Q11).expect("q1.1 failed");
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r:?}");
+        r.get("rows").unwrap().as_array().unwrap()[0].as_array().unwrap()[0]
+            .as_i64()
+            .expect("integral revenue")
+    };
+
+    let mut probe = Client::connect(addr).unwrap();
+    let base = revenue(&mut probe);
+
+    let burst_row = format!(
+        "(999999, 1, 0, 0, 0, {d1993}, '1-URGENT', 0, 10, 1000, 1000, 2, 980, 500, 0, {d1993}, 'AIR')"
+    );
+    let burst_sql =
+        format!("INSERT INTO lineorder VALUES {}", vec![burst_row; ROWS_PER_BURST].join(", "));
+
+    let done = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        {
+            let done = Arc::clone(&done);
+            let burst_sql = burst_sql.clone();
+            s.spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for _ in 0..BURSTS {
+                    let r = c.sql(&burst_sql).expect("burst failed");
+                    assert_eq!(
+                        r.get("rows_affected").and_then(Json::as_i64),
+                        Some(ROWS_PER_BURST as i64),
+                        "{r:?}"
+                    );
+                }
+                done.store(true, Ordering::SeqCst);
+            });
+        }
+        for _ in 0..3 {
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let mut observed = 0usize;
+                loop {
+                    let finished = done.load(Ordering::SeqCst);
+                    let rev = revenue(&mut c);
+                    let delta = rev - base;
+                    assert!(
+                        delta >= 0 && delta % BURST_DELTA == 0,
+                        "parallel reader saw a partial burst: base={base} rev={rev} delta={delta}"
+                    );
+                    assert!(delta <= BURSTS as i64 * BURST_DELTA, "overshoot: {delta}");
+                    observed += 1;
+                    if finished {
+                        break;
+                    }
+                }
+                assert!(observed > 0);
+            });
+        }
+    });
+
+    assert_eq!(revenue(&mut probe), base + BURSTS as i64 * BURST_DELTA);
+    let stats = probe.stats().unwrap();
+    assert_eq!(stats.get("errors").and_then(Json::as_i64), Some(0), "{stats:?}");
+    assert!(
+        stats.get("parallel_queries").and_then(Json::as_i64).unwrap() > 0,
+        "no query ever ran on the parallel executor — the suite proved nothing: {stats:?}"
+    );
+    assert_eq!(
+        stats.get("core_budget_in_use").and_then(Json::as_i64),
+        Some(0),
+        "every permit must be back in the pool once the burst is over: {stats:?}"
+    );
     h.shutdown();
 }
 

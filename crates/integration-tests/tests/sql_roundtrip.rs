@@ -110,13 +110,18 @@ fn sql_runs_on_parallel_engine() {
         &ExecOptions::default(),
     )
     .unwrap();
+    // Forced fan-out: SF 0.002 is below the default planner threshold, and
+    // the point of this test is the *parallel* engine behind SQL.
+    let mut popts = ExecOptions::default().threads(4);
+    popts.optimizer.parallel_min_rows_per_thread = 1;
     let parallel = run_sql(
         "SELECT c_region, count(*) AS n FROM lineorder, customer \
          WHERE lo_custkey = c_custkey GROUP BY c_region",
         &db,
-        &ExecOptions::default().threads(4),
+        &popts,
     )
     .unwrap();
+    assert!(parallel.plan.executor.is_parallel());
     assert!(serial.result.same_contents(&parallel.result, 1e-9));
     assert_eq!(serial.result.len(), 5);
 }

@@ -34,9 +34,14 @@ fn all_variants_agree_on_all_ssb_queries() {
 #[test]
 fn parallel_agrees_on_all_ssb_queries() {
     let db = db();
+    // Forced fan-out: the test-sized dataset sits below the default planner
+    // threshold, and a clamped-to-serial run would compare serial to serial.
+    let mut popts = ExecOptions::default().threads(4);
+    popts.optimizer.parallel_min_rows_per_thread = 1;
     for sq in ssb::queries() {
         let serial = execute(&db, &sq.query, &ExecOptions::default()).unwrap();
-        let parallel = execute(&db, &sq.query, &ExecOptions::default().threads(4)).unwrap();
+        let parallel = execute(&db, &sq.query, &popts).unwrap();
+        assert!(parallel.plan.executor.is_parallel(), "{}: fell back to serial", sq.id);
         assert!(
             parallel.result.same_contents(&serial.result, 1e-6),
             "{}: parallel diverged",

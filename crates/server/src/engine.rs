@@ -20,6 +20,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use astore_core::exec::{execute, ExecOptions};
+use astore_core::query::Query;
 use astore_persist::apply::{apply_statement, validate_statement};
 use astore_persist::store;
 use astore_persist::wal::Wal;
@@ -28,6 +29,7 @@ use astore_sql::{sql_to_query, PlanError};
 use astore_storage::snapshot::SharedDatabase;
 use astore_storage::types::Value;
 
+use crate::budget::CoreBudget;
 use crate::cache::PlanCache;
 use crate::json::Json;
 use crate::stats::ServerStats;
@@ -102,13 +104,15 @@ impl Durability {
     }
 }
 
-/// The shared serving engine: database handle, plan cache, counters.
+/// The shared serving engine: database handle, plan cache, counters, and
+/// the global core budget shared by inter- and intra-query parallelism.
 #[derive(Debug)]
 pub struct Engine {
     db: SharedDatabase,
     cache: PlanCache,
     stats: ServerStats,
     opts: ExecOptions,
+    budget: CoreBudget,
     durability: Option<Durability>,
 }
 
@@ -121,14 +125,36 @@ impl Engine {
     }
 
     /// Wraps a shared database with explicit per-query execution options.
+    ///
+    /// `opts.threads` is the per-query fan-out *ceiling* (`--engine-threads`
+    /// on `astore-serve`). Each query's actual thread count is decided at
+    /// run time: the planner clamps it to the estimated scan size, and the
+    /// [`CoreBudget`] — sized to the machine's available parallelism (or the
+    /// ceiling, if the operator explicitly asked for more) — grants only the
+    /// cores not already busy serving other statements.
     pub fn with_options(db: SharedDatabase, opts: ExecOptions) -> Self {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let budget = CoreBudget::new(cores.max(opts.threads));
         Engine {
             db,
             cache: PlanCache::default(),
             stats: ServerStats::new(),
             opts,
+            budget,
             durability: None,
         }
+    }
+
+    /// Overrides the core-budget size (tests; production sizing is
+    /// automatic in [`Engine::with_options`]).
+    pub fn core_budget(mut self, total: usize) -> Self {
+        self.budget = CoreBudget::new(total);
+        self
+    }
+
+    /// The global core budget.
+    pub fn budget(&self) -> &CoreBudget {
+        &self.budget
     }
 
     /// Attaches a durability layer: writes are WAL-logged before they are
@@ -230,10 +256,18 @@ impl Engine {
             }
         } else if let Some(cmd) = req.get("cmd").and_then(Json::as_str) {
             match cmd {
-                "stats" => Json::obj([
-                    ("ok", Json::Bool(true)),
-                    ("stats", self.stats.to_json(&self.cache)),
-                ]),
+                "stats" => {
+                    let mut s = self.stats.to_json(&self.cache);
+                    if let Json::Object(m) = &mut s {
+                        m.insert("engine_threads".into(), Json::Int(self.opts.threads as i64));
+                        m.insert("core_budget_total".into(), Json::Int(self.budget.total() as i64));
+                        m.insert(
+                            "core_budget_in_use".into(),
+                            Json::Int(self.budget.in_use() as i64),
+                        );
+                    }
+                    Json::obj([("ok", Json::Bool(true)), ("stats", s)])
+                }
                 "ping" => Json::obj([("ok", Json::Bool(true)), ("pong", Json::Bool(true))]),
                 "checkpoint" => match self.checkpoint() {
                     Ok((lsn, bytes)) => Json::obj([
@@ -261,6 +295,10 @@ impl Engine {
         use std::sync::atomic::Ordering::Relaxed;
         let stmt =
             parse_statement(sql).map_err(|e| error_frame(ErrorCode::ParseError, e.to_string()))?;
+        // This statement's worker thread occupies one core for the
+        // duration; the budget must know so concurrent queries' fan-out
+        // grants shrink accordingly.
+        let _slot = self.budget.enter_statement();
         match stmt {
             Statement::Select(_) => {
                 let snap = self.db.snapshot();
@@ -280,8 +318,26 @@ impl Engine {
                         (q, false)
                     }
                 };
-                let out = execute(&snap, &query, &self.opts)
+                // Intra-query fan-out: the planner sizes the request from
+                // the estimated scan, the core budget grants what the rest
+                // of the server is not using right now. Zero grant = serial
+                // — never blocking, never oversubscribing.
+                let want = self
+                    .opts
+                    .optimizer
+                    .plan_threads(estimated_scan_rows(&snap, &query), self.opts.threads);
+                let extra = self.budget.try_extra(want.saturating_sub(1));
+                let exec_opts = ExecOptions { threads: 1 + extra.held(), ..self.opts.clone() };
+                let out = execute(&snap, &query, &exec_opts)
                     .map_err(|e| error_frame(ErrorCode::ExecError, e.to_string()))?;
+                drop(extra);
+                if out.plan.executor.is_parallel() {
+                    self.stats.parallel_queries.fetch_add(1, Relaxed);
+                } else if want > 1 {
+                    // The planner wanted to fan out but the query ran
+                    // serial (budget exhausted or final row-count clamp).
+                    self.stats.parallel_denied.fetch_add(1, Relaxed);
+                }
                 self.stats.queries.fetch_add(1, Relaxed);
                 Ok(Json::obj([
                     ("ok", Json::Bool(true)),
@@ -338,6 +394,23 @@ impl Engine {
             }
         }
     }
+}
+
+/// The planner's scan-size estimate for the core budget: the largest table
+/// the query references (the fact table dominates a star query). An
+/// explicit root is trusted outright; a query referencing no known table
+/// estimates 0 and stays serial.
+fn estimated_scan_rows(db: &astore_storage::catalog::Database, query: &Query) -> usize {
+    if let Some(root) = &query.root {
+        return db.table(root).map(|t| t.num_slots()).unwrap_or(0);
+    }
+    query
+        .referenced_tables()
+        .iter()
+        .filter_map(|t| db.table(t))
+        .map(|t| t.num_slots())
+        .max()
+        .unwrap_or(0)
 }
 
 /// Converts a storage value into its wire representation.
@@ -578,6 +651,94 @@ mod tests {
         assert_eq!(rec.replayed, 0, "everything folded into the snapshot");
         assert_eq!(rec.db.table("fact").unwrap().num_live(), 6);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A star schema with a fact table big enough (40K rows) that the
+    /// default planner wants to fan out.
+    fn big_db() -> Database {
+        let mut dim =
+            Table::new("dim", Schema::new(vec![ColumnDef::new("d_name", DataType::Dict)]));
+        for i in 0..16 {
+            dim.append_row(&[Value::Str(format!("d{i}"))]);
+        }
+        let mut fact = Table::new(
+            "fact",
+            Schema::new(vec![
+                ColumnDef::new("f_dim", DataType::Key { target: "dim".into() }),
+                ColumnDef::new("f_v", DataType::I64),
+            ]),
+        );
+        for i in 0..40_000u32 {
+            fact.append_row(&[Value::Key(i % 16), Value::Int(i as i64)]);
+        }
+        let mut db = Database::new();
+        db.add_table(dim);
+        db.add_table(fact);
+        db
+    }
+
+    #[test]
+    fn big_scans_fan_out_under_the_core_budget() {
+        let e =
+            Engine::with_options(SharedDatabase::new(big_db()), ExecOptions::default().threads(4))
+                .core_budget(4);
+        let serial_ref = Engine::new(SharedDatabase::new(big_db()));
+        let q = "SELECT d_name, sum(f_v) AS s FROM fact, dim GROUP BY d_name ORDER BY d_name";
+        let par = sql(&e, q);
+        assert_eq!(par.get("ok").unwrap().as_bool(), Some(true), "{par:?}");
+        assert_eq!(par.get("rows"), sql(&serial_ref, q).get("rows"), "parallel == serial");
+        let stats = e.stats();
+        assert_eq!(stats.parallel_queries.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(stats.parallel_denied.load(std::sync::atomic::Ordering::Relaxed), 0);
+        assert_eq!(e.budget().in_use(), 0, "permits returned after the query");
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_serial_and_counts_it() {
+        // Budget of 1: the statement's own baseline permit consumes it, so
+        // no extra engine threads can ever be granted.
+        let e =
+            Engine::with_options(SharedDatabase::new(big_db()), ExecOptions::default().threads(4))
+                .core_budget(1);
+        let r = sql(&e, "SELECT sum(f_v) AS s FROM fact");
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+        let stats = e.stats();
+        assert_eq!(stats.parallel_queries.load(std::sync::atomic::Ordering::Relaxed), 0);
+        assert_eq!(stats.parallel_denied.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn small_scans_never_ask_for_extra_permits() {
+        // The tiny fixture stays under the planner threshold: no fan-out
+        // request is ever made, so nothing is counted as denied either.
+        let e = Engine::with_options(
+            SharedDatabase::new({
+                let base = engine();
+                let db = base.database().snapshot().as_ref().clone();
+                db
+            }),
+            ExecOptions::default().threads(8),
+        )
+        .core_budget(8);
+        let r = sql(&e, "SELECT sum(f_v) AS s FROM fact");
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+        let stats = e.stats();
+        assert_eq!(stats.parallel_queries.load(std::sync::atomic::Ordering::Relaxed), 0);
+        assert_eq!(stats.parallel_denied.load(std::sync::atomic::Ordering::Relaxed), 0);
+        assert_eq!(e.budget().denied(), 0);
+    }
+
+    #[test]
+    fn stats_cmd_reports_core_budget_gauges() {
+        let e =
+            Engine::with_options(SharedDatabase::new(big_db()), ExecOptions::default().threads(2))
+                .core_budget(6);
+        let r = e.handle_line(r#"{"cmd":"stats"}"#);
+        let s = r.get("stats").unwrap();
+        assert_eq!(s.get("engine_threads").unwrap().as_i64(), Some(2));
+        assert_eq!(s.get("core_budget_total").unwrap().as_i64(), Some(6));
+        assert_eq!(s.get("core_budget_in_use").unwrap().as_i64(), Some(0));
+        assert_eq!(s.get("parallel_queries").unwrap().as_i64(), Some(0));
     }
 
     #[test]

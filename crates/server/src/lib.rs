@@ -35,11 +35,19 @@
 //!                                     │
 //!                                     ▼
 //!        Engine: parse → PlanCache (normalized SQL → Arc<Query>)
-//!                  │ SELECT: execute against SharedDatabase::snapshot()
+//!                  │ SELECT: execute against SharedDatabase::snapshot(),
+//!                  │   fan-out threads granted by the shared CoreBudget
+//!                  │   (big scans go morsel-parallel, small stay serial)
 //!                  │ INSERT/UPDATE/DELETE: SharedDatabase::write (atomic)
 //!                  ▼
 //!        ServerStats: counters + streaming latency histogram (p50/p99)
 //! ```
+//!
+//! Intra-query parallelism (`--engine-threads`) and the worker pool share
+//! one [`CoreBudget`] sized to the machine's cores: each executing
+//! statement holds a baseline permit, and a query fans out only over the
+//! cores nobody else is using — the two concurrency layers compose instead
+//! of multiplying.
 //!
 //! Binaries: `astore-serve` (the server) and `loadgen` (a load-generator
 //! client that prints a JSON throughput/latency summary).
@@ -47,6 +55,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod budget;
 pub mod cache;
 pub mod client;
 pub mod engine;
@@ -56,6 +65,7 @@ pub mod pool;
 pub mod server;
 pub mod stats;
 
+pub use budget::CoreBudget;
 pub use cache::PlanCache;
 pub use client::{Client, ClientError};
 pub use engine::{Durability, Engine, ErrorCode};

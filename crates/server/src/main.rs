@@ -29,6 +29,7 @@ fn main() {
     let mut data_dir: Option<String> = None;
     let mut cache_dir: Option<String> = None;
     let mut checkpoint_every: u64 = 4096;
+    let mut engine_threads: usize = 1;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -54,6 +55,9 @@ fn main() {
             "--cache-dir" => cache_dir = Some(value("--cache-dir")),
             "--checkpoint-every" => {
                 checkpoint_every = parse_or_die(&value("--checkpoint-every"), "--checkpoint-every")
+            }
+            "--engine-threads" => {
+                engine_threads = parse_or_die(&value("--engine-threads"), "--engine-threads")
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -113,17 +117,20 @@ fn main() {
         }
     };
 
-    let mut engine = Engine::new(SharedDatabase::new(db));
+    let exec_opts = astore_core::exec::ExecOptions::default().threads(engine_threads.max(1));
+    let mut engine = Engine::with_options(SharedDatabase::new(db), exec_opts);
     if let Some(d) = durability {
         engine = engine.durable(d);
     }
+    let budget_total = engine.budget().total();
     let engine = Arc::new(engine);
     let workers = config.workers;
     let queue = config.queue_depth;
     match start(engine, config) {
         Ok(handle) => {
             eprintln!(
-                "astore-serve listening on {} ({workers} workers, queue depth {queue})",
+                "astore-serve listening on {} ({workers} workers, queue depth {queue}, \
+                 engine threads {engine_threads}, core budget {budget_total})",
                 handle.addr(),
             );
             handle.join();
@@ -184,4 +191,9 @@ flags:
   --cache-dir <dir>       memoize generated datasets as snapshots keyed by
                           (dataset, sf, seed): generate once, reload after
   --checkpoint-every <n>  auto-checkpoint after n WAL records (default 4096,
-                          0 = only on {\"cmd\":\"checkpoint\"})";
+                          0 = only on {\"cmd\":\"checkpoint\"})
+  --engine-threads <n>    per-query fan-out ceiling (default 1 = serial).
+                          Big scans split into morsels across up to n worker
+                          threads, granted from a global core budget shared
+                          with the statement worker pool, so intra-query and
+                          inter-query parallelism never oversubscribe cores";

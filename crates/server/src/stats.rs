@@ -18,6 +18,11 @@ pub struct ServerStats {
     pub wal_records: AtomicU64,
     /// Checkpoints taken (explicit or automatic).
     pub checkpoints: AtomicU64,
+    /// Read queries executed by the morsel-driven parallel executor.
+    pub parallel_queries: AtomicU64,
+    /// Read queries the planner wanted to fan out but that ran serial
+    /// (core budget exhausted, or the final row-count clamp said no).
+    pub parallel_denied: AtomicU64,
     /// Requests that returned an error frame (parse/plan/execution).
     pub errors: AtomicU64,
     /// Requests shed by admission control (`server_busy`).
@@ -38,6 +43,8 @@ impl Default for ServerStats {
             writes: AtomicU64::new(0),
             wal_records: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
+            parallel_queries: AtomicU64::new(0),
+            parallel_denied: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             conn_rejected: AtomicU64::new(0),
@@ -62,6 +69,8 @@ impl ServerStats {
             ("writes", Json::Int(self.writes.load(Ordering::Relaxed) as i64)),
             ("wal_records", Json::Int(self.wal_records.load(Ordering::Relaxed) as i64)),
             ("checkpoints", Json::Int(self.checkpoints.load(Ordering::Relaxed) as i64)),
+            ("parallel_queries", Json::Int(self.parallel_queries.load(Ordering::Relaxed) as i64)),
+            ("parallel_denied", Json::Int(self.parallel_denied.load(Ordering::Relaxed) as i64)),
             ("errors", Json::Int(self.errors.load(Ordering::Relaxed) as i64)),
             ("rejected", Json::Int(self.rejected.load(Ordering::Relaxed) as i64)),
             ("connections_rejected", Json::Int(self.conn_rejected.load(Ordering::Relaxed) as i64)),
@@ -96,8 +105,16 @@ mod tests {
         assert_eq!(j.get("queries").unwrap().as_i64(), Some(3));
         assert_eq!(j.get("latency_count").unwrap().as_i64(), Some(1));
         assert!(j.get("uptime_s").unwrap().as_f64().unwrap() >= 0.0);
-        for key in ["writes", "wal_records", "checkpoints", "errors", "rejected", "latency_p99_us"]
-        {
+        for key in [
+            "writes",
+            "wal_records",
+            "checkpoints",
+            "parallel_queries",
+            "parallel_denied",
+            "errors",
+            "rejected",
+            "latency_p99_us",
+        ] {
             assert!(j.get(key).is_some(), "missing {key}");
         }
     }
