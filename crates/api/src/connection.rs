@@ -1,0 +1,421 @@
+//! The [`Connection`] trait and its two implementations: embedded
+//! (in-process over a [`SharedDatabase`]) and remote (TCP, wire protocol
+//! v2). A [`PreparedStatement`] made by either flavour exposes the same
+//! metadata, and query results come back as the same typed [`Rows`] — code
+//! written against the trait runs unchanged over either transport.
+
+use std::sync::Arc;
+
+use astore_core::exec::{execute, ExecOptions};
+use astore_persist::apply::{apply_prepared, ApplyError};
+use astore_server::json::Json;
+use astore_server::{Client, ClientError};
+use astore_sql::prepared::{BoundStatement, Prepared};
+use astore_sql::ColumnType;
+use astore_storage::catalog::Database;
+use astore_storage::snapshot::SharedDatabase;
+use astore_storage::types::Value;
+
+use crate::error::{from_prepare, AstoreError};
+use crate::rows::Rows;
+
+/// A prepared statement handle: planned once, executable many times with
+/// different parameter bindings. Created by [`Connection::prepare`]; use it
+/// only with the connection (flavour) that created it.
+#[derive(Debug, Clone)]
+pub struct PreparedStatement {
+    sql: String,
+    param_count: usize,
+    is_select: bool,
+    columns: Option<Vec<String>>,
+    column_types: Option<Vec<ColumnType>>,
+    inner: Inner,
+}
+
+#[derive(Debug, Clone)]
+enum Inner {
+    Embedded(Arc<Prepared>),
+    Remote { id: u64 },
+}
+
+impl PreparedStatement {
+    /// The statement's canonical SQL text (embedded) or its source text
+    /// (remote).
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// Number of parameter values every execution must bind.
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    /// Is this a read-only SELECT?
+    pub fn is_select(&self) -> bool {
+        self.is_select
+    }
+
+    /// Output column names (SELECT only).
+    pub fn columns(&self) -> Option<&[String]> {
+        self.columns.as_deref()
+    }
+
+    /// Advertised output column types (SELECT only).
+    pub fn column_types(&self) -> Option<&[ColumnType]> {
+        self.column_types.as_deref()
+    }
+
+    /// The server-side statement id (remote statements only).
+    pub fn remote_id(&self) -> Option<u64> {
+        match self.inner {
+            Inner::Remote { id } => Some(id),
+            Inner::Embedded(_) => None,
+        }
+    }
+}
+
+/// One API over both deployment shapes of A-Store: prepare/bind/execute
+/// with typed rows and structured errors.
+///
+/// The `query*` methods run SELECTs and return [`Rows`]; the `execute*`
+/// methods run writes and return the number of affected rows. Using a
+/// statement with the wrong method — or with a connection flavour that did
+/// not prepare it — is a typed [`AstoreError::Usage`] error, never a
+/// silent misfire.
+pub trait Connection {
+    /// Parses and plans `sql` (placeholders: `?` positional, `$n`
+    /// numbered) into a reusable [`PreparedStatement`].
+    fn prepare(&mut self, sql: &str) -> Result<PreparedStatement, AstoreError>;
+
+    /// Executes a prepared SELECT with the given parameter values.
+    fn query_prepared(
+        &mut self,
+        stmt: &PreparedStatement,
+        params: &[Value],
+    ) -> Result<Rows, AstoreError>;
+
+    /// Executes a prepared write with the given parameter values,
+    /// returning the number of affected rows.
+    fn execute_prepared(
+        &mut self,
+        stmt: &PreparedStatement,
+        params: &[Value],
+    ) -> Result<u64, AstoreError>;
+
+    /// One-shot SELECT: prepare, bind `params`, run.
+    fn query(&mut self, sql: &str, params: &[Value]) -> Result<Rows, AstoreError> {
+        let stmt = self.prepare(sql)?;
+        self.query_prepared(&stmt, params)
+    }
+
+    /// One-shot write: prepare, bind `params`, apply.
+    fn execute(&mut self, sql: &str, params: &[Value]) -> Result<u64, AstoreError> {
+        let stmt = self.prepare(sql)?;
+        self.execute_prepared(&stmt, params)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Embedded
+// ---------------------------------------------------------------------------
+
+/// An in-process connection over a [`SharedDatabase`]: reads execute
+/// against O(1) copy-on-write snapshots, writes go through the same
+/// validated apply path the server and WAL replay use.
+#[derive(Debug, Clone)]
+pub struct EmbeddedConnection {
+    db: SharedDatabase,
+    opts: ExecOptions,
+}
+
+impl EmbeddedConnection {
+    /// Wraps an owned database.
+    pub fn new(db: Database) -> Self {
+        EmbeddedConnection::over(SharedDatabase::new(db))
+    }
+
+    /// Wraps a shared handle (several connections may share one database).
+    pub fn over(db: SharedDatabase) -> Self {
+        EmbeddedConnection { db, opts: ExecOptions::default() }
+    }
+
+    /// Replaces the execution options (scan variant, thread ceiling, …).
+    pub fn with_options(mut self, opts: ExecOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// The underlying shared database handle.
+    pub fn shared(&self) -> &SharedDatabase {
+        &self.db
+    }
+
+    /// An O(1) read snapshot of the current database state.
+    pub fn snapshot(&self) -> Arc<Database> {
+        self.db.snapshot()
+    }
+
+    /// Like [`Connection::query_prepared`], additionally returning the
+    /// engine's plan diagnostics (executor, chain counts, selectivity) —
+    /// what the CLI's `\plan on` mode prints.
+    pub fn query_with_plan(
+        &mut self,
+        stmt: &PreparedStatement,
+        params: &[Value],
+    ) -> Result<(Rows, astore_core::exec::PlanInfo), AstoreError> {
+        let prepared = self.embedded_stmt(stmt)?;
+        if !stmt.is_select {
+            return Err(AstoreError::Usage {
+                message: "statement is a write; use execute_prepared".into(),
+            });
+        }
+        let query = match prepared
+            .bind(params)
+            .map_err(|e| AstoreError::Param { message: e.to_string() })?
+        {
+            BoundStatement::Select(q) => q,
+            BoundStatement::Write(_) => unreachable!("is_select checked"),
+        };
+        let snap = self.db.snapshot();
+        let out = execute(&snap, &query, &self.opts)
+            .map_err(|e| AstoreError::Exec { message: e.to_string() })?;
+        let rows = Rows::new(
+            stmt.columns.clone().unwrap_or_default(),
+            stmt.column_types.clone().unwrap_or_default(),
+            out.result.rows,
+        );
+        Ok((rows, out.plan))
+    }
+
+    fn embedded_stmt<'s>(
+        &self,
+        stmt: &'s PreparedStatement,
+    ) -> Result<&'s Arc<Prepared>, AstoreError> {
+        match &stmt.inner {
+            Inner::Embedded(p) => Ok(p),
+            Inner::Remote { .. } => Err(AstoreError::Usage {
+                message: "statement was prepared on a remote connection".into(),
+            }),
+        }
+    }
+}
+
+impl Connection for EmbeddedConnection {
+    fn prepare(&mut self, sql: &str) -> Result<PreparedStatement, AstoreError> {
+        let snap = self.db.snapshot();
+        let prepared = Arc::new(astore_sql::prepare(sql, &snap).map_err(|e| from_prepare(e, sql))?);
+        Ok(PreparedStatement {
+            sql: prepared.sql().to_owned(),
+            param_count: prepared.param_count(),
+            is_select: prepared.is_select(),
+            columns: prepared.columns().map(<[String]>::to_vec),
+            column_types: prepared.column_types().map(<[ColumnType]>::to_vec),
+            inner: Inner::Embedded(prepared),
+        })
+    }
+
+    fn query_prepared(
+        &mut self,
+        stmt: &PreparedStatement,
+        params: &[Value],
+    ) -> Result<Rows, AstoreError> {
+        self.query_with_plan(stmt, params).map(|(rows, _)| rows)
+    }
+
+    fn execute_prepared(
+        &mut self,
+        stmt: &PreparedStatement,
+        params: &[Value],
+    ) -> Result<u64, AstoreError> {
+        let prepared = self.embedded_stmt(stmt)?;
+        if stmt.is_select {
+            return Err(AstoreError::Usage {
+                message: "statement is a SELECT; use query_prepared".into(),
+            });
+        }
+        let affected = self.db.write(|db| apply_prepared(db, prepared, params));
+        match affected {
+            Ok((n, _)) => Ok(n as u64),
+            Err(ApplyError::Param(e)) => Err(AstoreError::Param { message: e.to_string() }),
+            Err(ApplyError::Invalid(m)) => Err(AstoreError::Write { message: m }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Remote
+// ---------------------------------------------------------------------------
+
+/// A TCP connection to an `astore-serve` instance, speaking wire protocol
+/// v2: statements are prepared server-side once and executed by id with
+/// bound parameters — the hot path sends no SQL text at all.
+#[derive(Debug)]
+pub struct RemoteConnection {
+    client: Client,
+}
+
+impl RemoteConnection {
+    /// Connects to a server address (`host:port`).
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> Result<Self, AstoreError> {
+        Ok(RemoteConnection { client: Client::connect(addr)? })
+    }
+
+    /// The server's `stats` payload.
+    pub fn stats(&mut self) -> Result<Json, AstoreError> {
+        self.client.stats().map_err(client_error)
+    }
+
+    /// The underlying wire-protocol client (escape hatch for raw frames).
+    pub fn client_mut(&mut self) -> &mut Client {
+        &mut self.client
+    }
+
+    fn remote_id(&self, stmt: &PreparedStatement) -> Result<u64, AstoreError> {
+        match stmt.inner {
+            Inner::Remote { id } => Ok(id),
+            Inner::Embedded(_) => Err(AstoreError::Usage {
+                message: "statement was prepared on an embedded connection".into(),
+            }),
+        }
+    }
+
+    fn run(&mut self, stmt: &PreparedStatement, params: &[Value]) -> Result<Json, AstoreError> {
+        let id = self.remote_id(stmt)?;
+        let params: Vec<Json> = params.iter().map(value_to_json).collect();
+        let frame = self.client.execute(id, params).map_err(client_error)?;
+        check_frame(frame, Some(id))
+    }
+}
+
+impl Connection for RemoteConnection {
+    fn prepare(&mut self, sql: &str) -> Result<PreparedStatement, AstoreError> {
+        let frame = self.client.prepare(sql).map_err(client_error)?;
+        let frame = check_frame(frame, None)?;
+        let id = frame
+            .get("stmt_id")
+            .and_then(Json::as_i64)
+            .ok_or_else(|| protocol("prepare response lacks stmt_id"))?;
+        let param_count = frame.get("param_count").and_then(Json::as_i64).unwrap_or(0);
+        let is_select = frame.get("kind").and_then(Json::as_str) == Some("select");
+        let columns = frame
+            .get("columns")
+            .and_then(Json::as_array)
+            .map(|cs| cs.iter().filter_map(|c| c.as_str().map(str::to_owned)).collect::<Vec<_>>());
+        let column_types = frame.get("column_types").and_then(Json::as_array).map(|ts| {
+            ts.iter()
+                .map(|t| match t.as_str() {
+                    Some("int") => ColumnType::Int,
+                    Some("str") => ColumnType::Str,
+                    _ => ColumnType::Float,
+                })
+                .collect::<Vec<_>>()
+        });
+        Ok(PreparedStatement {
+            sql: sql.to_owned(),
+            param_count: param_count.max(0) as usize,
+            is_select,
+            columns,
+            column_types,
+            inner: Inner::Remote { id: id.max(0) as u64 },
+        })
+    }
+
+    fn query_prepared(
+        &mut self,
+        stmt: &PreparedStatement,
+        params: &[Value],
+    ) -> Result<Rows, AstoreError> {
+        if !stmt.is_select {
+            return Err(AstoreError::Usage {
+                message: "statement is a write; use execute_prepared".into(),
+            });
+        }
+        let frame = self.run(stmt, params)?;
+        let columns: Vec<String> = frame
+            .get("columns")
+            .and_then(Json::as_array)
+            .map(|cs| cs.iter().filter_map(|c| c.as_str().map(str::to_owned)).collect())
+            .or_else(|| stmt.columns.clone())
+            .unwrap_or_default();
+        let types =
+            stmt.column_types.clone().unwrap_or_else(|| vec![ColumnType::Float; columns.len()]);
+        let rows: Vec<Vec<Value>> = frame
+            .get("rows")
+            .and_then(Json::as_array)
+            .map(|rs| {
+                rs.iter()
+                    .filter_map(Json::as_array)
+                    .map(|r| r.iter().map(json_to_value).collect())
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(Rows::new(columns, types, rows))
+    }
+
+    fn execute_prepared(
+        &mut self,
+        stmt: &PreparedStatement,
+        params: &[Value],
+    ) -> Result<u64, AstoreError> {
+        if stmt.is_select {
+            return Err(AstoreError::Usage {
+                message: "statement is a SELECT; use query_prepared".into(),
+            });
+        }
+        let frame = self.run(stmt, params)?;
+        frame
+            .get("rows_affected")
+            .and_then(Json::as_i64)
+            .map(|n| n.max(0) as u64)
+            .ok_or_else(|| protocol("write response lacks rows_affected"))
+    }
+}
+
+fn protocol(message: &str) -> AstoreError {
+    AstoreError::Protocol { code: "protocol".into(), message: message.into() }
+}
+
+fn client_error(e: ClientError) -> AstoreError {
+    match e {
+        ClientError::Io(e) => AstoreError::Io(e),
+        ClientError::Protocol(m) => AstoreError::Protocol { code: "protocol".into(), message: m },
+    }
+}
+
+/// Turns an error frame into the matching [`AstoreError`]; passes success
+/// frames through.
+fn check_frame(frame: Json, stmt_id: Option<u64>) -> Result<Json, AstoreError> {
+    if frame.get("ok").and_then(Json::as_bool) == Some(true) {
+        return Ok(frame);
+    }
+    let code = frame.get("code").and_then(Json::as_str).unwrap_or("unknown").to_owned();
+    let message = frame.get("error").and_then(Json::as_str).unwrap_or("(no message)").to_owned();
+    Err(match code.as_str() {
+        "parse_error" => AstoreError::Parse { message, span: None, sql: None },
+        "plan_error" => AstoreError::Plan { message },
+        "param_error" => AstoreError::Param { message },
+        "exec_error" => AstoreError::Exec { message },
+        "write_error" => AstoreError::Write { message },
+        "unknown_statement" => AstoreError::UnknownStatement { id: stmt_id.unwrap_or(0) },
+        "server_busy" => AstoreError::Busy { message },
+        "too_many_connections" => AstoreError::TooManyConnections { message },
+        _ => AstoreError::Protocol { code, message },
+    })
+}
+
+// Parameter encoding reuses the server's own wire conversion so the two
+// sides cannot drift (Key → Int, etc.).
+use astore_server::engine::value_to_json;
+
+/// Decodes one result cell. The server only ever emits scalars (see
+/// `astore_server::engine::value_to_json`); anything else is rendered
+/// leniently rather than failing the whole result set.
+fn json_to_value(j: &Json) -> Value {
+    match j {
+        Json::Int(x) => Value::Int(*x),
+        Json::Float(f) => Value::Float(*f),
+        Json::Str(s) => Value::Str(s.clone()),
+        Json::Null => Value::Null,
+        other => Value::Str(other.to_string()),
+    }
+}

@@ -1,0 +1,173 @@
+//! Typed query results: [`Rows`] (an iterator of [`Row`]s with column
+//! names and advertised types) shared by the embedded and remote
+//! connections, so result handling code is transport-agnostic.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+pub use astore_sql::ColumnType;
+use astore_storage::types::Value;
+
+/// The shared header of a result set.
+#[derive(Debug, Clone)]
+struct Header {
+    columns: Arc<Vec<String>>,
+    types: Arc<Vec<ColumnType>>,
+}
+
+/// A materialized result set: column metadata plus an iterator of rows.
+#[derive(Debug, Clone)]
+pub struct Rows {
+    header: Header,
+    rows: VecDeque<Vec<Value>>,
+}
+
+impl Rows {
+    /// Builds a result set (used by the connection implementations).
+    pub fn new(columns: Vec<String>, types: Vec<ColumnType>, rows: Vec<Vec<Value>>) -> Self {
+        Rows {
+            header: Header { columns: Arc::new(columns), types: Arc::new(types) },
+            rows: rows.into(),
+        }
+    }
+
+    /// Output column names, in result order.
+    pub fn columns(&self) -> &[String] {
+        &self.header.columns
+    }
+
+    /// Advertised type of each output column.
+    pub fn column_types(&self) -> &[ColumnType] {
+        &self.header.types
+    }
+
+    /// Rows not yet consumed by the iterator.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when every row has been consumed (or none existed).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl Iterator for Rows {
+    type Item = Row;
+
+    fn next(&mut self) -> Option<Row> {
+        self.rows.pop_front().map(|values| Row { header: self.header.clone(), values })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.rows.len(), Some(self.rows.len()))
+    }
+}
+
+impl ExactSizeIterator for Rows {}
+
+/// One result row, addressable by index or column name.
+#[derive(Debug, Clone)]
+pub struct Row {
+    header: Header,
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Output column names, in result order.
+    pub fn columns(&self) -> &[String] {
+        &self.header.columns
+    }
+
+    /// The raw values of the row.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consumes the row, returning its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// The value at `idx`, if in range.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// The value of the named output column.
+    pub fn get_named(&self, name: &str) -> Option<&Value> {
+        let idx = self.header.columns.iter().position(|c| c == name)?;
+        self.values.get(idx)
+    }
+
+    /// The value at `idx` as an integer (whole floats coerce).
+    pub fn as_i64(&self, idx: usize) -> Option<i64> {
+        match self.get(idx)? {
+            Value::Int(v) => Some(*v),
+            Value::Key(k) => Some(i64::from(*k)),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() < 9e15 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// The value at `idx` as a float (integers coerce).
+    pub fn as_f64(&self, idx: usize) -> Option<f64> {
+        match self.get(idx)? {
+            Value::Float(f) => Some(*f),
+            Value::Int(v) => Some(*v as f64),
+            Value::Key(k) => Some(f64::from(*k)),
+            _ => None,
+        }
+    }
+
+    /// The value at `idx` as a string slice (strings only).
+    pub fn as_str(&self, idx: usize) -> Option<&str> {
+        match self.get(idx)? {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Rows {
+        Rows::new(
+            vec!["name".into(), "total".into()],
+            vec![ColumnType::Str, ColumnType::Float],
+            vec![
+                vec![Value::Str("a".into()), Value::Float(10.0)],
+                vec![Value::Str("b".into()), Value::Float(2.5)],
+            ],
+        )
+    }
+
+    #[test]
+    fn iteration_and_typed_access() {
+        let mut rs = rows();
+        assert_eq!(rs.columns(), ["name", "total"]);
+        assert_eq!(rs.column_types(), [ColumnType::Str, ColumnType::Float]);
+        assert_eq!(rs.len(), 2);
+
+        let first = rs.next().unwrap();
+        assert_eq!(first.as_str(0), Some("a"));
+        assert_eq!(first.as_f64(1), Some(10.0));
+        assert_eq!(first.as_i64(1), Some(10), "whole float coerces");
+        assert_eq!(first.get_named("total"), Some(&Value::Float(10.0)));
+        assert!(first.get_named("nope").is_none());
+
+        let second = rs.next().unwrap();
+        assert_eq!(second.as_i64(1), None, "2.5 does not coerce to int");
+        assert!(rs.next().is_none());
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn exact_size_iterator() {
+        let rs = rows();
+        assert_eq!(rs.size_hint(), (2, Some(2)));
+        assert_eq!(rs.count(), 2);
+    }
+}

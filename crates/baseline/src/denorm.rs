@@ -1,5 +1,5 @@
 //! Fully materialized denormalization — the paper's "Denormalization"
-//! comparator (hand-coded wide table, cf. Blink [31] and WideTable [33]).
+//! comparator (hand-coded wide table, cf. Blink \[31\] and WideTable \[33\]).
 //!
 //! [`denormalize`] joins the entire star/snowflake into one wide table by
 //! chasing the AIR chains once per fact row and materializing every

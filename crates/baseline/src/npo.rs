@@ -1,5 +1,5 @@
 //! NPO: the no-partitioning hash join of Balkesen et al. (ICDE 2013), the
-//! paper's reference [7].
+//! paper's reference \[7\].
 //!
 //! The build side is hashed into one shared bucket-chained hash table; the
 //! probe side streams through it. NPO shines when the build side fits the

@@ -1,5 +1,5 @@
 //! PRO: parallel radix-partitioned hash join (Balkesen et al., ICDE 2013,
-//! the paper's reference [7]).
+//! the paper's reference \[7\]).
 //!
 //! Both sides are radix-partitioned on their hashed keys (MSB-first, up to
 //! `bits_per_pass` bits per pass so the scatter fan-out stays TLB-friendly),

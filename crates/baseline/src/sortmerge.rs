@@ -1,5 +1,5 @@
 //! Sort-merge join (Balkesen et al., VLDB 2013 — the paper's reference
-//! [13], "Multi-core, main-memory joins: sort vs. hash revisited").
+//! \[13\], "Multi-core, main-memory joins: sort vs. hash revisited").
 //!
 //! Both inputs are sorted on the join key, then merged. For duplicate keys
 //! on both sides the merge produces the full cross product, as an equi-join

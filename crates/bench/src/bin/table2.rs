@@ -1,5 +1,5 @@
 //! **Table 2**: AIR vs NPO vs PRO on 19 FK-PK joins (SSB, TPC-H, TPC-DS,
-//! and the Workload A/B microbenchmarks of [7]).
+//! and the Workload A/B microbenchmarks of \[7\]).
 //!
 //! The paper reports cycles/tuple at SF = 100; this harness reports
 //! ns/tuple at `ASTORE_SF` (default 0.05). The target shape: AIR wins every

@@ -2,8 +2,10 @@
 //! stdin/stdout so it is unit-testable.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
+use astore_api::{Connection, EmbeddedConnection, Row};
 use astore_baseline::engine::execute_hash_pipeline;
 use astore_core::prelude::*;
 use astore_datagen::{ssb, tpch};
@@ -11,10 +13,11 @@ use astore_server::json::Json;
 use astore_server::Client;
 use astore_sql::sql_to_query;
 use astore_storage::prelude::*;
+use astore_storage::snapshot::SharedDatabase;
 
 /// A REPL session holding the loaded database and settings.
 pub struct Session {
-    db: Database,
+    db: SharedDatabase,
     dataset: String,
     opts: ExecOptions,
     /// When set, SQL is sent to a remote astore-server instead of the
@@ -50,7 +53,7 @@ impl Session {
     /// Creates a session with an empty database.
     pub fn new() -> Self {
         Session {
-            db: Database::new(),
+            db: SharedDatabase::default(),
             dataset: "(empty)".into(),
             opts: ExecOptions::default(),
             remote: None,
@@ -67,10 +70,10 @@ impl Session {
         }
     }
 
-    /// Direct access to the loaded database (used by embedding callers).
+    /// A snapshot of the loaded database (used by embedding callers).
     #[allow(dead_code)]
-    pub fn database(&self) -> &Database {
-        &self.db
+    pub fn database(&self) -> Arc<Database> {
+        self.db.snapshot()
     }
 
     /// Processes one input line (a meta command starting with `\` or a SQL
@@ -106,21 +109,21 @@ impl Session {
                 match arg {
                     "ssb" => {
                         let t = Instant::now();
-                        self.db = ssb::generate(sf, 42);
+                        self.db = SharedDatabase::new(ssb::generate(sf, 42));
                         self.dataset = format!("ssb sf={sf}");
                         Outcome::Text(format!(
                             "loaded SSB at SF={sf} ({} lineorder rows) in {:.1?}",
-                            self.db.table("lineorder").unwrap().num_slots(),
+                            self.db.snapshot().table("lineorder").unwrap().num_slots(),
                             t.elapsed()
                         ))
                     }
                     "tpch" => {
                         let t = Instant::now();
-                        self.db = tpch::generate(sf, 42);
+                        self.db = SharedDatabase::new(tpch::generate(sf, 42));
                         self.dataset = format!("tpch sf={sf}");
                         Outcome::Text(format!(
                             "loaded TPC-H subset at SF={sf} ({} lineitem rows) in {:.1?}",
-                            self.db.table("lineitem").unwrap().num_slots(),
+                            self.db.snapshot().table("lineitem").unwrap().num_slots(),
                             t.elapsed()
                         ))
                     }
@@ -130,9 +133,10 @@ impl Session {
                 }
             }
             "tables" => {
+                let db = self.db.snapshot();
                 let mut out = String::new();
-                for name in self.db.table_names() {
-                    let t = self.db.table(name).unwrap();
+                for name in db.table_names() {
+                    let t = db.table(name).unwrap();
                     let _ = writeln!(
                         out,
                         "{name:<12} {:>10} rows  {:>2} columns",
@@ -145,7 +149,7 @@ impl Session {
                 }
                 Outcome::Text(out)
             }
-            "schema" => match self.db.table(arg) {
+            "schema" => match self.db.snapshot().table(arg) {
                 None => Outcome::Text(format!("no table {arg:?}")),
                 Some(t) => {
                     let mut out = String::new();
@@ -156,7 +160,8 @@ impl Session {
                 }
             },
             "graph" => {
-                let g = JoinGraph::build(&self.db);
+                let db = self.db.snapshot();
+                let g = JoinGraph::build(&db);
                 let mut out = String::new();
                 for root in g.roots() {
                     let _ = writeln!(out, "root: {root}");
@@ -235,14 +240,15 @@ impl Session {
         if self.remote.is_some() {
             return "\\save works on the local database; \\disconnect first".into();
         }
-        if self.db.is_empty() {
+        let db = self.db.snapshot();
+        if db.is_empty() {
             return "nothing to save; \\load a dataset first".into();
         }
         let t = Instant::now();
-        match astore_persist::save_snapshot(&self.db, path) {
+        match astore_persist::save_snapshot(&db, path) {
             Ok(bytes) => format!(
                 "saved {} table(s), {:.1} MiB to {path} in {:.1?}",
-                self.db.len(),
+                db.len(),
                 bytes as f64 / (1 << 20) as f64,
                 t.elapsed()
             ),
@@ -263,13 +269,10 @@ impl Session {
             Ok(db) => {
                 let rows: usize =
                     db.table_names().iter().map(|n| db.table(n).unwrap().num_live()).sum();
-                self.db = db;
+                let tables = db.len();
+                self.db = SharedDatabase::new(db);
                 self.dataset = path.to_owned();
-                format!(
-                    "opened {path}: {} table(s), {rows} live rows in {:.1?}",
-                    self.db.len(),
-                    t.elapsed()
-                )
+                format!("opened {path}: {tables} table(s), {rows} live rows in {:.1?}", t.elapsed())
             }
             Err(e) => format!("could not open {path}: {e}"),
         }
@@ -304,35 +307,55 @@ impl Session {
         }
     }
 
+    /// Executes local SQL — reads *and* rowid-addressed writes — through
+    /// the unified connection API ([`astore_api::Connection`]): prepare,
+    /// bind (no parameters at the REPL), execute.
     fn run_sql(&mut self, sql: &str) -> String {
-        let q = match sql_to_query(sql, &self.db) {
-            Ok(q) => q,
-            Err(e) => return format!("error: {e}"),
+        let mut conn = EmbeddedConnection::over(self.db.clone()).with_options(self.opts.clone());
+        let stmt = match conn.prepare(sql) {
+            Ok(s) => s,
+            Err(e) => return e.render(),
         };
         let t = Instant::now();
-        match execute(&self.db, &q, &self.opts) {
-            Err(e) => format!("error: {e}"),
-            Ok(out) => {
-                let mut s = out.result.to_table_string();
-                let _ = writeln!(s, "({} rows)", out.result.len());
-                if self.timing {
-                    let _ = writeln!(s, "time: {:.2} ms", t.elapsed().as_secs_f64() * 1e3);
+        if stmt.is_select() {
+            match conn.query_with_plan(&stmt, &[]) {
+                Err(e) => e.render(),
+                Ok((rows, plan)) => {
+                    let columns = rows.columns().to_vec();
+                    let result =
+                        QueryResult { columns, rows: rows.map(Row::into_values).collect() };
+                    let mut s = result.to_table_string();
+                    let _ = writeln!(s, "({} rows)", result.len());
+                    if self.timing {
+                        let _ = writeln!(s, "time: {:.2} ms", t.elapsed().as_secs_f64() * 1e3);
+                    }
+                    if self.show_plan {
+                        let _ = writeln!(
+                            s,
+                            "plan: root={} variant={} executor={} predvec_chains={} agg={:?} \
+                             selected={} groups={}",
+                            plan.root,
+                            self.opts.variant.paper_name(),
+                            plan.executor,
+                            plan.predvec_chains,
+                            plan.agg_strategy,
+                            plan.selected_rows,
+                            plan.groups
+                        );
+                    }
+                    s
                 }
-                if self.show_plan {
-                    let _ = writeln!(
-                        s,
-                        "plan: root={} variant={} executor={} predvec_chains={} agg={:?} \
-                         selected={} groups={}",
-                        out.plan.root,
-                        self.opts.variant.paper_name(),
-                        out.plan.executor,
-                        out.plan.predvec_chains,
-                        out.plan.agg_strategy,
-                        out.plan.selected_rows,
-                        out.plan.groups
-                    );
+            }
+        } else {
+            match conn.execute_prepared(&stmt, &[]) {
+                Err(e) => e.render(),
+                Ok(n) => {
+                    let mut s = format!("{n} rows affected");
+                    if self.timing {
+                        let _ = write!(s, "\ntime: {:.2} ms", t.elapsed().as_secs_f64() * 1e3);
+                    }
+                    s
                 }
-                s
             }
         }
     }
@@ -341,18 +364,19 @@ impl Session {
     /// agreement, report both times.
     fn compare(&mut self, tail: String, first: &str) -> String {
         let sql = format!("{first} {tail}");
-        let q = match sql_to_query(&sql, &self.db) {
+        let db = self.db.snapshot();
+        let q = match sql_to_query(&sql, &db) {
             Ok(q) => q,
             Err(e) => return format!("error: {e}"),
         };
         let t = Instant::now();
-        let air = match execute(&self.db, &q, &self.opts) {
+        let air = match execute(&db, &q, &self.opts) {
             Ok(o) => o,
             Err(e) => return format!("error: {e}"),
         };
         let air_ms = t.elapsed().as_secs_f64() * 1e3;
         let t = Instant::now();
-        let hash = match execute_hash_pipeline(&self.db, &q) {
+        let hash = match execute_hash_pipeline(&db, &q) {
             Ok(o) => o,
             Err(e) => return format!("error: {e}"),
         };
@@ -460,7 +484,8 @@ commands:
   \\stats             remote server counters (remote mode only)
   \\help              this text
   \\q                 quit
-anything else is executed as SQL (SPJGA subset).";
+anything else is executed as SQL: SPJGA SELECTs, plus INSERT / UPDATE /
+DELETE addressed by rowid (local and remote mode alike).";
 
 #[cfg(test)]
 mod tests {
@@ -546,6 +571,21 @@ mod tests {
         assert!(text(fresh.feed("\\save")).contains("usage"));
         assert!(text(fresh.feed("\\open")).contains("usage"));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn local_writes_work_through_the_connection_api() {
+        let mut s = Session::new();
+        text(s.feed("\\load ssb 0.001"));
+        text(s.feed("\\timing off"));
+        let before = text(s.feed("SELECT count(*) FROM lineorder"));
+        let out = text(s.feed("UPDATE customer SET c_mktsegment = 'MACHINERY' WHERE rowid = 0"));
+        assert!(out.contains("1 rows affected"), "{out}");
+        // Parse errors render caret diagnostics instead of dying.
+        let out = text(s.feed("DELETE FROM lineorder WHERE other = 1"));
+        assert!(out.contains("error[parse_error]"), "{out}");
+        let after = text(s.feed("SELECT count(*) FROM lineorder"));
+        assert_eq!(before, after, "failed write mutated nothing");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! match. These kernels are the unit the paper benchmarks against the NPO
 //! and PRO hash joins and sort-merge join (implemented in
 //! `astore-baseline`). Following the microbenchmark convention of Balkesen
-//! et al. [7], a join "materializes" by summing the matched payloads, so
+//! et al. \[7\], a join "materializes" by summing the matched payloads, so
 //! the kernel cost includes one dimension-side memory access per tuple.
 
 use astore_storage::bitmap::Bitmap;

@@ -271,6 +271,9 @@ pub struct ExecOutput {
 /// reports which path ran.
 pub fn execute(db: &Database, query: &Query, opts: &ExecOptions) -> Result<ExecOutput, BindError> {
     let t_start = Instant::now();
+    if query.has_params() {
+        return Err(BindError::UnboundParams(query.param_count()));
+    }
     let graph = JoinGraph::build(db);
     let root = bind_root(&graph, query.root.as_deref(), &query.referenced_tables())?;
     let u = Universal::new(db, &graph, &root)?;

@@ -22,6 +22,11 @@ pub enum Lit {
     Float(f64),
     /// String literal.
     Str(String),
+    /// An unbound parameter slot (`?` / `$n` in SQL, 0-based). A query
+    /// template carries these until [`crate::query::Query::bind_params`]
+    /// substitutes concrete literals; the executor refuses to run a query
+    /// that still contains one.
+    Param(u16),
 }
 
 impl From<i64> for Lit {
@@ -187,6 +192,78 @@ impl Pred {
         }
     }
 
+    /// Does this predicate reference any parameter slot? Early-exits on
+    /// the first one — the cheap guard the executor runs per query.
+    pub fn has_params(&self) -> bool {
+        let lit = |l: &Lit| matches!(l, Lit::Param(_));
+        match self {
+            Pred::Cmp { lit: l, .. } => lit(l),
+            Pred::Between { lo, hi, .. } => lit(lo) || lit(hi),
+            Pred::InList { lits, .. } => lits.iter().any(lit),
+            Pred::And(ps) | Pred::Or(ps) => ps.iter().any(Pred::has_params),
+            Pred::Not(p) => p.has_params(),
+            Pred::Const(_) => false,
+        }
+    }
+
+    /// Parameter slots referenced by this predicate, unsorted, with
+    /// duplicates (a slot may appear more than once).
+    pub fn param_slots(&self) -> Vec<u16> {
+        fn lit(l: &Lit, out: &mut Vec<u16>) {
+            if let Lit::Param(i) = l {
+                out.push(*i);
+            }
+        }
+        fn walk(p: &Pred, out: &mut Vec<u16>) {
+            match p {
+                Pred::Cmp { lit: l, .. } => lit(l, out),
+                Pred::Between { lo, hi, .. } => {
+                    lit(lo, out);
+                    lit(hi, out);
+                }
+                Pred::InList { lits, .. } => lits.iter().for_each(|l| lit(l, out)),
+                Pred::And(ps) | Pred::Or(ps) => ps.iter().for_each(|p| walk(p, out)),
+                Pred::Not(p) => walk(p, out),
+                Pred::Const(_) => {}
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
+    /// Substitutes every [`Lit::Param`] slot with the corresponding entry of
+    /// `params`. Errors on an out-of-range slot; leaves concrete literals
+    /// untouched.
+    pub fn bind_params(&self, params: &[Lit]) -> Result<Pred, String> {
+        let lit = |l: &Lit| -> Result<Lit, String> {
+            match l {
+                Lit::Param(i) => params.get(usize::from(*i)).cloned().ok_or_else(|| {
+                    format!("parameter ${} has no bound value ({} given)", i + 1, params.len())
+                }),
+                concrete => Ok(concrete.clone()),
+            }
+        };
+        Ok(match self {
+            Pred::Cmp { col, op, lit: l } => Pred::Cmp { col: col.clone(), op: *op, lit: lit(l)? },
+            Pred::Between { col, lo, hi } => {
+                Pred::Between { col: col.clone(), lo: lit(lo)?, hi: lit(hi)? }
+            }
+            Pred::InList { col, lits } => Pred::InList {
+                col: col.clone(),
+                lits: lits.iter().map(&lit).collect::<Result<_, _>>()?,
+            },
+            Pred::And(ps) => {
+                Pred::And(ps.iter().map(|p| p.bind_params(params)).collect::<Result<_, _>>()?)
+            }
+            Pred::Or(ps) => {
+                Pred::Or(ps.iter().map(|p| p.bind_params(params)).collect::<Result<_, _>>()?)
+            }
+            Pred::Not(p) => Pred::Not(Box::new(p.bind_params(params)?)),
+            Pred::Const(b) => Pred::Const(*b),
+        })
+    }
+
     /// Rewrites every column reference through `f` (used when rebinding a
     /// query to a denormalized table).
     pub fn map_columns(self, f: &impl Fn(&str) -> String) -> Pred {
@@ -241,6 +318,7 @@ fn int_lit(lit: &Lit, col: &str) -> i64 {
         Lit::Int(v) => *v,
         Lit::Float(v) => *v as i64,
         Lit::Str(_) => panic!("string literal used with numeric column {col:?}"),
+        Lit::Param(i) => panic!("unbound parameter ${} compared with column {col:?}", i + 1),
     }
 }
 
@@ -249,6 +327,7 @@ fn float_lit(lit: &Lit, col: &str) -> f64 {
         Lit::Int(v) => *v as f64,
         Lit::Float(v) => *v,
         Lit::Str(_) => panic!("string literal used with float column {col:?}"),
+        Lit::Param(i) => panic!("unbound parameter ${} compared with column {col:?}", i + 1),
     }
 }
 

@@ -202,6 +202,44 @@ impl Query {
         out
     }
 
+    /// Is this query still a template (any unbound parameter slot left)?
+    /// Early-exits on the first slot; the executor's per-query guard.
+    pub fn has_params(&self) -> bool {
+        self.selections.iter().any(|(_, p)| p.has_params())
+    }
+
+    /// Number of parameter slots this query template carries: one more than
+    /// the highest [`crate::expr::Lit::Param`] index referenced anywhere in
+    /// its selections (0 for a fully concrete query).
+    pub fn param_count(&self) -> usize {
+        self.selections
+            .iter()
+            .flat_map(|(_, p)| p.param_slots())
+            .map(|i| usize::from(i) + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Substitutes every parameter slot with the corresponding literal,
+    /// returning a concrete, executable clone of this template. The plan
+    /// structure (root, join chains, grouping, aggregates) is reused as-is —
+    /// this is the cheap bind-per-execute step that replaces re-planning.
+    ///
+    /// Errors if `params` does not cover every referenced slot; extra
+    /// parameters are an error too, so a caller cannot silently pass values
+    /// the query never reads.
+    pub fn bind_params(&self, params: &[crate::expr::Lit]) -> Result<Query, String> {
+        let expected = self.param_count();
+        if params.len() != expected {
+            return Err(format!("statement takes {expected} parameter(s), {} given", params.len()));
+        }
+        let mut bound = self.clone();
+        for (_, pred) in &mut bound.selections {
+            *pred = pred.bind_params(params)?;
+        }
+        Ok(bound)
+    }
+
     /// Output column names, group columns first, then aggregate aliases —
     /// the shape of the produced [`crate::result::QueryResult`].
     pub fn output_names(&self) -> Vec<String> {

@@ -35,6 +35,9 @@ pub enum BindError {
     },
     /// No root table covers all referenced tables.
     NoRoot(Vec<String>),
+    /// The query is still a template: it carries this many unbound
+    /// parameter slots and must go through `Query::bind_params` first.
+    UnboundParams(usize),
 }
 
 impl std::fmt::Display for BindError {
@@ -47,6 +50,9 @@ impl std::fmt::Display for BindError {
             }
             BindError::NoRoot(tables) => {
                 write!(f, "no single root table reaches all of {tables:?}")
+            }
+            BindError::UnboundParams(n) => {
+                write!(f, "query template has {n} unbound parameter(s); bind them first")
             }
         }
     }

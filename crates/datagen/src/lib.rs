@@ -10,7 +10,7 @@
 //! - [`tpcds`] — a TPC-DS subset (store_sales + 9 dimensions) reproducing
 //!   the Table 2 cardinality ratios;
 //! - [`workload`] — the synthetic Workload A/B join microbenchmarks of
-//!   Balkesen et al. [7].
+//!   Balkesen et al. \[7\].
 //!
 //! All generators take `(scale_factor, seed)` and are reproducible; foreign
 //! keys are emitted directly as array index references, which is how an

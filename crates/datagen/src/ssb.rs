@@ -1,5 +1,5 @@
 //! The Star Schema Benchmark: schema, deterministic generator, and the
-//! 13-query catalog (O'Neil et al. [4]; the paper's primary workload).
+//! 13-query catalog (O'Neil et al. \[4\]; the paper's primary workload).
 //!
 //! Layout follows SSB dbgen: a `lineorder` fact table referencing four
 //! dimensions (`date`, `customer`, `supplier`, `part`). Foreign keys are

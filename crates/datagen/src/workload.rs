@@ -36,14 +36,14 @@ impl JoinWorkload {
         JoinWorkload { build_keys, build_payloads, probe_keys }
     }
 
-    /// Workload A of [7]: probe:build = 16:1 (full size 256M:16M, scaled by
+    /// Workload A of \[7\]: probe:build = 16:1 (full size 256M:16M, scaled by
     /// `scale`).
     pub fn workload_a(scale: f64, seed: u64) -> Self {
         let n_build = ((16_777_216.0 * scale) as usize).max(16);
         JoinWorkload::new(n_build, n_build * 16, seed)
     }
 
-    /// Workload B of [7]: equal sides (full size 128M:128M, scaled).
+    /// Workload B of \[7\]: equal sides (full size 128M:128M, scaled).
     pub fn workload_b(scale: f64, seed: u64) -> Self {
         let n = ((128_000_000.0 * scale) as usize).max(16);
         JoinWorkload::new(n, n, seed)

@@ -1,0 +1,217 @@
+//! Wire protocol v2 over real TCP: prepare/execute/close frames, the
+//! parameter-aware plan cache, and golden tests pinning the error codes
+//! and messages of every protocol failure mode — malformed frames, unknown
+//! statement ids, wrong parameter count/kind, oversized frames.
+
+use std::sync::Arc;
+
+use astore_datagen::ssb;
+use astore_server::json::Json;
+use astore_server::{start, Client, Engine, ServerConfig, ServerHandle};
+use astore_storage::snapshot::SharedDatabase;
+
+fn ssb_server() -> ServerHandle {
+    let engine = Arc::new(Engine::new(SharedDatabase::new(ssb::generate(0.001, 42))));
+    start(
+        engine,
+        ServerConfig { addr: "127.0.0.1:0".into(), queue_depth: 64, ..Default::default() },
+    )
+    .unwrap()
+}
+
+const Q11_TEMPLATE: &str =
+    "SELECT sum(lo_extendedprice * lo_discount) AS revenue FROM lineorder, date \
+     WHERE lo_orderdate = d_datekey AND d_year = ? \
+       AND lo_discount BETWEEN ? AND ? AND lo_quantity < ?";
+
+/// The acceptance scenario: repeated parameterized Q1.1 variants — via
+/// prepare/execute on several connections AND via literal text — all land
+/// on ONE plan-cache entry; every request after the first is a hit.
+#[test]
+fn parameterized_q11_variants_hit_the_plan_cache() {
+    let h = ssb_server();
+    let cache = || {
+        let mut c = Client::connect(h.addr()).unwrap();
+        let s = c.stats().unwrap();
+        (
+            s.get("cache_hits").unwrap().as_i64().unwrap(),
+            s.get("cache_misses").unwrap().as_i64().unwrap(),
+            s.get("cached_plans").unwrap().as_i64().unwrap(),
+        )
+    };
+
+    // Connection A prepares the template: the one and only miss.
+    let mut a = Client::connect(h.addr()).unwrap();
+    let r = a.prepare(Q11_TEMPLATE).unwrap();
+    assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+    let id = r.get("stmt_id").unwrap().as_i64().unwrap() as u64;
+    let (_, misses0, plans) = cache();
+    assert_eq!(misses0, 1, "first prepare is the only miss");
+    assert_eq!(plans, 1);
+
+    // Execute the same statement with three different year bindings.
+    for (year, lo, hi, q) in [(1993, 1, 3, 25), (1994, 2, 4, 30), (1995, 3, 5, 35)] {
+        let r = a
+            .execute(id, vec![Json::Int(year), Json::Int(lo), Json::Int(hi), Json::Int(q)])
+            .unwrap();
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+        assert_eq!(r.get("cached_plan").unwrap().as_bool(), Some(true));
+    }
+
+    // Connection B prepares the same template → cache hit, same plan.
+    let mut b = Client::connect(h.addr()).unwrap();
+    let r = b.prepare(Q11_TEMPLATE).unwrap();
+    assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+
+    // Literal-text Q1.1 variants from a third connection hit it too.
+    let mut c = Client::connect(h.addr()).unwrap();
+    for year in [1993, 1994, 1997] {
+        let sql = format!(
+            "SELECT sum(lo_extendedprice * lo_discount) AS revenue FROM lineorder, date \
+             WHERE lo_orderdate = d_datekey AND d_year = {year} \
+               AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25"
+        );
+        let r = c.sql(&sql).unwrap();
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+        assert_eq!(r.get("cached_plan").unwrap().as_bool(), Some(true), "year {year} missed");
+    }
+
+    let (hits, misses, plans) = cache();
+    assert_eq!(misses, 1, "no Q1.1 variant ever re-planned");
+    assert!(hits >= 4, "prepare-hit + 3 text hits, got {hits}");
+    assert_eq!(plans, 1, "all variants share one template entry");
+    h.shutdown();
+}
+
+/// Golden error frames: codes and key message fragments are pinned so
+/// client authors can rely on them.
+#[test]
+fn golden_protocol_error_frames() {
+    let h = ssb_server();
+    let mut c = Client::connect(h.addr()).unwrap();
+
+    let check = |r: &Json, code: &str, fragment: &str| {
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false), "{r:?}");
+        assert_eq!(r.get("code").and_then(Json::as_str), Some(code), "{r:?}");
+        let msg = r.get("error").and_then(Json::as_str).unwrap_or_default();
+        assert!(msg.contains(fragment), "expected {fragment:?} in {msg:?}");
+    };
+
+    // Malformed frames.
+    let r = c.raw_line("this is not json").unwrap();
+    check(&r, "bad_request", "");
+    let r = c.raw_line(r#"{"other":1}"#).unwrap();
+    check(&r, "bad_request", "\"sql\", \"prepare\", \"execute\", \"close\" or \"cmd\"");
+    let r = c.raw_line(r#"{"execute":{"params":[1]}}"#).unwrap();
+    check(&r, "bad_request", "needs a statement \"id\"");
+    let r = c.raw_line(r#"{"execute":{"id":-1}}"#).unwrap();
+    check(&r, "bad_request", "needs a statement \"id\"");
+    let r = c.raw_line(r#"{"close":"x"}"#).unwrap();
+    check(&r, "bad_request", "takes a statement id");
+    let r = c.raw_line(r#"{"prepare":"SELEKT 1"}"#).unwrap();
+    check(&r, "parse_error", "expected keyword select");
+
+    // Unknown statement id.
+    let r = c.raw_line(r#"{"execute":{"id":99,"params":[]}}"#).unwrap();
+    check(&r, "unknown_statement", "statement 99 is not prepared in this session");
+
+    // Parameter count/kind errors.
+    let r = c.prepare("SELECT count(*) AS n FROM lineorder, date WHERE lo_orderdate = d_datekey AND d_year = ?").unwrap();
+    let id = r.get("stmt_id").unwrap().as_i64().unwrap() as u64;
+    let r = c.execute(id, vec![]).unwrap();
+    check(&r, "param_error", "statement takes 1 parameter(s), 0 given");
+    let r = c.execute(id, vec![Json::Int(1993), Json::Int(1994)]).unwrap();
+    check(&r, "param_error", "statement takes 1 parameter(s), 2 given");
+    let r = c.execute(id, vec![Json::Str("ASIA".into())]).unwrap();
+    check(&r, "param_error", "parameter $1 expects");
+    let r = c.execute(id, vec![Json::Null]).unwrap();
+    check(&r, "param_error", "NULL");
+    let r = c.execute(id, vec![Json::Array(vec![Json::Int(1)])]).unwrap();
+    check(&r, "param_error", "not a scalar");
+
+    // Placeholders are rejected in text mode (no way to bind them).
+    let r = c.sql("SELECT count(*) AS n FROM lineorder WHERE lo_quantity < ?").unwrap();
+    check(&r, "param_error", "1 parameter(s), 0 given");
+    let r = c.sql("DELETE FROM lineorder WHERE rowid = ?").unwrap();
+    check(&r, "param_error", "placeholder");
+
+    // The connection survived every error frame.
+    let r = c.sql("SELECT count(*) AS n FROM lineorder").unwrap();
+    assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+    h.shutdown();
+}
+
+/// An oversized request line (> 1 MiB) gets a typed error and the
+/// connection closes; the server stays healthy for new connections.
+#[test]
+fn oversized_frames_are_rejected_and_bounded() {
+    let h = ssb_server();
+    let mut c = Client::connect(h.addr()).unwrap();
+    let huge = format!(r#"{{"sql":"SELECT count(*) FROM t WHERE x = '{}'"}}"#, "a".repeat(2 << 20));
+    let r = c.raw_line(&huge).unwrap();
+    assert_eq!(r.get("code").and_then(Json::as_str), Some("bad_request"), "{r:?}");
+    assert!(r.get("error").unwrap().as_str().unwrap().contains("exceeds 1 MiB"), "{r:?}");
+    // The server closed this connection (rest of the line is unreadable)…
+    assert!(c.sql("SELECT count(*) AS n FROM lineorder").is_err());
+    // …but happily serves a fresh one.
+    let mut c2 = Client::connect(h.addr()).unwrap();
+    let r = c2.sql("SELECT count(*) AS n FROM lineorder").unwrap();
+    assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+    h.shutdown();
+}
+
+/// Statement ids are session-scoped: another connection cannot execute
+/// (or close) a statement it did not prepare.
+#[test]
+fn statement_registry_is_per_session() {
+    let h = ssb_server();
+    let mut a = Client::connect(h.addr()).unwrap();
+    let r = a.prepare("SELECT count(*) AS n FROM lineorder").unwrap();
+    let id = r.get("stmt_id").unwrap().as_i64().unwrap() as u64;
+    let r = a.execute(id, vec![]).unwrap();
+    assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+
+    let mut b = Client::connect(h.addr()).unwrap();
+    let r = b.execute(id, vec![]).unwrap();
+    assert_eq!(r.get("code").and_then(Json::as_str), Some("unknown_statement"), "{r:?}");
+    let r = b.close_stmt(id).unwrap();
+    assert_eq!(r.get("closed").and_then(Json::as_bool), Some(false), "{r:?}");
+
+    // A's statement still works after B's attempts.
+    let r = a.execute(id, vec![]).unwrap();
+    assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+    h.shutdown();
+}
+
+/// Prepared writes over TCP: bind, apply, and observe via a read — plus
+/// eviction keeps the registry bounded without poisoning the session.
+#[test]
+fn prepared_writes_and_mixed_traffic_over_tcp() {
+    let h = ssb_server();
+    let mut c = Client::connect(h.addr()).unwrap();
+
+    let r = c.prepare("UPDATE customer SET c_mktsegment = ? WHERE rowid = ?").unwrap();
+    assert_eq!(r.get("kind").unwrap().as_str(), Some("write"), "{r:?}");
+    assert_eq!(r.get("param_count").unwrap().as_i64(), Some(2));
+    let id = r.get("stmt_id").unwrap().as_i64().unwrap() as u64;
+    for row in 0..3 {
+        let r = c.execute(id, vec![Json::Str("MACHINERY".into()), Json::Int(row)]).unwrap();
+        assert_eq!(r.get("rows_affected").and_then(Json::as_i64), Some(1), "{r:?}");
+    }
+    // Bad rowid binding is a param error, not a write.
+    let r = c.execute(id, vec![Json::Str("MACHINERY".into()), Json::Int(-1)]).unwrap();
+    assert_eq!(r.get("code").and_then(Json::as_str), Some("param_error"), "{r:?}");
+
+    let r = c
+        .sql(
+            "SELECT count(*) AS n FROM lineorder, customer \
+              WHERE lo_custkey = c_custkey AND c_mktsegment = 'MACHINERY'",
+        )
+        .unwrap();
+    assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+
+    let s = c.stats().unwrap();
+    assert!(s.get("prepares").unwrap().as_i64().unwrap() >= 1, "{s:?}");
+    assert!(s.get("prepared_execs").unwrap().as_i64().unwrap() >= 4, "{s:?}");
+    h.shutdown();
+}

@@ -5,7 +5,16 @@
 //! ```text
 //! loadgen --self-host --sf 0.01 --connections 8 --queries 150
 //! loadgen --addr 127.0.0.1:3939 --connections 16 --queries 500 --write-every 50
+//! loadgen --self-host --prepared          # text pass + prepare/execute pass, with deltas
 //! ```
+//!
+//! The query mix rotates SSB flights 1–4 **with varying predicate
+//! literals** — the workload the parameter-aware plan cache exists for. In
+//! text mode each request is a fresh SQL string (the server canonicalizes
+//! it to a shared template); with `--prepared` a second pass runs the same
+//! workload over protocol v2 (`prepare` once per connection, `execute`
+//! frames with bound parameters — no SQL text on the hot path) and the
+//! summary reports q/s and cache hit-rate deltas between the two modes.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -20,37 +29,98 @@ use astore_server::json::Json;
 use astore_server::{start, Client, Engine, ServerConfig};
 use astore_storage::snapshot::SharedDatabase;
 
-/// The repeated-query mix: a rotation of SSB flights 1–4. Six distinct
-/// statements, so a run of hundreds of queries per connection exercises the
-/// plan cache hard (steady-state hit rate → 100%).
-const MIX: &[&str] = &[
-    "SELECT sum(lo_extendedprice * lo_discount) AS revenue FROM lineorder, date \
-     WHERE lo_orderdate = d_datekey AND d_year = 1993 \
-       AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25",
-    "SELECT sum(lo_extendedprice * lo_discount) AS revenue FROM lineorder, date \
-     WHERE lo_orderdate = d_datekey AND d_yearmonthnum = 199401 \
-       AND lo_discount BETWEEN 4 AND 6 AND lo_quantity BETWEEN 26 AND 35",
-    "SELECT d_year, p_brand1, sum(lo_revenue) AS revenue \
-     FROM lineorder, date, part, supplier \
-     WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey \
-       AND lo_suppkey = s_suppkey AND p_category = 'MFGR#12' AND s_region = 'AMERICA' \
-     GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1",
-    "SELECT c_nation, s_nation, d_year, sum(lo_revenue) AS revenue \
-     FROM customer, lineorder, supplier, date \
-     WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey \
-       AND lo_orderdate = d_datekey AND c_region = 'ASIA' AND s_region = 'ASIA' \
-       AND d_year >= 1992 AND d_year <= 1997 \
-     GROUP BY c_nation, s_nation, d_year ORDER BY d_year ASC, revenue DESC",
-    "SELECT d_year, c_nation, sum(lo_revenue - lo_supplycost) AS profit \
-     FROM date, customer, supplier, part, lineorder \
-     WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey \
-       AND lo_partkey = p_partkey AND lo_orderdate = d_datekey \
-       AND c_region = 'AMERICA' AND s_region = 'AMERICA' \
-       AND (p_mfgr = 'MFGR#1' OR p_mfgr = 'MFGR#2') \
-     GROUP BY d_year, c_nation ORDER BY d_year, c_nation",
-    "SELECT d_year, sum(lo_revenue) AS rev FROM lineorder, date \
-     WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year",
+/// One workload entry: a `?`-placeholder template plus rotating parameter
+/// sets (written as SQL literals; quoted values are strings). Text mode
+/// substitutes them into the template client-side, prepared mode binds
+/// them over the wire — both modes run the same logical queries.
+struct MixEntry {
+    template: &'static str,
+    param_sets: &'static [&'static [&'static str]],
+}
+
+const MIX: &[MixEntry] = &[
+    MixEntry {
+        template: "SELECT sum(lo_extendedprice * lo_discount) AS revenue FROM lineorder, date \
+                   WHERE lo_orderdate = d_datekey AND d_year = ? \
+                     AND lo_discount BETWEEN ? AND ? AND lo_quantity < ?",
+        param_sets: &[
+            &["1993", "1", "3", "25"],
+            &["1994", "2", "4", "30"],
+            &["1995", "3", "5", "35"],
+            &["1992", "1", "2", "20"],
+        ],
+    },
+    MixEntry {
+        template: "SELECT sum(lo_extendedprice * lo_discount) AS revenue FROM lineorder, date \
+                   WHERE lo_orderdate = d_datekey AND d_yearmonthnum = ? \
+                     AND lo_discount BETWEEN ? AND ? AND lo_quantity BETWEEN ? AND ?",
+        param_sets: &[&["199401", "4", "6", "26", "35"], &["199402", "5", "7", "20", "30"]],
+    },
+    MixEntry {
+        template: "SELECT d_year, p_brand1, sum(lo_revenue) AS revenue \
+                   FROM lineorder, date, part, supplier \
+                   WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey \
+                     AND lo_suppkey = s_suppkey AND p_category = ? AND s_region = ? \
+                   GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1",
+        param_sets: &[&["'MFGR#12'", "'AMERICA'"], &["'MFGR#13'", "'ASIA'"]],
+    },
+    MixEntry {
+        template: "SELECT c_nation, s_nation, d_year, sum(lo_revenue) AS revenue \
+                   FROM customer, lineorder, supplier, date \
+                   WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey \
+                     AND lo_orderdate = d_datekey AND c_region = ? AND s_region = ? \
+                     AND d_year >= ? AND d_year <= ? \
+                   GROUP BY c_nation, s_nation, d_year ORDER BY d_year ASC, revenue DESC",
+        param_sets: &[
+            &["'ASIA'", "'ASIA'", "1992", "1997"],
+            &["'AMERICA'", "'AMERICA'", "1993", "1996"],
+        ],
+    },
+    MixEntry {
+        template: "SELECT d_year, c_nation, sum(lo_revenue - lo_supplycost) AS profit \
+                   FROM date, customer, supplier, part, lineorder \
+                   WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey \
+                     AND lo_partkey = p_partkey AND lo_orderdate = d_datekey \
+                     AND c_region = ? AND s_region = ? \
+                     AND (p_mfgr = ? OR p_mfgr = ?) \
+                   GROUP BY d_year, c_nation ORDER BY d_year, c_nation",
+        param_sets: &[&["'AMERICA'", "'AMERICA'", "'MFGR#1'", "'MFGR#2'"]],
+    },
+    MixEntry {
+        template: "SELECT d_year, sum(lo_revenue) AS rev FROM lineorder, date \
+                   WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year",
+        param_sets: &[&[]],
+    },
 ];
+
+/// The write statement used when `--write-every` is active.
+const WRITE_TEMPLATE: &str = "UPDATE customer SET c_mktsegment = ? WHERE rowid = ?";
+const WRITE_PARAMS: &[&str] = &["'MACHINERY'", "0"];
+
+/// Substitutes the n-th `?` of `template` with `params[n]` (text mode).
+fn substitute(template: &str, params: &[&str]) -> String {
+    let mut out = String::with_capacity(template.len() + 16);
+    let mut it = params.iter();
+    for c in template.chars() {
+        if c == '?' {
+            out.push_str(it.next().expect("param set matches placeholder count"));
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Parses a SQL-literal parameter into its wire (JSON) form.
+fn literal_to_json(lit: &str) -> Json {
+    if let Some(stripped) = lit.strip_prefix('\'').and_then(|s| s.strip_suffix('\'')) {
+        Json::Str(stripped.replace("''", "'"))
+    } else if let Ok(i) = lit.parse::<i64>() {
+        Json::Int(i)
+    } else {
+        Json::Float(lit.parse::<f64>().expect("numeric literal"))
+    }
+}
 
 struct Args {
     addr: Option<String>,
@@ -59,6 +129,154 @@ struct Args {
     queries: usize,
     write_every: usize,
     workers: usize,
+    prepared: bool,
+}
+
+/// Aggregate metrics of one load pass.
+struct PassMetrics {
+    label: &'static str,
+    hist: LatencyHistogram,
+    elapsed_s: f64,
+    ok: u64,
+    busy: u64,
+    errors: u64,
+    /// Plan-cache hit rate over exactly this pass (server counter deltas).
+    cache_hit_rate: f64,
+}
+
+impl PassMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("mode", Json::Str(self.label.into())),
+            ("queries_ok", Json::Int(self.ok as i64)),
+            ("rejected_busy", Json::Int(self.busy as i64)),
+            ("errors", Json::Int(self.errors as i64)),
+            ("elapsed_s", Json::Float(self.elapsed_s)),
+            ("qps", Json::Float(self.ok as f64 / self.elapsed_s.max(1e-9))),
+            ("cache_hit_rate_pass", Json::Float(self.cache_hit_rate)),
+            ("latency_mean_us", Json::Float(self.hist.mean_us())),
+            ("latency_p50_us", Json::Int(self.hist.quantile_us(0.50) as i64)),
+            ("latency_p99_us", Json::Int(self.hist.quantile_us(0.99) as i64)),
+            ("latency_max_us", Json::Int(self.hist.max_us() as i64)),
+        ])
+    }
+}
+
+fn cache_counters(addr: &str) -> (u64, u64) {
+    let stats = Client::connect(addr).ok().and_then(|mut c| c.stats().ok());
+    let get =
+        |k: &str| stats.as_ref().and_then(|s| s.get(k)).and_then(Json::as_i64).unwrap_or(0) as u64;
+    (get("cache_hits"), get("cache_misses"))
+}
+
+/// Runs one pass of the workload: every connection issues `queries`
+/// statements from the rotating mix, in text or prepared mode.
+fn run_pass(addr: &str, a: &Args, prepared: bool) -> PassMetrics {
+    let hist = Arc::new(LatencyHistogram::new());
+    let errors = Arc::new(AtomicU64::new(0));
+    let busy = Arc::new(AtomicU64::new(0));
+    let (hits0, misses0) = cache_counters(addr);
+    let t_run = Instant::now();
+    std::thread::scope(|s| {
+        for conn_id in 0..a.connections {
+            let hist = Arc::clone(&hist);
+            let errors = Arc::clone(&errors);
+            let busy = Arc::clone(&busy);
+            s.spawn(move || {
+                let mut client = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("conn {conn_id}: connect failed: {e}");
+                        errors.fetch_add(a.queries as u64, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                // Prepared mode: plan each template (and the write) once.
+                let mut stmt_ids: Vec<u64> = Vec::new();
+                let mut write_id = 0u64;
+                if prepared {
+                    for entry in MIX {
+                        match client.prepare(entry.template) {
+                            Ok(r) if r.get("ok").and_then(Json::as_bool) == Some(true) => {
+                                stmt_ids
+                                    .push(r.get("stmt_id").unwrap().as_i64().unwrap_or(0) as u64);
+                            }
+                            other => {
+                                eprintln!("conn {conn_id}: prepare failed: {other:?}");
+                                errors.fetch_add(a.queries as u64, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                    }
+                    if a.write_every > 0 {
+                        match client.prepare(WRITE_TEMPLATE) {
+                            Ok(r) if r.get("ok").and_then(Json::as_bool) == Some(true) => {
+                                write_id = r.get("stmt_id").unwrap().as_i64().unwrap_or(0) as u64;
+                            }
+                            other => {
+                                eprintln!("conn {conn_id}: write prepare failed: {other:?}");
+                                errors.fetch_add(a.queries as u64, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                    }
+                }
+                for i in 0..a.queries {
+                    let is_write = a.write_every > 0 && i % a.write_every == a.write_every - 1;
+                    let (mix_idx, entry) = {
+                        let idx = (conn_id + i) % MIX.len();
+                        (idx, &MIX[idx])
+                    };
+                    let params = entry.param_sets[i % entry.param_sets.len()];
+                    let t = Instant::now();
+                    let resp = if prepared {
+                        let (id, ps) = if is_write {
+                            (write_id, WRITE_PARAMS)
+                        } else {
+                            (stmt_ids[mix_idx], params)
+                        };
+                        client.execute(id, ps.iter().map(|p| literal_to_json(p)).collect())
+                    } else if is_write {
+                        client.sql(&substitute(WRITE_TEMPLATE, WRITE_PARAMS))
+                    } else {
+                        client.sql(&substitute(entry.template, params))
+                    };
+                    match resp {
+                        Ok(resp) if resp.get("ok").and_then(Json::as_bool) == Some(true) => {
+                            hist.record(t.elapsed().as_micros() as u64);
+                        }
+                        Ok(resp) => {
+                            if resp.get("code").and_then(Json::as_str) == Some("server_busy") {
+                                busy.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                eprintln!("conn {conn_id}: error frame: {resp}");
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("conn {conn_id}: transport error: {e}");
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed_s = t_run.elapsed().as_secs_f64();
+    let (hits1, misses1) = cache_counters(addr);
+    let (dh, dm) = (hits1.saturating_sub(hits0), misses1.saturating_sub(misses0));
+    let cache_hit_rate = if dh + dm == 0 { 0.0 } else { dh as f64 / (dh + dm) as f64 };
+    let hist = Arc::try_unwrap(hist).expect("threads joined");
+    PassMetrics {
+        label: if prepared { "prepared" } else { "text" },
+        elapsed_s,
+        ok: hist.count(),
+        hist,
+        busy: busy.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        cache_hit_rate,
+    }
 }
 
 fn main() {
@@ -69,6 +287,7 @@ fn main() {
         queries: 150,
         write_every: 0,
         workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        prepared: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -90,6 +309,7 @@ fn main() {
                 a.write_every = parse_or_die(&value("--write-every"), "--write-every")
             }
             "--workers" => a.workers = parse_or_die(&value("--workers"), "--workers"),
+            "--prepared" => a.prepared = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -128,63 +348,13 @@ fn main() {
         _ => unreachable!(),
     };
 
-    let hist = Arc::new(LatencyHistogram::new());
-    let errors = Arc::new(AtomicU64::new(0));
-    let busy = Arc::new(AtomicU64::new(0));
-    let t_run = Instant::now();
-    std::thread::scope(|s| {
-        for conn_id in 0..a.connections {
-            let addr = addr.clone();
-            let hist = Arc::clone(&hist);
-            let errors = Arc::clone(&errors);
-            let busy = Arc::clone(&busy);
-            let a = &a;
-            s.spawn(move || {
-                let mut client = match Client::connect(addr.as_str()) {
-                    Ok(c) => c,
-                    Err(e) => {
-                        eprintln!("conn {conn_id}: connect failed: {e}");
-                        errors.fetch_add(a.queries as u64, Ordering::Relaxed);
-                        return;
-                    }
-                };
-                for i in 0..a.queries {
-                    let is_write = a.write_every > 0 && i % a.write_every == a.write_every - 1;
-                    let sql = if is_write {
-                        // Harmless single-row dimension churn: flip a known
-                        // customer field back and forth.
-                        "UPDATE customer SET c_mktsegment = 'MACHINERY' WHERE rowid = 0".to_owned()
-                    } else {
-                        MIX[(conn_id + i) % MIX.len()].to_owned()
-                    };
-                    let t = Instant::now();
-                    match client.sql(&sql) {
-                        Ok(resp) if resp.get("ok").and_then(Json::as_bool) == Some(true) => {
-                            hist.record(t.elapsed().as_micros() as u64);
-                        }
-                        Ok(resp) => {
-                            if resp.get("code").and_then(Json::as_str) == Some("server_busy") {
-                                busy.fetch_add(1, Ordering::Relaxed);
-                            } else {
-                                eprintln!("conn {conn_id}: error frame: {resp}");
-                                errors.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
-                        Err(e) => {
-                            eprintln!("conn {conn_id}: transport error: {e}");
-                            errors.fetch_add(1, Ordering::Relaxed);
-                            return;
-                        }
-                    }
-                }
-            });
-        }
-    });
-    let elapsed = t_run.elapsed();
+    let text = run_pass(&addr, &a, false);
+    let prepared = a.prepared.then(|| run_pass(&addr, &a, true));
 
     let server_stats = Client::connect(addr.as_str()).ok().and_then(|mut c| c.stats().ok());
-    let ok_queries = hist.count();
-    let summary = Json::obj([
+    // Top-level fields mirror the text pass (the BENCH_server.json shape
+    // older tooling reads); the prepared pass and deltas nest below.
+    let mut summary = Json::obj([
         ("bench", Json::Str("astore-server loadgen".into())),
         ("addr", Json::Str(addr)),
         (
@@ -197,23 +367,47 @@ fn main() {
         ),
         ("connections", Json::Int(a.connections as i64)),
         ("queries_per_connection", Json::Int(a.queries as i64)),
-        ("queries_ok", Json::Int(ok_queries as i64)),
-        ("rejected_busy", Json::Int(busy.load(Ordering::Relaxed) as i64)),
-        ("errors", Json::Int(errors.load(Ordering::Relaxed) as i64)),
-        ("elapsed_s", Json::Float(elapsed.as_secs_f64())),
-        ("qps", Json::Float(ok_queries as f64 / elapsed.as_secs_f64())),
-        ("latency_mean_us", Json::Float(hist.mean_us())),
-        ("latency_p50_us", Json::Int(hist.quantile_us(0.50) as i64)),
-        ("latency_p99_us", Json::Int(hist.quantile_us(0.99) as i64)),
-        ("latency_max_us", Json::Int(hist.max_us() as i64)),
+        ("queries_ok", Json::Int(text.ok as i64)),
+        ("rejected_busy", Json::Int(text.busy as i64)),
+        ("errors", Json::Int(text.errors as i64)),
+        ("elapsed_s", Json::Float(text.elapsed_s)),
+        ("qps", Json::Float(text.ok as f64 / text.elapsed_s.max(1e-9))),
+        ("latency_mean_us", Json::Float(text.hist.mean_us())),
+        ("latency_p50_us", Json::Int(text.hist.quantile_us(0.50) as i64)),
+        ("latency_p99_us", Json::Int(text.hist.quantile_us(0.99) as i64)),
+        ("latency_max_us", Json::Int(text.hist.max_us() as i64)),
+        ("text", text.to_json()),
         ("server", server_stats.unwrap_or(Json::Null)),
     ]);
+    let mut total_errors = text.errors;
+    if let Some(p) = &prepared {
+        total_errors += p.errors;
+        let qps_text = text.ok as f64 / text.elapsed_s.max(1e-9);
+        let qps_prep = p.ok as f64 / p.elapsed_s.max(1e-9);
+        if let Json::Object(m) = &mut summary {
+            m.insert("prepared".into(), p.to_json());
+            m.insert(
+                "delta".into(),
+                Json::obj([
+                    ("qps_ratio_prepared_vs_text", Json::Float(qps_prep / qps_text.max(1e-9))),
+                    ("cache_hit_rate_text", Json::Float(text.cache_hit_rate)),
+                    ("cache_hit_rate_prepared", Json::Float(p.cache_hit_rate)),
+                    (
+                        "p50_us_prepared_minus_text",
+                        Json::Int(
+                            p.hist.quantile_us(0.50) as i64 - text.hist.quantile_us(0.50) as i64,
+                        ),
+                    ),
+                ]),
+            );
+        }
+    }
     println!("{summary}");
 
     if let Some(h) = handle {
         h.shutdown();
     }
-    if errors.load(Ordering::Relaxed) > 0 {
+    if total_errors > 0 {
         exit(1);
     }
 }
@@ -235,4 +429,7 @@ flags:
   --connections <n>    concurrent client connections    (default 8)
   --queries <n>        statements per connection        (default 150)
   --write-every <n>    make every n-th statement a write (default 0 = reads only)
-  --workers <n>        self-host worker threads         (default: cores)";
+  --workers <n>        self-host worker threads         (default: cores)
+  --prepared           after the text pass, run the same workload over
+                       protocol v2 (prepare/execute frames) and report
+                       q/s + plan-cache hit-rate deltas between the modes";

@@ -1,25 +1,32 @@
-//! A shared prepared-plan cache.
+//! A shared prepared-statement cache.
 //!
-//! SELECT statements are planned once and the resulting
-//! [`Query`](astore_core::query::Query) is reused by every session: plans
-//! bind table/column *names*, which are resolved against the snapshot at
-//! execution time, so a cached plan stays valid across row-level updates.
-//! The key is the [normalized](astore_sql::statement::normalize) SQL text,
-//! making the cache insensitive to whitespace/case variations.
+//! SELECT statements are planned once into a parameter-aware
+//! [`Prepared`] template and reused by
+//! every session: plans bind table/column *names*, which are resolved
+//! against the snapshot at execution time, so a cached plan stays valid
+//! across row-level updates.
+//!
+//! The key is the template's canonical text
+//! ([`Prepared::sql`](astore_sql::prepared::Prepared::sql)): identifiers
+//! case-folded, whitespace/comments gone, and predicate literals replaced
+//! by parameter slots. SSB Q1.1 asked with different date literals — or
+//! with different formatting — is therefore **one** cache entry, bound
+//! per-request instead of re-planned per-literal.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use astore_core::query::Query;
+use astore_sql::prepared::Prepared;
 
 /// Default maximum number of cached plans.
 pub const DEFAULT_CAPACITY: usize = 1024;
 
-/// A bounded, thread-safe map from normalized SQL to prepared plans, with
-/// hit/miss counters. Eviction is FIFO — plans are tiny and reparsing is
-/// cheap, so recency tracking isn't worth a hot-path write.
+/// A bounded, thread-safe map from canonical template text to prepared
+/// statements, with hit/miss counters. Eviction is FIFO — plans are tiny
+/// and reparsing is cheap, so recency tracking isn't worth a hot-path
+/// write.
 #[derive(Debug)]
 pub struct PlanCache {
     inner: Mutex<Inner>,
@@ -30,7 +37,7 @@ pub struct PlanCache {
 
 #[derive(Debug, Default)]
 struct Inner {
-    map: HashMap<String, Arc<Query>>,
+    map: HashMap<String, Arc<Prepared>>,
     fifo: VecDeque<String>,
 }
 
@@ -51,8 +58,8 @@ impl PlanCache {
         }
     }
 
-    /// Looks up a plan by normalized SQL, counting the hit or miss.
-    pub fn get(&self, key: &str) -> Option<Arc<Query>> {
+    /// Looks up a template by canonical text, counting the hit or miss.
+    pub fn get(&self, key: &str) -> Option<Arc<Prepared>> {
         let found = self.inner.lock().expect("plan cache poisoned").map.get(key).cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
@@ -61,8 +68,9 @@ impl PlanCache {
         found
     }
 
-    /// Inserts a freshly planned query, evicting the oldest entry if full.
-    pub fn insert(&self, key: String, plan: Arc<Query>) {
+    /// Inserts a freshly prepared template, evicting the oldest entry if
+    /// full.
+    pub fn insert(&self, key: String, plan: Arc<Prepared>) {
         let mut inner = self.inner.lock().expect("plan cache poisoned");
         if inner.map.insert(key.clone(), plan).is_none() {
             inner.fifo.push_back(key);
@@ -109,12 +117,23 @@ impl PlanCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use astore_storage::catalog::Database;
+    use astore_storage::table::{ColumnDef, Schema, Table};
+    use astore_storage::types::{DataType, Value};
+
+    fn prepared(sql: &str) -> Arc<Prepared> {
+        let mut t = Table::new("t", Schema::new(vec![ColumnDef::new("v", DataType::I64)]));
+        t.append_row(&[Value::Int(1)]);
+        let mut db = Database::new();
+        db.add_table(t);
+        Arc::new(astore_sql::prepare(sql, &db).unwrap())
+    }
 
     #[test]
     fn hit_and_miss_counting() {
         let c = PlanCache::with_capacity(8);
         assert!(c.get("select 1").is_none());
-        c.insert("select 1".into(), Arc::new(Query::new()));
+        c.insert("select 1".into(), prepared("SELECT count(*) FROM t"));
         assert!(c.get("select 1").is_some());
         assert!(c.get("select 1").is_some());
         assert_eq!(c.hits(), 2);
@@ -125,9 +144,10 @@ mod tests {
     #[test]
     fn fifo_eviction_respects_capacity() {
         let c = PlanCache::with_capacity(2);
-        c.insert("a".into(), Arc::new(Query::new()));
-        c.insert("b".into(), Arc::new(Query::new()));
-        c.insert("c".into(), Arc::new(Query::new()));
+        let p = prepared("SELECT count(*) FROM t");
+        c.insert("a".into(), Arc::clone(&p));
+        c.insert("b".into(), Arc::clone(&p));
+        c.insert("c".into(), Arc::clone(&p));
         assert_eq!(c.len(), 2);
         assert!(c.get("a").is_none(), "oldest entry evicted");
         assert!(c.get("b").is_some());
@@ -137,10 +157,11 @@ mod tests {
     #[test]
     fn reinsert_does_not_duplicate_fifo_entries() {
         let c = PlanCache::with_capacity(2);
+        let p = prepared("SELECT count(*) FROM t");
         for _ in 0..10 {
-            c.insert("same".into(), Arc::new(Query::new()));
+            c.insert("same".into(), Arc::clone(&p));
         }
-        c.insert("other".into(), Arc::new(Query::new()));
+        c.insert("other".into(), Arc::clone(&p));
         assert_eq!(c.len(), 2);
         assert!(c.get("same").is_some());
         assert!(c.get("other").is_some());

@@ -71,9 +71,29 @@ impl Client {
         parse(line.trim()).map_err(|e| ClientError::Protocol(e.to_string()))
     }
 
-    /// Executes one SQL statement.
+    /// Executes one SQL statement (text mode).
     pub fn sql(&mut self, sql: &str) -> Result<Json, ClientError> {
         self.request(&Json::obj([("sql", Json::Str(sql.to_owned()))]))
+    }
+
+    /// Prepares a statement (protocol v2); the response carries `stmt_id`
+    /// and `param_count`.
+    pub fn prepare(&mut self, sql: &str) -> Result<Json, ClientError> {
+        self.request(&Json::obj([("prepare", Json::Str(sql.to_owned()))]))
+    }
+
+    /// Executes a prepared statement by id with positional parameters
+    /// (protocol v2).
+    pub fn execute(&mut self, stmt_id: u64, params: Vec<Json>) -> Result<Json, ClientError> {
+        self.request(&Json::obj([(
+            "execute",
+            Json::obj([("id", Json::Int(stmt_id as i64)), ("params", Json::Array(params))]),
+        )]))
+    }
+
+    /// Deallocates a prepared statement (protocol v2).
+    pub fn close_stmt(&mut self, stmt_id: u64) -> Result<Json, ClientError> {
+        self.request(&Json::obj([("close", Json::Int(stmt_id as i64))]))
     }
 
     /// Fetches the server's `stats` payload.

@@ -5,8 +5,15 @@
 //! O(1) copy-on-write snapshot ([`SharedDatabase::snapshot`]) so they never
 //! block writers; writes are routed through [`SharedDatabase::write`] and
 //! become visible atomically (a multi-row `INSERT` is one write call, so a
-//! concurrent reader sees all of its rows or none). SELECT plans are reused
-//! across sessions via the [`PlanCache`], keyed by normalized SQL text.
+//! concurrent reader sees all of its rows or none).
+//!
+//! SELECT plans are reused across sessions via the [`PlanCache`], keyed by
+//! the *canonical statement template*: text-mode queries are
+//! auto-parameterized (WHERE literals lifted into slots), so SSB Q1.1 with
+//! different date literals is one cache entry and every request is a cheap
+//! bind instead of a re-plan. Protocol v2 (`{"prepare":…}` /
+//! `{"execute":{"id":…,"params":[…]}}` frames, per-session
+//! [`StatementRegistry`]) removes the per-request parse as well.
 //!
 //! With a [`Durability`] attached, every applied write statement is also
 //! appended to the write-ahead log — inside the same write latch, *before*
@@ -24,20 +31,24 @@ use astore_core::query::Query;
 use astore_persist::apply::{apply_statement, validate_statement};
 use astore_persist::store;
 use astore_persist::wal::Wal;
-use astore_sql::statement::{normalize, parse_statement, Statement};
-use astore_sql::{sql_to_query, PlanError};
+use astore_sql::prepared::{
+    canonicalize, extract_select_params, prepare_template, BoundStatement, PrepareError, Prepared,
+};
+use astore_sql::statement::{parse_template, Statement};
+use astore_storage::catalog::Database;
 use astore_storage::snapshot::SharedDatabase;
 use astore_storage::types::Value;
 
 use crate::budget::CoreBudget;
 use crate::cache::PlanCache;
 use crate::json::Json;
+use crate::session::StatementRegistry;
 use crate::stats::ServerStats;
 
 /// Machine-readable error codes of the wire protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorCode {
-    /// The request frame is not valid JSON or lacks `sql`/`cmd`.
+    /// The request frame is not valid JSON or lacks a recognized member.
     BadRequest,
     /// SQL lexing/parsing failed.
     ParseError,
@@ -48,6 +59,12 @@ pub enum ErrorCode {
     /// A write statement was rejected (unknown table, arity/type mismatch,
     /// dangling key, dead row, …).
     WriteError,
+    /// An `{"execute":…}` frame named a statement id this session never
+    /// prepared (or one that was closed/evicted).
+    UnknownStatement,
+    /// Parameter binding failed: wrong parameter count, or a value whose
+    /// kind cannot satisfy the column its slot is compared against.
+    ParamError,
     /// Admission control shed the request: the worker queue is full.
     ServerBusy,
     /// The connection limit was reached; this connection is being closed.
@@ -65,10 +82,20 @@ impl ErrorCode {
             ErrorCode::PlanError => "plan_error",
             ErrorCode::ExecError => "exec_error",
             ErrorCode::WriteError => "write_error",
+            ErrorCode::UnknownStatement => "unknown_statement",
+            ErrorCode::ParamError => "param_error",
             ErrorCode::ServerBusy => "server_busy",
             ErrorCode::TooManyConnections => "too_many_connections",
             ErrorCode::InternalError => "internal_error",
         }
+    }
+}
+
+/// Maps a prepare failure to its wire error frame.
+fn prepare_error_frame(e: PrepareError) -> Json {
+    match e {
+        PrepareError::Parse(e) => error_frame(ErrorCode::ParseError, e.to_string()),
+        PrepareError::Plan(e) => error_frame(ErrorCode::PlanError, e.to_string()),
     }
 }
 
@@ -222,8 +249,16 @@ impl Engine {
         &self.cache
     }
 
-    /// Handles one raw request line and returns the response frame.
+    /// Handles one raw request line with a throwaway statement registry —
+    /// convenient for callers that never send prepare/execute frames.
     pub fn handle_line(&self, line: &str) -> Json {
+        let mut session = StatementRegistry::default();
+        self.handle_line_session(line, &mut session)
+    }
+
+    /// Handles one raw request line against a connection's statement
+    /// registry and returns the response frame.
+    pub fn handle_line_session(&self, line: &str, session: &mut StatementRegistry) -> Json {
         let req = match crate::json::parse(line) {
             Ok(v) => v,
             Err(e) => {
@@ -231,27 +266,55 @@ impl Engine {
                 return error_frame(ErrorCode::BadRequest, e.to_string());
             }
         };
-        self.handle_request(&req)
+        self.handle_request(&req, session)
+    }
+
+    /// Runs a statement-shaped request, recording latency and the error
+    /// counter, and stamping `elapsed_us` into success frames.
+    fn timed(&self, f: impl FnOnce() -> Result<Json, Json>) -> Json {
+        use std::sync::atomic::Ordering::Relaxed;
+        let t = Instant::now();
+        let resp = f();
+        let us = t.elapsed().as_micros() as u64;
+        self.stats.latency.record(us);
+        match resp {
+            Ok(mut ok) => {
+                if let Json::Object(m) = &mut ok {
+                    m.insert("elapsed_us".into(), Json::Int(us as i64));
+                }
+                ok
+            }
+            Err(frame) => {
+                self.stats.errors.fetch_add(1, Relaxed);
+                frame
+            }
+        }
     }
 
     /// Handles one parsed request frame.
-    pub fn handle_request(&self, req: &Json) -> Json {
+    pub fn handle_request(&self, req: &Json, session: &mut StatementRegistry) -> Json {
         use std::sync::atomic::Ordering::Relaxed;
         if let Some(sql) = req.get("sql").and_then(Json::as_str) {
-            let t = Instant::now();
-            let resp = self.run_statement(sql);
-            let us = t.elapsed().as_micros() as u64;
-            self.stats.latency.record(us);
-            match resp {
-                Ok(mut ok) => {
-                    if let Json::Object(m) = &mut ok {
-                        m.insert("elapsed_us".into(), Json::Int(us as i64));
-                    }
-                    ok
-                }
+            self.timed(|| self.run_statement(sql))
+        } else if let Some(sql) = req.get("prepare").and_then(Json::as_str) {
+            match self.run_prepare(sql, session) {
+                Ok(ok) => ok,
                 Err(frame) => {
                     self.stats.errors.fetch_add(1, Relaxed);
                     frame
+                }
+            }
+        } else if let Some(ex) = req.get("execute") {
+            self.timed(|| self.run_execute(ex, session))
+        } else if let Some(id) = req.get("close") {
+            match id.as_i64() {
+                Some(id) if id >= 0 => {
+                    let closed = session.close(id as u64);
+                    Json::obj([("ok", Json::Bool(true)), ("closed", Json::Bool(closed))])
+                }
+                _ => {
+                    self.stats.errors.fetch_add(1, Relaxed);
+                    error_frame(ErrorCode::BadRequest, "\"close\" takes a statement id")
                 }
             }
         } else if let Some(cmd) = req.get("cmd").and_then(Json::as_str) {
@@ -287,112 +350,259 @@ impl Engine {
             }
         } else {
             self.stats.errors.fetch_add(1, Relaxed);
-            error_frame(ErrorCode::BadRequest, "request needs a \"sql\" or \"cmd\" member")
+            error_frame(
+                ErrorCode::BadRequest,
+                "request needs a \"sql\", \"prepare\", \"execute\", \"close\" or \"cmd\" member",
+            )
         }
     }
 
+    /// The text path (`{"sql":…}`): parse, canonicalize into a parameter
+    /// template (WHERE literals lifted out), look the template up in the
+    /// shared plan cache, bind the extracted literals back, execute. Two
+    /// literal variants of the same query — or two formattings of it —
+    /// share one plan.
     fn run_statement(&self, sql: &str) -> Result<Json, Json> {
-        use std::sync::atomic::Ordering::Relaxed;
-        let stmt =
-            parse_statement(sql).map_err(|e| error_frame(ErrorCode::ParseError, e.to_string()))?;
+        let mut tmpl =
+            parse_template(sql).map_err(|e| error_frame(ErrorCode::ParseError, e.to_string()))?;
+        // Whether the *client* wrote placeholders: decides how a bind
+        // failure is reported (auto-extracted literals are not the
+        // client's parameters, so their type errors are plan errors).
+        let explicit_params = tmpl.param_count() > 0;
+        let inline = extract_select_params(&mut tmpl);
         // This statement's worker thread occupies one core for the
         // duration; the budget must know so concurrent queries' fan-out
         // grants shrink accordingly.
         let _slot = self.budget.enter_statement();
-        match stmt {
-            Statement::Select(_) => {
-                let snap = self.db.snapshot();
-                // The cache key is the *normalized* text, so the plan must be
-                // built from that same text: planning from the raw SQL would
-                // make a statement's fate depend on what some other session
-                // cached (identifiers are case-folded by normalize, but the
-                // catalog is case-sensitive).
-                let key = normalize(sql);
-                let (query, cached) = match self.cache.get(&key) {
-                    Some(q) => (q, true),
-                    None => {
-                        let q = Arc::new(sql_to_query(&key, &snap).map_err(|e: PlanError| {
-                            error_frame(ErrorCode::PlanError, e.to_string())
-                        })?);
-                        self.cache.insert(key, Arc::clone(&q));
-                        (q, false)
-                    }
-                };
-                // Intra-query fan-out: the planner sizes the request from
-                // the estimated scan, the core budget grants what the rest
-                // of the server is not using right now. Zero grant = serial
-                // — never blocking, never oversubscribing.
-                let want = self
-                    .opts
-                    .optimizer
-                    .plan_threads(estimated_scan_rows(&snap, &query), self.opts.threads);
-                let extra = self.budget.try_extra(want.saturating_sub(1));
-                let exec_opts = ExecOptions { threads: 1 + extra.held(), ..self.opts.clone() };
-                let out = execute(&snap, &query, &exec_opts)
-                    .map_err(|e| error_frame(ErrorCode::ExecError, e.to_string()))?;
-                drop(extra);
-                if out.plan.executor.is_parallel() {
-                    self.stats.parallel_queries.fetch_add(1, Relaxed);
-                } else if want > 1 {
-                    // The planner wanted to fan out but the query ran
-                    // serial (budget exhausted or final row-count clamp).
-                    self.stats.parallel_denied.fetch_add(1, Relaxed);
+        if tmpl.is_select() {
+            let key = canonicalize(&mut tmpl);
+            let snap = self.db.snapshot();
+            let (prepared, cached) = match self.cache.get(&key) {
+                Some(p) => (p, true),
+                None => {
+                    let p = Arc::new(prepare_template(tmpl, &snap).map_err(prepare_error_frame)?);
+                    self.cache.insert(key, Arc::clone(&p));
+                    (p, false)
                 }
-                self.stats.queries.fetch_add(1, Relaxed);
-                Ok(Json::obj([
-                    ("ok", Json::Bool(true)),
-                    (
-                        "columns",
-                        Json::Array(out.result.columns.iter().cloned().map(Json::Str).collect()),
-                    ),
-                    (
-                        "rows",
-                        Json::Array(
-                            out.result
-                                .rows
-                                .iter()
-                                .map(|r| Json::Array(r.iter().map(value_to_json).collect()))
-                                .collect(),
-                        ),
-                    ),
-                    ("row_count", Json::Int(out.result.rows.len() as i64)),
-                    ("cached_plan", Json::Bool(cached)),
-                ]))
+            };
+            let bind_code =
+                if explicit_params { ErrorCode::ParamError } else { ErrorCode::PlanError };
+            self.exec_select(&snap, &prepared, &inline, cached, bind_code)
+        } else {
+            // Text-mode writes carry no parameters; a placeholder here is
+            // a protocol error (prepare/execute is the parameterized path).
+            let stmt = tmpl
+                .into_concrete()
+                .map_err(|e| error_frame(ErrorCode::ParamError, e.to_string()))?;
+            self.exec_write(&stmt, sql)
+        }
+    }
+
+    /// The `{"prepare":…}` path: plan (or fetch from the shared plan
+    /// cache) and register the template in the session's registry.
+    fn run_prepare(&self, sql: &str, session: &mut StatementRegistry) -> Result<Json, Json> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let mut tmpl =
+            parse_template(sql).map_err(|e| error_frame(ErrorCode::ParseError, e.to_string()))?;
+        let key = canonicalize(&mut tmpl);
+        let is_select = tmpl.is_select();
+        // Only fully parameterized SELECTs go through the shared plan
+        // cache: write templates carry no plan, and a SELECT with inline
+        // WHERE literals would key per-literal — a client preparing fresh
+        // literal SQL each request could flood the FIFO and evict the hot
+        // shared templates. (The text path extracts literals before
+        // keying, so its templates are always cacheable.)
+        let cacheable = is_select && !tmpl.has_predicate_literals();
+        let prepared = match cacheable.then(|| self.cache.get(&key)).flatten() {
+            Some(p) => p,
+            None => {
+                let snap = self.db.snapshot();
+                let p = Arc::new(prepare_template(tmpl, &snap).map_err(prepare_error_frame)?);
+                if cacheable {
+                    self.cache.insert(key, Arc::clone(&p));
+                }
+                p
             }
-            write_stmt => {
-                // Validate, WAL-log, then mutate — all under one write
-                // latch. The log append sits between validation and
-                // mutation: after `validate_statement` passes, the apply
-                // cannot fail, so a WAL I/O error aborts the statement with
-                // memory, log and client all agreeing it never happened,
-                // and a logged statement is always replayable. Durability
-                // order equals apply order, and the statement is on disk
-                // before the acknowledgment frame can be sent.
-                let affected = self.db.write(|db| -> Result<usize, Json> {
-                    validate_statement(db, &write_stmt)
-                        .map_err(|msg| error_frame(ErrorCode::WriteError, msg))?;
-                    if let Some(d) = &self.durability {
-                        let mut wal = d.wal.lock().unwrap_or_else(|p| p.into_inner());
-                        wal.append(sql).map_err(|e| {
-                            error_frame(
-                                ErrorCode::InternalError,
-                                format!("WAL append failed, write aborted: {e}"),
-                            )
-                        })?;
-                        self.stats.wal_records.fetch_add(1, Relaxed);
-                    }
-                    let n =
-                        apply_statement(db, &write_stmt).expect("validated statement must apply");
-                    Ok(n)
-                })?;
-                self.stats.writes.fetch_add(1, Relaxed);
-                self.maybe_auto_checkpoint();
-                Ok(Json::obj([
-                    ("ok", Json::Bool(true)),
-                    ("rows_affected", Json::Int(affected as i64)),
-                ]))
+        };
+        let param_count = prepared.param_count() as i64;
+        let columns =
+            prepared.columns().map(|cs| Json::Array(cs.iter().cloned().map(Json::Str).collect()));
+        let column_types = prepared
+            .column_types()
+            .map(|ts| Json::Array(ts.iter().map(|t| Json::Str(t.to_string())).collect()));
+        let (id, evicted) = session.register(prepared);
+        self.stats.prepares.fetch_add(1, Relaxed);
+        let mut frame = Json::obj([
+            ("ok", Json::Bool(true)),
+            ("stmt_id", Json::Int(id as i64)),
+            ("param_count", Json::Int(param_count)),
+            ("kind", Json::Str(if is_select { "select".into() } else { "write".into() })),
+        ]);
+        if let Json::Object(m) = &mut frame {
+            if let Some(cols) = columns {
+                m.insert("columns".into(), cols);
+            }
+            if let Some(types) = column_types {
+                m.insert("column_types".into(), types);
+            }
+            if let Some(old) = evicted {
+                m.insert("evicted_stmt".into(), Json::Int(old as i64));
             }
         }
+        Ok(frame)
+    }
+
+    /// The `{"execute":{"id":…,"params":[…]}}` path: look the statement up
+    /// in the session registry, bind, run. No SQL text is parsed here —
+    /// this is the bind-per-request hot path.
+    fn run_execute(&self, ex: &Json, session: &StatementRegistry) -> Result<Json, Json> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let id = ex.get("id").and_then(Json::as_i64).filter(|id| *id >= 0).ok_or_else(|| {
+            error_frame(ErrorCode::BadRequest, "\"execute\" needs a statement \"id\"")
+        })?;
+        let prepared = session.get(id as u64).ok_or_else(|| {
+            error_frame(
+                ErrorCode::UnknownStatement,
+                format!("statement {id} is not prepared in this session"),
+            )
+        })?;
+        let params = match ex.get("params") {
+            None => Vec::new(),
+            Some(Json::Array(items)) => items
+                .iter()
+                .map(json_to_param)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|m| error_frame(ErrorCode::ParamError, m))?,
+            Some(_) => {
+                return Err(error_frame(ErrorCode::BadRequest, "\"params\" must be an array"))
+            }
+        };
+        let _slot = self.budget.enter_statement();
+        self.stats.prepared_execs.fetch_add(1, Relaxed);
+        if prepared.is_select() {
+            let snap = self.db.snapshot();
+            self.exec_select(&snap, &prepared, &params, true, ErrorCode::ParamError)
+        } else {
+            let stmt = match prepared
+                .bind(&params)
+                .map_err(|e| error_frame(ErrorCode::ParamError, e.to_string()))?
+            {
+                BoundStatement::Write(s) => s,
+                BoundStatement::Select(_) => unreachable!("is_select checked"),
+            };
+            let wal_sql = stmt.to_sql().expect("bound write renders");
+            self.exec_write(&stmt, &wal_sql)
+        }
+    }
+
+    /// Binds parameters into a prepared SELECT and executes it against a
+    /// snapshot, under the core budget's fan-out grant. `bind_code` is the
+    /// error code a bind failure maps to: `param_error` when the client
+    /// supplied the parameters, `plan_error` when they are auto-extracted
+    /// literals of a text-mode statement (the client never wrote a `$n`).
+    fn exec_select(
+        &self,
+        snap: &Arc<Database>,
+        prepared: &Prepared,
+        params: &[Value],
+        cached: bool,
+        bind_code: ErrorCode,
+    ) -> Result<Json, Json> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let query = match prepared.bind(params).map_err(|e| match bind_code {
+            ErrorCode::PlanError => error_frame(
+                ErrorCode::PlanError,
+                format!("type mismatch in predicate literal: {e}"),
+            ),
+            code => error_frame(code, e.to_string()),
+        })? {
+            BoundStatement::Select(q) => q,
+            BoundStatement::Write(_) => {
+                return Err(error_frame(ErrorCode::BadRequest, "statement is not a SELECT"))
+            }
+        };
+        // Intra-query fan-out: the planner sizes the request from the
+        // estimated scan, the core budget grants what the rest of the
+        // server is not using right now. Zero grant = serial — never
+        // blocking, never oversubscribing.
+        let want =
+            self.opts.optimizer.plan_threads(estimated_scan_rows(snap, &query), self.opts.threads);
+        let extra = self.budget.try_extra(want.saturating_sub(1));
+        let exec_opts = ExecOptions { threads: 1 + extra.held(), ..self.opts.clone() };
+        let out = execute(snap, &query, &exec_opts)
+            .map_err(|e| error_frame(ErrorCode::ExecError, e.to_string()))?;
+        drop(extra);
+        if out.plan.executor.is_parallel() {
+            self.stats.parallel_queries.fetch_add(1, Relaxed);
+        } else if want > 1 {
+            // The planner wanted to fan out but the query ran serial
+            // (budget exhausted or final row-count clamp).
+            self.stats.parallel_denied.fetch_add(1, Relaxed);
+        }
+        self.stats.queries.fetch_add(1, Relaxed);
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("columns", Json::Array(out.result.columns.iter().cloned().map(Json::Str).collect())),
+            (
+                "rows",
+                Json::Array(
+                    out.result
+                        .rows
+                        .iter()
+                        .map(|r| Json::Array(r.iter().map(value_to_json).collect()))
+                        .collect(),
+                ),
+            ),
+            ("row_count", Json::Int(out.result.rows.len() as i64)),
+            ("cached_plan", Json::Bool(cached)),
+        ]))
+    }
+
+    /// Applies one concrete write statement. `wal_sql` is the text the
+    /// write-ahead log records — the original statement for the text path,
+    /// the bound rendering ([`Statement::to_sql`]) for prepared writes, so
+    /// replay sees the same concrete statement either way.
+    ///
+    /// Validate, WAL-log, then mutate — all under one write latch. The log
+    /// append sits between validation and mutation: after
+    /// `validate_statement` passes, the apply cannot fail, so a WAL I/O
+    /// error aborts the statement with memory, log and client all agreeing
+    /// it never happened, and a logged statement is always replayable.
+    /// Durability order equals apply order, and the statement is on disk
+    /// before the acknowledgment frame can be sent.
+    fn exec_write(&self, write_stmt: &Statement, wal_sql: &str) -> Result<Json, Json> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let affected = self.db.write(|db| -> Result<usize, Json> {
+            validate_statement(db, write_stmt)
+                .map_err(|msg| error_frame(ErrorCode::WriteError, msg))?;
+            if let Some(d) = &self.durability {
+                let mut wal = d.wal.lock().unwrap_or_else(|p| p.into_inner());
+                wal.append(wal_sql).map_err(|e| {
+                    error_frame(
+                        ErrorCode::InternalError,
+                        format!("WAL append failed, write aborted: {e}"),
+                    )
+                })?;
+                self.stats.wal_records.fetch_add(1, Relaxed);
+            }
+            let n = apply_statement(db, write_stmt).expect("validated statement must apply");
+            Ok(n)
+        })?;
+        self.stats.writes.fetch_add(1, Relaxed);
+        self.maybe_auto_checkpoint();
+        Ok(Json::obj([("ok", Json::Bool(true)), ("rows_affected", Json::Int(affected as i64))]))
+    }
+}
+
+/// Converts one wire parameter to a storage value. Booleans and nested
+/// structures have no column type to land in.
+fn json_to_param(j: &Json) -> Result<Value, String> {
+    match j {
+        Json::Int(x) => Ok(Value::Int(*x)),
+        Json::Float(f) => Ok(Value::Float(*f)),
+        Json::Str(s) => Ok(Value::Str(s.clone())),
+        Json::Null => Ok(Value::Null),
+        other => Err(format!("parameter {other} is not a scalar (int, float, string or null)")),
     }
 }
 
@@ -485,15 +695,21 @@ mod tests {
 
     #[test]
     fn uppercase_identifiers_behave_the_same_cold_and_warm() {
-        // Plans are built from the normalized (case-folded) text, so a
-        // spelling's fate cannot depend on what another session cached.
+        // Plans are built from the canonical (identifier-case-folded)
+        // template, so a spelling's fate cannot depend on what another
+        // session cached. Aliases keep their case — they name the output.
         let e = engine();
-        let cold = sql(&e, "SELECT COUNT(*) AS N FROM FACT");
+        let cold = sql(&e, "SELECT COUNT(*) AS n FROM FACT");
         assert_eq!(cold.get("ok").unwrap().as_bool(), Some(true), "{cold:?}");
         let warm = sql(&e, "select count(*) as n from fact");
         assert_eq!(warm.get("cached_plan").unwrap().as_bool(), Some(true));
         assert_eq!(cold.get("rows"), warm.get("rows"));
         assert_eq!(cold.get("columns"), warm.get("columns"));
+        // A different alias case is a different output shape — its own
+        // template, its own column name.
+        let other = sql(&e, "select count(*) as N from fact");
+        assert_eq!(other.get("cached_plan").unwrap().as_bool(), Some(false));
+        assert_eq!(other.get("columns").unwrap().as_array().unwrap()[0].as_str(), Some("N"));
     }
 
     #[test]
@@ -739,6 +955,192 @@ mod tests {
         assert_eq!(s.get("core_budget_total").unwrap().as_i64(), Some(6));
         assert_eq!(s.get("core_budget_in_use").unwrap().as_i64(), Some(0));
         assert_eq!(s.get("parallel_queries").unwrap().as_i64(), Some(0));
+    }
+
+    #[test]
+    fn literal_variants_share_one_plan_cache_entry() {
+        // Auto-parameterization: the same query shape with different
+        // predicate literals is ONE template — the second spelling is a
+        // cache hit, not a new plan.
+        let e = engine();
+        let r1 = sql(&e, "SELECT count(*) AS n FROM fact WHERE f_v >= 10");
+        assert_eq!(r1.get("cached_plan").unwrap().as_bool(), Some(false));
+        let r2 = sql(&e, "SELECT count(*) AS n FROM fact WHERE f_v >= 25");
+        assert_eq!(r2.get("cached_plan").unwrap().as_bool(), Some(true), "{r2:?}");
+        assert_eq!(e.cache().len(), 1, "one template entry for both literals");
+        // And the results still reflect each literal.
+        let n = |r: &Json| {
+            r.get("rows").unwrap().as_array().unwrap()[0].as_array().unwrap()[0].as_i64().unwrap()
+        };
+        assert_eq!(n(&r1), 3);
+        assert_eq!(n(&r2), 1);
+    }
+
+    #[test]
+    fn prepare_execute_close_roundtrip() {
+        let e = engine();
+        let mut session = StatementRegistry::default();
+        let r = e.handle_line_session(
+            r#"{"prepare":"SELECT d_name, sum(f_v) AS total FROM fact, dim WHERE d_rank >= ? GROUP BY d_name ORDER BY d_name"}"#,
+            &mut session,
+        );
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+        let id = r.get("stmt_id").unwrap().as_i64().unwrap();
+        assert_eq!(r.get("param_count").unwrap().as_i64(), Some(1));
+        assert_eq!(r.get("kind").unwrap().as_str(), Some("select"));
+        assert_eq!(r.get("columns").unwrap().as_array().unwrap()[0].as_str(), Some("d_name"));
+
+        let r = e.handle_line_session(
+            &format!(r#"{{"execute":{{"id":{id},"params":[2]}}}}"#),
+            &mut session,
+        );
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+        assert_eq!(r.get("row_count").unwrap().as_i64(), Some(1), "only beta has rank >= 2");
+        assert!(r.get("elapsed_us").is_some());
+
+        // Re-execute with a different binding: no re-prepare needed.
+        let r = e.handle_line_session(
+            &format!(r#"{{"execute":{{"id":{id},"params":[1]}}}}"#),
+            &mut session,
+        );
+        assert_eq!(r.get("row_count").unwrap().as_i64(), Some(2));
+
+        let r = e.handle_line_session(&format!(r#"{{"close":{id}}}"#), &mut session);
+        assert_eq!(r.get("closed").unwrap().as_bool(), Some(true));
+        let r = e.handle_line_session(
+            &format!(r#"{{"execute":{{"id":{id},"params":[1]}}}}"#),
+            &mut session,
+        );
+        assert_eq!(r.get("code").unwrap().as_str(), Some("unknown_statement"), "{r:?}");
+        assert_eq!(
+            e.stats().prepared_execs.load(std::sync::atomic::Ordering::Relaxed),
+            2,
+            "executes of unknown ids fail before the counter"
+        );
+    }
+
+    #[test]
+    fn prepared_writes_execute_and_are_durable_in_memory() {
+        let e = engine();
+        let mut session = StatementRegistry::default();
+        let r =
+            e.handle_line_session(r#"{"prepare":"INSERT INTO fact VALUES (?, ?)"}"#, &mut session);
+        assert_eq!(r.get("kind").unwrap().as_str(), Some("write"), "{r:?}");
+        let id = r.get("stmt_id").unwrap().as_i64().unwrap();
+        let r = e.handle_line_session(
+            &format!(r#"{{"execute":{{"id":{id},"params":[1, 100]}}}}"#),
+            &mut session,
+        );
+        assert_eq!(r.get("rows_affected").unwrap().as_i64(), Some(1), "{r:?}");
+        // A dangling key binds fine (it's an int) but fails validation.
+        let r = e.handle_line_session(
+            &format!(r#"{{"execute":{{"id":{id},"params":[9, 1]}}}}"#),
+            &mut session,
+        );
+        assert_eq!(r.get("code").unwrap().as_str(), Some("write_error"), "{r:?}");
+        let r = sql(&e, "SELECT sum(f_v) AS s FROM fact");
+        let rows = r.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows[0].as_array().unwrap()[0].as_i64(), Some(160));
+    }
+
+    #[test]
+    fn execute_param_errors_are_typed() {
+        let e = engine();
+        let mut session = StatementRegistry::default();
+        let r = e.handle_line_session(
+            r#"{"prepare":"SELECT count(*) AS n FROM fact, dim WHERE d_name = ?"}"#,
+            &mut session,
+        );
+        let id = r.get("stmt_id").unwrap().as_i64().unwrap();
+        // Wrong count.
+        let r = e.handle_line_session(
+            &format!(r#"{{"execute":{{"id":{id},"params":[]}}}}"#),
+            &mut session,
+        );
+        assert_eq!(r.get("code").unwrap().as_str(), Some("param_error"), "{r:?}");
+        // Wrong kind.
+        let r = e.handle_line_session(
+            &format!(r#"{{"execute":{{"id":{id},"params":[5]}}}}"#),
+            &mut session,
+        );
+        assert_eq!(r.get("code").unwrap().as_str(), Some("param_error"), "{r:?}");
+        // Non-scalar parameter.
+        let r = e.handle_line_session(
+            &format!(r#"{{"execute":{{"id":{id},"params":[[1]]}}}}"#),
+            &mut session,
+        );
+        assert_eq!(r.get("code").unwrap().as_str(), Some("param_error"), "{r:?}");
+        // Correct bind still works afterwards.
+        let r = e.handle_line_session(
+            &format!(r#"{{"execute":{{"id":{id},"params":["alpha"]}}}}"#),
+            &mut session,
+        );
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+    }
+
+    #[test]
+    fn registry_eviction_is_bounded_and_typed() {
+        let e = engine();
+        let mut session = StatementRegistry::with_capacity(2);
+        let mut ids = Vec::new();
+        for _ in 0..3 {
+            let r = e.handle_line_session(
+                r#"{"prepare":"SELECT count(*) AS n FROM fact"}"#,
+                &mut session,
+            );
+            ids.push(r.get("stmt_id").unwrap().as_i64().unwrap());
+        }
+        assert_eq!(session.len(), 2, "capacity enforced");
+        let r =
+            e.handle_line_session(&format!(r#"{{"execute":{{"id":{}}}}}"#, ids[0]), &mut session);
+        assert_eq!(r.get("code").unwrap().as_str(), Some("unknown_statement"), "{r:?}");
+        let r =
+            e.handle_line_session(&format!(r#"{{"execute":{{"id":{}}}}}"#, ids[2]), &mut session);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+    }
+
+    #[test]
+    fn literal_bearing_prepares_do_not_pollute_the_plan_cache() {
+        // A client preparing fresh literal SQL per request must not evict
+        // the shared parameterized templates: such statements live only in
+        // its session registry.
+        let e = engine();
+        let mut session = StatementRegistry::default();
+        for v in [10, 20, 30] {
+            let r = e.handle_line_session(
+                &format!(r#"{{"prepare":"SELECT count(*) AS n FROM fact WHERE f_v >= {v}"}}"#),
+                &mut session,
+            );
+            assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+            let id = r.get("stmt_id").unwrap().as_i64().unwrap();
+            let r = e.handle_line_session(&format!(r#"{{"execute":{{"id":{id}}}}}"#), &mut session);
+            assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+        }
+        assert_eq!(e.cache().len(), 0, "literal-bearing prepares are not shared-cached");
+        // Fully parameterized prepares still are.
+        let r = e.handle_line_session(
+            r#"{"prepare":"SELECT count(*) AS n FROM fact WHERE f_v >= ?"}"#,
+            &mut session,
+        );
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+        assert_eq!(e.cache().len(), 1);
+    }
+
+    #[test]
+    fn text_and_prepared_share_the_plan_cache() {
+        // A prepared `f_v >= ?` and a literal-SQL `f_v >= 10` canonicalize
+        // to the same template: the second one is a cache hit.
+        let e = engine();
+        let mut session = StatementRegistry::default();
+        let r = e.handle_line_session(
+            r#"{"prepare":"SELECT count(*) AS n FROM fact WHERE f_v >= ?"}"#,
+            &mut session,
+        );
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+        assert_eq!(e.cache().len(), 1);
+        let r = sql(&e, "SELECT count(*) AS n FROM fact WHERE f_v >= 10");
+        assert_eq!(r.get("cached_plan").unwrap().as_bool(), Some(true), "{r:?}");
+        assert_eq!(e.cache().len(), 1, "still one entry");
     }
 
     #[test]

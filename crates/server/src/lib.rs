@@ -21,9 +21,30 @@
 //! ← {"ok":false,"code":"parse_error","error":"parse error: …"}
 //! ```
 //!
+//! **Protocol v2 — prepare/execute.** A statement is parsed and planned
+//! once per session, then executed many times by binding parameters
+//! (`?` / `$n` placeholders) — the hot path never re-parses SQL text:
+//!
+//! ```text
+//! → {"prepare":"SELECT sum(lo_revenue) AS rev FROM lineorder, date WHERE lo_orderdate = d_datekey AND d_year = ?"}
+//! ← {"ok":true,"stmt_id":1,"param_count":1,"kind":"select","columns":["rev"],"column_types":["float"]}
+//! → {"execute":{"id":1,"params":[1993]}}
+//! ← {"ok":true,"columns":["rev"],"rows":[[…]],"row_count":1,"cached_plan":true,"elapsed_us":97}
+//! → {"close":1}
+//! ← {"ok":true,"closed":true}
+//! ```
+//!
+//! Prepared statements are per-session, capped (FIFO eviction) by the
+//! [`StatementRegistry`]; the *plans* behind them live in the shared
+//! [`PlanCache`], keyed by canonical statement template, which text-mode
+//! queries share via auto-parameterization — `d_year = 1993` and
+//! `d_year = 1997` are one plan.
+//!
 //! Error codes: `bad_request`, `parse_error`, `plan_error`, `exec_error`,
-//! `write_error`, `server_busy` (admission control shed the request),
-//! `too_many_connections`, `internal_error`.
+//! `write_error`, `unknown_statement` (execute of an unprepared/evicted
+//! id), `param_error` (wrong parameter count or kind), `server_busy`
+//! (admission control shed the request), `too_many_connections`,
+//! `internal_error`.
 //!
 //! ## Architecture
 //!
@@ -34,7 +55,7 @@
 //!                     bounded WorkerPool (admission control)
 //!                                     │
 //!                                     ▼
-//!        Engine: parse → PlanCache (normalized SQL → Arc<Query>)
+//!        Engine: parse → PlanCache (canonical template → Arc<Prepared>)
 //!                  │ SELECT: execute against SharedDatabase::snapshot(),
 //!                  │   fan-out threads granted by the shared CoreBudget
 //!                  │   (big scans go morsel-parallel, small stay serial)
@@ -63,6 +84,7 @@ pub mod hist;
 pub mod json;
 pub mod pool;
 pub mod server;
+pub mod session;
 pub mod stats;
 
 pub use budget::CoreBudget;
@@ -70,4 +92,5 @@ pub use cache::PlanCache;
 pub use client::{Client, ClientError};
 pub use engine::{Durability, Engine, ErrorCode};
 pub use server::{start, ServerConfig, ServerHandle};
+pub use session::StatementRegistry;
 pub use stats::ServerStats;

@@ -3,7 +3,7 @@
 //!
 //! Threading model: the accept loop and one lightweight thread per
 //! connection handle *I/O only*; every statement is executed on the shared
-//! [`WorkerPool`](crate::pool::WorkerPool), whose bounded queue is the
+//! [`WorkerPool`], whose bounded queue is the
 //! admission-control point. When the queue is full the connection thread
 //! answers immediately with a `server_busy` error frame instead of
 //! stalling — the server sheds load, it never builds an unbounded backlog.
@@ -19,6 +19,8 @@ use std::time::Duration;
 use crate::engine::{error_frame, Engine, ErrorCode};
 use crate::json::Json;
 use crate::pool::{RejectReason, WorkerPool};
+use crate::session::StatementRegistry;
+use std::sync::Mutex;
 
 /// Maximum accepted request-line length (1 MiB); longer lines are answered
 /// with `bad_request` and the connection is closed.
@@ -187,6 +189,10 @@ fn serve_connection(
     let mut writer = BufWriter::new(write_half);
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 8192];
+    // The connection's prepared-statement registry. Statements run on pool
+    // workers one at a time per connection, so the mutex is uncontended —
+    // it only carries the registry across worker threads.
+    let session = Arc::new(Mutex::new(StatementRegistry::default()));
     loop {
         // Answer every complete frame currently buffered.
         while let Some(nl) = buf.iter().position(|&b| b == b'\n') {
@@ -196,7 +202,7 @@ fn serve_connection(
             if trimmed.is_empty() {
                 continue;
             }
-            let response = execute_on_pool(engine, pool, trimmed);
+            let response = execute_on_pool(engine, pool, trimmed, &session);
             if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
                 return;
             }
@@ -226,12 +232,19 @@ fn serve_connection(
 
 /// Runs one request on the worker pool, translating admission-control
 /// rejections and worker panics into typed error frames.
-fn execute_on_pool(engine: &Arc<Engine>, pool: &WorkerPool, request: &str) -> Json {
+fn execute_on_pool(
+    engine: &Arc<Engine>,
+    pool: &WorkerPool,
+    request: &str,
+    session: &Arc<Mutex<StatementRegistry>>,
+) -> Json {
     let (tx, rx) = channel();
     let job_engine = Arc::clone(engine);
     let job_line = request.to_owned();
+    let job_session = Arc::clone(session);
     let submitted = pool.try_execute(Box::new(move || {
-        let _ = tx.send(job_engine.handle_line(&job_line));
+        let mut reg = job_session.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = tx.send(job_engine.handle_line_session(&job_line, &mut reg));
     }));
     match submitted {
         Ok(()) => rx.recv().unwrap_or_else(|_| {

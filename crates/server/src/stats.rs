@@ -23,6 +23,11 @@ pub struct ServerStats {
     /// Read queries the planner wanted to fan out but that ran serial
     /// (core budget exhausted, or the final row-count clamp said no).
     pub parallel_denied: AtomicU64,
+    /// Statements prepared via `{"prepare":…}` frames.
+    pub prepares: AtomicU64,
+    /// Statements executed via `{"execute":…}` frames (bind-per-request,
+    /// no SQL text parsed).
+    pub prepared_execs: AtomicU64,
     /// Requests that returned an error frame (parse/plan/execution).
     pub errors: AtomicU64,
     /// Requests shed by admission control (`server_busy`).
@@ -45,6 +50,8 @@ impl Default for ServerStats {
             checkpoints: AtomicU64::new(0),
             parallel_queries: AtomicU64::new(0),
             parallel_denied: AtomicU64::new(0),
+            prepares: AtomicU64::new(0),
+            prepared_execs: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             conn_rejected: AtomicU64::new(0),
@@ -71,6 +78,8 @@ impl ServerStats {
             ("checkpoints", Json::Int(self.checkpoints.load(Ordering::Relaxed) as i64)),
             ("parallel_queries", Json::Int(self.parallel_queries.load(Ordering::Relaxed) as i64)),
             ("parallel_denied", Json::Int(self.parallel_denied.load(Ordering::Relaxed) as i64)),
+            ("prepares", Json::Int(self.prepares.load(Ordering::Relaxed) as i64)),
+            ("prepared_execs", Json::Int(self.prepared_execs.load(Ordering::Relaxed) as i64)),
             ("errors", Json::Int(self.errors.load(Ordering::Relaxed) as i64)),
             ("rejected", Json::Int(self.rejected.load(Ordering::Relaxed) as i64)),
             ("connections_rejected", Json::Int(self.conn_rejected.load(Ordering::Relaxed) as i64)),
@@ -111,6 +120,8 @@ mod tests {
             "checkpoints",
             "parallel_queries",
             "parallel_denied",
+            "prepares",
+            "prepared_execs",
             "errors",
             "rejected",
             "latency_p99_us",

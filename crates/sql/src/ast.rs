@@ -20,7 +20,7 @@ impl std::fmt::Display for ColName {
     }
 }
 
-/// A scalar literal.
+/// A scalar literal or parameter placeholder.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Scalar {
     /// Integer.
@@ -29,6 +29,20 @@ pub enum Scalar {
     Float(f64),
     /// String.
     Str(String),
+    /// A parameter slot (`?` / `$n` in the source), 0-based.
+    Param(usize),
+}
+
+impl std::fmt::Display for Scalar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scalar::Int(v) => write!(f, "{v}"),
+            Scalar::Float(v) if v.fract() == 0.0 && v.is_finite() => write!(f, "{v:.1}"),
+            Scalar::Float(v) => write!(f, "{v}"),
+            Scalar::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Scalar::Param(i) => write!(f, "${}", i + 1),
+        }
+    }
 }
 
 /// An arithmetic expression (measure expressions inside aggregates).
@@ -114,6 +128,41 @@ impl Cond {
             other => vec![other],
         }
     }
+
+    /// Visits every scalar in the condition tree.
+    pub fn visit_scalars(&self, f: &mut impl FnMut(&Scalar)) {
+        match self {
+            Cond::Cmp { rhs, .. } => f(rhs),
+            Cond::Between { lo, hi, .. } => {
+                f(lo);
+                f(hi);
+            }
+            Cond::InList { list, .. } => list.iter().for_each(f),
+            Cond::And(cs) | Cond::Or(cs) => {
+                cs.iter().for_each(|c| c.visit_scalars(f));
+            }
+            Cond::Not(c) => c.visit_scalars(f),
+            Cond::JoinEq(..) => {}
+        }
+    }
+
+    /// Visits every scalar in the condition tree, mutably (parameter
+    /// extraction and substitution both ride on this).
+    pub fn visit_scalars_mut(&mut self, f: &mut impl FnMut(&mut Scalar)) {
+        match self {
+            Cond::Cmp { rhs, .. } => f(rhs),
+            Cond::Between { lo, hi, .. } => {
+                f(lo);
+                f(hi);
+            }
+            Cond::InList { list, .. } => list.iter_mut().for_each(f),
+            Cond::And(cs) | Cond::Or(cs) => {
+                cs.iter_mut().for_each(|c| c.visit_scalars_mut(f));
+            }
+            Cond::Not(c) => c.visit_scalars_mut(f),
+            Cond::JoinEq(..) => {}
+        }
+    }
 }
 
 /// An ORDER BY key.
@@ -140,6 +189,22 @@ pub struct SelectStmt {
     pub order_by: Vec<OrderItem>,
     /// LIMIT.
     pub limit: Option<usize>,
+}
+
+impl SelectStmt {
+    /// Number of parameter slots this statement references: one more than
+    /// the highest slot index (0 when fully literal).
+    pub fn param_count(&self) -> usize {
+        let mut max = 0usize;
+        if let Some(w) = &self.where_clause {
+            w.visit_scalars(&mut |s| {
+                if let Scalar::Param(i) = s {
+                    max = max.max(*i + 1);
+                }
+            });
+        }
+        max
+    }
 }
 
 #[cfg(test)]

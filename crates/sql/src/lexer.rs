@@ -14,6 +14,9 @@ pub enum Token {
     Float(f64),
     /// Single-quoted string literal (quotes stripped, `''` unescaped).
     Str(String),
+    /// A parameter placeholder: `?` (positional, `None`) or `$n`
+    /// (explicit 1-based position, `Some(n)`).
+    Param(Option<u32>),
     /// `(`
     LParen,
     /// `)`
@@ -52,7 +55,9 @@ impl fmt::Display for Token {
             Token::Ident(s) => write!(f, "{s}"),
             Token::Int(v) => write!(f, "{v}"),
             Token::Float(v) => write!(f, "{v}"),
-            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Token::Param(None) => write!(f, "?"),
+            Token::Param(Some(n)) => write!(f, "${n}"),
             Token::LParen => write!(f, "("),
             Token::RParen => write!(f, ")"),
             Token::Comma => write!(f, ","),
@@ -70,6 +75,18 @@ impl fmt::Display for Token {
             Token::Semi => write!(f, ";"),
         }
     }
+}
+
+/// A token together with its byte span in the source text — the raw
+/// material for caret diagnostics in parse errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    /// The token.
+    pub tok: Token,
+    /// Byte offset of the token's first character.
+    pub start: usize,
+    /// Byte offset one past the token's last character.
+    pub end: usize,
 }
 
 /// A lexing error with byte position.
@@ -91,78 +108,109 @@ impl std::error::Error for LexError {}
 
 /// Tokenizes a SQL string.
 pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    Ok(lex_spanned(input)?.into_iter().map(|s| s.tok).collect())
+}
+
+/// Tokenizes a SQL string, keeping each token's byte span.
+pub fn lex_spanned(input: &str) -> Result<Vec<SpannedToken>, LexError> {
     let bytes = input.as_bytes();
     let mut out = Vec::new();
     let mut i = 0usize;
+    let push = |tok: Token, start: usize, end: usize, out: &mut Vec<SpannedToken>| {
+        out.push(SpannedToken { tok, start, end });
+    };
     while i < bytes.len() {
         let c = bytes[i] as char;
+        let start = i;
         match c {
             ' ' | '\t' | '\r' | '\n' => i += 1,
             '(' => {
-                out.push(Token::LParen);
                 i += 1;
+                push(Token::LParen, start, i, &mut out);
             }
             ')' => {
-                out.push(Token::RParen);
                 i += 1;
+                push(Token::RParen, start, i, &mut out);
             }
             ',' => {
-                out.push(Token::Comma);
                 i += 1;
+                push(Token::Comma, start, i, &mut out);
             }
             '.' => {
-                out.push(Token::Dot);
                 i += 1;
+                push(Token::Dot, start, i, &mut out);
             }
             '*' => {
-                out.push(Token::Star);
                 i += 1;
+                push(Token::Star, start, i, &mut out);
             }
             '+' => {
-                out.push(Token::Plus);
                 i += 1;
+                push(Token::Plus, start, i, &mut out);
             }
             '/' => {
-                out.push(Token::Slash);
                 i += 1;
+                push(Token::Slash, start, i, &mut out);
             }
             ';' => {
-                out.push(Token::Semi);
                 i += 1;
+                push(Token::Semi, start, i, &mut out);
             }
             '=' => {
-                out.push(Token::Eq);
                 i += 1;
+                push(Token::Eq, start, i, &mut out);
+            }
+            '?' => {
+                i += 1;
+                push(Token::Param(None), start, i, &mut out);
+            }
+            '$' => {
+                i += 1;
+                let digits = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: u32 = input[digits..i].parse().map_err(|_| LexError {
+                    pos: start,
+                    message: "expected a parameter number after '$' (e.g. $1)".into(),
+                })?;
+                if n == 0 {
+                    return Err(LexError {
+                        pos: start,
+                        message: "parameter numbers start at $1".into(),
+                    });
+                }
+                push(Token::Param(Some(n)), start, i, &mut out);
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token::Ne);
                     i += 2;
+                    push(Token::Ne, start, i, &mut out);
                 } else {
                     return Err(LexError { pos: i, message: "expected '=' after '!'".into() });
                 }
             }
             '<' => match bytes.get(i + 1) {
                 Some(&b'=') => {
-                    out.push(Token::Le);
                     i += 2;
+                    push(Token::Le, start, i, &mut out);
                 }
                 Some(&b'>') => {
-                    out.push(Token::Ne);
                     i += 2;
+                    push(Token::Ne, start, i, &mut out);
                 }
                 _ => {
-                    out.push(Token::Lt);
                     i += 1;
+                    push(Token::Lt, start, i, &mut out);
                 }
             },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token::Ge);
                     i += 2;
+                    push(Token::Ge, start, i, &mut out);
                 } else {
-                    out.push(Token::Gt);
                     i += 1;
+                    push(Token::Gt, start, i, &mut out);
                 }
             }
             '-' => {
@@ -172,8 +220,8 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                         i += 1;
                     }
                 } else {
-                    out.push(Token::Minus);
                     i += 1;
+                    push(Token::Minus, start, i, &mut out);
                 }
             }
             '\'' => {
@@ -202,10 +250,9 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 }
-                out.push(Token::Str(s));
+                push(Token::Str(s), start, i, &mut out);
             }
             '0'..='9' => {
-                let start = i;
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
@@ -222,25 +269,26 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 }
                 let text = &input[start..i];
                 if is_float {
-                    out.push(Token::Float(text.parse().map_err(|_| LexError {
+                    let v = text.parse().map_err(|_| LexError {
                         pos: start,
                         message: format!("bad float literal {text:?}"),
-                    })?));
+                    })?;
+                    push(Token::Float(v), start, i, &mut out);
                 } else {
-                    out.push(Token::Int(text.parse().map_err(|_| LexError {
+                    let v = text.parse().map_err(|_| LexError {
                         pos: start,
                         message: format!("bad integer literal {text:?}"),
-                    })?));
+                    })?;
+                    push(Token::Int(v), start, i, &mut out);
                 }
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
-                let start = i;
                 while i < bytes.len()
                     && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
                 {
                     i += 1;
                 }
-                out.push(Token::Ident(input[start..i].to_owned()));
+                push(Token::Ident(input[start..i].to_owned()), start, i, &mut out);
             }
             other => {
                 return Err(LexError { pos: i, message: format!("unexpected character {other:?}") })
@@ -301,9 +349,33 @@ mod tests {
     }
 
     #[test]
+    fn placeholders() {
+        let toks = lex("WHERE a = ? AND b = $2").unwrap();
+        assert!(toks.contains(&Token::Param(None)));
+        assert!(toks.contains(&Token::Param(Some(2))));
+        assert!(lex("$").is_err(), "bare dollar needs a number");
+        assert!(lex("$0").is_err(), "parameters are 1-based");
+    }
+
+    #[test]
     fn comments_are_skipped() {
         let toks = lex("SELECT -- the works\n 1").unwrap();
         assert_eq!(toks, vec![Token::Ident("SELECT".into()), Token::Int(1)]);
+    }
+
+    #[test]
+    fn spans_cover_the_source() {
+        let src = "SELECT 'it''s' >= 42";
+        let toks = lex_spanned(src).unwrap();
+        assert_eq!(&src[toks[0].start..toks[0].end], "SELECT");
+        assert_eq!(&src[toks[1].start..toks[1].end], "'it''s'");
+        assert_eq!(&src[toks[2].start..toks[2].end], ">=");
+        assert_eq!(&src[toks[3].start..toks[3].end], "42");
+    }
+
+    #[test]
+    fn string_display_reescapes_quotes() {
+        assert_eq!(Token::Str("O'NEIL".into()).to_string(), "'O''NEIL'");
     }
 
     #[test]

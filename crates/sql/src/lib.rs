@@ -43,14 +43,18 @@ pub mod ast;
 pub mod lexer;
 pub mod parser;
 pub mod planner;
+pub mod prepared;
 pub mod statement;
 
 use astore_core::exec::{execute, ExecOptions, ExecOutput};
 use astore_storage::catalog::Database;
 
 pub use parser::{parse, ParseError};
-pub use planner::{plan, sql_to_query, PlanError};
-pub use statement::{normalize, parse_statement, Statement};
+pub use planner::{plan, plan_with_params, sql_to_query, PlanError};
+pub use prepared::{
+    prepare, BoundStatement, ColumnType, ParamError, PrepareError, Prepared, PreparedKind,
+};
+pub use statement::{parse_statement, parse_template, Statement, StatementTemplate, WriteTemplate};
 
 /// An error from any stage of SQL execution.
 #[derive(Debug)]

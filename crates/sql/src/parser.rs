@@ -15,23 +15,44 @@
 //! factor:= number | col | '(' arith ')' | '-' factor
 //! cond  := and (OR and)* ; and := not (AND not)*
 //! not   := NOT not | '(' cond ')' | col (cmp (scalar|col) | BETWEEN … | IN (…))
+//! scalar:= number | string | '?' | '$n'
 //! ```
+//!
+//! Parameter placeholders: `?` takes the next free 0-based slot in source
+//! order; `$n` names slot `n-1` explicitly and may repeat. The two styles
+//! cannot mix within one statement (their numberings would silently
+//! alias). Placeholders are accepted wherever a comparison/BETWEEN/IN
+//! literal is — not in measure arithmetic or LIMIT, whose values shape
+//! the plan itself.
 
 use astore_core::expr::CmpOp;
 
 use crate::ast::{Arith, ColName, Cond, OrderItem, Scalar, SelectItem, SelectStmt};
-use crate::lexer::{lex, LexError, Token};
+use crate::lexer::{lex_spanned, LexError, SpannedToken, Token};
 
-/// A parse error.
+/// A parse error, with the byte span of the offending token when known.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
     /// Description.
     pub message: String,
+    /// Byte range in the source text the error points at, if known.
+    pub span: Option<(usize, usize)>,
+}
+
+impl ParseError {
+    /// An error without position information.
+    pub fn new(message: impl Into<String>) -> Self {
+        ParseError { message: message.into(), span: None }
+    }
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parse error: {}", self.message)
+        write!(f, "parse error: {}", self.message)?;
+        if let Some((start, _)) = self.span {
+            write!(f, " (at byte {start})")?;
+        }
+        Ok(())
     }
 }
 
@@ -39,7 +60,7 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.to_string() }
+        ParseError { message: e.to_string(), span: Some((e.pos, e.pos + 1)) }
     }
 }
 
@@ -47,8 +68,8 @@ const AGG_FUNCS: [&str; 5] = ["sum", "count", "min", "max", "avg"];
 
 /// Parses one SELECT statement.
 pub fn parse(input: &str) -> Result<SelectStmt, ParseError> {
-    let toks = lex(input)?;
-    let mut p = Parser { toks, pos: 0 };
+    let toks = lex_spanned(input)?;
+    let mut p = Parser { toks, pos: 0, anon_params: 0, numbered_params: false };
     let stmt = p.select_stmt()?;
     p.eat_token(&Token::Semi);
     if !p.at_end() {
@@ -57,9 +78,11 @@ pub fn parse(input: &str) -> Result<SelectStmt, ParseError> {
     Ok(stmt)
 }
 
-struct Parser {
-    toks: Vec<Token>,
+pub(crate) struct Parser {
+    toks: Vec<SpannedToken>,
     pos: usize,
+    anon_params: usize,
+    numbered_params: bool,
 }
 
 impl Parser {
@@ -68,7 +91,11 @@ impl Parser {
     }
 
     fn peek(&self) -> Option<&Token> {
-        self.toks.get(self.pos)
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&Token> {
+        self.toks.get(self.pos + off).map(|s| &s.tok)
     }
 
     fn peek_str(&self) -> String {
@@ -76,15 +103,26 @@ impl Parser {
     }
 
     fn next(&mut self) -> Option<Token> {
-        let t = self.toks.get(self.pos).cloned();
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
         if t.is_some() {
             self.pos += 1;
         }
         t
     }
 
+    /// An error pointing at the *current* token (or just past the last one).
     fn err(&self, message: String) -> ParseError {
-        ParseError { message }
+        let span = match self.toks.get(self.pos) {
+            Some(s) => Some((s.start, s.end)),
+            None => self.toks.last().map(|s| (s.end, s.end + 1)),
+        };
+        ParseError { message, span }
+    }
+
+    /// An error pointing at the token just consumed.
+    fn err_prev(&self, message: String) -> ParseError {
+        let span = self.toks.get(self.pos.saturating_sub(1)).map(|s| (s.start, s.end));
+        ParseError { message, span }
     }
 
     /// Consumes the given token if present.
@@ -131,7 +169,7 @@ impl Parser {
     fn ident(&mut self) -> Result<String, ParseError> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+            other => Err(self.err_prev(format!("expected identifier, found {other:?}"))),
         }
     }
 
@@ -185,7 +223,9 @@ impl Parser {
         let limit = if self.eat_kw("limit") {
             match self.next() {
                 Some(Token::Int(n)) if n >= 0 => Some(n as usize),
-                other => return Err(self.err(format!("expected LIMIT count, found {other:?}"))),
+                other => {
+                    return Err(self.err_prev(format!("expected LIMIT count, found {other:?}")))
+                }
             }
         } else {
             None
@@ -197,9 +237,7 @@ impl Parser {
         // Aggregate call?
         if let Some(Token::Ident(name)) = self.peek() {
             let lower = name.to_ascii_lowercase();
-            if AGG_FUNCS.contains(&lower.as_str())
-                && self.toks.get(self.pos + 1) == Some(&Token::LParen)
-            {
+            if AGG_FUNCS.contains(&lower.as_str()) && self.peek_at(1) == Some(&Token::LParen) {
                 self.pos += 2; // func + '('
                 let arg = if self.eat_token(&Token::Star) { None } else { Some(self.arith()?) };
                 self.expect_token(&Token::RParen)?;
@@ -272,6 +310,11 @@ impl Parser {
                 Ok(e)
             }
             Some(Token::Ident(_)) => Ok(Arith::Col(self.colname()?)),
+            Some(Token::Param(_)) => Err(self.err(
+                "parameter placeholders are not allowed inside measure expressions \
+                 (their values shape the plan)"
+                    .into(),
+            )),
             other => Err(self.err(format!("expected expression, found {other:?}"))),
         }
     }
@@ -328,16 +371,18 @@ impl Parser {
             Some(Token::Le) => CmpOp::Le,
             Some(Token::Gt) => CmpOp::Gt,
             Some(Token::Ge) => CmpOp::Ge,
-            other => return Err(self.err(format!("expected comparison operator, found {other:?}"))),
+            other => {
+                return Err(self.err_prev(format!("expected comparison operator, found {other:?}")))
+            }
         };
-        // RHS: literal or column (join condition).
+        // RHS: literal, placeholder, or column (join condition).
         match self.peek().cloned() {
             Some(Token::Ident(_)) => {
                 let rhs = self.colname()?;
                 if op != CmpOp::Eq {
-                    return Err(
-                        self.err("only equality joins are supported between columns".into())
-                    );
+                    return Err(ParseError::new(
+                        "only equality joins are supported between columns",
+                    ));
                 }
                 Ok(Cond::JoinEq(col, rhs))
             }
@@ -350,12 +395,61 @@ impl Parser {
             Some(Token::Int(v)) => Ok(Scalar::Int(v)),
             Some(Token::Float(v)) => Ok(Scalar::Float(v)),
             Some(Token::Str(s)) => Ok(Scalar::Str(s)),
+            Some(Token::Param(p)) => Ok(Scalar::Param(self.param_slot(p)?)),
             Some(Token::Minus) => match self.next() {
                 Some(Token::Int(v)) => Ok(Scalar::Int(-v)),
                 Some(Token::Float(v)) => Ok(Scalar::Float(-v)),
-                other => Err(self.err(format!("expected number after '-', found {other:?}"))),
+                other => Err(self.err_prev(format!("expected number after '-', found {other:?}"))),
             },
-            other => Err(self.err(format!("expected literal, found {other:?}"))),
+            other => Err(self.err_prev(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    /// Resolves a placeholder token to a 0-based slot: `?` takes the next
+    /// sequential slot, `$n` names slot `n-1` explicitly. The two styles
+    /// cannot mix (their numberings would silently alias), and slots are
+    /// capped at `u16::MAX` — the width of `Lit::Param` — so a hostile
+    /// `$4000000000` cannot request a giant parameter table.
+    fn param_slot(&mut self, p: Option<u32>) -> Result<usize, ParseError> {
+        resolve_param_slot(p, &mut self.anon_params, &mut self.numbered_params)
+            .map_err(|m| self.err_prev(m))
+    }
+}
+
+/// Shared `?`/`$n` slot resolution (also used by the write-statement
+/// cursor). Errors are returned as bare messages for the caller to span.
+pub(crate) fn resolve_param_slot(
+    p: Option<u32>,
+    anon_count: &mut usize,
+    saw_numbered: &mut bool,
+) -> Result<usize, String> {
+    const MAX_SLOTS: usize = u16::MAX as usize + 1;
+    match p {
+        Some(n) => {
+            if *anon_count > 0 {
+                return Err("cannot mix ? and $n placeholders in one statement (their numberings \
+                     would alias); use one style"
+                    .into());
+            }
+            *saw_numbered = true;
+            let slot = (n - 1) as usize;
+            if slot >= MAX_SLOTS {
+                return Err(format!("parameter ${n} exceeds the maximum of ${MAX_SLOTS}"));
+            }
+            Ok(slot)
+        }
+        None => {
+            if *saw_numbered {
+                return Err("cannot mix ? and $n placeholders in one statement (their numberings \
+                     would alias); use one style"
+                    .into());
+            }
+            let slot = *anon_count;
+            if slot >= MAX_SLOTS {
+                return Err(format!("statement exceeds the maximum of {MAX_SLOTS} parameters"));
+            }
+            *anon_count += 1;
+            Ok(slot)
         }
     }
 }
@@ -423,6 +517,39 @@ mod tests {
     }
 
     #[test]
+    fn anonymous_placeholders_number_sequentially() {
+        let stmt =
+            parse("SELECT count(*) FROM t WHERE a = ? AND b BETWEEN ? AND ? AND c IN (?, ?)")
+                .unwrap();
+        assert_eq!(stmt.param_count(), 5);
+        let conds = stmt.where_clause.unwrap().conjuncts();
+        assert_eq!(
+            conds[1],
+            Cond::Between {
+                col: ColName { table: None, column: "b".into() },
+                lo: Scalar::Param(1),
+                hi: Scalar::Param(2),
+            }
+        );
+    }
+
+    #[test]
+    fn numbered_placeholders_may_repeat() {
+        let stmt = parse("SELECT count(*) FROM t WHERE a >= $1 AND b <= $1 AND c = $2").unwrap();
+        assert_eq!(stmt.param_count(), 2);
+        let conds = stmt.where_clause.unwrap().conjuncts();
+        assert!(matches!(&conds[0], Cond::Cmp { rhs: Scalar::Param(0), .. }));
+        assert!(matches!(&conds[1], Cond::Cmp { rhs: Scalar::Param(0), .. }));
+        assert!(matches!(&conds[2], Cond::Cmp { rhs: Scalar::Param(1), .. }));
+    }
+
+    #[test]
+    fn placeholders_rejected_in_measures_and_limit() {
+        assert!(parse("SELECT sum(x * ?) FROM t").is_err());
+        assert!(parse("SELECT count(*) FROM t LIMIT ?").is_err());
+    }
+
+    #[test]
     fn qualified_columns() {
         let stmt = parse("SELECT t.a FROM t WHERE t.b = 1").unwrap();
         let SelectItem::Col { col, .. } = &stmt.items[0] else { panic!() };
@@ -450,6 +577,17 @@ mod tests {
         assert!(parse("SELECT a FROM t extra garbage here").is_err());
         assert!(parse("SELECT a, FROM t").is_err());
         assert!(parse("SELECT count(*) FROM t WHERE a < b").is_err());
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let src = "SELECT count(*) FROM t WHERE a = ";
+        let e = parse(src).unwrap_err();
+        assert!(e.span.is_some(), "{e:?}");
+        let src = "SELEKT count(*) FROM t";
+        let e = parse(src).unwrap_err();
+        let (start, end) = e.span.unwrap();
+        assert_eq!(&src[start..end], "SELEKT");
     }
 
     #[test]

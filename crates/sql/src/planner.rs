@@ -12,6 +12,7 @@ use astore_core::expr::{Lit, MeasureExpr, Pred};
 use astore_core::graph::JoinGraph;
 use astore_core::query::{AggFunc, Aggregate, OrderKey, Query, SortOrder};
 use astore_storage::catalog::Database;
+use astore_storage::types::DataType;
 
 use crate::ast::{Arith, ColName, Cond, Scalar, SelectItem, SelectStmt};
 use crate::parser::{parse, ParseError};
@@ -47,7 +48,24 @@ pub fn sql_to_query(sql: &str, db: &Database) -> Result<Query, PlanError> {
 }
 
 /// Plans a parsed statement against a database.
+///
+/// A statement containing `?`/`$n` placeholders plans to a query
+/// *template* whose parameter slots must be bound
+/// ([`Query::bind_params`]) before execution; use
+/// [`plan_with_params`] to also learn each slot's expected column type.
 pub fn plan(stmt: &SelectStmt, db: &Database) -> Result<Query, PlanError> {
+    plan_with_params(stmt, db).map(|(q, _)| q)
+}
+
+/// Plans a parsed statement, returning the query (template) together with
+/// the column type each parameter slot is compared against — the type
+/// information the bind step checks incoming values with. Slot `i` of the
+/// returned vector is `None` only if the statement never references `$i+1`
+/// (a numbering gap).
+pub fn plan_with_params(
+    stmt: &SelectStmt,
+    db: &Database,
+) -> Result<(Query, Vec<Option<DataType>>), PlanError> {
     // FROM tables must exist.
     for t in &stmt.tables {
         if db.table(t).is_none() {
@@ -65,6 +83,7 @@ pub fn plan(stmt: &SelectStmt, db: &Database) -> Result<Query, PlanError> {
     let root = root.to_owned();
 
     let mut query = Query::new().root(root.clone());
+    let mut param_types: Vec<Option<DataType>> = Vec::new();
 
     // WHERE: validate joins, group selections per table.
     if let Some(w) = &stmt.where_clause {
@@ -72,7 +91,7 @@ pub fn plan(stmt: &SelectStmt, db: &Database) -> Result<Query, PlanError> {
             match cond {
                 Cond::JoinEq(a, b) => binder.validate_join(&graph, &a, &b)?,
                 other => {
-                    let (table, pred) = binder.bind_cond(&other)?;
+                    let (table, pred) = binder.bind_cond(&other, &mut param_types)?;
                     query = query.filter(table, pred);
                 }
             }
@@ -153,22 +172,31 @@ pub fn plan(stmt: &SelectStmt, db: &Database) -> Result<Query, PlanError> {
         );
     }
 
-    // ORDER BY keys must name an output column.
+    // ORDER BY keys must name an output column. Exact match wins (aliases
+    // keep the case they were written with, and may differ only by case);
+    // a case-insensitive match is the fallback.
     let outputs = query.output_names();
     for o in &stmt.order_by {
-        if !outputs.contains(&o.name) {
+        let Some(pos) = outputs
+            .iter()
+            .position(|c| *c == o.name)
+            .or_else(|| outputs.iter().position(|c| c.eq_ignore_ascii_case(&o.name)))
+        else {
             return err(format!(
                 "ORDER BY key {:?} is not an output column (outputs: {outputs:?})",
                 o.name
             ));
-        }
+        };
         query.order_by.push(OrderKey {
-            output: o.name.clone(),
+            output: outputs[pos].clone(),
             order: if o.desc { SortOrder::Desc } else { SortOrder::Asc },
         });
     }
     query.limit = stmt.limit;
-    Ok(query)
+    if param_types.len() < stmt.param_count() {
+        param_types.resize(stmt.param_count(), None);
+    }
+    Ok((query, param_types))
 }
 
 struct Binder<'a> {
@@ -237,18 +265,44 @@ impl Binder<'_> {
     }
 
     /// Binds a WHERE conjunct to `(table, predicate)`; every column inside
-    /// must belong to the same table.
-    fn bind_cond(&self, cond: &Cond) -> Result<(String, Pred), PlanError> {
+    /// must belong to the same table. Parameter slots found along the way
+    /// record the column type they are compared against into `params`.
+    fn bind_cond(
+        &self,
+        cond: &Cond,
+        params: &mut Vec<Option<DataType>>,
+    ) -> Result<(String, Pred), PlanError> {
         let mut table: Option<String> = None;
-        let pred = self.cond_to_pred(cond, &mut table)?;
+        let pred = self.cond_to_pred(cond, &mut table, params)?;
         match table {
             Some(t) => Ok((t, pred)),
             None => err("predicate references no column".to_string()),
         }
     }
 
-    fn cond_to_pred(&self, cond: &Cond, table: &mut Option<String>) -> Result<Pred, PlanError> {
-        let mut bind_col = |col: &ColName| -> Result<String, PlanError> {
+    /// The declared type of a resolved column.
+    fn dtype_of(&self, table: &str, column: &str) -> DataType {
+        self.db
+            .table(table)
+            .expect("resolved table exists")
+            .schema()
+            .defs()
+            .iter()
+            .find(|d| d.name == column)
+            .expect("resolved column exists")
+            .dtype
+            .clone()
+    }
+
+    fn cond_to_pred(
+        &self,
+        cond: &Cond,
+        table: &mut Option<String>,
+        params: &mut Vec<Option<DataType>>,
+    ) -> Result<Pred, PlanError> {
+        // Binds the column and returns its name plus declared type, so
+        // parameter slots learn what they will be compared against.
+        let mut bind_col = |col: &ColName| -> Result<(String, DataType), PlanError> {
             let (t, c) = self.resolve(col)?;
             match table {
                 Some(prev) if *prev != t => err(format!(
@@ -256,31 +310,42 @@ impl Binder<'_> {
                      split it into per-table conjuncts"
                 )),
                 _ => {
+                    let dtype = self.dtype_of(&t, &c);
                     *table = Some(t);
-                    Ok(c)
+                    Ok((c, dtype))
                 }
             }
         };
         Ok(match cond {
             Cond::Cmp { col, op, rhs } => {
-                let c = bind_col(col)?;
-                Pred::Cmp { col: c, op: *op, lit: scalar_to_lit(rhs) }
+                let (c, dt) = bind_col(col)?;
+                Pred::Cmp { col: c, op: *op, lit: scalar_to_lit(rhs, &dt, params)? }
             }
             Cond::Between { col, lo, hi } => {
-                let c = bind_col(col)?;
-                Pred::Between { col: c, lo: scalar_to_lit(lo), hi: scalar_to_lit(hi) }
+                let (c, dt) = bind_col(col)?;
+                Pred::Between {
+                    col: c,
+                    lo: scalar_to_lit(lo, &dt, params)?,
+                    hi: scalar_to_lit(hi, &dt, params)?,
+                }
             }
             Cond::InList { col, list } => {
-                let c = bind_col(col)?;
-                Pred::InList { col: c, lits: list.iter().map(scalar_to_lit).collect() }
+                let (c, dt) = bind_col(col)?;
+                Pred::InList {
+                    col: c,
+                    lits: list
+                        .iter()
+                        .map(|s| scalar_to_lit(s, &dt, params))
+                        .collect::<Result<_, _>>()?,
+                }
             }
-            Cond::And(cs) => {
-                Pred::And(cs.iter().map(|c| self.cond_to_pred(c, table)).collect::<Result<_, _>>()?)
-            }
-            Cond::Or(cs) => {
-                Pred::Or(cs.iter().map(|c| self.cond_to_pred(c, table)).collect::<Result<_, _>>()?)
-            }
-            Cond::Not(c) => Pred::Not(Box::new(self.cond_to_pred(c, table)?)),
+            Cond::And(cs) => Pred::And(
+                cs.iter().map(|c| self.cond_to_pred(c, table, params)).collect::<Result<_, _>>()?,
+            ),
+            Cond::Or(cs) => Pred::Or(
+                cs.iter().map(|c| self.cond_to_pred(c, table, params)).collect::<Result<_, _>>()?,
+            ),
+            Cond::Not(c) => Pred::Not(Box::new(self.cond_to_pred(c, table, params)?)),
             Cond::JoinEq(a, b) => {
                 return err(format!("join condition {a} = {b} nested under OR/NOT is unsupported"))
             }
@@ -317,12 +382,53 @@ impl Binder<'_> {
     }
 }
 
-fn scalar_to_lit(s: &Scalar) -> Lit {
-    match s {
+/// Records the column type a parameter slot is used with, enforcing the
+/// `u16::MAX` slot cap and rejecting string/numeric family conflicts (no
+/// single value kind could ever satisfy both uses). Shared by the SELECT
+/// planner and the write-template preparer so the rules cannot diverge.
+pub(crate) fn record_param_type(
+    params: &mut Vec<Option<DataType>>,
+    slot: usize,
+    dtype: DataType,
+) -> Result<(), String> {
+    if slot > usize::from(u16::MAX) {
+        return Err(format!("parameter ${} is out of range", slot + 1));
+    }
+    if params.len() <= slot {
+        params.resize(slot + 1, None);
+    }
+    let stringy = |d: &DataType| matches!(d, DataType::Str | DataType::Dict);
+    match &params[slot] {
+        None => params[slot] = Some(dtype),
+        Some(prev) if stringy(prev) != stringy(&dtype) => {
+            return Err(format!(
+                "parameter ${} is used with both string and numeric columns",
+                slot + 1
+            ));
+        }
+        Some(_) => {}
+    }
+    Ok(())
+}
+
+/// Converts one scalar to a predicate literal. A parameter slot becomes
+/// [`Lit::Param`] and records `dtype` — the column it is compared against —
+/// as its expected type.
+fn scalar_to_lit(
+    s: &Scalar,
+    dtype: &DataType,
+    params: &mut Vec<Option<DataType>>,
+) -> Result<Lit, PlanError> {
+    Ok(match s {
         Scalar::Int(v) => Lit::Int(*v),
         Scalar::Float(v) => Lit::Float(*v),
         Scalar::Str(v) => Lit::Str(v.clone()),
-    }
+        Scalar::Param(slot) => {
+            record_param_type(params, *slot, dtype.clone())
+                .map_err(|message| PlanError { message })?;
+            Lit::Param(*slot as u16)
+        }
+    })
 }
 
 #[cfg(test)]
@@ -446,6 +552,23 @@ mod tests {
             &db,
         );
         assert!(e.unwrap_err().message.contains("fact table"));
+    }
+
+    #[test]
+    fn order_by_prefers_exact_alias_match_over_case_fold() {
+        let db = star_db();
+        // Two aliases differing only in case: ORDER BY x must bind the
+        // exact-case alias, not the first case-insensitive hit.
+        let q = sql_to_query(
+            "SELECT sum(lo_revenue) AS X, sum(lo_discount) AS x FROM lineorder ORDER BY x",
+            &db,
+        )
+        .unwrap();
+        assert_eq!(q.order_by[0].output, "x");
+        // Case-insensitive fallback still resolves lone mismatches.
+        let q = sql_to_query("SELECT sum(lo_revenue) AS Rev FROM lineorder ORDER BY rev DESC", &db)
+            .unwrap();
+        assert_eq!(q.order_by[0].output, "Rev");
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!
 //! Literals are integers, floats, single-quoted strings, or `NULL`. Key
 //! (AIR) columns take integer literals; the executor coerces them using
-//! the table schema.
+//! the table schema. Every literal position (including `rowid`) also
+//! accepts a `?`/`$n` placeholder — [`parse_template`] keeps the slots,
+//! [`parse_statement`] requires a fully literal statement.
 
 use astore_storage::types::{RowId, Value};
 
@@ -56,15 +58,192 @@ impl Statement {
     pub fn is_write(&self) -> bool {
         !matches!(self, Statement::Select(_))
     }
+
+    /// Renders a *write* statement back to canonical SQL text — the form
+    /// the write-ahead log stores, so a parameter-bound prepared write is
+    /// logged (and replayed) exactly like its literal-SQL equivalent.
+    /// Returns `None` for SELECT.
+    pub fn to_sql(&self) -> Option<String> {
+        match self {
+            Statement::Select(_) => None,
+            Statement::Insert { table, rows } => {
+                let rows: Vec<String> = rows
+                    .iter()
+                    .map(|r| {
+                        let vals: Vec<String> = r.iter().map(sql_value).collect();
+                        format!("({})", vals.join(", "))
+                    })
+                    .collect();
+                Some(format!("INSERT INTO {table} VALUES {}", rows.join(", ")))
+            }
+            Statement::Update { table, assignments, row } => {
+                let sets: Vec<String> =
+                    assignments.iter().map(|(c, v)| format!("{c} = {}", sql_value(v))).collect();
+                Some(format!("UPDATE {table} SET {} WHERE rowid = {row}", sets.join(", ")))
+            }
+            Statement::Delete { table, row } => {
+                Some(format!("DELETE FROM {table} WHERE rowid = {row}"))
+            }
+        }
+    }
 }
 
-/// Parses one statement of any kind.
-pub fn parse_statement(input: &str) -> Result<Statement, ParseError> {
+/// Renders one literal as SQL source text that re-parses to the same
+/// [`Value`].
+pub(crate) fn sql_value(v: &Value) -> String {
+    match v {
+        Value::Int(x) => x.to_string(),
+        // A whole float must keep its decimal point or it re-parses as Int.
+        Value::Float(f) if f.fract() == 0.0 && f.is_finite() => format!("{f:.1}"),
+        Value::Float(f) => f.to_string(),
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Key(k) => k.to_string(),
+        Value::Null => "NULL".into(),
+    }
+}
+
+/// One slot of a write template: a concrete literal or a parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    /// A literal value.
+    Value(Value),
+    /// A `?`/`$n` placeholder (0-based slot).
+    Param(usize),
+}
+
+impl Arg {
+    /// The parameter slot, if this argument is one.
+    pub fn param(&self) -> Option<usize> {
+        match self {
+            Arg::Param(i) => Some(*i),
+            Arg::Value(_) => None,
+        }
+    }
+}
+
+/// A write statement whose literal positions may be parameter slots.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WriteTemplate {
+    /// `INSERT INTO table VALUES (…), (…)`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Row slots, one `Vec<Arg>` per row.
+        rows: Vec<Vec<Arg>>,
+    },
+    /// `UPDATE table SET col = arg, … WHERE rowid = arg`.
+    Update {
+        /// Target table.
+        table: String,
+        /// `(column, slot)` pairs.
+        assignments: Vec<(String, Arg)>,
+        /// The row to update.
+        row: Arg,
+    },
+    /// `DELETE FROM table WHERE rowid = arg`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// The row to delete.
+        row: Arg,
+    },
+}
+
+impl WriteTemplate {
+    /// The target table.
+    pub fn table(&self) -> &str {
+        match self {
+            WriteTemplate::Insert { table, .. }
+            | WriteTemplate::Update { table, .. }
+            | WriteTemplate::Delete { table, .. } => table,
+        }
+    }
+
+    /// Every argument slot, in source order.
+    pub fn args(&self) -> Vec<&Arg> {
+        match self {
+            WriteTemplate::Insert { rows, .. } => rows.iter().flatten().collect(),
+            WriteTemplate::Update { assignments, row, .. } => {
+                assignments.iter().map(|(_, a)| a).chain(std::iter::once(row)).collect()
+            }
+            WriteTemplate::Delete { row, .. } => vec![row],
+        }
+    }
+
+    /// Number of parameter slots (one more than the highest index).
+    pub fn param_count(&self) -> usize {
+        self.args().iter().filter_map(|a| a.param()).map(|i| i + 1).max().unwrap_or(0)
+    }
+}
+
+/// A statement whose literal positions may be parameter slots — what
+/// `prepare` produces before planning/binding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementTemplate {
+    /// A SELECT (placeholders live in its WHERE clause).
+    Select(SelectStmt),
+    /// An INSERT/UPDATE/DELETE.
+    Write(WriteTemplate),
+}
+
+impl StatementTemplate {
+    /// Number of parameter slots the template references.
+    pub fn param_count(&self) -> usize {
+        match self {
+            StatementTemplate::Select(s) => s.param_count(),
+            StatementTemplate::Write(w) => w.param_count(),
+        }
+    }
+
+    /// Is this a read-only SELECT?
+    pub fn is_select(&self) -> bool {
+        matches!(self, StatementTemplate::Select(_))
+    }
+
+    /// Does a SELECT's WHERE clause embed literal values (as opposed to
+    /// placeholders)? The serving layer declines to plan-cache such
+    /// prepares: every distinct literal would occupy its own cache entry,
+    /// letting a literal-per-request client flood the shared cache.
+    pub fn has_predicate_literals(&self) -> bool {
+        match self {
+            StatementTemplate::Select(s) => {
+                let mut found = false;
+                if let Some(w) = &s.where_clause {
+                    w.visit_scalars(&mut |sc| {
+                        if !matches!(sc, crate::ast::Scalar::Param(_)) {
+                            found = true;
+                        }
+                    });
+                }
+                found
+            }
+            StatementTemplate::Write(_) => false,
+        }
+    }
+
+    /// Converts a placeholder-free template into a concrete [`Statement`];
+    /// a template that still carries parameter slots is an error.
+    pub fn into_concrete(self) -> Result<Statement, ParseError> {
+        if self.param_count() > 0 {
+            return Err(ParseError::new(format!(
+                "statement has {} parameter placeholder(s); prepare and bind it instead",
+                self.param_count()
+            )));
+        }
+        Ok(match self {
+            StatementTemplate::Select(s) => Statement::Select(s),
+            StatementTemplate::Write(w) => concrete_write(w),
+        })
+    }
+}
+
+/// Parses one statement of any kind, keeping parameter placeholders.
+pub fn parse_template(input: &str) -> Result<StatementTemplate, ParseError> {
     let head = first_keyword(input).unwrap_or_default();
     match head.as_str() {
         "insert" | "update" | "delete" => {
             let toks = lex(input)?;
-            let mut c = Cursor { toks, pos: 0 };
+            let mut c = Cursor { toks, pos: 0, anon_params: 0, numbered_params: false };
             let stmt = match head.as_str() {
                 "insert" => c.insert_stmt()?,
                 "update" => c.update_stmt()?,
@@ -74,9 +253,40 @@ pub fn parse_statement(input: &str) -> Result<Statement, ParseError> {
             if !c.at_end() {
                 return Err(c.err(format!("trailing input at token {}", c.peek_str())));
             }
-            Ok(stmt)
+            Ok(StatementTemplate::Write(stmt))
         }
-        _ => Ok(Statement::Select(parse(input)?)),
+        _ => Ok(StatementTemplate::Select(parse(input)?)),
+    }
+}
+
+/// Parses one fully literal statement of any kind; placeholders are an
+/// error here (the WAL replays concrete statements only).
+pub fn parse_statement(input: &str) -> Result<Statement, ParseError> {
+    parse_template(input)?.into_concrete()
+}
+
+/// Converts a placeholder-free write template into a concrete statement.
+/// Panics if a parameter slot remains (callers check `param_count`).
+pub(crate) fn concrete_write(w: WriteTemplate) -> Statement {
+    let value = |a: Arg| match a {
+        Arg::Value(v) => v,
+        Arg::Param(i) => panic!("unbound parameter ${} in write statement", i + 1),
+    };
+    let rowid = |a: Arg| match value(a) {
+        Value::Int(n) if n >= 0 && n <= i64::from(u32::MAX) => n as RowId,
+        other => panic!("rowid slot holds non-rowid value {other:?}"),
+    };
+    match w {
+        WriteTemplate::Insert { table, rows } => Statement::Insert {
+            table,
+            rows: rows.into_iter().map(|r| r.into_iter().map(value).collect()).collect(),
+        },
+        WriteTemplate::Update { table, assignments, row } => Statement::Update {
+            table,
+            assignments: assignments.into_iter().map(|(c, a)| (c, value(a))).collect(),
+            row: rowid(row),
+        },
+        WriteTemplate::Delete { table, row } => Statement::Delete { table, row: rowid(row) },
     }
 }
 
@@ -88,51 +298,11 @@ fn first_keyword(input: &str) -> Option<String> {
         .map(|w| w.trim_end_matches(|c: char| !c.is_ascii_alphanumeric()).to_ascii_lowercase())
 }
 
-/// Canonical cache key for SQL text: whitespace collapsed to single spaces,
-/// everything outside single-quoted literals lower-cased, trailing `;`
-/// stripped. Two spellings of the same statement normalize identically, so
-/// the serving layer's plan cache hits on formatting variations.
-pub fn normalize(sql: &str) -> String {
-    let mut out = String::with_capacity(sql.len());
-    let mut chars = sql.chars().peekable();
-    let mut pending_space = false;
-    while let Some(c) = chars.next() {
-        if c == '\'' {
-            if pending_space && !out.is_empty() {
-                out.push(' ');
-            }
-            pending_space = false;
-            out.push('\'');
-            // Copy the quoted literal verbatim, honouring '' escapes.
-            while let Some(q) = chars.next() {
-                out.push(q);
-                if q == '\'' {
-                    if chars.peek() == Some(&'\'') {
-                        out.push(chars.next().unwrap());
-                    } else {
-                        break;
-                    }
-                }
-            }
-        } else if c.is_whitespace() {
-            pending_space = true;
-        } else {
-            if pending_space && !out.is_empty() {
-                out.push(' ');
-            }
-            pending_space = false;
-            out.push(c.to_ascii_lowercase());
-        }
-    }
-    while out.ends_with(';') || out.ends_with(' ') {
-        out.pop();
-    }
-    out
-}
-
 struct Cursor {
     toks: Vec<Token>,
     pos: usize,
+    anon_params: usize,
+    numbered_params: bool,
 }
 
 impl Cursor {
@@ -157,7 +327,7 @@ impl Cursor {
     }
 
     fn err(&self, message: String) -> ParseError {
-        ParseError { message }
+        ParseError::new(message)
     }
 
     fn eat(&mut self, t: &Token) -> bool {
@@ -191,24 +361,30 @@ impl Cursor {
         }
     }
 
-    /// A literal: number, string, or `NULL`.
-    fn literal(&mut self) -> Result<Value, ParseError> {
+    fn param_slot(&mut self, p: Option<u32>) -> Result<usize, ParseError> {
+        crate::parser::resolve_param_slot(p, &mut self.anon_params, &mut self.numbered_params)
+            .map_err(ParseError::new)
+    }
+
+    /// A literal (number, string, `NULL`) or a placeholder.
+    fn arg(&mut self) -> Result<Arg, ParseError> {
         match self.next() {
-            Some(Token::Int(v)) => Ok(Value::Int(v)),
-            Some(Token::Float(v)) => Ok(Value::Float(v)),
-            Some(Token::Str(s)) => Ok(Value::Str(s)),
+            Some(Token::Int(v)) => Ok(Arg::Value(Value::Int(v))),
+            Some(Token::Float(v)) => Ok(Arg::Value(Value::Float(v))),
+            Some(Token::Str(s)) => Ok(Arg::Value(Value::Str(s))),
+            Some(Token::Param(p)) => Ok(Arg::Param(self.param_slot(p)?)),
             Some(Token::Minus) => match self.next() {
-                Some(Token::Int(v)) => Ok(Value::Int(-v)),
-                Some(Token::Float(v)) => Ok(Value::Float(-v)),
+                Some(Token::Int(v)) => Ok(Arg::Value(Value::Int(-v))),
+                Some(Token::Float(v)) => Ok(Arg::Value(Value::Float(-v))),
                 other => Err(self.err(format!("expected number after '-', found {other:?}"))),
             },
-            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("null") => Ok(Value::Null),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("null") => Ok(Arg::Value(Value::Null)),
             other => Err(self.err(format!("expected literal, found {other:?}"))),
         }
     }
 
-    /// `WHERE rowid = n`
-    fn where_rowid(&mut self) -> Result<RowId, ParseError> {
+    /// `WHERE rowid = n` (or a placeholder for `n`).
+    fn where_rowid(&mut self) -> Result<Arg, ParseError> {
         self.expect_kw("where")?;
         let col = self.ident()?;
         if !col.eq_ignore_ascii_case("rowid") {
@@ -219,12 +395,15 @@ impl Cursor {
         }
         self.expect(&Token::Eq)?;
         match self.next() {
-            Some(Token::Int(n)) if n >= 0 && n <= i64::from(u32::MAX) => Ok(n as RowId),
+            Some(Token::Int(n)) if n >= 0 && n <= i64::from(u32::MAX) => {
+                Ok(Arg::Value(Value::Int(n)))
+            }
+            Some(Token::Param(p)) => Ok(Arg::Param(self.param_slot(p)?)),
             other => Err(self.err(format!("expected row id, found {other:?}"))),
         }
     }
 
-    fn insert_stmt(&mut self) -> Result<Statement, ParseError> {
+    fn insert_stmt(&mut self) -> Result<WriteTemplate, ParseError> {
         self.expect_kw("insert")?;
         self.expect_kw("into")?;
         let table = self.ident()?;
@@ -232,9 +411,9 @@ impl Cursor {
         let mut rows = Vec::new();
         loop {
             self.expect(&Token::LParen)?;
-            let mut row = vec![self.literal()?];
+            let mut row = vec![self.arg()?];
             while self.eat(&Token::Comma) {
-                row.push(self.literal()?);
+                row.push(self.arg()?);
             }
             self.expect(&Token::RParen)?;
             rows.push(row);
@@ -242,10 +421,10 @@ impl Cursor {
                 break;
             }
         }
-        Ok(Statement::Insert { table, rows })
+        Ok(WriteTemplate::Insert { table, rows })
     }
 
-    fn update_stmt(&mut self) -> Result<Statement, ParseError> {
+    fn update_stmt(&mut self) -> Result<WriteTemplate, ParseError> {
         self.expect_kw("update")?;
         let table = self.ident()?;
         self.expect_kw("set")?;
@@ -253,21 +432,21 @@ impl Cursor {
         loop {
             let col = self.ident()?;
             self.expect(&Token::Eq)?;
-            assignments.push((col, self.literal()?));
+            assignments.push((col, self.arg()?));
             if !self.eat(&Token::Comma) {
                 break;
             }
         }
         let row = self.where_rowid()?;
-        Ok(Statement::Update { table, assignments, row })
+        Ok(WriteTemplate::Update { table, assignments, row })
     }
 
-    fn delete_stmt(&mut self) -> Result<Statement, ParseError> {
+    fn delete_stmt(&mut self) -> Result<WriteTemplate, ParseError> {
         self.expect_kw("delete")?;
         self.expect_kw("from")?;
         let table = self.ident()?;
         let row = self.where_rowid()?;
-        Ok(Statement::Delete { table, row })
+        Ok(WriteTemplate::Delete { table, row })
     }
 }
 
@@ -327,6 +506,28 @@ mod tests {
     }
 
     #[test]
+    fn write_templates_keep_placeholders() {
+        let t = parse_template("INSERT INTO t VALUES (?, 'fixed', ?)").unwrap();
+        assert_eq!(t.param_count(), 2);
+        let StatementTemplate::Write(WriteTemplate::Insert { rows, .. }) = &t else { panic!() };
+        assert_eq!(rows[0][0], Arg::Param(0));
+        assert_eq!(rows[0][1], Arg::Value(Value::Str("fixed".into())));
+        assert_eq!(rows[0][2], Arg::Param(1));
+
+        let t = parse_template("UPDATE t SET v = $2 WHERE rowid = $1").unwrap();
+        assert_eq!(t.param_count(), 2);
+        let StatementTemplate::Write(WriteTemplate::Update { row, .. }) = &t else { panic!() };
+        assert_eq!(*row, Arg::Param(0));
+
+        let t = parse_template("DELETE FROM t WHERE rowid = ?").unwrap();
+        assert_eq!(t.param_count(), 1);
+
+        // parse_statement refuses templates.
+        let e = parse_statement("DELETE FROM t WHERE rowid = ?").unwrap_err();
+        assert!(e.message.contains("placeholder"), "{e}");
+    }
+
+    #[test]
     fn write_errors() {
         assert!(parse_statement("INSERT INTO t").is_err());
         assert!(parse_statement("INSERT INTO t VALUES 1, 2").is_err());
@@ -337,16 +538,27 @@ mod tests {
     }
 
     #[test]
-    fn normalize_collapses_and_lowercases() {
-        assert_eq!(
-            normalize("  SELECT   a,B FROM\tt  WHERE x = 'MiXeD Case'  ; "),
-            "select a,b from t where x = 'MiXeD Case'"
-        );
-        assert_eq!(normalize("select 'it''s'"), "select 'it''s'");
-        assert_eq!(
-            normalize("SELECT 1"),
-            normalize("select    1;"),
-            "formatting variants share one cache key"
-        );
+    fn to_sql_roundtrips_through_the_parser() {
+        for sql in [
+            "INSERT INTO t VALUES (1, 2.5, 'x', NULL)",
+            "INSERT INTO t VALUES (1), (-2), (3)",
+            "UPDATE t SET a = 5, b = 'O''NEIL', c = 2.0 WHERE rowid = 7",
+            "DELETE FROM t WHERE rowid = 3",
+        ] {
+            let stmt = parse_statement(sql).unwrap();
+            let rendered = stmt.to_sql().unwrap();
+            assert_eq!(parse_statement(&rendered).unwrap(), stmt, "{sql} → {rendered}");
+        }
+        assert!(parse_statement("SELECT count(*) FROM t").unwrap().to_sql().is_none());
+    }
+
+    #[test]
+    fn placeholder_styles_cannot_mix_and_slots_are_capped() {
+        // Mixing ? and $n would silently alias slots; it's a parse error.
+        assert!(parse_template("INSERT INTO t VALUES ($1, ?)").is_err());
+        assert!(parse_template("UPDATE t SET a = ? WHERE rowid = $1").is_err());
+        // A hostile $4000000000 must not size a 4-billion-entry table.
+        let e = parse_template("INSERT INTO t VALUES ($4000000000)").unwrap_err();
+        assert!(e.message.contains("exceeds the maximum"), "{e}");
     }
 }

@@ -1,7 +1,7 @@
 //! Copy-on-write snapshots for concurrent OLTP + OLAP (paper §4.4).
 //!
 //! The paper sketches a Hyper-style MVCC where "a copy-on-write mechanism
-//! … isolate[s] OLTP and OLAP workloads". We realise the same property at
+//! … isolate\[s\] OLTP and OLAP workloads". We realise the same property at
 //! two levels of granularity:
 //!
 //! - the catalog itself lives behind an `Arc<Database>`, so taking a
