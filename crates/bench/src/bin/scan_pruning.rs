@@ -1,0 +1,133 @@
+//! **Zone-map data skipping** over the segmented fact table: the 13 SSB
+//! queries with segment pruning on vs. the pre-segmentation flat scan
+//! (`ExecOptions::pruning(false)` — the seed behaviour), verifying results
+//! bit-identically and recording per-query pruned-segment counts and the
+//! wall-clock delta in `BENCH_scan.json`.
+//!
+//! `lineorder` is generated in date-arrival order, so the tight date
+//! predicates of flight 1 skip most segments; flights 2–4 filter only
+//! through region/brand chains whose rows are scattered, so they scan
+//! everything — the bench records both, because an honest pruning number
+//! includes the queries it cannot help. `ASTORE_SF` overrides the scale
+//! factor; the first CLI argument overrides the output path.
+
+use std::fmt::Write as _;
+
+use astore_bench::{ms, time_best_of, TablePrinter};
+use astore_core::prelude::*;
+use astore_datagen::{env_scale_factor, ssb};
+
+fn main() {
+    let sf = env_scale_factor(0.1);
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_scan.json".to_owned());
+
+    println!("=== scan pruning — zone-map data skipping over 64K-row segments ===");
+    println!("scale factor (ASTORE_SF) = {sf}");
+    let db = ssb::generate(sf, 42);
+    let fact = db.table("lineorder").unwrap();
+    let (n_rows, n_segs, seg_rows) = (fact.num_slots(), fact.segment_count(), fact.segment_rows());
+    println!("lineorder: {n_rows} rows in {n_segs} segments x {seg_rows}\n");
+
+    let queries = ssb::queries();
+    let mut table =
+        TablePrinter::new(&["query", "flat", "pruned-scan", "speedup", "segments", "pruned"]);
+
+    struct Run {
+        id: &'static str,
+        flat_ms: f64,
+        pruned_ms: f64,
+        scanned: usize,
+        pruned: usize,
+    }
+    let mut runs: Vec<Run> = Vec::with_capacity(queries.len());
+
+    for sq in &queries {
+        let flat_opts = ExecOptions::default().pruning(false);
+        let (d_flat, flat) = time_best_of(3, || execute(&db, &sq.query, &flat_opts).unwrap());
+        let (d_pruned, pruned) =
+            time_best_of(3, || execute(&db, &sq.query, &ExecOptions::default()).unwrap());
+        assert!(
+            pruned.result.same_contents(&flat.result, 0.0),
+            "{}: pruned scan diverged from the flat scan",
+            sq.id
+        );
+        assert_eq!(
+            pruned.plan.segments_scanned + pruned.plan.segments_pruned,
+            n_segs,
+            "{}: segment accounting does not cover the table",
+            sq.id
+        );
+        table.row(vec![
+            sq.id.to_string(),
+            format!("{:.2}ms", ms(d_flat)),
+            format!("{:.2}ms", ms(d_pruned)),
+            format!("{:.2}x", ms(d_flat) / ms(d_pruned).max(1e-9)),
+            format!("{}/{n_segs}", pruned.plan.segments_scanned),
+            format!("{}", pruned.plan.segments_pruned),
+        ]);
+        runs.push(Run {
+            id: sq.id,
+            flat_ms: ms(d_flat),
+            pruned_ms: ms(d_pruned),
+            scanned: pruned.plan.segments_scanned,
+            pruned: pruned.plan.segments_pruned,
+        });
+    }
+    table.print();
+
+    let flat_total: f64 = runs.iter().map(|r| r.flat_ms).sum();
+    let pruned_total: f64 = runs.iter().map(|r| r.pruned_ms).sum();
+    let q1_pruned: usize = runs.iter().filter(|r| r.id.starts_with("Q1")).map(|r| r.pruned).sum();
+    let selective: Vec<&Run> = runs.iter().filter(|r| r.pruned > 0).collect();
+    let selective_speedup = if selective.is_empty() {
+        1.0
+    } else {
+        selective.iter().map(|r| r.flat_ms).sum::<f64>()
+            / selective.iter().map(|r| r.pruned_ms).sum::<f64>().max(1e-9)
+    };
+    println!(
+        "\ntotals: flat {flat_total:.2}ms, pruned {pruned_total:.2}ms \
+         ({:.2}x overall, {selective_speedup:.2}x on the {} queries with pruning)",
+        flat_total / pruned_total.max(1e-9),
+        selective.len()
+    );
+
+    // Hand-rolled JSON (the bench crate is std-only by design).
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"bench\": \"scan_pruning\",");
+    let _ = writeln!(j, "  \"paper_ref\": \"zone-map data skipping under the 3-phase AIRScan\",");
+    let _ = writeln!(j, "  \"dataset\": \"ssb\",");
+    let _ = writeln!(j, "  \"sf\": {sf},");
+    let _ = writeln!(j, "  \"seed\": 42,");
+    let _ = writeln!(j, "  \"fact_rows\": {n_rows},");
+    let _ = writeln!(j, "  \"segments\": {n_segs},");
+    let _ = writeln!(j, "  \"segment_rows\": {seg_rows},");
+    let _ = writeln!(j, "  \"flat_total_ms\": {flat_total:.3},");
+    let _ = writeln!(j, "  \"pruned_total_ms\": {pruned_total:.3},");
+    let _ = writeln!(j, "  \"speedup_vs_flat\": {:.3},", flat_total / pruned_total.max(1e-9));
+    let _ = writeln!(j, "  \"selective_speedup\": {selective_speedup:.3},");
+    let _ = writeln!(j, "  \"q1_segments_pruned\": {q1_pruned},");
+    let _ = writeln!(j, "  \"per_query\": [");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"query\": \"{}\", \"flat_ms\": {:.3}, \"pruned_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"segments_scanned\": {}, \"segments_pruned\": {}}}{}",
+            r.id,
+            r.flat_ms,
+            r.pruned_ms,
+            r.flat_ms / r.pruned_ms.max(1e-9),
+            r.scanned,
+            r.pruned,
+            if i + 1 < runs.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(j, "  ]");
+    let _ = writeln!(j, "}}");
+    std::fs::write(&out_path, &j).unwrap_or_else(|e| {
+        eprintln!("could not write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out_path}");
+}

@@ -332,11 +332,13 @@ impl Session {
                     if self.show_plan {
                         let _ = writeln!(
                             s,
-                            "plan: root={} variant={} executor={} predvec_chains={} agg={:?} \
-                             selected={} groups={}",
+                            "plan: root={} variant={} executor={} segments={}/{} \
+                             predvec_chains={} agg={:?} selected={} groups={}",
                             plan.root,
                             self.opts.variant.paper_name(),
                             plan.executor,
+                            plan.segments_scanned,
+                            plan.segments_pruned,
                             plan.predvec_chains,
                             plan.agg_strategy,
                             plan.selected_rows,
@@ -612,6 +614,7 @@ mod tests {
         assert!(out.contains("AIRScan_C_P_G"), "{out}");
         assert!(out.contains("predvec_chains=1"), "{out}");
         assert!(out.contains("executor=serial"), "{out}");
+        assert!(out.contains("segments=1/0"), "one segment scanned, none pruned: {out}");
     }
 
     #[test]

@@ -24,7 +24,8 @@ use std::time::{Duration, Instant};
 
 use astore_storage::bitmap::Bitmap;
 use astore_storage::catalog::Database;
-use astore_storage::types::{Key, Value, NULL_KEY};
+use astore_storage::selvec::SelVec;
+use astore_storage::types::{Key, RowId, Value, NULL_KEY};
 
 use crate::agg::{AggTable, Grouper};
 use crate::expr::CompiledPred;
@@ -36,6 +37,7 @@ use crate::query::{AggFunc, Query};
 use crate::result::QueryResult;
 use crate::scan::{select_bitmap_and, select_columnwise, select_rowwise, ChainCheck, DirectCheck};
 use crate::universal::{bind_root, BindError, Universal};
+use crate::zone::{SegmentPruner, SegmentSurvey};
 
 /// The five scan variants of the paper's §6.3 ablation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +128,11 @@ pub struct ExecOptions {
     pub force_agg: Option<AggStrategy>,
     /// Selection materialization for column-wise variants.
     pub selection: SelectionStrategy,
+    /// Zone-map data skipping: consult per-segment statistics to skip whole
+    /// fact-table segments before evaluating predicates (default on).
+    /// Disabling it reproduces the pre-segmentation flat scan — the
+    /// ablation baseline of the `scan_pruning` bench and differential.
+    pub pruning: bool,
 }
 
 impl Default for ExecOptions {
@@ -137,6 +144,7 @@ impl Default for ExecOptions {
             optimizer: OptimizerConfig::default(),
             force_agg: None,
             selection: SelectionStrategy::default(),
+            pruning: true,
         }
     }
 }
@@ -156,6 +164,12 @@ impl ExecOptions {
     /// Sets the morsel-size cap (rows per dispatched morsel).
     pub fn morsel_rows(mut self, n: usize) -> Self {
         self.morsel_rows = n.max(1);
+        self
+    }
+
+    /// Enables or disables zone-map segment skipping.
+    pub fn pruning(mut self, on: bool) -> Self {
+        self.pruning = on;
         self
     }
 }
@@ -244,6 +258,11 @@ pub struct PlanInfo {
     pub direct_chains: usize,
     /// The aggregation strategy used.
     pub agg_strategy: AggStrategy,
+    /// Fact-table segments the scan actually visited.
+    pub segments_scanned: usize,
+    /// Fact-table segments skipped whole by zone-map pruning (their
+    /// columns were never touched).
+    pub segments_pruned: usize,
     /// Tuples surviving selection.
     pub selected_rows: usize,
     /// Non-empty groups produced.
@@ -263,12 +282,15 @@ pub struct ExecOutput {
 
 /// Executes a SPJGA query against a database.
 ///
-/// This is the primary entry point of A-Store. The query is bound once;
-/// the planner then decides the fan-out: with `opts.threads > 1` *and* a
-/// fact table large enough to amortize worker spawn
-/// ([`OptimizerConfig::plan_threads`]), the scan is driven by the morsel
-/// dispatcher (§5); otherwise execution is serial. [`PlanInfo::executor`]
-/// reports which path ran.
+/// This is the primary entry point of A-Store. The query is bound once and
+/// phase 1 (leaf processing) runs once; its composed chain filters feed the
+/// [`SegmentPruner`], whose surviving-row estimate drives the planner's
+/// fan-out decision ([`OptimizerConfig::plan_threads`]): with
+/// `opts.threads > 1` *and* enough surviving rows to amortize worker spawn,
+/// the scan is driven by the segment-aligned morsel dispatcher (§5);
+/// otherwise execution is serial. [`PlanInfo::executor`] reports which path
+/// ran, and [`PlanInfo::segments_pruned`] how much of the fact table was
+/// never touched.
 pub fn execute(db: &Database, query: &Query, opts: &ExecOptions) -> Result<ExecOutput, BindError> {
     let t_start = Instant::now();
     if query.has_params() {
@@ -277,30 +299,81 @@ pub fn execute(db: &Database, query: &Query, opts: &ExecOptions) -> Result<ExecO
     let graph = JoinGraph::build(db);
     let root = bind_root(&graph, query.root.as_deref(), &query.referenced_tables())?;
     let u = Universal::new(db, &graph, &root)?;
-    let n = u.root_table().num_slots();
-    let threads = opts.optimizer.plan_threads(n, opts.threads);
+
+    // Phase 1 (leaf processing) is shared by both executors; it runs before
+    // the fan-out decision so the pruner can use the chain filters.
+    let t_leaf = Instant::now();
+    let leaf = prepare_leaf(&u, query, opts)?;
+    let leaf_time = t_leaf.elapsed();
+    // The per-segment admission tests run exactly once, into a survey that
+    // the fan-out decision, the serial scan and the parallel dispatcher all
+    // share.
+    let survey = build_pruner(&u, query, &leaf, opts).map(|p| p.survey());
+
+    // The fan-out decision sees what the scan will actually visit: live
+    // rows of the surviving segments, not raw slots (with pruning disabled,
+    // the pre-segmentation behaviour — raw slot count — is preserved).
+    let est_rows = match &survey {
+        Some(s) => s.live_rows(),
+        None => u.root_table().num_slots(),
+    };
+    let threads = opts.optimizer.plan_threads(est_rows, opts.threads);
     if threads > 1 {
-        crate::parallel::execute_parallel(&u, query, opts, threads, t_start)
+        crate::parallel::execute_parallel(
+            &u,
+            query,
+            opts,
+            threads,
+            &leaf,
+            leaf_time,
+            survey.as_ref(),
+            t_start,
+        )
     } else {
-        execute_serial(&u, query, opts, t_start)
+        execute_serial(&u, query, opts, &leaf, leaf_time, survey.as_ref(), t_start)
     }
 }
 
+/// Builds the segment pruner for an execution: fact-local zone predicates
+/// plus a key-range test per materialized chain filter. `None` when data
+/// skipping is disabled.
+pub(crate) fn build_pruner<'a>(
+    u: &Universal<'a>,
+    query: &Query,
+    leaf: &'a LeafArtifacts,
+    opts: &ExecOptions,
+) -> Option<SegmentPruner<'a>> {
+    if !opts.pruning {
+        return None;
+    }
+    let fact = u.root_table();
+    let chains = leaf
+        .chains
+        .iter()
+        .zip(&leaf.filters)
+        .filter_map(|(chain, filter)| {
+            let bitmap = filter.as_ref()?;
+            Some((fact.schema().position(&chain.fact_key_col)?, bitmap))
+        })
+        .collect();
+    Some(SegmentPruner::new(fact, query.selection_on(u.root()), chains))
+}
+
+#[allow(clippy::too_many_arguments)]
 fn execute_serial(
     u: &Universal<'_>,
     query: &Query,
     opts: &ExecOptions,
+    leaf: &LeafArtifacts,
+    leaf_time: Duration,
+    survey: Option<&SegmentSurvey>,
     t_start: Instant,
 ) -> Result<ExecOutput, BindError> {
-    let t_leaf = Instant::now();
-    let leaf = prepare_leaf(u, query, opts)?;
-    let leaf_time = t_leaf.elapsed();
-
     let t_scan = Instant::now();
     let n = u.root_table().num_slots();
-    let fact_preds = compile_fact_preds(u, query);
-    let mut chain_checks = build_chain_checks(u, query, &leaf)?;
-    let mut sa = scan_phase(u, query, opts, &leaf, &fact_preds, &mut chain_checks, 0..n)?;
+    let fact_preds = compile_fact_preds(u, query, opts);
+    let mut chain_checks = build_chain_checks(u, query, leaf)?;
+    let mut sa = scan_phase(u, query, opts, leaf, &fact_preds, &mut chain_checks, 0..n, survey)?;
     let scan_time = t_scan.elapsed();
 
     let t_agg = Instant::now();
@@ -316,6 +389,8 @@ fn execute_serial(
         predvec_chains: leaf.filters.iter().filter(|f| f.is_some()).count(),
         direct_chains: leaf.filters.iter().filter(|f| f.is_none()).count(),
         agg_strategy: sa.strategy,
+        segments_scanned: sa.segments_scanned,
+        segments_pruned: sa.segments_pruned,
         selected_rows: sa.selected,
         groups: sa.agg.occupied(),
     };
@@ -453,22 +528,44 @@ pub(crate) struct ScanArtifacts<'a> {
     pub selected: usize,
     /// The aggregation strategy in effect.
     pub strategy: AggStrategy,
+    /// Segments this scan visited.
+    pub segments_scanned: usize,
+    /// Segments this scan skipped whole via zone maps.
+    pub segments_pruned: usize,
 }
 
 /// Compiles the fact-local predicates and orders them most-selective-first
-/// from a prefix sample (§4.1). Hoisted out of [`scan_phase`] so the
-/// (sampling) cost is paid once per execution, not once per morsel; the
-/// compiled predicates are shared read-only by every worker.
-pub(crate) fn compile_fact_preds<'a>(u: &Universal<'a>, query: &Query) -> Vec<CompiledPred<'a>> {
+/// (§4.1). With pruning enabled, the ordering key blends a prefix-sample
+/// estimate with the zone-map survival fraction (the share of segments the
+/// conjunct may match): a conjunct that zone-eliminates most of the table
+/// is cheap *and* selective inside the survivors, so it runs first. With
+/// `opts.pruning` off, zone maps are not consulted at all — the flat-scan
+/// ablation baseline reproduces the pre-segmentation ordering exactly.
+/// Hoisted out of [`scan_phase`] so the cost is paid once per execution,
+/// not once per morsel; the compiled predicates are shared read-only by
+/// every worker.
+pub(crate) fn compile_fact_preds<'a>(
+    u: &Universal<'a>,
+    query: &Query,
+    opts: &ExecOptions,
+) -> Vec<CompiledPred<'a>> {
     let fact = u.root_table();
-    let mut fact_preds: Vec<CompiledPred<'a>> = query
-        .selection_on(u.root())
-        .map(|p| p.conjuncts().iter().map(|c| c.compile(fact)).collect())
-        .unwrap_or_default();
+    let conjuncts = query.selection_on(u.root()).map(|p| p.conjuncts()).unwrap_or_default();
+    let mut fact_preds: Vec<CompiledPred<'a>> = conjuncts.iter().map(|c| c.compile(fact)).collect();
     if fact_preds.len() > 1 {
         let n = fact.num_slots();
-        let mut keyed: Vec<(f64, CompiledPred<'a>)> =
-            fact_preds.drain(..).map(|p| (p.sampled_selectivity(n, 1024), p)).collect();
+        let mut keyed: Vec<(f64, CompiledPred<'a>)> = fact_preds
+            .drain(..)
+            .zip(&conjuncts)
+            .map(|(p, c)| {
+                let sampled = p.sampled_selectivity(n, 1024);
+                if !opts.pruning {
+                    return (sampled, p);
+                }
+                let zoned = crate::zone::conjunct_zone_survival(c, fact);
+                (sampled.min(zoned), p)
+            })
+            .collect();
         keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         fact_preds = keyed.into_iter().map(|(_, p)| p).collect();
     }
@@ -478,10 +575,20 @@ pub(crate) fn compile_fact_preds<'a>(u: &Universal<'a>, query: &Query) -> Vec<Co
 /// Phase 2: the fact scan over `range` — selection, then grouping into the
 /// Measure Index.
 ///
+/// With a [`SegmentSurvey`], pruned segments are skipped *before* any
+/// predicate touches their columns; `None` scans the range flat (the
+/// parallel path prunes at dispatch time, so workers pass `None`). When
+/// every overlapping segment survives, the range is scanned in one flat
+/// pass — no per-segment re-materialization cost for unselective queries.
+/// Otherwise sub-ranges stay in ascending row order, so the concatenated
+/// selection vector — and therefore every float accumulation order
+/// downstream — is identical to a flat scan over the surviving rows.
+///
 /// `fact_preds` ([`compile_fact_preds`]) and `chain_checks`
 /// ([`build_chain_checks`]) are built by the caller: once per execution for
 /// the serial path, once per *worker* for the parallel path, so a worker
 /// claiming dozens of morsels pays the setup once.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn scan_phase<'a>(
     u: &Universal<'a>,
     query: &Query,
@@ -490,19 +597,50 @@ pub(crate) fn scan_phase<'a>(
     fact_preds: &[CompiledPred<'a>],
     chain_checks: &mut [ChainCheck<'a>],
     range: std::ops::Range<usize>,
+    survey: Option<&SegmentSurvey>,
 ) -> Result<ScanArtifacts<'a>, BindError> {
     let fact = u.root_table();
 
-    let sv = if !opts.variant.column_wise() {
-        select_rowwise(fact, range, fact_preds, chain_checks)
+    let seg_rows = fact.segment_rows();
+    let (seg_lo, seg_hi) = if range.is_empty() {
+        (0, 0)
     } else {
-        match opts.selection {
-            SelectionStrategy::VectorRefine => {
-                select_columnwise(fact, range, fact_preds, chain_checks)
+        (range.start / seg_rows, range.end.div_ceil(seg_rows))
+    };
+    let mut segments_scanned = 0usize;
+    let mut segments_pruned = 0usize;
+    let select = |sub: std::ops::Range<usize>, chain_checks: &mut [ChainCheck<'a>]| {
+        if !opts.variant.column_wise() {
+            select_rowwise(fact, sub, fact_preds, chain_checks)
+        } else {
+            match opts.selection {
+                SelectionStrategy::VectorRefine => {
+                    select_columnwise(fact, sub, fact_preds, chain_checks)
+                }
+                SelectionStrategy::BitmapAnd => {
+                    select_bitmap_and(fact, sub, fact_preds, chain_checks)
+                }
             }
-            SelectionStrategy::BitmapAnd => {
-                select_bitmap_and(fact, range, fact_preds, chain_checks)
+        }
+    };
+    let sv = match survey {
+        Some(s) if !(seg_lo..seg_hi).all(|seg| s.keep(seg)) => {
+            let mut rows: Vec<RowId> = Vec::new();
+            for seg in seg_lo..seg_hi {
+                if s.keep(seg) {
+                    segments_scanned += 1;
+                    let seg_start = seg * seg_rows;
+                    let sub = range.start.max(seg_start)..range.end.min(seg_start + seg_rows);
+                    rows.extend_from_slice(select(sub, chain_checks).rows());
+                } else {
+                    segments_pruned += 1;
+                }
             }
+            SelVec::from_rows(rows)
+        }
+        _ => {
+            segments_scanned = seg_hi - seg_lo;
+            select(range, chain_checks)
         }
     };
     let selected = sv.len();
@@ -616,7 +754,16 @@ pub(crate) fn scan_phase<'a>(
         })
         .collect();
 
-    Ok(ScanArtifacts { mi_rows, mi_cells, agg, dicts, selected, strategy })
+    Ok(ScanArtifacts {
+        mi_rows,
+        mi_cells,
+        agg,
+        dicts,
+        selected,
+        strategy,
+        segments_scanned,
+        segments_pruned,
+    })
 }
 
 /// Phase 3: measure-column aggregation, driven column-wise by the Measure

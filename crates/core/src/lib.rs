@@ -75,6 +75,7 @@ pub mod query;
 pub mod result;
 pub mod scan;
 pub mod universal;
+pub mod zone;
 
 /// Convenient glob import of the engine's public surface.
 pub mod prelude {
@@ -89,4 +90,5 @@ pub mod prelude {
     pub use crate::query::{AggFunc, Aggregate, ColRef, OrderKey, Query, SortOrder};
     pub use crate::result::QueryResult;
     pub use crate::universal::{BindError, Universal};
+    pub use crate::zone::{SegmentPruner, SegmentSurvey, ZonePred, ZoneRange};
 }

@@ -90,6 +90,11 @@ impl OptimizerConfig {
     /// (serial) when the scan is too small to amortize fan-out; otherwise
     /// the requested count clamped so every worker sees at least
     /// [`OptimizerConfig::parallel_min_rows_per_thread`] rows.
+    ///
+    /// `n_rows` is the *effective* scan size: the executor passes the live
+    /// row count of the segments surviving zone-map pruning, so a selective
+    /// query that skips most of the fact table does not spawn workers for
+    /// rows it will never visit.
     pub fn plan_threads(&self, n_rows: usize, requested: usize) -> usize {
         if requested <= 1 {
             return 1;

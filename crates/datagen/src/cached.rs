@@ -15,13 +15,19 @@ use std::path::{Path, PathBuf};
 
 use astore_storage::catalog::Database;
 
+/// Generator revision folded into cache names: bump whenever a generator's
+/// output changes for the same `(sf, seed)` — otherwise a stale cache from
+/// an older build would silently stand in for the new distribution.
+/// Revision 2: `lineorder` rows are generated in date-arrival order.
+pub const GEN_REVISION: u32 = 2;
+
 /// The cache file for a `(dataset, sf, seed)` triple inside `dir`.
 ///
 /// The scale factor is embedded with its `.` replaced by `_` so the name
-/// stays portable (`ssb-sf0_01-seed42.snapshot`).
+/// stays portable (`ssb-g2-sf0_01-seed42.snapshot`).
 pub fn cache_path(dir: impl AsRef<Path>, dataset: &str, sf: f64, seed: u64) -> PathBuf {
     let sf_tag = format!("{sf}").replace('.', "_");
-    dir.as_ref().join(format!("{dataset}-sf{sf_tag}-seed{seed}.snapshot"))
+    dir.as_ref().join(format!("{dataset}-g{GEN_REVISION}-sf{sf_tag}-seed{seed}.snapshot"))
 }
 
 /// Loads the cached snapshot for `(dataset, sf, seed)` from `dir`, or

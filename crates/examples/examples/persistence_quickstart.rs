@@ -74,9 +74,11 @@ fn main() {
     assert_eq!(pre_crash, post_crash, "recovered answers must match pre-crash answers");
     println!("\nafter recovery (identical to pre-crash):\n{post_crash}");
 
-    // ── 5. Checkpoint: fold the WAL into a fresh snapshot ─────────────────
+    // ── 5. Checkpoint: fold the WAL into a fresh snapshot (incremental:
+    //      segments untouched since the boot snapshot are byte-copied) ─────
     let mut wal = rec.wal;
-    let bytes = store::checkpoint(&dir, &rec.db, &mut wal).expect("checkpoint");
+    let mut db = rec.db;
+    let bytes = store::checkpoint(&dir, &mut db, &mut wal).expect("checkpoint");
     println!("checkpoint written ({:.1} KiB); WAL reset to empty", bytes as f64 / 1024.0);
     let again = store::open(&dir).expect("re-open");
     assert_eq!(again.replayed, 0, "nothing left to replay after a checkpoint");

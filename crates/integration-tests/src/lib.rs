@@ -1,1 +1,375 @@
-//! Integration test crate; see the tests/ directory.
+//! Integration test crate. The tests live in `tests/`; this library holds
+//! the shared **seeded SPJGA workload generator** over the SSB schema, used
+//! by both the prepared-statement differential (`prepared_differential.rs`)
+//! and the zone-map/segmentation differential (`scan_pruning.rs`) so the
+//! two suites exercise the exact same query space.
+
+use astore_storage::types::Value;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Substitutes the n-th `?` of `template` with `params[n]` rendered as a
+/// SQL literal — producing the literal-SQL twin of a parameterized query.
+///
+/// # Panics
+/// Panics if the placeholder and parameter counts disagree, or on a
+/// non-renderable parameter kind.
+pub fn substitute(template: &str, params: &[Value]) -> String {
+    let mut out = String::with_capacity(template.len() + 16);
+    let mut it = params.iter();
+    for c in template.chars() {
+        if c == '?' {
+            let v = it.next().expect("params cover placeholders");
+            match v {
+                Value::Int(x) => out.push_str(&x.to_string()),
+                Value::Float(f) => out.push_str(&format!("{f}")),
+                Value::Str(s) => out.push_str(&format!("'{}'", s.replace('\'', "''"))),
+                other => panic!("unsupported literal {other:?}"),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    assert!(it.next().is_none(), "extra params");
+    out
+}
+
+/// A generated SQL template and the parameter list for its `?` slots.
+pub struct GenSql {
+    /// The `?`-placeholder SQL text.
+    pub template: String,
+    /// One value per placeholder, in order.
+    pub params: Vec<Value>,
+}
+
+impl GenSql {
+    /// Pushes a `?` into the template and its value into the params.
+    fn slot(&mut self, v: Value) {
+        self.template.push('?');
+        self.params.push(v);
+    }
+
+    /// The template with every placeholder substituted as a SQL literal.
+    pub fn literal_sql(&self) -> String {
+        substitute(&self.template, &self.params)
+    }
+}
+
+/// One random dimension predicate (written into `g`), returning the table
+/// it references so the FROM clause and join conditions cover it.
+fn random_dim_pred(rng: &mut SmallRng, g: &mut GenSql) -> &'static str {
+    const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+    const MFGRS: [&str; 5] = ["MFGR#1", "MFGR#2", "MFGR#3", "MFGR#4", "MFGR#5"];
+    const NATIONS: [&str; 6] = ["CHINA", "FRANCE", "BRAZIL", "EGYPT", "KENYA", "UNITED STATES"];
+    match rng.gen_range(0..8u32) {
+        0 => {
+            g.template.push_str("d_year = ");
+            g.slot(Value::Int(rng.gen_range(1992..=1998i64)));
+            "date"
+        }
+        1 => {
+            let lo = rng.gen_range(1992..=1997i64);
+            g.template.push_str("d_year BETWEEN ");
+            g.slot(Value::Int(lo));
+            g.template.push_str(" AND ");
+            g.slot(Value::Int(lo + rng.gen_range(0..=2i64)));
+            "date"
+        }
+        2 => {
+            g.template.push_str("d_weeknuminyear <= ");
+            g.slot(Value::Int(rng.gen_range(1..=53i64)));
+            "date"
+        }
+        3 => {
+            g.template.push_str("c_region = ");
+            g.slot(Value::Str(REGIONS[rng.gen_range(0..REGIONS.len())].into()));
+            "customer"
+        }
+        4 => {
+            g.template.push_str("c_nation IN (");
+            g.slot(Value::Str(NATIONS[rng.gen_range(0..3usize)].into()));
+            g.template.push_str(", ");
+            g.slot(Value::Str(NATIONS[rng.gen_range(3..NATIONS.len())].into()));
+            g.template.push(')');
+            "customer"
+        }
+        5 => {
+            g.template.push_str("s_region <> ");
+            g.slot(Value::Str(REGIONS[rng.gen_range(0..REGIONS.len())].into()));
+            "supplier"
+        }
+        6 => {
+            g.template.push_str("p_mfgr = ");
+            g.slot(Value::Str(MFGRS[rng.gen_range(0..MFGRS.len())].into()));
+            "part"
+        }
+        _ => {
+            let lo = rng.gen_range(1..=40i64);
+            g.template.push_str("p_size BETWEEN ");
+            g.slot(Value::Int(lo));
+            g.template.push_str(" AND ");
+            g.slot(Value::Int(lo + rng.gen_range(0..=10i64)));
+            "part"
+        }
+    }
+}
+
+/// One random fact-local predicate, written into `g`.
+fn random_fact_pred(rng: &mut SmallRng, g: &mut GenSql) {
+    match rng.gen_range(0..4u32) {
+        0 => {
+            let lo = rng.gen_range(1..=8i64);
+            g.template.push_str("lo_discount BETWEEN ");
+            g.slot(Value::Int(lo));
+            g.template.push_str(" AND ");
+            g.slot(Value::Int(lo + 2));
+        }
+        1 => {
+            g.template.push_str("lo_quantity < ");
+            g.slot(Value::Int(rng.gen_range(5..=50i64)));
+        }
+        2 => {
+            g.template.push_str("lo_extendedprice >= ");
+            g.slot(Value::Int(rng.gen_range(100..=2000i64) * 100));
+        }
+        _ => {
+            let lo = rng.gen_range(1..=8i64);
+            g.template.push_str("(lo_discount BETWEEN ");
+            g.slot(Value::Int(lo));
+            g.template.push_str(" AND ");
+            g.slot(Value::Int(lo + 1));
+            g.template.push_str(" AND lo_quantity >= ");
+            g.slot(Value::Int(rng.gen_range(1..=30i64)));
+            g.template.push(')');
+        }
+    }
+}
+
+const JOIN_CONDS: [(&str, &str); 4] = [
+    ("customer", "lo_custkey = c_custkey"),
+    ("supplier", "lo_suppkey = s_suppkey"),
+    ("part", "lo_partkey = p_partkey"),
+    ("date", "lo_orderdate = d_datekey"),
+];
+
+const GROUPS: [(&str, &str); 7] = [
+    ("date", "d_year"),
+    ("date", "d_month"),
+    ("customer", "c_region"),
+    ("customer", "c_nation"),
+    ("supplier", "s_region"),
+    ("part", "p_mfgr"),
+    ("lineorder", "lo_shipmode"),
+];
+
+const AGGS: [&str; 6] = [
+    "sum(lo_revenue)",
+    "sum(lo_extendedprice * lo_discount)",
+    "sum(lo_revenue - lo_supplycost)",
+    "count(*)",
+    "min(lo_revenue)",
+    "max(lo_extendedprice)",
+];
+
+/// A random SPJGA SQL template over the SSB schema: 0–2 dimension
+/// predicates, an optional fact predicate, 0–2 group columns, 1–3
+/// aggregates, optional ORDER BY/LIMIT. Every predicate literal is a `?`.
+pub fn random_sql(rng: &mut SmallRng) -> GenSql {
+    let mut preds = GenSql { template: String::new(), params: Vec::new() };
+    let mut tables: Vec<&'static str> = vec![];
+    let mut pred_texts: Vec<String> = Vec::new();
+    for _ in 0..rng.gen_range(0..=2u32) {
+        let t = random_dim_pred(rng, &mut preds);
+        if !tables.contains(&t) {
+            tables.push(t);
+        }
+        pred_texts.push(std::mem::take(&mut preds.template));
+    }
+    if rng.gen_bool(0.6) {
+        random_fact_pred(rng, &mut preds);
+        pred_texts.push(std::mem::take(&mut preds.template));
+    }
+
+    // Group columns (their tables must also be joined in).
+    let mut group_cols: Vec<&str> = Vec::new();
+    for _ in 0..rng.gen_range(0..=2u32) {
+        let (t, c) = GROUPS[rng.gen_range(0..GROUPS.len())];
+        if !group_cols.contains(&c) {
+            group_cols.push(c);
+            if t != "lineorder" && !tables.contains(&t) {
+                tables.push(t);
+            }
+        }
+    }
+
+    // Aggregates with unique aliases.
+    let mut select: Vec<String> = group_cols.iter().map(|c| (*c).to_owned()).collect();
+    let n_aggs = rng.gen_range(1..=3u32);
+    let mut agg_aliases = Vec::new();
+    for i in 0..n_aggs {
+        let alias = format!("agg{i}");
+        select.push(format!("{} AS {alias}", AGGS[rng.gen_range(0..AGGS.len())]));
+        agg_aliases.push(alias);
+    }
+
+    let mut sql = format!("SELECT {} FROM lineorder", select.join(", "));
+    for t in &tables {
+        sql.push_str(", ");
+        sql.push_str(t);
+    }
+    let mut conjuncts: Vec<String> = JOIN_CONDS
+        .iter()
+        .filter(|(t, _)| tables.contains(t))
+        .map(|(_, c)| (*c).to_owned())
+        .collect();
+    conjuncts.extend(pred_texts);
+    if !conjuncts.is_empty() {
+        sql.push_str(" WHERE ");
+        sql.push_str(&conjuncts.join(" AND "));
+    }
+    if !group_cols.is_empty() {
+        sql.push_str(" GROUP BY ");
+        sql.push_str(&group_cols.join(", "));
+    }
+    if rng.gen_bool(0.5) && !group_cols.is_empty() {
+        sql.push_str(&format!(" ORDER BY {} DESC, {}", agg_aliases[0], group_cols.join(", ")));
+        if rng.gen_bool(0.3) {
+            sql.push_str(&format!(" LIMIT {}", rng.gen_range(1..=10u32)));
+        }
+    }
+    GenSql { template: sql, params: preds.params }
+}
+
+/// The 13 SSB queries as parameterized SQL (every predicate literal is a
+/// slot), with the canonical literal bindings.
+pub fn ssb_sql() -> Vec<(&'static str, &'static str, Vec<Value>)> {
+    let i = Value::Int;
+    let s = |v: &str| Value::Str(v.into());
+    vec![
+        (
+            "Q1.1",
+            "SELECT sum(lo_extendedprice * lo_discount) AS revenue FROM lineorder, date \
+             WHERE lo_orderdate = d_datekey AND d_year = ? \
+               AND lo_discount BETWEEN ? AND ? AND lo_quantity < ?",
+            vec![i(1993), i(1), i(3), i(25)],
+        ),
+        (
+            "Q1.2",
+            "SELECT sum(lo_extendedprice * lo_discount) AS revenue FROM lineorder, date \
+             WHERE lo_orderdate = d_datekey AND d_yearmonthnum = ? \
+               AND lo_discount BETWEEN ? AND ? AND lo_quantity BETWEEN ? AND ?",
+            vec![i(199401), i(4), i(6), i(26), i(35)],
+        ),
+        (
+            "Q1.3",
+            "SELECT sum(lo_extendedprice * lo_discount) AS revenue FROM lineorder, date \
+             WHERE lo_orderdate = d_datekey AND d_weeknuminyear = ? AND d_year = ? \
+               AND lo_discount BETWEEN ? AND ? AND lo_quantity BETWEEN ? AND ?",
+            vec![i(6), i(1994), i(5), i(7), i(26), i(35)],
+        ),
+        (
+            "Q2.1",
+            "SELECT d_year, p_brand1, sum(lo_revenue) AS revenue \
+             FROM lineorder, date, part, supplier \
+             WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey \
+               AND lo_suppkey = s_suppkey AND p_category = ? AND s_region = ? \
+             GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1",
+            vec![s("MFGR#12"), s("AMERICA")],
+        ),
+        (
+            "Q2.2",
+            "SELECT d_year, p_brand1, sum(lo_revenue) AS revenue \
+             FROM lineorder, date, part, supplier \
+             WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey \
+               AND lo_suppkey = s_suppkey AND p_brand1 BETWEEN ? AND ? AND s_region = ? \
+             GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1",
+            vec![s("MFGR#2221"), s("MFGR#2228"), s("ASIA")],
+        ),
+        (
+            "Q2.3",
+            "SELECT d_year, p_brand1, sum(lo_revenue) AS revenue \
+             FROM lineorder, date, part, supplier \
+             WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey \
+               AND lo_suppkey = s_suppkey AND p_brand1 = ? AND s_region = ? \
+             GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1",
+            vec![s("MFGR#2239"), s("EUROPE")],
+        ),
+        (
+            "Q3.1",
+            "SELECT c_nation, s_nation, d_year, sum(lo_revenue) AS revenue \
+             FROM customer, lineorder, supplier, date \
+             WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey \
+               AND lo_orderdate = d_datekey AND c_region = ? AND s_region = ? \
+               AND d_year BETWEEN ? AND ? \
+             GROUP BY c_nation, s_nation, d_year ORDER BY d_year ASC, revenue DESC",
+            vec![s("ASIA"), s("ASIA"), i(1992), i(1997)],
+        ),
+        (
+            "Q3.2",
+            "SELECT c_city, s_city, d_year, sum(lo_revenue) AS revenue \
+             FROM customer, lineorder, supplier, date \
+             WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey \
+               AND lo_orderdate = d_datekey AND c_nation = ? AND s_nation = ? \
+               AND d_year BETWEEN ? AND ? \
+             GROUP BY c_city, s_city, d_year ORDER BY d_year ASC, revenue DESC",
+            vec![s("UNITED STATES"), s("UNITED STATES"), i(1992), i(1997)],
+        ),
+        (
+            "Q3.3",
+            "SELECT c_city, s_city, d_year, sum(lo_revenue) AS revenue \
+             FROM customer, lineorder, supplier, date \
+             WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey \
+               AND lo_orderdate = d_datekey AND c_city IN (?, ?) AND s_city IN (?, ?) \
+               AND d_year BETWEEN ? AND ? \
+             GROUP BY c_city, s_city, d_year ORDER BY d_year ASC, revenue DESC",
+            vec![
+                s("UNITED KI1"),
+                s("UNITED KI5"),
+                s("UNITED KI1"),
+                s("UNITED KI5"),
+                i(1992),
+                i(1997),
+            ],
+        ),
+        (
+            "Q3.4",
+            "SELECT c_city, s_city, d_year, sum(lo_revenue) AS revenue \
+             FROM customer, lineorder, supplier, date \
+             WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey \
+               AND lo_orderdate = d_datekey AND c_city IN (?, ?) AND s_city IN (?, ?) \
+               AND d_yearmonth = ? \
+             GROUP BY c_city, s_city, d_year ORDER BY d_year ASC, revenue DESC",
+            vec![s("UNITED KI1"), s("UNITED KI5"), s("UNITED KI1"), s("UNITED KI5"), s("Dec1997")],
+        ),
+        (
+            "Q4.1",
+            "SELECT d_year, c_nation, sum(lo_revenue - lo_supplycost) AS profit \
+             FROM date, customer, supplier, part, lineorder \
+             WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey \
+               AND lo_partkey = p_partkey AND lo_orderdate = d_datekey \
+               AND c_region = ? AND s_region = ? AND p_mfgr IN (?, ?) \
+             GROUP BY d_year, c_nation ORDER BY d_year, c_nation",
+            vec![s("AMERICA"), s("AMERICA"), s("MFGR#1"), s("MFGR#2")],
+        ),
+        (
+            "Q4.2",
+            "SELECT d_year, s_nation, p_category, sum(lo_revenue - lo_supplycost) AS profit \
+             FROM date, customer, supplier, part, lineorder \
+             WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey \
+               AND lo_partkey = p_partkey AND lo_orderdate = d_datekey \
+               AND c_region = ? AND s_region = ? AND d_year IN (?, ?) AND p_mfgr IN (?, ?) \
+             GROUP BY d_year, s_nation, p_category ORDER BY d_year, s_nation, p_category",
+            vec![s("AMERICA"), s("AMERICA"), i(1997), i(1998), s("MFGR#1"), s("MFGR#2")],
+        ),
+        (
+            "Q4.3",
+            "SELECT d_year, s_city, p_brand1, sum(lo_revenue - lo_supplycost) AS profit \
+             FROM date, customer, supplier, part, lineorder \
+             WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey \
+               AND lo_partkey = p_partkey AND lo_orderdate = d_datekey \
+               AND c_region = ? AND s_nation = ? AND d_year IN (?, ?) AND p_category = ? \
+             GROUP BY d_year, s_city, p_brand1 ORDER BY d_year, s_city, p_brand1",
+            vec![s("AMERICA"), s("UNITED STATES"), i(1997), i(1998), s("MFGR#14")],
+        ),
+    ]
+}

@@ -345,10 +345,85 @@ fn golden_snapshot_file_pins_the_format() {
     assert_eq!(
         on_disk, expected,
         "snapshot byte layout drifted from the checked-in golden file: \
-         bump SNAPSHOT_VERSION and re-bless instead of silently changing v1"
+         bump SNAPSHOT_VERSION and re-bless instead of silently changing \
+         a released format"
     );
     // … and reading the checked-in bytes must reproduce the database.
     let (db, lsn) = astore_persist::snapshot::decode_snapshot(&on_disk).unwrap();
     assert_eq!(lsn, 7);
     assert_identical(&golden_database(), &db, "golden decode");
+}
+
+// ---------------------------------------------------------------------------
+// Backward compatibility: version-1 files keep loading after the v2 bump.
+// ---------------------------------------------------------------------------
+
+fn testdata_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("testdata").join(name)
+}
+
+#[test]
+fn checked_in_v1_golden_still_loads() {
+    // The v1 fixture is frozen history: it must decode forever, and the
+    // legacy encoder must keep reproducing it byte for byte.
+    let on_disk = std::fs::read(testdata_path("golden-v1.snapshot")).unwrap();
+    let (db, lsn) = astore_persist::snapshot::decode_snapshot(&on_disk).unwrap();
+    assert_eq!(lsn, 7);
+    assert_identical(&golden_database(), &db, "v1 golden decode");
+    assert_eq!(
+        astore_persist::snapshot::encode_snapshot_v1(&golden_database(), 7),
+        on_disk,
+        "legacy v1 encoder drifted from the checked-in v1 bytes"
+    );
+}
+
+#[test]
+fn checked_in_v1_ssb_snapshot_answers_all_13_queries_bit_identically() {
+    // An SSB database frozen in the version-1 format. Loading it rebuilds
+    // zone maps from scratch; the segmented engine must then answer every
+    // SSB query bit-identically to the pre-segmentation flat scan, and a
+    // re-save in today's v2 format must round-trip to the same answers.
+    let path = testdata_path("golden-ssb-v1.snapshot");
+    if std::env::var_os("ASTORE_BLESS_GOLDEN").is_some() {
+        let db = ssb::generate(0.001, 42);
+        let bytes = astore_persist::snapshot::encode_snapshot_v1(&db, 0);
+        std::fs::write(&path, &bytes).unwrap();
+        eprintln!("blessed {} ({} bytes)", path.display(), bytes.len());
+    }
+    let mut db = load_snapshot(&path).unwrap();
+    // Fine-grained segments so the 6K-row fixture actually has zones to
+    // prune (the default 64K segment would make pruning trivially void).
+    db.table_mut("lineorder").unwrap().set_segment_rows(512);
+
+    let dir = tmpdir("ssb-v1-compat");
+    let v2_path = dir.join("resaved-v2.snapshot");
+    save_snapshot(&db, &v2_path).unwrap();
+    let reloaded = load_snapshot(&v2_path).unwrap();
+
+    let mut q1_pruned = 0usize;
+    for sq in ssb::queries() {
+        let flat = execute(&db, &sq.query, &ExecOptions::default().pruning(false)).unwrap();
+        let segmented = execute(&db, &sq.query, &ExecOptions::default()).unwrap();
+        assert!(
+            segmented.result.same_contents(&flat.result, 0.0),
+            "{}: segmented scan over the v1-loaded database diverged",
+            sq.id
+        );
+        let warm = execute(&reloaded, &sq.query, &ExecOptions::default()).unwrap();
+        assert!(
+            warm.result.same_contents(&flat.result, 0.0),
+            "{}: v2 round trip answers differently",
+            sq.id
+        );
+        assert_eq!(
+            segmented.plan.segments_pruned, warm.plan.segments_pruned,
+            "{}: persisted zone maps must prune like rebuilt ones",
+            sq.id
+        );
+        if sq.id.starts_with("Q1") {
+            q1_pruned += segmented.plan.segments_pruned;
+        }
+    }
+    assert!(q1_pruned > 0, "date-selective Q1.x must skip segments of the date-clustered fixture");
+    std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -3,47 +3,67 @@
 //! A snapshot is a faithful, versioned serialization of a whole
 //! [`Database`]: for every table its schema, its typed column arrays (AIR
 //! key columns included), string heaps and dictionaries, the live bitmap
-//! (inverse delete vector) and the free-slot list. Loading a snapshot
-//! reproduces not just the live tuples but the exact slot layout, so array
-//! index references — the primary keys of the A-Store model — survive a
-//! round trip bit-for-bit, and the next insert reuses the same slot it
-//! would have reused in the original process.
+//! (inverse delete vector), the free-slot list, and — since version 2 —
+//! its segmentation: per-segment column payloads framed with the segment's
+//! zone map and a per-segment CRC. Loading a snapshot reproduces not just
+//! the live tuples but the exact slot layout *and* the exact zone maps, so
+//! array index references survive bit-for-bit, a warm boot prunes
+//! immediately (no rebuild scan), and a re-save reproduces the same bytes.
 //!
-//! ## Layout (version 1, all integers little-endian)
+//! ## Layout (version 2, all integers little-endian)
 //!
 //! ```text
 //! magic    8B  "ASTORESN"
-//! version  u32
+//! version  u32  (2)
 //! wal_lsn  u64   last WAL record folded into this snapshot (0 = none)
 //! ntables  u32
 //! table*:
 //!   name       str            (u32 length + UTF-8 bytes)
 //!   arity      u32
 //!   coldef*:   name str, dtype u8 tag, [target str  if Key]
+//!   seg_rows   u32            rows per segment
 //!   nslots     u64
 //!   live       u64-words      (⌈nslots/64⌉ words)
 //!   free       u32 count + u32*  (slot-reuse stack, order preserved)
-//!   column*:   payload by dtype tag:
-//!     I32 raw i32*     I64 raw i64*     F64 raw f64-bits*
-//!     Str  str per slot
-//!     Dict u32 dict size + str per value, u32 code per slot
-//!     Key  u32 per slot
+//!   dict*:     u32 size + str*   (one per Dict column, schema order)
+//!   nsegs      u32
+//!   segment block*:
+//!     len      u32            payload bytes
+//!     payload:
+//!       live   u64            live tuples in the segment
+//!       stat*: u8 tag + data  (0 untracked; 1 int i64 min/max;
+//!                              2 float f64-bits min/max;
+//!                              3 key u32 min, u32 max, u64 nulls)
+//!       column payload* for the segment's rows:
+//!         I32 raw i32*   I64 raw i64*   F64 raw f64-bits*
+//!         Str  str per slot   Dict u32 code per slot   Key u32 per slot
+//!     crc      u32            crc32 of the payload
 //! crc32    u32   over every preceding byte
 //! ```
+//!
+//! The per-segment CRC + framing makes segments independently addressable:
+//! an **incremental checkpoint** ([`encode_snapshot_with_prev`]) copies the
+//! raw block bytes of every segment that has not been mutated since the
+//! previous snapshot (its zone map is *clean*) instead of re-encoding it —
+//! and because encoding is deterministic, the result is byte-identical to a
+//! full encode. Version-1 files (monolithic per-column payloads, no zone
+//! maps) still load; their zone maps are rebuilt on load.
 //!
 //! The trailing CRC makes torn or bit-flipped snapshot files a detected
 //! error instead of silently wrong data. Writes go through a temp file +
 //! atomic rename, so a crash mid-save never clobbers the previous snapshot.
 
+use std::collections::HashMap;
 use std::path::Path;
 
 use astore_storage::bitmap::Bitmap;
 use astore_storage::catalog::Database;
 use astore_storage::column::Column;
 use astore_storage::dictionary::{DictColumn, Dictionary};
+use astore_storage::segment::{SegmentZone, ZoneStats};
 use astore_storage::strings::StrColumn;
 use astore_storage::table::{ColumnDef, Schema, Table};
-use astore_storage::types::{DataType, RowId};
+use astore_storage::types::{DataType, Key, RowId};
 
 use crate::crc::crc32;
 use crate::wire::{put_str, put_u32, put_u64, Cursor};
@@ -52,9 +72,15 @@ use crate::PersistError;
 /// File magic of the snapshot format.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"ASTORESN";
 
-/// Current snapshot format version. Bump this when the byte layout changes —
-/// the golden-snapshot test pins the layout for a given version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version (segmented, zone-mapped). Bump this when
+/// the byte layout changes — the golden-snapshot test pins the layout for a
+/// given version.
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// The legacy monolithic-column format. Still readable ([`decode_snapshot`]
+/// rebuilds zone maps on load); writable only via [`encode_snapshot_v1`]
+/// (compatibility fixtures).
+pub const SNAPSHOT_VERSION_V1: u32 = 1;
 
 const TAG_I32: u8 = 0;
 const TAG_I64: u8 = 1;
@@ -63,24 +89,69 @@ const TAG_STR: u8 = 3;
 const TAG_DICT: u8 = 4;
 const TAG_KEY: u8 = 5;
 
-/// Serializes `db` into the version-1 byte layout with `wal_lsn` recorded in
-/// the header. Deterministic: equal databases produce equal bytes.
+const STAT_UNTRACKED: u8 = 0;
+const STAT_INT: u8 = 1;
+const STAT_FLOAT: u8 = 2;
+const STAT_KEY: u8 = 3;
+
+/// Raw segment blocks of an existing version-2 snapshot, keyed by table
+/// then segment — the reuse source of an incremental checkpoint
+/// ([`encode_snapshot_with_prev`]). Borrows the snapshot bytes: indexing a
+/// file costs one pass and no block copies.
+#[derive(Debug, Default)]
+pub struct SegmentIndex<'a> {
+    blocks: HashMap<String, HashMap<u32, &'a [u8]>>,
+}
+
+impl SegmentIndex<'_> {
+    /// Number of indexed blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.values().map(HashMap::len).sum()
+    }
+
+    /// Returns `true` if no blocks are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Serializes `db` into the current (version 2) byte layout. Deterministic:
+/// equal databases produce equal bytes.
 pub fn encode_snapshot(db: &Database, wal_lsn: u64) -> Vec<u8> {
+    encode_snapshot_with_prev(db, wal_lsn, None).0
+}
+
+/// Serializes `db`, copying the raw block bytes of every *clean* segment
+/// (not mutated since its table was loaded from / checkpointed to the
+/// snapshot `prev` was indexed from) instead of re-encoding it. Returns the
+/// bytes and the number of reused segment blocks.
+///
+/// Correctness contract: `prev` must index the snapshot file this
+/// database's clean flags are relative to — i.e. the file it was last
+/// loaded from or checkpointed to (see [`crate::store::checkpoint`]).
+/// Encoding is deterministic, so the output is byte-identical to a full
+/// [`encode_snapshot`] either way.
+pub fn encode_snapshot_with_prev(
+    db: &Database,
+    wal_lsn: u64,
+    prev: Option<&SegmentIndex<'_>>,
+) -> (Vec<u8>, usize) {
     let mut buf = Vec::with_capacity(64 + db.approx_bytes() * 2);
     buf.extend_from_slice(SNAPSHOT_MAGIC);
     put_u32(&mut buf, SNAPSHOT_VERSION);
     put_u64(&mut buf, wal_lsn);
     put_u32(&mut buf, db.len() as u32);
+    let mut reused = 0usize;
     for name in db.table_names() {
         let t = db.table(name).expect("listed table exists");
-        encode_table(&mut buf, t);
+        reused += encode_table_v2(&mut buf, t, prev);
     }
     let crc = crc32(&buf);
     put_u32(&mut buf, crc);
-    buf
+    (buf, reused)
 }
 
-fn encode_table(buf: &mut Vec<u8>, t: &Table) {
+fn encode_coldefs(buf: &mut Vec<u8>, t: &Table) {
     put_str(buf, t.name());
     put_u32(buf, t.schema().arity() as u32);
     for def in t.schema().defs() {
@@ -97,6 +168,140 @@ fn encode_table(buf: &mut Vec<u8>, t: &Table) {
             }
         }
     }
+}
+
+/// Encodes one table in the v2 layout; returns the number of segment
+/// blocks copied from `prev` instead of re-encoded.
+fn encode_table_v2(buf: &mut Vec<u8>, t: &Table, prev: Option<&SegmentIndex>) -> usize {
+    encode_coldefs(buf, t);
+    put_u32(buf, t.segment_rows() as u32);
+    put_u64(buf, t.num_slots() as u64);
+    for w in t.live_bitmap().words() {
+        put_u64(buf, *w);
+    }
+    put_u32(buf, t.free_slots().len() as u32);
+    for &slot in t.free_slots() {
+        put_u32(buf, slot);
+    }
+    // Dictionaries at table level: segment blocks carry only codes, so a
+    // dictionary growing in one segment never invalidates the others.
+    for i in 0..t.schema().arity() {
+        if let Column::Dict(c) = t.column_at(i) {
+            put_u32(buf, c.dict().len() as u32);
+            for v in c.dict().values() {
+                put_str(buf, v);
+            }
+        }
+    }
+    put_u32(buf, t.segment_count() as u32);
+    let table_blocks = prev.and_then(|p| p.blocks.get(t.name()));
+    let mut reused = 0usize;
+    for seg in 0..t.segment_count() {
+        let zone = t.zone(seg);
+        if !zone.is_dirty() {
+            if let Some(block) = table_blocks.and_then(|m| m.get(&(seg as u32))) {
+                buf.extend_from_slice(block);
+                reused += 1;
+                continue;
+            }
+        }
+        let payload = encode_segment_payload(t, seg);
+        put_u32(buf, payload.len() as u32);
+        let crc = crc32(&payload);
+        buf.extend_from_slice(&payload);
+        put_u32(buf, crc);
+    }
+    reused
+}
+
+fn encode_segment_payload(t: &Table, seg: usize) -> Vec<u8> {
+    let range = t.segment_range(seg);
+    let zone = t.zone(seg);
+    let mut buf = Vec::new();
+    put_u64(&mut buf, zone.live());
+    for stat in zone.stats() {
+        match stat {
+            ZoneStats::Untracked => buf.push(STAT_UNTRACKED),
+            ZoneStats::Int { min, max } => {
+                buf.push(STAT_INT);
+                buf.extend_from_slice(&min.to_le_bytes());
+                buf.extend_from_slice(&max.to_le_bytes());
+            }
+            ZoneStats::Float { min, max } => {
+                buf.push(STAT_FLOAT);
+                buf.extend_from_slice(&min.to_bits().to_le_bytes());
+                buf.extend_from_slice(&max.to_bits().to_le_bytes());
+            }
+            ZoneStats::Key { min, max, nulls } => {
+                buf.push(STAT_KEY);
+                put_u32(&mut buf, *min);
+                put_u32(&mut buf, *max);
+                put_u64(&mut buf, *nulls);
+            }
+        }
+    }
+    for i in 0..t.schema().arity() {
+        encode_column_range(&mut buf, t.column_at(i), range.clone());
+    }
+    buf
+}
+
+fn encode_column_range(buf: &mut Vec<u8>, col: &Column, range: std::ops::Range<usize>) {
+    match col {
+        Column::I32(v) => {
+            for x in &v[range] {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        Column::I64(v) => {
+            for x in &v[range] {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        Column::F64(v) => {
+            for x in &v[range] {
+                buf.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+        }
+        Column::Str(c) => {
+            for row in range {
+                put_str(buf, c.get(row));
+            }
+        }
+        Column::Dict(c) => {
+            for &code in &c.codes()[range] {
+                put_u32(buf, code);
+            }
+        }
+        Column::Key { keys, .. } => {
+            for &k in &keys[range] {
+                put_u32(buf, k);
+            }
+        }
+    }
+}
+
+/// Serializes `db` into the **legacy version-1** byte layout (monolithic
+/// per-column payloads, no segmentation). Kept so backward-compatibility
+/// fixtures can be produced and verified; production saves use
+/// [`encode_snapshot`].
+pub fn encode_snapshot_v1(db: &Database, wal_lsn: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + db.approx_bytes() * 2);
+    buf.extend_from_slice(SNAPSHOT_MAGIC);
+    put_u32(&mut buf, SNAPSHOT_VERSION_V1);
+    put_u64(&mut buf, wal_lsn);
+    put_u32(&mut buf, db.len() as u32);
+    for name in db.table_names() {
+        let t = db.table(name).expect("listed table exists");
+        encode_table_v1(&mut buf, t);
+    }
+    let crc = crc32(&buf);
+    put_u32(&mut buf, crc);
+    buf
+}
+
+fn encode_table_v1(buf: &mut Vec<u8>, t: &Table) {
+    encode_coldefs(buf, t);
     put_u64(buf, t.num_slots() as u64);
     for w in t.live_bitmap().words() {
         put_u64(buf, *w);
@@ -106,52 +311,43 @@ fn encode_table(buf: &mut Vec<u8>, t: &Table) {
         put_u32(buf, slot);
     }
     for i in 0..t.schema().arity() {
-        encode_column(buf, t.column_at(i));
-    }
-}
-
-fn encode_column(buf: &mut Vec<u8>, col: &Column) {
-    match col {
-        Column::I32(v) => {
-            for x in v {
-                buf.extend_from_slice(&x.to_le_bytes());
-            }
-        }
-        Column::I64(v) => {
-            for x in v {
-                buf.extend_from_slice(&x.to_le_bytes());
-            }
-        }
-        Column::F64(v) => {
-            for x in v {
-                buf.extend_from_slice(&x.to_bits().to_le_bytes());
-            }
-        }
-        Column::Str(c) => {
-            for s in c.iter() {
-                put_str(buf, s);
-            }
-        }
-        Column::Dict(c) => {
+        let col = t.column_at(i);
+        if let Column::Dict(c) = col {
             put_u32(buf, c.dict().len() as u32);
             for v in c.dict().values() {
                 put_str(buf, v);
             }
-            for &code in c.codes() {
-                put_u32(buf, code);
-            }
         }
-        Column::Key { keys, .. } => {
-            for &k in keys {
-                put_u32(buf, k);
-            }
-        }
+        encode_column_range(buf, col, 0..t.num_slots());
     }
 }
 
-/// Parses snapshot bytes, verifying magic, version and checksum. Returns the
-/// database and the `wal_lsn` recorded in the header.
+/// Parses snapshot bytes, verifying magic, version and checksum. Returns
+/// the database and the `wal_lsn` recorded in the header. Accepts the
+/// current version 2 (persisted zone maps are loaded verbatim) and the
+/// legacy version 1 (zone maps rebuilt).
 pub fn decode_snapshot(bytes: &[u8]) -> Result<(Database, u64), PersistError> {
+    let (mut c, version, wal_lsn, ntables) = decode_header(bytes)?;
+    let mut db = Database::new();
+    for _ in 0..ntables {
+        let table = match version {
+            SNAPSHOT_VERSION_V1 => decode_table_v1(&mut c)?,
+            _ => decode_table_v2(&mut c)?,
+        };
+        db.add_table(table);
+    }
+    if c.remaining() != 0 {
+        return Err(PersistError::Corrupt(format!(
+            "{} trailing bytes after the last table",
+            c.remaining()
+        )));
+    }
+    Ok((db, wal_lsn))
+}
+
+/// Verifies magic/version/CRC and returns a cursor positioned at the first
+/// table, plus `(version, wal_lsn, ntables)`.
+fn decode_header(bytes: &[u8]) -> Result<(Cursor<'_>, u32, u64, u32), PersistError> {
     if bytes.len() < SNAPSHOT_MAGIC.len() + 4 {
         return Err(PersistError::Corrupt("snapshot shorter than its header".into()));
     }
@@ -169,25 +365,51 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<(Database, u64), PersistError> {
     let mut c = Cursor::new(payload);
     c.bytes(8, "magic")?;
     let version = c.u32("version")?;
-    if version != SNAPSHOT_VERSION {
+    if version != SNAPSHOT_VERSION && version != SNAPSHOT_VERSION_V1 {
         return Err(PersistError::Version { found: version, expected: SNAPSHOT_VERSION });
     }
     let wal_lsn = c.u64("wal_lsn")?;
     let ntables = c.u32("table count")?;
-    let mut db = Database::new();
-    for _ in 0..ntables {
-        db.add_table(decode_table(&mut c)?);
-    }
-    if c.remaining() != 0 {
-        return Err(PersistError::Corrupt(format!(
-            "{} trailing bytes after the last table",
-            c.remaining()
-        )));
-    }
-    Ok((db, wal_lsn))
+    Ok((c, version, wal_lsn, ntables))
 }
 
-fn decode_table(c: &mut Cursor<'_>) -> Result<Table, PersistError> {
+/// Indexes the segment blocks of a version-2 snapshot for checkpoint
+/// reuse. Returns `None` for anything unusable (missing/corrupt file,
+/// legacy version): the checkpoint then falls back to a full encode.
+pub fn index_snapshot_segments(bytes: &[u8]) -> Option<SegmentIndex<'_>> {
+    let (mut c, version, _, ntables) = decode_header(bytes).ok()?;
+    if version != SNAPSHOT_VERSION {
+        return None;
+    }
+    let mut index = SegmentIndex::default();
+    for _ in 0..ntables {
+        let header = decode_table_header(&mut c, true).ok()?;
+        let nsegs = c.u32("segment count").ok()? as usize;
+        let table_blocks: &mut HashMap<u32, &[u8]> = index.blocks.entry(header.name).or_default();
+        for seg in 0..nsegs {
+            let start = c.position();
+            let len = c.u32("segment length").ok()? as usize;
+            c.bytes(len + 4, "segment block").ok()?;
+            table_blocks.insert(seg as u32, &bytes[start..c.position()]);
+        }
+    }
+    Some(index)
+}
+
+/// The per-table preamble shared by v1 and v2 (v2 additionally carries
+/// `seg_rows` and hoisted dictionaries).
+struct TableHeader {
+    name: String,
+    defs: Vec<ColumnDef>,
+    seg_rows: usize,
+    nslots: usize,
+    live: Bitmap,
+    free: Vec<RowId>,
+    /// Table-level dictionaries, one per `Dict` column (v2 only).
+    dicts: Vec<Option<Dictionary>>,
+}
+
+fn decode_coldefs(c: &mut Cursor<'_>) -> Result<(String, Vec<ColumnDef>), PersistError> {
     let name = c.str("table name")?;
     let arity = c.u32("arity")? as usize;
     let mut defs = Vec::with_capacity(arity);
@@ -210,6 +432,20 @@ fn decode_table(c: &mut Cursor<'_>) -> Result<Table, PersistError> {
     if defs.iter().enumerate().any(|(i, d)| defs[..i].iter().any(|p| p.name == d.name)) {
         return Err(PersistError::Corrupt(format!("duplicate column name in table {name:?}")));
     }
+    Ok((name, defs))
+}
+
+fn decode_table_header(c: &mut Cursor<'_>, v2: bool) -> Result<TableHeader, PersistError> {
+    let (name, defs) = decode_coldefs(c)?;
+    let seg_rows = if v2 {
+        let sr = c.u32("segment rows")? as usize;
+        if sr == 0 {
+            return Err(PersistError::Corrupt(format!("zero segment size in table {name:?}")));
+        }
+        sr
+    } else {
+        astore_storage::segment::SEGMENT_ROWS
+    };
     let nslots = usize::try_from(c.u64("slot count")?)
         .map_err(|_| PersistError::Corrupt("slot count overflows usize".into()))?;
     // Guard against absurd counts decoded from corrupt bytes before any
@@ -237,79 +473,211 @@ fn decode_table(c: &mut Cursor<'_>) -> Result<Table, PersistError> {
         }
         free.push(slot as RowId);
     }
-    let mut columns = Vec::with_capacity(arity);
+    let mut dicts = Vec::with_capacity(defs.len());
     for def in &defs {
-        columns.push(decode_column(c, &def.dtype, nslots)?);
+        if v2 && def.dtype == DataType::Dict {
+            dicts.push(Some(decode_dictionary(c)?));
+        } else {
+            dicts.push(None);
+        }
     }
-    Ok(Table::from_parts(name, Schema::new(defs), columns, live, free))
+    Ok(TableHeader { name, defs, seg_rows, nslots, live, free, dicts })
 }
 
-fn decode_column(c: &mut Cursor<'_>, dtype: &DataType, n: usize) -> Result<Column, PersistError> {
-    Ok(match dtype {
-        DataType::I32 => {
-            let raw = c.bytes(n * 4, "i32 column")?;
-            Column::I32(
-                raw.chunks_exact(4).map(|b| i32::from_le_bytes(b.try_into().unwrap())).collect(),
-            )
-        }
-        DataType::I64 => {
-            let raw = c.bytes(n * 8, "i64 column")?;
-            Column::I64(
-                raw.chunks_exact(8).map(|b| i64::from_le_bytes(b.try_into().unwrap())).collect(),
-            )
-        }
-        DataType::F64 => {
-            let raw = c.bytes(n * 8, "f64 column")?;
-            Column::F64(
-                raw.chunks_exact(8)
-                    .map(|b| f64::from_bits(u64::from_le_bytes(b.try_into().unwrap())))
-                    .collect(),
-            )
-        }
-        DataType::Str => {
-            let mut col = StrColumn::new();
-            for _ in 0..n {
-                col.push(&c.str("string value")?);
+fn decode_dictionary(c: &mut Cursor<'_>) -> Result<Dictionary, PersistError> {
+    let dict_len = c.u32("dictionary size")? as usize;
+    if dict_len > c.remaining() {
+        return Err(PersistError::Corrupt(format!("dictionary size {dict_len} exceeds file size")));
+    }
+    let mut values = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        values.push(c.str("dictionary value")?);
+    }
+    if values.iter().enumerate().any(|(i, v)| values[..i].contains(v)) {
+        return Err(PersistError::Corrupt("duplicate dictionary value".into()));
+    }
+    Ok(Dictionary::from_values(values))
+}
+
+/// Per-column accumulator for segment-wise decoding.
+enum ColumnBuilder {
+    I32(Vec<i32>),
+    I64(Vec<i64>),
+    F64(Vec<f64>),
+    Str(StrColumn),
+    Dict { codes: Vec<Key>, dict: Dictionary },
+    Key { target: String, keys: Vec<Key> },
+}
+
+impl ColumnBuilder {
+    fn new(dtype: &DataType, dict: Option<Dictionary>, capacity: usize) -> ColumnBuilder {
+        match dtype {
+            DataType::I32 => ColumnBuilder::I32(Vec::with_capacity(capacity)),
+            DataType::I64 => ColumnBuilder::I64(Vec::with_capacity(capacity)),
+            DataType::F64 => ColumnBuilder::F64(Vec::with_capacity(capacity)),
+            DataType::Str => ColumnBuilder::Str(StrColumn::new()),
+            DataType::Dict => ColumnBuilder::Dict {
+                codes: Vec::with_capacity(capacity),
+                dict: dict.expect("v2 table header carries the dictionary"),
+            },
+            DataType::Key { target } => {
+                ColumnBuilder::Key { target: target.clone(), keys: Vec::with_capacity(capacity) }
             }
-            Column::Str(col)
         }
-        DataType::Dict => {
-            let dict_len = c.u32("dictionary size")? as usize;
-            if dict_len > c.remaining() {
-                return Err(PersistError::Corrupt(format!(
-                    "dictionary size {dict_len} exceeds file size"
-                )));
+    }
+
+    /// Appends `n` rows decoded from `c`.
+    fn extend(&mut self, c: &mut Cursor<'_>, n: usize) -> Result<(), PersistError> {
+        match self {
+            ColumnBuilder::I32(v) => {
+                let raw = c.bytes(n * 4, "i32 column")?;
+                v.extend(raw.chunks_exact(4).map(|b| i32::from_le_bytes(b.try_into().unwrap())));
             }
-            let mut values = Vec::with_capacity(dict_len);
-            for _ in 0..dict_len {
-                values.push(c.str("dictionary value")?);
+            ColumnBuilder::I64(v) => {
+                let raw = c.bytes(n * 8, "i64 column")?;
+                v.extend(raw.chunks_exact(8).map(|b| i64::from_le_bytes(b.try_into().unwrap())));
             }
-            if values.iter().enumerate().any(|(i, v)| values[..i].contains(v)) {
-                return Err(PersistError::Corrupt("duplicate dictionary value".into()));
+            ColumnBuilder::F64(v) => {
+                let raw = c.bytes(n * 8, "f64 column")?;
+                v.extend(
+                    raw.chunks_exact(8)
+                        .map(|b| f64::from_bits(u64::from_le_bytes(b.try_into().unwrap()))),
+                );
             }
-            let mut codes = Vec::with_capacity(n);
-            for _ in 0..n {
-                let code = c.u32("dictionary code")?;
-                if code as usize >= dict_len {
-                    return Err(PersistError::Corrupt(format!(
-                        "dictionary code {code} out of range {dict_len}"
-                    )));
+            ColumnBuilder::Str(col) => {
+                for _ in 0..n {
+                    col.push(&c.str("string value")?);
                 }
-                codes.push(code);
             }
-            Column::Dict(DictColumn::from_parts(codes, Dictionary::from_values(values)))
-        }
-        DataType::Key { target } => {
-            let raw = c.bytes(n * 4, "key column")?;
-            Column::Key {
-                target: target.clone(),
-                keys: raw
-                    .chunks_exact(4)
-                    .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
-                    .collect(),
+            ColumnBuilder::Dict { codes, dict } => {
+                for _ in 0..n {
+                    let code = c.u32("dictionary code")?;
+                    if code as usize >= dict.len() {
+                        return Err(PersistError::Corrupt(format!(
+                            "dictionary code {code} out of range {}",
+                            dict.len()
+                        )));
+                    }
+                    codes.push(code);
+                }
+            }
+            ColumnBuilder::Key { keys, .. } => {
+                let raw = c.bytes(n * 4, "key column")?;
+                keys.extend(raw.chunks_exact(4).map(|b| u32::from_le_bytes(b.try_into().unwrap())));
             }
         }
-    })
+        Ok(())
+    }
+
+    fn finish(self) -> Column {
+        match self {
+            ColumnBuilder::I32(v) => Column::I32(v),
+            ColumnBuilder::I64(v) => Column::I64(v),
+            ColumnBuilder::F64(v) => Column::F64(v),
+            ColumnBuilder::Str(c) => Column::Str(c),
+            ColumnBuilder::Dict { codes, dict } => {
+                Column::Dict(DictColumn::from_parts(codes, dict))
+            }
+            ColumnBuilder::Key { target, keys } => Column::Key { target, keys },
+        }
+    }
+}
+
+fn decode_zone_stats(c: &mut Cursor<'_>, arity: usize) -> Result<Vec<ZoneStats>, PersistError> {
+    let mut stats = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let tag = c.bytes(1, "zone stat tag")?[0];
+        stats.push(match tag {
+            STAT_UNTRACKED => ZoneStats::Untracked,
+            STAT_INT => {
+                let min = i64::from_le_bytes(c.bytes(8, "zone int min")?.try_into().unwrap());
+                let max = i64::from_le_bytes(c.bytes(8, "zone int max")?.try_into().unwrap());
+                ZoneStats::Int { min, max }
+            }
+            STAT_FLOAT => {
+                let min = f64::from_bits(c.u64("zone float min")?);
+                let max = f64::from_bits(c.u64("zone float max")?);
+                ZoneStats::Float { min, max }
+            }
+            STAT_KEY => {
+                let min = c.u32("zone key min")?;
+                let max = c.u32("zone key max")?;
+                let nulls = c.u64("zone key nulls")?;
+                ZoneStats::Key { min, max, nulls }
+            }
+            other => {
+                return Err(PersistError::Corrupt(format!("unknown zone stat tag {other}")));
+            }
+        });
+    }
+    Ok(stats)
+}
+
+fn decode_table_v2(c: &mut Cursor<'_>) -> Result<Table, PersistError> {
+    let header = decode_table_header(c, true)?;
+    let nsegs = c.u32("segment count")? as usize;
+    if nsegs != header.nslots.div_ceil(header.seg_rows) {
+        return Err(PersistError::Corrupt(format!(
+            "{nsegs} segments do not cover {} slots of table {:?}",
+            header.nslots, header.name
+        )));
+    }
+    let TableHeader { name, defs, seg_rows, nslots, live, free, dicts } = header;
+    let mut builders: Vec<ColumnBuilder> = defs
+        .iter()
+        .zip(dicts)
+        .map(|(d, dict)| ColumnBuilder::new(&d.dtype, dict, nslots))
+        .collect();
+    let mut zones = Vec::with_capacity(nsegs);
+    for seg in 0..nsegs {
+        let len = c.u32("segment length")? as usize;
+        let payload = c.bytes(len, "segment payload")?;
+        let stored = c.u32("segment crc")?;
+        let actual = crc32(payload);
+        if stored != actual {
+            return Err(PersistError::Corrupt(format!(
+                "segment {seg} of table {name:?} checksum mismatch \
+                 (stored {stored:#010x}, computed {actual:#010x})"
+            )));
+        }
+        let mut pc = Cursor::new(payload);
+        let live_count = pc.u64("segment live count")?;
+        let stats = decode_zone_stats(&mut pc, defs.len())?;
+        let start = seg * seg_rows;
+        let rows = (nslots - start).min(seg_rows);
+        for b in &mut builders {
+            b.extend(&mut pc, rows)?;
+        }
+        if pc.remaining() != 0 {
+            return Err(PersistError::Corrupt(format!(
+                "{} trailing bytes in segment {seg} of table {name:?}",
+                pc.remaining()
+            )));
+        }
+        zones.push(SegmentZone::from_parts(stats, live_count));
+    }
+    let columns: Vec<Column> = builders.into_iter().map(ColumnBuilder::finish).collect();
+    Ok(Table::from_parts_with_zones(name, Schema::new(defs), columns, live, free, seg_rows, zones))
+}
+
+fn decode_table_v1(c: &mut Cursor<'_>) -> Result<Table, PersistError> {
+    let header = decode_table_header(c, false)?;
+    let mut columns = Vec::with_capacity(header.defs.len());
+    for def in &header.defs {
+        columns.push(decode_column_v1(c, &def.dtype, header.nslots)?);
+    }
+    Ok(Table::from_parts(header.name, Schema::new(header.defs), columns, header.live, header.free))
+}
+
+fn decode_column_v1(
+    c: &mut Cursor<'_>,
+    dtype: &DataType,
+    n: usize,
+) -> Result<Column, PersistError> {
+    let dict = if *dtype == DataType::Dict { Some(decode_dictionary(c)?) } else { None };
+    let mut b = ColumnBuilder::new(dtype, dict, n);
+    b.extend(c, n)?;
+    Ok(b.finish())
 }
 
 /// Saves `db` to `path` atomically (temp file in the same directory, fsync,
@@ -323,12 +691,21 @@ pub fn save_snapshot_with_lsn(
     path: impl AsRef<Path>,
     wal_lsn: u64,
 ) -> Result<usize, PersistError> {
-    let path = path.as_ref();
     let bytes = encode_snapshot(db, wal_lsn);
+    write_snapshot_bytes(path, &bytes)?;
+    Ok(bytes.len())
+}
+
+/// Atomically replaces the snapshot at `path` with `bytes`.
+pub(crate) fn write_snapshot_bytes(
+    path: impl AsRef<Path>,
+    bytes: &[u8],
+) -> Result<(), PersistError> {
+    let path = path.as_ref();
     let tmp = path.with_extension("tmp");
     {
         let mut f = std::fs::File::create(&tmp)?;
-        std::io::Write::write_all(&mut f, &bytes)?;
+        std::io::Write::write_all(&mut f, bytes)?;
         f.sync_all()?;
     }
     std::fs::rename(&tmp, path)?;
@@ -342,7 +719,7 @@ pub fn save_snapshot_with_lsn(
             Err(e) => return Err(e.into()),
         }
     }
-    Ok(bytes.len())
+    Ok(())
 }
 
 /// Saves a standalone snapshot (no WAL association).
@@ -366,8 +743,8 @@ mod tests {
     use super::*;
     use astore_storage::types::{Value, NULL_KEY};
 
-    /// A database exercising every column kind, deletes, free slots and a
-    /// dynamic (non-sorted) dictionary.
+    /// A database exercising every column kind, deletes, free slots, a
+    /// dynamic (non-sorted) dictionary, and multiple segments.
     fn kitchen_sink() -> Database {
         let mut dim = Table::new(
             "dim",
@@ -389,6 +766,7 @@ mod tests {
                 ColumnDef::new("f_f64", DataType::F64),
             ]),
         );
+        fact.set_segment_rows(2); // several segments even at toy scale
         fact.append_row(&[Value::Key(0), Value::Int(-5), Value::Int(1 << 40), Value::Float(2.5)]);
         fact.append_row(&[Value::Key(NULL_KEY), Value::Int(7), Value::Int(-1), Value::Float(-0.0)]);
         fact.append_row(&[Value::Key(3), Value::Int(0), Value::Int(0), Value::Float(f64::MIN)]);
@@ -430,8 +808,68 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_preserves_zone_maps_and_segmentation() {
+        let db = kitchen_sink();
+        let (back, _) = decode_snapshot(&encode_snapshot(&db, 0)).unwrap();
+        let (orig, load) = (db.table("fact").unwrap(), back.table("fact").unwrap());
+        assert_eq!(orig.segment_rows(), load.segment_rows());
+        assert_eq!(orig.segment_count(), load.segment_count());
+        for seg in 0..orig.segment_count() {
+            assert_eq!(orig.zone(seg).stats(), load.zone(seg).stats(), "segment {seg}");
+            assert_eq!(orig.zone(seg).live(), load.zone(seg).live(), "segment {seg}");
+            assert!(!load.zone(seg).is_dirty(), "loaded segments are clean");
+        }
+    }
+
+    #[test]
     fn encoding_is_deterministic() {
         assert_eq!(encode_snapshot(&kitchen_sink(), 7), encode_snapshot(&kitchen_sink(), 7));
+    }
+
+    #[test]
+    fn v1_files_still_load_with_rebuilt_zone_maps() {
+        let db = kitchen_sink();
+        let bytes = encode_snapshot_v1(&db, 11);
+        let (back, lsn) = decode_snapshot(&bytes).unwrap();
+        assert_eq!(lsn, 11);
+        assert_same(&db, &back);
+        // Zone maps are rebuilt on load: default segment size, exact stats.
+        let fact = back.table("fact").unwrap();
+        assert_eq!(fact.segment_rows(), astore_storage::segment::SEGMENT_ROWS);
+        assert_eq!(fact.segment_count(), 1);
+        assert_eq!(
+            fact.zone(0).stat(1),
+            &ZoneStats::Int { min: -5, max: 0 },
+            "v1 load rebuilds exact bounds over live rows"
+        );
+    }
+
+    #[test]
+    fn incremental_encode_reuses_clean_segments_byte_identically() {
+        let db = kitchen_sink();
+        let bytes = encode_snapshot(&db, 5);
+        // A loaded database is all-clean relative to those bytes.
+        let (mut back, _) = decode_snapshot(&bytes).unwrap();
+        let index = index_snapshot_segments(&bytes).unwrap();
+        assert_eq!(index.len(), 1 + 2, "dim has 1 segment, fact has 2");
+
+        // No mutation: everything reuses, bytes identical to a full encode.
+        let (inc, reused) = encode_snapshot_with_prev(&back, 5, Some(&index));
+        assert_eq!(reused, 3);
+        assert_eq!(inc, encode_snapshot(&back, 5), "reused encode must be byte-identical");
+
+        // Mutate one fact segment: only it re-encodes; bytes still match.
+        back.table_mut("fact").unwrap().update(0, "f_i32", &Value::Int(99));
+        let (inc, reused) = encode_snapshot_with_prev(&back, 6, Some(&index));
+        assert_eq!(reused, 2, "dim + the untouched fact segment reuse");
+        assert_eq!(inc, encode_snapshot(&back, 6));
+        let (again, _) = decode_snapshot(&inc).unwrap();
+        assert_same(&back, &again);
+    }
+
+    #[test]
+    fn v1_files_are_not_indexable_for_reuse() {
+        assert!(index_snapshot_segments(&encode_snapshot_v1(&kitchen_sink(), 0)).is_none());
     }
 
     #[test]
@@ -458,12 +896,14 @@ mod tests {
 
     #[test]
     fn every_single_byte_corruption_is_detected() {
-        let bytes = encode_snapshot(&kitchen_sink(), 0);
-        // Flip one bit in every byte (covers header, payload and trailer).
-        for i in 0..bytes.len() {
-            let mut bad = bytes.clone();
-            bad[i] ^= 0x10;
-            assert!(decode_snapshot(&bad).is_err(), "flip at byte {i} must be detected");
+        for bytes in [encode_snapshot(&kitchen_sink(), 0), encode_snapshot_v1(&kitchen_sink(), 0)] {
+            // Flip one bit in every byte (covers header, zone stats, segment
+            // frames, payload and trailer).
+            for i in 0..bytes.len() {
+                let mut bad = bytes.clone();
+                bad[i] ^= 0x10;
+                assert!(decode_snapshot(&bad).is_err(), "flip at byte {i} must be detected");
+            }
         }
     }
 

@@ -104,17 +104,45 @@ pub fn open(dir: impl AsRef<Path>) -> Result<Recovered, PersistError> {
 /// (i.e. [`Wal::last_lsn`] at the moment `db` was fixed). Returns the
 /// snapshot size in bytes.
 ///
+/// The checkpoint is **incremental at segment granularity**: segments not
+/// mutated since `db` was loaded from (or last checkpointed to) this data
+/// directory are byte-copied from the existing snapshot file instead of
+/// re-encoded — the output is byte-identical either way because encoding is
+/// deterministic. Afterwards every segment is marked clean, making the new
+/// file the reuse baseline for the next checkpoint. Because the clean flags
+/// are relative to *this directory's* snapshot, `db` must be a database
+/// that was opened from (or bootstrapped into) `dir`.
+///
 /// The caller must hold the database still for the duration (the serving
 /// layer runs this inside its write latch).
 pub fn checkpoint(
     dir: impl AsRef<Path>,
-    db: &Database,
+    db: &mut Database,
     wal: &mut Wal,
 ) -> Result<usize, PersistError> {
+    let dir = dir.as_ref();
     let last = wal.last_lsn();
-    let bytes = save_snapshot_with_lsn(db, snapshot_path(dir), last)?;
+    // The index borrows the previous file's bytes — one read, no copies.
+    let prev_bytes = std::fs::read(snapshot_path(dir)).ok();
+    let prev = prev_bytes.as_deref().and_then(crate::snapshot::index_snapshot_segments);
+    let (bytes, _reused) = crate::snapshot::encode_snapshot_with_prev(db, last, prev.as_ref());
+    crate::snapshot::write_snapshot_bytes(snapshot_path(dir), &bytes)?;
     wal.reset(last)?;
-    Ok(bytes)
+    for name in db.table_names().to_vec() {
+        // Flipping the clean flags is metadata only — never worth a
+        // copy-on-write deep clone under the caller's write latch. Tables
+        // with nothing dirty are skipped outright; a table still shared
+        // with in-flight readers keeps its dirty flags and is simply
+        // re-encoded in full at the next checkpoint (CPU, not
+        // correctness).
+        let dirty = db.table(&name).is_some_and(|t| t.zones().iter().any(|z| z.is_dirty()));
+        if dirty {
+            if let Some(t) = db.table_mut_in_place(&name) {
+                t.mark_segments_clean();
+            }
+        }
+    }
+    Ok(bytes.len())
 }
 
 #[cfg(test)]
@@ -172,7 +200,7 @@ mod tests {
             apply_statement(&mut db, &stmt).unwrap();
             wal.append(sql).unwrap();
         }
-        checkpoint(&dir, &db, &mut wal).unwrap();
+        checkpoint(&dir, &mut db, &mut wal).unwrap();
         assert_eq!(wal.appended_since_reset(), 0);
         // More writes after the checkpoint.
         let sql = "INSERT INTO t VALUES (50)";

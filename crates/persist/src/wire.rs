@@ -39,6 +39,11 @@ impl<'a> Cursor<'a> {
         self.buf.len() - self.pos
     }
 
+    /// Current absolute read offset (for slicing out framed sub-regions).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
     fn corrupt(&self, what: &str) -> PersistError {
         PersistError::Corrupt(format!("truncated {what} at byte {}", self.pos))
     }

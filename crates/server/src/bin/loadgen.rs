@@ -34,12 +34,14 @@ use astore_storage::snapshot::SharedDatabase;
 /// substitutes them into the template client-side, prepared mode binds
 /// them over the wire — both modes run the same logical queries.
 struct MixEntry {
+    name: &'static str,
     template: &'static str,
     param_sets: &'static [&'static [&'static str]],
 }
 
 const MIX: &[MixEntry] = &[
     MixEntry {
+        name: "Q1.1",
         template: "SELECT sum(lo_extendedprice * lo_discount) AS revenue FROM lineorder, date \
                    WHERE lo_orderdate = d_datekey AND d_year = ? \
                      AND lo_discount BETWEEN ? AND ? AND lo_quantity < ?",
@@ -51,12 +53,14 @@ const MIX: &[MixEntry] = &[
         ],
     },
     MixEntry {
+        name: "Q1.2",
         template: "SELECT sum(lo_extendedprice * lo_discount) AS revenue FROM lineorder, date \
                    WHERE lo_orderdate = d_datekey AND d_yearmonthnum = ? \
                      AND lo_discount BETWEEN ? AND ? AND lo_quantity BETWEEN ? AND ?",
         param_sets: &[&["199401", "4", "6", "26", "35"], &["199402", "5", "7", "20", "30"]],
     },
     MixEntry {
+        name: "Q2.1",
         template: "SELECT d_year, p_brand1, sum(lo_revenue) AS revenue \
                    FROM lineorder, date, part, supplier \
                    WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey \
@@ -65,6 +69,7 @@ const MIX: &[MixEntry] = &[
         param_sets: &[&["'MFGR#12'", "'AMERICA'"], &["'MFGR#13'", "'ASIA'"]],
     },
     MixEntry {
+        name: "Q3.1",
         template: "SELECT c_nation, s_nation, d_year, sum(lo_revenue) AS revenue \
                    FROM customer, lineorder, supplier, date \
                    WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey \
@@ -77,6 +82,7 @@ const MIX: &[MixEntry] = &[
         ],
     },
     MixEntry {
+        name: "Q4.1",
         template: "SELECT d_year, c_nation, sum(lo_revenue - lo_supplycost) AS profit \
                    FROM date, customer, supplier, part, lineorder \
                    WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey \
@@ -87,6 +93,7 @@ const MIX: &[MixEntry] = &[
         param_sets: &[&["'AMERICA'", "'AMERICA'", "'MFGR#1'", "'MFGR#2'"]],
     },
     MixEntry {
+        name: "full-scan",
         template: "SELECT d_year, sum(lo_revenue) AS rev FROM lineorder, date \
                    WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year",
         param_sets: &[&[]],
@@ -125,11 +132,20 @@ fn literal_to_json(lit: &str) -> Json {
 struct Args {
     addr: Option<String>,
     sf: f64,
+    seed: u64,
     connections: usize,
     queries: usize,
     write_every: usize,
     workers: usize,
     prepared: bool,
+}
+
+/// Per-mix-query zone-pruning totals accumulated over one pass.
+#[derive(Debug, Default)]
+struct PruneAgg {
+    executions: AtomicU64,
+    segments_scanned: AtomicU64,
+    segments_pruned: AtomicU64,
 }
 
 /// Aggregate metrics of one load pass.
@@ -142,10 +158,30 @@ struct PassMetrics {
     errors: u64,
     /// Plan-cache hit rate over exactly this pass (server counter deltas).
     cache_hit_rate: f64,
+    /// Zone-pruning totals per mix query, in `MIX` order.
+    pruning: Vec<PruneAgg>,
 }
 
 impl PassMetrics {
     fn to_json(&self) -> Json {
+        let pruning: Vec<Json> = MIX
+            .iter()
+            .zip(&self.pruning)
+            .map(|(entry, agg)| {
+                Json::obj([
+                    ("query", Json::Str(entry.name.into())),
+                    ("executions", Json::Int(agg.executions.load(Ordering::Relaxed) as i64)),
+                    (
+                        "segments_scanned",
+                        Json::Int(agg.segments_scanned.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "segments_pruned",
+                        Json::Int(agg.segments_pruned.load(Ordering::Relaxed) as i64),
+                    ),
+                ])
+            })
+            .collect();
         Json::obj([
             ("mode", Json::Str(self.label.into())),
             ("queries_ok", Json::Int(self.ok as i64)),
@@ -158,6 +194,7 @@ impl PassMetrics {
             ("latency_p50_us", Json::Int(self.hist.quantile_us(0.50) as i64)),
             ("latency_p99_us", Json::Int(self.hist.quantile_us(0.99) as i64)),
             ("latency_max_us", Json::Int(self.hist.max_us() as i64)),
+            ("pruning", Json::Array(pruning)),
         ])
     }
 }
@@ -175,6 +212,7 @@ fn run_pass(addr: &str, a: &Args, prepared: bool) -> PassMetrics {
     let hist = Arc::new(LatencyHistogram::new());
     let errors = Arc::new(AtomicU64::new(0));
     let busy = Arc::new(AtomicU64::new(0));
+    let pruning: Arc<Vec<PruneAgg>> = Arc::new(MIX.iter().map(|_| PruneAgg::default()).collect());
     let (hits0, misses0) = cache_counters(addr);
     let t_run = Instant::now();
     std::thread::scope(|s| {
@@ -182,6 +220,7 @@ fn run_pass(addr: &str, a: &Args, prepared: bool) -> PassMetrics {
             let hist = Arc::clone(&hist);
             let errors = Arc::clone(&errors);
             let busy = Arc::clone(&busy);
+            let pruning = Arc::clone(&pruning);
             s.spawn(move || {
                 let mut client = match Client::connect(addr) {
                     Ok(c) => c,
@@ -244,6 +283,17 @@ fn run_pass(addr: &str, a: &Args, prepared: bool) -> PassMetrics {
                     match resp {
                         Ok(resp) if resp.get("ok").and_then(Json::as_bool) == Some(true) => {
                             hist.record(t.elapsed().as_micros() as u64);
+                            if !is_write {
+                                let get = |k: &str| {
+                                    resp.get(k).and_then(Json::as_i64).unwrap_or(0) as u64
+                                };
+                                let agg = &pruning[mix_idx];
+                                agg.executions.fetch_add(1, Ordering::Relaxed);
+                                agg.segments_scanned
+                                    .fetch_add(get("segments_scanned"), Ordering::Relaxed);
+                                agg.segments_pruned
+                                    .fetch_add(get("segments_pruned"), Ordering::Relaxed);
+                            }
                         }
                         Ok(resp) => {
                             if resp.get("code").and_then(Json::as_str) == Some("server_busy") {
@@ -268,6 +318,7 @@ fn run_pass(addr: &str, a: &Args, prepared: bool) -> PassMetrics {
     let (dh, dm) = (hits1.saturating_sub(hits0), misses1.saturating_sub(misses0));
     let cache_hit_rate = if dh + dm == 0 { 0.0 } else { dh as f64 / (dh + dm) as f64 };
     let hist = Arc::try_unwrap(hist).expect("threads joined");
+    let pruning = Arc::try_unwrap(pruning).expect("threads joined");
     PassMetrics {
         label: if prepared { "prepared" } else { "text" },
         elapsed_s,
@@ -276,6 +327,7 @@ fn run_pass(addr: &str, a: &Args, prepared: bool) -> PassMetrics {
         busy: busy.load(Ordering::Relaxed),
         errors: errors.load(Ordering::Relaxed),
         cache_hit_rate,
+        pruning,
     }
 }
 
@@ -283,6 +335,7 @@ fn main() {
     let mut a = Args {
         addr: None,
         sf: 0.01,
+        seed: 42,
         connections: 8,
         queries: 150,
         write_every: 0,
@@ -301,6 +354,7 @@ fn main() {
             "--addr" => a.addr = Some(value("--addr")),
             "--self-host" => a.addr = None,
             "--sf" => a.sf = parse_or_die(&value("--sf"), "--sf"),
+            "--seed" => a.seed = parse_or_die(&value("--seed"), "--seed"),
             "--connections" => {
                 a.connections = parse_or_die(&value("--connections"), "--connections")
             }
@@ -325,8 +379,8 @@ fn main() {
     let handle = match &a.addr {
         Some(_) => None,
         None => {
-            eprintln!("self-hosting: loading SSB sf={} …", a.sf);
-            let db = astore_datagen::ssb::generate(a.sf, 42);
+            eprintln!("self-hosting: loading SSB sf={} seed={} …", a.sf, a.seed);
+            let db = astore_datagen::ssb::generate(a.sf, a.seed);
             let engine = Arc::new(Engine::new(SharedDatabase::new(db)));
             let config = ServerConfig {
                 addr: "127.0.0.1:0".into(),
@@ -365,6 +419,7 @@ fn main() {
                 format!("ssb sf={}", a.sf)
             }),
         ),
+        ("seed", Json::Int(a.seed as i64)),
         ("connections", Json::Int(a.connections as i64)),
         ("queries_per_connection", Json::Int(a.queries as i64)),
         ("queries_ok", Json::Int(text.ok as i64)),
@@ -426,6 +481,8 @@ flags:
   --addr <host:port>   target server (default: self-host in-process)
   --self-host          spawn an in-process server (the default)
   --sf <f>             SSB scale factor for self-host   (default 0.01)
+  --seed <n>           dataset generation seed, recorded in the summary
+                       so runs are reproducible          (default 42)
   --connections <n>    concurrent client connections    (default 8)
   --queries <n>        statements per connection        (default 150)
   --write-every <n>    make every n-th statement a write (default 0 = reads only)

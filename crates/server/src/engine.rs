@@ -534,11 +534,15 @@ impl Engine {
         drop(extra);
         if out.plan.executor.is_parallel() {
             self.stats.parallel_queries.fetch_add(1, Relaxed);
-        } else if want > 1 {
+        } else if want > 1 && out.plan.segments_scanned > 0 {
             // The planner wanted to fan out but the query ran serial
-            // (budget exhausted or final row-count clamp).
+            // (budget exhausted or final row-count clamp). A fully-pruned
+            // scan is excluded: zone maps proving there is nothing to scan
+            // is not a denial.
             self.stats.parallel_denied.fetch_add(1, Relaxed);
         }
+        self.stats.segments_scanned.fetch_add(out.plan.segments_scanned as u64, Relaxed);
+        self.stats.segments_pruned.fetch_add(out.plan.segments_pruned as u64, Relaxed);
         self.stats.queries.fetch_add(1, Relaxed);
         Ok(Json::obj([
             ("ok", Json::Bool(true)),
@@ -555,6 +559,8 @@ impl Engine {
             ),
             ("row_count", Json::Int(out.result.rows.len() as i64)),
             ("cached_plan", Json::Bool(cached)),
+            ("segments_scanned", Json::Int(out.plan.segments_scanned as i64)),
+            ("segments_pruned", Json::Int(out.plan.segments_pruned as i64)),
         ]))
     }
 

@@ -23,6 +23,10 @@ pub struct ServerStats {
     /// Read queries the planner wanted to fan out but that ran serial
     /// (core budget exhausted, or the final row-count clamp said no).
     pub parallel_denied: AtomicU64,
+    /// Fact-table segments read queries actually scanned.
+    pub segments_scanned: AtomicU64,
+    /// Fact-table segments skipped whole by zone-map pruning.
+    pub segments_pruned: AtomicU64,
     /// Statements prepared via `{"prepare":…}` frames.
     pub prepares: AtomicU64,
     /// Statements executed via `{"execute":…}` frames (bind-per-request,
@@ -50,6 +54,8 @@ impl Default for ServerStats {
             checkpoints: AtomicU64::new(0),
             parallel_queries: AtomicU64::new(0),
             parallel_denied: AtomicU64::new(0),
+            segments_scanned: AtomicU64::new(0),
+            segments_pruned: AtomicU64::new(0),
             prepares: AtomicU64::new(0),
             prepared_execs: AtomicU64::new(0),
             errors: AtomicU64::new(0),
@@ -78,6 +84,8 @@ impl ServerStats {
             ("checkpoints", Json::Int(self.checkpoints.load(Ordering::Relaxed) as i64)),
             ("parallel_queries", Json::Int(self.parallel_queries.load(Ordering::Relaxed) as i64)),
             ("parallel_denied", Json::Int(self.parallel_denied.load(Ordering::Relaxed) as i64)),
+            ("segments_scanned", Json::Int(self.segments_scanned.load(Ordering::Relaxed) as i64)),
+            ("segments_pruned", Json::Int(self.segments_pruned.load(Ordering::Relaxed) as i64)),
             ("prepares", Json::Int(self.prepares.load(Ordering::Relaxed) as i64)),
             ("prepared_execs", Json::Int(self.prepared_execs.load(Ordering::Relaxed) as i64)),
             ("errors", Json::Int(self.errors.load(Ordering::Relaxed) as i64)),
@@ -120,6 +128,8 @@ mod tests {
             "checkpoints",
             "parallel_queries",
             "parallel_denied",
+            "segments_scanned",
+            "segments_pruned",
             "prepares",
             "prepared_execs",
             "errors",

@@ -136,6 +136,27 @@ impl Bitmap {
         self.clear_tail();
     }
 
+    /// Returns `true` if any bit in the inclusive index range `lo..=hi` is
+    /// set. Indexes beyond the bitmap read as unset, so an arbitrary key
+    /// range can be probed directly. Word-parallel: the zone-map chain
+    /// pruning test runs this once per (segment, chain), not per row.
+    pub fn any_in_range(&self, lo: usize, hi: usize) -> bool {
+        if lo > hi || lo >= self.len {
+            return false;
+        }
+        let hi = hi.min(self.len - 1);
+        let (wl, wh) = (lo / WORD_BITS, hi / WORD_BITS);
+        let lo_mask = u64::MAX << (lo % WORD_BITS);
+        let hi_mask = u64::MAX >> (WORD_BITS - 1 - hi % WORD_BITS);
+        if wl == wh {
+            return self.words[wl] & lo_mask & hi_mask != 0;
+        }
+        if self.words[wl] & lo_mask != 0 || self.words[wh] & hi_mask != 0 {
+            return true;
+        }
+        self.words[wl + 1..wh].iter().any(|&w| w != 0)
+    }
+
     /// Iterates over the indexes of set bits, in ascending order.
     pub fn iter_ones(&self) -> IterOnes<'_> {
         IterOnes { bm: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
@@ -327,6 +348,31 @@ mod tests {
     #[should_panic(expected = "word count mismatch")]
     fn from_words_rejects_wrong_length() {
         Bitmap::from_words(vec![0, 0], 64);
+    }
+
+    #[test]
+    fn any_in_range_probes_word_boundaries() {
+        let mut bm = Bitmap::new(200, false);
+        for i in [0, 63, 64, 130, 199] {
+            bm.set(i, true);
+        }
+        assert!(bm.any_in_range(0, 0));
+        assert!(bm.any_in_range(63, 64), "straddles the word boundary");
+        assert!(bm.any_in_range(65, 199));
+        assert!(!bm.any_in_range(65, 129), "gap between set bits");
+        assert!(!bm.any_in_range(131, 198));
+        assert!(bm.any_in_range(199, 10_000), "out-of-range tail is clamped");
+        assert!(!bm.any_in_range(200, 10_000), "fully out of range");
+        assert!(!bm.any_in_range(5, 3), "inverted range");
+        assert!(!Bitmap::new(0, false).any_in_range(0, 100));
+        // Exhaustive cross-check against the naive loop on a dense pattern.
+        let bm = Bitmap::from_fn(150, |i| i % 37 == 5);
+        for lo in 0..150 {
+            for hi in lo..160 {
+                let naive = (lo..=hi.min(149)).any(|i| bm.get(i));
+                assert_eq!(bm.any_in_range(lo, hi), naive, "lo={lo} hi={hi}");
+            }
+        }
     }
 
     #[test]

@@ -62,6 +62,14 @@ impl Database {
         self.tables.get_mut(name).map(Arc::make_mut)
     }
 
+    /// Mutable access **only if** no snapshot shares the table — never
+    /// triggers a copy-on-write clone. For metadata-only touches (e.g.
+    /// marking segments clean after a checkpoint) that are not worth a
+    /// deep copy while readers are in flight.
+    pub fn table_mut_in_place(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(name).and_then(Arc::get_mut)
+    }
+
     /// Table names in insertion order.
     pub fn table_names(&self) -> &[String] {
         &self.order
@@ -158,6 +166,9 @@ impl Database {
                     }
                 }
             }
+            // The raw key rewrite invalidated the column's zone statistics;
+            // restore exact bounds so data skipping keeps working.
+            src.rebuild_zone_maps();
         }
     }
 

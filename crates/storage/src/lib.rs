@@ -20,7 +20,11 @@
 //! - [`selvec::SelVec`] — selection vectors for the vectorized column scan
 //!   (§4.1);
 //! - [`table::Table`] — the array family plus lazy deletion, slot reuse,
-//!   in-place update and compaction (§4.4);
+//!   in-place update and compaction (§4.4), partitioned into fixed-size
+//!   segments;
+//! - [`segment::SegmentZone`] — per-segment zone maps (min/max statistics,
+//!   NULL/live counts) maintained incrementally, the basis of segment
+//!   skipping in the scan layer;
 //! - [`catalog::Database`] — named tables, AIR edge discovery, referential
 //!   validation, and consolidation;
 //! - [`snapshot::SharedDatabase`] — copy-on-write snapshots isolating OLAP
@@ -70,6 +74,7 @@ pub mod bitmap;
 pub mod catalog;
 pub mod column;
 pub mod dictionary;
+pub mod segment;
 pub mod selvec;
 pub mod snapshot;
 pub mod strings;
@@ -82,6 +87,7 @@ pub mod prelude {
     pub use crate::catalog::{checked_key, AirEdge, Database};
     pub use crate::column::Column;
     pub use crate::dictionary::{DictColumn, Dictionary};
+    pub use crate::segment::{SegmentZone, ZoneStats, SEGMENT_ROWS};
     pub use crate::selvec::SelVec;
     pub use crate::snapshot::SharedDatabase;
     pub use crate::strings::{StrColumn, StrHeap, StrRef};

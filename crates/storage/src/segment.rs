@@ -1,0 +1,302 @@
+//! Fixed-size row segments and their zone maps.
+//!
+//! A [`crate::table::Table`] is physically one array family, but logically a
+//! sequence of fixed-size **segments** of [`SEGMENT_ROWS`] rows (the last
+//! one may be partial). Each segment carries a [`SegmentZone`]: per-column
+//! min/max statistics for numeric and AIR key columns, the NULL-reference
+//! count of key columns, and the segment's live-tuple count. Scans consult
+//! zone maps to *skip* whole segments whose value ranges cannot satisfy a
+//! predicate — the classic zone-map / small-materialized-aggregate form of
+//! data skipping, layered under the paper's three-phase AIRScan so that
+//! selective queries never touch most of the fact table.
+//!
+//! Maintenance is incremental and always *sound*: appends, slot-reusing
+//! inserts and in-place updates only ever **widen** a segment's bounds, and
+//! deletes only decrement its live count, so a zone map may overstate but
+//! never understate what a segment can contain. Repeated in-place mutation
+//! makes bounds drift loose; the table rebuilds a segment's statistics
+//! exactly (lazily, after enough imprecise operations accumulate — see
+//! [`crate::table::Table::update`]).
+
+use crate::column::Column;
+use crate::table::Schema;
+use crate::types::{DataType, Key, NULL_KEY};
+
+/// Default rows per segment: 64K, deliberately equal to the executor's
+/// default morsel size so one dispatched morsel is one prunable segment.
+pub const SEGMENT_ROWS: usize = 1 << 16;
+
+/// In-place widening operations a segment tolerates before its zone map is
+/// rebuilt exactly (see [`crate::table::Table::update`]).
+pub(crate) const REBUILD_AFTER_OPS: u32 = 4096;
+
+/// Per-column statistics of one segment. Bounds cover every value the
+/// segment *may* contain (they are exact right after a rebuild and only
+/// widen under incremental maintenance). An integer/key range with
+/// `min > max` means "no tracked value", which every range test treats as
+/// matching nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ZoneStats {
+    /// The column kind is not tracked (strings, dictionaries), or tracking
+    /// was invalidated by an untracked mutation path
+    /// ([`crate::table::Table::column_mut`]). Matches everything.
+    Untracked,
+    /// Bounds of an `i32`/`i64` column.
+    Int {
+        /// Smallest value the segment may contain.
+        min: i64,
+        /// Largest value the segment may contain.
+        max: i64,
+    },
+    /// Bounds of an `f64` column. NaN values are excluded (no ordered
+    /// predicate can select a NaN, so excluding them keeps pruning sound).
+    Float {
+        /// Smallest value the segment may contain.
+        min: f64,
+        /// Largest value the segment may contain.
+        max: f64,
+    },
+    /// Bounds of an AIR key column, plus its NULL-reference count.
+    Key {
+        /// Smallest non-NULL key the segment may contain.
+        min: Key,
+        /// Largest non-NULL key the segment may contain.
+        max: Key,
+        /// `NULL_KEY` entries observed (an all-NULL segment has
+        /// `min > max` and can be skipped by any chain probe).
+        nulls: u64,
+    },
+}
+
+impl ZoneStats {
+    /// The empty statistic for a column of the given type.
+    pub fn new_for(dtype: &DataType) -> ZoneStats {
+        match dtype {
+            DataType::I32 | DataType::I64 => ZoneStats::Int { min: i64::MAX, max: i64::MIN },
+            DataType::F64 => ZoneStats::Float { min: f64::INFINITY, max: f64::NEG_INFINITY },
+            DataType::Key { .. } => ZoneStats::Key { min: Key::MAX, max: Key::MIN, nulls: 0 },
+            DataType::Str | DataType::Dict => ZoneStats::Untracked,
+        }
+    }
+
+    /// Returns `true` if no tracked value has been included (an untracked
+    /// statistic is never "empty" — it matches everything).
+    pub fn is_empty_range(&self) -> bool {
+        match self {
+            ZoneStats::Untracked => false,
+            ZoneStats::Int { min, max } => min > max,
+            ZoneStats::Float { min, max } => min > max,
+            ZoneStats::Key { min, max, .. } => min > max,
+        }
+    }
+
+    /// Widens the statistic to cover `col[row]`.
+    #[inline]
+    pub(crate) fn include(&mut self, col: &Column, row: usize) {
+        match (self, col) {
+            (ZoneStats::Untracked, _) => {}
+            (ZoneStats::Int { min, max }, Column::I32(v)) => {
+                let x = i64::from(v[row]);
+                *min = (*min).min(x);
+                *max = (*max).max(x);
+            }
+            (ZoneStats::Int { min, max }, Column::I64(v)) => {
+                let x = v[row];
+                *min = (*min).min(x);
+                *max = (*max).max(x);
+            }
+            (ZoneStats::Float { min, max }, Column::F64(v)) => {
+                // f64::min/max ignore NaN operands: NaN rows stay outside
+                // the bounds, which is sound (no ordered predicate matches
+                // NaN).
+                let x = v[row];
+                *min = min.min(x);
+                *max = max.max(x);
+            }
+            (ZoneStats::Key { min, max, nulls }, Column::Key { keys, .. }) => {
+                let k = keys[row];
+                if k == NULL_KEY {
+                    *nulls += 1;
+                } else {
+                    *min = (*min).min(k);
+                    *max = (*max).max(k);
+                }
+            }
+            (stat, _) => {
+                // Type drift (should not happen — schemas are fixed): stop
+                // tracking rather than prune wrongly.
+                *stat = ZoneStats::Untracked;
+            }
+        }
+    }
+}
+
+/// The zone map of one segment: per-column statistics plus the live count
+/// and the bookkeeping the persistence layer and lazy rebuilds need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentZone {
+    stats: Vec<ZoneStats>,
+    live: u64,
+    /// Mutated since this table was loaded from / checkpointed to a
+    /// snapshot — an incremental checkpoint re-encodes only dirty segments.
+    dirty: bool,
+    /// Widening (imprecise) operations since the last exact rebuild.
+    imprecise: u32,
+}
+
+impl SegmentZone {
+    /// A fresh, empty zone for a table of the given schema. New zones are
+    /// born dirty: they have no on-disk representation yet.
+    pub fn new(schema: &Schema) -> SegmentZone {
+        SegmentZone {
+            stats: schema.defs().iter().map(|d| ZoneStats::new_for(&d.dtype)).collect(),
+            live: 0,
+            dirty: true,
+            imprecise: 0,
+        }
+    }
+
+    /// Rebuilds a zone exactly from the segment's live rows.
+    pub(crate) fn rebuild(
+        schema: &Schema,
+        columns: &[Column],
+        live: &crate::bitmap::Bitmap,
+        range: std::ops::Range<usize>,
+    ) -> SegmentZone {
+        let mut zone = SegmentZone::new(schema);
+        for row in range {
+            if !live.get_or_false(row) {
+                continue;
+            }
+            zone.live += 1;
+            for (stat, col) in zone.stats.iter_mut().zip(columns) {
+                stat.include(col, row);
+            }
+        }
+        zone
+    }
+
+    /// Reconstructs a zone from persisted parts (the snapshot-v2 load path).
+    /// Loaded zones are clean: their on-disk representation is the file they
+    /// came from.
+    pub fn from_parts(stats: Vec<ZoneStats>, live: u64) -> SegmentZone {
+        SegmentZone { stats, live, dirty: false, imprecise: 0 }
+    }
+
+    /// Per-column statistics, in schema order.
+    pub fn stats(&self) -> &[ZoneStats] {
+        &self.stats
+    }
+
+    /// The statistic of one column.
+    #[inline]
+    pub fn stat(&self, col: usize) -> &ZoneStats {
+        &self.stats[col]
+    }
+
+    /// Live tuples in this segment.
+    #[inline]
+    pub fn live(&self) -> u64 {
+        self.live
+    }
+
+    /// Has the segment been mutated since it was last persisted?
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    pub(crate) fn mark_clean(&mut self) {
+        self.dirty = false;
+    }
+
+    pub(crate) fn note_append(&mut self, columns: &[Column], row: usize) {
+        self.live += 1;
+        self.dirty = true;
+        for (stat, col) in self.stats.iter_mut().zip(columns) {
+            stat.include(col, row);
+        }
+    }
+
+    /// A slot-reusing insert: the new values widen the bounds, but the dead
+    /// slot's old values stay inside them — imprecise.
+    pub(crate) fn note_reuse(&mut self, columns: &[Column], row: usize) -> u32 {
+        self.note_append(columns, row);
+        self.imprecise += 1;
+        self.imprecise
+    }
+
+    /// An in-place single-column overwrite.
+    pub(crate) fn note_update(&mut self, col_idx: usize, columns: &[Column], row: usize) -> u32 {
+        self.dirty = true;
+        self.imprecise += 1;
+        self.stats[col_idx].include(&columns[col_idx], row);
+        self.imprecise
+    }
+
+    pub(crate) fn note_delete(&mut self) {
+        self.live = self.live.saturating_sub(1);
+        self.dirty = true;
+        self.imprecise += 1;
+    }
+
+    /// Stops tracking one column (a caller obtained raw mutable access to
+    /// it, so its bounds can no longer be trusted).
+    pub(crate) fn untrack_column(&mut self, col_idx: usize) {
+        self.stats[col_idx] = ZoneStats::Untracked;
+        self.dirty = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitmap::Bitmap;
+    use crate::table::ColumnDef;
+
+    #[test]
+    fn empty_stats_per_type() {
+        assert!(ZoneStats::new_for(&DataType::I32).is_empty_range());
+        assert!(ZoneStats::new_for(&DataType::F64).is_empty_range());
+        assert!(ZoneStats::new_for(&DataType::Key { target: "t".into() }).is_empty_range());
+        assert!(!ZoneStats::new_for(&DataType::Str).is_empty_range(), "untracked is never empty");
+    }
+
+    #[test]
+    fn include_widens_int_and_float() {
+        let col = Column::I32(vec![5, -3, 9]);
+        let mut s = ZoneStats::new_for(&DataType::I32);
+        for r in 0..3 {
+            s.include(&col, r);
+        }
+        assert_eq!(s, ZoneStats::Int { min: -3, max: 9 });
+
+        let col = Column::F64(vec![1.5, f64::NAN, -2.0]);
+        let mut s = ZoneStats::new_for(&DataType::F64);
+        for r in 0..3 {
+            s.include(&col, r);
+        }
+        assert_eq!(s, ZoneStats::Float { min: -2.0, max: 1.5 }, "NaN stays outside the bounds");
+    }
+
+    #[test]
+    fn include_counts_key_nulls() {
+        let col = Column::Key { target: "d".into(), keys: vec![7, NULL_KEY, 3, NULL_KEY] };
+        let mut s = ZoneStats::new_for(&DataType::Key { target: "d".into() });
+        for r in 0..4 {
+            s.include(&col, r);
+        }
+        assert_eq!(s, ZoneStats::Key { min: 3, max: 7, nulls: 2 });
+    }
+
+    #[test]
+    fn rebuild_skips_dead_rows() {
+        let schema = Schema::new(vec![ColumnDef::new("v", DataType::I64)]);
+        let columns = vec![Column::I64(vec![10, 999, 20])];
+        let mut live = Bitmap::new(3, true);
+        live.set(1, false);
+        let zone = SegmentZone::rebuild(&schema, &columns, &live, 0..3);
+        assert_eq!(zone.live(), 2);
+        assert_eq!(zone.stat(0), &ZoneStats::Int { min: 10, max: 20 });
+        assert!(zone.is_dirty(), "rebuilt zones have no on-disk backing");
+    }
+}

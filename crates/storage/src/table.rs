@@ -13,6 +13,7 @@ use std::collections::HashMap;
 
 use crate::bitmap::Bitmap;
 use crate::column::Column;
+use crate::segment::{SegmentZone, REBUILD_AFTER_OPS, SEGMENT_ROWS};
 use crate::selvec::SelVec;
 use crate::types::{DataType, RowId, Value};
 
@@ -74,7 +75,8 @@ impl Schema {
     }
 }
 
-/// A relational table stored as an array family.
+/// A relational table stored as an array family, logically partitioned
+/// into fixed-size segments with zone maps (see [`crate::segment`]).
 #[derive(Debug, Clone)]
 pub struct Table {
     name: String,
@@ -86,13 +88,25 @@ pub struct Table {
     /// Dead slots available for reuse by inserts (paper §4.4: "The position
     /// of a deleted tuple will later be reused by a newly inserted tuple").
     free: Vec<RowId>,
+    /// Rows per segment (fixed per table; default [`SEGMENT_ROWS`]).
+    seg_rows: usize,
+    /// One zone map per segment; `zones.len() == num_slots().div_ceil(seg_rows)`.
+    zones: Vec<SegmentZone>,
 }
 
 impl Table {
     /// Creates an empty table with the given schema.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
         let columns = schema.defs().iter().map(|d| Column::new(&d.dtype)).collect();
-        Table { name: name.into(), schema, columns, live: Bitmap::new(0, false), free: Vec::new() }
+        Table {
+            name: name.into(),
+            schema,
+            columns,
+            live: Bitmap::new(0, false),
+            free: Vec::new(),
+            seg_rows: SEGMENT_ROWS,
+            zones: Vec::new(),
+        }
     }
 
     /// Bulk-constructs a table from pre-built columns (the data generators'
@@ -108,7 +122,17 @@ impl Table {
             assert_eq!(c.len(), n, "array family misaligned at column {:?}", d.name);
             assert_eq!(c.dtype(), d.dtype, "type mismatch at column {:?}", d.name);
         }
-        Table { name: name.into(), schema, columns, live: Bitmap::new(n, true), free: Vec::new() }
+        let mut t = Table {
+            name: name.into(),
+            schema,
+            columns,
+            live: Bitmap::new(n, true),
+            free: Vec::new(),
+            seg_rows: SEGMENT_ROWS,
+            zones: Vec::new(),
+        };
+        t.rebuild_zone_maps();
+        t
     }
 
     /// Rebuilds a table from all of its persistent parts — columns, live
@@ -119,6 +143,20 @@ impl Table {
     /// Panics if column lengths or the bitmap length disagree with the
     /// schema, or if a free slot is out of range or still marked live.
     pub fn from_parts(
+        name: impl Into<String>,
+        schema: Schema,
+        columns: Vec<Column>,
+        live: Bitmap,
+        free: Vec<RowId>,
+    ) -> Self {
+        let mut t = Table::from_parts_unzoned(name, schema, columns, live, free);
+        t.rebuild_zone_maps();
+        t
+    }
+
+    /// Shared validated construction for the `from_parts*` family; zone
+    /// maps are left empty for the caller to rebuild or install.
+    fn from_parts_unzoned(
         name: impl Into<String>,
         schema: Schema,
         columns: Vec<Column>,
@@ -136,13 +174,123 @@ impl Table {
             assert!((slot as usize) < n, "free slot {slot} out of range");
             assert!(!live.get(slot as usize), "free slot {slot} is still live");
         }
-        Table { name: name.into(), schema, columns, live, free }
+        Table {
+            name: name.into(),
+            schema,
+            columns,
+            live,
+            free,
+            seg_rows: SEGMENT_ROWS,
+            zones: Vec::new(),
+        }
+    }
+
+    /// Rebuilds a table from persisted parts *including* its persisted zone
+    /// maps (the snapshot-v2 load path): the zone maps are trusted verbatim
+    /// instead of recomputed, so a warm boot prunes immediately and a
+    /// re-save reproduces the same bytes. Loaded segments are clean.
+    ///
+    /// # Panics
+    /// Panics on the same invariant violations as [`Table::from_parts`], or
+    /// if `seg_rows` is zero or `zones` does not cover the slots.
+    pub fn from_parts_with_zones(
+        name: impl Into<String>,
+        schema: Schema,
+        columns: Vec<Column>,
+        live: Bitmap,
+        free: Vec<RowId>,
+        seg_rows: usize,
+        zones: Vec<SegmentZone>,
+    ) -> Self {
+        assert!(seg_rows > 0, "segment size must be positive");
+        // No rebuild scan here: the persisted zone maps are installed
+        // verbatim (the point of persisting them — warm boots skip the
+        // O(rows x columns) statistics pass entirely).
+        let mut t = Table::from_parts_unzoned(name, schema, columns, live, free);
+        assert_eq!(
+            zones.len(),
+            t.num_slots().div_ceil(seg_rows),
+            "zone map count does not cover the slots"
+        );
+        for z in &zones {
+            assert_eq!(z.stats().len(), t.schema.arity(), "zone arity mismatch");
+        }
+        t.seg_rows = seg_rows;
+        t.zones = zones;
+        t
     }
 
     /// The free-slot list, in reuse order (serialization hook: the next
     /// insert pops from the back).
     pub fn free_slots(&self) -> &[RowId] {
         &self.free
+    }
+
+    /// Rows per segment.
+    pub fn segment_rows(&self) -> usize {
+        self.seg_rows
+    }
+
+    /// Number of segments (0 for an empty table).
+    pub fn segment_count(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// The slot range of segment `seg`.
+    pub fn segment_range(&self, seg: usize) -> std::ops::Range<usize> {
+        let start = seg * self.seg_rows;
+        start..((start + self.seg_rows).min(self.num_slots()))
+    }
+
+    /// The zone map of segment `seg`.
+    #[inline]
+    pub fn zone(&self, seg: usize) -> &SegmentZone {
+        &self.zones[seg]
+    }
+
+    /// All zone maps, in segment order.
+    pub fn zones(&self) -> &[SegmentZone] {
+        &self.zones
+    }
+
+    /// Re-partitions the table into `seg_rows`-row segments and rebuilds
+    /// every zone map exactly. Mostly a test/tuning hook — production
+    /// tables keep the default [`SEGMENT_ROWS`].
+    ///
+    /// # Panics
+    /// Panics if `seg_rows` is zero.
+    pub fn set_segment_rows(&mut self, seg_rows: usize) {
+        assert!(seg_rows > 0, "segment size must be positive");
+        self.seg_rows = seg_rows;
+        self.rebuild_zone_maps();
+    }
+
+    /// Rebuilds every segment's zone map exactly from the live rows.
+    pub fn rebuild_zone_maps(&mut self) {
+        let nsegs = self.num_slots().div_ceil(self.seg_rows);
+        self.zones = (0..nsegs)
+            .map(|seg| {
+                let start = seg * self.seg_rows;
+                let range = start..((start + self.seg_rows).min(self.live.len()));
+                SegmentZone::rebuild(&self.schema, &self.columns, &self.live, range)
+            })
+            .collect();
+    }
+
+    /// Rebuilds one segment's zone map exactly.
+    fn rebuild_zone(&mut self, seg: usize) {
+        let zone =
+            SegmentZone::rebuild(&self.schema, &self.columns, &self.live, self.segment_range(seg));
+        self.zones[seg] = zone;
+    }
+
+    /// Marks every segment as persisted (called after a checkpoint wrote
+    /// the current state; an incremental checkpoint re-encodes only dirty
+    /// segments).
+    pub fn mark_segments_clean(&mut self) {
+        for z in &mut self.zones {
+            z.mark_clean();
+        }
     }
 
     /// The table name.
@@ -198,9 +346,16 @@ impl Table {
         self.schema.position(name).map(|i| &self.columns[i])
     }
 
-    /// Mutable column by name (update path).
+    /// Mutable column by name. Raw mutable access bypasses zone-map
+    /// maintenance, so the column's statistics are invalidated (set to
+    /// `Untracked`) in every segment; call [`Table::rebuild_zone_maps`]
+    /// afterwards to restore data skipping on it.
     pub fn column_mut(&mut self, name: &str) -> Option<&mut Column> {
-        self.schema.position(name).map(move |i| &mut self.columns[i])
+        let i = self.schema.position(name)?;
+        for z in &mut self.zones {
+            z.untrack_column(i);
+        }
+        Some(&mut self.columns[i])
     }
 
     /// Appends a tuple at the end of every array, growing the family.
@@ -213,9 +368,14 @@ impl Table {
         for (col, v) in self.columns.iter_mut().zip(values) {
             col.push(v);
         }
-        let row = self.live.len() as RowId;
+        let row = self.live.len();
         self.live.push(true);
-        row
+        let seg = row / self.seg_rows;
+        if seg == self.zones.len() {
+            self.zones.push(SegmentZone::new(&self.schema));
+        }
+        self.zones[seg].note_append(&self.columns, row);
+        row as RowId
     }
 
     /// Inserts a tuple, preferring a reusable dead slot over growing the
@@ -227,6 +387,10 @@ impl Table {
                 col.set(slot as usize, v);
             }
             self.live.set(slot as usize, true);
+            let seg = slot as usize / self.seg_rows;
+            if self.zones[seg].note_reuse(&self.columns, slot as usize) >= REBUILD_AFTER_OPS {
+                self.rebuild_zone(seg);
+            }
             slot
         } else {
             self.append_row(values)
@@ -244,18 +408,25 @@ impl Table {
         }
         self.live.set(row as usize, false);
         self.free.push(row);
+        self.zones[row as usize / self.seg_rows].note_delete();
         true
     }
 
     /// In-place update of one field (paper §4.4: "A-Store applies in-place
-    /// updating, so it can avoid modifying foreign keys").
+    /// updating, so it can avoid modifying foreign keys"). The segment's
+    /// zone map widens to cover the new value; after enough in-place
+    /// updates accumulate, the zone is rebuilt exactly (lazy tightening).
     ///
     /// # Panics
     /// Panics if the column does not exist or the slot is dead.
     pub fn update(&mut self, row: RowId, column: &str, value: &Value) {
         assert!(self.is_live(row), "cannot update dead slot {row}");
-        let col = self.column_mut(column).unwrap_or_else(|| panic!("no column {column:?}"));
-        col.set(row as usize, value);
+        let i = self.schema.position(column).unwrap_or_else(|| panic!("no column {column:?}"));
+        self.columns[i].set(row as usize, value);
+        let seg = row as usize / self.seg_rows;
+        if self.zones[seg].note_update(i, &self.columns, row as usize) >= REBUILD_AFTER_OPS {
+            self.rebuild_zone(seg);
+        }
     }
 
     /// Reads a full tuple generically (test/debug path).
@@ -307,6 +478,7 @@ impl Table {
         self.columns = new_cols;
         self.live = Bitmap::new(live_rows.len(), true);
         self.free.clear();
+        self.rebuild_zone_maps();
         remap
     }
 }
@@ -469,6 +641,84 @@ mod tests {
         assert!(!t.has_deletes());
         assert_eq!(t.row(1), vec![Value::Int(2), Value::Str("m2".into())]);
         assert_eq!(t.row(3), vec![Value::Int(5), Value::Str("m5".into())]);
+    }
+
+    #[test]
+    fn zone_maps_track_appends_per_segment() {
+        let mut t = Table::new(
+            "f",
+            Schema::new(vec![
+                ColumnDef::new("v", DataType::I64),
+                ColumnDef::new("k", DataType::Key { target: "d".into() }),
+            ]),
+        );
+        t.set_segment_rows(4);
+        for i in 0..10i64 {
+            let key = if i == 7 { Value::Key(NULL_KEY) } else { Value::Key(i as u32) };
+            t.append_row(&[Value::Int(i * 10), key]);
+        }
+        assert_eq!(t.segment_count(), 3);
+        assert_eq!(t.segment_range(1), 4..8);
+        assert_eq!(t.segment_range(2), 8..10);
+        assert_eq!(t.zone(0).stat(0), &crate::segment::ZoneStats::Int { min: 0, max: 30 });
+        assert_eq!(t.zone(1).stat(0), &crate::segment::ZoneStats::Int { min: 40, max: 70 });
+        assert_eq!(t.zone(1).stat(1), &crate::segment::ZoneStats::Key { min: 4, max: 6, nulls: 1 });
+        assert_eq!(t.zone(2).live(), 2);
+    }
+
+    #[test]
+    fn zone_maps_widen_on_update_and_shrink_live_on_delete() {
+        let mut t = Table::new("f", Schema::new(vec![ColumnDef::new("v", DataType::I64)]));
+        t.set_segment_rows(4);
+        for i in 0..4i64 {
+            t.append_row(&[Value::Int(i)]);
+        }
+        t.update(2, "v", &Value::Int(1000));
+        // Widened, not rebuilt: old bound 0..=3 grows to cover 1000.
+        assert_eq!(t.zone(0).stat(0), &crate::segment::ZoneStats::Int { min: 0, max: 1000 });
+        t.delete(1);
+        assert_eq!(t.zone(0).live(), 3);
+        // Exact rebuild tightens back to the live values.
+        t.rebuild_zone_maps();
+        assert_eq!(t.zone(0).stat(0), &crate::segment::ZoneStats::Int { min: 0, max: 1000 });
+        t.update(2, "v", &Value::Int(5));
+        t.rebuild_zone_maps();
+        assert_eq!(t.zone(0).stat(0), &crate::segment::ZoneStats::Int { min: 0, max: 5 });
+    }
+
+    #[test]
+    fn zone_maps_survive_slot_reuse_and_compact() {
+        let mut t = Table::new("f", Schema::new(vec![ColumnDef::new("v", DataType::I64)]));
+        t.set_segment_rows(4);
+        for i in 0..6i64 {
+            t.append_row(&[Value::Int(i)]);
+        }
+        t.delete(0);
+        let r = t.insert(&[Value::Int(-50)]);
+        assert_eq!(r, 0, "slot reused");
+        assert_eq!(t.zone(0).stat(0), &crate::segment::ZoneStats::Int { min: -50, max: 3 });
+        assert_eq!(t.zone(0).live(), 4);
+        t.delete(5);
+        t.compact();
+        assert_eq!(t.segment_count(), 2);
+        assert_eq!(t.zone(1).stat(0), &crate::segment::ZoneStats::Int { min: 4, max: 4 });
+    }
+
+    #[test]
+    fn column_mut_untracks_the_column() {
+        let mut t = Table::new(
+            "f",
+            Schema::new(vec![
+                ColumnDef::new("a", DataType::I64),
+                ColumnDef::new("b", DataType::I64),
+            ]),
+        );
+        t.append_row(&[Value::Int(1), Value::Int(2)]);
+        let _ = t.column_mut("a");
+        assert_eq!(t.zone(0).stat(0), &crate::segment::ZoneStats::Untracked);
+        assert_eq!(t.zone(0).stat(1), &crate::segment::ZoneStats::Int { min: 2, max: 2 });
+        t.rebuild_zone_maps();
+        assert_eq!(t.zone(0).stat(0), &crate::segment::ZoneStats::Int { min: 1, max: 1 });
     }
 
     #[test]
