@@ -1,0 +1,153 @@
+//! `obs_overhead` — measures what the observability instrumentation costs.
+//!
+//! Three interleaved passes over a representative SSB query mix:
+//!
+//! - **baseline**: tracing toggle off, no span buffer attached — the
+//!   production default after the instrumentation landed;
+//! - **disabled**: identical configuration, run again after arming and
+//!   disarming the toggle — an A/A pass whose delta from baseline bounds
+//!   the cost of the dormant instrumentation (plus run-to-run noise);
+//! - **enabled**: toggle on and a fresh [`TraceBuf`] attached per query —
+//!   the full `EXPLAIN ANALYZE` recording path.
+//!
+//! Per-query times are best-of-`rounds` to de-noise; the JSON summary on
+//! stdout carries the totals and ratios the CI observability job gates on
+//! (`disabled_over_baseline` within noise of 1.0, `enabled_over_baseline`
+//! a sanity bound).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use astore_core::prelude::*;
+use astore_datagen::{env_scale_factor, ssb};
+use astore_obs::TraceBuf;
+use astore_sql::sql_to_query;
+use astore_storage::catalog::Database;
+
+/// A representative slice of the SSB suite: one query per flight plus the
+/// unfiltered scan (same shapes the loadgen mix rotates).
+const QUERIES: &[(&str, &str)] = &[
+    (
+        "Q1.1",
+        "SELECT sum(lo_extendedprice * lo_discount) AS revenue FROM lineorder, date \
+         WHERE lo_orderdate = d_datekey AND d_year = 1993 \
+           AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25",
+    ),
+    (
+        "Q2.1",
+        "SELECT d_year, p_brand1, sum(lo_revenue) AS revenue \
+         FROM lineorder, date, part, supplier \
+         WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey \
+           AND lo_suppkey = s_suppkey AND p_category = 'MFGR#12' AND s_region = 'AMERICA' \
+         GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1",
+    ),
+    (
+        "Q3.1",
+        "SELECT c_nation, s_nation, d_year, sum(lo_revenue) AS revenue \
+         FROM customer, lineorder, supplier, date \
+         WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey \
+           AND lo_orderdate = d_datekey AND c_region = 'ASIA' AND s_region = 'ASIA' \
+           AND d_year BETWEEN 1992 AND 1997 \
+         GROUP BY c_nation, s_nation, d_year ORDER BY d_year ASC, revenue DESC",
+    ),
+    (
+        "Q4.1",
+        "SELECT d_year, c_nation, sum(lo_revenue - lo_supplycost) AS profit \
+         FROM date, customer, supplier, part, lineorder \
+         WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey \
+           AND lo_partkey = p_partkey AND lo_orderdate = d_datekey \
+           AND c_region = 'AMERICA' AND s_region = 'AMERICA' \
+           AND (p_mfgr = 'MFGR#1' OR p_mfgr = 'MFGR#2') \
+         GROUP BY d_year, c_nation ORDER BY d_year, c_nation",
+    ),
+    (
+        "full-scan",
+        "SELECT d_year, sum(lo_revenue) AS rev FROM lineorder, date \
+         WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year",
+    ),
+];
+
+/// Runs the whole mix once, returning per-query durations. With `traced`,
+/// each query gets a fresh span buffer (and its span count is sanity
+/// checked so the recording path cannot silently no-op).
+fn run_suite(db: &Database, plans: &[Query], opts: &ExecOptions, traced: bool) -> Vec<Duration> {
+    plans
+        .iter()
+        .map(|q| {
+            let (opts, trace) = if traced {
+                let t = Arc::new(TraceBuf::new());
+                (opts.clone().trace(Arc::clone(&t)), Some(t))
+            } else {
+                (opts.clone(), None)
+            };
+            let t0 = Instant::now();
+            let out = execute(db, q, &opts).expect("ssb query executes");
+            let elapsed = t0.elapsed();
+            assert!(!out.result.rows.is_empty(), "empty result");
+            if let Some(t) = trace {
+                assert!(t.len() >= 5, "traced run recorded only {} spans", t.len());
+            }
+            elapsed
+        })
+        .collect()
+}
+
+fn main() {
+    let sf = env_scale_factor(0.01);
+    let rounds: usize = std::env::var("OBS_ROUNDS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
+    eprintln!("obs_overhead: SSB sf={sf}, {rounds} rounds, {} queries", QUERIES.len());
+    let db = ssb::generate(sf, 42);
+    let plans: Vec<Query> =
+        QUERIES.iter().map(|(_, sql)| sql_to_query(sql, &db).expect("ssb query plans")).collect();
+    let opts = ExecOptions::default();
+
+    // Warm up caches and the allocator before timing anything.
+    run_suite(&db, &plans, &opts, false);
+
+    let mut best = [
+        vec![Duration::MAX; plans.len()],
+        vec![Duration::MAX; plans.len()],
+        vec![Duration::MAX; plans.len()],
+    ];
+    for _ in 0..rounds {
+        // Interleave the modes so drift (thermal, cache) hits all three.
+        astore_obs::set_enabled(false);
+        let baseline = run_suite(&db, &plans, &opts, false);
+        astore_obs::set_enabled(true);
+        astore_obs::set_enabled(false);
+        let disabled = run_suite(&db, &plans, &opts, false);
+        astore_obs::set_enabled(true);
+        let enabled = run_suite(&db, &plans, &opts, true);
+        astore_obs::set_enabled(false);
+        for (slot, pass) in best.iter_mut().zip([baseline, disabled, enabled]) {
+            for (b, d) in slot.iter_mut().zip(pass) {
+                *b = (*b).min(d);
+            }
+        }
+    }
+
+    let total_ms = |pass: &[Duration]| pass.iter().map(|d| d.as_secs_f64() * 1e3).sum::<f64>();
+    let (t_base, t_off, t_on) = (total_ms(&best[0]), total_ms(&best[1]), total_ms(&best[2]));
+
+    let mut queries = String::new();
+    for (i, (name, _)) in QUERIES.iter().enumerate() {
+        if i > 0 {
+            queries.push(',');
+        }
+        queries.push_str(&format!(
+            "{{\"query\":\"{name}\",\"baseline_ms\":{:.3},\"disabled_ms\":{:.3},\"enabled_ms\":{:.3}}}",
+            best[0][i].as_secs_f64() * 1e3,
+            best[1][i].as_secs_f64() * 1e3,
+            best[2][i].as_secs_f64() * 1e3,
+        ));
+    }
+    println!(
+        "{{\"bench\":\"obs_overhead\",\"sf\":{sf},\"rounds\":{rounds},\
+         \"total_baseline_ms\":{t_base:.3},\"total_disabled_ms\":{t_off:.3},\
+         \"total_enabled_ms\":{t_on:.3},\
+         \"disabled_over_baseline\":{:.4},\"enabled_over_baseline\":{:.4},\
+         \"queries\":[{queries}]}}",
+        t_off / t_base.max(1e-9),
+        t_on / t_base.max(1e-9),
+    );
+}

@@ -9,9 +9,10 @@ use astore_api::{Connection, EmbeddedConnection, Row};
 use astore_baseline::engine::execute_hash_pipeline;
 use astore_core::prelude::*;
 use astore_datagen::{ssb, tpch};
+use astore_obs::TraceBuf;
 use astore_server::json::Json;
 use astore_server::Client;
-use astore_sql::sql_to_query;
+use astore_sql::{sql_to_query, strip_explain_analyze};
 use astore_storage::prelude::*;
 use astore_storage::snapshot::SharedDatabase;
 
@@ -27,6 +28,9 @@ pub struct Session {
     pub timing: bool,
     /// Print plan diagnostics after each query.
     pub show_plan: bool,
+    /// Run every SELECT as `EXPLAIN ANALYZE`: rows plus the executed plan
+    /// annotated with per-phase times and per-segment prune decisions.
+    pub trace: bool,
 }
 
 /// An open remote-mode connection.
@@ -59,6 +63,7 @@ impl Session {
             remote: None,
             timing: true,
             show_plan: false,
+            trace: false,
         }
     }
 
@@ -182,6 +187,18 @@ impl Session {
                 self.show_plan = arg != "off";
                 Outcome::Text(format!("plan {}", if self.show_plan { "on" } else { "off" }))
             }
+            "trace" => {
+                self.trace = arg != "off";
+                Outcome::Text(format!(
+                    "trace {} — SELECTs {}",
+                    if self.trace { "on" } else { "off" },
+                    if self.trace {
+                        "run as EXPLAIN ANALYZE (rows + executed-plan report)"
+                    } else {
+                        "run normally"
+                    }
+                ))
+            }
             "threads" => {
                 let n: usize = arg.parse().unwrap_or(1);
                 self.opts.threads = n.max(1);
@@ -222,6 +239,26 @@ impl Session {
                 None => "not connected; \\connect host:port first".into(),
                 Some(r) => match r.client.stats() {
                     Ok(stats) => render_stats(&stats),
+                    Err(e) => {
+                        self.remote = None;
+                        format!("connection lost ({e}); back to local mode")
+                    }
+                },
+            }),
+            "metrics" => Outcome::Text(match &mut self.remote {
+                None => "not connected; \\connect host:port first".into(),
+                Some(r) => match r.client.metrics() {
+                    Ok(body) => body,
+                    Err(e) => {
+                        self.remote = None;
+                        format!("connection lost ({e}); back to local mode")
+                    }
+                },
+            }),
+            "slowlog" => Outcome::Text(match &mut self.remote {
+                None => "not connected; \\connect host:port first".into(),
+                Some(r) => match r.client.slowlog() {
+                    Ok(log) => render_slowlog(&log),
                     Err(e) => {
                         self.remote = None;
                         format!("connection lost ({e}); back to local mode")
@@ -296,7 +333,16 @@ impl Session {
     }
 
     /// Executes SQL on the connected server and renders the response frame.
+    /// With `\trace on`, SELECTs are wrapped as `EXPLAIN ANALYZE` so the
+    /// server returns (and we render) the executed-plan report too.
     fn run_remote_sql(&mut self, sql: &str) -> String {
+        let wrapped;
+        let sql = if self.trace && is_select(sql) && strip_explain_analyze(sql).is_none() {
+            wrapped = format!("EXPLAIN ANALYZE {sql}");
+            &wrapped
+        } else {
+            sql
+        };
         let remote = self.remote.as_mut().expect("checked by caller");
         match remote.client.sql(sql) {
             Ok(frame) => render_frame(&frame, self.timing),
@@ -311,6 +357,12 @@ impl Session {
     /// the unified connection API ([`astore_api::Connection`]): prepare,
     /// bind (no parameters at the REPL), execute.
     fn run_sql(&mut self, sql: &str) -> String {
+        if let Some(inner) = strip_explain_analyze(sql) {
+            return self.run_analyze(inner);
+        }
+        if self.trace && is_select(sql) {
+            return self.run_analyze(sql);
+        }
         let mut conn = EmbeddedConnection::over(self.db.clone()).with_options(self.opts.clone());
         let stmt = match conn.prepare(sql) {
             Ok(s) => s,
@@ -360,6 +412,33 @@ impl Session {
                 }
             }
         }
+    }
+
+    /// `EXPLAIN ANALYZE <select>` in local mode: execute with a span
+    /// recorder attached and render the rows followed by the report —
+    /// the same report the server puts in its `analyze` frame member.
+    fn run_analyze(&mut self, sql: &str) -> String {
+        let db = self.db.snapshot();
+        let q = match sql_to_query(sql, &db) {
+            Ok(q) => q,
+            Err(e) => return format!("error: {e}"),
+        };
+        let trace = Arc::new(TraceBuf::new());
+        let opts = self.opts.clone().trace(Arc::clone(&trace));
+        let t = Instant::now();
+        let out = match execute(&db, &q, &opts) {
+            Ok(o) => o,
+            Err(e) => return format!("error: {e}"),
+        };
+        let mut s = out.result.to_table_string();
+        let _ = writeln!(s, "({} rows)", out.result.rows.len());
+        if self.timing {
+            let _ = writeln!(s, "time: {:.2} ms", t.elapsed().as_secs_f64() * 1e3);
+        }
+        for line in render_analyze(&out, &trace) {
+            let _ = writeln!(s, "{line}");
+        }
+        s
     }
 
     /// `\compare <sql>`: run on A-Store and the hash-join pipeline, check
@@ -432,7 +511,19 @@ fn render_frame(frame: &Json, timing: bool) -> String {
             let _ = write!(out, "\nserver time: {:.2} ms", us as f64 / 1e3);
         }
     }
+    if let Some(lines) = frame.get("analyze").and_then(Json::as_array) {
+        for line in lines {
+            if let Some(s) = line.as_str() {
+                let _ = write!(out, "\n{s}");
+            }
+        }
+    }
     out
+}
+
+/// Whether the statement is a SELECT (the only kind `\trace` wraps).
+fn is_select(sql: &str) -> bool {
+    sql.trim_start().get(..6).is_some_and(|head| head.eq_ignore_ascii_case("select"))
 }
 
 fn json_to_value(v: &Json) -> Value {
@@ -467,6 +558,28 @@ fn render_stats(stats: &Json) -> String {
     out
 }
 
+/// Renders the `slowlog` payload: threshold header, one line per entry.
+fn render_slowlog(log: &Json) -> String {
+    let threshold = log.get("threshold_ms").and_then(Json::as_i64).unwrap_or(0);
+    let mut out = if threshold == 0 {
+        "slowlog disabled (start the server with --slow-ms <n>)\n".to_owned()
+    } else {
+        format!("slowlog threshold: {threshold} ms\n")
+    };
+    let entries = log.get("entries").and_then(Json::as_array).unwrap_or_default();
+    if entries.is_empty() {
+        out.push_str("(no slow statements captured)");
+        return out;
+    }
+    for e in entries {
+        let us = e.get("elapsed_us").and_then(Json::as_i64).unwrap_or(0);
+        let ago = e.get("ago_s").and_then(Json::as_i64).unwrap_or(0);
+        let tmpl = e.get("template").and_then(Json::as_str).unwrap_or("?");
+        let _ = writeln!(out, "{:>9.2} ms  {ago:>5}s ago  {tmpl}", us as f64 / 1e3);
+    }
+    out
+}
+
 const HELP: &str = "\
 commands:
   \\load ssb <sf>     generate and load the Star Schema Benchmark
@@ -478,16 +591,20 @@ commands:
   \\threads <n>       parallel workers
   \\timing on|off     per-query wall time
   \\plan on|off       plan diagnostics
+  \\trace on|off      run SELECTs as EXPLAIN ANALYZE (rows + span report)
   \\save <file>       snapshot the loaded database to disk
   \\open <file>       load a snapshot written by \\save (or astore-serve)
   \\compare <sql>     run on A-Store and the hash-join baseline, verify agreement
   \\connect h:p       remote mode: send SQL to an astore-server
   \\disconnect        leave remote mode
   \\stats             remote server counters (remote mode only)
+  \\metrics           remote Prometheus scrape body (remote mode only)
+  \\slowlog           remote slow-query ring, newest first (remote mode only)
   \\help              this text
   \\q                 quit
 anything else is executed as SQL: SPJGA SELECTs, plus INSERT / UPDATE /
-DELETE addressed by rowid (local and remote mode alike).";
+DELETE addressed by rowid (local and remote mode alike); prefix a SELECT
+with EXPLAIN ANALYZE for the executed plan annotated with actual times.";
 
 #[cfg(test)]
 mod tests {
@@ -643,6 +760,36 @@ mod tests {
     }
 
     #[test]
+    fn explain_analyze_local_renders_rows_and_spans() {
+        let mut s = Session::new();
+        text(s.feed("\\load ssb 0.001"));
+        let out = text(s.feed(
+            "EXPLAIN ANALYZE SELECT d_year, sum(lo_revenue) AS rev FROM lineorder, date \
+             WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year",
+        ));
+        assert!(out.contains("(7 rows)"), "{out}");
+        assert!(out.contains("phases: leaf="), "{out}");
+        assert!(out.contains("segments: scanned="), "{out}");
+        assert!(out.contains("phase2_scan"), "{out}");
+    }
+
+    #[test]
+    fn trace_toggle_annotates_local_selects() {
+        let mut s = Session::new();
+        text(s.feed("\\load ssb 0.001"));
+        assert!(text(s.feed("\\trace on")).contains("trace on"));
+        let out = text(s.feed("SELECT count(*) FROM lineorder"));
+        assert!(out.contains("(1 rows)"), "{out}");
+        assert!(out.contains("trace: "), "{out}");
+        // Writes are untouched by the toggle.
+        let out = text(s.feed("UPDATE customer SET c_mktsegment = 'MACHINERY' WHERE rowid = 0"));
+        assert!(out.contains("1 rows affected"), "{out}");
+        assert!(text(s.feed("\\trace off")).contains("trace off"));
+        let out = text(s.feed("SELECT count(*) FROM lineorder"));
+        assert!(!out.contains("trace: "), "{out}");
+    }
+
+    #[test]
     fn remote_mode_roundtrip() {
         use astore_server::{start, Engine, ServerConfig};
         use std::sync::Arc;
@@ -674,6 +821,22 @@ mod tests {
         assert!(out.contains("queries"), "{out}");
         assert!(out.contains("latency_p99_us"), "{out}");
 
+        // Bare EXPLAIN ANALYZE passes through; the frame's report renders.
+        let out = text(s.feed("EXPLAIN ANALYZE SELECT count(*) FROM lineorder"));
+        assert!(out.contains("(1 rows)"), "{out}");
+        assert!(out.contains("phases: leaf="), "{out}");
+
+        // \trace on wraps plain SELECTs as EXPLAIN ANALYZE server-side.
+        text(s.feed("\\trace on"));
+        let out = text(s.feed("SELECT count(*) FROM lineorder"));
+        assert!(out.contains("trace: "), "{out}");
+        text(s.feed("\\trace off"));
+
+        let metrics = text(s.feed("\\metrics"));
+        assert!(metrics.contains("astore_server_queries_total"), "{metrics}");
+        let slow = text(s.feed("\\slowlog"));
+        assert!(slow.contains("slowlog disabled"), "{slow}");
+
         let out = text(s.feed("\\disconnect"));
         assert!(out.contains("disconnected"), "{out}");
         assert_eq!(s.dataset(), "(empty)");
@@ -688,6 +851,8 @@ mod tests {
         assert!(text(s.feed("\\connect")).contains("usage"));
         assert!(text(s.feed("\\disconnect")).contains("not connected"));
         assert!(text(s.feed("\\stats")).contains("not connected"));
+        assert!(text(s.feed("\\metrics")).contains("not connected"));
+        assert!(text(s.feed("\\slowlog")).contains("not connected"));
     }
 
     #[test]

@@ -20,8 +20,10 @@
 //! 3. **Aggregation** — scan the measure columns through the Measure Index
 //!    into the multidimensional aggregation array (or hash table).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use astore_obs::{SpanId, TraceBuf};
 use astore_storage::bitmap::Bitmap;
 use astore_storage::catalog::Database;
 use astore_storage::selvec::SelVec;
@@ -133,6 +135,13 @@ pub struct ExecOptions {
     /// Disabling it reproduces the pre-segmentation flat scan — the
     /// ablation baseline of the `scan_pruning` bench and differential.
     pub pruning: bool,
+    /// Span buffer for this execution (`None` = tracing off). When set, the
+    /// executor records one span per phase — bind, leaf processing,
+    /// optimize (with per-segment prune-decision events), fact scan (with
+    /// per-morsel spans under the parallel executor), aggregation/merge —
+    /// all parented under a root `execute` span. When `None`, the
+    /// instrumentation reduces to an `Option` branch per phase.
+    pub trace: Option<Arc<TraceBuf>>,
 }
 
 impl Default for ExecOptions {
@@ -145,6 +154,7 @@ impl Default for ExecOptions {
             force_agg: None,
             selection: SelectionStrategy::default(),
             pruning: true,
+            trace: None,
         }
     }
 }
@@ -170,6 +180,13 @@ impl ExecOptions {
     /// Enables or disables zone-map segment skipping.
     pub fn pruning(mut self, on: bool) -> Self {
         self.pruning = on;
+        self
+    }
+
+    /// Attaches a span buffer; the execution records per-phase spans into
+    /// it.
+    pub fn trace(mut self, buf: Arc<TraceBuf>) -> Self {
+        self.trace = Some(buf);
         self
     }
 }
@@ -293,21 +310,42 @@ pub struct ExecOutput {
 /// never touched.
 pub fn execute(db: &Database, query: &Query, opts: &ExecOptions) -> Result<ExecOutput, BindError> {
     let t_start = Instant::now();
+    let trace = opts.trace.as_deref();
+    // The root span id is reserved up front so every phase span can link to
+    // it; its interval is recorded last, once the total is known.
+    let root_span = trace.map(|t| t.alloc());
     if query.has_params() {
         return Err(BindError::UnboundParams(query.param_count()));
     }
     let graph = JoinGraph::build(db);
     let root = bind_root(&graph, query.root.as_deref(), &query.referenced_tables())?;
     let u = Universal::new(db, &graph, &root)?;
+    if let Some(t) = trace {
+        let start = t.us_since_epoch(t_start);
+        t.add("bind", root_span, start, t.now_us().saturating_sub(start), vec![]);
+    }
 
     // Phase 1 (leaf processing) is shared by both executors; it runs before
     // the fan-out decision so the pruner can use the chain filters.
     let t_leaf = Instant::now();
     let leaf = prepare_leaf(&u, query, opts)?;
     let leaf_time = t_leaf.elapsed();
+    if let Some(t) = trace {
+        t.add(
+            "phase1_leaf",
+            root_span,
+            t.us_since_epoch(t_leaf),
+            leaf_time.as_micros() as u64,
+            vec![
+                ("chains", leaf.chains.len() as i64),
+                ("predvec_chains", leaf.filters.iter().filter(|f| f.is_some()).count() as i64),
+            ],
+        );
+    }
     // The per-segment admission tests run exactly once, into a survey that
     // the fan-out decision, the serial scan and the parallel dispatcher all
     // share.
+    let t_opt = Instant::now();
     let survey = build_pruner(&u, query, &leaf, opts).map(|p| p.survey());
 
     // The fan-out decision sees what the scan will actually visit: live
@@ -318,6 +356,29 @@ pub fn execute(db: &Database, query: &Query, opts: &ExecOptions) -> Result<ExecO
         None => u.root_table().num_slots(),
     };
     let threads = opts.optimizer.plan_threads(est_rows, opts.threads);
+    if let Some(t) = trace {
+        let opt_span = t.alloc();
+        // One point event per segment decision, nested under `optimize` —
+        // the EXPLAIN ANALYZE rendering of "which segments were skipped".
+        if let Some(s) = &survey {
+            for seg in 0..u.root_table().segment_count() {
+                t.event(
+                    "segment_prune",
+                    Some(opt_span),
+                    vec![("segment", seg as i64), ("kept", i64::from(s.keep(seg)))],
+                );
+            }
+        }
+        let start = t.us_since_epoch(t_opt);
+        t.record(
+            opt_span,
+            "optimize",
+            root_span,
+            start,
+            t.now_us().saturating_sub(start),
+            vec![("est_rows", est_rows as i64), ("threads", threads as i64)],
+        );
+    }
     if threads > 1 {
         crate::parallel::execute_parallel(
             &u,
@@ -328,9 +389,10 @@ pub fn execute(db: &Database, query: &Query, opts: &ExecOptions) -> Result<ExecO
             leaf_time,
             survey.as_ref(),
             t_start,
+            root_span,
         )
     } else {
-        execute_serial(&u, query, opts, &leaf, leaf_time, survey.as_ref(), t_start)
+        execute_serial(&u, query, opts, &leaf, leaf_time, survey.as_ref(), t_start, root_span)
     }
 }
 
@@ -368,17 +430,41 @@ fn execute_serial(
     leaf_time: Duration,
     survey: Option<&SegmentSurvey>,
     t_start: Instant,
+    root_span: Option<SpanId>,
 ) -> Result<ExecOutput, BindError> {
+    let trace = opts.trace.as_deref();
     let t_scan = Instant::now();
     let n = u.root_table().num_slots();
     let fact_preds = compile_fact_preds(u, query, opts);
     let mut chain_checks = build_chain_checks(u, query, leaf)?;
     let mut sa = scan_phase(u, query, opts, leaf, &fact_preds, &mut chain_checks, 0..n, survey)?;
     let scan_time = t_scan.elapsed();
+    if let Some(t) = trace {
+        t.add(
+            "phase2_scan",
+            root_span,
+            t.us_since_epoch(t_scan),
+            scan_time.as_micros() as u64,
+            vec![
+                ("selected_rows", sa.selected as i64),
+                ("segments_scanned", sa.segments_scanned as i64),
+                ("segments_pruned", sa.segments_pruned as i64),
+            ],
+        );
+    }
 
     let t_agg = Instant::now();
     aggregate_phase(u, query, &mut sa);
     let agg_time = t_agg.elapsed();
+    if let Some(t) = trace {
+        t.add(
+            "phase3_agg",
+            root_span,
+            t.us_since_epoch(t_agg),
+            agg_time.as_micros() as u64,
+            vec![("groups", sa.agg.occupied() as i64)],
+        );
+    }
 
     let mut result = build_result(query, &sa.agg, &sa.dicts);
     result.order_and_limit(&query.order_by, query.limit);
@@ -394,14 +480,21 @@ fn execute_serial(
         selected_rows: sa.selected,
         groups: sa.agg.occupied(),
     };
+    let total = t_start.elapsed();
+    if let (Some(t), Some(id)) = (trace, root_span) {
+        let start = t.us_since_epoch(t_start);
+        t.record(
+            id,
+            "execute",
+            None,
+            start,
+            t.now_us().saturating_sub(start),
+            vec![("selected_rows", plan.selected_rows as i64), ("groups", plan.groups as i64)],
+        );
+    }
     Ok(ExecOutput {
         result,
-        timings: PhaseTimings {
-            leaf: leaf_time,
-            scan: scan_time,
-            agg: agg_time,
-            total: t_start.elapsed(),
-        },
+        timings: PhaseTimings { leaf: leaf_time, scan: scan_time, agg: agg_time, total },
         plan,
     })
 }

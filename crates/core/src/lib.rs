@@ -64,6 +64,7 @@
 
 pub mod agg;
 pub mod air_join;
+pub mod analyze;
 pub mod exec;
 pub mod expr;
 pub mod filter;
@@ -79,6 +80,7 @@ pub mod zone;
 
 /// Convenient glob import of the engine's public surface.
 pub mod prelude {
+    pub use crate::analyze::render_analyze;
     pub use crate::exec::{
         execute, ExecOptions, ExecOutput, ExecutorInfo, PhaseTimings, PlanInfo, ScanVariant,
         SelectionStrategy,

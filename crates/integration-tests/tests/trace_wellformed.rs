@@ -1,0 +1,150 @@
+//! Trace well-formedness over the full SSB suite.
+//!
+//! Every one of the 13 SSB queries is executed with a span recorder
+//! attached (the `EXPLAIN ANALYZE` machinery), serial and parallel, and
+//! the resulting span tree is checked structurally:
+//!
+//! - exactly one root span, named `execute`, and every parent link
+//!   resolves to a recorded span;
+//! - children nest inside their parent's interval (within a small clock
+//!   epsilon — phase timers read the monotonic clock at slightly
+//!   different instants);
+//! - the root's direct children run serially, so their durations sum to
+//!   no more than the root's;
+//! - the `phase2_scan` span reports the same `segments_scanned` /
+//!   `segments_pruned` as the [`PlanInfo`] the executor returned, and the
+//!   per-segment `segment_prune` point events agree with both.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use astore_core::prelude::*;
+use astore_integration_tests::{ssb_sql, substitute};
+use astore_obs::{Span, SpanId, TraceBuf};
+use astore_sql::sql_to_query;
+use astore_storage::catalog::Database;
+
+/// Tolerance for nested timers reading the clock at different instants.
+const EPS_US: u64 = 250;
+
+fn ssb_db() -> Database {
+    astore_datagen::ssb::generate(0.01, 42)
+}
+
+/// Executes `sql` with a fresh trace attached and validates the span tree
+/// against the returned plan. Returns the span names seen (for coverage
+/// assertions at the call site).
+fn run_and_check(db: &Database, name: &str, sql: &str, opts: &ExecOptions) -> HashSet<String> {
+    let trace = Arc::new(TraceBuf::new());
+    let opts = opts.clone().trace(Arc::clone(&trace));
+    let q = sql_to_query(sql, db).unwrap_or_else(|e| panic!("{name}: plan failed: {e}"));
+    let out = execute(db, &q, &opts).unwrap_or_else(|e| panic!("{name}: exec failed: {e}"));
+
+    assert_eq!(trace.dropped(), 0, "{name}: spans dropped at cap");
+    let spans = trace.spans();
+    assert!(!spans.is_empty(), "{name}: no spans recorded");
+
+    // Unique ids; an index to chase parent links through.
+    let by_id: HashMap<SpanId, &Span> = spans.iter().map(|s| (s.id, s)).collect();
+    assert_eq!(by_id.len(), spans.len(), "{name}: duplicate span ids");
+
+    // Exactly one root, and it is the `execute` span.
+    let roots: Vec<&Span> = spans.iter().filter(|s| s.parent.is_none()).collect();
+    assert_eq!(roots.len(), 1, "{name}: want one root span, got {roots:?}");
+    let root = roots[0];
+    assert_eq!(root.name, "execute", "{name}");
+
+    // Every parent link resolves, and children nest inside their parent.
+    for s in &spans {
+        if let Some(pid) = s.parent {
+            let p = by_id
+                .get(&pid)
+                .unwrap_or_else(|| panic!("{name}: span {:?} has unknown parent", s.name));
+            assert!(
+                s.start_us + EPS_US >= p.start_us,
+                "{name}: {} starts at {}us before parent {} at {}us",
+                s.name,
+                s.start_us,
+                p.name,
+                p.start_us
+            );
+            assert!(
+                s.end_us() <= p.end_us() + EPS_US,
+                "{name}: {} ends at {}us after parent {} at {}us",
+                s.name,
+                s.end_us(),
+                p.name,
+                p.end_us()
+            );
+        }
+    }
+
+    // The root's direct children are serial phases: their durations sum
+    // to no more than the root's interval (morsels overlap, but those
+    // nest under `phase2_scan`, not the root).
+    let phases: Vec<&Span> = spans.iter().filter(|s| s.parent == Some(root.id)).collect();
+    assert!(!phases.is_empty(), "{name}: root has no phase spans");
+    let phase_sum: u64 = phases.iter().map(|s| s.dur_us).sum();
+    assert!(
+        phase_sum <= root.dur_us + EPS_US * phases.len() as u64,
+        "{name}: phases sum to {phase_sum}us > execute {}us",
+        root.dur_us
+    );
+
+    // The scan span's pruning attributes match the plan, and the
+    // per-segment decisions match both.
+    let scan = spans
+        .iter()
+        .find(|s| s.name == "phase2_scan")
+        .unwrap_or_else(|| panic!("{name}: no phase2_scan span"));
+    assert_eq!(
+        scan.attr("segments_scanned"),
+        Some(out.plan.segments_scanned as i64),
+        "{name}: scan span vs plan"
+    );
+    assert_eq!(
+        scan.attr("segments_pruned"),
+        Some(out.plan.segments_pruned as i64),
+        "{name}: scan span vs plan"
+    );
+    let prunes: Vec<&Span> = spans.iter().filter(|s| s.name == "segment_prune").collect();
+    let kept = prunes.iter().filter(|s| s.attr("kept") == Some(1)).count();
+    assert_eq!(
+        prunes.len(),
+        out.plan.segments_scanned + out.plan.segments_pruned,
+        "{name}: one prune decision per segment"
+    );
+    assert_eq!(kept, out.plan.segments_scanned, "{name}: kept decisions == scanned segments");
+
+    // The root span carries the result cardinality.
+    assert_eq!(root.attr("selected_rows"), Some(out.plan.selected_rows as i64), "{name}");
+    assert_eq!(root.attr("groups"), Some(out.plan.groups as i64), "{name}");
+
+    spans.iter().map(|s| s.name.to_owned()).collect()
+}
+
+#[test]
+fn all_ssb_queries_trace_well_formed_serial() {
+    let db = ssb_db();
+    for (name, template, params) in ssb_sql() {
+        let names =
+            run_and_check(&db, name, &substitute(template, &params), &ExecOptions::default());
+        for want in ["bind", "phase1_leaf", "optimize", "phase2_scan", "phase3_agg"] {
+            assert!(names.contains(want), "{name}: missing {want} span ({names:?})");
+        }
+    }
+}
+
+#[test]
+fn all_ssb_queries_trace_well_formed_parallel() {
+    let db = ssb_db();
+    let opts = ExecOptions::default().threads(4);
+    let mut saw_morsels = false;
+    for (name, template, params) in ssb_sql() {
+        let names = run_and_check(&db, name, &substitute(template, &params), &opts);
+        saw_morsels |= names.contains("morsel");
+    }
+    // The planner clamps small scans to serial, but at SF 0.01 the wide
+    // SSB flights fan out — the parallel span shape must show up.
+    assert!(saw_morsels, "no query produced morsel spans under --threads 4");
+}

@@ -1,0 +1,128 @@
+//! Prometheus text-format (version 0.0.4) exposition helpers.
+//!
+//! [`PromWriter`] accumulates `# HELP` / `# TYPE` headers and samples into
+//! one scrape body. Label values are escaped per the spec (`\\`, `\"`,
+//! `\n`); metric names are the caller's responsibility (use
+//! `[a-zA-Z_][a-zA-Z0-9_]*`).
+
+use std::fmt::Write as _;
+
+/// Builds a Prometheus text-format scrape body.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+/// Escapes a label value for the text format.
+pub fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl PromWriter {
+    /// An empty scrape body.
+    pub fn new() -> Self {
+        PromWriter::default()
+    }
+
+    /// Emits the `# HELP` and `# TYPE` headers for a metric family.
+    /// `kind` is one of `counter`, `gauge`, `histogram`.
+    pub fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Emits one sample line, with optional labels.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{k}=\"{}\"", escape_label(v));
+            }
+            self.out.push('}');
+        }
+        if value.fract() == 0.0 && value.abs() < 9e15 {
+            let _ = writeln!(self.out, " {}", value as i64);
+        } else {
+            let _ = writeln!(self.out, " {value}");
+        }
+    }
+
+    /// Emits an integer sample line (no float formatting ambiguity).
+    pub fn sample_u64(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{k}=\"{}\"", escape_label(v));
+            }
+            self.out.push('}');
+        }
+        let _ = writeln!(self.out, " {value}");
+    }
+
+    /// The finished scrape body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_headers_and_samples() {
+        let mut w = PromWriter::new();
+        w.header("astore_queries_total", "Queries served.", "counter");
+        w.sample_u64("astore_queries_total", &[], 42);
+        w.sample("astore_hit_rate", &[("cache", "plan")], 0.5);
+        let s = w.finish();
+        assert!(s.contains("# HELP astore_queries_total Queries served.\n"));
+        assert!(s.contains("# TYPE astore_queries_total counter\n"));
+        assert!(s.contains("astore_queries_total 42\n"));
+        assert!(s.contains("astore_hit_rate{cache=\"plan\"} 0.5\n"));
+    }
+
+    #[test]
+    fn label_values_escape() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let mut w = PromWriter::new();
+        w.sample_u64("m", &[("sql", "select \"x\"\n")], 1);
+        let s = w.finish();
+        assert!(s.contains("m{sql=\"select \\\"x\\\"\\n\"} 1\n"));
+    }
+
+    #[test]
+    fn every_line_is_comment_or_sample() {
+        let mut w = PromWriter::new();
+        w.header("h", "help text", "histogram");
+        w.sample_u64("h_bucket", &[("le", "+Inf")], 3);
+        w.sample_u64("h_count", &[], 3);
+        w.sample("h_sum", &[], 1.5);
+        for line in w.finish().lines() {
+            assert!(
+                line.starts_with('#')
+                    || line
+                        .split_once(' ')
+                        .is_some_and(|(m, v)| !m.is_empty() && v.parse::<f64>().is_ok()),
+                "bad exposition line: {line}"
+            );
+        }
+    }
+}

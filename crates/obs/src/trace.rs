@@ -1,0 +1,234 @@
+//! Bounded per-query span buffers over a monotonic clock.
+//!
+//! A [`TraceBuf`] is created per traced query and threaded (as an
+//! `Arc`) through the executor. Spans are recorded *post hoc* from the
+//! timing the executor already takes: callers [`alloc`](TraceBuf::alloc)
+//! an id up front when children must link to a parent that finishes
+//! later, then [`record`](TraceBuf::record) the finished interval. The
+//! buffer is bounded; spans past the cap are counted, not stored, so a
+//! pathological query cannot balloon memory.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Default bound on stored spans per trace.
+pub const DEFAULT_SPAN_CAP: usize = 4096;
+
+/// Identifies one span within its [`TraceBuf`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u32);
+
+/// One finished span: a named interval on the trace's monotonic clock,
+/// optionally linked to a parent and carrying integer attributes.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// This span's id (unique within the trace).
+    pub id: SpanId,
+    /// The enclosing span, if any.
+    pub parent: Option<SpanId>,
+    /// Phase name, e.g. `"scan"` or `"morsel"`.
+    pub name: &'static str,
+    /// Start offset from the trace epoch, microseconds.
+    pub start_us: u64,
+    /// Duration, microseconds (0 for point events).
+    pub dur_us: u64,
+    /// Integer attributes, e.g. `("rows", 1024)`.
+    pub attrs: Vec<(&'static str, i64)>,
+}
+
+impl Span {
+    /// End offset from the trace epoch, microseconds (saturating).
+    pub fn end_us(&self) -> u64 {
+        self.start_us.saturating_add(self.dur_us)
+    }
+
+    /// Looks up an integer attribute by name.
+    pub fn attr(&self, name: &str) -> Option<i64> {
+        self.attrs.iter().find(|(k, _)| *k == name).map(|(_, v)| *v)
+    }
+}
+
+/// A bounded, thread-safe span buffer for one traced query.
+#[derive(Debug)]
+pub struct TraceBuf {
+    epoch: Instant,
+    next_id: AtomicU32,
+    spans: Mutex<Vec<Span>>,
+    dropped: AtomicU64,
+    cap: usize,
+}
+
+impl Default for TraceBuf {
+    fn default() -> Self {
+        TraceBuf::with_capacity(DEFAULT_SPAN_CAP)
+    }
+}
+
+impl TraceBuf {
+    /// A fresh trace with the default span cap; the epoch is now.
+    pub fn new() -> Self {
+        TraceBuf::default()
+    }
+
+    /// A fresh trace bounded to `cap` stored spans.
+    pub fn with_capacity(cap: usize) -> Self {
+        TraceBuf {
+            epoch: Instant::now(),
+            next_id: AtomicU32::new(0),
+            spans: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Microseconds elapsed since the trace epoch.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Converts an [`Instant`] taken *after* this trace was created into a
+    /// microsecond offset from the trace epoch (saturating at 0 for
+    /// instants that predate it).
+    pub fn us_since_epoch(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.epoch).as_micros() as u64
+    }
+
+    /// Reserves a span id without recording anything — use when children
+    /// must reference a parent whose interval is only known later.
+    pub fn alloc(&self) -> SpanId {
+        SpanId(self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Records a finished span under a previously [`alloc`](Self::alloc)'d
+    /// id.
+    pub fn record(
+        &self,
+        id: SpanId,
+        name: &'static str,
+        parent: Option<SpanId>,
+        start_us: u64,
+        dur_us: u64,
+        attrs: Vec<(&'static str, i64)>,
+    ) {
+        self.push(Span { id, parent, name, start_us, dur_us, attrs });
+    }
+
+    /// Allocates an id and records a finished span in one call.
+    pub fn add(
+        &self,
+        name: &'static str,
+        parent: Option<SpanId>,
+        start_us: u64,
+        dur_us: u64,
+        attrs: Vec<(&'static str, i64)>,
+    ) -> SpanId {
+        let id = self.alloc();
+        self.record(id, name, parent, start_us, dur_us, attrs);
+        id
+    }
+
+    /// Records a zero-duration point event at the current clock.
+    pub fn event(
+        &self,
+        name: &'static str,
+        parent: Option<SpanId>,
+        attrs: Vec<(&'static str, i64)>,
+    ) -> SpanId {
+        let now = self.now_us();
+        self.add(name, parent, now, 0, attrs)
+    }
+
+    fn push(&self, span: Span) {
+        let mut spans = self.spans.lock().expect("trace buffer poisoned");
+        if spans.len() < self.cap {
+            spans.push(span);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A copy of every stored span, in record order.
+    pub fn spans(&self) -> Vec<Span> {
+        self.spans.lock().expect("trace buffer poisoned").clone()
+    }
+
+    /// Number of stored spans.
+    pub fn len(&self) -> usize {
+        self.spans.lock().expect("trace buffer poisoned").len()
+    }
+
+    /// `true` when no span has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans discarded because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_link_and_attrs_read_back() {
+        let t = TraceBuf::new();
+        let root = t.alloc();
+        let child = t.add("child", Some(root), 10, 5, vec![("rows", 7)]);
+        t.record(root, "root", None, 0, 100, vec![]);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        let c = spans.iter().find(|s| s.id == child).unwrap();
+        assert_eq!(c.parent, Some(root));
+        assert_eq!(c.attr("rows"), Some(7));
+        assert_eq!(c.attr("missing"), None);
+        assert_eq!(c.end_us(), 15);
+    }
+
+    #[test]
+    fn cap_bounds_storage_and_counts_drops() {
+        let t = TraceBuf::with_capacity(2);
+        for _ in 0..5 {
+            t.event("e", None, vec![]);
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn clock_is_monotonic_and_instants_convert() {
+        let t = TraceBuf::new();
+        let a = t.now_us();
+        let at = Instant::now();
+        let b = t.us_since_epoch(at);
+        assert!(b >= a);
+        // An instant before the epoch saturates to 0 rather than panicking.
+        let early = Instant::now();
+        let late = TraceBuf::new();
+        assert_eq!(late.us_since_epoch(early), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let t = std::sync::Arc::new(TraceBuf::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        t.event("w", None, vec![("i", i)]);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 400);
+        // Ids are unique.
+        let mut ids: Vec<u32> = t.spans().iter().map(|s| s.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 400);
+    }
+}

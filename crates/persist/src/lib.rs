@@ -50,6 +50,7 @@
 
 pub mod apply;
 pub mod crc;
+pub mod metrics;
 pub mod snapshot;
 pub mod store;
 pub mod wal;

@@ -120,6 +120,7 @@ pub fn checkpoint(
     db: &mut Database,
     wal: &mut Wal,
 ) -> Result<usize, PersistError> {
+    let sample = crate::metrics::TimedSample::start();
     let dir = dir.as_ref();
     let last = wal.last_lsn();
     // The index borrows the previous file's bytes — one read, no copies.
@@ -142,6 +143,10 @@ pub fn checkpoint(
             }
         }
     }
+    use std::sync::atomic::Ordering;
+    crate::metrics::checkpoints_total().fetch_add(1, Ordering::Relaxed);
+    crate::metrics::checkpoint_bytes_total().fetch_add(bytes.len() as u64, Ordering::Relaxed);
+    sample.stop(crate::metrics::checkpoint_us_total());
     Ok(bytes.len())
 }
 

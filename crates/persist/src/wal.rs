@@ -181,6 +181,7 @@ impl Wal {
     /// Appends one committed statement and (by default) fsyncs. Returns the
     /// record's LSN. The record is durable when this returns `Ok`.
     pub fn append(&mut self, sql: &str) -> Result<u64, PersistError> {
+        let append_sample = crate::metrics::TimedSample::start();
         let lsn = self.next_lsn;
         let mut body = Vec::with_capacity(8 + sql.len());
         put_u64(&mut body, lsn);
@@ -198,10 +199,14 @@ impl Wal {
         frame.extend_from_slice(&body);
         self.file.write_all(&frame)?;
         if self.sync_on_commit {
+            let fsync_sample = crate::metrics::TimedSample::start();
             self.file.sync_data()?;
+            fsync_sample.stop(crate::metrics::wal_fsync_us_total());
         }
         self.next_lsn += 1;
         self.appended_since_reset += 1;
+        crate::metrics::wal_appends_total().fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        append_sample.stop(crate::metrics::wal_append_us_total());
         Ok(lsn)
     }
 

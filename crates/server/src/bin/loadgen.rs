@@ -15,6 +15,11 @@
 //! workload over protocol v2 (`prepare` once per connection, `execute`
 //! frames with bound parameters — no SQL text on the hot path) and the
 //! summary reports q/s and cache hit-rate deltas between the two modes.
+//!
+//! Besides the client-side aggregates, the summary's `server_templates`
+//! member carries the *server's* per-template latency histograms (count,
+//! p50/p99/max in µs per canonical statement template) so per-query-shape
+//! regressions are visible without client/transport noise.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -406,6 +411,16 @@ fn main() {
     let prepared = a.prepared.then(|| run_pass(&addr, &a, true));
 
     let server_stats = Client::connect(addr.as_str()).ok().and_then(|mut c| c.stats().ok());
+    // Server-side per-template latency (p50/p99 from the server's own
+    // histograms, keyed by canonical template) — measured where the
+    // statement ran, free of client/transport noise, and shared across
+    // the text and prepared passes since both canonicalize to the same
+    // templates.
+    let server_templates = server_stats
+        .as_ref()
+        .and_then(|s| s.get("templates"))
+        .cloned()
+        .unwrap_or(Json::Array(Vec::new()));
     // Top-level fields mirror the text pass (the BENCH_server.json shape
     // older tooling reads); the prepared pass and deltas nest below.
     let mut summary = Json::obj([
@@ -433,6 +448,7 @@ fn main() {
         ("latency_max_us", Json::Int(text.hist.max_us() as i64)),
         ("text", text.to_json()),
         ("server", server_stats.unwrap_or(Json::Null)),
+        ("server_templates", server_templates),
     ]);
     let mut total_errors = text.errors;
     if let Some(p) = &prepared {

@@ -103,4 +103,22 @@ impl Client {
             .cloned()
             .ok_or_else(|| ClientError::Protocol("stats frame missing payload".into()))
     }
+
+    /// Fetches the Prometheus text-format metrics body.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let r = self.request(&Json::obj([("cmd", Json::Str("metrics".into()))]))?;
+        r.get("metrics")
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| ClientError::Protocol("metrics frame missing payload".into()))
+    }
+
+    /// Fetches the slow-query log payload (`threshold_ms` + `entries`,
+    /// newest first).
+    pub fn slowlog(&mut self) -> Result<Json, ClientError> {
+        let r = self.request(&Json::obj([("cmd", Json::Str("slowlog".into()))]))?;
+        r.get("slowlog")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("slowlog frame missing payload".into()))
+    }
 }

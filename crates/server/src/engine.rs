@@ -28,13 +28,14 @@ use std::time::Instant;
 
 use astore_core::exec::{execute, ExecOptions};
 use astore_core::query::Query;
+use astore_obs::TraceBuf;
 use astore_persist::apply::{apply_statement, validate_statement};
 use astore_persist::store;
 use astore_persist::wal::Wal;
 use astore_sql::prepared::{
     canonicalize, extract_select_params, prepare_template, BoundStatement, PrepareError, Prepared,
 };
-use astore_sql::statement::{parse_template, Statement};
+use astore_sql::statement::{parse_template, strip_explain_analyze, Statement, StatementTemplate};
 use astore_storage::catalog::Database;
 use astore_storage::snapshot::SharedDatabase;
 use astore_storage::types::Value;
@@ -42,6 +43,7 @@ use astore_storage::types::Value;
 use crate::budget::CoreBudget;
 use crate::cache::PlanCache;
 use crate::json::Json;
+use crate::metrics::{render_prometheus, SlowLog, TemplateStats};
 use crate::session::StatementRegistry;
 use crate::stats::ServerStats;
 
@@ -138,6 +140,8 @@ pub struct Engine {
     db: SharedDatabase,
     cache: PlanCache,
     stats: ServerStats,
+    templates: TemplateStats,
+    slowlog: SlowLog,
     opts: ExecOptions,
     budget: CoreBudget,
     durability: Option<Durability>,
@@ -166,10 +170,19 @@ impl Engine {
             db,
             cache: PlanCache::default(),
             stats: ServerStats::new(),
+            templates: TemplateStats::new(),
+            slowlog: SlowLog::default(),
             opts,
             budget,
             durability: None,
         }
+    }
+
+    /// Sets the slow-query capture threshold in milliseconds
+    /// (`--slow-ms`; 0 = capture off).
+    pub fn slow_ms(self, ms: u64) -> Self {
+        self.slowlog.set_threshold_ms(ms);
+        self
     }
 
     /// Overrides the core-budget size (tests; production sizing is
@@ -247,6 +260,45 @@ impl Engine {
     /// The shared plan cache.
     pub fn cache(&self) -> &PlanCache {
         &self.cache
+    }
+
+    /// Per-canonical-template latency histograms.
+    pub fn templates(&self) -> &TemplateStats {
+        &self.templates
+    }
+
+    /// The slow-query ring buffer.
+    pub fn slowlog(&self) -> &SlowLog {
+        &self.slowlog
+    }
+
+    /// Records one finished statement under its canonical template: the
+    /// per-template latency series plus, above the `--slow-ms` threshold,
+    /// the slow-query ring. `t` is the statement's own start instant (a
+    /// hair tighter than the `timed` wrapper's, which also covers frame
+    /// assembly — close enough for per-shape monitoring).
+    fn observe_template(&self, key: &str, t: Instant) {
+        let us = t.elapsed().as_micros() as u64;
+        self.templates.record(key, us);
+        self.slowlog.observe(key, us);
+    }
+
+    /// Looks a canonical template up in the shared plan cache, planning
+    /// and inserting on miss. Returns the plan and whether it was cached.
+    fn cached_plan(
+        &self,
+        key: String,
+        tmpl: StatementTemplate,
+        snap: &Arc<Database>,
+    ) -> Result<(Arc<Prepared>, bool), Json> {
+        match self.cache.get(&key) {
+            Some(p) => Ok((p, true)),
+            None => {
+                let p = Arc::new(prepare_template(tmpl, snap).map_err(prepare_error_frame)?);
+                self.cache.insert(key, Arc::clone(&p));
+                Ok((p, false))
+            }
+        }
     }
 
     /// Handles one raw request line with a throwaway statement registry —
@@ -328,8 +380,39 @@ impl Engine {
                             "core_budget_in_use".into(),
                             Json::Int(self.budget.in_use() as i64),
                         );
+                        m.insert("templates".into(), self.templates.to_json());
                     }
                     Json::obj([("ok", Json::Bool(true)), ("stats", s)])
+                }
+                "metrics" => {
+                    let gauges = [
+                        (
+                            "astore_server_engine_threads",
+                            "Per-query fan-out ceiling.",
+                            self.opts.threads as f64,
+                        ),
+                        (
+                            "astore_server_core_budget_total",
+                            "Cores in the shared budget.",
+                            self.budget.total() as f64,
+                        ),
+                        (
+                            "astore_server_core_budget_in_use",
+                            "Cores currently granted to statements.",
+                            self.budget.in_use() as f64,
+                        ),
+                    ];
+                    let body = render_prometheus(
+                        &self.stats,
+                        &self.cache,
+                        &self.templates,
+                        &self.slowlog,
+                        &gauges,
+                    );
+                    Json::obj([("ok", Json::Bool(true)), ("metrics", Json::Str(body))])
+                }
+                "slowlog" => {
+                    Json::obj([("ok", Json::Bool(true)), ("slowlog", self.slowlog.to_json())])
                 }
                 "ping" => Json::obj([("ok", Json::Bool(true)), ("pong", Json::Bool(true))]),
                 "checkpoint" => match self.checkpoint() {
@@ -363,6 +446,9 @@ impl Engine {
     /// literal variants of the same query — or two formattings of it —
     /// share one plan.
     fn run_statement(&self, sql: &str) -> Result<Json, Json> {
+        if let Some(inner) = strip_explain_analyze(sql) {
+            return self.run_explain_analyze(inner);
+        }
         let mut tmpl =
             parse_template(sql).map_err(|e| error_frame(ErrorCode::ParseError, e.to_string()))?;
         // Whether the *client* wrote placeholders: decides how a bind
@@ -374,28 +460,60 @@ impl Engine {
         // duration; the budget must know so concurrent queries' fan-out
         // grants shrink accordingly.
         let _slot = self.budget.enter_statement();
+        let key = canonicalize(&mut tmpl);
+        let t = Instant::now();
         if tmpl.is_select() {
-            let key = canonicalize(&mut tmpl);
             let snap = self.db.snapshot();
-            let (prepared, cached) = match self.cache.get(&key) {
-                Some(p) => (p, true),
-                None => {
-                    let p = Arc::new(prepare_template(tmpl, &snap).map_err(prepare_error_frame)?);
-                    self.cache.insert(key, Arc::clone(&p));
-                    (p, false)
-                }
-            };
+            let (prepared, cached) = self.cached_plan(key.clone(), tmpl, &snap)?;
             let bind_code =
                 if explicit_params { ErrorCode::ParamError } else { ErrorCode::PlanError };
-            self.exec_select(&snap, &prepared, &inline, cached, bind_code)
+            let out = self.exec_select(&snap, &prepared, &inline, cached, bind_code, None);
+            if out.is_ok() {
+                self.observe_template(&key, t);
+            }
+            out
         } else {
             // Text-mode writes carry no parameters; a placeholder here is
             // a protocol error (prepare/execute is the parameterized path).
             let stmt = tmpl
                 .into_concrete()
                 .map_err(|e| error_frame(ErrorCode::ParamError, e.to_string()))?;
-            self.exec_write(&stmt, sql)
+            let out = self.exec_write(&stmt, sql);
+            if out.is_ok() {
+                self.observe_template(&key, t);
+            }
+            out
         }
+    }
+
+    /// `EXPLAIN ANALYZE <select>`: runs the statement with a span recorder
+    /// attached — regardless of the global tracing toggle — and returns
+    /// the query result plus an `analyze` member: the executed plan
+    /// annotated with actual per-phase times, morsel spans and per-segment
+    /// prune decisions.
+    fn run_explain_analyze(&self, sql: &str) -> Result<Json, Json> {
+        let mut tmpl =
+            parse_template(sql).map_err(|e| error_frame(ErrorCode::ParseError, e.to_string()))?;
+        let explicit_params = tmpl.param_count() > 0;
+        let inline = extract_select_params(&mut tmpl);
+        if !tmpl.is_select() {
+            return Err(error_frame(
+                ErrorCode::PlanError,
+                "EXPLAIN ANALYZE supports SELECT statements only",
+            ));
+        }
+        let _slot = self.budget.enter_statement();
+        let key = canonicalize(&mut tmpl);
+        let t = Instant::now();
+        let snap = self.db.snapshot();
+        let (prepared, cached) = self.cached_plan(key.clone(), tmpl, &snap)?;
+        let bind_code = if explicit_params { ErrorCode::ParamError } else { ErrorCode::PlanError };
+        let trace = Arc::new(TraceBuf::new());
+        let out = self.exec_select(&snap, &prepared, &inline, cached, bind_code, Some(trace));
+        if out.is_ok() {
+            self.observe_template(&key, t);
+        }
+        out
     }
 
     /// The `{"prepare":…}` path: plan (or fetch from the shared plan
@@ -405,6 +523,7 @@ impl Engine {
         let mut tmpl =
             parse_template(sql).map_err(|e| error_frame(ErrorCode::ParseError, e.to_string()))?;
         let key = canonicalize(&mut tmpl);
+        let key_arc: Arc<str> = Arc::from(key.as_str());
         let is_select = tmpl.is_select();
         // Only fully parameterized SELECTs go through the shared plan
         // cache: write templates carry no plan, and a SELECT with inline
@@ -430,7 +549,7 @@ impl Engine {
         let column_types = prepared
             .column_types()
             .map(|ts| Json::Array(ts.iter().map(|t| Json::Str(t.to_string())).collect()));
-        let (id, evicted) = session.register(prepared);
+        let (id, evicted) = session.register(key_arc, prepared);
         self.stats.prepares.fetch_add(1, Relaxed);
         let mut frame = Json::obj([
             ("ok", Json::Bool(true)),
@@ -460,12 +579,13 @@ impl Engine {
         let id = ex.get("id").and_then(Json::as_i64).filter(|id| *id >= 0).ok_or_else(|| {
             error_frame(ErrorCode::BadRequest, "\"execute\" needs a statement \"id\"")
         })?;
-        let prepared = session.get(id as u64).ok_or_else(|| {
+        let registered = session.get(id as u64).ok_or_else(|| {
             error_frame(
                 ErrorCode::UnknownStatement,
                 format!("statement {id} is not prepared in this session"),
             )
         })?;
+        let prepared = registered.prepared;
         let params = match ex.get("params") {
             None => Vec::new(),
             Some(Json::Array(items)) => items
@@ -479,9 +599,10 @@ impl Engine {
         };
         let _slot = self.budget.enter_statement();
         self.stats.prepared_execs.fetch_add(1, Relaxed);
-        if prepared.is_select() {
+        let t = Instant::now();
+        let out = if prepared.is_select() {
             let snap = self.db.snapshot();
-            self.exec_select(&snap, &prepared, &params, true, ErrorCode::ParamError)
+            self.exec_select(&snap, &prepared, &params, true, ErrorCode::ParamError, None)
         } else {
             let stmt = match prepared
                 .bind(&params)
@@ -492,7 +613,11 @@ impl Engine {
             };
             let wal_sql = stmt.to_sql().expect("bound write renders");
             self.exec_write(&stmt, &wal_sql)
+        };
+        if out.is_ok() {
+            self.observe_template(&registered.key, t);
         }
+        out
     }
 
     /// Binds parameters into a prepared SELECT and executes it against a
@@ -500,6 +625,10 @@ impl Engine {
     /// error code a bind failure maps to: `param_error` when the client
     /// supplied the parameters, `plan_error` when they are auto-extracted
     /// literals of a text-mode statement (the client never wrote a `$n`).
+    /// With `trace` attached (the `EXPLAIN ANALYZE` path), spans are
+    /// recorded during execution and the response gains an `analyze`
+    /// member: the rendered plan + span tree.
+    #[allow(clippy::too_many_arguments)]
     fn exec_select(
         &self,
         snap: &Arc<Database>,
@@ -507,6 +636,7 @@ impl Engine {
         params: &[Value],
         cached: bool,
         bind_code: ErrorCode,
+        trace: Option<Arc<TraceBuf>>,
     ) -> Result<Json, Json> {
         use std::sync::atomic::Ordering::Relaxed;
         let query = match prepared.bind(params).map_err(|e| match bind_code {
@@ -528,23 +658,32 @@ impl Engine {
         let want =
             self.opts.optimizer.plan_threads(estimated_scan_rows(snap, &query), self.opts.threads);
         let extra = self.budget.try_extra(want.saturating_sub(1));
-        let exec_opts = ExecOptions { threads: 1 + extra.held(), ..self.opts.clone() };
+        let mut exec_opts = ExecOptions { threads: 1 + extra.held(), ..self.opts.clone() };
+        if let Some(t) = &trace {
+            exec_opts = exec_opts.trace(Arc::clone(t));
+        }
         let out = execute(snap, &query, &exec_opts)
             .map_err(|e| error_frame(ErrorCode::ExecError, e.to_string()))?;
         drop(extra);
-        if out.plan.executor.is_parallel() {
-            self.stats.parallel_queries.fetch_add(1, Relaxed);
-        } else if want > 1 && out.plan.segments_scanned > 0 {
-            // The planner wanted to fan out but the query ran serial
-            // (budget exhausted or final row-count clamp). A fully-pruned
-            // scan is excluded: zone maps proving there is nothing to scan
-            // is not a denial.
-            self.stats.parallel_denied.fetch_add(1, Relaxed);
+        {
+            // One statement's counter updates form one seqlock write
+            // group, so a concurrent stats snapshot sees all of them or
+            // none (e.g. never pruned bumped but scanned not yet).
+            let _group = self.stats.group.begin_write();
+            if out.plan.executor.is_parallel() {
+                self.stats.parallel_queries.fetch_add(1, Relaxed);
+            } else if want > 1 && out.plan.segments_scanned > 0 {
+                // The planner wanted to fan out but the query ran serial
+                // (budget exhausted or final row-count clamp). A fully-pruned
+                // scan is excluded: zone maps proving there is nothing to scan
+                // is not a denial.
+                self.stats.parallel_denied.fetch_add(1, Relaxed);
+            }
+            self.stats.segments_scanned.fetch_add(out.plan.segments_scanned as u64, Relaxed);
+            self.stats.segments_pruned.fetch_add(out.plan.segments_pruned as u64, Relaxed);
+            self.stats.queries.fetch_add(1, Relaxed);
         }
-        self.stats.segments_scanned.fetch_add(out.plan.segments_scanned as u64, Relaxed);
-        self.stats.segments_pruned.fetch_add(out.plan.segments_pruned as u64, Relaxed);
-        self.stats.queries.fetch_add(1, Relaxed);
-        Ok(Json::obj([
+        let mut frame = Json::obj([
             ("ok", Json::Bool(true)),
             ("columns", Json::Array(out.result.columns.iter().cloned().map(Json::Str).collect())),
             (
@@ -561,7 +700,12 @@ impl Engine {
             ("cached_plan", Json::Bool(cached)),
             ("segments_scanned", Json::Int(out.plan.segments_scanned as i64)),
             ("segments_pruned", Json::Int(out.plan.segments_pruned as i64)),
-        ]))
+        ]);
+        if let (Some(t), Json::Object(m)) = (&trace, &mut frame) {
+            let lines = astore_core::analyze::render_analyze(&out, t);
+            m.insert("analyze".into(), Json::Array(lines.into_iter().map(Json::Str).collect()));
+        }
+        Ok(frame)
     }
 
     /// Applies one concrete write statement. `wal_sql` is the text the
@@ -1147,6 +1291,115 @@ mod tests {
         let r = sql(&e, "SELECT count(*) AS n FROM fact WHERE f_v >= 10");
         assert_eq!(r.get("cached_plan").unwrap().as_bool(), Some(true), "{r:?}");
         assert_eq!(e.cache().len(), 1, "still one entry");
+    }
+
+    #[test]
+    fn explain_analyze_reports_plan_and_spans() {
+        let e = engine();
+        let r = sql(
+            &e,
+            "EXPLAIN ANALYZE SELECT d_name, sum(f_v) AS total FROM fact, dim GROUP BY d_name",
+        );
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+        assert_eq!(r.get("row_count").unwrap().as_i64(), Some(2), "the query still runs");
+        let lines: Vec<String> = r
+            .get("analyze")
+            .expect("analyze member")
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|l| l.as_str().unwrap().to_owned())
+            .collect();
+        let joined = lines.join("\n");
+        assert!(joined.contains("root:"), "{joined}");
+        assert!(joined.contains("phases:"), "{joined}");
+        assert!(joined.contains("segments:"), "{joined}");
+        assert!(joined.contains("execute"), "{joined}");
+        assert!(joined.contains("phase2_scan"), "{joined}");
+        // Case-insensitive prefix; writes are rejected with a typed error.
+        let r = sql(&e, "explain analyze select count(*) as n from fact");
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+        let r = sql(&e, "EXPLAIN ANALYZE INSERT INTO fact VALUES (0, 1)");
+        assert_eq!(r.get("code").unwrap().as_str(), Some("plan_error"), "{r:?}");
+    }
+
+    #[test]
+    fn metrics_cmd_returns_prometheus_text() {
+        let e = engine();
+        sql(&e, "SELECT count(*) AS n FROM fact");
+        sql(&e, "SELECT count(*) AS n FROM fact WHERE f_v >= 10");
+        let r = e.handle_line(r#"{"cmd":"metrics"}"#);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+        let body = r.get("metrics").unwrap().as_str().unwrap();
+        assert!(body.contains("astore_server_queries_total 2\n"), "{body}");
+        assert!(body.contains("# TYPE astore_server_latency_us histogram\n"));
+        assert!(body.contains("astore_server_template_latency_us_bucket{template="), "{body}");
+        assert!(body.contains("le=\"+Inf\""));
+        assert!(body.contains("astore_server_core_budget_total"));
+        // Two distinct canonical templates → two labeled series.
+        assert_eq!(e.templates().len(), 2);
+    }
+
+    #[test]
+    fn slowlog_captures_only_past_threshold() {
+        let e = engine(); // threshold 0: capture off
+        sql(&e, "SELECT count(*) AS n FROM fact");
+        let r = e.handle_line(r#"{"cmd":"slowlog"}"#);
+        let log = r.get("slowlog").unwrap();
+        assert_eq!(log.get("threshold_ms").unwrap().as_i64(), Some(0));
+        assert_eq!(log.get("entries").unwrap().as_array().unwrap().len(), 0);
+        // Threshold 0ms→every statement qualifies once enabled at 0? No:
+        // 0 disables. Re-arm via the slowlog handle directly (the --slow-ms
+        // path) with a 0µs-reachable 1ms... use the setter + a synthetic
+        // observation instead of relying on wall-clock latency.
+        e.slowlog().set_threshold_ms(1);
+        e.slowlog().observe("SELECT count(*) FROM fact", 5_000);
+        let r = e.handle_line(r#"{"cmd":"slowlog"}"#);
+        let entries = r.get("slowlog").unwrap().get("entries").unwrap().as_array().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].get("elapsed_us").unwrap().as_i64(), Some(5000));
+        assert!(entries[0].get("ago_s").unwrap().as_f64().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn stats_cmd_reports_per_template_histograms() {
+        let e = engine();
+        sql(&e, "SELECT count(*) AS n FROM fact WHERE f_v >= 10");
+        sql(&e, "SELECT count(*) AS n FROM fact WHERE f_v >= 25"); // same template
+        sql(&e, "SELECT sum(f_v) AS s FROM fact"); // different template
+        let r = e.handle_line(r#"{"cmd":"stats"}"#);
+        let templates = r.get("stats").unwrap().get("templates").unwrap().as_array().unwrap();
+        assert_eq!(templates.len(), 2, "{templates:?}");
+        let counts: Vec<i64> =
+            templates.iter().map(|t| t.get("count").unwrap().as_i64().unwrap()).collect();
+        assert_eq!(counts.iter().sum::<i64>(), 3);
+        assert!(counts.contains(&2), "literal variants share one series: {counts:?}");
+        for t in templates {
+            assert!(t.get("p50_us").is_some() && t.get("p99_us").is_some(), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn prepared_executions_land_in_template_stats() {
+        let e = engine();
+        let mut session = StatementRegistry::default();
+        let r = e.handle_line_session(
+            r#"{"prepare":"SELECT count(*) AS n FROM fact WHERE f_v >= ?"}"#,
+            &mut session,
+        );
+        let id = r.get("stmt_id").unwrap().as_i64().unwrap();
+        for v in [10, 25] {
+            let r = e.handle_line_session(
+                &format!(r#"{{"execute":{{"id":{id},"params":[{v}]}}}}"#),
+                &mut session,
+            );
+            assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+        }
+        // The text-mode spelling of the same query shares the series.
+        sql(&e, "SELECT count(*) AS n FROM fact WHERE f_v >= 99");
+        let snap = e.templates().snapshot();
+        assert_eq!(snap.len(), 1, "one canonical template: {snap:?}");
+        assert_eq!(snap[0].1.count(), 3, "prepared and text executions share it");
     }
 
     #[test]

@@ -69,6 +69,28 @@ impl LatencyHistogram {
         self.max_us.load(Ordering::Relaxed)
     }
 
+    /// Sum of all recorded samples in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bucket counts as `(upper_bound_us, cumulative_count)`
+    /// pairs, Prometheus-style: bucket `i`'s bound is `2^i` µs and its
+    /// count includes every smaller bucket. The last pair's count equals
+    /// [`LatencyHistogram::count`] (the final bucket clamps all outliers,
+    /// so it doubles as `+Inf`).
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        let mut cumulative = 0u64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                cumulative += c.load(Ordering::Relaxed);
+                (1u64 << i, cumulative)
+            })
+            .collect()
+    }
+
     /// Approximate quantile (`q` in `[0, 1]`), linearly interpolated inside
     /// the winning bucket. Returns 0 when empty.
     pub fn quantile_us(&self, q: f64) -> u64 {
@@ -148,5 +170,23 @@ mod tests {
         h.record(u64::MAX);
         assert_eq!(h.count(), 1);
         assert!(h.quantile_us(0.5) > 0);
+        let buckets = h.buckets();
+        assert_eq!(buckets.last().unwrap().1, 1, "clamped sample lands in the last bucket");
+    }
+
+    #[test]
+    fn buckets_are_cumulative_and_end_at_count() {
+        let h = LatencyHistogram::new();
+        for us in [0, 1, 2, 100, 5000] {
+            h.record(us);
+        }
+        let buckets = h.buckets();
+        assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1 && w[0].0 < w[1].0));
+        assert_eq!(buckets.last().unwrap().1, h.count());
+        assert_eq!(h.sum_us(), 5103);
+        // A 100µs sample is counted by every bound ≥ 128.
+        let (bound, cum) = buckets.iter().find(|(b, _)| *b >= 128).unwrap();
+        assert_eq!(*bound, 128);
+        assert_eq!(*cum, 4, "0, 1, 2 and 100 are ≤ 128µs");
     }
 }

@@ -40,6 +40,24 @@
 //! queries share via auto-parameterization — `d_year = 1993` and
 //! `d_year = 1997` are one plan.
 //!
+//! **Observability.** `EXPLAIN ANALYZE <select>` runs the statement with a
+//! span recorder attached and returns the usual result frame plus an
+//! `analyze` member (the executed plan annotated with per-phase times,
+//! morsel spans and per-segment prune decisions). `{"cmd":"metrics"}`
+//! returns a Prometheus text-format scrape body — all server counters,
+//! the global latency histogram, and one labeled histogram per canonical
+//! statement template. `{"cmd":"slowlog"}` returns the bounded ring of
+//! statements slower than the `--slow-ms` threshold, newest first:
+//!
+//! ```text
+//! → {"sql":"EXPLAIN ANALYZE SELECT d_year, sum(lo_revenue) AS rev FROM lineorder, date WHERE lo_orderdate = d_datekey GROUP BY d_year"}
+//! ← {"ok":true,"rows":[…],"analyze":["root: lineorder  executor: serial","phases: leaf=…us scan=…us agg=…us total=…us",…],…}
+//! → {"cmd":"metrics"}
+//! ← {"ok":true,"metrics":"# HELP astore_server_queries_total …"}
+//! → {"cmd":"slowlog"}
+//! ← {"ok":true,"slowlog":{"threshold_ms":100,"entries":[{"template":…,"elapsed_us":…,"ago_s":…}]}}
+//! ```
+//!
 //! Error codes: `bad_request`, `parse_error`, `plan_error`, `exec_error`,
 //! `write_error`, `unknown_statement` (execute of an unprepared/evicted
 //! id), `param_error` (wrong parameter count or kind), `server_busy`
@@ -82,6 +100,7 @@ pub mod client;
 pub mod engine;
 pub mod hist;
 pub mod json;
+pub mod metrics;
 pub mod pool;
 pub mod server;
 pub mod session;
@@ -91,6 +110,7 @@ pub use budget::CoreBudget;
 pub use cache::PlanCache;
 pub use client::{Client, ClientError};
 pub use engine::{Durability, Engine, ErrorCode};
+pub use metrics::{SlowLog, TemplateStats};
 pub use server::{start, ServerConfig, ServerHandle};
 pub use session::StatementRegistry;
 pub use stats::ServerStats;

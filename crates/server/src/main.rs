@@ -30,6 +30,8 @@ fn main() {
     let mut cache_dir: Option<String> = None;
     let mut checkpoint_every: u64 = 4096;
     let mut engine_threads: usize = 1;
+    let mut slow_ms: u64 = 0;
+    let mut trace = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -59,6 +61,8 @@ fn main() {
             "--engine-threads" => {
                 engine_threads = parse_or_die(&value("--engine-threads"), "--engine-threads")
             }
+            "--slow-ms" => slow_ms = parse_or_die(&value("--slow-ms"), "--slow-ms"),
+            "--trace" => trace = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -117,8 +121,13 @@ fn main() {
         }
     };
 
+    if trace {
+        // Runtime toggle: arms the engine-wide timing counters (WAL
+        // append/fsync, checkpoint encode) surfaced by {"cmd":"metrics"}.
+        astore_obs::set_enabled(true);
+    }
     let exec_opts = astore_core::exec::ExecOptions::default().threads(engine_threads.max(1));
-    let mut engine = Engine::with_options(SharedDatabase::new(db), exec_opts);
+    let mut engine = Engine::with_options(SharedDatabase::new(db), exec_opts).slow_ms(slow_ms);
     if let Some(d) = durability {
         engine = engine.durable(d);
     }
@@ -196,4 +205,9 @@ flags:
                           Big scans split into morsels across up to n worker
                           threads, granted from a global core budget shared
                           with the statement worker pool, so intra-query and
-                          inter-query parallelism never oversubscribe cores";
+                          inter-query parallelism never oversubscribe cores
+  --slow-ms <n>           capture statements slower than n ms in the
+                          {\"cmd\":\"slowlog\"} ring buffer (default 0 = off)
+  --trace                 arm the runtime tracing toggle: engine timing
+                          counters (WAL fsync, checkpoint) are sampled and
+                          exposed via {\"cmd\":\"metrics\"}";

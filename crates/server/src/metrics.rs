@@ -1,0 +1,448 @@
+//! Server-side metric surfaces: per-template latency histograms, the
+//! slow-query ring buffer, and Prometheus text-format exposition.
+//!
+//! [`TemplateStats`] keys one [`LatencyHistogram`] per *canonical statement
+//! template* — the same key the plan cache uses — so SSB Q1.1 with
+//! different literals is one series, and `{"cmd":"metrics"}` can answer
+//! "which query shape is slow" instead of only "the server is slow". The
+//! map is bounded: past [`MAX_TEMPLATES`] distinct shapes, new ones fold
+//! into the `(other)` series rather than growing without limit.
+//!
+//! [`SlowLog`] is a bounded ring of the most recent statements that ran
+//! longer than the `--slow-ms` threshold, served by `{"cmd":"slowlog"}`
+//! newest-first. A threshold of 0 disables capture entirely.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use astore_obs::PromWriter;
+
+use crate::cache::PlanCache;
+use crate::hist::LatencyHistogram;
+use crate::json::Json;
+use crate::stats::ServerStats;
+
+/// Most distinct templates tracked before new shapes fold into `(other)`.
+pub const MAX_TEMPLATES: usize = 128;
+/// Capacity of the slow-query ring buffer.
+pub const SLOWLOG_CAP: usize = 128;
+/// Catch-all series name once the per-template map is full.
+pub const OVERFLOW_TEMPLATE: &str = "(other)";
+
+/// Per-canonical-template latency histograms, bounded at
+/// [`MAX_TEMPLATES`] series.
+#[derive(Debug, Default)]
+pub struct TemplateStats {
+    map: Mutex<HashMap<String, Arc<LatencyHistogram>>>,
+}
+
+impl TemplateStats {
+    /// An empty map.
+    pub fn new() -> Self {
+        TemplateStats::default()
+    }
+
+    /// Records one sample under a template key. The lock covers only the
+    /// map lookup — the histogram increment itself is lock-free.
+    pub fn record(&self, template: &str, us: u64) {
+        let hist = {
+            let mut map = self.map.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(h) = map.get(template) {
+                Arc::clone(h)
+            } else if map.len() < MAX_TEMPLATES {
+                let h = Arc::new(LatencyHistogram::new());
+                map.insert(template.to_owned(), Arc::clone(&h));
+                h
+            } else {
+                Arc::clone(
+                    map.entry(OVERFLOW_TEMPLATE.to_owned())
+                        .or_insert_with(|| Arc::new(LatencyHistogram::new())),
+                )
+            }
+        };
+        hist.record(us);
+    }
+
+    /// All series, name-ordered. The histograms are shared handles —
+    /// concurrent recording continues while the caller reads them.
+    pub fn snapshot(&self) -> Vec<(String, Arc<LatencyHistogram>)> {
+        let map = self.map.lock().unwrap_or_else(|p| p.into_inner());
+        let mut out: Vec<_> = map.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect();
+        drop(map);
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Number of tracked series.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Returns `true` if no series are tracked yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `templates` member of the `{"cmd":"stats"}` payload: one object
+    /// per series with count, mean and the monitoring quantiles.
+    pub fn to_json(&self) -> Json {
+        Json::Array(
+            self.snapshot()
+                .into_iter()
+                .map(|(name, h)| {
+                    Json::obj([
+                        ("template", Json::Str(name)),
+                        ("count", Json::Int(h.count() as i64)),
+                        ("mean_us", Json::Float(h.mean_us())),
+                        ("p50_us", Json::Int(h.quantile_us(0.50) as i64)),
+                        ("p99_us", Json::Int(h.quantile_us(0.99) as i64)),
+                        ("max_us", Json::Int(h.max_us() as i64)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+/// One captured slow statement.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    /// The canonical statement template that ran slow.
+    pub template: String,
+    /// End-to-end latency of the offending execution.
+    pub elapsed_us: u64,
+    /// When the statement finished (for `ago_s` rendering).
+    pub at: Instant,
+}
+
+/// A bounded ring buffer of statements slower than a runtime threshold.
+#[derive(Debug)]
+pub struct SlowLog {
+    entries: Mutex<VecDeque<SlowEntry>>,
+    threshold_us: AtomicU64,
+    cap: usize,
+}
+
+impl Default for SlowLog {
+    fn default() -> Self {
+        SlowLog::new(0)
+    }
+}
+
+impl SlowLog {
+    /// A ring of [`SLOWLOG_CAP`] entries capturing statements at or above
+    /// `threshold_ms` (0 disables capture).
+    pub fn new(threshold_ms: u64) -> Self {
+        SlowLog {
+            entries: Mutex::new(VecDeque::new()),
+            threshold_us: AtomicU64::new(threshold_ms.saturating_mul(1000)),
+            cap: SLOWLOG_CAP,
+        }
+    }
+
+    /// Updates the capture threshold at run time.
+    pub fn set_threshold_ms(&self, ms: u64) {
+        self.threshold_us.store(ms.saturating_mul(1000), Ordering::Relaxed);
+    }
+
+    /// The current threshold in milliseconds (0 = disabled).
+    pub fn threshold_ms(&self) -> u64 {
+        self.threshold_us.load(Ordering::Relaxed) / 1000
+    }
+
+    /// Offers one finished statement; it is kept only when capture is
+    /// enabled and the latency reaches the threshold. The fast path (not
+    /// slow, or disabled) is a single relaxed load.
+    pub fn observe(&self, template: &str, elapsed_us: u64) {
+        let threshold = self.threshold_us.load(Ordering::Relaxed);
+        if threshold == 0 || elapsed_us < threshold {
+            return;
+        }
+        let mut entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        if entries.len() == self.cap {
+            entries.pop_front();
+        }
+        entries.push_back(SlowEntry {
+            template: template.to_owned(),
+            elapsed_us,
+            at: Instant::now(),
+        });
+    }
+
+    /// Captured entries, newest first.
+    pub fn entries(&self) -> Vec<SlowEntry> {
+        let entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        entries.iter().rev().cloned().collect()
+    }
+
+    /// Number of captured entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Returns `true` if nothing has been captured (or capture is off).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `{"cmd":"slowlog"}` payload: entries newest first, each with
+    /// how long ago it finished.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("threshold_ms", Json::Int(self.threshold_ms() as i64)),
+            (
+                "entries",
+                Json::Array(
+                    self.entries()
+                        .into_iter()
+                        .map(|e| {
+                            Json::obj([
+                                ("template", Json::Str(e.template)),
+                                ("elapsed_us", Json::Int(e.elapsed_us as i64)),
+                                ("ago_s", Json::Float(e.at.elapsed().as_secs_f64())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Emits one histogram family: `_bucket` series with cumulative `le`
+/// bounds, then `_sum` and `_count`.
+fn emit_histogram(
+    w: &mut PromWriter,
+    name: &str,
+    help: &str,
+    labels: &[(&str, &str)],
+    h: &LatencyHistogram,
+) {
+    w.header(name, help, "histogram");
+    let bucket_name = format!("{name}_bucket");
+    for (bound, cumulative) in h.buckets() {
+        let le = bound.to_string();
+        let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+        with_le.push(("le", &le));
+        w.sample_u64(&bucket_name, &with_le, cumulative);
+    }
+    let mut with_inf: Vec<(&str, &str)> = labels.to_vec();
+    with_inf.push(("le", "+Inf"));
+    w.sample_u64(&bucket_name, &with_inf, h.count());
+    w.sample_u64(&format!("{name}_sum"), labels, h.sum_us());
+    w.sample_u64(&format!("{name}_count"), labels, h.count());
+}
+
+/// Builds the full Prometheus text-format scrape body: server counters,
+/// gauges, the global latency histogram, one labeled histogram per
+/// canonical template, and every engine-wide counter registered in the
+/// [`astore_obs`] registry (WAL append/fsync and checkpoint timings).
+pub fn render_prometheus(
+    stats: &ServerStats,
+    cache: &PlanCache,
+    templates: &TemplateStats,
+    slowlog: &SlowLog,
+    gauges: &[(&str, &str, f64)],
+) -> String {
+    let mut w = PromWriter::new();
+
+    let counters: &[(&str, &str, u64)] = &[
+        (
+            "astore_server_queries_total",
+            "Read queries served.",
+            stats.queries.load(Ordering::Relaxed),
+        ),
+        (
+            "astore_server_writes_total",
+            "Write statements applied.",
+            stats.writes.load(Ordering::Relaxed),
+        ),
+        (
+            "astore_server_wal_records_total",
+            "Write statements appended to the WAL.",
+            stats.wal_records.load(Ordering::Relaxed),
+        ),
+        (
+            "astore_server_checkpoints_total",
+            "Checkpoints taken.",
+            stats.checkpoints.load(Ordering::Relaxed),
+        ),
+        (
+            "astore_server_parallel_queries_total",
+            "Queries run by the morsel-parallel executor.",
+            stats.parallel_queries.load(Ordering::Relaxed),
+        ),
+        (
+            "astore_server_parallel_denied_total",
+            "Queries that wanted to fan out but ran serial.",
+            stats.parallel_denied.load(Ordering::Relaxed),
+        ),
+        (
+            "astore_server_segments_scanned_total",
+            "Fact-table segments scanned.",
+            stats.segments_scanned.load(Ordering::Relaxed),
+        ),
+        (
+            "astore_server_segments_pruned_total",
+            "Fact-table segments skipped by zone maps.",
+            stats.segments_pruned.load(Ordering::Relaxed),
+        ),
+        (
+            "astore_server_prepares_total",
+            "Statements prepared (protocol v2).",
+            stats.prepares.load(Ordering::Relaxed),
+        ),
+        (
+            "astore_server_prepared_execs_total",
+            "Prepared executions (protocol v2).",
+            stats.prepared_execs.load(Ordering::Relaxed),
+        ),
+        (
+            "astore_server_errors_total",
+            "Requests answered with an error frame.",
+            stats.errors.load(Ordering::Relaxed),
+        ),
+        (
+            "astore_server_rejected_total",
+            "Requests shed by admission control.",
+            stats.rejected.load(Ordering::Relaxed),
+        ),
+        (
+            "astore_server_connections_rejected_total",
+            "Connections refused at the limit.",
+            stats.conn_rejected.load(Ordering::Relaxed),
+        ),
+        ("astore_server_plan_cache_hits_total", "Plan-cache hits.", cache.hits()),
+        ("astore_server_plan_cache_misses_total", "Plan-cache misses.", cache.misses()),
+    ];
+    for (name, help, value) in counters {
+        w.header(name, help, "counter");
+        w.sample_u64(name, &[], *value);
+    }
+
+    w.header("astore_server_active_connections", "Currently open connections.", "gauge");
+    w.sample_u64(
+        "astore_server_active_connections",
+        &[],
+        stats.active_connections.load(Ordering::Relaxed) as u64,
+    );
+    w.header("astore_server_cached_plans", "Templates in the plan cache.", "gauge");
+    w.sample_u64("astore_server_cached_plans", &[], cache.len() as u64);
+    w.header("astore_server_slowlog_entries", "Entries in the slow-query ring.", "gauge");
+    w.sample_u64("astore_server_slowlog_entries", &[], slowlog.len() as u64);
+    w.header("astore_obs_enabled", "1 when the runtime tracing toggle is on.", "gauge");
+    w.sample_u64("astore_obs_enabled", &[], u64::from(astore_obs::enabled()));
+    for (name, help, value) in gauges {
+        w.header(name, help, "gauge");
+        w.sample(name, &[], *value);
+    }
+
+    emit_histogram(
+        &mut w,
+        "astore_server_latency_us",
+        "End-to-end statement latency (all templates).",
+        &[],
+        &stats.latency,
+    );
+    for (template, hist) in templates.snapshot() {
+        emit_histogram(
+            &mut w,
+            "astore_server_template_latency_us",
+            "Statement latency per canonical template.",
+            &[("template", &template)],
+            &hist,
+        );
+    }
+
+    for (name, value) in astore_obs::counters() {
+        w.header(name, "Engine event/timing counter (see astore-obs registry).", "counter");
+        w.sample_u64(name, &[], value);
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_stats_bound_and_overflow() {
+        let t = TemplateStats::new();
+        for i in 0..MAX_TEMPLATES + 10 {
+            t.record(&format!("SELECT {i}"), 100);
+        }
+        assert_eq!(t.len(), MAX_TEMPLATES + 1, "cap plus the (other) series");
+        let snap = t.snapshot();
+        let other = snap.iter().find(|(n, _)| n == OVERFLOW_TEMPLATE).unwrap();
+        assert_eq!(other.1.count(), 10, "overflow shapes fold into one series");
+        // Recording an existing key still lands on its own series.
+        t.record("SELECT 0", 100);
+        let snap = t.snapshot();
+        assert_eq!(snap.iter().find(|(n, _)| n == "SELECT 0").unwrap().1.count(), 2);
+    }
+
+    #[test]
+    fn slowlog_captures_above_threshold_newest_first() {
+        let log = SlowLog::new(10); // 10ms
+        log.observe("fast", 500);
+        assert!(log.is_empty(), "below threshold is not captured");
+        log.observe("slow-a", 20_000);
+        log.observe("slow-b", 11_000);
+        let entries = log.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].template, "slow-b", "newest first");
+        assert_eq!(entries[1].elapsed_us, 20_000);
+        log.set_threshold_ms(0);
+        log.observe("slow-c", 99_000);
+        assert_eq!(log.len(), 2, "threshold 0 disables capture");
+    }
+
+    #[test]
+    fn slowlog_ring_is_bounded() {
+        let log = SlowLog::new(1);
+        for i in 0..SLOWLOG_CAP + 5 {
+            log.observe(&format!("q{i}"), 2_000 + i as u64);
+        }
+        assert_eq!(log.len(), SLOWLOG_CAP);
+        let entries = log.entries();
+        assert_eq!(entries[0].template, format!("q{}", SLOWLOG_CAP + 4), "newest kept");
+        assert_eq!(entries.last().unwrap().template, "q5", "oldest evicted");
+    }
+
+    #[test]
+    fn prometheus_body_is_well_formed() {
+        let stats = ServerStats::new();
+        stats.queries.fetch_add(3, Ordering::Relaxed);
+        stats.latency.record(150);
+        let cache = PlanCache::default();
+        let templates = TemplateStats::new();
+        templates.record("SELECT count(*) FROM fact", 150);
+        let slowlog = SlowLog::new(0);
+        let body = render_prometheus(
+            &stats,
+            &cache,
+            &templates,
+            &slowlog,
+            &[("astore_server_engine_threads", "Fan-out ceiling.", 4.0)],
+        );
+        assert!(body.contains("astore_server_queries_total 3\n"));
+        assert!(body.contains("# TYPE astore_server_latency_us histogram\n"));
+        assert!(body.contains("astore_server_latency_us_count 1\n"));
+        assert!(body.contains(r#"astore_server_latency_us_bucket{le="+Inf"} 1"#));
+        assert!(body
+            .contains(r#"astore_server_template_latency_us_bucket{template="SELECT count(*) FROM fact",le="+Inf"} 1"#));
+        assert!(body.contains("astore_server_engine_threads 4\n"));
+        // Every line is a comment or `name{labels} value`.
+        for line in body.lines() {
+            assert!(
+                line.starts_with('#')
+                    || line
+                        .rsplit_once(' ')
+                        .is_some_and(|(m, v)| !m.is_empty() && v.parse::<f64>().is_ok()),
+                "bad exposition line: {line}"
+            );
+        }
+    }
+}

@@ -16,10 +16,21 @@ use astore_sql::prepared::Prepared;
 /// Default per-session statement capacity.
 pub const DEFAULT_STATEMENTS_PER_SESSION: usize = 64;
 
+/// A registered statement: the planned template plus the canonical key it
+/// was planned under — the key labels this statement's executions in the
+/// per-template latency metrics and the slow-query log.
+#[derive(Debug, Clone)]
+pub struct SessionStatement {
+    /// Canonical statement-template text (the plan-cache key).
+    pub key: Arc<str>,
+    /// The planned, bindable template.
+    pub prepared: Arc<Prepared>,
+}
+
 /// A bounded id → prepared-statement map, one per connection.
 #[derive(Debug)]
 pub struct StatementRegistry {
-    stmts: HashMap<u64, Arc<Prepared>>,
+    stmts: HashMap<u64, SessionStatement>,
     order: VecDeque<u64>,
     next_id: u64,
     capacity: usize,
@@ -42,12 +53,17 @@ impl StatementRegistry {
         }
     }
 
-    /// Registers a statement, returning its fresh id and the id of the
-    /// statement evicted to make room (if the registry was full).
-    pub fn register(&mut self, stmt: Arc<Prepared>) -> (u64, Option<u64>) {
+    /// Registers a statement under its canonical-template key, returning
+    /// its fresh id and the id of the statement evicted to make room (if
+    /// the registry was full).
+    pub fn register(
+        &mut self,
+        key: impl Into<Arc<str>>,
+        stmt: Arc<Prepared>,
+    ) -> (u64, Option<u64>) {
         let id = self.next_id;
         self.next_id += 1;
-        self.stmts.insert(id, stmt);
+        self.stmts.insert(id, SessionStatement { key: key.into(), prepared: stmt });
         self.order.push_back(id);
         let evicted = if self.order.len() > self.capacity {
             self.order.pop_front().inspect(|old| {
@@ -60,7 +76,7 @@ impl StatementRegistry {
     }
 
     /// Looks up a statement by id.
-    pub fn get(&self, id: u64) -> Option<Arc<Prepared>> {
+    pub fn get(&self, id: u64) -> Option<SessionStatement> {
         self.stmts.get(&id).cloned()
     }
 
@@ -103,10 +119,11 @@ mod tests {
     #[test]
     fn register_get_close() {
         let mut r = StatementRegistry::default();
-        let (id, evicted) = r.register(prepared());
+        let (id, evicted) = r.register("select count(*) from t", prepared());
         assert_eq!(id, 1);
         assert!(evicted.is_none());
-        assert!(r.get(id).is_some());
+        let stmt = r.get(id).unwrap();
+        assert_eq!(&*stmt.key, "select count(*) from t");
         assert!(r.close(id));
         assert!(!r.close(id), "double close");
         assert!(r.get(id).is_none());
@@ -116,18 +133,18 @@ mod tests {
     #[test]
     fn ids_are_never_reused() {
         let mut r = StatementRegistry::with_capacity(2);
-        let (a, _) = r.register(prepared());
+        let (a, _) = r.register("k", prepared());
         r.close(a);
-        let (b, _) = r.register(prepared());
+        let (b, _) = r.register("k", prepared());
         assert_ne!(a, b);
     }
 
     #[test]
     fn fifo_eviction_past_capacity() {
         let mut r = StatementRegistry::with_capacity(2);
-        let (a, _) = r.register(prepared());
-        let (b, _) = r.register(prepared());
-        let (c, evicted) = r.register(prepared());
+        let (a, _) = r.register("k", prepared());
+        let (b, _) = r.register("k", prepared());
+        let (c, evicted) = r.register("k", prepared());
         assert_eq!(evicted, Some(a), "oldest evicted");
         assert!(r.get(a).is_none());
         assert!(r.get(b).is_some());

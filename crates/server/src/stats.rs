@@ -3,6 +3,8 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
+use astore_obs::SeqLock;
+
 use crate::cache::PlanCache;
 use crate::hist::LatencyHistogram;
 use crate::json::Json;
@@ -42,6 +44,11 @@ pub struct ServerStats {
     pub active_connections: AtomicUsize,
     /// End-to-end statement latency (parse → response built).
     pub latency: LatencyHistogram,
+    /// Groups multi-counter updates (e.g. `queries` + `segments_scanned` +
+    /// `segments_pruned` of one statement) so [`ServerStats::to_json`]
+    /// snapshots either all of an update or none of it — a mid-burst scrape
+    /// can no longer report `segments_pruned` ahead of `segments_scanned`.
+    pub group: SeqLock,
     started: Instant,
 }
 
@@ -63,6 +70,7 @@ impl Default for ServerStats {
             conn_rejected: AtomicU64::new(0),
             active_connections: AtomicUsize::new(0),
             latency: LatencyHistogram::new(),
+            group: SeqLock::new(),
             started: Instant::now(),
         }
     }
@@ -74,23 +82,44 @@ impl ServerStats {
         ServerStats::default()
     }
 
-    /// Builds the `stats` payload of the wire protocol.
+    /// Builds the `stats` payload of the wire protocol. The counter loads
+    /// run inside a [`SeqLock::read`] retry loop — one cheap pass over all
+    /// thirteen counters — so counters updated as one write group appear
+    /// coherently even mid-burst.
     pub fn to_json(&self, cache: &PlanCache) -> Json {
+        let [queries, writes, wal_records, checkpoints, parallel_queries, parallel_denied, segments_scanned, segments_pruned, prepares, prepared_execs, errors, rejected, conn_rejected] =
+            self.group.read(|| {
+                [
+                    self.queries.load(Ordering::Relaxed),
+                    self.writes.load(Ordering::Relaxed),
+                    self.wal_records.load(Ordering::Relaxed),
+                    self.checkpoints.load(Ordering::Relaxed),
+                    self.parallel_queries.load(Ordering::Relaxed),
+                    self.parallel_denied.load(Ordering::Relaxed),
+                    self.segments_scanned.load(Ordering::Relaxed),
+                    self.segments_pruned.load(Ordering::Relaxed),
+                    self.prepares.load(Ordering::Relaxed),
+                    self.prepared_execs.load(Ordering::Relaxed),
+                    self.errors.load(Ordering::Relaxed),
+                    self.rejected.load(Ordering::Relaxed),
+                    self.conn_rejected.load(Ordering::Relaxed),
+                ]
+            });
         Json::obj([
             ("uptime_s", Json::Float(self.started.elapsed().as_secs_f64())),
-            ("queries", Json::Int(self.queries.load(Ordering::Relaxed) as i64)),
-            ("writes", Json::Int(self.writes.load(Ordering::Relaxed) as i64)),
-            ("wal_records", Json::Int(self.wal_records.load(Ordering::Relaxed) as i64)),
-            ("checkpoints", Json::Int(self.checkpoints.load(Ordering::Relaxed) as i64)),
-            ("parallel_queries", Json::Int(self.parallel_queries.load(Ordering::Relaxed) as i64)),
-            ("parallel_denied", Json::Int(self.parallel_denied.load(Ordering::Relaxed) as i64)),
-            ("segments_scanned", Json::Int(self.segments_scanned.load(Ordering::Relaxed) as i64)),
-            ("segments_pruned", Json::Int(self.segments_pruned.load(Ordering::Relaxed) as i64)),
-            ("prepares", Json::Int(self.prepares.load(Ordering::Relaxed) as i64)),
-            ("prepared_execs", Json::Int(self.prepared_execs.load(Ordering::Relaxed) as i64)),
-            ("errors", Json::Int(self.errors.load(Ordering::Relaxed) as i64)),
-            ("rejected", Json::Int(self.rejected.load(Ordering::Relaxed) as i64)),
-            ("connections_rejected", Json::Int(self.conn_rejected.load(Ordering::Relaxed) as i64)),
+            ("queries", Json::Int(queries as i64)),
+            ("writes", Json::Int(writes as i64)),
+            ("wal_records", Json::Int(wal_records as i64)),
+            ("checkpoints", Json::Int(checkpoints as i64)),
+            ("parallel_queries", Json::Int(parallel_queries as i64)),
+            ("parallel_denied", Json::Int(parallel_denied as i64)),
+            ("segments_scanned", Json::Int(segments_scanned as i64)),
+            ("segments_pruned", Json::Int(segments_pruned as i64)),
+            ("prepares", Json::Int(prepares as i64)),
+            ("prepared_execs", Json::Int(prepared_execs as i64)),
+            ("errors", Json::Int(errors as i64)),
+            ("rejected", Json::Int(rejected as i64)),
+            ("connections_rejected", Json::Int(conn_rejected as i64)),
             (
                 "active_connections",
                 Json::Int(self.active_connections.load(Ordering::Relaxed) as i64),
@@ -138,5 +167,32 @@ mod tests {
         ] {
             assert!(j.get(key).is_some(), "missing {key}");
         }
+    }
+
+    #[test]
+    fn snapshot_never_tears_a_write_group() {
+        // A writer bumps scanned and pruned together under the seqlock
+        // (pruned ≤ scanned always holds at group boundaries); a reader
+        // snapshotting concurrently must never see pruned > scanned.
+        let stats = std::sync::Arc::new(ServerStats::new());
+        let cache = PlanCache::default();
+        std::thread::scope(|s| {
+            let w = std::sync::Arc::clone(&stats);
+            s.spawn(move || {
+                for _ in 0..20_000 {
+                    let _g = w.group.begin_write();
+                    // Pruned first: an ungrouped reader between these two
+                    // adds would observe the invariant violated.
+                    w.segments_pruned.fetch_add(1, Ordering::Relaxed);
+                    w.segments_scanned.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            for _ in 0..500 {
+                let j = stats.to_json(&cache);
+                let scanned = j.get("segments_scanned").unwrap().as_i64().unwrap();
+                let pruned = j.get("segments_pruned").unwrap().as_i64().unwrap();
+                assert!(pruned <= scanned, "torn snapshot: pruned={pruned} scanned={scanned}");
+            }
+        });
     }
 }

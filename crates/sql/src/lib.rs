@@ -54,7 +54,10 @@ pub use planner::{plan, plan_with_params, sql_to_query, PlanError};
 pub use prepared::{
     prepare, BoundStatement, ColumnType, ParamError, PrepareError, Prepared, PreparedKind,
 };
-pub use statement::{parse_statement, parse_template, Statement, StatementTemplate, WriteTemplate};
+pub use statement::{
+    parse_statement, parse_template, strip_explain_analyze, Statement, StatementTemplate,
+    WriteTemplate,
+};
 
 /// An error from any stage of SQL execution.
 #[derive(Debug)]

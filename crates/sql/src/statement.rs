@@ -290,6 +290,30 @@ pub(crate) fn concrete_write(w: WriteTemplate) -> Statement {
     }
 }
 
+/// Strips a leading `EXPLAIN ANALYZE` prefix (case-insensitive, any
+/// whitespace between and after the keywords), returning the inner
+/// statement text. `None` when the input has no such prefix — callers fall
+/// through to normal statement parsing. A bare `EXPLAIN` without `ANALYZE`
+/// is not a prefix (the engine only reports *executed* plans).
+pub fn strip_explain_analyze(input: &str) -> Option<&str> {
+    let rest = strip_keyword(input.trim_start(), "explain")?;
+    let rest = strip_keyword(rest.trim_start(), "analyze")?;
+    let inner = rest.trim_start();
+    (!inner.is_empty()).then_some(inner)
+}
+
+/// Strips one leading keyword iff it is followed by whitespace.
+fn strip_keyword<'a>(s: &'a str, kw: &str) -> Option<&'a str> {
+    let head = s.get(..kw.len())?;
+    if head.eq_ignore_ascii_case(kw)
+        && s.as_bytes().get(kw.len()).is_some_and(u8::is_ascii_whitespace)
+    {
+        Some(&s[kw.len()..])
+    } else {
+        None
+    }
+}
+
 /// The first word of the statement, lower-cased.
 fn first_keyword(input: &str) -> Option<String> {
     input
@@ -550,6 +574,26 @@ mod tests {
             assert_eq!(parse_statement(&rendered).unwrap(), stmt, "{sql} → {rendered}");
         }
         assert!(parse_statement("SELECT count(*) FROM t").unwrap().to_sql().is_none());
+    }
+
+    #[test]
+    fn explain_analyze_prefix_strips() {
+        assert_eq!(
+            strip_explain_analyze("EXPLAIN ANALYZE SELECT count(*) FROM t"),
+            Some("SELECT count(*) FROM t")
+        );
+        assert_eq!(
+            strip_explain_analyze("  explain\n\tAnalyze  select 1 from t"),
+            Some("select 1 from t")
+        );
+        // Not a prefix: bare EXPLAIN, missing body, unrelated statements,
+        // or the keywords fused to the next token.
+        assert_eq!(strip_explain_analyze("EXPLAIN SELECT count(*) FROM t"), None);
+        assert_eq!(strip_explain_analyze("EXPLAIN ANALYZE"), None);
+        assert_eq!(strip_explain_analyze("EXPLAIN ANALYZE   "), None);
+        assert_eq!(strip_explain_analyze("SELECT count(*) FROM t"), None);
+        assert_eq!(strip_explain_analyze("EXPLAINANALYZE SELECT 1"), None);
+        assert_eq!(strip_explain_analyze("é"), None);
     }
 
     #[test]
