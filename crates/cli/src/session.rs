@@ -573,9 +573,10 @@ fn render_slowlog(log: &Json) -> String {
     }
     for e in entries {
         let us = e.get("elapsed_us").and_then(Json::as_i64).unwrap_or(0);
-        let ago = e.get("ago_s").and_then(Json::as_i64).unwrap_or(0);
+        // The server emits ago_s as a float (fractional seconds).
+        let ago = e.get("ago_s").and_then(Json::as_f64).unwrap_or(0.0);
         let tmpl = e.get("template").and_then(Json::as_str).unwrap_or("?");
-        let _ = writeln!(out, "{:>9.2} ms  {ago:>5}s ago  {tmpl}", us as f64 / 1e3);
+        let _ = writeln!(out, "{:>9.2} ms  {ago:>7.1}s ago  {tmpl}", us as f64 / 1e3);
     }
     out
 }

@@ -68,7 +68,13 @@ impl SeqLock {
                 continue;
             }
             let out = f();
-            if self.version.load(Ordering::Acquire) == before {
+            // The standard seqlock reader protocol: an acquire *fence*
+            // keeps the relaxed data loads inside `f` from sinking below
+            // the version re-read (a plain acquire load only orders later
+            // accesses, not earlier ones — insufficient on weakly-ordered
+            // hardware), so a torn snapshot cannot pass the check.
+            std::sync::atomic::fence(Ordering::Acquire);
+            if self.version.load(Ordering::Relaxed) == before {
                 return out;
             }
         }

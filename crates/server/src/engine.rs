@@ -478,7 +478,13 @@ impl Engine {
             let stmt = tmpl
                 .into_concrete()
                 .map_err(|e| error_frame(ErrorCode::ParamError, e.to_string()))?;
-            let out = self.exec_write(&stmt, sql);
+            // canonicalize() above case-folded identifiers in place, so the
+            // applied statement may differ from the client's raw text (e.g.
+            // `INSERT INTO FACT` applies to table `fact`). The WAL must
+            // record the canonical rendering: replay parses it verbatim,
+            // without case-folding.
+            let wal_sql = stmt.to_sql().expect("concrete write renders");
+            let out = self.exec_write(&stmt, &wal_sql);
             if out.is_ok() {
                 self.observe_template(&key, t);
             }
@@ -709,9 +715,10 @@ impl Engine {
     }
 
     /// Applies one concrete write statement. `wal_sql` is the text the
-    /// write-ahead log records — the original statement for the text path,
-    /// the bound rendering ([`Statement::to_sql`]) for prepared writes, so
-    /// replay sees the same concrete statement either way.
+    /// write-ahead log records — always the canonical rendering
+    /// ([`Statement::to_sql`]) of the statement being applied, never the
+    /// client's raw text, so replay (which parses the log verbatim) sees
+    /// exactly the statement that mutated memory.
     ///
     /// Validate, WAL-log, then mutate — all under one write latch. The log
     /// append sits between validation and mutation: after
@@ -981,6 +988,40 @@ mod tests {
         drop(e2);
         let rec = astore_persist::store::open(&dir).unwrap();
         assert_eq!(rec.replayed, 0, "post-checkpoint WAL is empty");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mixed_case_text_write_replays_from_wal() {
+        // Text writes are case-folded before apply (`INSERT INTO FACT`
+        // mutates table `fact`), but WAL replay parses the log verbatim —
+        // so the log must store the canonical rendering, never the raw
+        // client text, or a committed write becomes unrecoverable.
+        let dir = std::env::temp_dir().join(format!("astore-engine-case-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let seed = {
+            let e = engine();
+            e.database().snapshot().as_ref().clone()
+        };
+        let wal = astore_persist::store::bootstrap(&dir, &seed).unwrap();
+        let e = Engine::new(SharedDatabase::new(seed)).durable(Durability::new(&dir, wal, 0));
+        let r = sql(&e, "INSERT INTO FACT VALUES (1, 100)");
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+        let r = sql(&e, "UPDATE Fact SET F_V = 11 WHERE ROWID = 0");
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+        let live_sum = {
+            let r = sql(&e, "SELECT sum(f_v) AS s FROM fact");
+            r.get("rows").unwrap().as_array().unwrap()[0].as_array().unwrap()[0].as_i64().unwrap()
+        };
+        drop(e);
+        let rec = astore_persist::store::open(&dir).unwrap();
+        assert_eq!(rec.replayed, 2, "mixed-case committed writes replay");
+        let e2 =
+            Engine::new(SharedDatabase::new(rec.db)).durable(Durability::new(&dir, rec.wal, 0));
+        let r = sql(&e2, "SELECT sum(f_v) AS s FROM fact");
+        let sum2 =
+            r.get("rows").unwrap().as_array().unwrap()[0].as_array().unwrap()[0].as_i64().unwrap();
+        assert_eq!(sum2, live_sum, "recovered state equals pre-crash state");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -76,13 +76,17 @@ impl LatencyHistogram {
 
     /// Cumulative bucket counts as `(upper_bound_us, cumulative_count)`
     /// pairs, Prometheus-style: bucket `i`'s bound is `2^i` µs and its
-    /// count includes every smaller bucket. The last pair's count equals
-    /// [`LatencyHistogram::count`] (the final bucket clamps all outliers,
-    /// so it doubles as `+Inf`).
+    /// count includes every smaller bucket. Only the finite buckets are
+    /// returned — the final bucket clamps all out-of-range outliers, so
+    /// including it would let its `le` bound claim samples that exceed it
+    /// (skewing `histogram_quantile` tails). Outliers are covered solely
+    /// by the exposition layer's `+Inf` sample, whose value is
+    /// [`LatencyHistogram::count`].
     pub fn buckets(&self) -> Vec<(u64, u64)> {
         let mut cumulative = 0u64;
         self.counts
             .iter()
+            .take(BUCKETS - 1)
             .enumerate()
             .map(|(i, c)| {
                 cumulative += c.load(Ordering::Relaxed);
@@ -165,13 +169,17 @@ mod tests {
     }
 
     #[test]
-    fn extreme_values_clamp_into_last_bucket() {
+    fn extreme_values_stay_out_of_finite_buckets() {
         let h = LatencyHistogram::new();
         h.record(u64::MAX);
         assert_eq!(h.count(), 1);
         assert!(h.quantile_us(0.5) > 0);
         let buckets = h.buckets();
-        assert_eq!(buckets.last().unwrap().1, 1, "clamped sample lands in the last bucket");
+        assert_eq!(
+            buckets.last().unwrap().1,
+            0,
+            "no finite le bound claims the clamped outlier; only +Inf (= count) covers it"
+        );
     }
 
     #[test]
@@ -182,6 +190,7 @@ mod tests {
         }
         let buckets = h.buckets();
         assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1 && w[0].0 < w[1].0));
+        // All samples are in range, so the finite series covers them all.
         assert_eq!(buckets.last().unwrap().1, h.count());
         assert_eq!(h.sum_us(), 5103);
         // A 100µs sample is counted by every bound ≥ 128.

@@ -211,16 +211,18 @@ impl SlowLog {
     }
 }
 
-/// Emits one histogram family: `_bucket` series with cumulative `le`
-/// bounds, then `_sum` and `_count`.
-fn emit_histogram(
+/// Emits one labeled series of a histogram family: `_bucket` samples with
+/// cumulative `le` bounds, then `_sum` and `_count`. The family's
+/// `# HELP`/`# TYPE` header is the caller's job (via [`PromWriter::header`],
+/// exactly once per metric name) — a family like the per-template latency
+/// histogram emits many labeled series under one header, and the Prometheus
+/// text format rejects a repeated HELP/TYPE line for the same name.
+fn emit_histogram_series(
     w: &mut PromWriter,
     name: &str,
-    help: &str,
     labels: &[(&str, &str)],
     h: &LatencyHistogram,
 ) {
-    w.header(name, help, "histogram");
     let bucket_name = format!("{name}_bucket");
     for (bound, cumulative) in h.buckets() {
         let le = bound.to_string();
@@ -339,18 +341,21 @@ pub fn render_prometheus(
         w.sample(name, &[], *value);
     }
 
-    emit_histogram(
-        &mut w,
+    w.header(
         "astore_server_latency_us",
         "End-to-end statement latency (all templates).",
-        &[],
-        &stats.latency,
+        "histogram",
+    );
+    emit_histogram_series(&mut w, "astore_server_latency_us", &[], &stats.latency);
+    w.header(
+        "astore_server_template_latency_us",
+        "Statement latency per canonical template.",
+        "histogram",
     );
     for (template, hist) in templates.snapshot() {
-        emit_histogram(
+        emit_histogram_series(
             &mut w,
             "astore_server_template_latency_us",
-            "Statement latency per canonical template.",
             &[("template", &template)],
             &hist,
         );
@@ -419,6 +424,7 @@ mod tests {
         let cache = PlanCache::default();
         let templates = TemplateStats::new();
         templates.record("SELECT count(*) FROM fact", 150);
+        templates.record("SELECT sum(x) FROM fact", 9_000);
         let slowlog = SlowLog::new(0);
         let body = render_prometheus(
             &stats,
@@ -434,6 +440,21 @@ mod tests {
         assert!(body
             .contains(r#"astore_server_template_latency_us_bucket{template="SELECT count(*) FROM fact",le="+Inf"} 1"#));
         assert!(body.contains("astore_server_engine_threads 4\n"));
+        assert!(body
+            .contains(r#"astore_server_template_latency_us_bucket{template="SELECT sum(x) FROM fact",le="+Inf"} 1"#));
+        // One HELP/TYPE header per family, no matter how many labeled
+        // series it has — Prometheus rejects a repeated header.
+        for header in ["# HELP", "# TYPE"] {
+            let mut names: Vec<&str> = body
+                .lines()
+                .filter(|l| l.starts_with(header))
+                .map(|l| l.split_whitespace().nth(2).unwrap())
+                .collect();
+            let total = names.len();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), total, "duplicate {header} lines in scrape body");
+        }
         // Every line is a comment or `name{labels} value`.
         for line in body.lines() {
             assert!(
