@@ -3,11 +3,16 @@
 //! and 8 worker threads, verifying that every thread count returns the
 //! serial answer, and recording totals + speedups in `BENCH_parallel.json`.
 //!
-//! The executor that *actually* ran is taken from `PlanInfo::executor` —
-//! the planner may clamp the request (e.g. 8 threads on a scan with only
-//! 7 workers' worth of rows), and the JSON records the clamped truth, not
-//! the request. `ASTORE_SF` overrides the scale factor; the first CLI
-//! argument overrides the output path.
+//! The dataset is the *sealed* SF 0.1 SSB database (600K fact rows,
+//! zone-map pruning and encoded segments active) — large enough that the
+//! planner's one-full-segment-per-thread floor grants real fan-out, and
+//! representative of the serving configuration rather than a flat
+//! unsealed table. The executor that *actually* ran is taken from
+//! `PlanInfo::executor` — the planner may clamp the request (e.g. 8
+//! threads on a scan with only 7 segments' worth of rows, or all the way
+//! to serial on a tiny `ASTORE_SF`), and the JSON records the clamped
+//! truth, not the request. `ASTORE_SF` overrides the scale factor; the
+//! first CLI argument overrides the output path.
 
 use std::fmt::Write as _;
 
@@ -18,7 +23,7 @@ use astore_datagen::{env_scale_factor, ssb};
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn main() {
-    let sf = env_scale_factor(0.01);
+    let sf = env_scale_factor(0.1);
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_parallel.json".to_owned());
     let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
@@ -32,7 +37,7 @@ fn main() {
          curve above {host_cores} threads measures dispatcher overhead, not scaling.\n"
     );
 
-    let db = ssb::generate(sf, 42);
+    let db = ssb::generate_streaming(sf, 42);
     let queries = ssb::queries();
 
     let mut headers: Vec<String> = vec!["query".into()];
@@ -58,13 +63,10 @@ fn main() {
                     sq.id
                 ),
             }
+            // A serial clamp is the planner doing its job (one full segment
+            // per thread minimum) — record it, never panic on it.
             match out.plan.executor {
-                ExecutorInfo::Serial { .. } => assert_eq!(
-                    threads, 1,
-                    "{}: requested {threads} threads but ran serial — planner clamp \
-                     misconfigured for this scale factor",
-                    sq.id
-                ),
+                ExecutorInfo::Serial { .. } => {}
                 ExecutorInfo::Parallel { threads: t, morsels, .. } => {
                     executor_threads[ti] = executor_threads[ti].max(t);
                     executor_morsels[ti] = executor_morsels[ti].max(morsels);

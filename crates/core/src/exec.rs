@@ -30,8 +30,7 @@ use astore_storage::selvec::SelVec;
 use astore_storage::types::{Key, RowId, Value, NULL_KEY};
 
 use crate::agg::{AggTable, Grouper};
-use crate::expr::CompiledPred;
-use crate::filter::{build_chain_filter, participating_chains, ChainSpec};
+use crate::filter::{build_chain_filter, participating_chains, ChainSpec, FactPred};
 use crate::graph::JoinGraph;
 use crate::groupvec::{build_group_vector, label_at, DictRef, FactGrouper, GroupDict, GroupVector};
 use crate::optimizer::{AggStrategy, OptimizerConfig};
@@ -135,6 +134,12 @@ pub struct ExecOptions {
     /// Disabling it reproduces the pre-segmentation flat scan — the
     /// ablation baseline of the `scan_pruning` bench and differential.
     pub pruning: bool,
+    /// Encoded-segment scans: let seedable fact predicates run directly on
+    /// sealed segments' compressed form (bit-packed / RLE kernels) instead
+    /// of the flat arrays (default on). Disabling reproduces the flat
+    /// columnar scan on identical data — the compression ablation of the
+    /// encoded differential.
+    pub encoded: bool,
     /// Span buffer for this execution (`None` = tracing off). When set, the
     /// executor records one span per phase — bind, leaf processing,
     /// optimize (with per-segment prune-decision events), fact scan (with
@@ -154,6 +159,7 @@ impl Default for ExecOptions {
             force_agg: None,
             selection: SelectionStrategy::default(),
             pruning: true,
+            encoded: true,
             trace: None,
         }
     }
@@ -180,6 +186,12 @@ impl ExecOptions {
     /// Enables or disables zone-map segment skipping.
     pub fn pruning(mut self, on: bool) -> Self {
         self.pruning = on;
+        self
+    }
+
+    /// Enables or disables predicate evaluation on encoded segments.
+    pub fn encoded(mut self, on: bool) -> Self {
+        self.encoded = on;
         self
     }
 
@@ -641,17 +653,39 @@ pub(crate) fn compile_fact_preds<'a>(
     u: &Universal<'a>,
     query: &Query,
     opts: &ExecOptions,
-) -> Vec<CompiledPred<'a>> {
+) -> Vec<FactPred<'a>> {
+    use crate::expr::Pred;
     let fact = u.root_table();
     let conjuncts = query.selection_on(u.root()).map(|p| p.conjuncts()).unwrap_or_default();
-    let mut fact_preds: Vec<CompiledPred<'a>> = conjuncts.iter().map(|c| c.compile(fact)).collect();
+    // Each conjunct compiles, then derives its encoded-scan seed from the
+    // compiled form — literal coercions included — when the fact column is
+    // resolvable and encoded scans are enabled.
+    let seed_col = |c: &Pred| -> Option<usize> {
+        if !opts.encoded {
+            return None;
+        }
+        match c {
+            Pred::Cmp { col, .. } | Pred::Between { col, .. } | Pred::InList { col, .. } => {
+                fact.schema().position(col)
+            }
+            _ => None,
+        }
+    };
+    let wrap = |c: &&Pred| -> FactPred<'a> {
+        let p = c.compile(fact);
+        match seed_col(c) {
+            Some(col) => FactPred::seeded(p, col),
+            None => FactPred::unseeded(p),
+        }
+    };
+    let mut fact_preds: Vec<FactPred<'a>> = conjuncts.iter().map(wrap).collect();
     if fact_preds.len() > 1 {
         let n = fact.num_slots();
-        let mut keyed: Vec<(f64, CompiledPred<'a>)> = fact_preds
+        let mut keyed: Vec<(f64, FactPred<'a>)> = fact_preds
             .drain(..)
             .zip(&conjuncts)
             .map(|(p, c)| {
-                let sampled = p.sampled_selectivity(n, 1024);
+                let sampled = p.pred.sampled_selectivity(n, 1024);
                 if !opts.pruning {
                     return (sampled, p);
                 }
@@ -687,7 +721,7 @@ pub(crate) fn scan_phase<'a>(
     query: &Query,
     opts: &ExecOptions,
     leaf: &'a LeafArtifacts,
-    fact_preds: &[CompiledPred<'a>],
+    fact_preds: &[FactPred<'a>],
     chain_checks: &mut [ChainCheck<'a>],
     range: std::ops::Range<usize>,
     survey: Option<&SegmentSurvey>,

@@ -21,6 +21,7 @@ use astore_storage::bitmap::Bitmap;
 use astore_storage::catalog::Database;
 use astore_storage::types::NULL_KEY;
 
+use crate::expr::CompiledPred;
 use crate::graph::JoinGraph;
 use crate::query::Query;
 use crate::universal::BindError;
@@ -142,6 +143,215 @@ fn compose_table_filter(
         }
     }
     bm
+}
+
+/// The inclusive logical-value range a seedable fact predicate accepts.
+///
+/// Derived from a [`CompiledPred`] by [`seed_range`], this is the bridge
+/// between a compiled predicate and a sealed segment's [`EncodedColumn`]:
+/// the range is expressed over the column's *logical* i64 domain (i32
+/// widened, keys/dictionary codes as `0..=u32::MAX` with
+/// [`NULL_KEY`] literally the largest), which is exactly the
+/// domain the encodings preserve order over. A seeded predicate can
+/// therefore be evaluated on bit-packed codes or FOR-offset words without
+/// decoding.
+///
+/// [`EncodedColumn`]: astore_storage::encoded::EncodedColumn
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredRange {
+    /// Fact-schema position of the tested column.
+    pub col: usize,
+    /// Smallest accepted logical value (inclusive).
+    pub lo: i64,
+    /// Largest accepted logical value (inclusive).
+    pub hi: i64,
+}
+
+/// A compiled fact-local predicate plus its encoded-scan seed, if the
+/// predicate's accepted set is one contiguous value range.
+///
+/// Every predicate keeps its row-wise [`CompiledPred::eval`] — the seed is
+/// an *additional* capability the column-wise scan uses on sealed segments.
+/// Predicates whose accepted set is not an interval (`<>`, `IN`, string
+/// and float comparisons, boolean combinators) carry no seed and always
+/// evaluate row-wise.
+pub struct FactPred<'a> {
+    /// The compiled predicate (always usable row-wise).
+    pub pred: CompiledPred<'a>,
+    /// The accepted value range, when the predicate is seedable.
+    pub seed: Option<PredRange>,
+}
+
+impl<'a> FactPred<'a> {
+    /// Wraps a compiled predicate with no encoded-scan seed.
+    pub fn unseeded(pred: CompiledPred<'a>) -> Self {
+        FactPred { pred, seed: None }
+    }
+
+    /// Wraps a compiled predicate over fact column `col`, deriving the
+    /// seed from the compiled form (see [`seed_range`]).
+    pub fn seeded(pred: CompiledPred<'a>, col: usize) -> Self {
+        let seed = seed_range(&pred, col);
+        FactPred { pred, seed }
+    }
+}
+
+impl<'a> From<CompiledPred<'a>> for FactPred<'a> {
+    fn from(pred: CompiledPred<'a>) -> Self {
+        FactPred::unseeded(pred)
+    }
+}
+
+/// Maps a comparison against `v` to the inclusive i64 interval it accepts.
+/// `Ne` is two disjoint intervals — not seedable. `Lt i64::MIN` / `Gt
+/// i64::MAX` accept nothing; rather than model the empty interval they
+/// fall back to row-wise evaluation (`None`), which is just as correct and
+/// keeps the kernel contract simple (`lo <= hi` always holds).
+fn cmp_range(op: crate::expr::CmpOp, v: i64) -> Option<(i64, i64)> {
+    use crate::expr::CmpOp::*;
+    match op {
+        Eq => Some((v, v)),
+        Le => Some((i64::MIN, v)),
+        Lt => Some((i64::MIN, v.checked_sub(1)?)),
+        Ge => Some((v, i64::MAX)),
+        Gt => Some((v.checked_add(1)?, i64::MAX)),
+        Ne => None,
+    }
+}
+
+/// Derives the encoded-scan seed for a compiled predicate over fact column
+/// `col`, or `None` when the predicate is not a single contiguous range.
+///
+/// The derivation starts from the *compiled* predicate, not the AST, so
+/// every literal-coercion quirk the compiler applied — float literals
+/// truncated to integers, `BETWEEN` bounds clamped into the i32 domain,
+/// strings resolved to dictionary codes — is already baked into the range.
+/// Key comparisons use the raw `u32` order, under which
+/// [`NULL_KEY`] (`u32::MAX`) really is the largest value; the
+/// encodings preserve exactly that order.
+pub fn seed_range(pred: &CompiledPred<'_>, col: usize) -> Option<PredRange> {
+    let (lo, hi) = match pred {
+        CompiledPred::I32Cmp { op, v, .. } => cmp_range(*op, *v as i64)?,
+        CompiledPred::I32Between { lo, hi, .. } => (*lo as i64, *hi as i64),
+        CompiledPred::I64Cmp { op, v, .. } => cmp_range(*op, *v)?,
+        CompiledPred::I64Between { lo, hi, .. } => (*lo, *hi),
+        CompiledPred::KeyCmp { op, v, .. } => cmp_range(*op, *v as i64)?,
+        CompiledPred::KeyBetween { lo, hi, .. } => (*lo as i64, *hi as i64),
+        // An absent dictionary value compiles to code == NULL_KEY, which the
+        // seed preserves: no stored code reaches it, so nothing matches —
+        // same as eval.
+        CompiledPred::DictEq { code, .. } => (*code as i64, *code as i64),
+        _ => return None,
+    };
+    (lo <= hi).then_some(PredRange { col, lo, hi })
+}
+
+/// SWAR range test over one word of bit-packed codes (paper §4.1's
+/// vectorized scan, taken below word granularity).
+///
+/// Each lane holds a code `c < 2^(w-1)` — the packer reserves the lane's
+/// top bit as a guard, always 0. For a code range `[clo, chi]` within the
+/// same domain the caller builds three lane-replicated constants
+/// ([`PackedRangeTest`]): `blo` adds `2^(w-1) - clo` per lane, so the
+/// guard bit of the sum is set iff `c >= clo` (the per-lane sum stays
+/// `< 2^w`: no carry crosses lanes); `bhi` holds `chi + 2^(w-1)` per lane,
+/// so subtracting the word leaves the guard bit set iff `c <= chi` (the
+/// minuend exceeds any lane value: no borrow crosses lanes); `h` masks the
+/// guard bits. One add, one sub and two ANDs test every lane of the word
+/// at once.
+#[inline]
+pub fn packed_range_mask(word: u64, blo: u64, bhi: u64, h: u64) -> u64 {
+    word.wrapping_add(blo) & bhi.wrapping_sub(word) & h
+}
+
+/// [`packed_range_mask`] over a pair of adjacent words — the SSE2 wide
+/// path. The SWAR constants make every 64-bit lane operation independent,
+/// so a 128-bit add/sub tests two words (up to 64 codes) per instruction.
+#[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
+#[allow(unsafe_code)]
+#[inline]
+pub fn packed_range_mask2(words: [u64; 2], blo: u64, bhi: u64, h: u64) -> [u64; 2] {
+    use std::arch::x86_64::{
+        __m128i, _mm_add_epi64, _mm_and_si128, _mm_loadu_si128, _mm_set1_epi64x, _mm_storeu_si128,
+        _mm_sub_epi64,
+    };
+    // SAFETY: the cfg gate proves sse2 is enabled for this compilation;
+    // loads/stores go through properly sized local arrays.
+    unsafe {
+        let w = _mm_loadu_si128(words.as_ptr() as *const __m128i);
+        let ge = _mm_add_epi64(w, _mm_set1_epi64x(blo as i64));
+        let le = _mm_sub_epi64(_mm_set1_epi64x(bhi as i64), w);
+        let m = _mm_and_si128(_mm_and_si128(ge, le), _mm_set1_epi64x(h as i64));
+        let mut out = [0u64; 2];
+        _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, m);
+        out
+    }
+}
+
+/// Portable fallback for targets without the SSE2 wide path: two scalar
+/// SWAR tests. Same contract as the wide version, bit-for-bit.
+#[cfg(not(all(target_arch = "x86_64", target_feature = "sse2")))]
+#[inline]
+pub fn packed_range_mask2(words: [u64; 2], blo: u64, bhi: u64, h: u64) -> [u64; 2] {
+    [packed_range_mask(words[0], blo, bhi, h), packed_range_mask(words[1], blo, bhi, h)]
+}
+
+/// The lane-replicated SWAR constants for one (column, code-range) pair —
+/// built once per segment, applied to every word.
+#[derive(Debug, Clone, Copy)]
+pub struct PackedRangeTest {
+    /// Per-lane addend `2^(w-1) - clo`.
+    pub blo: u64,
+    /// Per-lane minuend `chi + 2^(w-1)`.
+    pub bhi: u64,
+    /// Guard-bit mask: bit `w-1` of every lane.
+    pub h: u64,
+    /// Lane width in bits.
+    pub width: usize,
+    /// Lanes per word.
+    pub lanes: usize,
+}
+
+impl PackedRangeTest {
+    /// Builds the constants for codes in `[clo, chi]` under lane width
+    /// `width` with `lanes` lanes per word. Requires `clo <= chi <
+    /// 2^(width-1)` — guaranteed by
+    /// [`PackedInts::code_bounds`](astore_storage::encoded::PackedInts::code_bounds).
+    pub fn new(clo: u64, chi: u64, width: usize, lanes: usize) -> Self {
+        debug_assert!(clo <= chi);
+        debug_assert!(chi < 1 << (width - 1));
+        let half = 1u64 << (width - 1);
+        let (mut blo, mut bhi, mut h) = (0u64, 0u64, 0u64);
+        for lane in 0..lanes {
+            let sh = lane * width;
+            blo |= (half - clo) << sh;
+            bhi |= (chi + half) << sh;
+            h |= half << sh;
+        }
+        PackedRangeTest { blo, bhi, h, width, lanes }
+    }
+
+    /// Applies the test to one word.
+    #[inline]
+    pub fn mask(&self, word: u64) -> u64 {
+        packed_range_mask(word, self.blo, self.bhi, self.h)
+    }
+
+    /// Applies the test to a word pair via the wide path.
+    #[inline]
+    pub fn mask2(&self, words: [u64; 2]) -> [u64; 2] {
+        packed_range_mask2(words, self.blo, self.bhi, self.h)
+    }
+
+    /// Iterates the lane indices set in a result mask, ascending.
+    #[inline]
+    pub fn lanes_set(&self, mut mask: u64, mut f: impl FnMut(usize)) {
+        while mask != 0 {
+            let lane = mask.trailing_zeros() as usize / self.width;
+            mask &= mask - 1;
+            f(lane);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -306,5 +516,104 @@ mod tests {
         let bm = build_chain_filter(&db, &g, &q, &chains[0]);
         let hits: Vec<usize> = bm.iter_ones().collect();
         assert_eq!(hits, vec![0, 1, 2], "customer 3 has a NULL chain");
+    }
+
+    use crate::expr::CmpOp;
+
+    /// Oracle check: the SWAR mask agrees with per-lane comparison for
+    /// every width, across both the scalar and the wide path.
+    #[test]
+    fn packed_range_mask_matches_per_lane_oracle() {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for width in 2..=32usize {
+            let lanes = 64 / width;
+            let lane_max = (1u64 << (width - 1)) - 1;
+            for _ in 0..8 {
+                let mut a = next() % (lane_max + 1);
+                let mut b = next() % (lane_max + 1);
+                if a > b {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                let t = PackedRangeTest::new(a, b, width, lanes);
+                let mut words = [0u64; 2];
+                let mut codes = vec![[0u64; 2]; lanes];
+                for (lane, c) in codes.iter_mut().enumerate() {
+                    for half in 0..2 {
+                        c[half] = next() % (lane_max + 1);
+                        words[half] |= c[half] << (lane * width);
+                    }
+                }
+                let wide = t.mask2(words);
+                for half in 0..2 {
+                    assert_eq!(wide[half], t.mask(words[half]), "wide == scalar w={width}");
+                    let mut got = vec![false; lanes];
+                    t.lanes_set(wide[half], |lane| got[lane] = true);
+                    for (lane, c) in codes.iter().enumerate() {
+                        let want = c[half] >= a && c[half] <= b;
+                        assert_eq!(got[lane], want, "w={width} lane={lane} c={}", c[half]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Seeds come from the *compiled* predicate, so literal coercions are
+    /// already applied; non-interval predicates stay unseeded.
+    #[test]
+    fn seed_ranges_follow_compiled_semantics() {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![
+                ColumnDef::new("a", DataType::I32),
+                ColumnDef::new("b", DataType::I64),
+                ColumnDef::new("k", DataType::Key { target: "t".into() }),
+                ColumnDef::new("d", DataType::Dict),
+                ColumnDef::new("f", DataType::F64),
+            ]),
+        );
+        t.append_row(&[
+            Value::Int(1),
+            Value::Int(2),
+            Value::Key(0),
+            Value::Str("x".into()),
+            Value::Float(1.5),
+        ]);
+        let seed = |p: Pred, col: usize| seed_range(&p.compile(&t), col);
+
+        assert_eq!(
+            seed(Pred::cmp("a", CmpOp::Ge, 10), 0),
+            Some(PredRange { col: 0, lo: 10, hi: i64::MAX })
+        );
+        assert_eq!(
+            seed(Pred::cmp("a", CmpOp::Lt, 10), 0),
+            Some(PredRange { col: 0, lo: i64::MIN, hi: 9 })
+        );
+        assert_eq!(seed(Pred::between("b", 3, 7), 1), Some(PredRange { col: 1, lo: 3, hi: 7 }));
+        // Float literal over an int column truncates at compile time; the
+        // seed must reproduce the truncated bound, not the written one.
+        let f = seed(Pred::cmp("b", CmpOp::Le, 2.9), 1).expect("seeded");
+        assert_eq!((f.lo, f.hi), (i64::MIN, 2));
+        // Key order treats NULL_KEY as the largest u32.
+        assert_eq!(
+            seed(Pred::cmp("k", CmpOp::Gt, 0), 2),
+            Some(PredRange { col: 2, lo: 1, hi: i64::MAX })
+        );
+        // Dict equality seeds on the resolved code ("x" -> code 0); a miss
+        // resolves to NULL_KEY and seeds a range no stored code reaches.
+        assert_eq!(seed(Pred::eq("d", "x"), 3), Some(PredRange { col: 3, lo: 0, hi: 0 }));
+        assert_eq!(
+            seed(Pred::eq("d", "zzz"), 3),
+            Some(PredRange { col: 3, lo: NULL_KEY as i64, hi: NULL_KEY as i64 })
+        );
+        // Not intervals (or not integer domains): unseeded.
+        assert_eq!(seed(Pred::cmp("a", CmpOp::Ne, 1), 0), None);
+        assert_eq!(seed(Pred::in_list("a", vec![1, 5]), 0), None);
+        assert_eq!(seed(Pred::cmp("f", CmpOp::Lt, 2.0), 4), None);
     }
 }

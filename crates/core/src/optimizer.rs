@@ -38,10 +38,23 @@ pub struct OptimizerConfig {
     /// Minimum fact-table rows per worker thread before a query fans out.
     /// Below this, thread spawn + merge overhead dominates the scan itself
     /// and the executor stays serial regardless of the requested thread
-    /// count. The default (8192 rows/worker) keeps point-ish lookups and
-    /// tiny dimension scans serial while letting SSB-sized fact scans use
-    /// every requested core.
+    /// count. The count compared against is *post-prune* live rows, so a
+    /// selective query over a huge table still stays serial when zone maps
+    /// leave little to scan. The default — one full segment (65536 rows)
+    /// per worker — comes from measurement: BENCH_parallel.json recorded
+    /// sub-1× speedups at every thread count when sub-segment scans were
+    /// allowed to fan out, because per-worker setup (predicate compilation,
+    /// chain checks, partial-map allocation) exceeded the scan itself.
     pub parallel_min_rows_per_thread: usize,
+    /// Upper bound the *host* puts on per-query fan-out. Worker threads
+    /// beyond the machine's available parallelism only timeslice one
+    /// another — they add spawn and merge overhead while scanning zero
+    /// extra rows concurrently (BENCH_parallel.json measured 0.85× at 8
+    /// threads on a 1-core runner before this clamp). `0` (the default)
+    /// auto-detects via `std::thread::available_parallelism`; tests that
+    /// need deterministic fan-out regardless of the machine set it
+    /// explicitly.
+    pub host_threads: usize,
 }
 
 impl Default for OptimizerConfig {
@@ -50,7 +63,8 @@ impl Default for OptimizerConfig {
             cache_budget_bytes: 16 << 20,
             agg_array_max_cells: 1 << 22,
             agg_min_fill: 0.0,
-            parallel_min_rows_per_thread: 8192,
+            parallel_min_rows_per_thread: astore_storage::segment::SEGMENT_ROWS,
+            host_threads: 0,
         }
     }
 }
@@ -94,8 +108,16 @@ impl OptimizerConfig {
     /// `n_rows` is the *effective* scan size: the executor passes the live
     /// row count of the segments surviving zone-map pruning, so a selective
     /// query that skips most of the fact table does not spawn workers for
-    /// rows it will never visit.
+    /// rows it will never visit. The request is first clamped to
+    /// [`OptimizerConfig::host_threads`] — fan-out past the machine's
+    /// physical parallelism is pure overhead.
     pub fn plan_threads(&self, n_rows: usize, requested: usize) -> usize {
+        let host = if self.host_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.host_threads
+        };
+        let requested = requested.min(host.max(1));
         if requested <= 1 {
             return 1;
         }
@@ -139,16 +161,30 @@ mod tests {
 
     #[test]
     fn plan_threads_clamps_small_scans_to_serial() {
-        let cfg = OptimizerConfig::default(); // 8192 rows/worker
+        // one segment (65536 rows) per worker; host_threads pinned so the
+        // expectations hold on any machine (including 1-core CI).
+        let cfg = OptimizerConfig { host_threads: 64, ..OptimizerConfig::default() };
         assert_eq!(cfg.plan_threads(100, 8), 1, "tiny scan stays serial");
-        assert_eq!(cfg.plan_threads(8191, 4), 1, "just under one worker's quota");
-        assert_eq!(cfg.plan_threads(16384, 4), 2, "two workers' worth of rows");
+        assert_eq!(cfg.plan_threads(65535, 4), 1, "just under one worker's quota");
+        assert_eq!(cfg.plan_threads(2 << 16, 4), 2, "two workers' worth of rows");
         assert_eq!(cfg.plan_threads(1 << 20, 4), 4, "big scan gets everything");
         assert_eq!(cfg.plan_threads(1 << 20, 1), 1, "serial request is serial");
         assert_eq!(cfg.plan_threads(0, 8), 1, "empty table");
-        let loose =
-            OptimizerConfig { parallel_min_rows_per_thread: 1, ..OptimizerConfig::default() };
+        let loose = OptimizerConfig { parallel_min_rows_per_thread: 1, ..cfg };
         assert_eq!(loose.plan_threads(3, 8), 3, "threshold 1 still caps at one row per worker");
+    }
+
+    #[test]
+    fn plan_threads_never_exceeds_host_parallelism() {
+        let one_core = OptimizerConfig { host_threads: 1, ..OptimizerConfig::default() };
+        assert_eq!(one_core.plan_threads(1 << 24, 8), 1, "1-core host never fans out");
+        let two_core = OptimizerConfig { host_threads: 2, ..OptimizerConfig::default() };
+        assert_eq!(two_core.plan_threads(1 << 24, 8), 2, "request clamps to the cores");
+        // host_threads = 0 auto-detects; the result is bounded by the
+        // actual machine whatever it is.
+        let auto = OptimizerConfig::default();
+        let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert!(auto.plan_threads(1 << 24, 64) <= host);
     }
 
     #[test]

@@ -14,11 +14,13 @@
 //! would not fit the cache budget, and the mode of the `_P`-less variants).
 
 use astore_storage::bitmap::Bitmap;
+use astore_storage::encoded::EncodedColumn;
 use astore_storage::selvec::SelVec;
 use astore_storage::table::Table;
 use astore_storage::types::{Key, RowId, NULL_KEY};
 
 use crate::expr::CompiledPred;
+use crate::filter::{FactPred, PackedRangeTest};
 
 /// A per-fact-row liveness + predicate check against one table of a
 /// dimension chain, evaluated by chasing the AIR hops.
@@ -112,21 +114,145 @@ pub fn initial_selvec(fact: &Table, range: std::ops::Range<usize>) -> SelVec {
     }
 }
 
+/// Emits the rows of one sealed segment whose encoded column value falls
+/// in `[lo, hi]`, restricted to absolute rows `[start, end)`, ascending.
+///
+/// Bit-packed columns go through the SWAR kernel
+/// ([`crate::filter::packed_range_mask`], two words at a time on the wide
+/// path): the logical range is mapped onto the segment's code domain once
+/// ([`astore_storage::encoded::PackedInts::code_bounds`]), then every word
+/// is tested without decoding a single value. RLE runs accept or reject
+/// wholesale — one comparison covers the entire run.
+fn scan_encoded(
+    enc: &EncodedColumn,
+    lo: i64,
+    hi: i64,
+    seg_start: usize,
+    start: usize,
+    end: usize,
+    mut emit: impl FnMut(usize),
+) {
+    match enc {
+        EncodedColumn::Rle(rle) => {
+            let (off0, off1) = (start - seg_start, end - seg_start);
+            let mut run_start = 0usize;
+            for (i, &e) in rle.ends().iter().enumerate() {
+                let run_end = e as usize;
+                if run_start >= off1 {
+                    break;
+                }
+                if rle.values()[i] >= lo && rle.values()[i] <= hi {
+                    for off in run_start.max(off0)..run_end.min(off1) {
+                        emit(seg_start + off);
+                    }
+                }
+                run_start = run_end;
+            }
+        }
+        EncodedColumn::Packed(p) => {
+            let Some((clo, chi)) = p.code_bounds(lo, hi) else { return };
+            let test = PackedRangeTest::new(clo, chi, p.width() as usize, p.lanes());
+            let (off0, off1) = (start - seg_start, end - seg_start);
+            let lanes = p.lanes();
+            let w0 = off0 / lanes;
+            let w1 = off1.div_ceil(lanes).min(p.words().len());
+            let mut emit_mask = |wi: usize, mask: u64| {
+                test.lanes_set(mask, |lane| {
+                    let off = wi * lanes + lane;
+                    // Boundary words: clamp to the scanned sub-range (and,
+                    // in the last word, to rows that exist — tail lanes are
+                    // zero-coded padding).
+                    if off >= off0 && off < off1 {
+                        emit(seg_start + off);
+                    }
+                });
+            };
+            let words = &p.words()[w0..w1];
+            let mut wi = w0;
+            let mut pairs = words.chunks_exact(2);
+            for pair in &mut pairs {
+                let [m0, m1] = test.mask2([pair[0], pair[1]]);
+                emit_mask(wi, m0);
+                emit_mask(wi + 1, m1);
+                wi += 2;
+            }
+            for &word in pairs.remainder() {
+                emit_mask(wi, test.mask(word));
+                wi += 1;
+            }
+        }
+    }
+}
+
+/// Builds the initial selection vector from one seeded predicate: sealed
+/// segments are scanned in encoded form ([`scan_encoded`]); unsealed (or
+/// never-encoded) segments fall back to row-wise evaluation of the same
+/// predicate. Rows come out ascending either way, so the result is
+/// indistinguishable from `initial_selvec` + `refine` — just cheaper.
+fn seeded_selvec(fact: &Table, range: std::ops::Range<usize>, fp: &FactPred<'_>) -> SelVec {
+    let seed = fp.seed.as_ref().expect("caller verified the seed");
+    let has_deletes = fact.has_deletes();
+    let live = fact.live_bitmap();
+    let seg_rows = fact.segment_rows();
+    let mut rows: Vec<RowId> = Vec::new();
+    let mut r = range.start;
+    while r < range.end {
+        let seg = r / seg_rows;
+        let seg_start = seg * seg_rows;
+        let sub_end = range.end.min(seg_start + seg_rows);
+        let enc = fact.encoding(seg).and_then(|e| e.cols.get(seed.col).and_then(Option::as_ref));
+        match enc {
+            Some(enc) => scan_encoded(enc, seed.lo, seed.hi, seg_start, r, sub_end, |row| {
+                if !has_deletes || live.get_or_false(row) {
+                    rows.push(row as RowId);
+                }
+            }),
+            None => {
+                for row in r..sub_end {
+                    if has_deletes && !live.get_or_false(row) {
+                        continue;
+                    }
+                    if fp.pred.eval(row) {
+                        rows.push(row as RowId);
+                    }
+                }
+            }
+        }
+        r = sub_end;
+    }
+    SelVec::from_rows(rows)
+}
+
 /// Column-wise vector-based scan (§4.1): refine per fact-local predicate
 /// (already ordered most-selective-first by the caller), then per chain
 /// check (predicate vectors before direct probes).
+///
+/// When the fact table carries sealed-segment encodings and a predicate is
+/// seedable, the *first* seeded predicate builds the initial selection
+/// vector directly from the encoded form instead of refining a full range
+/// — the remaining predicates then refine only its survivors.
 pub fn select_columnwise(
     fact: &Table,
     range: std::ops::Range<usize>,
-    fact_preds: &[CompiledPred<'_>],
+    fact_preds: &[FactPred<'_>],
     chains: &mut [ChainCheck<'_>],
 ) -> SelVec {
-    let mut sv = initial_selvec(fact, range);
-    for p in fact_preds {
+    let seed_idx = fact_preds
+        .iter()
+        .position(|p| p.seed.is_some())
+        .filter(|_| fact.encodings().iter().any(Option::is_some));
+    let mut sv = match seed_idx {
+        Some(i) => seeded_selvec(fact, range, &fact_preds[i]),
+        None => initial_selvec(fact, range),
+    };
+    for (i, p) in fact_preds.iter().enumerate() {
+        if Some(i) == seed_idx {
+            continue;
+        }
         if sv.is_empty() {
             break;
         }
-        sv.refine(|r| p.eval(r as usize));
+        sv.refine(|r| p.pred.eval(r as usize));
     }
     // Predicate vectors first (cheap, cache-resident), ordered densest-last.
     chains.sort_by(|a, b| {
@@ -152,7 +278,7 @@ pub fn select_columnwise(
 pub fn select_bitmap_and(
     fact: &Table,
     range: std::ops::Range<usize>,
-    fact_preds: &[CompiledPred<'_>],
+    fact_preds: &[FactPred<'_>],
     chains: &[ChainCheck<'_>],
 ) -> SelVec {
     let (lo, hi) = (range.start, range.end);
@@ -165,7 +291,7 @@ pub fn select_bitmap_and(
     };
     for p in fact_preds {
         // Full column scan into an intermediate bitmap, then AND.
-        let bm = Bitmap::from_fn(n, |i| p.eval(lo + i));
+        let bm = Bitmap::from_fn(n, |i| p.pred.eval(lo + i));
         acc.and_assign(&bm);
     }
     for c in chains {
@@ -180,7 +306,7 @@ pub fn select_bitmap_and(
 pub fn select_rowwise(
     fact: &Table,
     range: std::ops::Range<usize>,
-    fact_preds: &[CompiledPred<'_>],
+    fact_preds: &[FactPred<'_>],
     chains: &[ChainCheck<'_>],
 ) -> SelVec {
     let has_deletes = fact.has_deletes();
@@ -190,7 +316,7 @@ pub fn select_rowwise(
         if has_deletes && !live.get_or_false(r) {
             continue;
         }
-        if fact_preds.iter().all(|p| p.eval(r)) && chains.iter().all(|c| c.eval(r)) {
+        if fact_preds.iter().all(|p| p.pred.eval(r)) && chains.iter().all(|c| c.eval(r)) {
             rows.push(r as RowId);
         }
     }
@@ -301,7 +427,7 @@ mod tests {
         let dim = db.table("dim").unwrap();
         let bm = Pred::eq("d_flag", 1).eval_bitmap(dim);
         let (_, keys) = fact.column("f_dim").unwrap().as_key().unwrap();
-        let fact_pred = Pred::cmp("f_v", CmpOp::Lt, 60).compile(fact);
+        let fact_pred = FactPred::unseeded(Pred::cmp("f_v", CmpOp::Lt, 60).compile(fact));
 
         let mut chains = vec![ChainCheck::PredVec { keys, bitmap: &bm }];
         let col = select_columnwise(fact, 0..6, std::slice::from_ref(&fact_pred), &mut chains);
@@ -317,7 +443,7 @@ mod tests {
         let mut db = db();
         db.table_mut("fact").unwrap().delete(3);
         let fact = db.table("fact").unwrap();
-        let p = Pred::cmp("f_v", CmpOp::Ge, 20).compile(fact);
+        let p = FactPred::unseeded(Pred::cmp("f_v", CmpOp::Ge, 20).compile(fact));
         let sv = select_bitmap_and(fact, 1..5, std::slice::from_ref(&p), &[]);
         assert_eq!(sv.rows(), &[1, 2, 4]);
     }
@@ -326,8 +452,81 @@ mod tests {
     fn empty_short_circuit() {
         let db = db();
         let fact = db.table("fact").unwrap();
-        let p = Pred::cmp("f_v", CmpOp::Gt, 1000).compile(fact);
+        let p = FactPred::unseeded(Pred::cmp("f_v", CmpOp::Gt, 1000).compile(fact));
         let sv = select_columnwise(fact, 0..6, std::slice::from_ref(&p), &mut []);
         assert!(sv.is_empty());
+    }
+
+    /// The encoded seeded scan must produce exactly the rows the row-wise
+    /// predicate accepts, across segment seals, sub-ranges, deletes, and
+    /// every seedable predicate/column shape.
+    #[test]
+    fn seeded_scan_matches_rowwise_eval() {
+        let mut db = Database::new();
+        let mut dim = Table::new("dim", Schema::new(vec![ColumnDef::new("d_flag", DataType::I32)]));
+        for f in 0..8 {
+            dim.append_row(&[Value::Int(f)]);
+        }
+        let mut fact = Table::new(
+            "fact",
+            Schema::new(vec![
+                ColumnDef::new("f_dim", DataType::Key { target: "dim".into() }),
+                ColumnDef::new("f_i", DataType::I32),
+                ColumnDef::new("f_l", DataType::I64),
+                ColumnDef::new("f_d", DataType::Dict),
+            ]),
+        );
+        fact.set_segment_rows(64);
+        let mut state = 0xdeadbeefu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for i in 0..300u64 {
+            let key = if next() % 10 == 0 { NULL_KEY } else { (next() % 8) as u32 };
+            fact.append_row(&[
+                Value::Key(key),
+                Value::Int((next() % 50) as i64 - 25),
+                // Clustered: long runs so at least one column RLE-encodes.
+                Value::Int((i / 64) as i64),
+                Value::Str(format!("m{}", next() % 6)),
+            ]);
+        }
+        // Deletes so live filtering participates.
+        for r in [3u32, 64, 65, 130, 299] {
+            fact.delete(r);
+        }
+        let sealed = fact.seal_segments();
+        assert!(sealed > 0);
+        assert!(fact.encodings().iter().any(Option::is_some));
+        db.add_table(dim);
+        db.add_table(fact);
+        let fact = db.table("fact").unwrap();
+
+        let preds = [
+            Pred::cmp("f_i", CmpOp::Ge, 0),
+            Pred::cmp("f_i", CmpOp::Lt, -10),
+            Pred::between("f_i", -5, 5),
+            Pred::cmp("f_l", CmpOp::Eq, 2),
+            Pred::between("f_l", 1, 3),
+            Pred::eq("f_d", "m3"),
+            Pred::eq("f_d", "absent"),
+            Pred::cmp("f_dim", CmpOp::Le, 3),
+            Pred::cmp("f_dim", CmpOp::Gt, 6), // catches NULL_KEY as largest
+            Pred::between("f_i", 100, 200),   // empty
+        ];
+        let cols = ["f_i", "f_i", "f_i", "f_l", "f_l", "f_d", "f_d", "f_dim", "f_dim", "f_i"];
+        for (p, col) in preds.iter().zip(cols) {
+            let compiled = p.clone().compile(fact);
+            let colpos = fact.schema().position(col).unwrap();
+            let fp = FactPred::seeded(compiled, colpos);
+            assert!(fp.seed.is_some(), "{p:?} should seed");
+            for range in [0..300, 0..64, 10..200, 64..128, 130..131, 299..300, 150..150] {
+                let enc =
+                    select_columnwise(fact, range.clone(), std::slice::from_ref(&fp), &mut []);
+                let flat = select_rowwise(fact, range, std::slice::from_ref(&fp), &[]);
+                assert_eq!(enc, flat, "{p:?}");
+            }
+        }
     }
 }

@@ -50,6 +50,7 @@ fn empty_fact_table() {
     // down, the clamp keeps an empty scan serial and says so explicitly.
     let mut popts = ExecOptions::default().threads(4);
     popts.optimizer.parallel_min_rows_per_thread = 1;
+    popts.optimizer.host_threads = 64;
     let par = execute(&db, &sum_by_cat(), &popts).unwrap();
     assert_eq!(par.plan.executor, ExecutorInfo::Serial { requested_threads: 4 });
     assert!(par.result.is_empty());
@@ -138,6 +139,7 @@ fn deep_snowflake_chain_five_levels() {
     // morsel executor, and the executor assertion proves it actually ran.
     let mut popts = ExecOptions::default().threads(3);
     popts.optimizer.parallel_min_rows_per_thread = 1;
+    popts.optimizer.host_threads = 64;
     let par = execute(&db, &q, &popts).unwrap();
     assert!(par.plan.executor.is_parallel());
     assert!(par.result.same_contents(&reference.result, 1e-9));

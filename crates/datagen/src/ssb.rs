@@ -178,6 +178,33 @@ pub fn generate(sf: f64, seed: u64) -> Database {
     db
 }
 
+/// Generates the same database as [`generate`] — identical rows, identical
+/// dictionary code assignment, same `seed` → same bytes — but built for
+/// large scale factors (SF ≥ 1, millions of fact rows):
+///
+/// - fact dictionary columns (`lo_orderpriority`, `lo_shipmode`) are
+///   generated directly as interned codes instead of one owned `String`
+///   per row, skipping the hundreds of megabytes of transient string heap
+///   [`generate`] would allocate and immediately re-intern at SF 1;
+/// - every table is sealed on the way out, so the database arrives with
+///   its per-segment compressed encodings already built and scan-ready —
+///   booting SF 1 never holds an uncompressed intermediate beyond the
+///   resident column arrays themselves.
+pub fn generate_streaming(sf: f64, seed: u64) -> Database {
+    let sizes = SsbSizes::at(sf);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    db.add_table(gen_date());
+    db.add_table(gen_customer(sizes.customer, &mut rng));
+    db.add_table(gen_supplier(sizes.supplier, &mut rng));
+    db.add_table(gen_part(sizes.part, &mut rng));
+    db.add_table(gen_lineorder_streaming(sizes, &mut rng));
+    for name in ["date", "customer", "supplier", "part", "lineorder"] {
+        db.table_mut(name).unwrap().seal_segments();
+    }
+    db
+}
+
 /// The 2,557-row date dimension covering 1992-01-01 … 1998-12-31.
 pub fn gen_date() -> Table {
     let mut datekey = Vec::new();
@@ -533,6 +560,148 @@ fn gen_lineorder(sizes: SsbSizes, rng: &mut SmallRng) -> Table {
     )
 }
 
+/// First-appearance interning; domains here are tiny (≤ 7 values), so a
+/// linear probe beats a hash map. [`finish_dict`] remaps the codes to the
+/// sorted-domain order [`DictColumn::from_values`] would assign.
+fn intern(values: &mut Vec<String>, v: &str) -> u32 {
+    if let Some(i) = values.iter().position(|x| x == v) {
+        return i as u32;
+    }
+    values.push(v.to_owned());
+    values.len() as u32 - 1
+}
+
+/// Remaps first-appearance codes onto the sorted-domain codes
+/// [`DictColumn::from_values`] assigns, so a streamed column is
+/// bit-identical to the string-materialized one — without ever holding a
+/// per-row string.
+fn finish_dict(mut codes: Vec<u32>, values: Vec<String>) -> DictColumn {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_unstable_by(|&a, &b| values[a].cmp(&values[b]));
+    let mut remap = vec![0u32; values.len()];
+    for (rank, &old) in order.iter().enumerate() {
+        remap[old] = rank as u32;
+    }
+    for c in &mut codes {
+        *c = remap[*c as usize];
+    }
+    let mut sorted = values;
+    sorted.sort_unstable();
+    DictColumn::from_parts(codes, astore_storage::dictionary::Dictionary::from_values(sorted))
+}
+
+/// The streaming twin of [`gen_lineorder`]: identical row data and rng
+/// draw order, but dictionary columns are emitted as interned codes
+/// directly — no per-row `String` is ever allocated for them.
+fn gen_lineorder_streaming(sizes: SsbSizes, rng: &mut SmallRng) -> Table {
+    let n = sizes.lineorder;
+    let mut orderkey = Vec::with_capacity(n);
+    let mut linenumber = Vec::with_capacity(n);
+    let mut custkey = Vec::with_capacity(n);
+    let mut partkey = Vec::with_capacity(n);
+    let mut suppkey = Vec::with_capacity(n);
+    let mut orderdate = Vec::with_capacity(n);
+    let mut orderpriority = Vec::with_capacity(n);
+    let mut prio_values = Vec::new();
+    let mut shippriority = Vec::with_capacity(n);
+    let mut quantity = Vec::with_capacity(n);
+    let mut extendedprice = Vec::with_capacity(n);
+    let mut ordtotalprice = Vec::with_capacity(n);
+    let mut discount = Vec::with_capacity(n);
+    let mut revenue = Vec::with_capacity(n);
+    let mut supplycost = Vec::with_capacity(n);
+    let mut tax = Vec::with_capacity(n);
+    let mut commitdate = Vec::with_capacity(n);
+    let mut shipmode = Vec::with_capacity(n);
+    let mut ship_values = Vec::new();
+
+    let mut i = 0usize;
+    let mut order = 0i64;
+    while i < n {
+        order += 1;
+        let lines = rng.gen_range(1..=7usize).min(n - i);
+        // Same arrival-order date clustering as `gen_lineorder` (see the
+        // comment there); the draw sequence must match it exactly.
+        let base = (i as u64 * sizes.date as u64 / n.max(1) as u64) as i64;
+        let odate = (base + rng.gen_range(-30..=30i64)).clamp(0, sizes.date as i64 - 1) as u32;
+        let ck = rng.gen_range(0..sizes.customer as u32);
+        let prio = intern(&mut prio_values, PRIORITIES[rng.gen_range(0..PRIORITIES.len())]);
+        let mut total = 0i64;
+        let start = i;
+        for l in 0..lines {
+            let q = rng.gen_range(1..=50i32);
+            let price_base = rng.gen_range(900..=1_109i64);
+            let eprice = (i64::from(q) * price_base).min(55_450);
+            let disc = rng.gen_range(0..=10i32);
+            let rev = eprice * i64::from(100 - disc) / 100;
+            total += eprice;
+            orderkey.push(order);
+            linenumber.push(l as i32 + 1);
+            custkey.push(ck);
+            partkey.push(rng.gen_range(0..sizes.part as u32));
+            suppkey.push(rng.gen_range(0..sizes.supplier as u32));
+            orderdate.push(odate);
+            orderpriority.push(prio);
+            shippriority.push(0i32);
+            quantity.push(q);
+            extendedprice.push(eprice);
+            discount.push(disc);
+            revenue.push(rev);
+            supplycost.push(price_base * 6 / 10);
+            tax.push(rng.gen_range(0..=8i32));
+            commitdate.push((odate + rng.gen_range(30..=90u32)).min(sizes.date as u32 - 1));
+            shipmode.push(intern(&mut ship_values, SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())]));
+            i += 1;
+        }
+        for _ in start..i {
+            ordtotalprice.push(total);
+        }
+    }
+
+    let schema = Schema::new(vec![
+        ColumnDef::new("lo_orderkey", DataType::I64),
+        ColumnDef::new("lo_linenumber", DataType::I32),
+        ColumnDef::new("lo_custkey", DataType::Key { target: "customer".into() }),
+        ColumnDef::new("lo_partkey", DataType::Key { target: "part".into() }),
+        ColumnDef::new("lo_suppkey", DataType::Key { target: "supplier".into() }),
+        ColumnDef::new("lo_orderdate", DataType::Key { target: "date".into() }),
+        ColumnDef::new("lo_orderpriority", DataType::Dict),
+        ColumnDef::new("lo_shippriority", DataType::I32),
+        ColumnDef::new("lo_quantity", DataType::I32),
+        ColumnDef::new("lo_extendedprice", DataType::I64),
+        ColumnDef::new("lo_ordtotalprice", DataType::I64),
+        ColumnDef::new("lo_discount", DataType::I32),
+        ColumnDef::new("lo_revenue", DataType::I64),
+        ColumnDef::new("lo_supplycost", DataType::I64),
+        ColumnDef::new("lo_tax", DataType::I32),
+        ColumnDef::new("lo_commitdate", DataType::Key { target: "date".into() }),
+        ColumnDef::new("lo_shipmode", DataType::Dict),
+    ]);
+    Table::from_columns(
+        "lineorder",
+        schema,
+        vec![
+            Column::I64(orderkey),
+            Column::I32(linenumber),
+            Column::Key { target: "customer".into(), keys: custkey },
+            Column::Key { target: "part".into(), keys: partkey },
+            Column::Key { target: "supplier".into(), keys: suppkey },
+            Column::Key { target: "date".into(), keys: orderdate },
+            Column::Dict(finish_dict(orderpriority, prio_values)),
+            Column::I32(shippriority),
+            Column::I32(quantity),
+            Column::I64(extendedprice),
+            Column::I64(ordtotalprice),
+            Column::I32(discount),
+            Column::I64(revenue),
+            Column::I64(supplycost),
+            Column::I32(tax),
+            Column::Key { target: "date".into(), keys: commitdate },
+            Column::Dict(finish_dict(shipmode, ship_values)),
+        ],
+    )
+}
+
 /// A named SSB query.
 #[derive(Debug, Clone)]
 pub struct SsbQuery {
@@ -807,6 +976,34 @@ mod tests {
         let c = generate(0.001, 8);
         let kc = c.table("lineorder").unwrap().column("lo_custkey").unwrap().as_key().unwrap().1;
         assert_ne!(ka, kc, "different seeds give different data");
+    }
+
+    #[test]
+    fn streaming_generation_matches_batch_exactly() {
+        let a = generate(0.002, 42);
+        let b = generate_streaming(0.002, 42);
+        assert_eq!(a.table_names(), b.table_names());
+        for name in a.table_names() {
+            let (ta, tb) = (a.table(name).unwrap(), b.table(name).unwrap());
+            assert_eq!(ta.schema().defs(), tb.schema().defs(), "{name} schema");
+            assert_eq!(ta.num_slots(), tb.num_slots(), "{name} rows");
+            for row in 0..ta.num_slots() as u32 {
+                assert_eq!(ta.row(row), tb.row(row), "{name}[{row}]");
+            }
+        }
+        // Code-level identity too: the interner mirrors from_values.
+        for col in ["lo_orderpriority", "lo_shipmode"] {
+            let ca = a.table("lineorder").unwrap().column(col).unwrap().as_dict().unwrap();
+            let cb = b.table("lineorder").unwrap().column(col).unwrap().as_dict().unwrap();
+            assert_eq!(ca.dict().values(), cb.dict().values(), "{col} dictionary order");
+            assert_eq!(ca.codes(), cb.codes(), "{col} codes");
+        }
+        // The streamed database arrives sealed, with real compression.
+        let lo = b.table("lineorder").unwrap();
+        assert!(lo.encodings().iter().all(Option::is_some), "every segment sealed");
+        let (enc, raw) = lo.encoded_footprint();
+        assert!(enc * 2 <= raw, "encoded {enc} must be ≤ half of raw {raw}");
+        assert!(b.validate_references().is_empty());
     }
 
     #[test]

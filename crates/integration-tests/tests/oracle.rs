@@ -237,6 +237,7 @@ fn engine_matches_oracle_with_deletes() {
         assert!(row.result.same_contents(&oracle, 1e-6), "{}: row-wise under deletes", sq.id);
         let mut popts = ExecOptions::default().threads(3);
         popts.optimizer.parallel_min_rows_per_thread = 1;
+        popts.optimizer.host_threads = 64;
         let par = execute(&db, &sq.query, &popts).unwrap();
         // Serial is only legitimate when zone maps proved there is nothing
         // to scan at all (e.g. an empty chain filter pruned every segment).
@@ -429,6 +430,7 @@ fn randomized_parallel_vs_serial_differential() {
     let par_opts = |threads: usize| {
         let mut o = ExecOptions::default().threads(threads).morsel_rows(1024);
         o.optimizer.parallel_min_rows_per_thread = 1;
+        o.optimizer.host_threads = 64;
         o
     };
 
@@ -489,6 +491,7 @@ fn parallel_matches_oracle_on_all_ssb_queries() {
     let db = ssb::generate(0.002, 99);
     let mut opts = ExecOptions::default().threads(4).morsel_rows(512);
     opts.optimizer.parallel_min_rows_per_thread = 1;
+    opts.optimizer.host_threads = 64;
     for sq in ssb::queries() {
         let par = execute(&db, &sq.query, &opts).unwrap();
         assert!(

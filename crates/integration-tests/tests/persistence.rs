@@ -313,6 +313,13 @@ fn golden_database() -> Database {
     fact.append_row(&[Value::Key(0), Value::Int(10), Value::Float(1.25)]);
     fact.append_row(&[Value::Key(NULL_KEY), Value::Int(-3), Value::Float(-0.0)]);
     fact.append_row(&[Value::Key(3), Value::Int(1 << 40), Value::Float(2.5e-10)]);
+    // Sealed, so the v3 golden exercises the encoded segment blocks
+    // (packed dict codes, packed i32, packed keys with a NULL) alongside
+    // raw fallbacks (strings, floats, the unpackable i64 span). The rows
+    // themselves are frozen history — the v1/v2 fixtures decode to this
+    // exact database, and their encoders ignore seals.
+    dim.seal_segments();
+    fact.seal_segments();
     let mut db = Database::new();
     db.add_table(dim);
     db.add_table(fact);
@@ -378,11 +385,33 @@ fn checked_in_v1_golden_still_loads() {
 }
 
 #[test]
+fn checked_in_v2_golden_still_loads() {
+    // The v2 fixture (raw segmented columns, no encodings) is likewise
+    // frozen: the v3 reader must keep decoding it, and the frozen v2
+    // encoder must keep reproducing it byte for byte.
+    let on_disk = std::fs::read(testdata_path("golden-v2.snapshot")).unwrap();
+    let (db, lsn) = astore_persist::snapshot::decode_snapshot(&on_disk).unwrap();
+    assert_eq!(lsn, 7);
+    assert_identical(&golden_database(), &db, "v2 golden decode");
+    // v2 carries no segment encodings: tables come up unsealed.
+    for name in db.table_names() {
+        let t = db.table(name).unwrap();
+        assert!(t.encodings().iter().all(Option::is_none), "{name}: v2 load must be unsealed");
+    }
+    assert_eq!(
+        astore_persist::snapshot::encode_snapshot_v2(&golden_database(), 7),
+        on_disk,
+        "frozen v2 encoder drifted from the checked-in v2 bytes"
+    );
+}
+
+#[test]
 fn checked_in_v1_ssb_snapshot_answers_all_13_queries_bit_identically() {
     // An SSB database frozen in the version-1 format. Loading it rebuilds
     // zone maps from scratch; the segmented engine must then answer every
     // SSB query bit-identically to the pre-segmentation flat scan, and a
-    // re-save in today's v2 format must round-trip to the same answers.
+    // re-save in today's v3 format (sealed, so segments persist encoded)
+    // must round-trip to the same answers.
     let path = testdata_path("golden-ssb-v1.snapshot");
     if std::env::var_os("ASTORE_BLESS_GOLDEN").is_some() {
         let db = ssb::generate(0.001, 42);
@@ -394,11 +423,21 @@ fn checked_in_v1_ssb_snapshot_answers_all_13_queries_bit_identically() {
     // Fine-grained segments so the 6K-row fixture actually has zones to
     // prune (the default 64K segment would make pruning trivially void).
     db.table_mut("lineorder").unwrap().set_segment_rows(512);
+    db.table_mut("lineorder").unwrap().seal_segments();
 
     let dir = tmpdir("ssb-v1-compat");
-    let v2_path = dir.join("resaved-v2.snapshot");
-    save_snapshot(&db, &v2_path).unwrap();
-    let reloaded = load_snapshot(&v2_path).unwrap();
+    let v3_path = dir.join("resaved-v3.snapshot");
+    save_snapshot(&db, &v3_path).unwrap();
+    let reloaded = load_snapshot(&v3_path).unwrap();
+    assert!(
+        reloaded
+            .table("lineorder")
+            .unwrap()
+            .encodings()
+            .iter()
+            .any(|e| e.as_ref().is_some_and(|e| e.encoded_cols() > 0)),
+        "resaved SSB snapshot must carry encoded segments"
+    );
 
     let mut q1_pruned = 0usize;
     for sq in ssb::queries() {

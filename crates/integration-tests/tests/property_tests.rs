@@ -139,6 +139,7 @@ proptest! {
         // planner would (correctly, but uselessly here) stay serial.
         let mut popts = ExecOptions::default().threads(3);
         popts.optimizer.parallel_min_rows_per_thread = 1;
+        popts.optimizer.host_threads = 64;
         let par = execute(&db, &q, &popts).unwrap();
         prop_assert!(par.plan.executor.is_parallel(), "parallel executor did not run");
         prop_assert!(par.result.same_contents(&reference.result, 1e-9), "parallel diverged");

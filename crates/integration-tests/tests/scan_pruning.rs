@@ -169,6 +169,7 @@ fn parallel_pruned_scan_matches_flat_oracle() {
     db.table_mut("lineorder").unwrap().set_segment_rows(2048);
     let mut popts = ExecOptions::default().threads(4).morsel_rows(512);
     popts.optimizer.parallel_min_rows_per_thread = 1;
+    popts.optimizer.host_threads = 64;
     for sq in ssb::queries() {
         let flat = execute(&db, &sq.query, &ExecOptions::default().pruning(false)).unwrap();
         let par = execute(&db, &sq.query, &popts).unwrap();

@@ -207,6 +207,7 @@ fn server_parallel_reads_consistent_mid_update_burst() {
     // room for extra engine threads even on a small CI box.
     let mut opts = ExecOptions::default().threads(4).morsel_rows(512);
     opts.optimizer.parallel_min_rows_per_thread = 64;
+    opts.optimizer.host_threads = 64;
     let engine = Arc::new(Engine::with_options(SharedDatabase::new(db), opts).core_budget(8));
     let h = start(
         engine,

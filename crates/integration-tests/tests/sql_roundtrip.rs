@@ -114,6 +114,7 @@ fn sql_runs_on_parallel_engine() {
     // the point of this test is the *parallel* engine behind SQL.
     let mut popts = ExecOptions::default().threads(4);
     popts.optimizer.parallel_min_rows_per_thread = 1;
+    popts.optimizer.host_threads = 64;
     let parallel = run_sql(
         "SELECT c_region, count(*) AS n FROM lineorder, customer \
          WHERE lo_custkey = c_custkey GROUP BY c_region",

@@ -38,6 +38,7 @@ fn parallel_agrees_on_all_ssb_queries() {
     // threshold, and a clamped-to-serial run would compare serial to serial.
     let mut popts = ExecOptions::default().threads(4);
     popts.optimizer.parallel_min_rows_per_thread = 1;
+    popts.optimizer.host_threads = 64;
     for sq in ssb::queries() {
         let serial = execute(&db, &sq.query, &ExecOptions::default()).unwrap();
         let parallel = execute(&db, &sq.query, &popts).unwrap();

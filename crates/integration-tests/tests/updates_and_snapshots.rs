@@ -206,6 +206,7 @@ fn queries_work_mid_stream_on_every_variant() {
     // the executor assertion keeps this from decaying into serial-vs-serial.
     let mut popts = ExecOptions::default().threads(3);
     popts.optimizer.parallel_min_rows_per_thread = 1;
+    popts.optimizer.host_threads = 64;
     let par = execute(&snap, &q, &popts).unwrap();
     assert!(par.plan.executor.is_parallel());
     assert!(par.result.same_contents(&reference.result, 1e-9));

@@ -10,11 +10,11 @@
 //! array index references survive bit-for-bit, a warm boot prunes
 //! immediately (no rebuild scan), and a re-save reproduces the same bytes.
 //!
-//! ## Layout (version 2, all integers little-endian)
+//! ## Layout (version 3, all integers little-endian)
 //!
 //! ```text
 //! magic    8B  "ASTORESN"
-//! version  u32  (2)
+//! version  u32  (3)
 //! wal_lsn  u64   last WAL record folded into this snapshot (0 = none)
 //! ntables  u32
 //! table*:
@@ -30,24 +30,42 @@
 //!   segment block*:
 //!     len      u32            payload bytes
 //!     payload:
+//!       fmt    u8             0 = raw columns, 1 = per-column encodings
 //!       live   u64            live tuples in the segment
 //!       stat*: u8 tag + data  (0 untracked; 1 int i64 min/max;
 //!                              2 float f64-bits min/max;
 //!                              3 key u32 min, u32 max, u64 nulls)
 //!       column payload* for the segment's rows:
-//!         I32 raw i32*   I64 raw i64*   F64 raw f64-bits*
-//!         Str  str per slot   Dict u32 code per slot   Key u32 per slot
+//!         fmt 0: the raw array —
+//!           I32 raw i32*   I64 raw i64*   F64 raw f64-bits*
+//!           Str  str per slot   Dict u32 code per slot   Key u32 per slot
+//!         fmt 1: enc u8 tag, then
+//!           0 raw:    the raw array, exactly as fmt 0
+//!           1 packed: base i64, has_null u8, len u32, max_code u64,
+//!                     nwords u32, word u64*, crc u32 (over the block)
+//!           2 rle:    nruns u32, value i64*, end u32*, crc u32
 //!     crc      u32            crc32 of the payload
 //! crc32    u32   over every preceding byte
 //! ```
+//!
+//! A *sealed* segment (see `Table::seal_segments`) persists its compressed
+//! per-column encodings verbatim — frame-of-reference bit-packed words or
+//! RLE runs — and the loader both rebuilds the flat arrays from them and
+//! reinstalls the encodings, so a reboot scans compressed segments
+//! immediately without re-sealing. Unsealed segments write `fmt 0`, the
+//! exact version-2 payload plus the format byte. Each encoded block carries
+//! its own CRC so a corrupt compressed column is pinpointed, and every
+//! packing invariant the kernels rely on (guard bits, tail lanes, run
+//! monotonicity) is re-validated on load.
 //!
 //! The per-segment CRC + framing makes segments independently addressable:
 //! an **incremental checkpoint** ([`encode_snapshot_with_prev`]) copies the
 //! raw block bytes of every segment that has not been mutated since the
 //! previous snapshot (its zone map is *clean*) instead of re-encoding it —
 //! and because encoding is deterministic, the result is byte-identical to a
-//! full encode. Version-1 files (monolithic per-column payloads, no zone
-//! maps) still load; their zone maps are rebuilt on load.
+//! full encode. Version-2 files (raw segmented columns, no encodings) and
+//! version-1 files (monolithic per-column payloads, no zone maps) still
+//! load; v1 zone maps are rebuilt on load, and both come up unsealed.
 //!
 //! The trailing CRC makes torn or bit-flipped snapshot files a detected
 //! error instead of silently wrong data. Writes go through a temp file +
@@ -60,6 +78,7 @@ use astore_storage::bitmap::Bitmap;
 use astore_storage::catalog::Database;
 use astore_storage::column::Column;
 use astore_storage::dictionary::{DictColumn, Dictionary};
+use astore_storage::encoded::{EncodedColumn, PackedInts, RleInts, SegmentEncoding};
 use astore_storage::segment::{SegmentZone, ZoneStats};
 use astore_storage::strings::StrColumn;
 use astore_storage::table::{ColumnDef, Schema, Table};
@@ -72,10 +91,15 @@ use crate::PersistError;
 /// File magic of the snapshot format.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"ASTORESN";
 
-/// Current snapshot format version (segmented, zone-mapped). Bump this when
-/// the byte layout changes — the golden-snapshot test pins the layout for a
-/// given version.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// Current snapshot format version (segmented, zone-mapped, compressed
+/// segment encodings). Bump this when the byte layout changes — the
+/// golden-snapshot test pins the layout for a given version.
+pub const SNAPSHOT_VERSION: u32 = 3;
+
+/// The raw segmented format (zone maps but no segment encodings). Still
+/// readable; writable only via [`encode_snapshot_v2`] (compatibility
+/// fixtures).
+pub const SNAPSHOT_VERSION_V2: u32 = 2;
 
 /// The legacy monolithic-column format. Still readable ([`decode_snapshot`]
 /// rebuilds zone maps on load); writable only via [`encode_snapshot_v1`]
@@ -93,6 +117,18 @@ const STAT_UNTRACKED: u8 = 0;
 const STAT_INT: u8 = 1;
 const STAT_FLOAT: u8 = 2;
 const STAT_KEY: u8 = 3;
+
+/// v3 segment payload format byte: raw columns (exact v2 shape).
+const SEG_FMT_RAW: u8 = 0;
+/// v3 segment payload format byte: per-column encoding tags follow.
+const SEG_FMT_ENCODED: u8 = 1;
+
+/// v3 per-column encoding tag: the raw array.
+const ENC_RAW: u8 = 0;
+/// v3 per-column encoding tag: frame-of-reference bit-packed block.
+const ENC_PACKED: u8 = 1;
+/// v3 per-column encoding tag: run-length block.
+const ENC_RLE: u8 = 2;
 
 /// Raw segment blocks of an existing version-2 snapshot, keyed by table
 /// then segment — the reuse source of an incremental checkpoint
@@ -115,8 +151,9 @@ impl SegmentIndex<'_> {
     }
 }
 
-/// Serializes `db` into the current (version 2) byte layout. Deterministic:
-/// equal databases produce equal bytes.
+/// Serializes `db` into the current (version 3) byte layout. Deterministic:
+/// equal databases produce equal bytes. Sealed segments persist their
+/// compressed encodings; unsealed segments persist raw columns.
 pub fn encode_snapshot(db: &Database, wal_lsn: u64) -> Vec<u8> {
     encode_snapshot_with_prev(db, wal_lsn, None).0
 }
@@ -144,7 +181,7 @@ pub fn encode_snapshot_with_prev(
     let mut reused = 0usize;
     for name in db.table_names() {
         let t = db.table(name).expect("listed table exists");
-        reused += encode_table_v2(&mut buf, t, prev);
+        reused += encode_table_v3(&mut buf, t, prev);
     }
     let crc = crc32(&buf);
     put_u32(&mut buf, crc);
@@ -170,9 +207,9 @@ fn encode_coldefs(buf: &mut Vec<u8>, t: &Table) {
     }
 }
 
-/// Encodes one table in the v2 layout; returns the number of segment
-/// blocks copied from `prev` instead of re-encoded.
-fn encode_table_v2(buf: &mut Vec<u8>, t: &Table, prev: Option<&SegmentIndex>) -> usize {
+/// Writes the per-table preamble shared by v2 and v3 (coldefs through the
+/// segment count).
+fn encode_table_preamble(buf: &mut Vec<u8>, t: &Table) {
     encode_coldefs(buf, t);
     put_u32(buf, t.segment_rows() as u32);
     put_u64(buf, t.num_slots() as u64);
@@ -194,6 +231,12 @@ fn encode_table_v2(buf: &mut Vec<u8>, t: &Table, prev: Option<&SegmentIndex>) ->
         }
     }
     put_u32(buf, t.segment_count() as u32);
+}
+
+/// Encodes one table in the current (v3) layout; returns the number of
+/// segment blocks copied from `prev` instead of re-encoded.
+fn encode_table_v3(buf: &mut Vec<u8>, t: &Table, prev: Option<&SegmentIndex>) -> usize {
+    encode_table_preamble(buf, t);
     let table_blocks = prev.and_then(|p| p.blocks.get(t.name()));
     let mut reused = 0usize;
     for seg in 0..t.segment_count() {
@@ -205,7 +248,7 @@ fn encode_table_v2(buf: &mut Vec<u8>, t: &Table, prev: Option<&SegmentIndex>) ->
                 continue;
             }
         }
-        let payload = encode_segment_payload(t, seg);
+        let payload = encode_segment_payload_v3(t, seg);
         put_u32(buf, payload.len() as u32);
         let crc = crc32(&payload);
         buf.extend_from_slice(&payload);
@@ -214,11 +257,19 @@ fn encode_table_v2(buf: &mut Vec<u8>, t: &Table, prev: Option<&SegmentIndex>) ->
     reused
 }
 
-fn encode_segment_payload(t: &Table, seg: usize) -> Vec<u8> {
-    let range = t.segment_range(seg);
-    let zone = t.zone(seg);
-    let mut buf = Vec::new();
-    put_u64(&mut buf, zone.live());
+/// Encodes one table in the frozen v2 layout (raw segmented columns).
+fn encode_table_v2(buf: &mut Vec<u8>, t: &Table) {
+    encode_table_preamble(buf, t);
+    for seg in 0..t.segment_count() {
+        let payload = encode_segment_payload_v2(t, seg);
+        put_u32(buf, payload.len() as u32);
+        let crc = crc32(&payload);
+        buf.extend_from_slice(&payload);
+        put_u32(buf, crc);
+    }
+}
+
+fn encode_zone_stats(buf: &mut Vec<u8>, zone: &SegmentZone) {
     for stat in zone.stats() {
         match stat {
             ZoneStats::Untracked => buf.push(STAT_UNTRACKED),
@@ -234,14 +285,75 @@ fn encode_segment_payload(t: &Table, seg: usize) -> Vec<u8> {
             }
             ZoneStats::Key { min, max, nulls } => {
                 buf.push(STAT_KEY);
-                put_u32(&mut buf, *min);
-                put_u32(&mut buf, *max);
-                put_u64(&mut buf, *nulls);
+                put_u32(buf, *min);
+                put_u32(buf, *max);
+                put_u64(buf, *nulls);
             }
         }
     }
+}
+
+fn encode_segment_payload_v2(t: &Table, seg: usize) -> Vec<u8> {
+    let range = t.segment_range(seg);
+    let mut buf = Vec::new();
+    put_u64(&mut buf, t.zone(seg).live());
+    encode_zone_stats(&mut buf, t.zone(seg));
     for i in 0..t.schema().arity() {
         encode_column_range(&mut buf, t.column_at(i), range.clone());
+    }
+    buf
+}
+
+/// The v3 segment payload: the v2 payload prefixed with a format byte, and
+/// — when the segment is sealed with at least one encoded column — the
+/// compressed per-column blocks in place of the raw arrays.
+fn encode_segment_payload_v3(t: &Table, seg: usize) -> Vec<u8> {
+    let range = t.segment_range(seg);
+    let enc = t.encoding(seg).filter(|e| e.encoded_cols() > 0);
+    let mut buf = Vec::new();
+    buf.push(if enc.is_some() { SEG_FMT_ENCODED } else { SEG_FMT_RAW });
+    put_u64(&mut buf, t.zone(seg).live());
+    encode_zone_stats(&mut buf, t.zone(seg));
+    let Some(enc) = enc else {
+        for i in 0..t.schema().arity() {
+            encode_column_range(&mut buf, t.column_at(i), range.clone());
+        }
+        return buf;
+    };
+    for i in 0..t.schema().arity() {
+        match &enc.cols[i] {
+            None => {
+                buf.push(ENC_RAW);
+                encode_column_range(&mut buf, t.column_at(i), range.clone());
+            }
+            Some(EncodedColumn::Packed(p)) => {
+                buf.push(ENC_PACKED);
+                let start = buf.len();
+                buf.extend_from_slice(&p.base().to_le_bytes());
+                buf.push(u8::from(p.null_code().is_some()));
+                put_u32(&mut buf, p.len() as u32);
+                put_u64(&mut buf, p.max_code());
+                put_u32(&mut buf, p.words().len() as u32);
+                for &w in p.words() {
+                    put_u64(&mut buf, w);
+                }
+                let crc = crc32(&buf[start..]);
+                put_u32(&mut buf, crc);
+            }
+            Some(EncodedColumn::Rle(r)) => {
+                buf.push(ENC_RLE);
+                let start = buf.len();
+                put_u32(&mut buf, r.run_count() as u32);
+                for v in r.values() {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+                for &e in r.ends() {
+                    put_u32(&mut buf, e);
+                }
+                let crc = crc32(&buf[start..]);
+                put_u32(&mut buf, crc);
+            }
+        }
     }
     buf
 }
@@ -279,6 +391,25 @@ fn encode_column_range(buf: &mut Vec<u8>, col: &Column, range: std::ops::Range<u
             }
         }
     }
+}
+
+/// Serializes `db` into the **legacy version-2** byte layout (raw
+/// segmented columns, no segment encodings). Kept so
+/// backward-compatibility fixtures can be produced and verified;
+/// production saves use [`encode_snapshot`].
+pub fn encode_snapshot_v2(db: &Database, wal_lsn: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + db.approx_bytes() * 2);
+    buf.extend_from_slice(SNAPSHOT_MAGIC);
+    put_u32(&mut buf, SNAPSHOT_VERSION_V2);
+    put_u64(&mut buf, wal_lsn);
+    put_u32(&mut buf, db.len() as u32);
+    for name in db.table_names() {
+        let t = db.table(name).expect("listed table exists");
+        encode_table_v2(&mut buf, t);
+    }
+    let crc = crc32(&buf);
+    put_u32(&mut buf, crc);
+    buf
 }
 
 /// Serializes `db` into the **legacy version-1** byte layout (monolithic
@@ -324,15 +455,17 @@ fn encode_table_v1(buf: &mut Vec<u8>, t: &Table) {
 
 /// Parses snapshot bytes, verifying magic, version and checksum. Returns
 /// the database and the `wal_lsn` recorded in the header. Accepts the
-/// current version 2 (persisted zone maps are loaded verbatim) and the
-/// legacy version 1 (zone maps rebuilt).
+/// current version 3 (zone maps and segment encodings loaded verbatim),
+/// version 2 (zone maps verbatim, no encodings) and the legacy version 1
+/// (zone maps rebuilt).
 pub fn decode_snapshot(bytes: &[u8]) -> Result<(Database, u64), PersistError> {
     let (mut c, version, wal_lsn, ntables) = decode_header(bytes)?;
     let mut db = Database::new();
     for _ in 0..ntables {
         let table = match version {
             SNAPSHOT_VERSION_V1 => decode_table_v1(&mut c)?,
-            _ => decode_table_v2(&mut c)?,
+            SNAPSHOT_VERSION_V2 => decode_table_v2(&mut c)?,
+            _ => decode_table_v3(&mut c)?,
         };
         db.add_table(table);
     }
@@ -365,7 +498,7 @@ fn decode_header(bytes: &[u8]) -> Result<(Cursor<'_>, u32, u64, u32), PersistErr
     let mut c = Cursor::new(payload);
     c.bytes(8, "magic")?;
     let version = c.u32("version")?;
-    if version != SNAPSHOT_VERSION && version != SNAPSHOT_VERSION_V1 {
+    if !matches!(version, SNAPSHOT_VERSION | SNAPSHOT_VERSION_V2 | SNAPSHOT_VERSION_V1) {
         return Err(PersistError::Version { found: version, expected: SNAPSHOT_VERSION });
     }
     let wal_lsn = c.u64("wal_lsn")?;
@@ -373,9 +506,10 @@ fn decode_header(bytes: &[u8]) -> Result<(Cursor<'_>, u32, u64, u32), PersistErr
     Ok((c, version, wal_lsn, ntables))
 }
 
-/// Indexes the segment blocks of a version-2 snapshot for checkpoint
+/// Indexes the segment blocks of a current-version snapshot for checkpoint
 /// reuse. Returns `None` for anything unusable (missing/corrupt file,
-/// legacy version): the checkpoint then falls back to a full encode.
+/// legacy version — v1/v2 blocks are laid out differently, so a checkpoint
+/// over an old file falls back to a full encode and upgrades it in place).
 pub fn index_snapshot_segments(bytes: &[u8]) -> Option<SegmentIndex<'_>> {
     let (mut c, version, _, ntables) = decode_header(bytes).ok()?;
     if version != SNAPSHOT_VERSION {
@@ -569,6 +703,49 @@ impl ColumnBuilder {
         Ok(())
     }
 
+    /// Appends `n` rows decoded from a compressed block, validating that
+    /// every value fits the column's domain (an encoded block is an
+    /// untrusted `i64` stream until proven otherwise).
+    fn extend_decoded(&mut self, enc: &EncodedColumn, n: usize) -> Result<(), PersistError> {
+        if enc.len() != n {
+            return Err(PersistError::Corrupt(format!(
+                "encoded block holds {} rows, segment needs {n}",
+                enc.len()
+            )));
+        }
+        let domain = |what: &str| PersistError::Corrupt(format!("encoded {what} out of range"));
+        match self {
+            ColumnBuilder::I32(v) => {
+                for i in 0..n {
+                    v.push(i32::try_from(enc.value_at(i)).map_err(|_| domain("i32 value"))?);
+                }
+            }
+            ColumnBuilder::I64(v) => {
+                for i in 0..n {
+                    v.push(enc.value_at(i));
+                }
+            }
+            ColumnBuilder::Dict { codes, dict } => {
+                for i in 0..n {
+                    let code = u32::try_from(enc.value_at(i))
+                        .ok()
+                        .filter(|&c| (c as usize) < dict.len())
+                        .ok_or_else(|| domain("dictionary code"))?;
+                    codes.push(code);
+                }
+            }
+            ColumnBuilder::Key { keys, .. } => {
+                for i in 0..n {
+                    keys.push(u32::try_from(enc.value_at(i)).map_err(|_| domain("key"))?);
+                }
+            }
+            ColumnBuilder::F64(_) | ColumnBuilder::Str(_) => {
+                return Err(PersistError::Corrupt("encoded block on a float/string column".into()));
+            }
+        }
+        Ok(())
+    }
+
     fn finish(self) -> Column {
         match self {
             ColumnBuilder::I32(v) => Column::I32(v),
@@ -658,6 +835,158 @@ fn decode_table_v2(c: &mut Cursor<'_>) -> Result<Table, PersistError> {
     }
     let columns: Vec<Column> = builders.into_iter().map(ColumnBuilder::finish).collect();
     Ok(Table::from_parts_with_zones(name, Schema::new(defs), columns, live, free, seg_rows, zones))
+}
+
+fn decode_table_v3(c: &mut Cursor<'_>) -> Result<Table, PersistError> {
+    let header = decode_table_header(c, true)?;
+    let nsegs = c.u32("segment count")? as usize;
+    if nsegs != header.nslots.div_ceil(header.seg_rows) {
+        return Err(PersistError::Corrupt(format!(
+            "{nsegs} segments do not cover {} slots of table {:?}",
+            header.nslots, header.name
+        )));
+    }
+    let TableHeader { name, defs, seg_rows, nslots, live, free, dicts } = header;
+    let mut builders: Vec<ColumnBuilder> = defs
+        .iter()
+        .zip(dicts)
+        .map(|(d, dict)| ColumnBuilder::new(&d.dtype, dict, nslots))
+        .collect();
+    let mut zones = Vec::with_capacity(nsegs);
+    let mut encodings: Vec<Option<SegmentEncoding>> = Vec::with_capacity(nsegs);
+    for seg in 0..nsegs {
+        let len = c.u32("segment length")? as usize;
+        let payload = c.bytes(len, "segment payload")?;
+        let stored = c.u32("segment crc")?;
+        let actual = crc32(payload);
+        if stored != actual {
+            return Err(PersistError::Corrupt(format!(
+                "segment {seg} of table {name:?} checksum mismatch \
+                 (stored {stored:#010x}, computed {actual:#010x})"
+            )));
+        }
+        let mut pc = Cursor::new(payload);
+        let fmt = pc.bytes(1, "segment format")?[0];
+        let live_count = pc.u64("segment live count")?;
+        let stats = decode_zone_stats(&mut pc, defs.len())?;
+        let start = seg * seg_rows;
+        let rows = (nslots - start).min(seg_rows);
+        match fmt {
+            SEG_FMT_RAW => {
+                for b in &mut builders {
+                    b.extend(&mut pc, rows)?;
+                }
+                encodings.push(None);
+            }
+            SEG_FMT_ENCODED => {
+                let mut cols = Vec::with_capacity(builders.len());
+                for b in &mut builders {
+                    let tag = pc.bytes(1, "column encoding tag")?[0];
+                    let enc = match tag {
+                        ENC_RAW => {
+                            b.extend(&mut pc, rows)?;
+                            None
+                        }
+                        ENC_PACKED => {
+                            Some(EncodedColumn::Packed(decode_packed_block(&mut pc, payload)?))
+                        }
+                        ENC_RLE => Some(EncodedColumn::Rle(decode_rle_block(&mut pc, payload)?)),
+                        other => {
+                            return Err(PersistError::Corrupt(format!(
+                                "unknown column encoding tag {other}"
+                            )));
+                        }
+                    };
+                    if let Some(enc) = &enc {
+                        b.extend_decoded(enc, rows)?;
+                    }
+                    cols.push(enc);
+                }
+                encodings.push(Some(SegmentEncoding { cols }));
+            }
+            other => {
+                return Err(PersistError::Corrupt(format!("unknown segment format {other}")));
+            }
+        }
+        if pc.remaining() != 0 {
+            return Err(PersistError::Corrupt(format!(
+                "{} trailing bytes in segment {seg} of table {name:?}",
+                pc.remaining()
+            )));
+        }
+        zones.push(SegmentZone::from_parts(stats, live_count));
+    }
+    let columns: Vec<Column> = builders.into_iter().map(ColumnBuilder::finish).collect();
+    let mut t =
+        Table::from_parts_with_zones(name, Schema::new(defs), columns, live, free, seg_rows, zones);
+    // Every per-column length was validated against the segment's row count
+    // above, so this install cannot panic on decoded input.
+    t.install_segment_encodings(encodings);
+    Ok(t)
+}
+
+/// Decodes and CRC-checks one bit-packed column block; every packing
+/// invariant is re-validated by [`PackedInts::from_parts`].
+fn decode_packed_block(pc: &mut Cursor<'_>, payload: &[u8]) -> Result<PackedInts, PersistError> {
+    let start = pc.position();
+    let base = i64::from_le_bytes(pc.bytes(8, "packed base")?.try_into().unwrap());
+    let has_null = pc.bytes(1, "packed null flag")?[0];
+    if has_null > 1 {
+        return Err(PersistError::Corrupt(format!("bad packed null flag {has_null}")));
+    }
+    let len = pc.u32("packed length")?;
+    let max_code = pc.u64("packed max code")?;
+    let nwords = pc.u32("packed word count")? as usize;
+    if nwords > pc.remaining() / 8 {
+        return Err(PersistError::Corrupt(format!("packed word count {nwords} exceeds block")));
+    }
+    let mut words = Vec::with_capacity(nwords);
+    for _ in 0..nwords {
+        words.push(pc.u64("packed word")?);
+    }
+    check_block_crc(pc, payload, start, "packed")?;
+    PackedInts::from_parts(base, len, max_code, has_null == 1, words)
+        .ok_or_else(|| PersistError::Corrupt("packed block violates packing invariants".into()))
+}
+
+/// Decodes and CRC-checks one run-length column block; run monotonicity
+/// and canonical form are re-validated by [`RleInts::from_parts`].
+fn decode_rle_block(pc: &mut Cursor<'_>, payload: &[u8]) -> Result<RleInts, PersistError> {
+    let start = pc.position();
+    let nruns = pc.u32("rle run count")? as usize;
+    if nruns > pc.remaining() / 12 {
+        return Err(PersistError::Corrupt(format!("rle run count {nruns} exceeds block")));
+    }
+    let mut values = Vec::with_capacity(nruns);
+    for _ in 0..nruns {
+        values.push(i64::from_le_bytes(pc.bytes(8, "rle value")?.try_into().unwrap()));
+    }
+    let mut ends = Vec::with_capacity(nruns);
+    for _ in 0..nruns {
+        ends.push(pc.u32("rle end")?);
+    }
+    check_block_crc(pc, payload, start, "rle")?;
+    RleInts::from_parts(values, ends)
+        .ok_or_else(|| PersistError::Corrupt("rle block violates run invariants".into()))
+}
+
+/// Verifies the trailing CRC of an encoded column block spanning
+/// `payload[start..]` up to the cursor's current position.
+fn check_block_crc(
+    pc: &mut Cursor<'_>,
+    payload: &[u8],
+    start: usize,
+    what: &str,
+) -> Result<(), PersistError> {
+    let end = pc.position();
+    let stored = pc.u32("encoded block crc")?;
+    let actual = crc32(&payload[start..end]);
+    if stored != actual {
+        return Err(PersistError::Corrupt(format!(
+            "{what} block checksum mismatch (stored {stored:#010x}, computed {actual:#010x})"
+        )));
+    }
+    Ok(())
 }
 
 fn decode_table_v1(c: &mut Cursor<'_>) -> Result<Table, PersistError> {
@@ -824,6 +1153,106 @@ mod tests {
     #[test]
     fn encoding_is_deterministic() {
         assert_eq!(encode_snapshot(&kitchen_sink(), 7), encode_snapshot(&kitchen_sink(), 7));
+        assert_eq!(
+            encode_snapshot(&sealed_kitchen_sink(), 7),
+            encode_snapshot(&sealed_kitchen_sink(), 7)
+        );
+    }
+
+    /// The kitchen sink with every segment sealed (encoded where smaller).
+    fn sealed_kitchen_sink() -> Database {
+        let mut db = kitchen_sink();
+        // The toy tables are too small for packing to win; widen the fact
+        // table so at least one segment genuinely encodes.
+        let fact = db.table_mut("fact").unwrap();
+        for i in 0..256 {
+            fact.append_row(&[
+                Value::Key(i % 4),
+                Value::Int(i64::from(1000 + (i % 50))),
+                Value::Int(i64::from(i / 128)),
+                Value::Float(0.25),
+            ]);
+        }
+        for name in ["dim", "fact"] {
+            db.table_mut(name).unwrap().seal_segments();
+        }
+        db
+    }
+
+    #[test]
+    fn sealed_roundtrip_reinstalls_encodings() {
+        let db = sealed_kitchen_sink();
+        let fact = db.table("fact").unwrap();
+        let sealed: usize = (0..fact.segment_count())
+            .filter(|&s| fact.encoding(s).is_some_and(|e| e.encoded_cols() > 0))
+            .count();
+        assert!(sealed > 0, "fixture must actually encode something");
+
+        let bytes = encode_snapshot(&db, 21);
+        let (back, lsn) = decode_snapshot(&bytes).unwrap();
+        assert_eq!(lsn, 21);
+        assert_same(&db, &back);
+        let bfact = back.table("fact").unwrap();
+        for seg in 0..fact.segment_count() {
+            let orig = fact.encoding(seg).filter(|e| e.encoded_cols() > 0);
+            let load = bfact.encoding(seg).filter(|e| e.encoded_cols() > 0);
+            assert_eq!(orig, load, "segment {seg} encodings survive the roundtrip");
+            assert!(!bfact.zone(seg).is_dirty(), "loaded segments are clean");
+        }
+        // Deterministic re-encode: a loaded, sealed database writes the
+        // same bytes (install_segment_encodings preserved every word/run).
+        assert_eq!(encode_snapshot(&back, 21), bytes);
+        // And the compressed footprint is genuinely smaller.
+        let (enc, raw) = bfact.encoded_footprint();
+        assert!(enc < raw, "encoded {enc} must beat raw {raw}");
+    }
+
+    #[test]
+    fn sealed_incremental_encode_reuses_encoded_blocks() {
+        let db = sealed_kitchen_sink();
+        let bytes = encode_snapshot(&db, 5);
+        let (back, _) = decode_snapshot(&bytes).unwrap();
+        let index = index_snapshot_segments(&bytes).unwrap();
+        let nsegs = index.len();
+        let (inc, reused) = encode_snapshot_with_prev(&back, 5, Some(&index));
+        assert_eq!(reused, nsegs, "a loaded sealed database reuses every block");
+        assert_eq!(inc, bytes);
+    }
+
+    #[test]
+    fn v2_files_still_load_without_encodings() {
+        let db = sealed_kitchen_sink();
+        let bytes = encode_snapshot_v2(&db, 13);
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), SNAPSHOT_VERSION_V2);
+        let (back, lsn) = decode_snapshot(&bytes).unwrap();
+        assert_eq!(lsn, 13);
+        assert_same(&db, &back);
+        // Zone maps survive verbatim; encodings do not exist in v2, so the
+        // tables come up unsealed (a boot-time seal rebuilds them).
+        let fact = back.table("fact").unwrap();
+        assert_eq!(fact.segment_rows(), db.table("fact").unwrap().segment_rows());
+        assert!(fact.encodings().iter().all(Option::is_none), "v2 loads are unsealed");
+        // v2 blocks are not reusable by a v3 checkpoint.
+        assert!(index_snapshot_segments(&bytes).is_none());
+    }
+
+    #[test]
+    fn corrupt_encoded_block_is_pinpointed() {
+        let db = sealed_kitchen_sink();
+        let good = encode_snapshot(&db, 0);
+        // Find a packed block by its tag bytes: scan for any segment
+        // payload and flip a byte inside it while fixing the outer CRCs is
+        // fiddly — instead corrupt through the public surface: flip each
+        // byte and require *an* error (the whole-file CRC backstops), then
+        // separately prove from_parts-level validation fires by decoding a
+        // hand-bent block.
+        let mut bad = good.clone();
+        bad[good.len() / 2] ^= 0x40;
+        assert!(decode_snapshot(&bad).is_err());
+        // A structurally invalid packed block (nonzero guard bit) must be
+        // rejected even with a correct block CRC.
+        let p = PackedInts::from_parts(0, 3, 5, false, vec![1 | (1 << 3)]);
+        assert!(p.is_none(), "guard-bit violation must not reassemble");
     }
 
     #[test]
@@ -896,7 +1325,12 @@ mod tests {
 
     #[test]
     fn every_single_byte_corruption_is_detected() {
-        for bytes in [encode_snapshot(&kitchen_sink(), 0), encode_snapshot_v1(&kitchen_sink(), 0)] {
+        for bytes in [
+            encode_snapshot(&kitchen_sink(), 0),
+            encode_snapshot(&sealed_kitchen_sink(), 0),
+            encode_snapshot_v2(&kitchen_sink(), 0),
+            encode_snapshot_v1(&kitchen_sink(), 0),
+        ] {
             // Flip one bit in every byte (covers header, zone stats, segment
             // frames, payload and trailer).
             for i in 0..bytes.len() {

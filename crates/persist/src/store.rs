@@ -123,6 +123,16 @@ pub fn checkpoint(
     let sample = crate::metrics::TimedSample::start();
     let dir = dir.as_ref();
     let last = wal.last_lsn();
+    // Seal before encoding so the snapshot persists the compressed segment
+    // form (newly sealed segments come out dirty and re-encode; segments
+    // sealed by an earlier checkpoint stay clean and byte-reuse). In-place
+    // only — a table shared with in-flight readers is never deep-cloned
+    // for a seal; it checkpoints raw this round and seals at the next.
+    for name in db.table_names().to_vec() {
+        if let Some(t) = db.table_mut_in_place(&name) {
+            t.seal_segments();
+        }
+    }
     // The index borrows the previous file's bytes — one read, no copies.
     let prev_bytes = std::fs::read(snapshot_path(dir)).ok();
     let prev = prev_bytes.as_deref().and_then(crate::snapshot::index_snapshot_segments);

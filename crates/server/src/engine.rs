@@ -166,7 +166,7 @@ impl Engine {
     pub fn with_options(db: SharedDatabase, opts: ExecOptions) -> Self {
         let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
         let budget = CoreBudget::new(cores.max(opts.threads));
-        Engine {
+        let engine = Engine {
             db,
             cache: PlanCache::default(),
             stats: ServerStats::new(),
@@ -175,7 +175,36 @@ impl Engine {
             opts,
             budget,
             durability: None,
-        }
+        };
+        // Seal whatever the boot image carried unsealed (a v2 snapshot, a
+        // WAL replay tail) so the scan path starts on encoded segments, and
+        // prime the footprint gauges.
+        engine.seal_and_gauge();
+        engine
+    }
+
+    /// Seals every full segment in place and refreshes the
+    /// `encoded_bytes` / `raw_bytes` gauges. Runs at boot and after each
+    /// checkpoint; sealing skips tables currently shared with in-flight
+    /// readers (they seal at the next opportunity).
+    fn seal_and_gauge(&self) {
+        let (enc, raw) = self.db.write(|db| {
+            let (mut enc, mut raw) = (0u64, 0u64);
+            for name in db.table_names().to_vec() {
+                if let Some(t) = db.table_mut_in_place(&name) {
+                    t.seal_segments();
+                }
+                if let Some(t) = db.table(&name) {
+                    let (e, r) = t.encoded_footprint();
+                    enc += e;
+                    raw += r;
+                }
+            }
+            (enc, raw)
+        });
+        use std::sync::atomic::Ordering;
+        self.stats.encoded_bytes.store(enc, Ordering::Relaxed);
+        self.stats.raw_bytes.store(raw, Ordering::Relaxed);
     }
 
     /// Sets the slow-query capture threshold in milliseconds
@@ -222,6 +251,8 @@ impl Engine {
         match result {
             Ok(ok) => {
                 self.stats.checkpoints.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                // The checkpoint sealed segments; pick up the new footprint.
+                self.seal_and_gauge();
                 Ok(ok)
             }
             Err(e) => Err(e.to_string()),
@@ -795,6 +826,7 @@ pub fn value_to_json(v: &Value) -> Json {
 mod tests {
     use super::*;
     use astore_storage::catalog::Database;
+    use astore_storage::segment::SEGMENT_ROWS;
     use astore_storage::snapshot::SharedDatabase;
     use astore_storage::table::{ColumnDef, Schema, Table};
     use astore_storage::types::DataType;
@@ -946,6 +978,22 @@ mod tests {
     }
 
     #[test]
+    fn boot_seal_primes_footprint_gauges() {
+        // big_db spans two full segments; with_options seals them at boot,
+        // so the footprint gauges report a real (and compressed) residency.
+        let e = Engine::new(SharedDatabase::new(big_db()));
+        let r = e.handle_line(r#"{"cmd":"stats"}"#);
+        let s = r.get("stats").unwrap();
+        let enc = s.get("encoded_bytes").unwrap().as_i64().unwrap();
+        let raw = s.get("raw_bytes").unwrap().as_i64().unwrap();
+        assert!(enc > 0, "boot seal produced no encoded segments");
+        assert!(enc < raw, "encoded footprint should beat raw: {enc} vs {raw}");
+        // Query results are unaffected by the sealed representation.
+        let r = sql(&e, "SELECT count(*) AS n FROM fact");
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+    }
+
+    #[test]
     fn durable_engine_logs_checkpoints_and_recovers() {
         let dir = std::env::temp_dir().join(format!("astore-engine-dur-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -1060,8 +1108,8 @@ mod tests {
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
-    /// A star schema with a fact table big enough (40K rows) that the
-    /// default planner wants to fan out.
+    /// A star schema with a fact table big enough (two full segments) that
+    /// the default planner wants to fan out.
     fn big_db() -> Database {
         let mut dim =
             Table::new("dim", Schema::new(vec![ColumnDef::new("d_name", DataType::Dict)]));
@@ -1075,7 +1123,7 @@ mod tests {
                 ColumnDef::new("f_v", DataType::I64),
             ]),
         );
-        for i in 0..40_000u32 {
+        for i in 0..(2 * SEGMENT_ROWS as u32) {
             fact.append_row(&[Value::Key(i % 16), Value::Int(i as i64)]);
         }
         let mut db = Database::new();
@@ -1084,11 +1132,17 @@ mod tests {
         db
     }
 
+    /// Fan-out options pinned to a 64-thread virtual host so the planner's
+    /// physical-core clamp never turns these tests serial on small CI boxes.
+    fn fan_out_opts(threads: usize) -> ExecOptions {
+        let mut o = ExecOptions::default().threads(threads);
+        o.optimizer.host_threads = 64;
+        o
+    }
+
     #[test]
     fn big_scans_fan_out_under_the_core_budget() {
-        let e =
-            Engine::with_options(SharedDatabase::new(big_db()), ExecOptions::default().threads(4))
-                .core_budget(4);
+        let e = Engine::with_options(SharedDatabase::new(big_db()), fan_out_opts(4)).core_budget(4);
         let serial_ref = Engine::new(SharedDatabase::new(big_db()));
         let q = "SELECT d_name, sum(f_v) AS s FROM fact, dim GROUP BY d_name ORDER BY d_name";
         let par = sql(&e, q);
@@ -1104,9 +1158,7 @@ mod tests {
     fn exhausted_budget_degrades_to_serial_and_counts_it() {
         // Budget of 1: the statement's own baseline permit consumes it, so
         // no extra engine threads can ever be granted.
-        let e =
-            Engine::with_options(SharedDatabase::new(big_db()), ExecOptions::default().threads(4))
-                .core_budget(1);
+        let e = Engine::with_options(SharedDatabase::new(big_db()), fan_out_opts(4)).core_budget(1);
         let r = sql(&e, "SELECT sum(f_v) AS s FROM fact");
         assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
         let stats = e.stats();

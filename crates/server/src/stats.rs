@@ -42,6 +42,11 @@ pub struct ServerStats {
     pub conn_rejected: AtomicU64,
     /// Currently open connections.
     pub active_connections: AtomicUsize,
+    /// Resident bytes of the compressed (encoded) sealed segments.
+    /// Gauge, not counter: overwritten at boot and after each checkpoint.
+    pub encoded_bytes: AtomicU64,
+    /// Flat columnar bytes those same sealed segments would occupy raw.
+    pub raw_bytes: AtomicU64,
     /// End-to-end statement latency (parse → response built).
     pub latency: LatencyHistogram,
     /// Groups multi-counter updates (e.g. `queries` + `segments_scanned` +
@@ -69,6 +74,8 @@ impl Default for ServerStats {
             rejected: AtomicU64::new(0),
             conn_rejected: AtomicU64::new(0),
             active_connections: AtomicUsize::new(0),
+            encoded_bytes: AtomicU64::new(0),
+            raw_bytes: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
             group: SeqLock::new(),
             started: Instant::now(),
@@ -124,6 +131,8 @@ impl ServerStats {
                 "active_connections",
                 Json::Int(self.active_connections.load(Ordering::Relaxed) as i64),
             ),
+            ("encoded_bytes", Json::Int(self.encoded_bytes.load(Ordering::Relaxed) as i64)),
+            ("raw_bytes", Json::Int(self.raw_bytes.load(Ordering::Relaxed) as i64)),
             ("cache_hits", Json::Int(cache.hits() as i64)),
             ("cache_misses", Json::Int(cache.misses() as i64)),
             ("cache_hit_rate", Json::Float(cache.hit_rate())),
@@ -163,6 +172,8 @@ mod tests {
             "prepared_execs",
             "errors",
             "rejected",
+            "encoded_bytes",
+            "raw_bytes",
             "latency_p99_us",
         ] {
             assert!(j.get(key).is_some(), "missing {key}");

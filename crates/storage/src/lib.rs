@@ -74,6 +74,7 @@ pub mod bitmap;
 pub mod catalog;
 pub mod column;
 pub mod dictionary;
+pub mod encoded;
 pub mod segment;
 pub mod selvec;
 pub mod snapshot;
@@ -87,6 +88,7 @@ pub mod prelude {
     pub use crate::catalog::{checked_key, AirEdge, Database};
     pub use crate::column::Column;
     pub use crate::dictionary::{DictColumn, Dictionary};
+    pub use crate::encoded::{EncodedColumn, PackedInts, RleInts, SegmentEncoding};
     pub use crate::segment::{SegmentZone, ZoneStats, SEGMENT_ROWS};
     pub use crate::selvec::SelVec;
     pub use crate::snapshot::SharedDatabase;

@@ -30,6 +30,15 @@ pub const SEGMENT_ROWS: usize = 1 << 16;
 /// rebuilt exactly (see [`crate::table::Table::update`]).
 pub(crate) const REBUILD_AFTER_OPS: u32 = 4096;
 
+/// Deletes a segment tolerates before its zone map is rebuilt exactly.
+/// Deliberately much laxer than [`REBUILD_AFTER_OPS`]: a delete never
+/// *widens* the bounds (the dead row's values were already inside them), so
+/// a rebuild only helps once enough live-count decay has accumulated that
+/// the bounds overstate what is still selectable. Counting deletes toward
+/// the widening threshold caused rebuild churn under delete-heavy bursts
+/// for no tightening gain.
+pub(crate) const DECAY_REBUILD_AFTER_OPS: u32 = 4 * REBUILD_AFTER_OPS;
+
 /// Per-column statistics of one segment. Bounds cover every value the
 /// segment *may* contain (they are exact right after a rebuild and only
 /// widen under incremental maintenance). An integer/key range with
@@ -142,6 +151,11 @@ pub struct SegmentZone {
     dirty: bool,
     /// Widening (imprecise) operations since the last exact rebuild.
     imprecise: u32,
+    /// Deletes since the last exact rebuild. Tracked separately from
+    /// `imprecise`: deletes decay the live count but never widen bounds,
+    /// so they answer to the (much laxer) [`DECAY_REBUILD_AFTER_OPS`]
+    /// threshold instead of [`REBUILD_AFTER_OPS`].
+    decayed: u32,
 }
 
 impl SegmentZone {
@@ -153,6 +167,7 @@ impl SegmentZone {
             live: 0,
             dirty: true,
             imprecise: 0,
+            decayed: 0,
         }
     }
 
@@ -180,7 +195,7 @@ impl SegmentZone {
     /// Loaded zones are clean: their on-disk representation is the file they
     /// came from.
     pub fn from_parts(stats: Vec<ZoneStats>, live: u64) -> SegmentZone {
-        SegmentZone { stats, live, dirty: false, imprecise: 0 }
+        SegmentZone { stats, live, dirty: false, imprecise: 0, decayed: 0 }
     }
 
     /// Per-column statistics, in schema order.
@@ -209,6 +224,13 @@ impl SegmentZone {
         self.dirty = false;
     }
 
+    /// Marks the segment as needing re-persistence without touching its
+    /// statistics (sealing changes the on-disk representation, not the
+    /// data).
+    pub(crate) fn mark_dirty(&mut self) {
+        self.dirty = true;
+    }
+
     pub(crate) fn note_append(&mut self, columns: &[Column], row: usize) {
         self.live += 1;
         self.dirty = true;
@@ -233,10 +255,21 @@ impl SegmentZone {
         self.imprecise
     }
 
-    pub(crate) fn note_delete(&mut self) {
+    pub(crate) fn note_delete(&mut self) -> u32 {
         self.live = self.live.saturating_sub(1);
         self.dirty = true;
-        self.imprecise += 1;
+        self.decayed += 1;
+        self.decayed
+    }
+
+    /// Widening operations accumulated since the last exact rebuild.
+    pub fn imprecise_ops(&self) -> u32 {
+        self.imprecise
+    }
+
+    /// Deletes accumulated since the last exact rebuild.
+    pub fn decayed_ops(&self) -> u32 {
+        self.decayed
     }
 
     /// Stops tracking one column (a caller obtained raw mutable access to

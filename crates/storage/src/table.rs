@@ -13,7 +13,8 @@ use std::collections::HashMap;
 
 use crate::bitmap::Bitmap;
 use crate::column::Column;
-use crate::segment::{SegmentZone, REBUILD_AFTER_OPS, SEGMENT_ROWS};
+use crate::encoded::{encode_segment, SegmentEncoding};
+use crate::segment::{SegmentZone, DECAY_REBUILD_AFTER_OPS, REBUILD_AFTER_OPS, SEGMENT_ROWS};
 use crate::selvec::SelVec;
 use crate::types::{DataType, RowId, Value};
 
@@ -92,6 +93,13 @@ pub struct Table {
     seg_rows: usize,
     /// One zone map per segment; `zones.len() == num_slots().div_ceil(seg_rows)`.
     zones: Vec<SegmentZone>,
+    /// One optional encoding per segment, parallel to `zones`. `Some` means
+    /// the segment is *sealed*: its columns were re-represented in
+    /// compressed form (see [`crate::encoded`]) and scans may read the
+    /// encoded words instead of the raw arrays. Any value mutation of a
+    /// sealed segment unseals it (deletes do not — liveness lives in the
+    /// table's bitmap, not in the encoding).
+    encodings: Vec<Option<SegmentEncoding>>,
 }
 
 impl Table {
@@ -106,6 +114,7 @@ impl Table {
             free: Vec::new(),
             seg_rows: SEGMENT_ROWS,
             zones: Vec::new(),
+            encodings: Vec::new(),
         }
     }
 
@@ -130,6 +139,7 @@ impl Table {
             free: Vec::new(),
             seg_rows: SEGMENT_ROWS,
             zones: Vec::new(),
+            encodings: Vec::new(),
         };
         t.rebuild_zone_maps();
         t
@@ -182,6 +192,7 @@ impl Table {
             free,
             seg_rows: SEGMENT_ROWS,
             zones: Vec::new(),
+            encodings: Vec::new(),
         }
     }
 
@@ -216,6 +227,7 @@ impl Table {
             assert_eq!(z.stats().len(), t.schema.arity(), "zone arity mismatch");
         }
         t.seg_rows = seg_rows;
+        t.encodings = vec![None; zones.len()];
         t.zones = zones;
         t
     }
@@ -266,8 +278,10 @@ impl Table {
     }
 
     /// Rebuilds every segment's zone map exactly from the live rows.
+    /// Segment geometry may change, so every segment is also unsealed.
     pub fn rebuild_zone_maps(&mut self) {
         let nsegs = self.num_slots().div_ceil(self.seg_rows);
+        self.encodings = vec![None; nsegs];
         self.zones = (0..nsegs)
             .map(|seg| {
                 let start = seg * self.seg_rows;
@@ -286,11 +300,87 @@ impl Table {
 
     /// Marks every segment as persisted (called after a checkpoint wrote
     /// the current state; an incremental checkpoint re-encodes only dirty
-    /// segments).
+    /// segments). Seals are kept: they describe the same data.
     pub fn mark_segments_clean(&mut self) {
         for z in &mut self.zones {
             z.mark_clean();
         }
+    }
+
+    /// Seals every unsealed segment: chooses and builds the per-column
+    /// compressed encoding (see [`crate::encoded`]). Already-sealed
+    /// segments are untouched, so sealing twice is a no-op. A segment whose
+    /// seal produced at least one encoded column is marked dirty so the
+    /// next checkpoint persists the encoded form. Returns the number of
+    /// segments sealed by this call.
+    pub fn seal_segments(&mut self) -> usize {
+        let mut sealed = 0;
+        for seg in 0..self.zones.len() {
+            if self.encodings[seg].is_some() {
+                continue;
+            }
+            let enc = encode_segment(&self.columns, self.segment_range(seg));
+            if enc.encoded_cols() > 0 {
+                self.zones[seg].mark_dirty();
+            }
+            self.encodings[seg] = Some(enc);
+            sealed += 1;
+        }
+        sealed
+    }
+
+    /// The encoded form of segment `seg`, if it is sealed.
+    #[inline]
+    pub fn encoding(&self, seg: usize) -> Option<&SegmentEncoding> {
+        self.encodings.get(seg).and_then(Option::as_ref)
+    }
+
+    /// Per-segment encodings, parallel to [`Table::zones`].
+    pub fn encodings(&self) -> &[Option<SegmentEncoding>] {
+        &self.encodings
+    }
+
+    /// Installs persisted segment encodings verbatim (the snapshot-v3 load
+    /// path): segments arrive already sealed, so a re-seal after boot adds
+    /// no work and no dirt.
+    ///
+    /// # Panics
+    /// Panics if the encoding list does not match the segment count or a
+    /// sealed segment's column arity.
+    pub fn install_segment_encodings(&mut self, encodings: Vec<Option<SegmentEncoding>>) {
+        assert_eq!(encodings.len(), self.zones.len(), "encoding count mismatch");
+        for (seg, e) in encodings.iter().enumerate() {
+            if let Some(e) = e {
+                assert_eq!(e.cols.len(), self.schema.arity(), "encoding arity mismatch");
+                for c in e.cols.iter().flatten() {
+                    assert_eq!(c.len(), self.segment_range(seg).len(), "encoding length mismatch");
+                }
+            }
+        }
+        self.encodings = encodings;
+    }
+
+    /// Resident bytes of the column arrays as `(encoded, raw)`: `raw`
+    /// counts every column at its flat in-memory width, `encoded` counts
+    /// sealed columns at their compressed size and everything else flat.
+    /// String heap payloads are excluded from both sides (strings are never
+    /// encoding candidates).
+    pub fn encoded_footprint(&self) -> (u64, u64) {
+        let mut encoded = 0u64;
+        let mut raw = 0u64;
+        for seg in 0..self.segment_count() {
+            let n = self.segment_range(seg).len() as u64;
+            for (i, col) in self.columns.iter().enumerate() {
+                let flat = crate::encoded::raw_row_bytes(col) as u64 * n;
+                raw += flat;
+                let packed = self.encodings[seg]
+                    .as_ref()
+                    .and_then(|e| e.cols[i].as_ref())
+                    .map(|c| c.bytes() as u64);
+                encoded += packed.unwrap_or(flat);
+            }
+        }
+        (encoded, raw)
     }
 
     /// The table name.
@@ -355,6 +445,10 @@ impl Table {
         for z in &mut self.zones {
             z.untrack_column(i);
         }
+        // Raw mutable access can rewrite any value: every seal is void.
+        for e in &mut self.encodings {
+            *e = None;
+        }
         Some(&mut self.columns[i])
     }
 
@@ -373,7 +467,9 @@ impl Table {
         let seg = row / self.seg_rows;
         if seg == self.zones.len() {
             self.zones.push(SegmentZone::new(&self.schema));
+            self.encodings.push(None);
         }
+        self.encodings[seg] = None;
         self.zones[seg].note_append(&self.columns, row);
         row as RowId
     }
@@ -388,6 +484,7 @@ impl Table {
             }
             self.live.set(slot as usize, true);
             let seg = slot as usize / self.seg_rows;
+            self.encodings[seg] = None;
             if self.zones[seg].note_reuse(&self.columns, slot as usize) >= REBUILD_AFTER_OPS {
                 self.rebuild_zone(seg);
             }
@@ -408,7 +505,14 @@ impl Table {
         }
         self.live.set(row as usize, false);
         self.free.push(row);
-        self.zones[row as usize / self.seg_rows].note_delete();
+        // A delete never widens bounds (and never unseals — the encoded
+        // values are unchanged), so it answers to the laxer decay
+        // threshold: rebuild only once enough live-count decay piled up
+        // that an exact pass can tighten bounds around the survivors.
+        let seg = row as usize / self.seg_rows;
+        if self.zones[seg].note_delete() >= DECAY_REBUILD_AFTER_OPS {
+            self.rebuild_zone(seg);
+        }
         true
     }
 
@@ -424,6 +528,7 @@ impl Table {
         let i = self.schema.position(column).unwrap_or_else(|| panic!("no column {column:?}"));
         self.columns[i].set(row as usize, value);
         let seg = row as usize / self.seg_rows;
+        self.encodings[seg] = None;
         if self.zones[seg].note_update(i, &self.columns, row as usize) >= REBUILD_AFTER_OPS {
             self.rebuild_zone(seg);
         }
@@ -719,6 +824,109 @@ mod tests {
         assert_eq!(t.zone(0).stat(1), &crate::segment::ZoneStats::Int { min: 2, max: 2 });
         t.rebuild_zone_maps();
         assert_eq!(t.zone(0).stat(0), &crate::segment::ZoneStats::Int { min: 1, max: 1 });
+    }
+
+    #[test]
+    fn seal_encodes_and_mutations_unseal() {
+        let mut t = Table::new(
+            "f",
+            Schema::new(vec![
+                ColumnDef::new("v", DataType::I64),
+                ColumnDef::new("k", DataType::Key { target: "d".into() }),
+            ]),
+        );
+        t.set_segment_rows(64);
+        for i in 0..200i64 {
+            t.append_row(&[Value::Int(i % 16), Value::Key((i % 8) as u32)]);
+        }
+        assert_eq!(t.seal_segments(), 4);
+        assert_eq!(t.seal_segments(), 0, "re-seal is a no-op");
+        for seg in 0..t.segment_count() {
+            let enc = t.encoding(seg).expect("sealed");
+            assert!(enc.encoded_cols() > 0, "small domains must encode");
+            // Decode reproduces the raw arrays exactly, dead or alive.
+            for (i, col) in [0usize, 1].iter().map(|&i| (i, t.column_at(i))) {
+                let e = enc.cols[i].as_ref().unwrap();
+                for (off, row) in t.segment_range(seg).enumerate() {
+                    assert_eq!(Some(e.value_at(off)), col.int_at(row));
+                }
+            }
+        }
+        let (encoded, raw) = t.encoded_footprint();
+        assert!(encoded < raw, "sealed footprint must shrink: {encoded} vs {raw}");
+
+        // A delete keeps the seal (values unchanged) …
+        t.delete(10);
+        assert!(t.encoding(0).is_some());
+        // … but an update, reuse-insert or append unseals its segment only.
+        t.update(11, "v", &Value::Int(7));
+        assert!(t.encoding(0).is_none());
+        assert!(t.encoding(1).is_some());
+        t.insert(&[Value::Int(1), Value::Key(1)]); // reuses slot 10 in seg 0
+        t.seal_segments();
+        t.append_row(&[Value::Int(1), Value::Key(1)]);
+        let last = t.segment_count() - 1;
+        assert!(t.encoding(last).is_none(), "append unseals the tail segment");
+        assert!(t.encoding(0).is_some());
+        // Raw column access voids every seal.
+        let _ = t.column_mut("v");
+        assert!(t.encodings().iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn sealing_marks_zone_dirty_for_checkpointing() {
+        let mut t = Table::new("f", Schema::new(vec![ColumnDef::new("v", DataType::I64)]));
+        t.set_segment_rows(32);
+        for i in 0..64i64 {
+            t.append_row(&[Value::Int(i % 4)]);
+        }
+        t.mark_segments_clean();
+        assert!(t.zones().iter().all(|z| !z.is_dirty()));
+        t.seal_segments();
+        assert!(
+            t.zones().iter().all(SegmentZone::is_dirty),
+            "a seal changes the persisted form, so the checkpoint must see it"
+        );
+        // Clean → install the same encodings (the load path) → re-seal: no dirt.
+        t.mark_segments_clean();
+        let encs = t.encodings().to_vec();
+        t.install_segment_encodings(encs);
+        t.seal_segments();
+        assert!(t.zones().iter().all(|z| !z.is_dirty()));
+    }
+
+    #[test]
+    fn delete_burst_does_not_churn_rebuilds() {
+        // 10K deletes in one segment: the old behaviour counted them toward
+        // the widening threshold (4096) and rebuilt the zone repeatedly; the
+        // decay threshold (16384) must absorb the whole burst.
+        let mut t = Table::new("f", Schema::new(vec![ColumnDef::new("v", DataType::I64)]));
+        t.set_segment_rows(32768);
+        for i in 0..20_000i64 {
+            t.append_row(&[Value::Int(i)]);
+        }
+        for r in 0..10_000u32 {
+            t.delete(r);
+        }
+        assert_eq!(t.zone(0).decayed_ops(), 10_000, "no rebuild reset the counter");
+        assert_eq!(t.zone(0).imprecise_ops(), 0, "deletes no longer count as widening");
+        // Bounds still cover the deleted values (no rebuild happened) …
+        assert_eq!(t.zone(0).stat(0), &crate::segment::ZoneStats::Int { min: 0, max: 19_999 });
+        // … and deletes never force a widening-triggered rebuild on the
+        // next update (the regression: one update after a burst rebuilt).
+        t.update(15_000, "v", &Value::Int(3));
+        assert_eq!(t.zone(0).imprecise_ops(), 1);
+        // Crossing the decay threshold does rebuild (once), tightening
+        // bounds around the survivors.
+        for r in 10_000..DECAY_REBUILD_AFTER_OPS {
+            t.delete(r);
+        }
+        assert_eq!(t.zone(0).decayed_ops(), 0, "threshold crossing rebuilt the zone");
+        assert_eq!(
+            t.zone(0).stat(0),
+            &crate::segment::ZoneStats::Int { min: 16_384, max: 19_999 },
+            "rebuild tightened the bounds past the deleted prefix"
+        );
     }
 
     #[test]
