@@ -189,6 +189,14 @@ fn scan_encoded(
 /// never-encoded) segments fall back to row-wise evaluation of the same
 /// predicate. Rows come out ascending either way, so the result is
 /// indistinguishable from `initial_selvec` + `refine` — just cheaper.
+///
+/// A sealed segment may carry a write delta (see
+/// [`astore_storage::table::SegmentDelta`]): *stale* rows whose encoded
+/// value was superseded by a write-through are skipped in the encoded pass
+/// and re-evaluated against the flat arrays (which are always current), and
+/// rows appended past the seal's coverage (the *overhang*) are evaluated
+/// flat as well. Stale hits interleave with encoded hits, so the segment's
+/// slice is re-sorted when any landed.
 fn seeded_selvec(fact: &Table, range: std::ops::Range<usize>, fp: &FactPred<'_>) -> SelVec {
     let seed = fp.seed.as_ref().expect("caller verified the seed");
     let has_deletes = fact.has_deletes();
@@ -202,11 +210,45 @@ fn seeded_selvec(fact: &Table, range: std::ops::Range<usize>, fp: &FactPred<'_>)
         let sub_end = range.end.min(seg_start + seg_rows);
         let enc = fact.encoding(seg).and_then(|e| e.cols.get(seed.col).and_then(Option::as_ref));
         match enc {
-            Some(enc) => scan_encoded(enc, seed.lo, seed.hi, seg_start, r, sub_end, |row| {
-                if !has_deletes || live.get_or_false(row) {
-                    rows.push(row as RowId);
+            Some(enc) => {
+                let mark = rows.len();
+                let stale = fact.segment_stale(seg);
+                let enc_end = (seg_start + enc.len()).min(sub_end);
+                if r < enc_end {
+                    scan_encoded(enc, seed.lo, seed.hi, seg_start, r, enc_end, |row| {
+                        if (!has_deletes || live.get_or_false(row))
+                            && stale.binary_search(&((row - seg_start) as u32)).is_err()
+                        {
+                            rows.push(row as RowId);
+                        }
+                    });
                 }
-            }),
+                // Stale rows: the flat value superseded the encoded one.
+                let mut delta_hits = false;
+                for &off in stale {
+                    let row = seg_start + off as usize;
+                    if row >= r
+                        && row < enc_end
+                        && (!has_deletes || live.get_or_false(row))
+                        && fp.pred.eval(row)
+                    {
+                        rows.push(row as RowId);
+                        delta_hits = true;
+                    }
+                }
+                // Overhang appended past the seal's coverage: always flat.
+                for row in enc_end.max(r)..sub_end {
+                    if has_deletes && !live.get_or_false(row) {
+                        continue;
+                    }
+                    if fp.pred.eval(row) {
+                        rows.push(row as RowId);
+                    }
+                }
+                if delta_hits {
+                    rows[mark..].sort_unstable();
+                }
+            }
             None => {
                 for row in r..sub_end {
                     if has_deletes && !live.get_or_false(row) {
@@ -499,6 +541,28 @@ mod tests {
         let sealed = fact.seal_segments();
         assert!(sealed > 0);
         assert!(fact.encodings().iter().any(Option::is_some));
+
+        // Post-seal write-throughs: updates and a reuse-insert go to the
+        // stale delta, appends become unsealed overhang — the seals must
+        // survive and the seeded scan must keep agreeing with row-wise.
+        fact.update(10, "f_i", &Value::Int(23));
+        fact.update(70, "f_l", &Value::Int(9));
+        fact.update(131, "f_d", &Value::Str("m3".into()));
+        fact.update(200, "f_dim", &Value::Key(7));
+        let reused =
+            fact.insert(&[Value::Key(2), Value::Int(-3), Value::Int(4), Value::Str("m1".into())]);
+        assert_eq!(reused, 299, "free list reuses the last deleted slot");
+        for i in 0..20u64 {
+            fact.append_row(&[
+                Value::Key((i % 8) as u32),
+                Value::Int(i as i64 - 10),
+                Value::Int(5),
+                Value::Str("m2".into()),
+            ]);
+        }
+        assert!(fact.encoding(0).is_some(), "write-through keeps the seal");
+        assert!(!fact.segment_stale(0).is_empty());
+        assert!(fact.delta_rows() > 0);
         db.add_table(dim);
         db.add_table(fact);
         let fact = db.table("fact").unwrap();
@@ -521,7 +585,10 @@ mod tests {
             let colpos = fact.schema().position(col).unwrap();
             let fp = FactPred::seeded(compiled, colpos);
             assert!(fp.seed.is_some(), "{p:?} should seed");
-            for range in [0..300, 0..64, 10..200, 64..128, 130..131, 299..300, 150..150] {
+            let n = fact.num_slots();
+            for range in
+                [0..n, 0..64, 10..200, 64..128, 130..131, 299..300, 150..150, 290..n, 300..n]
+            {
                 let enc =
                     select_columnwise(fact, range.clone(), std::slice::from_ref(&fp), &mut []);
                 let flat = select_rowwise(fact, range, std::slice::from_ref(&fp), &[]);

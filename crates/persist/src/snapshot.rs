@@ -309,7 +309,16 @@ fn encode_segment_payload_v2(t: &Table, seg: usize) -> Vec<u8> {
 /// compressed per-column blocks in place of the raw arrays.
 fn encode_segment_payload_v3(t: &Table, seg: usize) -> Vec<u8> {
     let range = t.segment_range(seg);
-    let enc = t.encoding(seg).filter(|e| e.encoded_cols() > 0);
+    // Only a *clean, full-coverage* seal persists in encoded form: a
+    // segment with stale write-through rows or an appended overhang would
+    // decode to superseded/short columns, so it checkpoints raw and its
+    // encoding is rebuilt by a later seal or compaction. (This keeps the
+    // snapshot format at v3 — the delta tail is recovered from the WAL.)
+    let enc = t.encoding(seg).filter(|e| {
+        e.encoded_cols() > 0
+            && t.segment_stale(seg).is_empty()
+            && e.covered_rows() == Some(range.len())
+    });
     let mut buf = Vec::new();
     buf.push(if enc.is_some() { SEG_FMT_ENCODED } else { SEG_FMT_RAW });
     put_u64(&mut buf, t.zone(seg).live());
@@ -1205,6 +1214,42 @@ mod tests {
         // And the compressed footprint is genuinely smaller.
         let (enc, raw) = bfact.encoded_footprint();
         assert!(enc < raw, "encoded {enc} must beat raw {raw}");
+    }
+
+    #[test]
+    fn stale_or_partial_seals_checkpoint_raw_and_roundtrip() {
+        // Write-throughs after a seal leave the encoding stale (and appends
+        // leave it short); the snapshot must persist such segments raw —
+        // never a superseded or truncated encoded block — and the loaded
+        // image must carry the *current* flat values.
+        let mut db = sealed_kitchen_sink();
+        let fact = db.table_mut("fact").unwrap();
+        let seg = (0..fact.segment_count())
+            .find(|&s| fact.encoding(s).is_some_and(|e| e.encoded_cols() > 0))
+            .expect("fixture must encode at least one segment");
+        let row = (seg * 2..seg * 2 + 2)
+            .map(|r| r as u32)
+            .find(|&r| fact.is_live(r))
+            .expect("an encoded segment has a live row");
+        fact.update(row, "f_i64", &Value::Int(777_777));
+        fact.append_row(&[Value::Key(1), Value::Int(9), Value::Int(9), Value::Float(1.5)]);
+        assert!(fact.encoding(seg).is_some(), "seal survives the write-through");
+        assert!(!fact.segment_stale(seg).is_empty());
+
+        let bytes = encode_snapshot(&db, 7);
+        let (back, _) = decode_snapshot(&bytes).unwrap();
+        assert_same(&db, &back);
+        let bfact = back.table("fact").unwrap();
+        assert_eq!(bfact.row(row)[2], Value::Int(777_777), "current value persisted");
+        assert!(
+            bfact.encoding(seg).is_none_or(|e| e.encoded_cols() == 0),
+            "stale segment persisted raw, not encoded"
+        );
+        let last = bfact.segment_count() - 1;
+        assert!(
+            bfact.encoding(last).is_none_or(|e| e.encoded_cols() == 0),
+            "partial-coverage segment persisted raw"
+        );
     }
 
     #[test]

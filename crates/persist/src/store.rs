@@ -120,7 +120,6 @@ pub fn checkpoint(
     db: &mut Database,
     wal: &mut Wal,
 ) -> Result<usize, PersistError> {
-    let sample = crate::metrics::TimedSample::start();
     let dir = dir.as_ref();
     let last = wal.last_lsn();
     // Seal before encoding so the snapshot persists the compressed segment
@@ -133,11 +132,7 @@ pub fn checkpoint(
             t.seal_segments();
         }
     }
-    // The index borrows the previous file's bytes — one read, no copies.
-    let prev_bytes = std::fs::read(snapshot_path(dir)).ok();
-    let prev = prev_bytes.as_deref().and_then(crate::snapshot::index_snapshot_segments);
-    let (bytes, _reused) = crate::snapshot::encode_snapshot_with_prev(db, last, prev.as_ref());
-    crate::snapshot::write_snapshot_bytes(snapshot_path(dir), &bytes)?;
+    let bytes = write_checkpoint(dir, db, last)?;
     wal.reset(last)?;
     for name in db.table_names().to_vec() {
         // Flipping the clean flags is metadata only — never worth a
@@ -153,6 +148,29 @@ pub fn checkpoint(
             }
         }
     }
+    Ok(bytes)
+}
+
+/// The encode-and-write half of a checkpoint, usable from a *shared*
+/// snapshot: folds `db` into `<dir>/db.snapshot` stamped with `last_lsn`
+/// (incremental at segment granularity against the previous file) and
+/// returns the snapshot size in bytes. Touches neither the WAL nor the
+/// tables' clean flags — the caller sequences those (see
+/// [`checkpoint`] for the embedded one-latch variant; the server runs this
+/// from a COW snapshot outside its commit lock and then truncates the WAL
+/// and marks segments clean in two brief latched phases).
+pub fn write_checkpoint(
+    dir: impl AsRef<Path>,
+    db: &Database,
+    last_lsn: u64,
+) -> Result<usize, PersistError> {
+    let sample = crate::metrics::TimedSample::start();
+    let dir = dir.as_ref();
+    // The index borrows the previous file's bytes — one read, no copies.
+    let prev_bytes = std::fs::read(snapshot_path(dir)).ok();
+    let prev = prev_bytes.as_deref().and_then(crate::snapshot::index_snapshot_segments);
+    let (bytes, _reused) = crate::snapshot::encode_snapshot_with_prev(db, last_lsn, prev.as_ref());
+    crate::snapshot::write_snapshot_bytes(snapshot_path(dir), &bytes)?;
     use std::sync::atomic::Ordering;
     crate::metrics::checkpoints_total().fetch_add(1, Ordering::Relaxed);
     crate::metrics::checkpoint_bytes_total().fetch_add(bytes.len() as u64, Ordering::Relaxed);

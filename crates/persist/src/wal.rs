@@ -1,27 +1,35 @@
 //! The write-ahead log.
 //!
 //! Append-only file of CRC-framed records, one per committed write
-//! statement. Each record carries a monotonically increasing log sequence
-//! number (LSN); the snapshot header records the last LSN folded into it,
-//! so replay after a checkpoint race skips records the snapshot already
+//! *batch* (group commit: every statement the leader drained in one turn).
+//! Each statement carries a monotonically increasing log sequence number
+//! (LSN); the snapshot header records the last LSN folded into it, so
+//! replay after a checkpoint race skips records the snapshot already
 //! contains instead of double-applying them.
 //!
-//! ## Layout (version 1, little-endian)
+//! ## Layout (version 2, little-endian)
 //!
 //! ```text
 //! header   "ASTOREWL" + u32 version                 (12 bytes)
 //! record*:
-//!   len    u32    body length in bytes (= 8 + payload)
+//!   len    u32    body length in bytes
 //!   crc    u32    CRC-32 of the body
-//!   body   u64 LSN + payload (the statement's SQL text, UTF-8)
+//!   body   u64 first LSN + u32 count
+//!          + count × (u32 len + statement SQL text, UTF-8)
 //! ```
 //!
-//! A record *commits* by being fully written and fsynced. Reading stops at
+//! Statement `i` of a batch has LSN `first + i`. Version-1 files (one
+//! statement per record, body = `u64 LSN + SQL`) are still read, and
+//! [`Wal::open`] upgrades them to version 2 in place via atomic rename.
+//!
+//! A record *commits* by being fully written and fsynced — the whole batch
+//! or nothing: the CRC covers the full body, so a crash mid-batch fails the
+//! checksum and recovery never surfaces a partial batch. Reading stops at
 //! the first frame that is truncated, oversized, checksum-mismatched or not
 //! UTF-8 — everything before it is the committed prefix, everything from it
 //! on is a torn tail that [`Wal::open`] truncates away. Recovery therefore
-//! always yields a prefix of the acknowledged writes, no matter where in a
-//! byte stream the crash landed.
+//! always yields a prefix of the acknowledged write batches, no matter
+//! where in a byte stream the crash landed.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -34,8 +42,8 @@ use crate::PersistError;
 /// File magic of the WAL format.
 pub const WAL_MAGIC: &[u8; 8] = b"ASTOREWL";
 
-/// Current WAL format version.
-pub const WAL_VERSION: u32 = 1;
+/// Current WAL format version (batched records; see the module docs).
+pub const WAL_VERSION: u32 = 2;
 
 const HEADER_LEN: usize = 12;
 
@@ -70,10 +78,8 @@ pub struct WalScan {
 /// `committed_len == 0` with `torn` set (so opening truncates to a fresh
 /// header).
 pub fn scan_wal(bytes: &[u8]) -> WalScan {
-    if bytes.len() < HEADER_LEN
-        || &bytes[..8] != WAL_MAGIC
-        || u32::from_le_bytes(bytes[8..12].try_into().unwrap()) != WAL_VERSION
-    {
+    let version = wal_header_version(bytes);
+    if !matches!(version, Some(1 | 2)) {
         return WalScan { records: Vec::new(), committed_len: 0, torn: !bytes.is_empty() };
     }
     let mut records = Vec::new();
@@ -95,13 +101,72 @@ pub fn scan_wal(bytes: &[u8]) -> WalScan {
         if crc32(body) != crc {
             return WalScan { records, committed_len: pos, torn: true };
         }
-        let lsn = u64::from_le_bytes(body[..8].try_into().unwrap());
-        let Ok(sql) = std::str::from_utf8(&body[8..]) else {
-            return WalScan { records, committed_len: pos, torn: true };
-        };
-        records.push(WalRecord { lsn, sql: sql.to_owned() });
+        if version == Some(1) {
+            let lsn = u64::from_le_bytes(body[..8].try_into().unwrap());
+            let Ok(sql) = std::str::from_utf8(&body[8..]) else {
+                return WalScan { records, committed_len: pos, torn: true };
+            };
+            records.push(WalRecord { lsn, sql: sql.to_owned() });
+        } else {
+            // The CRC passed, so a malformed batch body means a buggy
+            // writer, not a torn write — but the safe answer is the same:
+            // stop before it, all of the batch or none of it.
+            let Some(batch) = parse_batch_body(body) else {
+                return WalScan { records, committed_len: pos, torn: true };
+            };
+            records.extend(batch);
+        }
         pos += 8 + len;
     }
+}
+
+/// The version field of a WAL header, if the magic matches.
+fn wal_header_version(bytes: &[u8]) -> Option<u32> {
+    if bytes.len() < HEADER_LEN || &bytes[..8] != WAL_MAGIC {
+        return None;
+    }
+    Some(u32::from_le_bytes(bytes[8..12].try_into().unwrap()))
+}
+
+/// Decodes one version-2 batch body into per-statement records, or `None`
+/// if the structure is malformed.
+fn parse_batch_body(body: &[u8]) -> Option<Vec<WalRecord>> {
+    if body.len() < 12 {
+        return None;
+    }
+    let first = u64::from_le_bytes(body[..8].try_into().unwrap());
+    let count = u32::from_le_bytes(body[8..12].try_into().unwrap()) as usize;
+    let mut out = Vec::with_capacity(count.min(1024));
+    let mut pos = 12usize;
+    for i in 0..count {
+        let len_end = pos.checked_add(4)?;
+        let len = u32::from_le_bytes(body.get(pos..len_end)?.try_into().unwrap()) as usize;
+        let sql_end = len_end.checked_add(len)?;
+        let sql = std::str::from_utf8(body.get(len_end..sql_end)?).ok()?;
+        out.push(WalRecord { lsn: first + i as u64, sql: sql.to_owned() });
+        pos = sql_end;
+    }
+    if pos != body.len() {
+        return None;
+    }
+    Some(out)
+}
+
+/// Frames one batch record (`first_lsn` + the statements) onto `out`.
+/// The caller is responsible for the [`MAX_RECORD_BYTES`] bound.
+fn frame_batch(out: &mut Vec<u8>, first_lsn: u64, sqls: &[impl AsRef<str>]) {
+    let body_len = 12 + sqls.iter().map(|s| 4 + s.as_ref().len()).sum::<usize>();
+    let mut body = Vec::with_capacity(body_len);
+    put_u64(&mut body, first_lsn);
+    put_u32(&mut body, sqls.len() as u32);
+    for s in sqls {
+        let s = s.as_ref().as_bytes();
+        put_u32(&mut body, s.len() as u32);
+        body.extend_from_slice(s);
+    }
+    put_u32(out, body.len() as u32);
+    put_u32(out, crc32(&body));
+    out.extend_from_slice(&body);
 }
 
 /// An open write-ahead log: appends commit records, fsyncing each one.
@@ -141,6 +206,18 @@ impl Wal {
             put_u32(&mut header, WAL_VERSION);
             file.write_all(&header)?;
             file.sync_all()?;
+        } else if wal_header_version(&bytes) == Some(1) {
+            // Version-1 file with committed records: upgrade in place by
+            // re-framing each record as a single-statement batch (same
+            // LSNs), written to a sibling and atomically renamed over the
+            // original. Any torn tail is dropped by the rewrite.
+            let mut out = Vec::with_capacity(bytes.len() + 4 * scan.records.len() + 16);
+            out.extend_from_slice(WAL_MAGIC);
+            put_u32(&mut out, WAL_VERSION);
+            for rec in &scan.records {
+                frame_batch(&mut out, rec.lsn, std::slice::from_ref(&rec.sql));
+            }
+            file = replace_wal_file(&path, &out)?;
         } else if scan.torn {
             file.set_len(scan.committed_len as u64)?;
             file.sync_all()?;
@@ -181,33 +258,59 @@ impl Wal {
     /// Appends one committed statement and (by default) fsyncs. Returns the
     /// record's LSN. The record is durable when this returns `Ok`.
     pub fn append(&mut self, sql: &str) -> Result<u64, PersistError> {
-        let append_sample = crate::metrics::TimedSample::start();
-        let lsn = self.next_lsn;
-        let mut body = Vec::with_capacity(8 + sql.len());
-        put_u64(&mut body, lsn);
-        body.extend_from_slice(sql.as_bytes());
-        if body.len() > MAX_RECORD_BYTES {
-            return Err(PersistError::Corrupt(format!(
-                "statement of {} bytes exceeds the {} byte record limit",
-                sql.len(),
-                MAX_RECORD_BYTES
-            )));
+        self.append_batch(std::slice::from_ref(&sql))
+    }
+
+    /// Appends a group-committed batch — one write + **one fsync** for the
+    /// whole batch, the amortization that lets write throughput scale with
+    /// concurrent committers. Statement `i` gets LSN `first + i`; the first
+    /// LSN is returned. Every statement is durable when this returns `Ok`.
+    ///
+    /// Oversized batches are split greedily into multiple records (each
+    /// still atomic and within [`MAX_RECORD_BYTES`], still one fsync for
+    /// all of them); a single statement too large for one record errors.
+    /// An empty batch is a no-op.
+    pub fn append_batch<S: AsRef<str>>(&mut self, sqls: &[S]) -> Result<u64, PersistError> {
+        let first = self.next_lsn;
+        if sqls.is_empty() {
+            return Ok(first);
         }
-        let mut frame = Vec::with_capacity(8 + body.len());
-        put_u32(&mut frame, body.len() as u32);
-        put_u32(&mut frame, crc32(&body));
-        frame.extend_from_slice(&body);
-        self.file.write_all(&frame)?;
+        let append_sample = crate::metrics::TimedSample::start();
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        while start < sqls.len() {
+            let mut end = start;
+            let mut body_len = 12usize;
+            while end < sqls.len() {
+                let add = 4 + sqls[end].as_ref().len();
+                if body_len + add > MAX_RECORD_BYTES {
+                    break;
+                }
+                body_len += add;
+                end += 1;
+            }
+            if end == start {
+                return Err(PersistError::Corrupt(format!(
+                    "statement of {} bytes exceeds the {} byte record limit",
+                    sqls[start].as_ref().len(),
+                    MAX_RECORD_BYTES
+                )));
+            }
+            frame_batch(&mut out, first + start as u64, &sqls[start..end]);
+            start = end;
+        }
+        self.file.write_all(&out)?;
         if self.sync_on_commit {
             let fsync_sample = crate::metrics::TimedSample::start();
             self.file.sync_data()?;
             fsync_sample.stop(crate::metrics::wal_fsync_us_total());
         }
-        self.next_lsn += 1;
-        self.appended_since_reset += 1;
-        crate::metrics::wal_appends_total().fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.next_lsn += sqls.len() as u64;
+        self.appended_since_reset += sqls.len() as u64;
+        crate::metrics::wal_appends_total()
+            .fetch_add(sqls.len() as u64, std::sync::atomic::Ordering::Relaxed);
         append_sample.stop(crate::metrics::wal_append_us_total());
-        Ok(lsn)
+        Ok(first)
     }
 
     /// Truncates the log back to an empty header after a checkpoint whose
@@ -222,6 +325,48 @@ impl Wal {
         self.appended_since_reset = 0;
         Ok(())
     }
+
+    /// Truncates the log to only the records with LSN > `checkpoint_lsn`,
+    /// for checkpoints that run *concurrently* with committers: unlike
+    /// [`Wal::reset`], writes that landed after the checkpoint fixed its
+    /// snapshot survive. Survivors are re-framed as single-statement
+    /// batches (a group-committed batch may straddle the checkpoint LSN)
+    /// and the file is replaced by atomic rename, so a crash at any point
+    /// leaves either the old or the new committed prefix.
+    pub fn truncate_through(&mut self, checkpoint_lsn: u64) -> Result<(), PersistError> {
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut bytes = Vec::new();
+        self.file.read_to_end(&mut bytes)?;
+        let scan = scan_wal(&bytes);
+        let keep: Vec<&WalRecord> =
+            scan.records.iter().filter(|r| r.lsn > checkpoint_lsn).collect();
+        let mut out = Vec::with_capacity(HEADER_LEN);
+        out.extend_from_slice(WAL_MAGIC);
+        put_u32(&mut out, WAL_VERSION);
+        for rec in &keep {
+            frame_batch(&mut out, rec.lsn, std::slice::from_ref(&rec.sql));
+        }
+        self.file = replace_wal_file(&self.path, &out)?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.next_lsn = self.next_lsn.max(checkpoint_lsn + 1);
+        self.appended_since_reset = keep.len() as u64;
+        Ok(())
+    }
+}
+
+/// Atomically replaces the WAL at `path` with `contents` (write sibling,
+/// fsync, rename) and returns a fresh read/write handle to it.
+fn replace_wal_file(path: &Path, contents: &[u8]) -> Result<File, PersistError> {
+    let tmp = path.with_extension("wal.tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    let file = OpenOptions::new().read(true).write(true).open(path)?;
+    file.sync_all()?;
+    Ok(file)
 }
 
 #[cfg(test)]
@@ -346,6 +491,130 @@ mod tests {
         let (_, scan) = Wal::open(&path, 1).unwrap();
         assert_eq!(scan.records.len(), 1);
         assert_eq!(scan.records[0].lsn, lsn);
+    }
+
+    #[test]
+    fn batch_append_scan_roundtrip() {
+        let scratch = Scratch::new("batch");
+        let path = scratch.file();
+        let (mut wal, _) = Wal::open(&path, 1).unwrap();
+        let sqls: Vec<String> = (0..5).map(|i| format!("INSERT INTO t VALUES ({i})")).collect();
+        assert_eq!(wal.append_batch(&sqls).unwrap(), 1, "first LSN of the batch");
+        assert_eq!(wal.next_lsn(), 6);
+        assert_eq!(wal.appended_since_reset(), 5);
+        assert_eq!(wal.append("INSERT INTO t VALUES (99)").unwrap(), 6);
+        assert_eq!(wal.append_batch::<&str>(&[]).unwrap(), 7, "empty batch is a no-op");
+        assert_eq!(wal.next_lsn(), 7);
+        drop(wal);
+        let (_, scan) = Wal::open(&path, 1).unwrap();
+        assert!(!scan.torn);
+        let lsns: Vec<u64> = scan.records.iter().map(|r| r.lsn).collect();
+        assert_eq!(lsns, vec![1, 2, 3, 4, 5, 6], "per-statement LSNs from batch frames");
+        assert_eq!(scan.records[4].sql, "INSERT INTO t VALUES (4)");
+    }
+
+    #[test]
+    fn torn_batch_recovers_committed_prefix_never_a_partial_batch() {
+        // Kill-at-every-byte over group-committed batches: wherever the
+        // file is cut, the scan must yield exactly the records of the
+        // complete leading batches — a batch is all-or-nothing.
+        let scratch = Scratch::new("tornbatch");
+        let path = scratch.file();
+        let (mut wal, _) = Wal::open(&path, 1).unwrap();
+        let batches: [&[&str]; 3] = [
+            &["INSERT INTO t VALUES (1)", "UPDATE t SET v = 2 WHERE rowid = 0"],
+            &["INSERT INTO t VALUES (3)"],
+            &[
+                "DELETE FROM t WHERE rowid = 1",
+                "INSERT INTO t VALUES (4)",
+                "INSERT INTO t VALUES (5)",
+            ],
+        ];
+        for b in batches {
+            wal.append_batch(b).unwrap();
+        }
+        drop(wal);
+        let bytes = std::fs::read(&path).unwrap();
+        // Valid record-count prefixes: batch boundaries only.
+        let valid: [usize; 4] = [0, 2, 3, 6];
+        for cut in 0..=bytes.len() {
+            let scan = scan_wal(&bytes[..cut]);
+            assert!(
+                valid.contains(&scan.records.len()),
+                "cut at {cut} surfaced a partial batch ({} records)",
+                scan.records.len()
+            );
+            // The prefix property: records are exactly the first N.
+            for (i, r) in scan.records.iter().enumerate() {
+                assert_eq!(r.lsn, i as u64 + 1);
+            }
+        }
+        // Bit flips anywhere must never panic and never surface a partial
+        // batch either (the CRC covers the whole body).
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            let scan = scan_wal(&bad);
+            assert!(valid.iter().any(|&v| v >= scan.records.len()));
+        }
+    }
+
+    #[test]
+    fn v1_files_upgrade_to_v2_on_open() {
+        let scratch = Scratch::new("v1up");
+        let path = scratch.file();
+        // Hand-build a version-1 file: header + two single-statement
+        // records in the old body layout (u64 LSN + SQL).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(WAL_MAGIC);
+        put_u32(&mut bytes, 1);
+        for (lsn, sql) in [(1u64, "INSERT INTO t VALUES (1)"), (2, "INSERT INTO t VALUES (2)")] {
+            let mut body = Vec::new();
+            put_u64(&mut body, lsn);
+            body.extend_from_slice(sql.as_bytes());
+            put_u32(&mut bytes, body.len() as u32);
+            put_u32(&mut bytes, crc32(&body));
+            bytes.extend_from_slice(&body);
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let (mut wal, scan) = Wal::open(&path, 1).unwrap();
+        assert_eq!(scan.records.len(), 2, "v1 records read during upgrade");
+        assert_eq!(scan.records[1].lsn, 2);
+        assert_eq!(wal.next_lsn(), 3);
+        wal.append("INSERT INTO t VALUES (3)").unwrap();
+        drop(wal);
+        let rewritten = std::fs::read(&path).unwrap();
+        assert_eq!(
+            u32::from_le_bytes(rewritten[8..12].try_into().unwrap()),
+            WAL_VERSION,
+            "file is version 2 after the upgrade"
+        );
+        let (_, scan) = Wal::open(&path, 1).unwrap();
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.records.iter().map(|r| r.lsn).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn truncate_through_keeps_later_records() {
+        let scratch = Scratch::new("truncthrough");
+        let path = scratch.file();
+        let (mut wal, _) = Wal::open(&path, 1).unwrap();
+        // One batch straddles the checkpoint LSN: statements 1-3, then 4-5.
+        wal.append_batch(&["a", "b", "c"]).unwrap();
+        wal.append_batch(&["d", "e"]).unwrap();
+        // Checkpoint folded in LSNs ≤ 4 — the second batch is split.
+        wal.truncate_through(4).unwrap();
+        assert_eq!(wal.appended_since_reset(), 1);
+        assert_eq!(wal.next_lsn(), 6, "next LSN unchanged (5 is still live)");
+        let lsn = wal.append("f").unwrap();
+        assert_eq!(lsn, 6);
+        drop(wal);
+        let (_, scan) = Wal::open(&path, 1).unwrap();
+        assert_eq!(
+            scan.records.iter().map(|r| (r.lsn, r.sql.as_str())).collect::<Vec<_>>(),
+            vec![(5, "e"), (6, "f")],
+            "only post-checkpoint statements survive, LSNs preserved"
+        );
     }
 
     #[test]

@@ -31,7 +31,7 @@ use std::time::Instant;
 
 use astore_server::hist::LatencyHistogram;
 use astore_server::json::Json;
-use astore_server::{start, Client, Engine, ServerConfig};
+use astore_server::{start, Client, Durability, Engine, ServerConfig};
 use astore_storage::snapshot::SharedDatabase;
 
 /// One workload entry: a `?`-placeholder template plus rotating parameter
@@ -105,9 +105,19 @@ const MIX: &[MixEntry] = &[
     },
 ];
 
-/// The write statement used when `--write-every` is active.
+/// The write statement used when `--write-every` is active. Targets rotate
+/// over [`WRITE_ROWS`] customer rows and a handful of segment values so a
+/// mixed workload exercises many rows, not one hot cell.
 const WRITE_TEMPLATE: &str = "UPDATE customer SET c_mktsegment = ? WHERE rowid = ?";
-const WRITE_PARAMS: &[&str] = &["'MACHINERY'", "0"];
+const WRITE_SEGMENTS: &[&str] = &["MACHINERY", "AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD"];
+/// Rows 0..WRITE_ROWS are update targets; present at any sf ≥ 0.01.
+const WRITE_ROWS: usize = 100;
+
+/// The rotating parameters of the i-th write on connection `conn_id`.
+fn write_params(conn_id: usize, i: usize) -> (&'static str, usize) {
+    let k = conn_id.wrapping_mul(31).wrapping_add(i);
+    (WRITE_SEGMENTS[k % WRITE_SEGMENTS.len()], k % WRITE_ROWS)
+}
 
 /// Substitutes the n-th `?` of `template` with `params[n]` (text mode).
 fn substitute(template: &str, params: &[&str]) -> String {
@@ -143,6 +153,7 @@ struct Args {
     write_every: usize,
     workers: usize,
     prepared: bool,
+    durable: bool,
 }
 
 /// Per-mix-query zone-pruning totals accumulated over one pass.
@@ -157,6 +168,10 @@ struct PruneAgg {
 struct PassMetrics {
     label: &'static str,
     hist: LatencyHistogram,
+    /// Read-statement latency only.
+    read_hist: LatencyHistogram,
+    /// Write-statement latency only.
+    write_hist: LatencyHistogram,
     elapsed_s: f64,
     ok: u64,
     busy: u64,
@@ -165,6 +180,18 @@ struct PassMetrics {
     cache_hit_rate: f64,
     /// Zone-pruning totals per mix query, in `MIX` order.
     pruning: Vec<PruneAgg>,
+}
+
+/// The per-class (read or write) summary block: count, throughput, tail.
+fn class_json(hist: &LatencyHistogram, elapsed_s: f64) -> Json {
+    Json::obj([
+        ("count", Json::Int(hist.count() as i64)),
+        ("per_s", Json::Float(hist.count() as f64 / elapsed_s.max(1e-9))),
+        ("latency_mean_us", Json::Float(hist.mean_us())),
+        ("latency_p50_us", Json::Int(hist.quantile_us(0.50) as i64)),
+        ("latency_p99_us", Json::Int(hist.quantile_us(0.99) as i64)),
+        ("latency_max_us", Json::Int(hist.max_us() as i64)),
+    ])
 }
 
 impl PassMetrics {
@@ -199,6 +226,8 @@ impl PassMetrics {
             ("latency_p50_us", Json::Int(self.hist.quantile_us(0.50) as i64)),
             ("latency_p99_us", Json::Int(self.hist.quantile_us(0.99) as i64)),
             ("latency_max_us", Json::Int(self.hist.max_us() as i64)),
+            ("reads", class_json(&self.read_hist, self.elapsed_s)),
+            ("writes", class_json(&self.write_hist, self.elapsed_s)),
             ("pruning", Json::Array(pruning)),
         ])
     }
@@ -215,6 +244,8 @@ fn cache_counters(addr: &str) -> (u64, u64) {
 /// statements from the rotating mix, in text or prepared mode.
 fn run_pass(addr: &str, a: &Args, prepared: bool) -> PassMetrics {
     let hist = Arc::new(LatencyHistogram::new());
+    let read_hist = Arc::new(LatencyHistogram::new());
+    let write_hist = Arc::new(LatencyHistogram::new());
     let errors = Arc::new(AtomicU64::new(0));
     let busy = Arc::new(AtomicU64::new(0));
     let pruning: Arc<Vec<PruneAgg>> = Arc::new(MIX.iter().map(|_| PruneAgg::default()).collect());
@@ -223,6 +254,8 @@ fn run_pass(addr: &str, a: &Args, prepared: bool) -> PassMetrics {
     std::thread::scope(|s| {
         for conn_id in 0..a.connections {
             let hist = Arc::clone(&hist);
+            let read_hist = Arc::clone(&read_hist);
+            let write_hist = Arc::clone(&write_hist);
             let errors = Arc::clone(&errors);
             let busy = Arc::clone(&busy);
             let pruning = Arc::clone(&pruning);
@@ -273,22 +306,34 @@ fn run_pass(addr: &str, a: &Args, prepared: bool) -> PassMetrics {
                     };
                     let params = entry.param_sets[i % entry.param_sets.len()];
                     let t = Instant::now();
-                    let resp = if prepared {
-                        let (id, ps) = if is_write {
-                            (write_id, WRITE_PARAMS)
+                    let resp = if is_write {
+                        let (seg, row) = write_params(conn_id, i);
+                        if prepared {
+                            client.execute(
+                                write_id,
+                                vec![Json::Str(seg.into()), Json::Int(row as i64)],
+                            )
                         } else {
-                            (stmt_ids[mix_idx], params)
-                        };
-                        client.execute(id, ps.iter().map(|p| literal_to_json(p)).collect())
-                    } else if is_write {
-                        client.sql(&substitute(WRITE_TEMPLATE, WRITE_PARAMS))
+                            let seg_lit = format!("'{seg}'");
+                            let row_lit = row.to_string();
+                            client.sql(&substitute(WRITE_TEMPLATE, &[&seg_lit, &row_lit]))
+                        }
+                    } else if prepared {
+                        client.execute(
+                            stmt_ids[mix_idx],
+                            params.iter().map(|p| literal_to_json(p)).collect(),
+                        )
                     } else {
                         client.sql(&substitute(entry.template, params))
                     };
                     match resp {
                         Ok(resp) if resp.get("ok").and_then(Json::as_bool) == Some(true) => {
-                            hist.record(t.elapsed().as_micros() as u64);
-                            if !is_write {
+                            let us = t.elapsed().as_micros() as u64;
+                            hist.record(us);
+                            if is_write {
+                                write_hist.record(us);
+                            } else {
+                                read_hist.record(us);
                                 let get = |k: &str| {
                                     resp.get(k).and_then(Json::as_i64).unwrap_or(0) as u64
                                 };
@@ -323,12 +368,16 @@ fn run_pass(addr: &str, a: &Args, prepared: bool) -> PassMetrics {
     let (dh, dm) = (hits1.saturating_sub(hits0), misses1.saturating_sub(misses0));
     let cache_hit_rate = if dh + dm == 0 { 0.0 } else { dh as f64 / (dh + dm) as f64 };
     let hist = Arc::try_unwrap(hist).expect("threads joined");
+    let read_hist = Arc::try_unwrap(read_hist).expect("threads joined");
+    let write_hist = Arc::try_unwrap(write_hist).expect("threads joined");
     let pruning = Arc::try_unwrap(pruning).expect("threads joined");
     PassMetrics {
         label: if prepared { "prepared" } else { "text" },
         elapsed_s,
         ok: hist.count(),
         hist,
+        read_hist,
+        write_hist,
         busy: busy.load(Ordering::Relaxed),
         errors: errors.load(Ordering::Relaxed),
         cache_hit_rate,
@@ -346,6 +395,7 @@ fn main() {
         write_every: 0,
         workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
         prepared: false,
+        durable: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -369,6 +419,7 @@ fn main() {
             }
             "--workers" => a.workers = parse_or_die(&value("--workers"), "--workers"),
             "--prepared" => a.prepared = true,
+            "--durable" => a.durable = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -380,13 +431,35 @@ fn main() {
         }
     }
 
+    if a.durable && a.addr.is_some() {
+        eprintln!("--durable only applies to self-host mode (drop --addr)");
+        exit(2);
+    }
+
     // Self-host mode: spin up an in-process server on a free port.
+    let mut durable_dir: Option<std::path::PathBuf> = None;
     let handle = match &a.addr {
         Some(_) => None,
         None => {
             eprintln!("self-hosting: loading SSB sf={} seed={} …", a.sf, a.seed);
             let db = astore_datagen::ssb::generate(a.sf, a.seed);
-            let engine = Arc::new(Engine::new(SharedDatabase::new(db)));
+            let mut engine = Engine::new(SharedDatabase::new(db));
+            if a.durable {
+                // A throwaway data dir so writes run the real WAL +
+                // group-commit fsync path; removed again on exit.
+                let dir =
+                    std::env::temp_dir().join(format!("astore-loadgen-{}", std::process::id()));
+                let _ = std::fs::remove_dir_all(&dir);
+                let snap = engine.database().snapshot();
+                let wal = astore_persist::store::bootstrap(&dir, &snap).unwrap_or_else(|e| {
+                    eprintln!("failed to initialize durable dir: {e}");
+                    exit(1);
+                });
+                eprintln!("durable: WAL + snapshot in {}", dir.display());
+                engine = engine.durable(Durability::new(&dir, wal, 0));
+                durable_dir = Some(dir);
+            }
+            let engine = Arc::new(engine);
             let config = ServerConfig {
                 addr: "127.0.0.1:0".into(),
                 workers: a.workers,
@@ -430,6 +503,8 @@ fn main() {
             "dataset",
             Json::Str(if a.addr.is_some() {
                 "(remote)".into()
+            } else if a.durable {
+                format!("ssb sf={} (durable)", a.sf)
             } else {
                 format!("ssb sf={}", a.sf)
             }),
@@ -478,6 +553,9 @@ fn main() {
     if let Some(h) = handle {
         h.shutdown();
     }
+    if let Some(dir) = durable_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
     if total_errors > 0 {
         exit(1);
     }
@@ -501,7 +579,11 @@ flags:
                        so runs are reproducible          (default 42)
   --connections <n>    concurrent client connections    (default 8)
   --queries <n>        statements per connection        (default 150)
-  --write-every <n>    make every n-th statement a write (default 0 = reads only)
+  --write-every <n>    make every n-th statement a write (default 0 = reads only;
+                       2 = a 50/50 read/write mix); writes rotate over 100
+                       customer rows and report separately under \"writes\"
+  --durable            self-host with a throwaway data dir so writes hit the
+                       real WAL + group-commit fsync path (removed on exit)
   --workers <n>        self-host worker threads         (default: cores)
   --prepared           after the text pass, run the same workload over
                        protocol v2 (prepare/execute frames) and report

@@ -272,6 +272,16 @@ pub fn render_prometheus(
             stats.checkpoints.load(Ordering::Relaxed),
         ),
         (
+            "astore_server_group_commits_total",
+            "Group-commit batches published (one WAL fsync each).",
+            stats.group_commits.load(Ordering::Relaxed),
+        ),
+        (
+            "astore_server_compactions_total",
+            "Sealed segments re-encoded by the background compactor.",
+            stats.compactions.load(Ordering::Relaxed),
+        ),
+        (
             "astore_server_parallel_queries_total",
             "Queries run by the morsel-parallel executor.",
             stats.parallel_queries.load(Ordering::Relaxed),

@@ -58,6 +58,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
+    compactor: Option<JoinHandle<()>>,
     engine: Arc<Engine>,
 }
 
@@ -94,12 +95,15 @@ impl ServerHandle {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.compactor.take() {
+            let _ = h.join();
+        }
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.accept.is_some() {
+        if self.accept.is_some() || self.compactor.is_some() {
             self.stop_accept();
         }
     }
@@ -119,7 +123,31 @@ pub fn start(engine: Arc<Engine>, config: ServerConfig) -> std::io::Result<Serve
             .spawn(move || accept_loop(&listener, &engine, &pool, &stop, config.max_connections))
             .expect("failed to spawn accept thread")
     };
-    Ok(ServerHandle { addr, stop, accept: Some(accept), engine })
+    // Background compaction: fold write-throughs on sealed segments back
+    // into their compressed form so a write-heavy phase does not slowly
+    // decay the scan path to flat evaluation. Best-effort — a spawn
+    // failure just means segments re-encode at the next checkpoint.
+    let compactor = {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("astore-compact".into())
+            .spawn(move || compactor_loop(&engine, &stop))
+            .ok()
+    };
+    Ok(ServerHandle { addr, stop, accept: Some(accept), compactor, engine })
+}
+
+/// Polls for stale or short segment encodings and re-seals them. Backs off
+/// to a longer sleep when a pass finds nothing; every sleep is short enough
+/// that shutdown is prompt.
+fn compactor_loop(engine: &Arc<Engine>, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        let installed = engine.run_compaction_pass();
+        let nap =
+            if installed > 0 { Duration::from_millis(10) } else { Duration::from_millis(100) };
+        std::thread::sleep(nap);
+    }
 }
 
 fn accept_loop(

@@ -20,6 +20,12 @@ pub struct ServerStats {
     pub wal_records: AtomicU64,
     /// Checkpoints taken (explicit or automatic).
     pub checkpoints: AtomicU64,
+    /// Group-commit batches published (each batch is one WAL fsync; the
+    /// statements it carried are counted by `writes`).
+    pub group_commits: AtomicU64,
+    /// Sealed segments re-encoded and installed by the background
+    /// compactor (write-throughs folded back into the compressed form).
+    pub compactions: AtomicU64,
     /// Read queries executed by the morsel-driven parallel executor.
     pub parallel_queries: AtomicU64,
     /// Read queries the planner wanted to fan out but that ran serial
@@ -64,6 +70,8 @@ impl Default for ServerStats {
             writes: AtomicU64::new(0),
             wal_records: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
+            group_commits: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
             parallel_queries: AtomicU64::new(0),
             parallel_denied: AtomicU64::new(0),
             segments_scanned: AtomicU64::new(0),
@@ -91,16 +99,18 @@ impl ServerStats {
 
     /// Builds the `stats` payload of the wire protocol. The counter loads
     /// run inside a [`SeqLock::read`] retry loop — one cheap pass over all
-    /// thirteen counters — so counters updated as one write group appear
+    /// fifteen counters — so counters updated as one write group appear
     /// coherently even mid-burst.
     pub fn to_json(&self, cache: &PlanCache) -> Json {
-        let [queries, writes, wal_records, checkpoints, parallel_queries, parallel_denied, segments_scanned, segments_pruned, prepares, prepared_execs, errors, rejected, conn_rejected] =
+        let [queries, writes, wal_records, checkpoints, group_commits, compactions, parallel_queries, parallel_denied, segments_scanned, segments_pruned, prepares, prepared_execs, errors, rejected, conn_rejected] =
             self.group.read(|| {
                 [
                     self.queries.load(Ordering::Relaxed),
                     self.writes.load(Ordering::Relaxed),
                     self.wal_records.load(Ordering::Relaxed),
                     self.checkpoints.load(Ordering::Relaxed),
+                    self.group_commits.load(Ordering::Relaxed),
+                    self.compactions.load(Ordering::Relaxed),
                     self.parallel_queries.load(Ordering::Relaxed),
                     self.parallel_denied.load(Ordering::Relaxed),
                     self.segments_scanned.load(Ordering::Relaxed),
@@ -118,6 +128,8 @@ impl ServerStats {
             ("writes", Json::Int(writes as i64)),
             ("wal_records", Json::Int(wal_records as i64)),
             ("checkpoints", Json::Int(checkpoints as i64)),
+            ("group_commits", Json::Int(group_commits as i64)),
+            ("compactions", Json::Int(compactions as i64)),
             ("parallel_queries", Json::Int(parallel_queries as i64)),
             ("parallel_denied", Json::Int(parallel_denied as i64)),
             ("segments_scanned", Json::Int(segments_scanned as i64)),
@@ -164,6 +176,8 @@ mod tests {
             "writes",
             "wal_records",
             "checkpoints",
+            "group_commits",
+            "compactions",
             "parallel_queries",
             "parallel_denied",
             "segments_scanned",

@@ -30,12 +30,25 @@ pub struct Database {
     tables: HashMap<String, Arc<Table>>,
     /// Table names in insertion order, for deterministic iteration.
     order: Vec<String>,
+    /// Commit version: bumped once per published write batch (not per
+    /// statement). Diagnostics only — never persisted, restarts from 0.
+    version: u64,
 }
 
 impl Database {
     /// Creates an empty database.
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// The commit version of this catalog image.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Advances the commit version (call once per published write batch).
+    pub fn bump_version(&mut self) {
+        self.version += 1;
     }
 
     /// Adds (or replaces) a table.

@@ -434,6 +434,14 @@ impl SegmentEncoding {
     pub fn encoded_cols(&self) -> usize {
         self.cols.iter().flatten().count()
     }
+
+    /// Rows this encoding covers, or `None` if no column is encoded (a
+    /// raw-canonical seal covers nothing — scans read the flat arrays).
+    /// All encoded columns of one segment cover the same row count, so the
+    /// first one answers for all.
+    pub fn covered_rows(&self) -> Option<usize> {
+        self.cols.iter().flatten().next().map(EncodedColumn::len)
+    }
 }
 
 /// Raw in-memory bytes of one row of `col` (heap payload of strings is

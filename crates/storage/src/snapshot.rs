@@ -63,6 +63,16 @@ impl SharedDatabase {
         f(Arc::make_mut(&mut guard))
     }
 
+    /// Publishes a fully built catalog image, replacing the live one. The
+    /// group-commit path builds its batch on a private clone (validating
+    /// and applying *outside* the latch) and swaps it in here — the latch
+    /// is held only for the pointer swap, so readers taking snapshots
+    /// never wait on statement application or WAL I/O.
+    pub fn replace(&self, db: Arc<Database>) {
+        let mut guard = self.inner.write().unwrap_or_else(|p| p.into_inner());
+        *guard = db;
+    }
+
     /// Convenience: insert a row into a table. Returns the new row id.
     pub fn insert(&self, table: &str, values: &[Value]) -> RowId {
         self.write(|db| {

@@ -10,6 +10,7 @@
 //! and a free-slot list enabling slot reuse for dimension tables.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::bitmap::Bitmap;
 use crate::column::Column;
@@ -76,6 +77,33 @@ impl Schema {
     }
 }
 
+/// How many stale (superseded) rows a sealed segment tolerates before its
+/// seal is voided outright. Below the limit the delta stays cheap for scans
+/// (one binary search per encoded hit); above it the encoding is mostly
+/// dead weight and the segment reverts to flat until the next seal.
+pub const STALE_LIMIT: usize = 1024;
+
+/// Per-segment delta bookkeeping layered over a sealed encoding. Writes go
+/// *through* to the flat arrays (which are therefore always current);
+/// `stale` records the segment-local offsets whose encoded value was
+/// superseded, so scans can patch encoded results from the flat arrays
+/// instead of unsealing the whole segment. `epoch` advances on every value
+/// write covered by the seal and fences concurrent compaction installs: a
+/// compactor that encoded the segment at epoch `e` may only install its
+/// result while the epoch is still `e`.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentDelta {
+    stale: Vec<u32>,
+    epoch: u64,
+}
+
+/// An empty delta stamped with a fresh epoch from the table's counter.
+fn fresh_delta(next_epoch: &mut u64) -> SegmentDelta {
+    let epoch = *next_epoch;
+    *next_epoch += 1;
+    SegmentDelta { stale: Vec::new(), epoch }
+}
+
 /// A relational table stored as an array family, logically partitioned
 /// into fixed-size segments with zone maps (see [`crate::segment`]).
 #[derive(Debug, Clone)]
@@ -96,10 +124,19 @@ pub struct Table {
     /// One optional encoding per segment, parallel to `zones`. `Some` means
     /// the segment is *sealed*: its columns were re-represented in
     /// compressed form (see [`crate::encoded`]) and scans may read the
-    /// encoded words instead of the raw arrays. Any value mutation of a
-    /// sealed segment unseals it (deletes do not — liveness lives in the
-    /// table's bitmap, not in the encoding).
-    encodings: Vec<Option<SegmentEncoding>>,
+    /// encoded words instead of the raw arrays. Value mutations no longer
+    /// unseal the segment: they write through to the flat arrays and record
+    /// the row in the segment's [`SegmentDelta`]; appends leave the seal
+    /// covering its original prefix. The `Arc` lets COW table clones (one
+    /// per committed write batch) share the encoded words instead of
+    /// re-copying megabytes of sealed data per commit.
+    encodings: Vec<Option<Arc<SegmentEncoding>>>,
+    /// Per-segment write deltas, parallel to `zones`.
+    deltas: Vec<SegmentDelta>,
+    /// Monotonic epoch source for `deltas`. Never reused, so a compaction
+    /// result raced by *any* later write — even across a zone rebuild that
+    /// resets segment geometry — fails its install fence.
+    next_epoch: u64,
 }
 
 impl Table {
@@ -115,6 +152,8 @@ impl Table {
             seg_rows: SEGMENT_ROWS,
             zones: Vec::new(),
             encodings: Vec::new(),
+            deltas: Vec::new(),
+            next_epoch: 0,
         }
     }
 
@@ -140,6 +179,8 @@ impl Table {
             seg_rows: SEGMENT_ROWS,
             zones: Vec::new(),
             encodings: Vec::new(),
+            deltas: Vec::new(),
+            next_epoch: 0,
         };
         t.rebuild_zone_maps();
         t
@@ -193,6 +234,8 @@ impl Table {
             seg_rows: SEGMENT_ROWS,
             zones: Vec::new(),
             encodings: Vec::new(),
+            deltas: Vec::new(),
+            next_epoch: 0,
         }
     }
 
@@ -228,6 +271,7 @@ impl Table {
         }
         t.seg_rows = seg_rows;
         t.encodings = vec![None; zones.len()];
+        t.deltas = (0..zones.len()).map(|_| fresh_delta(&mut t.next_epoch)).collect();
         t.zones = zones;
         t
     }
@@ -278,10 +322,13 @@ impl Table {
     }
 
     /// Rebuilds every segment's zone map exactly from the live rows.
-    /// Segment geometry may change, so every segment is also unsealed.
+    /// Segment geometry may change, so every segment is also unsealed and
+    /// its write delta reset (with a fresh epoch, fencing in-flight
+    /// compactions that encoded under the old geometry).
     pub fn rebuild_zone_maps(&mut self) {
         let nsegs = self.num_slots().div_ceil(self.seg_rows);
         self.encodings = vec![None; nsegs];
+        self.deltas = (0..nsegs).map(|_| fresh_delta(&mut self.next_epoch)).collect();
         self.zones = (0..nsegs)
             .map(|seg| {
                 let start = seg * self.seg_rows;
@@ -307,23 +354,40 @@ impl Table {
         }
     }
 
-    /// Seals every unsealed segment: chooses and builds the per-column
-    /// compressed encoding (see [`crate::encoded`]). Already-sealed
-    /// segments are untouched, so sealing twice is a no-op. A segment whose
-    /// seal produced at least one encoded column is marked dirty so the
-    /// next checkpoint persists the encoded form. Returns the number of
-    /// segments sealed by this call.
+    /// True if segment `seg` needs a (re-)seal: it is unsealed, carries
+    /// stale rows, or its seal covers only a prefix of the segment (rows
+    /// were appended past it). Raw-canonical seals (no encodable column)
+    /// never need resealing — flat is already their best form.
+    pub fn segment_needs_reseal(&self, seg: usize) -> bool {
+        match self.encodings.get(seg).map(Option::as_deref) {
+            None | Some(None) => seg < self.zones.len(),
+            Some(Some(e)) => match e.covered_rows() {
+                None => false,
+                Some(covered) => {
+                    !self.deltas[seg].stale.is_empty() || covered != self.segment_range(seg).len()
+                }
+            },
+        }
+    }
+
+    /// Seals every segment that needs it: chooses and builds the per-column
+    /// compressed encoding (see [`crate::encoded`]), clearing the segment's
+    /// write delta. Clean sealed segments are untouched, so sealing twice
+    /// is a no-op. A segment whose seal produced at least one encoded
+    /// column is marked dirty so the next checkpoint persists the encoded
+    /// form. Returns the number of segments sealed by this call.
     pub fn seal_segments(&mut self) -> usize {
         let mut sealed = 0;
         for seg in 0..self.zones.len() {
-            if self.encodings[seg].is_some() {
+            if !self.segment_needs_reseal(seg) {
                 continue;
             }
             let enc = encode_segment(&self.columns, self.segment_range(seg));
             if enc.encoded_cols() > 0 {
                 self.zones[seg].mark_dirty();
             }
-            self.encodings[seg] = Some(enc);
+            self.encodings[seg] = Some(Arc::new(enc));
+            self.deltas[seg] = fresh_delta(&mut self.next_epoch);
             sealed += 1;
         }
         sealed
@@ -332,12 +396,116 @@ impl Table {
     /// The encoded form of segment `seg`, if it is sealed.
     #[inline]
     pub fn encoding(&self, seg: usize) -> Option<&SegmentEncoding> {
-        self.encodings.get(seg).and_then(Option::as_ref)
+        self.encodings.get(seg).and_then(Option::as_deref)
     }
 
     /// Per-segment encodings, parallel to [`Table::zones`].
-    pub fn encodings(&self) -> &[Option<SegmentEncoding>] {
+    pub fn encodings(&self) -> &[Option<Arc<SegmentEncoding>>] {
         &self.encodings
+    }
+
+    /// Segment-local offsets (sorted) whose sealed value was superseded by
+    /// a write-through; scans over the encoding must re-read these rows
+    /// from the flat arrays. Empty for unsealed or clean segments.
+    #[inline]
+    pub fn segment_stale(&self, seg: usize) -> &[u32] {
+        self.deltas.get(seg).map_or(&[], |d| &d.stale)
+    }
+
+    /// The segment's delta epoch (see [`SegmentDelta`]).
+    pub fn segment_epoch(&self, seg: usize) -> u64 {
+        self.deltas.get(seg).map_or(0, |d| d.epoch)
+    }
+
+    /// Rows currently served from the flat write store instead of a sealed
+    /// encoding, counted over segments a compaction pass would touch:
+    /// stale rows plus unsealed overhang of sealed segments, plus every
+    /// row of voided/unsealed segments. The compactor's backlog gauge.
+    pub fn delta_rows(&self) -> u64 {
+        let mut rows = 0u64;
+        for seg in 0..self.zones.len() {
+            if !self.segment_needs_reseal(seg) {
+                continue;
+            }
+            let n = self.segment_range(seg).len();
+            rows += match self.encodings[seg].as_deref().and_then(SegmentEncoding::covered_rows) {
+                Some(covered) => (self.deltas[seg].stale.len() + (n - covered)) as u64,
+                None => n as u64,
+            };
+        }
+        rows
+    }
+
+    /// Encodes segment `seg` from the current flat arrays without touching
+    /// the table — the compactor's read-only half. Pair with
+    /// [`Table::install_compacted`] under the commit lock, quoting the
+    /// [`Table::segment_epoch`] observed *before* this call.
+    pub fn encode_segment_now(&self, seg: usize) -> SegmentEncoding {
+        encode_segment(&self.columns, self.segment_range(seg))
+    }
+
+    /// Installs a compaction result for segment `seg`, provided no value
+    /// write raced it (`expected_epoch` still current) and it actually
+    /// improves on the installed seal (clears stale rows or extends
+    /// coverage). Returns whether the encoding was installed.
+    pub fn install_compacted(
+        &mut self,
+        seg: usize,
+        enc: SegmentEncoding,
+        expected_epoch: u64,
+    ) -> bool {
+        if seg >= self.zones.len() || self.deltas[seg].epoch != expected_epoch {
+            return false;
+        }
+        if enc.encoded_cols() == 0 {
+            // Nothing encodable: flat stays canonical; voiding the slot to
+            // `None` would just re-queue the segment forever, so seal it
+            // raw-canonical to record the outcome.
+            self.encodings[seg] = Some(Arc::new(enc));
+            self.deltas[seg] = fresh_delta(&mut self.next_epoch);
+            return true;
+        }
+        let offered = enc.covered_rows();
+        let improves = match self.encodings[seg].as_deref() {
+            None => true,
+            Some(cur) => !self.deltas[seg].stale.is_empty() || cur.covered_rows() < offered,
+        };
+        if !improves {
+            return false;
+        }
+        self.zones[seg].mark_dirty();
+        self.encodings[seg] = Some(Arc::new(enc));
+        self.deltas[seg] = fresh_delta(&mut self.next_epoch);
+        true
+    }
+
+    /// Records a write-through to `row`: if its segment is sealed with an
+    /// encoding that covers the row, the segment-local offset joins the
+    /// stale set (scans patch it from the flat arrays) and the delta epoch
+    /// advances; past [`STALE_LIMIT`] stale rows the seal is voided
+    /// outright. Writes beyond the seal's coverage (appended overhang) only
+    /// advance the epoch — scans already read those rows flat, but an
+    /// in-flight compaction may have encoded the old value.
+    fn note_value_write(&mut self, row: usize) {
+        let seg = row / self.seg_rows;
+        let covered = match self.encodings[seg].as_deref() {
+            Some(e) if e.encoded_cols() > 0 => e.covered_rows().unwrap_or(0),
+            _ => return,
+        };
+        self.deltas[seg].epoch = self.next_epoch;
+        self.next_epoch += 1;
+        let off = (row - seg * self.seg_rows) as u32;
+        if off as usize >= covered {
+            return;
+        }
+        let stale = &mut self.deltas[seg].stale;
+        if let Err(pos) = stale.binary_search(&off) {
+            stale.insert(pos, off);
+        }
+        if stale.len() > STALE_LIMIT {
+            self.encodings[seg] = None;
+            self.deltas[seg].stale.clear();
+        }
     }
 
     /// Installs persisted segment encodings verbatim (the snapshot-v3 load
@@ -357,7 +525,8 @@ impl Table {
                 }
             }
         }
-        self.encodings = encodings;
+        self.encodings = encodings.into_iter().map(|e| e.map(Arc::new)).collect();
+        self.deltas = (0..self.zones.len()).map(|_| fresh_delta(&mut self.next_epoch)).collect();
     }
 
     /// Resident bytes of the column arrays as `(encoded, raw)`: `raw`
@@ -371,13 +540,14 @@ impl Table {
         for seg in 0..self.segment_count() {
             let n = self.segment_range(seg).len() as u64;
             for (i, col) in self.columns.iter().enumerate() {
-                let flat = crate::encoded::raw_row_bytes(col) as u64 * n;
+                let row_bytes = crate::encoded::raw_row_bytes(col) as u64;
+                let flat = row_bytes * n;
                 raw += flat;
-                let packed = self.encodings[seg]
-                    .as_ref()
-                    .and_then(|e| e.cols[i].as_ref())
-                    .map(|c| c.bytes() as u64);
-                encoded += packed.unwrap_or(flat);
+                match self.encodings[seg].as_deref().and_then(|e| e.cols[i].as_ref()) {
+                    // A partial seal still keeps its unsealed overhang flat.
+                    Some(c) => encoded += c.bytes() as u64 + row_bytes * (n - c.len() as u64),
+                    None => encoded += flat,
+                }
             }
         }
         (encoded, raw)
@@ -445,10 +615,12 @@ impl Table {
         for z in &mut self.zones {
             z.untrack_column(i);
         }
-        // Raw mutable access can rewrite any value: every seal is void.
+        // Raw mutable access can rewrite any value: every seal is void and
+        // every delta restarts (fresh epochs fence in-flight compactions).
         for e in &mut self.encodings {
             *e = None;
         }
+        self.deltas = (0..self.zones.len()).map(|_| fresh_delta(&mut self.next_epoch)).collect();
         Some(&mut self.columns[i])
     }
 
@@ -468,8 +640,11 @@ impl Table {
         if seg == self.zones.len() {
             self.zones.push(SegmentZone::new(&self.schema));
             self.encodings.push(None);
+            let d = fresh_delta(&mut self.next_epoch);
+            self.deltas.push(d);
         }
-        self.encodings[seg] = None;
+        // An append never unseals: the existing seal keeps covering its
+        // original prefix and the new row reads flat (overhang delta).
         self.zones[seg].note_append(&self.columns, row);
         row as RowId
     }
@@ -483,8 +658,8 @@ impl Table {
                 col.set(slot as usize, v);
             }
             self.live.set(slot as usize, true);
+            self.note_value_write(slot as usize);
             let seg = slot as usize / self.seg_rows;
-            self.encodings[seg] = None;
             if self.zones[seg].note_reuse(&self.columns, slot as usize) >= REBUILD_AFTER_OPS {
                 self.rebuild_zone(seg);
             }
@@ -520,6 +695,8 @@ impl Table {
     /// updating, so it can avoid modifying foreign keys"). The segment's
     /// zone map widens to cover the new value; after enough in-place
     /// updates accumulate, the zone is rebuilt exactly (lazy tightening).
+    /// A sealed segment stays sealed: the row joins its stale delta and
+    /// scans read it from the (always-current) flat arrays.
     ///
     /// # Panics
     /// Panics if the column does not exist or the slot is dead.
@@ -527,8 +704,8 @@ impl Table {
         assert!(self.is_live(row), "cannot update dead slot {row}");
         let i = self.schema.position(column).unwrap_or_else(|| panic!("no column {column:?}"));
         self.columns[i].set(row as usize, value);
+        self.note_value_write(row as usize);
         let seg = row as usize / self.seg_rows;
-        self.encodings[seg] = None;
         if self.zones[seg].note_update(i, &self.columns, row as usize) >= REBUILD_AFTER_OPS {
             self.rebuild_zone(seg);
         }
@@ -827,7 +1004,7 @@ mod tests {
     }
 
     #[test]
-    fn seal_encodes_and_mutations_unseal() {
+    fn seal_encodes_and_mutations_go_to_the_delta() {
         let mut t = Table::new(
             "f",
             Schema::new(vec![
@@ -855,22 +1032,85 @@ mod tests {
         let (encoded, raw) = t.encoded_footprint();
         assert!(encoded < raw, "sealed footprint must shrink: {encoded} vs {raw}");
 
-        // A delete keeps the seal (values unchanged) …
+        // A delete keeps the seal (values unchanged) and records no delta …
         t.delete(10);
         assert!(t.encoding(0).is_some());
-        // … but an update, reuse-insert or append unseals its segment only.
+        assert!(t.segment_stale(0).is_empty());
+        // … an update keeps the seal too: the row goes stale, the flat
+        // array is current, and the segment now needs a reseal.
+        let epoch_before = t.segment_epoch(0);
         t.update(11, "v", &Value::Int(7));
-        assert!(t.encoding(0).is_none());
-        assert!(t.encoding(1).is_some());
+        assert!(t.encoding(0).is_some(), "update writes through, seal survives");
+        assert_eq!(t.segment_stale(0), &[11]);
+        assert!(t.segment_epoch(0) > epoch_before, "value write advances the epoch");
+        assert!(t.segment_needs_reseal(0));
+        assert!(!t.segment_needs_reseal(1));
+        assert_eq!(t.row(11)[0], Value::Int(7), "flat read sees the new value");
+        // A reuse-insert joins the same stale set (slot 10, before 11).
         t.insert(&[Value::Int(1), Value::Key(1)]); // reuses slot 10 in seg 0
+        assert_eq!(t.segment_stale(0), &[10, 11]);
+        assert_eq!(t.delta_rows(), 2);
         t.seal_segments();
+        assert!(t.segment_stale(0).is_empty(), "reseal clears the delta");
+        // An append keeps the tail seal covering its original prefix.
         t.append_row(&[Value::Int(1), Value::Key(1)]);
         let last = t.segment_count() - 1;
-        assert!(t.encoding(last).is_none(), "append unseals the tail segment");
-        assert!(t.encoding(0).is_some());
+        assert!(t.encoding(last).is_some(), "append never unseals");
+        assert!(t.segment_needs_reseal(last), "but the overhang needs compacting");
+        assert_eq!(t.delta_rows(), 1, "one overhang row");
         // Raw column access voids every seal.
         let _ = t.column_mut("v");
         assert!(t.encodings().iter().all(Option::is_none));
+        assert!((0..t.segment_count()).all(|s| t.segment_stale(s).is_empty()));
+    }
+
+    #[test]
+    fn stale_limit_voids_the_seal() {
+        let mut t = Table::new("f", Schema::new(vec![ColumnDef::new("v", DataType::I64)]));
+        t.set_segment_rows(4096);
+        for i in 0..4096i64 {
+            t.append_row(&[Value::Int(i % 7)]);
+        }
+        t.seal_segments();
+        for r in 0..STALE_LIMIT as u32 {
+            t.update(r, "v", &Value::Int(1));
+        }
+        assert!(t.encoding(0).is_some(), "at the limit the seal holds");
+        assert_eq!(t.segment_stale(0).len(), STALE_LIMIT);
+        t.update(STALE_LIMIT as u32, "v", &Value::Int(1));
+        assert!(t.encoding(0).is_none(), "past the limit the seal is voided");
+        assert!(t.segment_stale(0).is_empty());
+    }
+
+    #[test]
+    fn compaction_install_is_fenced_by_the_epoch() {
+        let mut t = Table::new("f", Schema::new(vec![ColumnDef::new("v", DataType::I64)]));
+        t.set_segment_rows(64);
+        for i in 0..64i64 {
+            t.append_row(&[Value::Int(i % 5)]);
+        }
+        t.seal_segments();
+        t.update(3, "v", &Value::Int(2)); // segment now needs a reseal
+        assert!(t.segment_needs_reseal(0));
+
+        // Compactor reads epoch, encodes, then a write races in.
+        let epoch = t.segment_epoch(0);
+        let enc = t.encode_segment_now(0);
+        t.update(4, "v", &Value::Int(1));
+        assert!(!t.install_compacted(0, enc, epoch), "raced install must be refused");
+        assert_eq!(t.segment_stale(0), &[3, 4], "stale set untouched by the refusal");
+
+        // Second attempt with no interleaved write succeeds and clears it.
+        let epoch = t.segment_epoch(0);
+        let enc = t.encode_segment_now(0);
+        assert!(t.install_compacted(0, enc, epoch));
+        assert!(t.segment_stale(0).is_empty());
+        assert!(!t.segment_needs_reseal(0));
+        // The installed encoding matches the flat arrays exactly.
+        let e = t.encoding(0).unwrap().cols[0].as_ref().unwrap();
+        for row in 0..64usize {
+            assert_eq!(Some(e.value_at(row)), t.column_at(0).int_at(row));
+        }
     }
 
     #[test]
@@ -889,7 +1129,8 @@ mod tests {
         );
         // Clean → install the same encodings (the load path) → re-seal: no dirt.
         t.mark_segments_clean();
-        let encs = t.encodings().to_vec();
+        let encs: Vec<Option<SegmentEncoding>> =
+            t.encodings().iter().map(|e| e.as_deref().cloned()).collect();
         t.install_segment_encodings(encs);
         t.seal_segments();
         assert!(t.zones().iter().all(|z| !z.is_dirty()));
