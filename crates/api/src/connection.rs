@@ -285,6 +285,41 @@ impl RemoteConnection {
         let frame = self.client.execute(id, params).map_err(client_error)?;
         check_frame(frame, Some(id))
     }
+
+    /// Executes a prepared SELECT once per parameter set, **pipelined**:
+    /// every `execute` frame goes out in one write burst and the responses
+    /// are read back in order — one network round-trip for the whole batch
+    /// instead of one per execution. Results come back in `param_sets`
+    /// order; the first error frame fails the batch.
+    pub fn query_prepared_many(
+        &mut self,
+        stmt: &PreparedStatement,
+        param_sets: &[&[Value]],
+    ) -> Result<Vec<Rows>, AstoreError> {
+        let id = self.remote_id(stmt)?;
+        if !stmt.is_select {
+            return Err(AstoreError::Usage {
+                message: "statement is a write; use execute_prepared".into(),
+            });
+        }
+        let reqs: Vec<Json> = param_sets
+            .iter()
+            .map(|params| {
+                Json::obj([(
+                    "execute",
+                    Json::obj([
+                        ("id", Json::Int(id as i64)),
+                        ("params", Json::Array(params.iter().map(value_to_json).collect())),
+                    ]),
+                )])
+            })
+            .collect();
+        let frames = self.client.pipeline(&reqs).map_err(client_error)?;
+        frames
+            .into_iter()
+            .map(|frame| check_frame(frame, Some(id)).map(|f| decode_rows(stmt, &f)))
+            .collect()
+    }
 }
 
 impl Connection for RemoteConnection {
@@ -331,25 +366,7 @@ impl Connection for RemoteConnection {
             });
         }
         let frame = self.run(stmt, params)?;
-        let columns: Vec<String> = frame
-            .get("columns")
-            .and_then(Json::as_array)
-            .map(|cs| cs.iter().filter_map(|c| c.as_str().map(str::to_owned)).collect())
-            .or_else(|| stmt.columns.clone())
-            .unwrap_or_default();
-        let types =
-            stmt.column_types.clone().unwrap_or_else(|| vec![ColumnType::Float; columns.len()]);
-        let rows: Vec<Vec<Value>> = frame
-            .get("rows")
-            .and_then(Json::as_array)
-            .map(|rs| {
-                rs.iter()
-                    .filter_map(Json::as_array)
-                    .map(|r| r.iter().map(json_to_value).collect())
-                    .collect()
-            })
-            .unwrap_or_default();
-        Ok(Rows::new(columns, types, rows))
+        Ok(decode_rows(stmt, &frame))
     }
 
     fn execute_prepared(
@@ -369,6 +386,30 @@ impl Connection for RemoteConnection {
             .map(|n| n.max(0) as u64)
             .ok_or_else(|| protocol("write response lacks rows_affected"))
     }
+}
+
+/// Decodes a successful SELECT result frame into typed [`Rows`], falling
+/// back to the statement's prepare-time metadata when the frame omits
+/// column names.
+fn decode_rows(stmt: &PreparedStatement, frame: &Json) -> Rows {
+    let columns: Vec<String> = frame
+        .get("columns")
+        .and_then(Json::as_array)
+        .map(|cs| cs.iter().filter_map(|c| c.as_str().map(str::to_owned)).collect())
+        .or_else(|| stmt.columns.clone())
+        .unwrap_or_default();
+    let types = stmt.column_types.clone().unwrap_or_else(|| vec![ColumnType::Float; columns.len()]);
+    let rows: Vec<Vec<Value>> = frame
+        .get("rows")
+        .and_then(Json::as_array)
+        .map(|rs| {
+            rs.iter()
+                .filter_map(Json::as_array)
+                .map(|r| r.iter().map(json_to_value).collect())
+                .collect()
+        })
+        .unwrap_or_default();
+    Rows::new(columns, types, rows)
 }
 
 fn protocol(message: &str) -> AstoreError {

@@ -124,3 +124,40 @@ fn remote_prepared_matches_embedded_on_ssb() {
     }
     server.shutdown();
 }
+
+/// A pipelined `query_prepared_many` batch (all execute frames in one
+/// write burst, responses read back in order) returns exactly what the
+/// same executions produce one round-trip at a time.
+#[test]
+fn pipelined_batch_matches_sequential_execution() {
+    use astore_server::{start, Engine, ServerConfig};
+    use astore_storage::snapshot::SharedDatabase;
+    use astore_storage::types::Value;
+    use std::sync::Arc;
+
+    let db = ssb::generate(0.002, 42);
+    let engine = Arc::new(Engine::new(SharedDatabase::new(db)));
+    let server = start(
+        engine,
+        ServerConfig { addr: "127.0.0.1:0".into(), queue_depth: 64, ..Default::default() },
+    )
+    .unwrap();
+    let mut remote = RemoteConnection::connect(server.addr()).unwrap();
+    let stmt = remote
+        .prepare(
+            "SELECT sum(lo_extendedprice * lo_discount) AS revenue FROM lineorder, date \
+             WHERE lo_orderdate = d_datekey AND d_year = ? AND lo_discount BETWEEN ? AND ?",
+        )
+        .unwrap();
+    let years = [1992i64, 1993, 1994, 1995, 1996, 1997, 1998];
+    let sets: Vec<Vec<Value>> =
+        years.iter().map(|y| vec![Value::Int(*y), Value::Int(1), Value::Int(3)]).collect();
+    let set_refs: Vec<&[Value]> = sets.iter().map(Vec::as_slice).collect();
+    let batched = remote.query_prepared_many(&stmt, &set_refs).unwrap();
+    assert_eq!(batched.len(), years.len());
+    for (params, rows) in sets.iter().zip(batched) {
+        let sequential = to_result(remote.query_prepared(&stmt, params).unwrap());
+        assert_eq!(to_result(rows), sequential, "pipelined != sequential for {params:?}");
+    }
+    server.shutdown();
+}

@@ -1,0 +1,209 @@
+//! Connection byte buffers: incremental newline framing on the read side,
+//! a cursor + watermark pair on the write side.
+
+/// What `ReadBuffer::next_frame` produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete newline-terminated frame (newline stripped).
+    Complete(Vec<u8>),
+    /// No newline yet — need more bytes from the socket.
+    Partial,
+    /// The unterminated prefix already exceeds the frame limit. The
+    /// connection should answer with an error and close: there is no way
+    /// to resynchronise mid-frame.
+    Oversized,
+}
+
+/// Accumulates socket reads and carves newline-delimited frames out of
+/// them incrementally. The scan position is remembered across calls so a
+/// frame arriving one byte at a time is still O(len) total, not O(len²).
+pub struct ReadBuffer {
+    buf: Vec<u8>,
+    /// Bytes before this offset have already been scanned for `\n`.
+    scanned: usize,
+    max_frame: usize,
+}
+
+impl ReadBuffer {
+    pub fn new(max_frame: usize) -> Self {
+        ReadBuffer { buf: Vec::new(), scanned: 0, max_frame }
+    }
+
+    /// Appends freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True if any unconsumed bytes are buffered (a partial frame).
+    pub fn has_partial(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Carves the next frame off the front of the buffer, if complete.
+    pub fn next_frame(&mut self) -> Frame {
+        match self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+            Some(rel) => {
+                let end = self.scanned + rel;
+                let mut frame: Vec<u8> = self.buf.drain(..=end).collect();
+                frame.pop(); // the newline
+                self.scanned = 0;
+                Frame::Complete(frame)
+            }
+            None => {
+                self.scanned = self.buf.len();
+                if self.buf.len() > self.max_frame {
+                    Frame::Oversized
+                } else {
+                    Frame::Partial
+                }
+            }
+        }
+    }
+}
+
+/// Pending response bytes with a write cursor, plus high/low watermarks
+/// driving read-side backpressure.
+pub struct WriteBuffer {
+    buf: Vec<u8>,
+    /// Bytes before this offset were already written to the socket.
+    sent: usize,
+    high_watermark: usize,
+    low_watermark: usize,
+}
+
+impl WriteBuffer {
+    pub fn new(high_watermark: usize, low_watermark: usize) -> Self {
+        debug_assert!(low_watermark <= high_watermark);
+        WriteBuffer { buf: Vec::new(), sent: 0, high_watermark, low_watermark }
+    }
+
+    /// Queues response bytes (caller includes the trailing newline).
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// The bytes still waiting to go out.
+    pub fn pending(&self) -> &[u8] {
+        &self.buf[self.sent..]
+    }
+
+    /// Marks `n` bytes as written; compacts once everything drained.
+    pub fn advance(&mut self, n: usize) {
+        self.sent += n;
+        debug_assert!(self.sent <= self.buf.len());
+        if self.sent == self.buf.len() {
+            self.buf.clear();
+            self.sent = 0;
+        } else if self.sent > 64 * 1024 {
+            // Keep the backlog from holding dead prefix bytes forever.
+            self.buf.drain(..self.sent);
+            self.sent = 0;
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sent == self.buf.len()
+    }
+
+    /// Backlog at or above the high watermark: stop reading this connection.
+    pub fn above_high_watermark(&self) -> bool {
+        self.buf.len() - self.sent >= self.high_watermark
+    }
+
+    /// Backlog back at or below the low watermark: resume reading.
+    pub fn below_low_watermark(&self) -> bool {
+        self.buf.len() - self.sent <= self.low_watermark
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_split_at_every_byte_boundary() {
+        let input = b"{\"a\":1}\n{\"b\":2}\n";
+        for split in 0..=input.len() {
+            let mut rb = ReadBuffer::new(1024);
+            rb.extend(&input[..split]);
+            let mut frames = Vec::new();
+            loop {
+                match rb.next_frame() {
+                    Frame::Complete(f) => frames.push(f),
+                    Frame::Partial => break,
+                    Frame::Oversized => panic!("oversized at split {split}"),
+                }
+            }
+            rb.extend(&input[split..]);
+            loop {
+                match rb.next_frame() {
+                    Frame::Complete(f) => frames.push(f),
+                    Frame::Partial => break,
+                    Frame::Oversized => panic!("oversized at split {split}"),
+                }
+            }
+            assert_eq!(frames, vec![b"{\"a\":1}".to_vec(), b"{\"b\":2}".to_vec()], "split {split}");
+            assert!(!rb.has_partial());
+        }
+    }
+
+    #[test]
+    fn many_pipelined_frames_in_one_extend() {
+        let mut rb = ReadBuffer::new(1024);
+        let mut input = Vec::new();
+        for i in 0..100 {
+            input.extend_from_slice(format!("frame{i}\n").as_bytes());
+        }
+        rb.extend(&input);
+        let mut n = 0;
+        while let Frame::Complete(f) = rb.next_frame() {
+            assert_eq!(f, format!("frame{n}").as_bytes());
+            n += 1;
+        }
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn oversized_unterminated_prefix_detected() {
+        let mut rb = ReadBuffer::new(16);
+        rb.extend(&[b'x'; 17]);
+        assert_eq!(rb.next_frame(), Frame::Oversized);
+        // A frame under the limit is still fine.
+        let mut rb = ReadBuffer::new(16);
+        rb.extend(b"0123456789abcdef\n");
+        assert!(matches!(rb.next_frame(), Frame::Complete(_)));
+    }
+
+    #[test]
+    fn incremental_scan_is_single_pass() {
+        // Feed one byte at a time; `scanned` must track the frontier so we
+        // never rescan (asserted indirectly by the position bookkeeping).
+        let mut rb = ReadBuffer::new(1 << 20);
+        for _ in 0..1000 {
+            rb.extend(b"y");
+            assert_eq!(rb.next_frame(), Frame::Partial);
+            assert_eq!(rb.scanned, rb.buf.len());
+        }
+        rb.extend(b"\n");
+        match rb.next_frame() {
+            Frame::Complete(f) => assert_eq!(f.len(), 1000),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_buffer_watermarks_and_cursor() {
+        let mut wb = WriteBuffer::new(10, 4);
+        assert!(wb.is_empty() && wb.below_low_watermark());
+        wb.push(b"0123456789ab");
+        assert!(wb.above_high_watermark());
+        wb.advance(5);
+        assert_eq!(wb.pending(), b"56789ab");
+        assert!(!wb.above_high_watermark() && !wb.below_low_watermark());
+        wb.advance(3);
+        assert!(wb.below_low_watermark());
+        wb.advance(4);
+        assert!(wb.is_empty());
+        assert_eq!(wb.pending(), b"");
+    }
+}

@@ -154,6 +154,13 @@ struct Args {
     workers: usize,
     prepared: bool,
     durable: bool,
+    /// Fraction of `connections` that connect, probe once, then just hold
+    /// their socket open for the whole run (connection-scale mode).
+    idle_fraction: f64,
+    /// Self-host admission queue depth override (0 = auto). Small values
+    /// force `server_busy` shedding under the hot core — the graceful
+    /// degradation the connection-scale bench measures.
+    queue: usize,
 }
 
 /// Per-mix-query zone-pruning totals accumulated over one pass.
@@ -240,9 +247,35 @@ fn cache_counters(addr: &str) -> (u64, u64) {
     (get("cache_hits"), get("cache_misses"))
 }
 
-/// Runs one pass of the workload: every connection issues `queries`
-/// statements from the rotating mix, in text or prepared mode.
-fn run_pass(addr: &str, a: &Args, prepared: bool) -> PassMetrics {
+/// Opens `n` idle connections. Each measures the connect → first-response
+/// round trip (the accept-latency probe: a TCP handshake plus one
+/// `{"cmd":"stats"}` frame through the full server path), then parks its
+/// socket until the run ends — standing connection load for the reactor.
+/// Returns the held sockets, the accept-latency histogram, and how many
+/// connections the server refused.
+fn open_idle(addr: &str, n: usize) -> (Vec<Client>, LatencyHistogram, u64) {
+    let hist = LatencyHistogram::new();
+    let mut held = Vec::with_capacity(n);
+    let mut refused = 0u64;
+    for _ in 0..n {
+        let t = Instant::now();
+        match Client::connect(addr) {
+            Ok(mut c) => match c.stats() {
+                Ok(_) => {
+                    hist.record(t.elapsed().as_micros() as u64);
+                    held.push(c);
+                }
+                Err(_) => refused += 1,
+            },
+            Err(_) => refused += 1,
+        }
+    }
+    (held, hist, refused)
+}
+
+/// Runs one pass of the workload: every one of `conns` connections issues
+/// `queries` statements from the rotating mix, in text or prepared mode.
+fn run_pass(addr: &str, a: &Args, conns: usize, prepared: bool) -> PassMetrics {
     let hist = Arc::new(LatencyHistogram::new());
     let read_hist = Arc::new(LatencyHistogram::new());
     let write_hist = Arc::new(LatencyHistogram::new());
@@ -252,7 +285,7 @@ fn run_pass(addr: &str, a: &Args, prepared: bool) -> PassMetrics {
     let (hits0, misses0) = cache_counters(addr);
     let t_run = Instant::now();
     std::thread::scope(|s| {
-        for conn_id in 0..a.connections {
+        for conn_id in 0..conns {
             let hist = Arc::clone(&hist);
             let read_hist = Arc::clone(&read_hist);
             let write_hist = Arc::clone(&write_hist);
@@ -396,6 +429,8 @@ fn main() {
         workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
         prepared: false,
         durable: false,
+        idle_fraction: 0.0,
+        queue: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -420,6 +455,10 @@ fn main() {
             "--workers" => a.workers = parse_or_die(&value("--workers"), "--workers"),
             "--prepared" => a.prepared = true,
             "--durable" => a.durable = true,
+            "--idle-fraction" => {
+                a.idle_fraction = parse_or_die(&value("--idle-fraction"), "--idle-fraction")
+            }
+            "--queue" => a.queue = parse_or_die(&value("--queue"), "--queue"),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -433,6 +472,10 @@ fn main() {
 
     if a.durable && a.addr.is_some() {
         eprintln!("--durable only applies to self-host mode (drop --addr)");
+        exit(2);
+    }
+    if !(0.0..=1.0).contains(&a.idle_fraction) {
+        eprintln!("--idle-fraction must be in [0, 1]");
         exit(2);
     }
 
@@ -463,8 +506,9 @@ fn main() {
             let config = ServerConfig {
                 addr: "127.0.0.1:0".into(),
                 workers: a.workers,
-                queue_depth: a.workers * 4 + a.connections,
+                queue_depth: if a.queue > 0 { a.queue } else { a.workers * 4 + a.connections },
                 max_connections: a.connections + 8,
+                ..ServerConfig::default()
             };
             let h = start(engine, config).unwrap_or_else(|e| {
                 eprintln!("failed to start in-process server: {e}");
@@ -480,8 +524,19 @@ fn main() {
         _ => unreachable!(),
     };
 
-    let text = run_pass(&addr, &a, false);
-    let prepared = a.prepared.then(|| run_pass(&addr, &a, true));
+    // Connection-scale mode: a fraction of the connections just hold
+    // sockets open (probing accept latency on the way in) while the rest
+    // run the query mix — the reactor serves the hot core amid a standing
+    // crowd of idle sessions.
+    let n_idle = (a.connections as f64 * a.idle_fraction).round() as usize;
+    let n_hot = a.connections - n_idle;
+    let (idle_held, accept_hist, accept_refused) = open_idle(&addr, n_idle);
+    if n_idle > 0 {
+        eprintln!("holding {} idle connections ({accept_refused} refused)", idle_held.len());
+    }
+
+    let text = run_pass(&addr, &a, n_hot, false);
+    let prepared = a.prepared.then(|| run_pass(&addr, &a, n_hot, true));
 
     let server_stats = Client::connect(addr.as_str()).ok().and_then(|mut c| c.stats().ok());
     // Server-side per-template latency (p50/p99 from the server's own
@@ -525,6 +580,22 @@ fn main() {
         ("server", server_stats.unwrap_or(Json::Null)),
         ("server_templates", server_templates),
     ]);
+    if n_idle > 0 {
+        if let Json::Object(m) = &mut summary {
+            m.insert("hot_connections".into(), Json::Int(n_hot as i64));
+            m.insert("idle_connections".into(), Json::Int(idle_held.len() as i64));
+            m.insert(
+                "accept".into(),
+                Json::obj([
+                    ("count", Json::Int(accept_hist.count() as i64)),
+                    ("refused", Json::Int(accept_refused as i64)),
+                    ("latency_p50_us", Json::Int(accept_hist.quantile_us(0.50) as i64)),
+                    ("latency_p99_us", Json::Int(accept_hist.quantile_us(0.99) as i64)),
+                    ("latency_max_us", Json::Int(accept_hist.max_us() as i64)),
+                ]),
+            );
+        }
+    }
     let mut total_errors = text.errors;
     if let Some(p) = &prepared {
         total_errors += p.errors;
@@ -550,6 +621,7 @@ fn main() {
     }
     println!("{summary}");
 
+    drop(idle_held);
     if let Some(h) = handle {
         h.shutdown();
     }
@@ -578,6 +650,12 @@ flags:
   --seed <n>           dataset generation seed, recorded in the summary
                        so runs are reproducible          (default 42)
   --connections <n>    concurrent client connections    (default 8)
+  --idle-fraction <f>  fraction of connections that connect, probe once
+                       (recording the accept-latency round trip) and then
+                       hold their socket open idle for the whole run; the
+                       rest run the query mix. Connection-scale mode: the
+                       summary gains accept-latency percentiles, refused
+                       counts and idle/hot splits (default 0)
   --queries <n>        statements per connection        (default 150)
   --write-every <n>    make every n-th statement a write (default 0 = reads only;
                        2 = a 50/50 read/write mix); writes rotate over 100
@@ -585,6 +663,10 @@ flags:
   --durable            self-host with a throwaway data dir so writes hit the
                        real WAL + group-commit fsync path (removed on exit)
   --workers <n>        self-host worker threads         (default: cores)
+  --queue <n>          self-host admission queue depth  (default: auto =
+                       4*workers + connections); small values force
+                       server_busy shedding, which the summary reports
+                       under \"rejected_busy\" without failing the run
   --prepared           after the text pass, run the same workload over
                        protocol v2 (prepare/execute frames) and report
                        q/s + plan-cache hit-rate deltas between the modes";

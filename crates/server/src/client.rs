@@ -53,6 +53,44 @@ impl Client {
         self.raw_line(&req.to_string())
     }
 
+    /// Queues one request frame without flushing or reading a response —
+    /// the building block of pipelining. Follow with more [`send`]s, then
+    /// [`flush`] and one [`read_frame`] per queued request (responses come
+    /// back strictly in request order).
+    ///
+    /// [`send`]: Client::send
+    /// [`flush`]: Client::flush
+    /// [`read_frame`]: Client::read_frame
+    pub fn send(&mut self, req: &Json) -> Result<(), ClientError> {
+        writeln!(self.writer, "{req}")?;
+        Ok(())
+    }
+
+    /// Queues every frame and flushes them as one write burst. Responses
+    /// are not read; call [`read_frame`](Client::read_frame) once per
+    /// request, in order.
+    pub fn send_all(&mut self, reqs: &[Json]) -> Result<(), ClientError> {
+        for req in reqs {
+            self.send(req)?;
+        }
+        self.flush()
+    }
+
+    /// Flushes queued request frames to the socket.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Pipelines a batch: all requests go out in one write, then all
+    /// responses are read back, in request order. One transport error
+    /// fails the whole batch (per-frame protocol errors arrive as error
+    /// frames inside the returned vector, not as `Err`).
+    pub fn pipeline(&mut self, reqs: &[Json]) -> Result<Vec<Json>, ClientError> {
+        self.send_all(reqs)?;
+        reqs.iter().map(|_| self.read_frame()).collect()
+    }
+
     /// Sends one raw line and reads one response frame (test/debug path).
     pub fn raw_line(&mut self, line: &str) -> Result<Json, ClientError> {
         writeln!(self.writer, "{line}")?;

@@ -1,0 +1,219 @@
+//! The reactor-side protocol front-end: an [`astore_net::Service`] that
+//! turns complete frames into classified jobs on the [`PriorityPool`].
+//!
+//! The reactor thread does exactly three cheap things per frame — decode +
+//! trim, parse the JSON once, classify — then hands the *parsed* request
+//! to an executor worker. The worker replays the same dispatch the
+//! thread-per-connection model uses ([`Engine::handle_request`]), so both
+//! io models produce byte-identical frames for the same request stream.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::{Arc, Mutex};
+
+use astore_net::{Done, Service};
+
+use crate::engine::{error_frame, Engine, ErrorCode};
+use crate::json::Json;
+use crate::sched::{Priority, PriorityPool};
+use crate::session::StatementRegistry;
+
+/// Serializes a response frame exactly like the thread model's
+/// `writeln!(w, "{frame}")` — Display form plus a trailing newline.
+fn frame_bytes(frame: &Json) -> Vec<u8> {
+    let mut bytes = frame.to_string().into_bytes();
+    bytes.push(b'\n');
+    bytes
+}
+
+/// Decides which executor queue a parsed request joins.
+///
+/// - metadata: `cmd` / `prepare` / `close` frames and malformed requests —
+///   cheap protocol work that should never sit behind a scan;
+/// - interactive: writes and `rowid`-keyed point lookups — short
+///   statements a user is waiting on;
+/// - scan: every other query.
+///
+/// For `execute` frames the session registry says whether the prepared
+/// statement is a write; its canonical template text drives the
+/// point-lookup heuristic, same as text-mode SQL.
+fn classify(req: &Json, registry: &Mutex<StatementRegistry>) -> Priority {
+    if let Some(sql) = req.get("sql").and_then(Json::as_str) {
+        return classify_sql(sql);
+    }
+    if let Some(ex) = req.get("execute") {
+        // Uncontended by construction: at most one frame of a connection
+        // is in flight, and jobs release the registry before completing.
+        let registry = registry.lock().unwrap_or_else(|p| p.into_inner());
+        return match ex
+            .get("id")
+            .and_then(Json::as_i64)
+            .filter(|id| *id >= 0)
+            .and_then(|id| registry.get(id as u64))
+        {
+            Some(stmt) if !stmt.prepared.is_select() => Priority::Interactive,
+            Some(stmt) if is_point_lookup(&stmt.key) => Priority::Interactive,
+            Some(_) => Priority::Scan,
+            None => Priority::Metadata, // unknown id: a fast typed error
+        };
+    }
+    // prepare / close / cmd / unrecognized: protocol housekeeping.
+    Priority::Metadata
+}
+
+fn classify_sql(sql: &str) -> Priority {
+    let keyword = sql.split_whitespace().next().unwrap_or("");
+    if keyword.eq_ignore_ascii_case("insert")
+        || keyword.eq_ignore_ascii_case("update")
+        || keyword.eq_ignore_ascii_case("delete")
+    {
+        return Priority::Interactive;
+    }
+    if is_point_lookup(sql) {
+        Priority::Interactive
+    } else {
+        Priority::Scan
+    }
+}
+
+/// A statement keyed on `rowid` touches one row, not a segment scan.
+fn is_point_lookup(sql: &str) -> bool {
+    sql.as_bytes().windows(5).any(|w| w.eq_ignore_ascii_case(b"rowid"))
+}
+
+/// The [`Service`] wiring the reactor to the engine and executor pool.
+pub struct EngineService {
+    engine: Arc<Engine>,
+    pool: Arc<PriorityPool>,
+    max_connections: usize,
+}
+
+impl EngineService {
+    /// A front-end over `engine`, executing on `pool`, quoting
+    /// `max_connections` in rejection frames.
+    pub fn new(engine: Arc<Engine>, pool: Arc<PriorityPool>, max_connections: usize) -> Self {
+        EngineService { engine, pool, max_connections }
+    }
+}
+
+impl Service for EngineService {
+    type Session = StatementRegistry;
+
+    fn open(&self) -> StatementRegistry {
+        self.engine.stats().active_connections.fetch_add(1, Relaxed);
+        StatementRegistry::default()
+    }
+
+    fn closed(&self, _session: &Arc<Mutex<StatementRegistry>>) {
+        self.engine.stats().active_connections.fetch_sub(1, Relaxed);
+    }
+
+    fn dispatch(&self, session: &Arc<Mutex<StatementRegistry>>, frame: Vec<u8>, done: Done) {
+        // Mirror the thread model's framing byte-for-byte: lossy decode,
+        // trim, silently skip whitespace-only frames.
+        let line = String::from_utf8_lossy(&frame);
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            done.send(Vec::new());
+            return;
+        }
+        let req = match crate::json::parse(trimmed) {
+            Ok(req) => req,
+            Err(e) => {
+                self.engine.stats().errors.fetch_add(1, Relaxed);
+                done.send(frame_bytes(&error_frame(ErrorCode::BadRequest, e.to_string())));
+                return;
+            }
+        };
+        let priority = classify(&req, session);
+        if !self.pool.accepting(priority) {
+            self.engine.stats().rejected.fetch_add(1, Relaxed);
+            let busy = error_frame(
+                ErrorCode::ServerBusy,
+                format!("admission queue full ({} workers busy)", self.pool.workers()),
+            );
+            done.send(frame_bytes(&busy));
+            return;
+        }
+        let engine = Arc::clone(&self.engine);
+        let session = Arc::clone(session);
+        self.pool.submit(
+            priority,
+            Box::new(move |wait_us| {
+                engine.stats().queue_wait[priority as usize].record(wait_us);
+                let out = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    let mut registry = session.lock().unwrap_or_else(|p| p.into_inner());
+                    engine.handle_request(&req, &mut registry)
+                    // registry unlocks here — before `done` fires, so the
+                    // reactor can classify this connection's next frame
+                    // without contending.
+                }))
+                .unwrap_or_else(|_| {
+                    error_frame(ErrorCode::InternalError, "statement execution panicked")
+                });
+                done.send(frame_bytes(&out));
+            }),
+        );
+    }
+
+    fn reject_frame(&self) -> Vec<u8> {
+        self.engine.stats().conn_rejected.fetch_add(1, Relaxed);
+        frame_bytes(&error_frame(
+            ErrorCode::TooManyConnections,
+            format!("connection limit ({}) reached", self.max_connections),
+        ))
+    }
+
+    fn oversize_frame(&self) -> Vec<u8> {
+        frame_bytes(&error_frame(ErrorCode::BadRequest, "request exceeds 1 MiB"))
+    }
+
+    fn on_accept(&self) {
+        self.engine.stats().accepts_total.fetch_add(1, Relaxed);
+    }
+
+    fn on_backpressure(&self) {
+        self.engine.stats().reads_blocked_on_backpressure.fetch_add(1, Relaxed);
+    }
+
+    fn on_pipeline_depth(&self, depth: usize) {
+        self.engine.stats().pipeline_depth.record(depth as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_classification() {
+        assert_eq!(classify_sql("SELECT sum(v) FROM t GROUP BY k"), Priority::Scan);
+        assert_eq!(classify_sql("  select * from t"), Priority::Scan);
+        assert_eq!(classify_sql("INSERT INTO t VALUES (1)"), Priority::Interactive);
+        assert_eq!(classify_sql("update t SET v = 2 WHERE rowid = 3"), Priority::Interactive);
+        assert_eq!(classify_sql("DELETE FROM t WHERE rowid = 3"), Priority::Interactive);
+        assert_eq!(classify_sql("SELECT v FROM t WHERE rowid = 17"), Priority::Interactive);
+        assert_eq!(classify_sql("SELECT v FROM t WHERE ROWID = 17"), Priority::Interactive);
+    }
+
+    #[test]
+    fn frame_classification() {
+        let registry = Mutex::new(StatementRegistry::default());
+        let cmd = Json::obj([("cmd", Json::Str("stats".into()))]);
+        assert_eq!(classify(&cmd, &registry), Priority::Metadata);
+        let prepare = Json::obj([("prepare", Json::Str("SELECT count(*) FROM t".into()))]);
+        assert_eq!(classify(&prepare, &registry), Priority::Metadata);
+        let close = Json::obj([("close", Json::Int(1))]);
+        assert_eq!(classify(&close, &registry), Priority::Metadata);
+        let scan = Json::obj([("sql", Json::Str("SELECT sum(v) FROM t".into()))]);
+        assert_eq!(classify(&scan, &registry), Priority::Scan);
+        // Executing an id that was never prepared is a fast typed error.
+        let exec = Json::obj([(
+            "execute",
+            Json::obj([("id", Json::Int(42)), ("params", Json::Array(vec![]))]),
+        )]);
+        assert_eq!(classify(&exec, &registry), Priority::Metadata);
+        let garbage = Json::obj([("frobnicate", Json::Int(1))]);
+        assert_eq!(classify(&garbage, &registry), Priority::Metadata);
+    }
+}

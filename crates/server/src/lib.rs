@@ -66,11 +66,20 @@
 //!
 //! ## Architecture
 //!
+//! Connection handling comes in two io models (see [`server::IoModel`]).
+//! The default is the event-driven reactor: one epoll/kqueue thread owns
+//! every socket (nonblocking accepts, incremental framing, pipelining,
+//! write-buffer backpressure) and hands parsed requests to the
+//! strict-priority executor pool — metadata and point lookups jump ahead
+//! of long scans. `--io-model threads` keeps the previous
+//! thread-per-connection path as a differential oracle.
+//!
 //! ```text
-//! TcpListener ── accept loop ── per-connection I/O threads
+//! TcpListener ── reactor (epoll/kqueue, default) ── priority executor pool
+//!           └─── or: accept loop ── per-connection I/O threads
 //!                                     │ one statement at a time
 //!                                     ▼
-//!                     bounded WorkerPool (admission control)
+//!                     bounded admission queue (shed, don't stall)
 //!                                     │
 //!                                     ▼
 //!        Engine: parse → PlanCache (canonical template → Arc<Prepared>)
@@ -98,10 +107,12 @@ pub mod budget;
 pub mod cache;
 pub mod client;
 pub mod engine;
+pub mod front;
 pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod pool;
+pub mod sched;
 pub mod server;
 pub mod session;
 pub mod stats;
@@ -110,7 +121,9 @@ pub use budget::CoreBudget;
 pub use cache::PlanCache;
 pub use client::{Client, ClientError};
 pub use engine::{Durability, Engine, ErrorCode};
+pub use front::EngineService;
 pub use metrics::{SlowLog, TemplateStats};
-pub use server::{start, ServerConfig, ServerHandle};
+pub use sched::{Priority, PriorityPool};
+pub use server::{start, IoModel, ServerConfig, ServerHandle};
 pub use session::StatementRegistry;
 pub use stats::ServerStats;

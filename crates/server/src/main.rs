@@ -51,6 +51,11 @@ fn main() {
             "--max-conn" => {
                 config.max_connections = parse_or_die(&value("--max-conn"), "--max-conn")
             }
+            "--io-model" => config.io_model = parse_or_die(&value("--io-model"), "--io-model"),
+            "--idle-timeout-ms" => {
+                config.idle_timeout_ms =
+                    parse_or_die(&value("--idle-timeout-ms"), "--idle-timeout-ms")
+            }
             "--dataset" => dataset = value("--dataset"),
             "--sf" => sf = parse_or_die(&value("--sf"), "--sf"),
             "--data-dir" => data_dir = Some(value("--data-dir")),
@@ -135,11 +140,16 @@ fn main() {
     let engine = Arc::new(engine);
     let workers = config.workers;
     let queue = config.queue_depth;
+    let io_model = match config.io_model {
+        astore_server::IoModel::Reactor => "reactor",
+        astore_server::IoModel::Threads => "threads",
+    };
     match start(engine, config) {
         Ok(handle) => {
             eprintln!(
-                "astore-serve listening on {} ({workers} workers, queue depth {queue}, \
-                 engine threads {engine_threads}, core budget {budget_total})",
+                "astore-serve listening on {} (io model {io_model}, {workers} workers, \
+                 queue depth {queue}, engine threads {engine_threads}, \
+                 core budget {budget_total})",
                 handle.addr(),
             );
             handle.join();
@@ -194,6 +204,16 @@ flags:
   --workers <n>           statement worker threads    (default: cores)
   --queue <n>             admission queue depth       (default: 4x workers)
   --max-conn <n>          connection limit            (default 256)
+  --io-model <m>          reactor | threads           (default reactor)
+                          reactor: one epoll/kqueue event loop owns every
+                          socket; statements run on a strict-priority
+                          executor pool (metadata > interactive > scan).
+                          threads: one I/O thread per connection (the
+                          previous model, kept as a differential oracle)
+  --idle-timeout-ms <n>   reactor only: close connections whose partial
+                          frame stalls for n ms (slow-loris defence;
+                          default 30000, 0 = off). Idle connections with
+                          no buffered bytes are never reaped
   --data-dir <dir>        durable mode: snapshot + WAL live here; first boot
                           seeds from --dataset/--sf, later boots recover
                           (--dataset/--sf are then ignored)

@@ -326,6 +326,16 @@ pub fn render_prometheus(
             "Connections refused at the limit.",
             stats.conn_rejected.load(Ordering::Relaxed),
         ),
+        (
+            "astore_server_accepts_total",
+            "Sockets accepted (admitted or refused).",
+            stats.accepts_total.load(Ordering::Relaxed),
+        ),
+        (
+            "astore_server_reads_blocked_on_backpressure_total",
+            "Connection reads paused by the write-buffer high watermark.",
+            stats.reads_blocked_on_backpressure.load(Ordering::Relaxed),
+        ),
         ("astore_server_plan_cache_hits_total", "Plan-cache hits.", cache.hits()),
         ("astore_server_plan_cache_misses_total", "Plan-cache misses.", cache.misses()),
     ];
@@ -337,6 +347,13 @@ pub fn render_prometheus(
     w.header("astore_server_active_connections", "Currently open connections.", "gauge");
     w.sample_u64(
         "astore_server_active_connections",
+        &[],
+        stats.active_connections.load(Ordering::Relaxed) as u64,
+    );
+    // The same gauge under the reactor-era name, mirroring the stats frame.
+    w.header("astore_server_open_connections", "Currently open connections.", "gauge");
+    w.sample_u64(
+        "astore_server_open_connections",
         &[],
         stats.active_connections.load(Ordering::Relaxed) as u64,
     );
@@ -368,6 +385,25 @@ pub fn render_prometheus(
             "astore_server_template_latency_us",
             &[("template", &template)],
             &hist,
+        );
+    }
+    w.header(
+        "astore_server_pipeline_depth",
+        "Requests queued or in flight on a connection as each frame arrived (1 = no pipelining).",
+        "histogram",
+    );
+    emit_histogram_series(&mut w, "astore_server_pipeline_depth", &[], &stats.pipeline_depth);
+    w.header(
+        "astore_server_queue_wait_us",
+        "Executor queue wait per priority class (reactor model).",
+        "histogram",
+    );
+    for class in crate::sched::Priority::ALL {
+        emit_histogram_series(
+            &mut w,
+            "astore_server_queue_wait_us",
+            &[("class", class.as_str())],
+            &stats.queue_wait[class as usize],
         );
     }
 

@@ -1,0 +1,273 @@
+//! The reactor's executor: a worker pool fed by three strict-priority
+//! queues, so interactive point-lookups and metadata commands jump ahead
+//! of long scans instead of queueing behind them.
+//!
+//! Each class has its own bounded queue; a full queue is an *admission*
+//! decision surfaced to the caller before a job is built — the reactor is
+//! the only submitter, so check-then-submit is race-free — and the caller
+//! answers with a typed `server_busy` frame. Workers always drain
+//! metadata first, then interactive, then scan; every dequeued job learns
+//! how long it waited, which feeds the per-class queue-wait histograms.
+
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Request priority classes, highest first. The discriminant indexes the
+/// per-class queues and the `queue_wait` histograms in
+/// [`ServerStats`](crate::stats::ServerStats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// Protocol housekeeping: `cmd` frames, `prepare`, `close`,
+    /// malformed requests. Cheap and latency-critical.
+    Metadata = 0,
+    /// Writes and point lookups — short statements a user is waiting on.
+    Interactive = 1,
+    /// Everything else: analytical scans that may hold a worker for long.
+    Scan = 2,
+}
+
+impl Priority {
+    /// All classes, highest priority first.
+    pub const ALL: [Priority; 3] = [Priority::Metadata, Priority::Interactive, Priority::Scan];
+
+    /// The class's label in stats frames and metric series.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::Metadata => "metadata",
+            Priority::Interactive => "interactive",
+            Priority::Scan => "scan",
+        }
+    }
+}
+
+/// A unit of work; receives its queue wait in microseconds.
+pub type Job = Box<dyn FnOnce(u64) + Send + 'static>;
+
+struct Inner {
+    /// One FIFO per class, indexed by `Priority as usize`.
+    queues: Mutex<[VecDeque<(Job, Instant)>; 3]>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    /// Per-class queue capacity.
+    capacity: usize,
+}
+
+/// A fixed pool of workers draining three bounded strict-priority queues.
+pub struct PriorityPool {
+    inner: Arc<Inner>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl PriorityPool {
+    /// Spawns `workers` threads; each class's queue holds `queue_depth`
+    /// jobs.
+    pub fn new(workers: usize, queue_depth: usize) -> Self {
+        let inner = Arc::new(Inner {
+            queues: Mutex::new([VecDeque::new(), VecDeque::new(), VecDeque::new()]),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            capacity: queue_depth.max(1),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("astore-exec-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("failed to spawn executor thread")
+            })
+            .collect();
+        PriorityPool { inner, handles }
+    }
+
+    /// Whether a job of this class would be admitted right now. With a
+    /// single submitting thread (the reactor), a `true` here guarantees
+    /// the following [`PriorityPool::submit`] is accepted.
+    pub fn accepting(&self, priority: Priority) -> bool {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return false;
+        }
+        let queues = self.inner.queues.lock().unwrap_or_else(|p| p.into_inner());
+        queues[priority as usize].len() < self.inner.capacity
+    }
+
+    /// Enqueues a job. Call [`PriorityPool::accepting`] first; a job
+    /// submitted past capacity or during shutdown is dropped (its `Done`
+    /// answers with an empty frame via its drop hook).
+    pub fn submit(&self, priority: Priority, job: Job) {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let mut queues = self.inner.queues.lock().unwrap_or_else(|p| p.into_inner());
+        if queues[priority as usize].len() >= self.inner.capacity {
+            return;
+        }
+        queues[priority as usize].push_back((job, Instant::now()));
+        drop(queues);
+        self.inner.available.notify_one();
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Stops accepting work, drains what is queued, and joins the workers.
+    pub fn shutdown(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.available.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for PriorityPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    let mut queues = inner.queues.lock().unwrap_or_else(|p| p.into_inner());
+    loop {
+        // Strict priority: metadata beats interactive beats scan.
+        let next = queues.iter_mut().find_map(VecDeque::pop_front);
+        match next {
+            Some((job, enqueued)) => {
+                drop(queues);
+                let wait_us = enqueued.elapsed().as_micros() as u64;
+                // A panicking statement must not take the worker down.
+                let _ = std::panic::catch_unwind(AssertUnwindSafe(move || job(wait_us)));
+                queues = inner.queues.lock().unwrap_or_else(|p| p.into_inner());
+            }
+            None => {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return; // shutdown after the queues drained
+                }
+                queues = inner.available.wait(queues).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn executes_and_reports_queue_wait() {
+        let pool = PriorityPool::new(2, 16);
+        let (tx, rx) = channel();
+        for _ in 0..8 {
+            let tx = tx.clone();
+            assert!(pool.accepting(Priority::Scan));
+            pool.submit(
+                Priority::Scan,
+                Box::new(move |wait_us| {
+                    let _ = tx.send(wait_us);
+                }),
+            );
+        }
+        for _ in 0..8 {
+            let _wait = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+    }
+
+    #[test]
+    fn strict_priority_order_under_single_worker() {
+        let pool = PriorityPool::new(1, 16);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (block_tx, block_rx) = channel::<()>();
+        let (started_tx, started_rx) = channel::<()>();
+        pool.submit(
+            Priority::Scan,
+            Box::new(move |_| {
+                let _ = started_tx.send(());
+                let _ = block_rx.recv();
+            }),
+        );
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        // Queued while the worker is blocked: submitted scan-first, but
+        // the metadata and interactive jobs must run first anyway.
+        let (done_tx, done_rx) = channel::<()>();
+        for prio in [Priority::Scan, Priority::Interactive, Priority::Metadata] {
+            let order = Arc::clone(&order);
+            let done = done_tx.clone();
+            pool.submit(
+                prio,
+                Box::new(move |_| {
+                    order.lock().unwrap().push(prio);
+                    let _ = done.send(());
+                }),
+            );
+        }
+        block_tx.send(()).unwrap();
+        for _ in 0..3 {
+            done_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec![Priority::Metadata, Priority::Interactive, Priority::Scan]
+        );
+    }
+
+    #[test]
+    fn per_class_capacity_gates_admission() {
+        let pool = PriorityPool::new(1, 2);
+        let (block_tx, block_rx) = channel::<()>();
+        let (started_tx, started_rx) = channel::<()>();
+        pool.submit(
+            Priority::Scan,
+            Box::new(move |_| {
+                let _ = started_tx.send(());
+                let _ = block_rx.recv();
+            }),
+        );
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        pool.submit(Priority::Scan, Box::new(|_| {}));
+        pool.submit(Priority::Scan, Box::new(|_| {}));
+        assert!(!pool.accepting(Priority::Scan), "scan queue is full");
+        assert!(pool.accepting(Priority::Metadata), "other classes are unaffected");
+        block_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = PriorityPool::new(2, 64);
+            for _ in 0..20 {
+                let counter = Arc::clone(&counter);
+                pool.submit(
+                    Priority::Interactive,
+                    Box::new(move |_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    }),
+                );
+            }
+        } // Drop shuts down after the queues drain.
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_worker() {
+        let pool = PriorityPool::new(1, 8);
+        pool.submit(Priority::Scan, Box::new(|_| panic!("statement exploded")));
+        let (tx, rx) = channel();
+        pool.submit(
+            Priority::Scan,
+            Box::new(move |_| {
+                let _ = tx.send(());
+            }),
+        );
+        rx.recv_timeout(Duration::from_secs(5)).expect("worker survived the panic");
+    }
+}

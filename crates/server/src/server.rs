@@ -1,12 +1,21 @@
-//! The TCP serving layer: accept loop, per-connection framing, and
-//! dispatch of each statement to the bounded worker pool.
+//! The TCP serving layer, in two interchangeable io models:
 //!
-//! Threading model: the accept loop and one lightweight thread per
-//! connection handle *I/O only*; every statement is executed on the shared
-//! [`WorkerPool`], whose bounded queue is the
-//! admission-control point. When the queue is full the connection thread
-//! answers immediately with a `server_busy` error frame instead of
-//! stalling — the server sheds load, it never builds an unbounded backlog.
+//! **Reactor (default).** One event-loop thread owns every socket via the
+//! [`astore_net`] epoll/kqueue reactor: nonblocking accepts, incremental
+//! frame parsing, request pipelining, and write-buffer backpressure. Each
+//! complete frame is parsed and classified on the reactor thread, then
+//! executed on the strict-priority [`PriorityPool`] — interactive point
+//! lookups and metadata commands jump ahead of long scans. Idle
+//! connections cost no threads, so the model holds 10K+ of them.
+//!
+//! **Threads (`IoModel::Threads`).** The previous model — one lightweight
+//! I/O thread per connection feeding the bounded [`WorkerPool`] — kept for
+//! one release as the differential oracle: both models answer the same
+//! request stream with byte-identical frames.
+//!
+//! Either way, admission control is a bounded queue: when it is full the
+//! server answers immediately with a `server_busy` error frame instead of
+//! stalling — it sheds load, it never builds an unbounded backlog.
 
 use std::io::{BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -16,15 +25,42 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use astore_net::{Reactor, ReactorConfig, ReactorStop};
+
 use crate::engine::{error_frame, Engine, ErrorCode};
+use crate::front::EngineService;
 use crate::json::Json;
 use crate::pool::{RejectReason, WorkerPool};
+use crate::sched::PriorityPool;
 use crate::session::StatementRegistry;
 use std::sync::Mutex;
 
 /// Maximum accepted request-line length (1 MiB); longer lines are answered
 /// with `bad_request` and the connection is closed.
 pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Which connection-handling model serves the listener.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoModel {
+    /// Event-driven: an epoll/kqueue reactor owns all sockets and a
+    /// priority executor pool runs the statements (default).
+    Reactor,
+    /// One I/O thread per connection over the bounded worker pool — the
+    /// differential oracle for the reactor.
+    Threads,
+}
+
+impl std::str::FromStr for IoModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "reactor" => Ok(IoModel::Reactor),
+            "threads" => Ok(IoModel::Threads),
+            other => Err(format!("unknown io model {other:?} (try reactor or threads)")),
+        }
+    }
+}
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -33,10 +69,22 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads executing statements.
     pub workers: usize,
-    /// Bounded admission-queue depth in statements.
+    /// Bounded admission-queue depth in statements (per priority class
+    /// under the reactor model).
     pub queue_depth: usize,
     /// Maximum concurrently open connections.
     pub max_connections: usize,
+    /// Connection-handling model.
+    pub io_model: IoModel,
+    /// Reactor only: write backlog (bytes) at which reading from a
+    /// connection pauses.
+    pub high_watermark: usize,
+    /// Reactor only: write backlog at which a paused connection resumes.
+    pub low_watermark: usize,
+    /// Reactor only: close a connection whose *partial* frame has stalled
+    /// this long (slow-loris defence; 0 disables). Fully idle connections
+    /// are never reaped.
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -47,19 +95,34 @@ impl Default for ServerConfig {
             workers,
             queue_depth: workers * 4,
             max_connections: 256,
+            io_model: IoModel::Reactor,
+            high_watermark: 256 * 1024,
+            low_watermark: 64 * 1024,
+            idle_timeout_ms: 30_000,
         }
     }
 }
 
 /// A handle to a running server. Dropping it (or calling
-/// [`ServerHandle::shutdown`]) stops the accept loop and drains the pool.
-#[derive(Debug)]
+/// [`ServerHandle::shutdown`]) stops the serving threads and drains the
+/// executor pool.
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    /// The accept-loop thread (threads model) or the reactor thread.
     accept: Option<JoinHandle<()>>,
     compactor: Option<JoinHandle<()>>,
     engine: Arc<Engine>,
+    reactor_stop: Option<ReactorStop>,
+    /// Held so the executor pool outlives the reactor; the last Arc drop
+    /// (after the reactor joined) drains and joins the workers.
+    exec_pool: Option<Arc<PriorityPool>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle").field("addr", &self.addr).finish_non_exhaustive()
+    }
 }
 
 impl ServerHandle {
@@ -90,11 +153,22 @@ impl ServerHandle {
 
     fn stop_accept(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        match self.reactor_stop.take() {
+            // Reactor model: wake the event loop; it closes every
+            // connection (running their session teardown) and exits.
+            Some(stop) => stop.stop(),
+            // Threads model: unblock the blocking accept with a throwaway
+            // connection.
+            None => {
+                let _ = TcpStream::connect(self.addr);
+            }
+        }
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        // With the reactor joined, this is the last pool reference: the
+        // drop drains queued statements and joins the executor workers.
+        self.exec_pool.take();
         if let Some(h) = self.compactor.take() {
             let _ = h.join();
         }
@@ -109,19 +183,47 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Binds the listener and starts serving `engine` in background threads.
+/// Binds the listener and starts serving `engine` in background threads
+/// using the configured [`IoModel`].
 pub fn start(engine: Arc<Engine>, config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
-    let pool = Arc::new(WorkerPool::new(config.workers, config.queue_depth));
-    let accept = {
-        let engine = Arc::clone(&engine);
-        let stop = Arc::clone(&stop);
-        std::thread::Builder::new()
-            .name("astore-accept".into())
-            .spawn(move || accept_loop(&listener, &engine, &pool, &stop, config.max_connections))
-            .expect("failed to spawn accept thread")
+    let (accept, reactor_stop, exec_pool) = match config.io_model {
+        IoModel::Reactor => {
+            let pool = Arc::new(PriorityPool::new(config.workers, config.queue_depth));
+            let service =
+                EngineService::new(Arc::clone(&engine), Arc::clone(&pool), config.max_connections);
+            let reactor_config = ReactorConfig {
+                max_connections: config.max_connections,
+                max_frame_bytes: MAX_LINE_BYTES,
+                high_watermark: config.high_watermark,
+                low_watermark: config.low_watermark.min(config.high_watermark),
+                idle_timeout: (config.idle_timeout_ms > 0)
+                    .then(|| Duration::from_millis(config.idle_timeout_ms)),
+            };
+            let reactor = Reactor::new(listener, service, reactor_config)?;
+            let reactor_stop = reactor.stop_handle();
+            let accept = std::thread::Builder::new()
+                .name("astore-reactor".into())
+                .spawn(move || {
+                    let _ = reactor.run();
+                })
+                .expect("failed to spawn reactor thread");
+            (accept, Some(reactor_stop), Some(pool))
+        }
+        IoModel::Threads => {
+            let pool = Arc::new(WorkerPool::new(config.workers, config.queue_depth));
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let accept = std::thread::Builder::new()
+                .name("astore-accept".into())
+                .spawn(move || {
+                    accept_loop(&listener, &engine, &pool, &stop, config.max_connections)
+                })
+                .expect("failed to spawn accept thread");
+            (accept, None, None)
+        }
     };
     // Background compaction: fold write-throughs on sealed segments back
     // into their compressed form so a write-heavy phase does not slowly
@@ -135,7 +237,15 @@ pub fn start(engine: Arc<Engine>, config: ServerConfig) -> std::io::Result<Serve
             .spawn(move || compactor_loop(&engine, &stop))
             .ok()
     };
-    Ok(ServerHandle { addr, stop, accept: Some(accept), compactor, engine })
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept: Some(accept),
+        compactor,
+        engine,
+        reactor_stop,
+        exec_pool,
+    })
 }
 
 /// Polls for stale or short segment encodings and re-seals them. Backs off
@@ -168,6 +278,7 @@ fn accept_loop(
             continue;
         };
         let stats = engine.stats();
+        stats.accepts_total.fetch_add(1, Ordering::Relaxed);
         if stats.active_connections.load(Ordering::Relaxed) >= max_connections {
             stats.conn_rejected.fetch_add(1, Ordering::Relaxed);
             let mut w = BufWriter::new(&stream);

@@ -9,12 +9,24 @@
 //! `unknown_statement` error, never unbounded memory.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use astore_sql::prepared::Prepared;
 
 /// Default per-session statement capacity.
 pub const DEFAULT_STATEMENTS_PER_SESSION: usize = 64;
+
+/// Registries currently alive in this process. Connection teardown must
+/// drop the session registry promptly — tests assert this count returns to
+/// its baseline after open/close churn, so a leak in either io model's
+/// lifecycle shows up as a number, not an OOM.
+static LIVE_REGISTRIES: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of [`StatementRegistry`] values currently alive.
+pub fn live_registries() -> usize {
+    LIVE_REGISTRIES.load(Ordering::SeqCst)
+}
 
 /// A registered statement: the planned template plus the canonical key it
 /// was planned under — the key labels this statement's executions in the
@@ -45,6 +57,7 @@ impl Default for StatementRegistry {
 impl StatementRegistry {
     /// A registry holding at most `capacity` statements.
     pub fn with_capacity(capacity: usize) -> Self {
+        LIVE_REGISTRIES.fetch_add(1, Ordering::SeqCst);
         StatementRegistry {
             stmts: HashMap::new(),
             order: VecDeque::new(),
@@ -98,6 +111,12 @@ impl StatementRegistry {
     /// Returns `true` if no statements are registered.
     pub fn is_empty(&self) -> bool {
         self.stmts.is_empty()
+    }
+}
+
+impl Drop for StatementRegistry {
+    fn drop(&mut self) {
+        LIVE_REGISTRIES.fetch_sub(1, Ordering::SeqCst);
     }
 }
 

@@ -48,6 +48,18 @@ pub struct ServerStats {
     pub conn_rejected: AtomicU64,
     /// Currently open connections.
     pub active_connections: AtomicUsize,
+    /// Sockets accepted over the server's lifetime (admitted or refused).
+    pub accepts_total: AtomicU64,
+    /// Times the reactor paused reading a connection because its write
+    /// backlog crossed the high watermark.
+    pub reads_blocked_on_backpressure: AtomicU64,
+    /// Per-connection pipeline depth (queued + in-flight requests)
+    /// observed as each complete frame arrived. Depth 1 = no pipelining.
+    pub pipeline_depth: LatencyHistogram,
+    /// Queue wait per priority class, indexed by
+    /// [`Priority`](crate::sched::Priority) discriminant
+    /// (metadata / interactive / scan).
+    pub queue_wait: [LatencyHistogram; 3],
     /// Resident bytes of the compressed (encoded) sealed segments.
     /// Gauge, not counter: overwritten at boot and after each checkpoint.
     pub encoded_bytes: AtomicU64,
@@ -82,6 +94,10 @@ impl Default for ServerStats {
             rejected: AtomicU64::new(0),
             conn_rejected: AtomicU64::new(0),
             active_connections: AtomicUsize::new(0),
+            accepts_total: AtomicU64::new(0),
+            reads_blocked_on_backpressure: AtomicU64::new(0),
+            pipeline_depth: LatencyHistogram::new(),
+            queue_wait: [LatencyHistogram::new(), LatencyHistogram::new(), LatencyHistogram::new()],
             encoded_bytes: AtomicU64::new(0),
             raw_bytes: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
@@ -143,6 +159,19 @@ impl ServerStats {
                 "active_connections",
                 Json::Int(self.active_connections.load(Ordering::Relaxed) as i64),
             ),
+            // Same gauge under the reactor-era name; `active_connections`
+            // stays for callers written against the thread model.
+            ("open_connections", Json::Int(self.active_connections.load(Ordering::Relaxed) as i64)),
+            ("accepts_total", Json::Int(self.accepts_total.load(Ordering::Relaxed) as i64)),
+            (
+                "reads_blocked_on_backpressure",
+                Json::Int(self.reads_blocked_on_backpressure.load(Ordering::Relaxed) as i64),
+            ),
+            ("pipeline_depth_count", Json::Int(self.pipeline_depth.count() as i64)),
+            ("pipeline_depth_p50", Json::Int(self.pipeline_depth.quantile_us(0.50) as i64)),
+            ("pipeline_depth_p99", Json::Int(self.pipeline_depth.quantile_us(0.99) as i64)),
+            ("pipeline_depth_max", Json::Int(self.pipeline_depth.max_us() as i64)),
+            ("queue_wait", self.queue_wait_json()),
             ("encoded_bytes", Json::Int(self.encoded_bytes.load(Ordering::Relaxed) as i64)),
             ("raw_bytes", Json::Int(self.raw_bytes.load(Ordering::Relaxed) as i64)),
             ("cache_hits", Json::Int(cache.hits() as i64)),
@@ -155,6 +184,23 @@ impl ServerStats {
             ("latency_p99_us", Json::Int(self.latency.quantile_us(0.99) as i64)),
             ("latency_max_us", Json::Int(self.latency.max_us() as i64)),
         ])
+    }
+
+    /// The `queue_wait` member of the stats payload: one object per
+    /// priority class with count and the monitoring quantiles.
+    fn queue_wait_json(&self) -> Json {
+        Json::obj(crate::sched::Priority::ALL.map(|p| {
+            let h = &self.queue_wait[p as usize];
+            (
+                p.as_str(),
+                Json::obj([
+                    ("count", Json::Int(h.count() as i64)),
+                    ("p50_us", Json::Int(h.quantile_us(0.50) as i64)),
+                    ("p99_us", Json::Int(h.quantile_us(0.99) as i64)),
+                    ("max_us", Json::Int(h.max_us() as i64)),
+                ]),
+            )
+        }))
     }
 }
 
