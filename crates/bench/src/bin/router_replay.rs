@@ -1,0 +1,96 @@
+//! `router_replay` — replay the SSB flight under each fixed engine and the
+//! adaptive router, gate on the router's regret, and emit
+//! `BENCH_router.json`.
+//!
+//! ```text
+//! ASTORE_SF=0.1 cargo run --release -p astore-bench --bin router_replay
+//! ```
+//!
+//! Environment:
+//! - `ASTORE_SF` — SSB scale factor (default 0.1)
+//! - `ASTORE_ROUNDS` — measured rounds per strategy (default 3)
+//! - `ASTORE_OUT` — output path (default `BENCH_router.json`)
+//!
+//! Exit status is nonzero when a gate fails: any result mismatch, regret
+//! above 15% of the best-of oracle, or a router total at or above the worst
+//! fixed strategy.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+use astore_bench::replay::{run_replay, SSB_SQL};
+use astore_datagen::ssb;
+use astore_server::{Engine, RouterConfig};
+use astore_storage::snapshot::SharedDatabase;
+
+/// Regret gate: the adaptive pass may cost at most 15% more than the
+/// clairvoyant per-query best of the fixed strategies.
+const MAX_REGRET: f64 = 0.15;
+
+fn main() {
+    let sf: f64 = std::env::var("ASTORE_SF").ok().and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let rounds: usize =
+        std::env::var("ASTORE_ROUNDS").ok().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let out_path = std::env::var("ASTORE_OUT").unwrap_or_else(|_| "BENCH_router.json".into());
+    // Warmup rounds for the adaptive pass: enough that every template
+    // clears the router's warmup window and has explored each arm once.
+    let warmup_rounds = 3usize;
+
+    let t = Instant::now();
+    let db = ssb::generate(sf, 42);
+    let rows: usize = db.table_names().iter().map(|n| db.table(n).unwrap().num_live()).sum();
+    eprintln!("generated ssb sf={sf} ({rows} rows) in {:.1?}", t.elapsed());
+
+    let engine = Engine::new(SharedDatabase::new(db))
+        .router_config(RouterConfig { warmup: 2, ..RouterConfig::default() });
+
+    let t = Instant::now();
+    let outcome = run_replay(&engine, rounds, warmup_rounds);
+    eprintln!(
+        "replayed {} queries x {} strategies in {:.1?}",
+        SSB_SQL.len(),
+        outcome.fixed.len() + 1,
+        t.elapsed()
+    );
+
+    for run in &outcome.fixed {
+        eprintln!(
+            "  fixed {:>6}: {:>9} us  ({} mismatches)",
+            run.name,
+            run.total_us(),
+            run.mismatches
+        );
+    }
+    eprintln!(
+        "  oracle      : {:>9} us\n  router      : {:>9} us  regret {:+.1}%  \
+         decisions air/join/denorm = {}/{}/{}",
+        outcome.oracle_us,
+        outcome.router.total_us(),
+        outcome.regret * 100.0,
+        outcome.decisions[0],
+        outcome.decisions[1],
+        outcome.decisions[2],
+    );
+
+    let json = outcome.to_json(sf, rounds, warmup_rounds);
+    std::fs::write(&out_path, format!("{json}\n")).unwrap_or_else(|e| {
+        eprintln!("could not write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out_path}");
+
+    if !outcome.passes(MAX_REGRET) {
+        eprintln!(
+            "GATE FAILED: mismatches={} regret={:.3} (max {MAX_REGRET}) \
+             router={}us worst_fixed={}us",
+            outcome.total_mismatches,
+            outcome.regret,
+            outcome.router.total_us(),
+            outcome.worst_fixed_us,
+        );
+        std::process::exit(1);
+    }
+    eprintln!("gates passed: zero mismatches, regret <= {MAX_REGRET}, beats worst fixed strategy");
+}

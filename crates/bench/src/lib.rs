@@ -11,6 +11,8 @@
 
 use std::time::{Duration, Instant};
 
+pub mod replay;
+
 pub use std::hint::black_box;
 
 /// Runs `f` `runs` times and returns the *shortest* wall time plus the last

@@ -47,6 +47,13 @@ impl CoreBudget {
         self.denied.load(Ordering::Relaxed)
     }
 
+    /// Permits currently free (`total − in_use`, saturating: the baseline
+    /// overshoot clamps to zero). The scheduler's scan gate reads this to
+    /// hold scan-class work back while every core is granted.
+    pub fn available(&self) -> usize {
+        self.total.saturating_sub(self.in_use())
+    }
+
     /// Takes the baseline permit of one executing statement. Never fails:
     /// the statement's worker thread exists and will run regardless, so
     /// refusing the permit would not free its core — admission control (the

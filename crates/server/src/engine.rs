@@ -34,8 +34,12 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use astore_core::exec::{execute, ExecOptions};
+use astore_baseline::engine::execute_hash_pipeline;
+use astore_core::exec::{execute, ExecOptions, ExecOutput};
+use astore_core::graph::JoinGraph;
 use astore_core::query::Query;
+use astore_core::result::QueryResult;
+use astore_core::universal::bind_root;
 use astore_obs::TraceBuf;
 use astore_persist::apply::{apply_statement, validate_statement};
 use astore_persist::store;
@@ -43,7 +47,9 @@ use astore_persist::wal::Wal;
 use astore_sql::prepared::{
     canonicalize, extract_select_params, prepare_template, BoundStatement, PrepareError, Prepared,
 };
-use astore_sql::statement::{parse_template, strip_explain_analyze, Statement, StatementTemplate};
+use astore_sql::statement::{
+    parse_template, strip_explain, strip_explain_analyze, Statement, StatementTemplate,
+};
 use astore_storage::catalog::Database;
 use astore_storage::snapshot::SharedDatabase;
 use astore_storage::types::Value;
@@ -52,6 +58,7 @@ use crate::budget::CoreBudget;
 use crate::cache::PlanCache;
 use crate::json::Json;
 use crate::metrics::{render_prometheus, SlowLog, TemplateStats};
+use crate::router::{query_rewritable, DenormCache, EngineChoice, Features, Router, RouterConfig};
 use crate::session::StatementRegistry;
 use crate::stats::ServerStats;
 
@@ -194,7 +201,9 @@ pub struct Engine {
     templates: TemplateStats,
     slowlog: SlowLog,
     opts: ExecOptions,
-    budget: CoreBudget,
+    budget: Arc<CoreBudget>,
+    router: Router,
+    denorm_cache: DenormCache,
     durability: Option<Durability>,
     /// Write staging area (see [`CommitState`]).
     commit: Mutex<CommitState>,
@@ -235,7 +244,7 @@ impl Engine {
                 opts.threads
             );
         }
-        let budget = CoreBudget::new(cores);
+        let budget = Arc::new(CoreBudget::new(cores));
         let engine = Engine {
             db,
             cache: PlanCache::default(),
@@ -244,6 +253,8 @@ impl Engine {
             slowlog: SlowLog::default(),
             opts,
             budget,
+            router: Router::new(RouterConfig::default()),
+            denorm_cache: DenormCache::new(),
             durability: None,
             commit: Mutex::new(CommitState::default()),
             commit_lock: Mutex::new(()),
@@ -297,13 +308,38 @@ impl Engine {
     /// Overrides the core-budget size (tests; production sizing is
     /// automatic in [`Engine::with_options`]).
     pub fn core_budget(mut self, total: usize) -> Self {
-        self.budget = CoreBudget::new(total);
+        self.budget = Arc::new(CoreBudget::new(total));
         self
     }
 
     /// The global core budget.
     pub fn budget(&self) -> &CoreBudget {
         &self.budget
+    }
+
+    /// A shareable handle to the core budget, for wiring the same permit
+    /// pool into the scheduler's scan gate
+    /// ([`crate::sched::PriorityPool::with_budget`]).
+    pub fn budget_handle(&self) -> Arc<CoreBudget> {
+        Arc::clone(&self.budget)
+    }
+
+    /// Replaces the adaptive router's configuration (`--engine` pin,
+    /// explore cadence, warmup window). Construction-time only: any learned
+    /// per-template history is discarded.
+    pub fn router_config(mut self, config: RouterConfig) -> Self {
+        self.router = Router::new(config);
+        self
+    }
+
+    /// The adaptive engine router.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// The denormalized-materialization cache (epoch-invalidated on write).
+    pub fn denorm_cache(&self) -> &DenormCache {
+        &self.denorm_cache
     }
 
     /// Attaches a durability layer: writes are WAL-logged before they are
@@ -514,7 +550,7 @@ impl Engine {
     pub fn handle_request(&self, req: &Json, session: &mut StatementRegistry) -> Json {
         use std::sync::atomic::Ordering::Relaxed;
         if let Some(sql) = req.get("sql").and_then(Json::as_str) {
-            self.timed(|| self.run_statement(sql))
+            self.timed(|| self.run_statement(sql, session))
         } else if let Some(sql) = req.get("prepare").and_then(Json::as_str) {
             match self.run_prepare(sql, session) {
                 Ok(ok) => ok,
@@ -557,6 +593,16 @@ impl Engine {
                         m.insert("delta_rows".into(), Json::Int(delta as i64));
                         m.insert("db_version".into(), Json::Int(snap.version() as i64));
                         m.insert("templates".into(), self.templates.to_json());
+                        let rsnap = self.router.snapshot();
+                        m.insert(
+                            "router_templates".into(),
+                            Json::Int(rsnap.templates.len() as i64),
+                        );
+                        m.insert("router_regret_us".into(), Json::Float(rsnap.total_regret_us));
+                        m.insert(
+                            "denorm_cache_entries".into(),
+                            Json::Int(self.denorm_cache.len() as i64),
+                        );
                     }
                     Json::obj([("ok", Json::Bool(true)), ("stats", s)])
                 }
@@ -621,9 +667,21 @@ impl Engine {
     /// shared plan cache, bind the extracted literals back, execute. Two
     /// literal variants of the same query — or two formattings of it —
     /// share one plan.
-    fn run_statement(&self, sql: &str) -> Result<Json, Json> {
+    fn run_statement(&self, sql: &str, session: &mut StatementRegistry) -> Result<Json, Json> {
+        if let Some(parsed) = parse_set_engine(sql) {
+            let pin = parsed.map_err(|m| error_frame(ErrorCode::ParseError, m))?;
+            session.set_engine_pin(pin);
+            return Ok(Json::obj([
+                ("ok", Json::Bool(true)),
+                ("engine", Json::Str(pin.map_or("auto", EngineChoice::as_str).to_owned())),
+            ]));
+        }
+        let pin = session.engine_pin();
         if let Some(inner) = strip_explain_analyze(sql) {
-            return self.run_explain_analyze(inner);
+            return self.run_explain_analyze(inner, pin);
+        }
+        if let Some(inner) = strip_explain(sql) {
+            return self.run_explain(inner, pin);
         }
         let mut tmpl =
             parse_template(sql).map_err(|e| error_frame(ErrorCode::ParseError, e.to_string()))?;
@@ -643,7 +701,8 @@ impl Engine {
             let (prepared, cached) = self.cached_plan(key.clone(), tmpl, &snap)?;
             let bind_code =
                 if explicit_params { ErrorCode::ParamError } else { ErrorCode::PlanError };
-            let out = self.exec_select(&snap, &prepared, &inline, cached, bind_code, None);
+            let out =
+                self.exec_select(&snap, &prepared, &inline, cached, bind_code, None, &key, pin);
             if out.is_ok() {
                 self.observe_template(&key, t);
             }
@@ -673,7 +732,7 @@ impl Engine {
     /// the query result plus an `analyze` member: the executed plan
     /// annotated with actual per-phase times, morsel spans and per-segment
     /// prune decisions.
-    fn run_explain_analyze(&self, sql: &str) -> Result<Json, Json> {
+    fn run_explain_analyze(&self, sql: &str, pin: Option<EngineChoice>) -> Result<Json, Json> {
         let mut tmpl =
             parse_template(sql).map_err(|e| error_frame(ErrorCode::ParseError, e.to_string()))?;
         let explicit_params = tmpl.param_count() > 0;
@@ -691,7 +750,8 @@ impl Engine {
         let (prepared, cached) = self.cached_plan(key.clone(), tmpl, &snap)?;
         let bind_code = if explicit_params { ErrorCode::ParamError } else { ErrorCode::PlanError };
         let trace = Arc::new(TraceBuf::new());
-        let out = self.exec_select(&snap, &prepared, &inline, cached, bind_code, Some(trace));
+        let out =
+            self.exec_select(&snap, &prepared, &inline, cached, bind_code, Some(trace), &key, pin);
         if out.is_ok() {
             self.observe_template(&key, t);
         }
@@ -784,7 +844,16 @@ impl Engine {
         let t = Instant::now();
         let out = if prepared.is_select() {
             let snap = self.db.snapshot();
-            self.exec_select(&snap, &prepared, &params, true, ErrorCode::ParamError, None)
+            self.exec_select(
+                &snap,
+                &prepared,
+                &params,
+                true,
+                ErrorCode::ParamError,
+                None,
+                &registered.key,
+                session.engine_pin(),
+            )
         } else {
             let stmt = match prepared
                 .bind(&params)
@@ -802,14 +871,21 @@ impl Engine {
         out
     }
 
-    /// Binds parameters into a prepared SELECT and executes it against a
-    /// snapshot, under the core budget's fan-out grant. `bind_code` is the
-    /// error code a bind failure maps to: `param_error` when the client
-    /// supplied the parameters, `plan_error` when they are auto-extracted
-    /// literals of a text-mode statement (the client never wrote a `$n`).
-    /// With `trace` attached (the `EXPLAIN ANALYZE` path), spans are
-    /// recorded during execution and the response gains an `analyze`
-    /// member: the rendered plan + span tree.
+    /// Binds parameters into a prepared SELECT, routes it to an engine, and
+    /// executes it against a snapshot. `bind_code` is the error code a bind
+    /// failure maps to: `param_error` when the client supplied the
+    /// parameters, `plan_error` when they are auto-extracted literals of a
+    /// text-mode statement (the client never wrote a `$n`). With `trace`
+    /// attached (the `EXPLAIN ANALYZE` path), spans are recorded during
+    /// execution and the response gains an `analyze` member.
+    ///
+    /// Engine dispatch: the adaptive [`Router`] picks AIR, the hash-join
+    /// baseline, or a cached denormalized scan per canonical template
+    /// (`key`), honoring a session/server `pin`. The non-AIR arms are bound
+    /// by a hard result-identity contract and **fall back to AIR** on any
+    /// engine failure or unrewritable shape — routing can never fail a
+    /// query that forced-AIR would answer. The observed engine latency
+    /// feeds the router's per-arm history and the per-engine histograms.
     #[allow(clippy::too_many_arguments)]
     fn exec_select(
         &self,
@@ -819,6 +895,8 @@ impl Engine {
         cached: bool,
         bind_code: ErrorCode,
         trace: Option<Arc<TraceBuf>>,
+        key: &str,
+        pin: Option<EngineChoice>,
     ) -> Result<Json, Json> {
         use std::sync::atomic::Ordering::Relaxed;
         let query = match prepared.bind(params).map_err(|e| match bind_code {
@@ -833,61 +911,256 @@ impl Engine {
                 return Err(error_frame(ErrorCode::BadRequest, "statement is not a SELECT"))
             }
         };
-        // Intra-query fan-out: the planner sizes the request from the
-        // estimated scan, the core budget grants what the rest of the
-        // server is not using right now. Zero grant = serial — never
-        // blocking, never oversubscribing.
-        let want =
-            self.opts.optimizer.plan_threads(estimated_scan_rows(snap, &query), self.opts.threads);
-        let extra = self.budget.try_extra(want.saturating_sub(1));
-        let mut exec_opts = ExecOptions { threads: 1 + extra.held(), ..self.opts.clone() };
-        if let Some(t) = &trace {
-            exec_opts = exec_opts.trace(Arc::clone(t));
-        }
-        let out = execute(snap, &query, &exec_opts)
-            .map_err(|e| error_frame(ErrorCode::ExecError, e.to_string()))?;
-        drop(extra);
+        let eligible = self.engine_eligibility(snap, &query, key);
+        let decision = self.router.decide(key, eligible, pin);
+        let mut engine_used = decision.choice;
+        let t_engine = Instant::now();
+        let run = match decision.choice {
+            EngineChoice::Air => self.run_air(snap, &query, &trace)?,
+            EngineChoice::Join => match self.run_join(snap, &query, trace.is_some()) {
+                Some(r) => r,
+                None => {
+                    engine_used = EngineChoice::Air;
+                    self.run_air(snap, &query, &trace)?
+                }
+            },
+            EngineChoice::Denorm => match self.run_denorm(snap, &query, key, trace.is_some()) {
+                Some(r) => r,
+                None => {
+                    engine_used = EngineChoice::Air;
+                    self.run_air(snap, &query, &trace)?
+                }
+            },
+        };
+        let engine_us = t_engine.elapsed().as_micros() as u64;
+        let obs = self.router.observe(key, engine_used, engine_us as f64);
+        self.stats.engine_latency[engine_used.index()].record(engine_us);
+        let (result, scanned, pruned, parallel, denied) = match &run {
+            EngineRun::Air { out, want } => (
+                &out.result,
+                out.plan.segments_scanned,
+                out.plan.segments_pruned,
+                out.plan.executor.is_parallel(),
+                // The planner wanted to fan out but the query ran serial
+                // (budget exhausted or final row-count clamp). A fully-pruned
+                // scan is excluded: zone maps proving there is nothing to scan
+                // is not a denial.
+                !out.plan.executor.is_parallel() && *want > 1 && out.plan.segments_scanned > 0,
+            ),
+            EngineRun::Other { result, .. } => (result, 0, 0, false, false),
+        };
         {
             // One statement's counter updates form one seqlock write
             // group, so a concurrent stats snapshot sees all of them or
             // none (e.g. never pruned bumped but scanned not yet).
             let _group = self.stats.group.begin_write();
-            if out.plan.executor.is_parallel() {
+            self.stats.router_decisions[engine_used.index()].fetch_add(1, Relaxed);
+            if obs.mispredicted {
+                self.stats.router_mispredictions.fetch_add(1, Relaxed);
+            }
+            if parallel {
                 self.stats.parallel_queries.fetch_add(1, Relaxed);
-            } else if want > 1 && out.plan.segments_scanned > 0 {
-                // The planner wanted to fan out but the query ran serial
-                // (budget exhausted or final row-count clamp). A fully-pruned
-                // scan is excluded: zone maps proving there is nothing to scan
-                // is not a denial.
+            } else if denied {
                 self.stats.parallel_denied.fetch_add(1, Relaxed);
             }
-            self.stats.segments_scanned.fetch_add(out.plan.segments_scanned as u64, Relaxed);
-            self.stats.segments_pruned.fetch_add(out.plan.segments_pruned as u64, Relaxed);
+            self.stats.segments_scanned.fetch_add(scanned as u64, Relaxed);
+            self.stats.segments_pruned.fetch_add(pruned as u64, Relaxed);
             self.stats.queries.fetch_add(1, Relaxed);
         }
         let mut frame = Json::obj([
             ("ok", Json::Bool(true)),
-            ("columns", Json::Array(out.result.columns.iter().cloned().map(Json::Str).collect())),
+            ("columns", Json::Array(result.columns.iter().cloned().map(Json::Str).collect())),
             (
                 "rows",
                 Json::Array(
-                    out.result
+                    result
                         .rows
                         .iter()
                         .map(|r| Json::Array(r.iter().map(value_to_json).collect()))
                         .collect(),
                 ),
             ),
-            ("row_count", Json::Int(out.result.rows.len() as i64)),
+            ("row_count", Json::Int(result.rows.len() as i64)),
             ("cached_plan", Json::Bool(cached)),
-            ("segments_scanned", Json::Int(out.plan.segments_scanned as i64)),
-            ("segments_pruned", Json::Int(out.plan.segments_pruned as i64)),
+            ("engine", Json::Str(engine_used.as_str().to_owned())),
+            ("segments_scanned", Json::Int(scanned as i64)),
+            ("segments_pruned", Json::Int(pruned as i64)),
         ]);
         if let (Some(t), Json::Object(m)) = (&trace, &mut frame) {
-            let lines = astore_core::analyze::render_analyze(&out, t);
+            let mut lines = vec![format!(
+                "router: engine={} reason={} elapsed={engine_us}us",
+                engine_used.as_str(),
+                decision.reason.as_str()
+            )];
+            match &run {
+                EngineRun::Air { out, .. } => {
+                    lines.extend(astore_core::analyze::render_analyze(out, t));
+                }
+                EngineRun::Other { lines: engine_lines, .. } => {
+                    lines.extend(engine_lines.iter().cloned());
+                }
+            }
             m.insert("analyze".into(), Json::Array(lines.into_iter().map(Json::Str).collect()));
         }
         Ok(frame)
+    }
+
+    /// Which engines can serve this query. AIR always can. Neither the
+    /// join pipeline's universal relation nor the denormalized wide table
+    /// carries positional row addresses, so any `rowid` predicate is
+    /// AIR-only. Denorm is additionally gated on fact size (materializing a
+    /// huge fact would dwarf any benefit) and on the cached shape probe.
+    fn engine_eligibility(&self, snap: &Database, query: &Query, key: &str) -> [bool; 3] {
+        let uses_rowid = query.selections.iter().any(|(_, p)| p.columns().contains(&"rowid"));
+        let mut eligible = [true; 3];
+        eligible[EngineChoice::Join.index()] = !uses_rowid;
+        eligible[EngineChoice::Denorm.index()] = !uses_rowid
+            && estimated_scan_rows(snap, query) <= self.router.config().denorm_max_fact_rows
+            && self.router.denorm_rewritable(key) != Some(false);
+        eligible
+    }
+
+    /// The production AIR arm: morsel fan-out under the core budget's
+    /// grant. Zero grant = serial — never blocking, never oversubscribing.
+    fn run_air(
+        &self,
+        snap: &Arc<Database>,
+        query: &Query,
+        trace: &Option<Arc<TraceBuf>>,
+    ) -> Result<EngineRun, Json> {
+        let want =
+            self.opts.optimizer.plan_threads(estimated_scan_rows(snap, query), self.opts.threads);
+        let extra = self.budget.try_extra(want.saturating_sub(1));
+        let mut exec_opts = ExecOptions { threads: 1 + extra.held(), ..self.opts.clone() };
+        if let Some(t) = trace {
+            exec_opts = exec_opts.trace(Arc::clone(t));
+        }
+        let out = execute(snap, query, &exec_opts)
+            .map_err(|e| error_frame(ErrorCode::ExecError, e.to_string()))?;
+        drop(extra);
+        Ok(EngineRun::Air { out, want })
+    }
+
+    /// The hash-join baseline arm. `None` = engine failure; the caller
+    /// falls back to AIR, so a routed query never fails where forced AIR
+    /// would succeed.
+    fn run_join(&self, snap: &Database, query: &Query, traced: bool) -> Option<EngineRun> {
+        let hp = execute_hash_pipeline(snap, query).ok()?;
+        let lines = if traced {
+            vec![format!(
+                "engine: join  build={}us probe={}us selected_rows={}",
+                hp.build_time.as_micros(),
+                hp.probe_time.as_micros(),
+                hp.selected_rows
+            )]
+        } else {
+            Vec::new()
+        };
+        Some(EngineRun::Other { result: hp.result, lines })
+    }
+
+    /// The cached-denormalization arm: rewrite the query onto the wide
+    /// table and scan it serially. The cache entry is epoch-validated
+    /// against this snapshot, so a write to any folded table forces a
+    /// rebuild — stale rows are never served. An unrewritable shape is
+    /// remembered (`set_denorm_rewritable`) so the router stops offering
+    /// this arm for the template; `None` falls back to AIR.
+    fn run_denorm(
+        &self,
+        snap: &Arc<Database>,
+        query: &Query,
+        key: &str,
+        traced: bool,
+    ) -> Option<EngineRun> {
+        let graph = JoinGraph::build(snap);
+        let root = bind_root(&graph, query.root.as_deref(), &query.referenced_tables()).ok()?;
+        let entry = self.denorm_cache.get_or_build(snap, &root).ok()?;
+        if !query_rewritable(&entry.denorm, query, &root) {
+            self.router.set_denorm_rewritable(key, false);
+            return None;
+        }
+        self.router.set_denorm_rewritable(key, true);
+        let wide = entry.denorm.rewrite(query, &root);
+        let exec_opts = ExecOptions { threads: 1, ..self.opts.clone() };
+        let out = execute(&entry.denorm.db, &wide, &exec_opts).ok()?;
+        let lines = if traced {
+            vec![format!(
+                "engine: denorm  wide={} wide_rows={} segments_scanned={}",
+                entry.denorm.wide_name,
+                entry.denorm.table().num_live(),
+                out.plan.segments_scanned
+            )]
+        } else {
+            Vec::new()
+        };
+        Some(EngineRun::Other { result: out.result, lines })
+    }
+
+    /// Bare `EXPLAIN <select>`: plans the statement and previews the
+    /// router's verdict — engine, reason, the static feature vector, the
+    /// per-arm latency history and regret-to-date — without executing
+    /// anything or perturbing the learned state ([`Router::peek`]).
+    fn run_explain(&self, sql: &str, pin: Option<EngineChoice>) -> Result<Json, Json> {
+        let mut tmpl =
+            parse_template(sql).map_err(|e| error_frame(ErrorCode::ParseError, e.to_string()))?;
+        let explicit_params = tmpl.param_count() > 0;
+        let inline = extract_select_params(&mut tmpl);
+        if !tmpl.is_select() {
+            return Err(error_frame(
+                ErrorCode::PlanError,
+                "EXPLAIN supports SELECT statements only",
+            ));
+        }
+        let key = canonicalize(&mut tmpl);
+        let snap = self.db.snapshot();
+        let (prepared, cached) = self.cached_plan(key.clone(), tmpl, &snap)?;
+        let bind_code = if explicit_params { ErrorCode::ParamError } else { ErrorCode::PlanError };
+        let query =
+            match prepared.bind(&inline).map_err(|e| error_frame(bind_code, e.to_string()))? {
+                BoundStatement::Select(q) => q,
+                BoundStatement::Write(_) => {
+                    return Err(error_frame(ErrorCode::BadRequest, "statement is not a SELECT"))
+                }
+            };
+        let features = Features::extract(&snap, &query);
+        let eligible = self.engine_eligibility(&snap, &query, &key);
+        let decision = self.router.peek(&key, eligible, pin);
+        let (top_name, top_value) = features.top_feature();
+        let eligible_list = EngineChoice::ALL
+            .into_iter()
+            .filter(|e| eligible[e.index()])
+            .map(EngineChoice::as_str)
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut lines = vec![
+            format!("engine: {} ({})", decision.choice.as_str(), decision.reason.as_str()),
+            format!("template: {key}"),
+            format!(
+                "features: fact_rows_live={} segments={}/{} group_domain={} selectivity={:.4}",
+                features.fact_rows_live,
+                features.segments_surviving,
+                features.segments_total,
+                features.group_domain,
+                features.selectivity
+            ),
+            format!("top_feature: {top_name}={top_value:.4}"),
+            format!("eligible: {eligible_list}"),
+        ];
+        if let Some(ts) = self.router.template_snapshot(&key) {
+            for e in EngineChoice::ALL {
+                let (tries, ewma) = ts.arms[e.index()];
+                lines.push(format!("arm: {} tries={tries} ewma_us={ewma:.0}", e.as_str()));
+            }
+            lines.push(format!("regret_us: {:.0}", ts.regret_us));
+        }
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("engine", Json::Str(decision.choice.as_str().to_owned())),
+            ("reason", Json::Str(decision.reason.as_str().to_owned())),
+            ("top_feature", Json::Str(top_name.to_owned())),
+            ("cached_plan", Json::Bool(cached)),
+            ("explain", Json::Array(lines.into_iter().map(Json::Str).collect())),
+        ]))
     }
 
     /// Commits one concrete write statement through the group-commit
@@ -1054,6 +1327,35 @@ impl Engine {
         }
         installed
     }
+}
+
+/// One engine arm's execution output: the AIR path keeps its full
+/// [`ExecOutput`] (plan diagnostics + trace-renderable spans); the join and
+/// denorm arms produce bare rows plus pre-rendered analyze lines.
+enum EngineRun {
+    /// The AIR scan ran, under a fan-out request of `want` threads.
+    Air { out: ExecOutput, want: usize },
+    /// A non-AIR arm ran.
+    Other { result: QueryResult, lines: Vec<String> },
+}
+
+/// Recognizes `SET engine = air|join|denorm|auto` (case-insensitive,
+/// `=` optional, trailing `;` tolerated). `None` = not a SET-engine
+/// statement; `Some(Err)` = it is one, with a bad value.
+fn parse_set_engine(sql: &str) -> Option<Result<Option<EngineChoice>, String>> {
+    let s = sql.trim().trim_end_matches(';').trim();
+    let mut words = s.split_whitespace();
+    if !words.next()?.eq_ignore_ascii_case("set") {
+        return None;
+    }
+    let rest = words.collect::<Vec<_>>().join(" ");
+    let lower = rest.to_ascii_lowercase();
+    let after = lower.strip_prefix("engine")?;
+    let value = after.trim_start().trim_start_matches('=').trim();
+    if value.is_empty() {
+        return Some(Err("SET engine takes a value: air|join|denorm|auto".to_owned()));
+    }
+    Some(EngineChoice::parse(value))
 }
 
 /// Converts one wire parameter to a storage value. Booleans and nested
@@ -1912,6 +2214,171 @@ mod tests {
         let rec = astore_persist::store::open(&dir).unwrap();
         assert_eq!(rec.db.table("fact").unwrap().num_live(), expect, "no acked write lost");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn sqls(e: &Engine, session: &mut StatementRegistry, s: &str) -> Json {
+        e.handle_line_session(&Json::obj([("sql", Json::Str(s.into()))]).to_string(), session)
+    }
+
+    #[test]
+    fn set_engine_pins_the_session_and_results_stay_identical() {
+        let e = engine();
+        let mut session = StatementRegistry::default();
+        let q = "SELECT d_name, sum(f_v) AS total FROM fact, dim GROUP BY d_name ORDER BY d_name";
+        let air = sqls(&e, &mut session, q);
+        assert_eq!(air.get("engine").unwrap().as_str(), Some("air"), "{air:?}");
+
+        for engine_name in ["join", "denorm"] {
+            let r = sqls(&e, &mut session, &format!("SET engine = {engine_name}"));
+            assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+            assert_eq!(r.get("engine").unwrap().as_str(), Some(engine_name));
+            let pinned = sqls(&e, &mut session, q);
+            assert_eq!(pinned.get("engine").unwrap().as_str(), Some(engine_name), "{pinned:?}");
+            assert_eq!(pinned.get("rows"), air.get("rows"), "{engine_name} differs from air");
+            assert_eq!(pinned.get("columns"), air.get("columns"));
+        }
+
+        // `auto` unpins; a bad value is a typed parse error; pins are
+        // per-session (a throwaway-session statement routes adaptively).
+        let r = sqls(&e, &mut session, "SET engine=auto");
+        assert_eq!(r.get("engine").unwrap().as_str(), Some("auto"));
+        let r = sqls(&e, &mut session, "SET engine = quantum");
+        assert_eq!(r.get("code").unwrap().as_str(), Some("parse_error"), "{r:?}");
+        let fresh = sql(&e, q);
+        assert_eq!(fresh.get("engine").unwrap().as_str(), Some("air"), "cold template → warmup");
+    }
+
+    #[test]
+    fn unrewritable_shapes_fall_back_to_air_and_are_remembered() {
+        let e = engine();
+        let mut session = StatementRegistry::default();
+        sqls(&e, &mut session, "SET engine = denorm");
+        // Grouping by a key column: the wide table folds references away,
+        // so the shape probe rejects the rewrite and the query falls back.
+        let q = "SELECT f_dim, count(*) AS c FROM fact GROUP BY f_dim ORDER BY f_dim";
+        let r = sqls(&e, &mut session, q);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+        assert_eq!(r.get("engine").unwrap().as_str(), Some("air"), "fallback, not failure");
+        let rows = r.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].as_array().unwrap()[1].as_i64(), Some(2));
+        // The probe is cached: the template's denorm arm stays excluded.
+        let snap = e.router().snapshot();
+        assert_eq!(snap.templates.len(), 1);
+        let r = sqls(&e, &mut session, q);
+        assert_eq!(r.get("engine").unwrap().as_str(), Some("air"));
+    }
+
+    #[test]
+    fn pinned_denorm_rebuilds_after_writes() {
+        // End-to-end epoch invalidation: a pinned-denorm session must see
+        // every committed write — stale wide tables are never served.
+        let e = engine();
+        let mut session = StatementRegistry::default();
+        sqls(&e, &mut session, "SET engine = denorm");
+        let q = "SELECT sum(f_v) AS s FROM fact";
+        let r = sqls(&e, &mut session, q);
+        assert_eq!(r.get("engine").unwrap().as_str(), Some("denorm"), "{r:?}");
+        let sum = |r: &Json| {
+            r.get("rows").unwrap().as_array().unwrap()[0].as_array().unwrap()[0].as_i64().unwrap()
+        };
+        assert_eq!(sum(&r), 60);
+        assert_eq!(e.denorm_cache().len(), 1, "materialization cached");
+
+        sqls(&e, &mut session, "INSERT INTO fact VALUES (1, 40)");
+        let r = sqls(&e, &mut session, q);
+        assert_eq!(r.get("engine").unwrap().as_str(), Some("denorm"));
+        assert_eq!(sum(&r), 100, "write invalidated the cached wide table");
+
+        sqls(&e, &mut session, "UPDATE fact SET f_v = 11 WHERE rowid = 0");
+        let r = sqls(&e, &mut session, q);
+        assert_eq!(sum(&r), 101, "update invalidated it too");
+    }
+
+    #[test]
+    fn router_explores_alternatives_and_counts_decisions() {
+        let e = engine();
+        let q = "SELECT d_name, sum(f_v) AS total FROM fact, dim GROUP BY d_name ORDER BY d_name";
+        let baseline = sql(&e, q);
+        let mut engines_seen = std::collections::HashSet::new();
+        for _ in 0..40 {
+            let r = sql(&e, q);
+            assert_eq!(r.get("rows"), baseline.get("rows"), "result identity across engines");
+            engines_seen.insert(r.get("engine").unwrap().as_str().unwrap().to_owned());
+        }
+        assert!(engines_seen.contains("air"));
+        assert!(engines_seen.len() >= 2, "explore arms tried an alternative: {engines_seen:?}");
+        let snap = e.router().snapshot();
+        assert_eq!(snap.total_decisions, 41);
+        assert_eq!(snap.templates.len(), 1);
+        use std::sync::atomic::Ordering::Relaxed;
+        let by_engine: u64 = e.stats().router_decisions.iter().map(|c| c.load(Relaxed)).sum();
+        assert_eq!(by_engine, 41, "every decision counted in stats");
+    }
+
+    #[test]
+    fn bare_explain_previews_without_executing() {
+        let e = engine();
+        let r = sql(&e, "EXPLAIN SELECT d_name, sum(f_v) AS s FROM fact, dim GROUP BY d_name");
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+        assert_eq!(r.get("engine").unwrap().as_str(), Some("air"), "cold template previews AIR");
+        assert_eq!(r.get("reason").unwrap().as_str(), Some("warmup"));
+        assert!(r.get("rows").is_none(), "EXPLAIN does not execute");
+        let lines: Vec<&str> = r
+            .get("explain")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|l| l.as_str().unwrap())
+            .collect();
+        let joined = lines.join("\n");
+        assert!(joined.contains("features: fact_rows_live=3"), "{joined}");
+        assert!(joined.contains("top_feature:"), "{joined}");
+        assert!(joined.contains("eligible: air,join,denorm"), "{joined}");
+        use std::sync::atomic::Ordering::Relaxed;
+        assert_eq!(e.stats().queries.load(Relaxed), 0, "no query ran");
+        assert_eq!(e.router().snapshot().total_decisions, 0, "no decision consumed");
+        // Writes are rejected with a typed error, same as EXPLAIN ANALYZE.
+        let r = sql(&e, "EXPLAIN INSERT INTO fact VALUES (0, 1)");
+        assert_eq!(r.get("code").unwrap().as_str(), Some("plan_error"), "{r:?}");
+    }
+
+    #[test]
+    fn explain_analyze_names_the_routed_engine() {
+        let e = engine();
+        let mut session = StatementRegistry::default();
+        sqls(&e, &mut session, "SET engine = join");
+        let r = sqls(&e, &mut session, "EXPLAIN ANALYZE SELECT sum(f_v) AS s FROM fact, dim");
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+        assert_eq!(r.get("engine").unwrap().as_str(), Some("join"));
+        let lines: Vec<String> = r
+            .get("analyze")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|l| l.as_str().unwrap().to_owned())
+            .collect();
+        let joined = lines.join("\n");
+        assert!(joined.contains("router: engine=join reason=pinned"), "{joined}");
+        assert!(joined.contains("engine: join"), "{joined}");
+    }
+
+    #[test]
+    fn set_engine_parser_accepts_reasonable_spellings() {
+        for (input, want) in [
+            ("SET engine = air", Some(EngineChoice::Air)),
+            ("set ENGINE=join;", Some(EngineChoice::Join)),
+            ("  SET engine denorm", Some(EngineChoice::Denorm)),
+            ("SET engine=auto", None),
+        ] {
+            assert_eq!(parse_set_engine(input).unwrap().unwrap(), want, "{input}");
+        }
+        assert!(parse_set_engine("SET engine = warp").unwrap().is_err());
+        assert!(parse_set_engine("SET engine").unwrap().is_err());
+        assert!(parse_set_engine("SELECT 1").is_none());
+        assert!(parse_set_engine("SET other = 1").is_none());
     }
 
     #[test]

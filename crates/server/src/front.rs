@@ -63,6 +63,11 @@ fn classify(req: &Json, registry: &Mutex<StatementRegistry>) -> Priority {
 
 fn classify_sql(sql: &str) -> Priority {
     let keyword = sql.split_whitespace().next().unwrap_or("");
+    // Session knobs (`SET engine = ...`) touch no data — answer them ahead
+    // of any queued scan so a pin takes effect on the very next statement.
+    if keyword.eq_ignore_ascii_case("set") {
+        return Priority::Metadata;
+    }
     if keyword.eq_ignore_ascii_case("insert")
         || keyword.eq_ignore_ascii_case("update")
         || keyword.eq_ignore_ascii_case("delete")
@@ -194,6 +199,8 @@ mod tests {
         assert_eq!(classify_sql("DELETE FROM t WHERE rowid = 3"), Priority::Interactive);
         assert_eq!(classify_sql("SELECT v FROM t WHERE rowid = 17"), Priority::Interactive);
         assert_eq!(classify_sql("SELECT v FROM t WHERE ROWID = 17"), Priority::Interactive);
+        assert_eq!(classify_sql("SET engine = join"), Priority::Metadata);
+        assert_eq!(classify_sql("  set engine=auto;"), Priority::Metadata);
     }
 
     #[test]

@@ -112,6 +112,7 @@ pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod pool;
+pub mod router;
 pub mod sched;
 pub mod server;
 pub mod session;
@@ -123,6 +124,7 @@ pub use client::{Client, ClientError};
 pub use engine::{Durability, Engine, ErrorCode};
 pub use front::EngineService;
 pub use metrics::{SlowLog, TemplateStats};
+pub use router::{DenormCache, EngineChoice, Router, RouterConfig};
 pub use sched::{Priority, PriorityPool};
 pub use server::{start, IoModel, ServerConfig, ServerHandle};
 pub use session::StatementRegistry;

@@ -18,7 +18,7 @@ use std::process::exit;
 use std::sync::Arc;
 use std::time::Instant;
 
-use astore_server::{start, Durability, Engine, ServerConfig};
+use astore_server::{start, Durability, Engine, EngineChoice, RouterConfig, ServerConfig};
 use astore_storage::snapshot::SharedDatabase;
 
 fn main() {
@@ -32,6 +32,7 @@ fn main() {
     let mut engine_threads: usize = 1;
     let mut slow_ms: u64 = 0;
     let mut trace = false;
+    let mut engine_pin: Option<EngineChoice> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -67,6 +68,12 @@ fn main() {
                 engine_threads = parse_or_die(&value("--engine-threads"), "--engine-threads")
             }
             "--slow-ms" => slow_ms = parse_or_die(&value("--slow-ms"), "--slow-ms"),
+            "--engine" => {
+                engine_pin = EngineChoice::parse(&value("--engine")).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    exit(2);
+                })
+            }
             "--trace" => trace = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -133,6 +140,10 @@ fn main() {
     }
     let exec_opts = astore_core::exec::ExecOptions::default().threads(engine_threads.max(1));
     let mut engine = Engine::with_options(SharedDatabase::new(db), exec_opts).slow_ms(slow_ms);
+    if engine_pin.is_some() {
+        engine =
+            engine.router_config(RouterConfig { pinned: engine_pin, ..RouterConfig::default() });
+    }
     if let Some(d) = durability {
         engine = engine.durable(d);
     }
@@ -228,6 +239,11 @@ flags:
                           inter-query parallelism never oversubscribe cores
   --slow-ms <n>           capture statements slower than n ms in the
                           {\"cmd\":\"slowlog\"} ring buffer (default 0 = off)
+  --engine <e>            air | join | denorm | auto (default auto). Pins
+                          every SELECT to one execution engine server-wide;
+                          auto lets the adaptive router pick per template
+                          from observed latencies. Sessions can override
+                          with SET engine = <e>
   --trace                 arm the runtime tracing toggle: engine timing
                           counters (WAL fsync, checkpoint) are sampled and
                           exposed via {\"cmd\":\"metrics\"}";

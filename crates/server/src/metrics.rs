@@ -338,10 +338,30 @@ pub fn render_prometheus(
         ),
         ("astore_server_plan_cache_hits_total", "Plan-cache hits.", cache.hits()),
         ("astore_server_plan_cache_misses_total", "Plan-cache misses.", cache.misses()),
+        (
+            "astore_server_router_mispredictions_total",
+            "Routed executions that ran >1.5x the best tried arm's estimate.",
+            stats.router_mispredictions.load(Ordering::Relaxed),
+        ),
     ];
     for (name, help, value) in counters {
         w.header(name, help, "counter");
         w.sample_u64(name, &[], *value);
+    }
+
+    // The adaptive router's decision counter: one labeled series per engine
+    // under a single header.
+    w.header(
+        "astore_server_router_decisions_total",
+        "Adaptive-router decisions per execution engine.",
+        "counter",
+    );
+    for e in crate::router::EngineChoice::ALL {
+        w.sample_u64(
+            "astore_server_router_decisions_total",
+            &[("engine", e.as_str())],
+            stats.router_decisions[e.index()].load(Ordering::Relaxed),
+        );
     }
 
     w.header("astore_server_active_connections", "Currently open connections.", "gauge");
@@ -404,6 +424,19 @@ pub fn render_prometheus(
             "astore_server_queue_wait_us",
             &[("class", class.as_str())],
             &stats.queue_wait[class as usize],
+        );
+    }
+    w.header(
+        "astore_server_engine_latency_us",
+        "Observed execution latency per engine (air/join/denorm).",
+        "histogram",
+    );
+    for e in crate::router::EngineChoice::ALL {
+        emit_histogram_series(
+            &mut w,
+            "astore_server_engine_latency_us",
+            &[("engine", e.as_str())],
+            &stats.engine_latency[e.index()],
         );
     }
 
@@ -486,6 +519,11 @@ mod tests {
         assert!(body
             .contains(r#"astore_server_template_latency_us_bucket{template="SELECT count(*) FROM fact",le="+Inf"} 1"#));
         assert!(body.contains("astore_server_engine_threads 4\n"));
+        assert!(body.contains(r#"astore_server_router_decisions_total{engine="air"} 0"#));
+        assert!(body.contains("astore_server_router_mispredictions_total 0\n"));
+        assert!(
+            body.contains(r#"astore_server_engine_latency_us_bucket{engine="join",le="+Inf"} 0"#)
+        );
         assert!(body
             .contains(r#"astore_server_template_latency_us_bucket{template="SELECT sum(x) FROM fact",le="+Inf"} 1"#));
         // One HELP/TYPE header per family, no matter how many labeled

@@ -8,13 +8,31 @@
 //! answers with a typed `server_busy` frame. Workers always drain
 //! metadata first, then interactive, then scan; every dequeued job learns
 //! how long it waited, which feeds the per-class queue-wait histograms.
+//!
+//! A pool built with [`PriorityPool::with_budget`] additionally consults
+//! the shared [`CoreBudget`] before dequeuing scan-class work: while every
+//! core is granted, queued scans are *deferred* (briefly and boundedly)
+//! instead of dispatched, so a burst of analytical scans cannot swallow
+//! the permits an interactive statement would need. The defer is capped —
+//! scans are delayed, never starved.
 
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+use crate::budget::CoreBudget;
+
+/// How long one polling step of a deferred scan dequeue waits. Permit
+/// release does not signal the pool's condvar, so the gate polls.
+const SCAN_DEFER_POLL: Duration = Duration::from_millis(1);
+
+/// Upper bound on how long one scan dequeue can be deferred by the budget
+/// gate. Past this the scan runs regardless — bounded delay, not
+/// starvation.
+const SCAN_DEFER_MAX: Duration = Duration::from_millis(50);
 
 /// Request priority classes, highest first. The discriminant indexes the
 /// per-class queues and the `queue_wait` histograms in
@@ -54,6 +72,19 @@ struct Inner {
     shutdown: AtomicBool,
     /// Per-class queue capacity.
     capacity: usize,
+    /// When present, scan-class dequeue is gated on free permits.
+    budget: Option<Arc<CoreBudget>>,
+}
+
+impl Inner {
+    /// `true` while scan-class work should be held back: every core in the
+    /// shared budget is granted, so dispatching another scan would claim
+    /// the baseline permit an interactive statement is about to need.
+    /// Shutdown overrides the gate — drain beats deferral.
+    fn scan_gate_closed(&self) -> bool {
+        !self.shutdown.load(Ordering::Acquire)
+            && self.budget.as_ref().is_some_and(|b| b.available() == 0)
+    }
 }
 
 /// A fixed pool of workers draining three bounded strict-priority queues.
@@ -66,11 +97,24 @@ impl PriorityPool {
     /// Spawns `workers` threads; each class's queue holds `queue_depth`
     /// jobs.
     pub fn new(workers: usize, queue_depth: usize) -> Self {
+        PriorityPool::build(workers, queue_depth, None)
+    }
+
+    /// Like [`PriorityPool::new`], but scan-class dequeue consults the
+    /// shared core budget: while every permit is granted, queued scans are
+    /// deferred (up to [`SCAN_DEFER_MAX`]) so scan bursts cannot drain the
+    /// permit pool ahead of interactive statements.
+    pub fn with_budget(workers: usize, queue_depth: usize, budget: Arc<CoreBudget>) -> Self {
+        PriorityPool::build(workers, queue_depth, Some(budget))
+    }
+
+    fn build(workers: usize, queue_depth: usize, budget: Option<Arc<CoreBudget>>) -> Self {
         let inner = Arc::new(Inner {
             queues: Mutex::new([VecDeque::new(), VecDeque::new(), VecDeque::new()]),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
             capacity: queue_depth.max(1),
+            budget,
         });
         let handles = (0..workers.max(1))
             .map(|i| {
@@ -134,9 +178,38 @@ impl Drop for PriorityPool {
 
 fn worker_loop(inner: &Inner) {
     let mut queues = inner.queues.lock().unwrap_or_else(|p| p.into_inner());
+    // When this worker is holding a scan back for the budget gate, the
+    // instant the defer started; bounds the total delay per dequeue.
+    let mut scan_deferred_since: Option<Instant> = None;
     loop {
-        // Strict priority: metadata beats interactive beats scan.
-        let next = queues.iter_mut().find_map(VecDeque::pop_front);
+        // Strict priority: metadata beats interactive beats scan. The scan
+        // class additionally passes the budget gate (when configured).
+        let next = match queues[..2].iter_mut().find_map(VecDeque::pop_front) {
+            Some(job) => {
+                scan_deferred_since = None;
+                Some(job)
+            }
+            None if queues[Priority::Scan as usize].is_empty() => {
+                scan_deferred_since = None;
+                None
+            }
+            None => {
+                let deferred = *scan_deferred_since.get_or_insert_with(Instant::now);
+                if inner.scan_gate_closed() && deferred.elapsed() < SCAN_DEFER_MAX {
+                    // All cores granted: hold the scan briefly. Permit
+                    // release has no condvar, so poll; a higher-priority
+                    // submit wakes the wait early and is dequeued first.
+                    let (q, _) = inner
+                        .available
+                        .wait_timeout(queues, SCAN_DEFER_POLL)
+                        .unwrap_or_else(|p| p.into_inner());
+                    queues = q;
+                    continue;
+                }
+                scan_deferred_since = None;
+                queues[Priority::Scan as usize].pop_front()
+            }
+        };
         match next {
             Some((job, enqueued)) => {
                 drop(queues);
@@ -255,6 +328,65 @@ mod tests {
             }
         } // Drop shuts down after the queues drain.
         assert_eq!(counter.load(Ordering::SeqCst), 20);
+    }
+
+    /// ISSUE 10 satellite: an exhausted core budget defers scan-class
+    /// dispatch — a scan burst cannot claim the permit an interactive
+    /// statement needs — but only boundedly (scans are delayed, never
+    /// starved).
+    #[test]
+    fn exhausted_budget_defers_scans_but_not_interactive() {
+        let budget = Arc::new(CoreBudget::new(1));
+        let pool = PriorityPool::with_budget(1, 16, Arc::clone(&budget));
+        let permit = budget.enter_statement(); // every core granted
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (done_tx, done_rx) = channel::<()>();
+        {
+            let order = Arc::clone(&order);
+            let done = done_tx.clone();
+            pool.submit(
+                Priority::Scan,
+                Box::new(move |_| {
+                    order.lock().unwrap().push(Priority::Scan);
+                    let _ = done.send(());
+                }),
+            );
+        }
+        // Give the worker time to see the scan and start deferring, then
+        // queue an interactive job: it must overtake the held-back scan.
+        std::thread::sleep(Duration::from_millis(5));
+        {
+            let order = Arc::clone(&order);
+            let done = done_tx.clone();
+            pool.submit(
+                Priority::Interactive,
+                Box::new(move |_| {
+                    order.lock().unwrap().push(Priority::Interactive);
+                    let _ = done.send(());
+                }),
+            );
+        }
+        // Both complete even though the permit is never released: the
+        // defer is bounded, so the scan eventually runs too.
+        for _ in 0..2 {
+            done_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), vec![Priority::Interactive, Priority::Scan]);
+        drop(permit);
+    }
+
+    #[test]
+    fn free_budget_dispatches_scans_immediately() {
+        let budget = Arc::new(CoreBudget::new(4));
+        let pool = PriorityPool::with_budget(2, 16, budget);
+        let (tx, rx) = channel();
+        pool.submit(
+            Priority::Scan,
+            Box::new(move |_| {
+                let _ = tx.send(());
+            }),
+        );
+        rx.recv_timeout(Duration::from_secs(5)).expect("open gate dispatches scans");
     }
 
     #[test]

@@ -191,7 +191,14 @@ pub fn start(engine: Arc<Engine>, config: ServerConfig) -> std::io::Result<Serve
     let stop = Arc::new(AtomicBool::new(false));
     let (accept, reactor_stop, exec_pool) = match config.io_model {
         IoModel::Reactor => {
-            let pool = Arc::new(PriorityPool::new(config.workers, config.queue_depth));
+            // Share the engine's core budget with the executor: when every
+            // core is granted to running statements, the pool briefly defers
+            // scan-class dispatch instead of piling more scans on.
+            let pool = Arc::new(PriorityPool::with_budget(
+                config.workers,
+                config.queue_depth,
+                engine.budget_handle(),
+            ));
             let service =
                 EngineService::new(Arc::clone(&engine), Arc::clone(&pool), config.max_connections);
             let reactor_config = ReactorConfig {

@@ -39,13 +39,16 @@ pub struct SessionStatement {
     pub prepared: Arc<Prepared>,
 }
 
-/// A bounded id → prepared-statement map, one per connection.
+/// A bounded id → prepared-statement map, one per connection. Also carries
+/// the session's engine pin (`SET engine=...`): per-connection state the
+/// adaptive router consults before its own learned policy.
 #[derive(Debug)]
 pub struct StatementRegistry {
     stmts: HashMap<u64, SessionStatement>,
     order: VecDeque<u64>,
     next_id: u64,
     capacity: usize,
+    engine_pin: Option<crate::router::EngineChoice>,
 }
 
 impl Default for StatementRegistry {
@@ -63,7 +66,18 @@ impl StatementRegistry {
             order: VecDeque::new(),
             next_id: 1,
             capacity: capacity.max(1),
+            engine_pin: None,
         }
+    }
+
+    /// The session's engine pin (`SET engine=...`); `None` = adaptive.
+    pub fn engine_pin(&self) -> Option<crate::router::EngineChoice> {
+        self.engine_pin
+    }
+
+    /// Pins (or, with `None`, unpins) this session's execution engine.
+    pub fn set_engine_pin(&mut self, pin: Option<crate::router::EngineChoice>) {
+        self.engine_pin = pin;
     }
 
     /// Registers a statement under its canonical-template key, returning

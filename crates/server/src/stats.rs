@@ -60,6 +60,18 @@ pub struct ServerStats {
     /// [`Priority`](crate::sched::Priority) discriminant
     /// (metadata / interactive / scan).
     pub queue_wait: [LatencyHistogram; 3],
+    /// Router decisions per engine, indexed by
+    /// [`EngineChoice`](crate::router::EngineChoice) discriminant
+    /// (air / join / denorm).
+    pub router_decisions: [AtomicU64; 3],
+    /// Routed executions whose observed latency exceeded 1.5× the best
+    /// tried arm's estimate — the router believed wrong.
+    pub router_mispredictions: AtomicU64,
+    /// Observed execution latency per engine, same indexing as
+    /// `router_decisions`. Only the engine-execution window is recorded
+    /// (bind and frame assembly excluded), so the three engines compare
+    /// apples to apples.
+    pub engine_latency: [LatencyHistogram; 3],
     /// Resident bytes of the compressed (encoded) sealed segments.
     /// Gauge, not counter: overwritten at boot and after each checkpoint.
     pub encoded_bytes: AtomicU64,
@@ -98,6 +110,13 @@ impl Default for ServerStats {
             reads_blocked_on_backpressure: AtomicU64::new(0),
             pipeline_depth: LatencyHistogram::new(),
             queue_wait: [LatencyHistogram::new(), LatencyHistogram::new(), LatencyHistogram::new()],
+            router_decisions: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            router_mispredictions: AtomicU64::new(0),
+            engine_latency: [
+                LatencyHistogram::new(),
+                LatencyHistogram::new(),
+                LatencyHistogram::new(),
+            ],
             encoded_bytes: AtomicU64::new(0),
             raw_bytes: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
@@ -172,6 +191,12 @@ impl ServerStats {
             ("pipeline_depth_p99", Json::Int(self.pipeline_depth.quantile_us(0.99) as i64)),
             ("pipeline_depth_max", Json::Int(self.pipeline_depth.max_us() as i64)),
             ("queue_wait", self.queue_wait_json()),
+            ("router_decisions", self.router_decisions_json()),
+            (
+                "router_mispredictions",
+                Json::Int(self.router_mispredictions.load(Ordering::Relaxed) as i64),
+            ),
+            ("engine_latency", self.engine_latency_json()),
             ("encoded_bytes", Json::Int(self.encoded_bytes.load(Ordering::Relaxed) as i64)),
             ("raw_bytes", Json::Int(self.raw_bytes.load(Ordering::Relaxed) as i64)),
             ("cache_hits", Json::Int(cache.hits() as i64)),
@@ -184,6 +209,31 @@ impl ServerStats {
             ("latency_p99_us", Json::Int(self.latency.quantile_us(0.99) as i64)),
             ("latency_max_us", Json::Int(self.latency.max_us() as i64)),
         ])
+    }
+
+    /// The `router_decisions` member of the stats payload: decisions
+    /// taken per engine.
+    fn router_decisions_json(&self) -> Json {
+        Json::obj(crate::router::EngineChoice::ALL.map(|e| {
+            (e.as_str(), Json::Int(self.router_decisions[e.index()].load(Ordering::Relaxed) as i64))
+        }))
+    }
+
+    /// The `engine_latency` member of the stats payload: one object per
+    /// engine with count and the monitoring quantiles.
+    fn engine_latency_json(&self) -> Json {
+        Json::obj(crate::router::EngineChoice::ALL.map(|e| {
+            let h = &self.engine_latency[e.index()];
+            (
+                e.as_str(),
+                Json::obj([
+                    ("count", Json::Int(h.count() as i64)),
+                    ("p50_us", Json::Int(h.quantile_us(0.50) as i64)),
+                    ("p99_us", Json::Int(h.quantile_us(0.99) as i64)),
+                    ("max_us", Json::Int(h.max_us() as i64)),
+                ]),
+            )
+        }))
     }
 
     /// The `queue_wait` member of the stats payload: one object per
@@ -235,8 +285,15 @@ mod tests {
             "encoded_bytes",
             "raw_bytes",
             "latency_p99_us",
+            "router_mispredictions",
         ] {
             assert!(j.get(key).is_some(), "missing {key}");
+        }
+        let decisions = j.get("router_decisions").unwrap();
+        let lat = j.get("engine_latency").unwrap();
+        for engine in ["air", "join", "denorm"] {
+            assert!(decisions.get(engine).unwrap().as_i64().is_some(), "missing {engine}");
+            assert!(lat.get(engine).unwrap().get("count").is_some(), "missing {engine} latency");
         }
     }
 

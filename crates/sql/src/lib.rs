@@ -55,8 +55,8 @@ pub use prepared::{
     prepare, BoundStatement, ColumnType, ParamError, PrepareError, Prepared, PreparedKind,
 };
 pub use statement::{
-    parse_statement, parse_template, strip_explain_analyze, Statement, StatementTemplate,
-    WriteTemplate,
+    parse_statement, parse_template, strip_explain, strip_explain_analyze, Statement,
+    StatementTemplate, WriteTemplate,
 };
 
 /// An error from any stage of SQL execution.

@@ -302,6 +302,22 @@ pub fn strip_explain_analyze(input: &str) -> Option<&str> {
     (!inner.is_empty()).then_some(inner)
 }
 
+/// Strips a leading bare `EXPLAIN` prefix (case-insensitive), returning the
+/// inner statement text. `None` when the input has no such prefix **or**
+/// when the prefix is `EXPLAIN ANALYZE` — that form belongs to
+/// [`strip_explain_analyze`], so callers must try that first (or this one
+/// declines anyway). Bare `EXPLAIN` reports the *decision* — plan shape and
+/// the engine router's choice — without executing the statement.
+pub fn strip_explain(input: &str) -> Option<&str> {
+    let rest = strip_keyword(input.trim_start(), "explain")?;
+    let inner = rest.trim_start();
+    let first = inner.split_whitespace().next().unwrap_or("");
+    if first.eq_ignore_ascii_case("analyze") {
+        return None;
+    }
+    (!inner.is_empty()).then_some(inner)
+}
+
 /// Strips one leading keyword iff it is followed by whitespace.
 fn strip_keyword<'a>(s: &'a str, kw: &str) -> Option<&'a str> {
     let head = s.get(..kw.len())?;
@@ -594,6 +610,20 @@ mod tests {
         assert_eq!(strip_explain_analyze("SELECT count(*) FROM t"), None);
         assert_eq!(strip_explain_analyze("EXPLAINANALYZE SELECT 1"), None);
         assert_eq!(strip_explain_analyze("é"), None);
+    }
+
+    #[test]
+    fn bare_explain_prefix_strips_but_never_claims_analyze() {
+        assert_eq!(strip_explain("EXPLAIN SELECT count(*) FROM t"), Some("SELECT count(*) FROM t"));
+        assert_eq!(strip_explain("  explain\n select 1 from t"), Some("select 1 from t"));
+        // EXPLAIN ANALYZE belongs to strip_explain_analyze.
+        assert_eq!(strip_explain("EXPLAIN ANALYZE SELECT count(*) FROM t"), None);
+        assert_eq!(strip_explain("explain analyze select 1 from t"), None);
+        // No prefix, empty body, fused keyword.
+        assert_eq!(strip_explain("SELECT count(*) FROM t"), None);
+        assert_eq!(strip_explain("EXPLAIN"), None);
+        assert_eq!(strip_explain("EXPLAIN   "), None);
+        assert_eq!(strip_explain("EXPLAINSELECT 1"), None);
     }
 
     #[test]

@@ -417,6 +417,23 @@ impl Table {
         self.deltas.get(seg).map_or(0, |d| d.epoch)
     }
 
+    /// The table-wide mutation epoch: the current value of the monotonic
+    /// counter behind every per-segment delta epoch. Every row mutation —
+    /// append, insert, delete, update — and every seal/compaction event
+    /// advances it, so two reads returning the same epoch bracket a window
+    /// with no changes to this table image. Derived caches (e.g. the
+    /// server's denormalized-result cache) compare epochs to drop stale
+    /// materializations instead of serving them. Not persisted: restarts
+    /// from 0, so cross-boot comparisons are meaningless.
+    pub fn epoch(&self) -> u64 {
+        self.next_epoch
+    }
+
+    /// Advances the table-wide mutation epoch (see [`Table::epoch`]).
+    fn touch(&mut self) {
+        self.next_epoch += 1;
+    }
+
     /// Rows currently served from the flat write store instead of a sealed
     /// encoding, counted over segments a compaction pass would touch:
     /// stale rows plus unsealed overhang of sealed segments, plus every
@@ -631,6 +648,7 @@ impl Table {
     /// Panics if `values` does not match the schema arity/types.
     pub fn append_row(&mut self, values: &[Value]) -> RowId {
         assert_eq!(values.len(), self.schema.arity(), "arity mismatch");
+        self.touch();
         for (col, v) in self.columns.iter_mut().zip(values) {
             col.push(v);
         }
@@ -654,6 +672,7 @@ impl Table {
     pub fn insert(&mut self, values: &[Value]) -> RowId {
         if let Some(slot) = self.free.pop() {
             assert_eq!(values.len(), self.schema.arity(), "arity mismatch");
+            self.touch();
             for (col, v) in self.columns.iter_mut().zip(values) {
                 col.set(slot as usize, v);
             }
@@ -678,6 +697,7 @@ impl Table {
         if !self.is_live(row) {
             return false;
         }
+        self.touch();
         self.live.set(row as usize, false);
         self.free.push(row);
         // A delete never widens bounds (and never unseals — the encoded
@@ -702,6 +722,7 @@ impl Table {
     /// Panics if the column does not exist or the slot is dead.
     pub fn update(&mut self, row: RowId, column: &str, value: &Value) {
         assert!(self.is_live(row), "cannot update dead slot {row}");
+        self.touch();
         let i = self.schema.position(column).unwrap_or_else(|| panic!("no column {column:?}"));
         self.columns[i].set(row as usize, value);
         self.note_value_write(row as usize);
@@ -1168,6 +1189,27 @@ mod tests {
             &crate::segment::ZoneStats::Int { min: 16_384, max: 19_999 },
             "rebuild tightened the bounds past the deleted prefix"
         );
+    }
+
+    #[test]
+    fn every_mutation_advances_the_table_epoch() {
+        let mut t = Table::new("date", dim_schema());
+        let e0 = t.epoch();
+        t.append_row(&[Value::Int(1992), Value::Str("Jan".into())]);
+        let e1 = t.epoch();
+        assert!(e1 > e0, "append bumps");
+        t.update(0, "d_month", &Value::Str("Feb".into()));
+        let e2 = t.epoch();
+        assert!(e2 > e1, "update bumps (even unsealed)");
+        t.delete(0);
+        let e3 = t.epoch();
+        assert!(e3 > e2, "delete bumps");
+        t.insert(&[Value::Int(1993), Value::Str("Mar".into())]);
+        let e4 = t.epoch();
+        assert!(e4 > e3, "reuse-insert bumps");
+        // A pure read leaves it alone.
+        let _ = t.row(0);
+        assert_eq!(t.epoch(), e4);
     }
 
     #[test]
